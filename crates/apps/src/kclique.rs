@@ -1,0 +1,155 @@
+//! k-Clique (decision search): does the graph contain a clique of `k`
+//! vertices?
+//!
+//! The decision variant of Maximum Clique used for the paper's Figure 4
+//! scaling experiment.  It reuses the Maximum Clique Lazy Node Generator
+//! unchanged — only the search type differs (the point of the skeleton
+//! decomposition): the objective order is cut off at `k` and the search
+//! short-circuits as soon as a clique of `k` vertices is witnessed.
+
+use yewpar::{Decide, Optimise, PruneLevel, SearchProblem};
+use yewpar_instances::Graph;
+
+use crate::maxclique::{CliqueGen, CliqueNode, MaxClique};
+
+/// The k-Clique decision problem.
+#[derive(Debug, Clone)]
+pub struct KClique {
+    inner: MaxClique,
+    k: u32,
+}
+
+impl KClique {
+    /// Decide whether `graph` contains a clique of `k` vertices.
+    pub fn new(graph: Graph, k: u32) -> Self {
+        KClique {
+            inner: MaxClique::new(graph),
+            k,
+        }
+    }
+
+    /// The decision bound `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.inner.graph()
+    }
+
+    /// Verify a witness clique.
+    pub fn verify(&self, node: &CliqueNode) -> bool {
+        node.size >= self.k && self.inner.verify(node)
+    }
+}
+
+impl SearchProblem for KClique {
+    type Node = CliqueNode;
+    type Gen<'a> = CliqueGen<'a>;
+
+    fn root(&self) -> CliqueNode {
+        self.inner.root()
+    }
+
+    fn generator<'a>(&'a self, node: &CliqueNode) -> CliqueGen<'a> {
+        self.inner.generator(node)
+    }
+
+    fn name(&self) -> &str {
+        "kclique"
+    }
+}
+
+impl Optimise for KClique {
+    type Score = u32;
+
+    fn objective(&self, node: &CliqueNode) -> u32 {
+        // The paper's bounded order: clique sizes cut off at k.
+        node.size.min(self.k)
+    }
+
+    fn bound(&self, node: &CliqueNode) -> Option<u32> {
+        Some((node.size + node.bound).min(self.k))
+    }
+
+    fn prune_level(&self) -> PruneLevel {
+        // Same argument as MaxClique: sibling bounds are non-increasing.
+        PruneLevel::Siblings
+    }
+}
+
+impl Decide for KClique {
+    fn target(&self) -> u32 {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yewpar::{Coordination, Skeleton};
+    use yewpar_instances::graph;
+
+    #[test]
+    fn planted_clique_yes_instance() {
+        let g = graph::planted_clique(50, 0.3, 11, 21);
+        let p = KClique::new(g, 11);
+        let out = Skeleton::new(Coordination::Sequential).decide(&p);
+        assert!(out.found(), "the planted 11-clique must be found");
+        assert!(p.verify(out.witness.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn k_larger_than_clique_number_is_a_no_instance() {
+        // A triangle-free-ish sparse graph cannot contain a 6-clique.
+        let g = graph::gnp(30, 0.15, 5);
+        let p = KClique::new(g, 6);
+        let out = Skeleton::new(Coordination::Sequential).decide(&p);
+        assert!(!out.found());
+    }
+
+    #[test]
+    fn decision_agrees_across_all_skeletons() {
+        let g = graph::planted_clique(45, 0.4, 10, 33);
+        for k in [9, 10, 14] {
+            let p = KClique::new(g.clone(), k);
+            let seq = Skeleton::new(Coordination::Sequential).decide(&p).found();
+            for coord in [
+                Coordination::depth_bounded(2),
+                Coordination::stack_stealing(),
+                Coordination::budget(200),
+            ] {
+                let out = Skeleton::new(coord).workers(3).decide(&p);
+                assert_eq!(out.found(), seq, "k={k}, {coord} disagrees with sequential");
+                if let Some(w) = &out.witness {
+                    assert!(p.verify(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn yes_instances_short_circuit_early() {
+        let g = graph::planted_clique(60, 0.5, 14, 55);
+        let p = KClique::new(g.clone(), 8);
+        let yes = Skeleton::new(Coordination::Sequential).decide(&p);
+        assert!(yes.found());
+        // Deciding a small k must explore far fewer nodes than running the
+        // full branch-and-bound optimisation (which has to prove optimality).
+        let full = Skeleton::new(Coordination::Sequential).maximise(&crate::maxclique::MaxClique::new(g));
+        assert!(
+            yes.metrics.nodes() < full.metrics.nodes(),
+            "decision should explore fewer nodes ({} vs {})",
+            yes.metrics.nodes(),
+            full.metrics.nodes()
+        );
+    }
+
+    #[test]
+    fn k_one_is_trivially_satisfied_by_any_nonempty_graph() {
+        let p = KClique::new(Graph::new(3), 1);
+        let out = Skeleton::new(Coordination::Sequential).decide(&p);
+        assert!(out.found());
+    }
+}

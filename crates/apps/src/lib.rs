@@ -1,0 +1,28 @@
+//! The seven exact combinatorial search applications evaluated in the YewPar
+//! paper (Section 5.1), each expressed as a Lazy Node Generator plus
+//! objective/bound functions over the `yewpar` skeleton API:
+//!
+//! | Application | Search type | Module |
+//! |---|---|---|
+//! | Unbalanced Tree Search (UTS) | enumeration | [`uts`] |
+//! | Numerical Semigroups (NS) | enumeration | [`semigroups`] |
+//! | Maximum Clique | optimisation | [`maxclique`] |
+//! | 0/1 Knapsack | optimisation | [`knapsack`] |
+//! | Travelling Salesperson (TSP) | optimisation | [`tsp`] |
+//! | Subgraph Isomorphism (SIP) | decision | [`sip`] |
+//! | k-Clique | decision | [`kclique`] |
+//!
+//! [`maxclique::baseline`] additionally provides the *hand-written*
+//! specialised solvers (sequential and statically-split parallel) used as the
+//! comparison point of the paper's Table 1 overhead experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kclique;
+pub mod knapsack;
+pub mod maxclique;
+pub mod semigroups;
+pub mod sip;
+pub mod tsp;
+pub mod uts;

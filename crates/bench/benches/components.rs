@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the low-level components the skeletons are built from:
+//! bitset algebra, the order-preserving depth pool, greedy colouring and raw
+//! lazy-node-generator throughput.  These quantify the constant factors
+//! behind the §5.3 overhead discussion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use yewpar::bitset::BitSet;
+use yewpar::workpool::{DepthPool, Task};
+use yewpar::SearchProblem;
+use yewpar_apps::maxclique::{greedy_colour, MaxClique};
+use yewpar_instances::graph;
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/bitset");
+    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let a = BitSet::from_iter(512, (0..512).filter(|i| i % 3 == 0));
+    let b = BitSet::from_iter(512, (0..512).filter(|i| i % 7 == 0));
+    group.bench_function("intersect_512", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.intersect_with(&b);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("count_512", |bench| bench.iter(|| a.count()));
+    group.bench_function("iterate_512", |bench| bench.iter(|| a.iter().sum::<usize>()));
+    group.finish();
+}
+
+fn bench_workpool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/workpool");
+    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("push_pop_1000", |bench| {
+        bench.iter(|| {
+            let pool = DepthPool::new();
+            for i in 0..1000u32 {
+                pool.push(Task::new(i, (i % 8) as usize));
+            }
+            let mut drained = 0;
+            while pool.pop().is_some() {
+                drained += 1;
+            }
+            drained
+        })
+    });
+    group.finish();
+}
+
+fn bench_maxclique_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/maxclique");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let g = graph::gnp(120, 0.5, 7);
+    let all = BitSet::full(120);
+    group.bench_function("greedy_colour_120", |bench| bench.iter(|| greedy_colour(&g, &all)));
+
+    let problem = MaxClique::new(g);
+    let root = problem.root();
+    group.bench_function("lazy_generator_root_children", |bench| {
+        bench.iter(|| problem.generator(&root).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitset, bench_workpool, bench_maxclique_components);
+criterion_main!(benches);

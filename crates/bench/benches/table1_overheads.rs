@@ -1,0 +1,60 @@
+//! Criterion version of the Table 1 overhead experiment: hand-written
+//! Maximum Clique solvers vs the generic YewPar skeletons on representative
+//! instances of each DIMACS-like family.  `cargo run --release -p
+//! yewpar-bench --bin table1` produces the full 18-instance table; this bench
+//! gives statistically robust ratios for a small subset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use yewpar::{Coordination, Skeleton};
+use yewpar_apps::maxclique::{baseline, MaxClique};
+use yewpar_instances::registry;
+
+fn representative_instances() -> Vec<yewpar_instances::registry::NamedGraph> {
+    // One instance per family keeps the bench under a minute.
+    registry::table1_clique_instances()
+        .into_iter()
+        .filter(|g| g.name.ends_with("-1"))
+        .collect()
+}
+
+fn bench_sequential_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/sequential");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for named in representative_instances() {
+        let graph = named.graph.clone();
+        let problem = MaxClique::new(graph.clone());
+        group.bench_with_input(BenchmarkId::new("hand-written", &named.name), &graph, |b, g| {
+            b.iter(|| baseline::sequential_max_clique(g))
+        });
+        group.bench_with_input(BenchmarkId::new("yewpar-sequential", &named.name), &problem, |b, p| {
+            b.iter(|| Skeleton::new(Coordination::Sequential).maximise(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_overhead(c: &mut Criterion) {
+    let workers = 4; // a modest worker count keeps oversubscription noise low
+    let mut group = c.benchmark_group("table1/parallel");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for named in representative_instances().into_iter().take(2) {
+        let graph = named.graph.clone();
+        let problem = MaxClique::new(graph.clone());
+        group.bench_with_input(BenchmarkId::new("hand-written-depth1", &named.name), &graph, |b, g| {
+            b.iter(|| baseline::parallel_max_clique_depth1(g, workers))
+        });
+        group.bench_with_input(BenchmarkId::new("yewpar-depthbounded", &named.name), &problem, |b, p| {
+            b.iter(|| {
+                Skeleton::new(Coordination::depth_bounded(1))
+                    .workers(workers)
+                    .maximise(p)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_overhead, bench_parallel_overhead);
+criterion_main!(benches);

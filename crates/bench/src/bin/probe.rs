@@ -1,0 +1,36 @@
+//! Quick instance-hardness probe: prints sequential runtime and node counts
+//! for every registered instance, so benchmark parameters can be sized to the
+//! machine.  Not part of the paper's evaluation; use `table1`, `table2` and
+//! `fig4` for that.
+
+use yewpar::{Coordination, Skeleton};
+use yewpar_apps::maxclique::MaxClique;
+use yewpar_bench::{fmt_secs, time};
+use yewpar_instances::registry;
+
+fn main() {
+    println!("{:>16} {:>8} {:>8} {:>12} {:>10}", "instance", "order", "clique", "nodes", "time");
+    for named in registry::table1_clique_instances() {
+        let problem = MaxClique::new(named.graph.clone());
+        let (out, secs) = time(|| Skeleton::new(Coordination::Sequential).maximise(&problem));
+        println!(
+            "{:>16} {:>8} {:>8} {:>12} {:>10}",
+            named.name,
+            named.graph.order(),
+            out.score(),
+            out.metrics.nodes(),
+            fmt_secs(secs)
+        );
+    }
+    let named = registry::fig4_kclique_instance();
+    let problem = MaxClique::new(named.graph.clone());
+    let (out, secs) = time(|| Skeleton::new(Coordination::Sequential).maximise(&problem));
+    println!(
+        "{:>16} {:>8} {:>8} {:>12} {:>10}   (fig4)",
+        named.name,
+        named.graph.order(),
+        out.score(),
+        out.metrics.nodes(),
+        fmt_secs(secs)
+    );
+}

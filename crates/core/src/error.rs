@@ -1,0 +1,53 @@
+//! Error types for skeleton configuration and execution.
+
+use std::fmt;
+
+/// Errors produced when configuring or running a search skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig(String),
+    /// A worker thread panicked during the search.
+    WorkerPanic(String),
+    /// An instance file could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid skeleton configuration: {msg}"),
+            Error::WorkerPanic(msg) => write!(f, "search worker panicked: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            Error::InvalidConfig("dcutoff".into()).to_string(),
+            "invalid skeleton configuration: dcutoff"
+        );
+        assert_eq!(
+            Error::WorkerPanic("boom".into()).to_string(),
+            "search worker panicked: boom"
+        );
+        assert_eq!(Error::Parse("bad line".into()).to_string(), "parse error: bad line");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

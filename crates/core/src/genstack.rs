@@ -1,0 +1,197 @@
+//! The generator stack: backtracking state shared by all coordinations.
+//!
+//! This type is public so that new coordinations (and the discrete-event
+//! simulator in `yewpar-sim`) can be built from the same low-level component,
+//! mirroring the paper's remark that YewPar "provides low-level components
+//! … with which new skeletons can be created" (§4.3).
+//!
+//! Depth-first backtracking is implemented as a stack of lazy node
+//! generators (paper §4.1): advancing the top generator corresponds to the
+//! (expand) rule, popping an exhausted generator to the (backtrack) rule.
+//! The stack also identifies which subtrees to give away when splitting work
+//! — the Budget and Stack-Stealing coordinations scan it bottom-up and hand
+//! out the *lowest-depth* unexplored children, which are heuristically the
+//! largest remaining pieces of work.
+
+use std::iter::Peekable;
+
+use crate::node::SearchProblem;
+use crate::workpool::Task;
+
+/// One stack frame: the (peekable) generator of a node's children, plus the
+/// depth of the children it yields.
+#[allow(explicit_outlives_requirements)]
+struct Frame<'p, P: SearchProblem + 'p> {
+    gen: Peekable<P::Gen<'p>>,
+    child_depth: usize,
+}
+
+/// A stack of lazy node generators.
+#[allow(explicit_outlives_requirements)]
+pub struct GenStack<'p, P: SearchProblem + 'p> {
+    frames: Vec<Frame<'p, P>>,
+}
+
+impl<'p, P: SearchProblem + 'p> GenStack<'p, P> {
+    /// An empty stack.
+    pub fn new() -> Self {
+        GenStack { frames: Vec::new() }
+    }
+
+    /// Push a generator for `node`'s children; `node_depth` is the depth of
+    /// `node` itself (children are one level deeper).
+    pub fn push(&mut self, problem: &'p P, node: &P::Node, node_depth: usize) {
+        self.frames.push(Frame {
+            gen: problem.generator(node).peekable(),
+            child_depth: node_depth + 1,
+        });
+    }
+
+    /// Advance the top generator: the next unexplored child and its depth.
+    /// Returns `None` when the top generator is exhausted (time to backtrack).
+    pub fn next_child(&mut self) -> Option<(P::Node, usize)> {
+        let frame = self.frames.last_mut()?;
+        frame.gen.next().map(|n| (n, frame.child_depth))
+    }
+
+    /// Drop the (exhausted) top generator.  Returns `false` if the stack was
+    /// already empty.
+    pub fn pop(&mut self) -> bool {
+        self.frames.pop().is_some()
+    }
+
+    /// True when no generators remain.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Number of generators on the stack.
+    #[allow(dead_code)]
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Split off work for another worker: scan the stack bottom-up for the
+    /// first generator with unexplored children (the lowest-depth work) and
+    /// remove either one child (`chunked == false`, the (spawn-stack) rule)
+    /// or every remaining child (`chunked == true`, also the (spawn-budget)
+    /// rule), preserving their heuristic order.
+    ///
+    /// Returns an empty vector when the stack holds no unexplored children.
+    pub fn split_lowest(&mut self, chunked: bool) -> Vec<Task<P::Node>> {
+        for frame in self.frames.iter_mut() {
+            if frame.gen.peek().is_some() {
+                let depth = frame.child_depth;
+                return if chunked {
+                    frame.gen.by_ref().map(|n| Task::new(n, depth)).collect()
+                } else {
+                    frame.gen.next().map(|n| vec![Task::new(n, depth)]).unwrap_or_default()
+                };
+            }
+        }
+        Vec::new()
+    }
+
+    /// True if any generator on the stack still has unexplored children.
+    #[allow(dead_code)]
+    pub fn has_unexplored(&mut self) -> bool {
+        self.frames.iter_mut().any(|f| f.gen.peek().is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ternary tree of the given depth; node = (depth, index-within-parent).
+    struct Ternary {
+        depth: usize,
+    }
+
+    impl SearchProblem for Ternary {
+        type Node = (usize, usize);
+        type Gen<'a> = std::vec::IntoIter<(usize, usize)>;
+        fn root(&self) -> (usize, usize) {
+            (0, 0)
+        }
+        fn generator(&self, node: &(usize, usize)) -> Self::Gen<'_> {
+            if node.0 < self.depth {
+                (0..3).map(|i| (node.0 + 1, i)).collect::<Vec<_>>().into_iter()
+            } else {
+                vec![].into_iter()
+            }
+        }
+    }
+
+    #[test]
+    fn expand_and_backtrack_walk_the_whole_tree() {
+        let p = Ternary { depth: 3 };
+        let mut stack = GenStack::new();
+        stack.push(&p, &p.root(), 0);
+        let mut visited = 1; // root
+        while !stack.is_empty() {
+            match stack.next_child() {
+                Some((child, depth)) => {
+                    visited += 1;
+                    stack.push(&p, &child, depth);
+                }
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+        assert_eq!(visited, 1 + 3 + 9 + 27);
+    }
+
+    #[test]
+    fn split_lowest_takes_from_the_bottom_frame() {
+        let p = Ternary { depth: 3 };
+        let mut stack = GenStack::new();
+        stack.push(&p, &p.root(), 0);
+        // Descend one branch: take child (1,0), push its generator.
+        let (c, d) = stack.next_child().unwrap();
+        assert_eq!((c, d), ((1, 0), 1));
+        stack.push(&p, &c, d);
+        // The bottom frame still holds children (1,1) and (1,2): a single
+        // (non-chunked) split must hand out (1,1) — depth-1 work.
+        let stolen = stack.split_lowest(false);
+        assert_eq!(stolen, vec![Task::new((1, 1), 1)]);
+        // A chunked split now takes the rest of that frame.
+        let stolen = stack.split_lowest(true);
+        assert_eq!(stolen, vec![Task::new((1, 2), 1)]);
+        // Next splits come from the deeper frame.
+        let stolen = stack.split_lowest(true);
+        assert_eq!(stolen.len(), 3);
+        assert!(stolen.iter().all(|t| t.depth == 2));
+        // Nothing left anywhere.
+        assert!(stack.split_lowest(true).is_empty());
+        assert!(!stack.has_unexplored());
+    }
+
+    #[test]
+    fn split_on_empty_stack_is_empty() {
+        let p = Ternary { depth: 1 };
+        let mut stack: GenStack<'_, Ternary> = GenStack::new();
+        assert!(stack.split_lowest(true).is_empty());
+        stack.push(&p, &(1, 0), 1); // leaf: generator is empty
+        assert!(stack.split_lowest(false).is_empty());
+        assert!(!stack.has_unexplored());
+    }
+
+    #[test]
+    fn splitting_does_not_disturb_the_top_of_stack_traversal() {
+        let p = Ternary { depth: 2 };
+        let mut stack = GenStack::new();
+        stack.push(&p, &p.root(), 0);
+        let (c, d) = stack.next_child().unwrap();
+        stack.push(&p, &c, d);
+        // Steal everything at the lowest depth.
+        let _ = stack.split_lowest(true);
+        // The deeper frame must still yield its three children in order.
+        let mut seq = Vec::new();
+        while let Some((child, _)) = stack.next_child() {
+            seq.push(child.1);
+        }
+        assert_eq!(seq, vec![0, 1, 2]);
+    }
+}

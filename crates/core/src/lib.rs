@@ -1,0 +1,74 @@
+//! # YewPar in Rust — algorithmic skeletons for exact combinatorial search
+//!
+//! This crate is a from-scratch Rust reproduction of the search-skeleton
+//! library described in *"YewPar: Skeletons for Exact Combinatorial Search"*
+//! (Archibald, Maier, Stewart, Trinder — PPoPP 2020).
+//!
+//! A search application is composed from two parts (paper Fig. 3):
+//!
+//! 1. a **Lazy Node Generator** — how the application's search tree is
+//!    generated on demand and in which (heuristic) order children are
+//!    visited.  In this crate that is the [`SearchProblem`] trait, together
+//!    with one of the search-type traits [`Enumerate`], [`Optimise`] or
+//!    [`Decide`];
+//! 2. a **search skeleton** — a search *coordination* (how the tree is split
+//!    into parallel tasks: [`Coordination::Sequential`],
+//!    [`Coordination::DepthBounded`], [`Coordination::StackStealing`],
+//!    [`Coordination::Budget`]) combined with a search *type* (enumeration,
+//!    decision, optimisation).  The 4 × 3 = 12 combinations are exposed
+//!    through the [`Skeleton`] entry point.
+//!
+//! ```
+//! use yewpar::{Coordination, Skeleton, SearchProblem, Enumerate, monoid::Sum};
+//!
+//! /// Count the nodes of a complete binary tree of a given depth.
+//! struct BinTree { depth: usize }
+//!
+//! impl SearchProblem for BinTree {
+//!     type Node = usize; // a node is just its depth
+//!     type Gen<'a> = std::vec::IntoIter<usize>;
+//!     fn root(&self) -> usize { 0 }
+//!     fn generator(&self, node: &usize) -> Self::Gen<'_> {
+//!         if *node < self.depth { vec![node + 1, node + 1].into_iter() } else { vec![].into_iter() }
+//!     }
+//! }
+//!
+//! impl Enumerate for BinTree {
+//!     type Value = Sum<u64>;
+//!     fn value(&self, _node: &usize) -> Sum<u64> { Sum(1) }
+//! }
+//!
+//! let out = Skeleton::new(Coordination::depth_bounded(2)).workers(2).enumerate(&BinTree { depth: 10 });
+//! assert_eq!(out.value.0, 2u64.pow(11) - 1);
+//! ```
+//!
+//! The crate deliberately does **not** use a generic deque-based
+//! work-stealing runtime (such as rayon) for the parallel coordinations: as
+//! the paper discusses, LIFO deque stealing destroys the heuristic search
+//! order that exact search depends on.  Instead the coordinations use the
+//! bespoke order-preserving depth pool ([`workpool`]) and explicit
+//! steal-request channels ([`skeleton::stack_stealing`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitset;
+pub mod error;
+pub mod genstack;
+pub mod knowledge;
+pub mod metrics;
+pub mod monoid;
+pub mod node;
+pub mod objective;
+pub mod params;
+pub mod skeleton;
+pub mod termination;
+pub mod workpool;
+
+pub use error::{Error, Result};
+pub use metrics::Metrics;
+pub use monoid::Monoid;
+pub use node::SearchProblem;
+pub use objective::{Decide, Enumerate, Optimise, PruneLevel};
+pub use params::{Coordination, SearchConfig};
+pub use skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};

@@ -1,0 +1,162 @@
+//! Search execution metrics.
+//!
+//! Every skeleton execution returns a [`Metrics`] value aggregating
+//! per-worker counters: nodes processed, prunes, backtracks, spawned tasks,
+//! steals, and the elapsed wall-clock time.  The benchmark harnesses use
+//! these to report workload statistics next to runtimes (useful because the
+//! paper's performance anomalies — §2.1 — manifest as changes in *work*
+//! rather than pure scheduling effects).
+
+use std::time::Duration;
+
+/// Counters collected by a single worker during a search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Nodes processed (the (accumulate)/(strengthen)/(skip) rules).
+    pub nodes: u64,
+    /// Subtrees pruned by the bound function (the (prune) rule).
+    pub prunes: u64,
+    /// Backtracks performed (the (backtrack) rule).
+    pub backtracks: u64,
+    /// Tasks spawned into a workpool or handed to a thief.
+    pub spawns: u64,
+    /// Successful steals (tasks obtained from a victim or remote pool).
+    pub steals: u64,
+    /// Steal attempts that returned no work.
+    pub failed_steals: u64,
+    /// Number of times this worker updated the global incumbent.
+    pub incumbent_updates: u64,
+    /// Deepest depth reached.
+    pub max_depth: u64,
+}
+
+impl WorkerMetrics {
+    /// Merge another worker's counters into this one.
+    pub fn merge(&mut self, other: &WorkerMetrics) {
+        self.nodes += other.nodes;
+        self.prunes += other.prunes;
+        self.backtracks += other.backtracks;
+        self.spawns += other.spawns;
+        self.steals += other.steals;
+        self.failed_steals += other.failed_steals;
+        self.incumbent_updates += other.incumbent_updates;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+/// Aggregated metrics for a whole skeleton execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Sum (max for `max_depth`) of all per-worker counters.
+    pub totals: WorkerMetrics,
+    /// The individual per-worker counters, indexed by worker id.
+    pub per_worker: Vec<WorkerMetrics>,
+    /// Wall-clock duration of the search (excludes problem construction).
+    pub elapsed: Duration,
+    /// Number of workers used.
+    pub workers: usize,
+}
+
+impl Metrics {
+    /// Build aggregate metrics from per-worker counters.
+    pub fn from_workers(per_worker: Vec<WorkerMetrics>, elapsed: Duration) -> Self {
+        let mut totals = WorkerMetrics::default();
+        for w in &per_worker {
+            totals.merge(w);
+        }
+        Metrics {
+            workers: per_worker.len(),
+            totals,
+            per_worker,
+            elapsed,
+        }
+    }
+
+    /// Total nodes processed across all workers.
+    pub fn nodes(&self) -> u64 {
+        self.totals.nodes
+    }
+
+    /// Total tasks spawned across all workers.
+    pub fn spawns(&self) -> u64 {
+        self.totals.spawns
+    }
+
+    /// Nodes processed per second of wall-clock time (0 if instantaneous).
+    pub fn node_throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.totals.nodes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A crude load-balance indicator: ratio of the busiest worker's node
+    /// count to the mean node count (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() || self.totals.nodes == 0 {
+            return 1.0;
+        }
+        let mean = self.totals.nodes as f64 / self.per_worker.len() as f64;
+        let max = self.per_worker.iter().map(|w| w.nodes).max().unwrap_or(0) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(nodes: u64, prunes: u64, max_depth: u64) -> WorkerMetrics {
+        WorkerMetrics {
+            nodes,
+            prunes,
+            max_depth,
+            ..WorkerMetrics::default()
+        }
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_depth() {
+        let mut a = worker(10, 2, 5);
+        a.merge(&worker(7, 1, 9));
+        assert_eq!(a.nodes, 17);
+        assert_eq!(a.prunes, 3);
+        assert_eq!(a.max_depth, 9);
+    }
+
+    #[test]
+    fn from_workers_aggregates() {
+        let m = Metrics::from_workers(vec![worker(4, 0, 2), worker(6, 1, 3)], Duration::from_millis(10));
+        assert_eq!(m.workers, 2);
+        assert_eq!(m.nodes(), 10);
+        assert_eq!(m.totals.prunes, 1);
+        assert_eq!(m.totals.max_depth, 3);
+        assert!(m.node_throughput() > 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_balanced_workers_is_one() {
+        let m = Metrics::from_workers(vec![worker(5, 0, 1), worker(5, 0, 1)], Duration::from_millis(1));
+        assert!((m.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let m = Metrics::from_workers(vec![worker(10, 0, 1), worker(0, 0, 0)], Duration::from_millis(1));
+        assert!((m.imbalance() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_sane() {
+        let m = Metrics::default();
+        assert_eq!(m.nodes(), 0);
+        assert_eq!(m.node_throughput(), 0.0);
+        assert_eq!(m.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Search types: enumeration, optimisation and decision (paper Section 3.2).
+//!
+//! The formal model characterises each search type by a commutative monoid
+//! and an objective function mapping search-tree nodes into that monoid:
+//!
+//! * **enumeration** sums the objective over every node ([`Enumerate`]);
+//! * **optimisation** computes the maximum of the objective and returns a
+//!   witness node, with branch-and-bound pruning through an admissible upper
+//!   bound ([`Optimise`]);
+//! * **decision** is optimisation over a *bounded* order that short-circuits
+//!   as soon as the greatest element ([`Decide::target`]) is reached.
+//!
+//! Minimisation problems (such as TSP) are expressed by mapping costs into a
+//! maximisation objective; [`MinimiseScore`] provides the standard wrapper.
+
+use crate::monoid::Monoid;
+use crate::node::SearchProblem;
+
+/// An enumeration search: fold the whole tree into a commutative monoid.
+pub trait Enumerate: SearchProblem {
+    /// The accumulator monoid `⟨M, +, 0⟩`.
+    type Value: Monoid;
+
+    /// The objective function `h : node → M`.
+    fn value(&self, node: &Self::Node) -> Self::Value;
+}
+
+/// How aggressively a failed bound check prunes (the paper's §4.1 remark that
+/// lazy generation makes it "possible to prune all future children
+/// to-the-right once a bounds check establishes that the current node cannot
+/// beat the incumbent").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneLevel {
+    /// Prune only the failing node's subtree (always admissible).
+    #[default]
+    Node,
+    /// Additionally discard the failing node's not-yet-generated later
+    /// siblings.  Only admissible when the lazy node generator yields
+    /// children in non-increasing bound order (as the greedy-colouring clique
+    /// generator does), so that a failed bound implies every later sibling
+    /// fails too.
+    Siblings,
+}
+
+/// An optimisation search: maximise an objective over all tree nodes.
+pub trait Optimise: SearchProblem {
+    /// The totally ordered objective values.  The order's least element acts
+    /// as the monoid identity; `max` acts as the monoid operation.
+    type Score: Ord + Clone + Send + Sync + 'static;
+
+    /// Objective value of a node (the paper's `getObj`).
+    fn objective(&self, node: &Self::Node) -> Self::Score;
+
+    /// Upper bound on the objective attainable anywhere in the subtree
+    /// rooted at `node` (the paper's `upperBound` / `BoundFunction`).
+    ///
+    /// Returning `None` disables pruning at this node.  For correctness the
+    /// bound must be *admissible*: no descendant of `node` may have an
+    /// objective exceeding the bound (this is the pruning relation's
+    /// condition 1 in §3.5 and is checked by property tests in
+    /// `yewpar-apps`).
+    fn bound(&self, _node: &Self::Node) -> Option<Self::Score> {
+        None
+    }
+
+    /// How much is discarded when the bound check fails (defaults to the
+    /// always-admissible per-node pruning).
+    fn prune_level(&self) -> PruneLevel {
+        PruneLevel::Node
+    }
+}
+
+/// A decision search: an optimisation search over a bounded order that stops
+/// as soon as the target (greatest element) is witnessed.
+pub trait Decide: Optimise {
+    /// The greatest element of the objective order.  The search
+    /// short-circuits globally once a node with `objective(node) >= target()`
+    /// is found (the (shortcircuit) rule of Fig. 2).
+    fn target(&self) -> Self::Score;
+}
+
+/// Score wrapper turning a minimisation objective into a maximisation one.
+///
+/// `MinimiseScore(a) > MinimiseScore(b)` exactly when `a < b`, so skeletons
+/// that maximise [`Optimise::objective`] end up minimising the wrapped cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MinimiseScore<T>(pub T);
+
+impl<T: Ord> Ord for MinimiseScore<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.cmp(&self.0)
+    }
+}
+
+impl<T: Ord> PartialOrd for MinimiseScore<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimise_score_reverses_the_order() {
+        assert!(MinimiseScore(3u32) > MinimiseScore(7));
+        assert!(MinimiseScore(10u32) < MinimiseScore(2));
+        assert_eq!(MinimiseScore(5u32), MinimiseScore(5));
+        let mut v = [MinimiseScore(4u32), MinimiseScore(1), MinimiseScore(9)];
+        v.sort();
+        assert_eq!(v, [MinimiseScore(9), MinimiseScore(4), MinimiseScore(1)]);
+    }
+
+    #[test]
+    fn max_by_minimise_score_picks_smallest_cost() {
+        let best = [17u32, 3, 11]
+            .iter()
+            .copied()
+            .max_by_key(|&c| MinimiseScore(c))
+            .unwrap();
+        assert_eq!(best, 3);
+    }
+}

@@ -1,0 +1,250 @@
+//! Budget search coordination (the (spawn-budget) rule, paper Listing 4).
+//!
+//! Workers search their task sequentially until they have backtracked as
+//! many times as the user-supplied budget allows.  A task that exhausts its
+//! budget is assumed to hold a significant amount of work, so all of its
+//! lowest-depth unexplored subtrees are spawned into the shared workpool (in
+//! heuristic order) and the backtrack counter is reset.  This implements
+//! asynchronous periodic load balancing similar to the `mts` framework the
+//! paper cites.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use super::driver::{Action, Driver};
+use crate::genstack::GenStack;
+use super::sequential::Flow;
+use crate::metrics::WorkerMetrics;
+use crate::node::SearchProblem;
+use crate::params::SearchConfig;
+use crate::termination::Termination;
+use crate::workpool::{DepthPool, Task};
+
+/// Run the Budget coordination with the given backtrack budget.
+pub(crate) fn run<P, D>(
+    problem: &P,
+    driver: &D,
+    config: &SearchConfig,
+    budget: u64,
+) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let start = Instant::now();
+    let workers = config.workers.max(1);
+    let pool: DepthPool<P::Node> = DepthPool::new();
+    let term = Termination::new(1);
+    let poisoned = AtomicBool::new(false);
+    pool.push(Task::new(problem.root(), 0));
+
+    let mut all_metrics = vec![WorkerMetrics::default(); workers];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| worker_loop(problem, driver, &pool, &term, budget)));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(metrics) => all_metrics[i] = metrics,
+                Err(_) => poisoned.store(true, Ordering::Relaxed),
+            }
+        }
+    });
+    if poisoned.load(Ordering::Relaxed) {
+        panic!("a budget search worker panicked");
+    }
+    (all_metrics, start.elapsed())
+}
+
+fn worker_loop<P, D>(
+    problem: &P,
+    driver: &D,
+    pool: &DepthPool<P::Node>,
+    term: &Termination,
+    budget: u64,
+) -> WorkerMetrics
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let mut metrics = WorkerMetrics::default();
+    let mut partial = driver.new_partial();
+    let mut idle_spins: u32 = 0;
+
+    loop {
+        if term.finished() {
+            break;
+        }
+        match pool.pop() {
+            Some(task) => {
+                idle_spins = 0;
+                let flow = execute_task(problem, driver, &mut partial, &mut metrics, pool, term, budget, task);
+                if flow == Flow::ShortCircuited {
+                    term.short_circuit();
+                }
+                term.task_completed();
+            }
+            None => {
+                if term.all_done() {
+                    break;
+                }
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins < 16 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    driver.merge(partial);
+    metrics
+}
+
+/// Execute one task with a backtrack budget (paper Listing 4).
+#[allow(clippy::too_many_arguments)]
+fn execute_task<P, D>(
+    problem: &P,
+    driver: &D,
+    partial: &mut D::Partial,
+    metrics: &mut WorkerMetrics,
+    pool: &DepthPool<P::Node>,
+    term: &Termination,
+    budget: u64,
+    task: Task<P::Node>,
+) -> Flow
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    metrics.nodes += 1;
+    metrics.max_depth = metrics.max_depth.max(task.depth as u64);
+    match driver.process(problem, &task.node, partial) {
+        Action::Expand => {}
+        Action::Prune | Action::PruneSiblings => {
+            metrics.prunes += 1;
+            return Flow::Completed;
+        }
+        Action::ShortCircuit => return Flow::ShortCircuited,
+    }
+
+    let mut stack = GenStack::new();
+    stack.push(problem, &task.node, task.depth);
+    let mut backtracks_since_spawn: u64 = 0;
+
+    while !stack.is_empty() {
+        if term.short_circuited() {
+            return Flow::ShortCircuited;
+        }
+        if backtracks_since_spawn >= budget {
+            // Offload all unexplored subtrees at the lowest depth of this
+            // task's stack, preserving heuristic order, then keep searching
+            // with a fresh budget.
+            let offload = stack.split_lowest(true);
+            if !offload.is_empty() {
+                term.task_spawned(offload.len() as u64);
+                metrics.spawns += offload.len() as u64;
+                pool.push_all(offload);
+            }
+            backtracks_since_spawn = 0;
+        }
+        match stack.next_child() {
+            Some((child, depth)) => {
+                metrics.nodes += 1;
+                metrics.max_depth = metrics.max_depth.max(depth as u64);
+                match driver.process(problem, &child, partial) {
+                    Action::Expand => stack.push(problem, &child, depth),
+                    Action::Prune => metrics.prunes += 1,
+                    Action::PruneSiblings => {
+                        metrics.prunes += 1;
+                        stack.pop();
+                        metrics.backtracks += 1;
+                        backtracks_since_spawn += 1;
+                    }
+                    Action::ShortCircuit => return Flow::ShortCircuited,
+                }
+            }
+            None => {
+                stack.pop();
+                metrics.backtracks += 1;
+                backtracks_since_spawn += 1;
+            }
+        }
+    }
+    Flow::Completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::Sum;
+    use crate::objective::Enumerate;
+    use crate::skeleton::driver::EnumDriver;
+
+    /// Left-heavy irregular tree to force mid-task splitting.
+    struct Skewed {
+        depth: usize,
+    }
+
+    impl SearchProblem for Skewed {
+        type Node = (usize, u32);
+        type Gen<'a> = std::vec::IntoIter<(usize, u32)>;
+        fn root(&self) -> (usize, u32) {
+            (0, 0)
+        }
+        fn generator(&self, node: &(usize, u32)) -> Self::Gen<'_> {
+            let (depth, kind) = *node;
+            if depth >= self.depth {
+                return vec![].into_iter();
+            }
+            // The leftmost child is "heavy" (kind 0 keeps branching), the
+            // others are lighter.
+            let width = if kind == 0 { 4 } else { 2 };
+            (0..width).map(|i| (depth + 1, i)).collect::<Vec<_>>().into_iter()
+        }
+    }
+
+    impl Enumerate for Skewed {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u32)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    #[test]
+    fn counts_match_sequential_for_various_budgets() {
+        let p = Skewed { depth: 7 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let cfg = SearchConfig {
+            workers: 3,
+            ..SearchConfig::default()
+        };
+        for budget in [1, 5, 50, 10_000] {
+            let driver = EnumDriver::<Skewed>::new();
+            let (metrics, _) = run(&p, &driver, &cfg, budget);
+            assert_eq!(driver.into_value(), Sum(expected), "budget={budget}");
+            let total: u64 = metrics.iter().map(|m| m.nodes).sum();
+            assert_eq!(total, expected);
+        }
+    }
+
+    #[test]
+    fn small_budget_spawns_more_tasks_than_large_budget() {
+        let p = Skewed { depth: 7 };
+        let cfg = SearchConfig {
+            workers: 2,
+            ..SearchConfig::default()
+        };
+        let spawns_for = |budget| {
+            let driver = EnumDriver::<Skewed>::new();
+            let (metrics, _) = run(&p, &driver, &cfg, budget);
+            metrics.iter().map(|m| m.spawns).sum::<u64>()
+        };
+        let small = spawns_for(2);
+        let large = spawns_for(1_000_000);
+        assert!(small > large, "budget 2 spawned {small}, budget 1e6 spawned {large}");
+        assert_eq!(large, 0, "a budget larger than the tree never triggers a spawn");
+    }
+}

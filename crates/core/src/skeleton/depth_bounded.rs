@@ -1,0 +1,232 @@
+//! Depth-Bounded search coordination (the (spawn-depth) rule).
+//!
+//! Every node shallower than the cutoff depth has its children converted to
+//! tasks, queued in heuristic order in the shared order-preserving workpool;
+//! nodes at or below the cutoff are explored sequentially by the worker that
+//! picked them up.  Spawns happen as tasks execute (not all up-front), just
+//! as in the YewPar implementation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use super::driver::{Action, Driver};
+use super::sequential::{explore_subtree, Flow};
+use crate::metrics::WorkerMetrics;
+use crate::node::SearchProblem;
+use crate::params::SearchConfig;
+use crate::termination::Termination;
+use crate::workpool::{DepthPool, Task};
+
+/// Run the Depth-Bounded coordination with the given cutoff depth.
+pub(crate) fn run<P, D>(
+    problem: &P,
+    driver: &D,
+    config: &SearchConfig,
+    dcutoff: usize,
+) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let start = Instant::now();
+    let workers = config.workers.max(1);
+    let pool: DepthPool<P::Node> = DepthPool::new();
+    let term = Termination::new(1);
+    let poisoned = AtomicBool::new(false);
+    pool.push(Task::new(problem.root(), 0));
+
+    let mut all_metrics = vec![WorkerMetrics::default(); workers];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| worker_loop(problem, driver, &pool, &term, dcutoff)));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(metrics) => all_metrics[i] = metrics,
+                Err(_) => poisoned.store(true, Ordering::Relaxed),
+            }
+        }
+    });
+    if poisoned.load(Ordering::Relaxed) {
+        panic!("a depth-bounded search worker panicked");
+    }
+    (all_metrics, start.elapsed())
+}
+
+fn worker_loop<P, D>(
+    problem: &P,
+    driver: &D,
+    pool: &DepthPool<P::Node>,
+    term: &Termination,
+    dcutoff: usize,
+) -> WorkerMetrics
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let mut metrics = WorkerMetrics::default();
+    let mut partial = driver.new_partial();
+    let mut idle_spins: u32 = 0;
+
+    loop {
+        if term.finished() {
+            break;
+        }
+        match pool.pop() {
+            Some(task) => {
+                idle_spins = 0;
+                let flow = execute_task(problem, driver, &mut partial, &mut metrics, pool, term, dcutoff, task);
+                if flow == Flow::ShortCircuited {
+                    term.short_circuit();
+                }
+                term.task_completed();
+            }
+            None => {
+                if term.all_done() {
+                    break;
+                }
+                // Exponential-ish backoff: spin briefly, then sleep so idle
+                // workers do not starve the busy ones on small machines.
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins < 16 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    driver.merge(partial);
+    metrics
+}
+
+/// Execute one task: process its root; above the cutoff spawn children as
+/// new tasks, otherwise explore the subtree sequentially.
+#[allow(clippy::too_many_arguments)]
+fn execute_task<P, D>(
+    problem: &P,
+    driver: &D,
+    partial: &mut D::Partial,
+    metrics: &mut WorkerMetrics,
+    pool: &DepthPool<P::Node>,
+    term: &Termination,
+    dcutoff: usize,
+    task: Task<P::Node>,
+) -> Flow
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    if task.depth < dcutoff {
+        metrics.nodes += 1;
+        metrics.max_depth = metrics.max_depth.max(task.depth as u64);
+        match driver.process(problem, &task.node, partial) {
+            Action::Expand => {}
+            Action::Prune | Action::PruneSiblings => {
+                metrics.prunes += 1;
+                return Flow::Completed;
+            }
+            Action::ShortCircuit => return Flow::ShortCircuited,
+        }
+        // Spawn each child as a task, preserving heuristic order.  Register
+        // the spawns before pushing so the termination counter can never
+        // observe an empty system while tasks exist.
+        let children: Vec<Task<P::Node>> = problem
+            .generator(&task.node)
+            .map(|child| Task::new(child, task.depth + 1))
+            .collect();
+        term.task_spawned(children.len() as u64);
+        metrics.spawns += children.len() as u64;
+        pool.push_all(children);
+        Flow::Completed
+    } else {
+        explore_subtree(problem, driver, partial, metrics, Some(term), &task.node, task.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::Sum;
+    use crate::objective::Enumerate;
+    use crate::skeleton::driver::EnumDriver;
+
+    struct Fanout {
+        depth: usize,
+        width: usize,
+    }
+
+    impl SearchProblem for Fanout {
+        type Node = usize;
+        type Gen<'a> = std::vec::IntoIter<usize>;
+        fn root(&self) -> usize {
+            0
+        }
+        fn generator(&self, node: &usize) -> Self::Gen<'_> {
+            if *node < self.depth {
+                vec![node + 1; self.width].into_iter()
+            } else {
+                vec![].into_iter()
+            }
+        }
+    }
+
+    impl Enumerate for Fanout {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &usize) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    fn expected_nodes(depth: usize, width: usize) -> u64 {
+        (0..=depth).map(|d| (width as u64).pow(d as u32)).sum()
+    }
+
+    #[test]
+    fn counts_match_for_various_cutoffs() {
+        let p = Fanout { depth: 5, width: 3 };
+        let cfg = SearchConfig {
+            workers: 3,
+            ..SearchConfig::default()
+        };
+        for dcutoff in [0, 1, 2, 5, 10] {
+            let driver = EnumDriver::<Fanout>::new();
+            let (metrics, _) = run(&p, &driver, &cfg, dcutoff);
+            assert_eq!(driver.into_value(), Sum(expected_nodes(5, 3)), "dcutoff={dcutoff}");
+            let total: u64 = metrics.iter().map(|m| m.nodes).sum();
+            assert_eq!(total, expected_nodes(5, 3));
+        }
+    }
+
+    #[test]
+    fn cutoff_zero_spawns_nothing() {
+        let p = Fanout { depth: 4, width: 2 };
+        let cfg = SearchConfig {
+            workers: 2,
+            ..SearchConfig::default()
+        };
+        let driver = EnumDriver::<Fanout>::new();
+        let (metrics, _) = run(&p, &driver, &cfg, 0);
+        assert_eq!(metrics.iter().map(|m| m.spawns).sum::<u64>(), 0);
+        assert_eq!(driver.into_value(), Sum(expected_nodes(4, 2)));
+    }
+
+    #[test]
+    fn deep_cutoff_spawns_every_internal_node_expansion() {
+        let p = Fanout { depth: 3, width: 2 };
+        let cfg = SearchConfig {
+            workers: 2,
+            ..SearchConfig::default()
+        };
+        let driver = EnumDriver::<Fanout>::new();
+        let (metrics, _) = run(&p, &driver, &cfg, 100);
+        // Every node except the root is spawned as a task.
+        assert_eq!(
+            metrics.iter().map(|m| m.spawns).sum::<u64>(),
+            expected_nodes(3, 2) - 1
+        );
+        assert_eq!(driver.into_value(), Sum(expected_nodes(3, 2)));
+    }
+}

@@ -1,0 +1,295 @@
+//! The 12 search skeletons: {Sequential, Depth-Bounded, Stack-Stealing,
+//! Budget} × {Enumeration, Decision, Optimisation}.
+//!
+//! A [`Skeleton`] is configured with a [`Coordination`] (and optionally a
+//! worker count and steal seed) and then applied to a search problem through
+//! one of three entry points, one per search type:
+//!
+//! * [`Skeleton::enumerate`] — fold the whole tree into a monoid,
+//! * [`Skeleton::maximise`] — branch-and-bound optimisation returning the
+//!   best node found and its objective value,
+//! * [`Skeleton::decide`] — decision search returning a witness node as soon
+//!   as the target objective is reached.
+//!
+//! This mirrors the paper's composition model (Fig. 3 and Listing 5): the
+//! user picks a coordination, supplies a lazy node generator (a
+//! [`SearchProblem`] impl) and chooses the search type; everything else is
+//! generic library code.
+
+pub(crate) mod budget;
+pub(crate) mod depth_bounded;
+pub(crate) mod driver;
+pub(crate) mod sequential;
+pub(crate) mod stack_stealing;
+
+use std::time::Duration;
+
+use crate::metrics::{Metrics, WorkerMetrics};
+use crate::node::SearchProblem;
+use crate::objective::{Decide, Enumerate, Optimise};
+use crate::params::{Coordination, SearchConfig};
+
+use driver::{DecideDriver, Driver, EnumDriver, OptimDriver};
+
+/// Result of an enumeration search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumOutcome<V> {
+    /// The monoid fold of the objective over every node of the search tree.
+    pub value: V,
+    /// Execution metrics (nodes, prunes, spawns, steals, elapsed time, …).
+    pub metrics: Metrics,
+}
+
+/// Result of an optimisation search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimOutcome<N, S> {
+    /// The maximal node found and its objective value.  `None` only if the
+    /// search was unable to record any node (never happens for a well-formed
+    /// problem, whose root is always processed).
+    pub best: Option<(N, S)>,
+    /// Execution metrics.
+    pub metrics: Metrics,
+}
+
+impl<N, S> OptimOutcome<N, S> {
+    /// The witness node (panics if the search recorded no node).
+    pub fn node(&self) -> &N {
+        &self.best.as_ref().expect("optimisation search always records the root").0
+    }
+
+    /// The maximal objective value (panics if the search recorded no node).
+    pub fn score(&self) -> &S {
+        &self.best.as_ref().expect("optimisation search always records the root").1
+    }
+}
+
+/// Result of a decision search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecideOutcome<N> {
+    /// A node witnessing the target objective, or `None` if the whole tree
+    /// was explored without reaching the target.
+    pub witness: Option<N>,
+    /// Execution metrics.
+    pub metrics: Metrics,
+}
+
+impl<N> DecideOutcome<N> {
+    /// True if the target objective was reached.
+    pub fn found(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// A configured search skeleton (coordination + worker count).
+///
+/// ```
+/// use yewpar::{Coordination, Skeleton};
+/// let skel = Skeleton::new(Coordination::budget(1_000)).workers(4);
+/// assert_eq!(skel.config().workers, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    config: SearchConfig,
+}
+
+impl Skeleton {
+    /// A skeleton for the given coordination with a default worker count
+    /// (one worker for Sequential, all available cores otherwise).
+    pub fn new(coordination: Coordination) -> Self {
+        Skeleton {
+            config: SearchConfig::new(coordination),
+        }
+    }
+
+    /// A skeleton from a full [`SearchConfig`].
+    pub fn from_config(config: SearchConfig) -> Self {
+        Skeleton { config }
+    }
+
+    /// Set the number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Set the seed used for random victim selection.
+    pub fn steal_seed(mut self, seed: u64) -> Self {
+        self.config.steal_seed = seed;
+        self
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Run an enumeration search: fold the objective of every node of the
+    /// search tree into the accumulator monoid.
+    pub fn enumerate<P: Enumerate>(&self, problem: &P) -> EnumOutcome<P::Value> {
+        let driver = EnumDriver::<P>::new();
+        let (workers, elapsed) = run_coordination(problem, &driver, &self.config);
+        EnumOutcome {
+            value: driver.into_value(),
+            metrics: Metrics::from_workers(workers, elapsed),
+        }
+    }
+
+    /// Run an optimisation search: find a node maximising the objective,
+    /// pruning subtrees whose bound cannot beat the incumbent.
+    pub fn maximise<P: Optimise>(&self, problem: &P) -> OptimOutcome<P::Node, P::Score> {
+        let driver = OptimDriver::<P>::new();
+        let (workers, elapsed) = run_coordination(problem, &driver, &self.config);
+        let mut metrics = Metrics::from_workers(workers, elapsed);
+        metrics.totals.incumbent_updates = driver.incumbent_updates();
+        OptimOutcome {
+            best: driver.into_best(),
+            metrics,
+        }
+    }
+
+    /// Run a decision search: stop as soon as a node reaches the target
+    /// objective and return it as a witness.
+    pub fn decide<P: Decide>(&self, problem: &P) -> DecideOutcome<P::Node> {
+        let driver = DecideDriver::<P>::new(problem.target());
+        let (workers, elapsed) = run_coordination(problem, &driver, &self.config);
+        let mut metrics = Metrics::from_workers(workers, elapsed);
+        metrics.totals.incumbent_updates = driver.incumbent_updates();
+        DecideOutcome {
+            witness: driver.into_witness(),
+            metrics,
+        }
+    }
+}
+
+/// Dispatch a driver over the configured coordination.
+fn run_coordination<P, D>(problem: &P, driver: &D, config: &SearchConfig) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    config.validate().expect("invalid skeleton configuration");
+    match config.coordination {
+        Coordination::Sequential => sequential::run(problem, driver),
+        Coordination::DepthBounded { dcutoff } => depth_bounded::run(problem, driver, config, dcutoff),
+        Coordination::StackStealing { chunked } => stack_stealing::run(problem, driver, config, chunked),
+        Coordination::Budget { backtracks } => budget::run(problem, driver, config, backtracks),
+    }
+}
+
+/// All four coordinations, convenient for "try every skeleton" sweeps such as
+/// the Table 2 experiment.
+pub fn all_coordinations(dcutoff: usize, budget: u64, chunked: bool) -> Vec<Coordination> {
+    vec![
+        Coordination::Sequential,
+        Coordination::DepthBounded { dcutoff },
+        Coordination::StackStealing { chunked },
+        Coordination::Budget { backtracks: budget },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::Sum;
+
+    /// An irregular synthetic tree: node value is a state, children shrink.
+    struct Irregular {
+        depth: usize,
+    }
+
+    impl SearchProblem for Irregular {
+        type Node = (usize, u64);
+        type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+        fn root(&self) -> (usize, u64) {
+            (0, 1)
+        }
+        fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+            let (depth, seed) = *node;
+            if depth >= self.depth {
+                return vec![].into_iter();
+            }
+            let fanout = (seed % 4) as usize + 1;
+            (0..fanout)
+                .map(|i| (depth + 1, seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)))
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl Enumerate for Irregular {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    impl Optimise for Irregular {
+        type Score = u64;
+        fn objective(&self, node: &(usize, u64)) -> u64 {
+            node.1 % 1000
+        }
+        fn bound(&self, _node: &(usize, u64)) -> Option<u64> {
+            Some(1000)
+        }
+    }
+
+    impl Decide for Irregular {
+        fn target(&self) -> u64 {
+            990
+        }
+    }
+
+    fn reference_count(p: &Irregular) -> u64 {
+        crate::node::subtree_size(p, &p.root())
+    }
+
+    #[test]
+    fn all_skeletons_count_the_same_tree() {
+        let p = Irregular { depth: 8 };
+        let expected = reference_count(&p);
+        for coord in all_coordinations(2, 50, true) {
+            let out = Skeleton::new(coord).workers(3).enumerate(&p);
+            assert_eq!(out.value.0, expected, "coordination {coord} returned a wrong count");
+            assert_eq!(out.metrics.nodes(), expected, "every node must be processed exactly once");
+        }
+    }
+
+    #[test]
+    fn all_skeletons_agree_on_the_optimum() {
+        let p = Irregular { depth: 7 };
+        let seq = Skeleton::new(Coordination::Sequential).maximise(&p);
+        for coord in all_coordinations(3, 25, false) {
+            let out = Skeleton::new(coord).workers(3).maximise(&p);
+            assert_eq!(out.score(), seq.score(), "coordination {coord} found a different optimum");
+        }
+    }
+
+    #[test]
+    fn decision_finds_a_witness_with_every_skeleton() {
+        let p = Irregular { depth: 9 };
+        for coord in all_coordinations(2, 10, true) {
+            let out = Skeleton::new(coord).workers(3).decide(&p);
+            if let Some(w) = &out.witness {
+                assert!(p.objective(w) >= 990, "witness does not reach the target");
+            }
+            // The witness existence must agree with the sequential result.
+            let seq = Skeleton::new(Coordination::Sequential).decide(&p);
+            assert_eq!(out.found(), seq.found(), "coordination {coord} disagrees on decidability");
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let p = Irregular { depth: 4 };
+        let out = Skeleton::new(Coordination::Sequential).maximise(&p);
+        assert_eq!(p.objective(out.node()), *out.score());
+        let dec = Skeleton::new(Coordination::Sequential).decide(&p);
+        assert_eq!(dec.found(), dec.witness.is_some());
+    }
+
+    #[test]
+    fn skeleton_builder_clamps_zero_workers() {
+        let skel = Skeleton::new(Coordination::depth_bounded(1)).workers(0);
+        assert_eq!(skel.config().workers, 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sequential search coordination (paper Listing 2).
+//!
+//! A single worker performs a depth-first traversal from the root using a
+//! stack of lazy node generators.  This module also provides
+//! [`explore_subtree`], the sequential inner loop reused by the parallel
+//! coordinations once a task is small enough (or deep enough) to be explored
+//! without further splitting.
+
+use std::time::{Duration, Instant};
+
+use super::driver::{Action, Driver};
+use crate::genstack::GenStack;
+use crate::metrics::WorkerMetrics;
+use crate::node::SearchProblem;
+use crate::termination::Termination;
+
+/// How a (sub)search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// The subtree was fully explored (or pruned away).
+    Completed,
+    /// A short-circuit was requested: the caller must stop the whole search.
+    ShortCircuited,
+}
+
+/// Run the Sequential skeleton: process the root and explore its subtree in
+/// a single worker.
+pub(crate) fn run<P, D>(problem: &P, driver: &D) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let start = Instant::now();
+    let mut metrics = WorkerMetrics::default();
+    let mut partial = driver.new_partial();
+    let root = problem.root();
+    let _ = explore_subtree(problem, driver, &mut partial, &mut metrics, None, &root, 0);
+    driver.merge(partial);
+    (vec![metrics], start.elapsed())
+}
+
+/// Depth-first exploration of the subtree rooted at `node` (which is
+/// processed first), with no work splitting.
+///
+/// If `term` is provided the loop polls its short-circuit flag so that a
+/// decision target found by another worker stops this worker promptly.
+pub(crate) fn explore_subtree<P, D>(
+    problem: &P,
+    driver: &D,
+    partial: &mut D::Partial,
+    metrics: &mut WorkerMetrics,
+    term: Option<&Termination>,
+    node: &P::Node,
+    node_depth: usize,
+) -> Flow
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    metrics.nodes += 1;
+    metrics.max_depth = metrics.max_depth.max(node_depth as u64);
+    match driver.process(problem, node, partial) {
+        Action::Expand => {}
+        Action::Prune | Action::PruneSiblings => {
+            metrics.prunes += 1;
+            return Flow::Completed;
+        }
+        Action::ShortCircuit => return Flow::ShortCircuited,
+    }
+
+    let mut stack = GenStack::new();
+    stack.push(problem, node, node_depth);
+    while !stack.is_empty() {
+        if let Some(term) = term {
+            if term.short_circuited() {
+                return Flow::ShortCircuited;
+            }
+        }
+        match stack.next_child() {
+            Some((child, depth)) => {
+                metrics.nodes += 1;
+                metrics.max_depth = metrics.max_depth.max(depth as u64);
+                match driver.process(problem, &child, partial) {
+                    Action::Expand => stack.push(problem, &child, depth),
+                    Action::Prune => metrics.prunes += 1,
+                    Action::PruneSiblings => {
+                        // The generator yields children in non-increasing
+                        // bound order: the failed check also disposes of the
+                        // unexplored later siblings.
+                        metrics.prunes += 1;
+                        stack.pop();
+                        metrics.backtracks += 1;
+                    }
+                    Action::ShortCircuit => return Flow::ShortCircuited,
+                }
+            }
+            None => {
+                stack.pop();
+                metrics.backtracks += 1;
+            }
+        }
+    }
+    Flow::Completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::Sum;
+    use crate::objective::{Decide, Enumerate, Optimise};
+    use crate::skeleton::driver::{DecideDriver, EnumDriver, OptimDriver};
+
+    /// Complete binary tree of a fixed depth; node = (depth, label).
+    struct Bin {
+        depth: usize,
+    }
+
+    impl SearchProblem for Bin {
+        type Node = (usize, u64);
+        type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+        fn root(&self) -> (usize, u64) {
+            (0, 1)
+        }
+        fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+            if node.0 < self.depth {
+                vec![(node.0 + 1, node.1 * 2), (node.0 + 1, node.1 * 2 + 1)].into_iter()
+            } else {
+                vec![].into_iter()
+            }
+        }
+    }
+
+    impl Enumerate for Bin {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    impl Optimise for Bin {
+        type Score = u64;
+        fn objective(&self, node: &(usize, u64)) -> u64 {
+            node.1
+        }
+    }
+
+    impl Decide for Bin {
+        fn target(&self) -> u64 {
+            6
+        }
+    }
+
+    #[test]
+    fn sequential_counts_complete_binary_tree() {
+        let p = Bin { depth: 10 };
+        let driver = EnumDriver::<Bin>::new();
+        let (metrics, _) = run(&p, &driver);
+        assert_eq!(driver.into_value(), Sum(2u64.pow(11) - 1));
+        assert_eq!(metrics[0].nodes, 2u64.pow(11) - 1);
+        assert_eq!(metrics[0].max_depth, 10);
+        assert!(metrics[0].backtracks > 0);
+    }
+
+    #[test]
+    fn sequential_finds_the_maximum_label() {
+        let p = Bin { depth: 6 };
+        let driver = OptimDriver::<Bin>::new();
+        let (_, _) = run(&p, &driver);
+        // Deepest-rightmost label is 2^(d+1) - 1.
+        assert_eq!(driver.into_best().map(|(_, s)| s), Some(2u64.pow(7) - 1));
+    }
+
+    #[test]
+    fn sequential_decision_short_circuits_before_visiting_everything() {
+        let p = Bin { depth: 12 };
+        let driver = DecideDriver::<Bin>::new(6);
+        let (metrics, _) = run(&p, &driver);
+        let witness = driver.into_witness().expect("label 6 exists in the tree");
+        assert!(witness.1 >= 6);
+        // Label 6 is found on the left-ish side of the tree quickly: the
+        // short-circuit must avoid exploring the vast majority of nodes.
+        assert!(
+            metrics[0].nodes < 100,
+            "expected early termination, visited {} nodes",
+            metrics[0].nodes
+        );
+    }
+
+    #[test]
+    fn explore_subtree_respects_external_short_circuit() {
+        let p = Bin { depth: 16 };
+        let driver = EnumDriver::<Bin>::new();
+        let mut partial = driver.new_partial();
+        let mut metrics = WorkerMetrics::default();
+        let term = Termination::new(1);
+        term.short_circuit();
+        let flow = explore_subtree(&p, &driver, &mut partial, &mut metrics, Some(&term), &p.root(), 0);
+        assert_eq!(flow, Flow::ShortCircuited);
+        assert!(metrics.nodes <= 2, "the poll happens before each expansion");
+    }
+}

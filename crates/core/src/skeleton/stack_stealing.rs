@@ -1,0 +1,402 @@
+//! Stack-Stealing search coordination (the (spawn-stack) rule, paper
+//! Listing 3).
+//!
+//! Work is split *on demand*: an idle worker (thief) sends a steal request
+//! over a channel to a randomly chosen victim; the victim polls its request
+//! channel on every expansion step and, when asked, scans its generator
+//! stack bottom-up and gives away its lowest-depth unexplored subtree (or
+//! every sibling at that depth when the `chunked` flag is set).  There is no
+//! shared workpool — tasks travel directly from victim to thief, with the
+//! termination counter tracking tasks in flight.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::driver::{Action, Driver};
+use crate::genstack::GenStack;
+use super::sequential::Flow;
+use crate::metrics::WorkerMetrics;
+use crate::node::SearchProblem;
+use crate::params::SearchConfig;
+use crate::termination::Termination;
+use crate::workpool::Task;
+
+/// A steal request carrying the channel on which the victim should reply.
+struct StealRequest<N> {
+    reply: Sender<Vec<Task<N>>>,
+}
+
+/// Run the Stack-Stealing coordination.
+pub(crate) fn run<P, D>(
+    problem: &P,
+    driver: &D,
+    config: &SearchConfig,
+    chunked: bool,
+) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let start = Instant::now();
+    let workers = config.workers.max(1);
+    let term = Termination::new(1);
+    let poisoned = AtomicBool::new(false);
+
+    // One steal-request channel per worker.  Requests are bounded so thieves
+    // cannot pile up unbounded requests on a busy victim.
+    let mut senders = Vec::with_capacity(workers);
+    let mut receivers = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = bounded::<StealRequest<P::Node>>(workers);
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let mut all_metrics = vec![WorkerMetrics::default(); workers];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (id, slot) in receivers.iter_mut().enumerate() {
+            let rx = slot.take().expect("receiver taken once");
+            let senders = senders.clone();
+            let term = &term;
+            let initial = if id == 0 { Some(Task::new(problem.root(), 0)) } else { None };
+            handles.push(scope.spawn(move || {
+                worker_loop(
+                    problem,
+                    driver,
+                    term,
+                    WorkerLinks {
+                        id,
+                        rx,
+                        senders,
+                        chunked,
+                        seed: config.steal_seed,
+                    },
+                    initial,
+                )
+            }));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(metrics) => all_metrics[i] = metrics,
+                Err(_) => poisoned.store(true, Ordering::Relaxed),
+            }
+        }
+    });
+    if poisoned.load(Ordering::Relaxed) {
+        panic!("a stack-stealing search worker panicked");
+    }
+    (all_metrics, start.elapsed())
+}
+
+/// The communication endpoints of one worker.
+struct WorkerLinks<N> {
+    id: usize,
+    rx: Receiver<StealRequest<N>>,
+    senders: Vec<Sender<StealRequest<N>>>,
+    chunked: bool,
+    seed: u64,
+}
+
+fn worker_loop<P, D>(
+    problem: &P,
+    driver: &D,
+    term: &Termination,
+    links: WorkerLinks<P::Node>,
+    initial: Option<Task<P::Node>>,
+) -> WorkerMetrics
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let mut metrics = WorkerMetrics::default();
+    let mut partial = driver.new_partial();
+    let mut rng = SmallRng::seed_from_u64(links.seed ^ (links.id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    // Tasks this worker owns but has not started yet (stolen chunks, or work
+    // it failed to hand over to a thief).
+    let mut backlog: Vec<Task<P::Node>> = Vec::new();
+    if let Some(task) = initial {
+        backlog.push(task);
+    }
+
+    loop {
+        if term.finished() {
+            break;
+        }
+        if let Some(task) = pop_front(&mut backlog) {
+            let flow = execute_task(problem, driver, &mut partial, &mut metrics, term, &links, &mut backlog, task);
+            if flow == Flow::ShortCircuited {
+                term.short_circuit();
+            }
+            term.task_completed();
+            continue;
+        }
+        // Idle: answer any pending requests with "no work", then try to steal.
+        drain_requests_empty(&links.rx);
+        if term.finished() || links.senders.len() <= 1 {
+            if links.senders.len() <= 1 {
+                // Single worker: no one to steal from; if our backlog is
+                // empty the search must be over (or short-circuited).
+                if term.finished() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(20));
+                continue;
+            }
+            break;
+        }
+        match attempt_steal(term, &links, &mut rng) {
+            Some(tasks) => {
+                metrics.steals += 1;
+                backlog.extend(tasks);
+            }
+            None => {
+                metrics.failed_steals += 1;
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+    }
+
+    driver.merge(partial);
+    metrics
+}
+
+fn pop_front<T>(backlog: &mut Vec<T>) -> Option<T> {
+    if backlog.is_empty() {
+        None
+    } else {
+        Some(backlog.remove(0))
+    }
+}
+
+/// Reply "no work" to any queued requests so thieves do not wait for the
+/// full timeout when the victim is itself idle.
+fn drain_requests_empty<N>(rx: &Receiver<StealRequest<N>>) {
+    while let Ok(req) = rx.try_recv() {
+        let _ = req.reply.send(Vec::new());
+    }
+}
+
+/// Pick a random victim and ask it for work.
+fn attempt_steal<N>(
+    term: &Termination,
+    links: &WorkerLinks<N>,
+    rng: &mut SmallRng,
+) -> Option<Vec<Task<N>>> {
+    let n = links.senders.len();
+    let victim = {
+        let mut v = rng.gen_range(0..n - 1);
+        if v >= links.id {
+            v += 1;
+        }
+        v
+    };
+    let (reply_tx, reply_rx) = bounded(1);
+    if links.senders[victim].try_send(StealRequest { reply: reply_tx }).is_err() {
+        return None;
+    }
+    // Wait briefly for the victim to respond; victims poll their channel on
+    // every expansion step so the latency is typically a handful of node
+    // expansions.
+    let deadline = Instant::now() + Duration::from_millis(2);
+    loop {
+        match reply_rx.recv_timeout(Duration::from_micros(200)) {
+            Ok(tasks) if tasks.is_empty() => return None,
+            Ok(tasks) => return Some(tasks),
+            Err(_) => {
+                if term.finished() || Instant::now() >= deadline {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Execute one task, answering steal requests on every expansion step.
+#[allow(clippy::too_many_arguments)]
+fn execute_task<P, D>(
+    problem: &P,
+    driver: &D,
+    partial: &mut D::Partial,
+    metrics: &mut WorkerMetrics,
+    term: &Termination,
+    links: &WorkerLinks<P::Node>,
+    backlog: &mut Vec<Task<P::Node>>,
+    task: Task<P::Node>,
+) -> Flow
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    metrics.nodes += 1;
+    metrics.max_depth = metrics.max_depth.max(task.depth as u64);
+    match driver.process(problem, &task.node, partial) {
+        Action::Expand => {}
+        Action::Prune | Action::PruneSiblings => {
+            metrics.prunes += 1;
+            return Flow::Completed;
+        }
+        Action::ShortCircuit => return Flow::ShortCircuited,
+    }
+
+    let mut stack = GenStack::new();
+    stack.push(problem, &task.node, task.depth);
+
+    while !stack.is_empty() {
+        if term.short_circuited() {
+            return Flow::ShortCircuited;
+        }
+        // Serve at most one steal request per expansion step (mirrors the
+        // per-iteration check in Listing 3).
+        match links.rx.try_recv() {
+            Ok(request) => serve_steal(term, metrics, backlog, &mut stack, request, links.chunked),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
+        }
+        match stack.next_child() {
+            Some((child, depth)) => {
+                metrics.nodes += 1;
+                metrics.max_depth = metrics.max_depth.max(depth as u64);
+                match driver.process(problem, &child, partial) {
+                    Action::Expand => stack.push(problem, &child, depth),
+                    Action::Prune => metrics.prunes += 1,
+                    Action::PruneSiblings => {
+                        metrics.prunes += 1;
+                        stack.pop();
+                        metrics.backtracks += 1;
+                    }
+                    Action::ShortCircuit => return Flow::ShortCircuited,
+                }
+            }
+            None => {
+                stack.pop();
+                metrics.backtracks += 1;
+            }
+        }
+    }
+    Flow::Completed
+}
+
+/// Give the requester the lowest-depth unexplored subtree(s) of `stack`.
+fn serve_steal<N>(
+    term: &Termination,
+    metrics: &mut WorkerMetrics,
+    backlog: &mut Vec<Task<N>>,
+    stack: &mut GenStack<'_, impl SearchProblem<Node = N>>,
+    request: StealRequest<N>,
+    chunked: bool,
+) where
+    N: Clone + Send + 'static,
+{
+    let stolen = stack.split_lowest(chunked);
+    if stolen.is_empty() {
+        let _ = request.reply.send(Vec::new());
+        return;
+    }
+    // Register the new tasks before they leave this worker so the
+    // termination counter never under-counts live work.
+    term.task_spawned(stolen.len() as u64);
+    metrics.spawns += stolen.len() as u64;
+    if let Err(send_err) = request.reply.send(stolen) {
+        // The thief gave up waiting (or the search is finishing).  The
+        // subtrees were already removed from our generator stack, so keep
+        // them in our own backlog; they remain registered as outstanding
+        // tasks and will be completed when we execute them ourselves.
+        backlog.extend(send_err.into_inner());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::Sum;
+    use crate::objective::{Decide, Enumerate, Optimise};
+    use crate::skeleton::driver::{DecideDriver, EnumDriver};
+
+    struct Wide {
+        depth: usize,
+    }
+
+    impl SearchProblem for Wide {
+        type Node = (usize, u64);
+        type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+        fn root(&self) -> (usize, u64) {
+            (0, 7)
+        }
+        fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+            let (depth, seed) = *node;
+            if depth >= self.depth {
+                return vec![].into_iter();
+            }
+            let width = (seed % 3 + 2) as usize;
+            (0..width)
+                .map(|i| (depth + 1, seed.wrapping_mul(2862933555777941757).wrapping_add(i as u64)))
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl Enumerate for Wide {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    impl Optimise for Wide {
+        type Score = u64;
+        fn objective(&self, node: &(usize, u64)) -> u64 {
+            node.1 % 101
+        }
+    }
+
+    impl Decide for Wide {
+        fn target(&self) -> u64 {
+            100
+        }
+    }
+
+    fn config(workers: usize) -> SearchConfig {
+        SearchConfig {
+            workers,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_worker_stack_stealing_degenerates_to_sequential() {
+        let p = Wide { depth: 6 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let driver = EnumDriver::<Wide>::new();
+        let (metrics, _) = run(&p, &driver, &config(1), false);
+        assert_eq!(driver.into_value(), Sum(expected));
+        assert_eq!(metrics[0].steals, 0);
+    }
+
+    #[test]
+    fn multi_worker_counts_match_with_and_without_chunking() {
+        let p = Wide { depth: 8 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        for chunked in [false, true] {
+            let driver = EnumDriver::<Wide>::new();
+            let (metrics, _) = run(&p, &driver, &config(4), chunked);
+            assert_eq!(driver.into_value(), Sum(expected), "chunked={chunked}");
+            let total: u64 = metrics.iter().map(|m| m.nodes).sum();
+            assert_eq!(total, expected);
+        }
+    }
+
+    #[test]
+    fn decision_short_circuit_terminates_all_workers() {
+        let p = Wide { depth: 20 };
+        let driver = DecideDriver::<Wide>::new(100);
+        let (_, elapsed) = run(&p, &driver, &config(3), true);
+        // A value ≡ 100 (mod 101) appears quickly in this pseudo-random
+        // labelling; the whole (enormous) tree is certainly not explored.
+        assert!(elapsed < Duration::from_secs(30));
+        assert!(driver.into_witness().is_some());
+    }
+}

@@ -1,0 +1,147 @@
+//! Distributed termination detection and global short-circuiting.
+//!
+//! The parallel coordinations need to know when the whole search has
+//! finished: the search is complete when every spawned task has been fully
+//! explored and no worker holds work (the semantics' final configuration
+//! `⟨σ, [], ⊥, …, ⊥⟩`).  [`Termination`] implements this with a single
+//! outstanding-task counter: the counter is incremented *before* a task
+//! becomes visible to other workers (pushed to a pool or handed to a thief)
+//! and decremented when the task's subtree has been fully explored, so it
+//! can only reach zero once no task exists anywhere in the system.
+//!
+//! Decision searches additionally short-circuit: the first worker to witness
+//! the target sets a global stop flag (the (shortcircuit) rule) that all
+//! loops poll.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared termination state for one skeleton execution.
+#[derive(Debug, Default)]
+pub struct Termination {
+    outstanding: AtomicU64,
+    done: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl Termination {
+    /// Create termination state with `initial` outstanding tasks.
+    pub fn new(initial: u64) -> Self {
+        Termination {
+            outstanding: AtomicU64::new(initial),
+            done: AtomicBool::new(initial == 0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Register `n` newly spawned tasks.  Must be called before the tasks
+    /// become visible to any other worker.
+    pub fn task_spawned(&self, n: u64) {
+        if n > 0 {
+            self.outstanding.fetch_add(n, Ordering::AcqRel);
+        }
+    }
+
+    /// Register the completion of one task.  Returns `true` if this was the
+    /// last outstanding task (the caller observed global completion).
+    pub fn task_completed(&self) -> bool {
+        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "task_completed called with no outstanding task");
+        if prev == 1 {
+            self.done.store(true, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of outstanding (spawned but not yet completed) tasks.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// True once every task has completed.
+    pub fn all_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Request a global short-circuit (decision target found).
+    pub fn short_circuit(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// True if a short-circuit has been requested.
+    pub fn short_circuited(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// True if workers should stop looking for work, either because the
+    /// search completed or because it was short-circuited.
+    pub fn finished(&self) -> bool {
+        self.all_done() || self.short_circuited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_initial_tasks_is_immediately_done() {
+        let t = Termination::new(0);
+        assert!(t.all_done());
+        assert!(t.finished());
+    }
+
+    #[test]
+    fn completion_of_last_task_sets_done() {
+        let t = Termination::new(1);
+        assert!(!t.all_done());
+        t.task_spawned(2);
+        assert_eq!(t.outstanding(), 3);
+        assert!(!t.task_completed());
+        assert!(!t.task_completed());
+        assert!(t.task_completed());
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn short_circuit_finishes_without_draining() {
+        let t = Termination::new(5);
+        assert!(!t.finished());
+        t.short_circuit();
+        assert!(t.short_circuited());
+        assert!(t.finished());
+        assert!(!t.all_done());
+    }
+
+    #[test]
+    fn spawning_zero_tasks_is_a_noop() {
+        let t = Termination::new(1);
+        t.task_spawned(0);
+        assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    fn concurrent_spawn_complete_balance() {
+        let t = Arc::new(Termination::new(1));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        t.task_spawned(1);
+                        t.task_completed();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.outstanding(), 1);
+        assert!(!t.all_done());
+        t.task_completed();
+        assert!(t.all_done());
+    }
+}

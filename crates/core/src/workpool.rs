@@ -1,0 +1,223 @@
+//! Order-preserving workpools.
+//!
+//! Generic deque-based work stealing visits tasks in LIFO order on the owner
+//! and steals FIFO from the other end, which destroys the heuristic ordering
+//! that search applications depend on (paper §2.3).  YewPar instead uses a
+//! bespoke *order-preserving* workpool (§4.3): tasks are prioritised by the
+//! depth at which they were generated — shallower subtrees are expected to be
+//! larger and are handed out first — and within a depth tasks are served in
+//! FIFO order, i.e. exactly the heuristic order in which the lazy node
+//! generator produced them.
+//!
+//! [`DepthPool`] implements that policy behind a mutex.  The pool is shared
+//! by all workers of a locality; for the cluster-scale experiments the
+//! discrete-event simulator (`yewpar-sim`) instantiates one pool per
+//! simulated locality.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A task tagged with the tree depth of its root node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task<N> {
+    /// The root node of the subtree this task must explore.
+    pub node: N,
+    /// Depth of `node` in the global search tree (root = 0).
+    pub depth: usize,
+}
+
+impl<N> Task<N> {
+    /// Convenience constructor.
+    pub fn new(node: N, depth: usize) -> Self {
+        Task { node, depth }
+    }
+}
+
+/// An order-preserving workpool: lowest depth first, FIFO within a depth.
+#[derive(Debug)]
+pub struct DepthPool<N> {
+    inner: Mutex<PoolInner<N>>,
+}
+
+#[derive(Debug)]
+struct PoolInner<N> {
+    by_depth: BTreeMap<usize, VecDeque<Task<N>>>,
+    len: usize,
+}
+
+impl<N> Default for DepthPool<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> DepthPool<N> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        DepthPool {
+            inner: Mutex::new(PoolInner {
+                by_depth: BTreeMap::new(),
+                len: 0,
+            }),
+        }
+    }
+
+    /// Add a task to the pool (appended after existing tasks of equal depth,
+    /// preserving heuristic order).
+    pub fn push(&self, task: Task<N>) {
+        let mut inner = self.inner.lock();
+        inner.by_depth.entry(task.depth).or_default().push_back(task);
+        inner.len += 1;
+    }
+
+    /// Add several tasks, preserving their relative (heuristic) order.
+    pub fn push_all(&self, tasks: impl IntoIterator<Item = Task<N>>) {
+        let mut inner = self.inner.lock();
+        for task in tasks {
+            inner.by_depth.entry(task.depth).or_default().push_back(task);
+            inner.len += 1;
+        }
+    }
+
+    /// Remove and return the highest-priority task: the oldest task at the
+    /// shallowest populated depth.
+    pub fn pop(&self) -> Option<Task<N>> {
+        let mut inner = self.inner.lock();
+        let depth = *inner.by_depth.keys().next()?;
+        let queue = inner.by_depth.get_mut(&depth).expect("key just observed");
+        let task = queue.pop_front();
+        if queue.is_empty() {
+            inner.by_depth.remove(&depth);
+        }
+        if task.is_some() {
+            inner.len -= 1;
+        }
+        task
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard every queued task, returning how many were dropped.  Used when
+    /// a decision search short-circuits.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let dropped = inner.len;
+        inner.by_depth.clear();
+        inner.len = 0;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_lowest_depth_first() {
+        let pool = DepthPool::new();
+        pool.push(Task::new("deep", 5));
+        pool.push(Task::new("shallow", 1));
+        pool.push(Task::new("mid", 3));
+        assert_eq!(pool.pop().unwrap().node, "shallow");
+        assert_eq!(pool.pop().unwrap().node, "mid");
+        assert_eq!(pool.pop().unwrap().node, "deep");
+        assert!(pool.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_a_depth_preserves_heuristic_order() {
+        let pool = DepthPool::new();
+        pool.push_all((0..10).map(|i| Task::new(i, 2)));
+        let order: Vec<i32> = std::iter::from_fn(|| pool.pop().map(|t| t.node)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let pool = DepthPool::new();
+        assert!(pool.is_empty());
+        pool.push_all([Task::new(1, 0), Task::new(2, 1), Task::new(3, 1)]);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.clear(), 3);
+        assert!(pool.is_empty());
+        assert!(pool.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_never_loses_tasks() {
+        let pool = DepthPool::new();
+        pool.push(Task::new(0u32, 0));
+        let mut popped = 0;
+        for i in 1..100u32 {
+            pool.push(Task::new(i, (i % 7) as usize));
+            if i % 3 == 0 {
+                assert!(pool.pop().is_some());
+                popped += 1;
+            }
+        }
+        assert_eq!(pool.len(), 100 - popped);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_drain_exactly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = Arc::new(DepthPool::new());
+        let consumed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..500usize {
+                        pool.push(Task::new(t * 1000 + i, i % 5));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                let consumed = Arc::clone(&consumed);
+                s.spawn(move || {
+                    let mut local = 0;
+                    for _ in 0..10_000 {
+                        if pool.pop().is_some() {
+                            local += 1;
+                        }
+                    }
+                    consumed.fetch_add(local, Ordering::SeqCst);
+                });
+            }
+        });
+        // Whatever the consumers missed must still be in the pool.
+        assert_eq!(consumed.load(Ordering::SeqCst) + pool.len(), 1000);
+    }
+
+    proptest! {
+        /// The pool is a priority queue keyed by (depth, arrival index): the
+        /// pop sequence must always be sorted by depth, and within a depth by
+        /// arrival order.
+        #[test]
+        fn pop_order_is_depth_then_fifo(depths in proptest::collection::vec(0usize..6, 1..64)) {
+            let pool = DepthPool::new();
+            for (i, &d) in depths.iter().enumerate() {
+                pool.push(Task::new(i, d));
+            }
+            let popped: Vec<Task<usize>> = std::iter::from_fn(|| pool.pop()).collect();
+            prop_assert_eq!(popped.len(), depths.len());
+            for w in popped.windows(2) {
+                prop_assert!(w[0].depth <= w[1].depth);
+                if w[0].depth == w[1].depth {
+                    prop_assert!(w[0].node < w[1].node, "FIFO violated within a depth");
+                }
+            }
+        }
+    }
+}

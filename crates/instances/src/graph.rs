@@ -1,0 +1,399 @@
+//! Undirected graphs with bitset adjacency, the DIMACS `.clq` format, and
+//! seeded random-graph generators modelled on the DIMACS clique families.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use yewpar::bitset::BitSet;
+use yewpar::error::{Error, Result};
+
+/// An undirected simple graph with adjacency stored as one [`BitSet`] per
+/// vertex (the representation used by the bitset clique algorithms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<BitSet>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![BitSet::new(n); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn size(&self) -> usize {
+        self.edges
+    }
+
+    /// Add the undirected edge `{u, v}` (ignored if already present or if
+    /// `u == v`).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for order {}", self.n);
+        if u == v || self.adj[u].contains(v) {
+            return;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        self.edges += 1;
+    }
+
+    /// Adjacency test.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].contains(v)
+    }
+
+    /// The neighbourhood of `v` as a bitset.
+    pub fn neighbours(&self, v: usize) -> &BitSet {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].count()
+    }
+
+    /// Edge density in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let max = self.n * (self.n - 1) / 2;
+        self.edges as f64 / max as f64
+    }
+
+    /// Check whether `vertices` induces a clique.
+    pub fn is_clique(&self, vertices: &[usize]) -> bool {
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Vertices sorted by non-increasing degree (the static ordering heuristic
+    /// used when building clique search trees).
+    pub fn degree_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(self.degree(v)));
+        order
+    }
+
+    /// Relabel the graph so that vertex `i` of the result is `perm[i]` of the
+    /// original.
+    pub fn relabel(&self, perm: &[usize]) -> Graph {
+        assert_eq!(perm.len(), self.n);
+        let mut g = Graph::new(self.n);
+        for (new_u, &old_u) in perm.iter().enumerate() {
+            for (new_v, &old_v) in perm.iter().enumerate().skip(new_u + 1) {
+                if self.has_edge(old_u, old_v) {
+                    g.add_edge(new_u, new_v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Parse a graph in DIMACS `.clq` / `.col` format (`p edge N M` header,
+    /// `e u v` edge lines with 1-based vertices, `c` comment lines).
+    pub fn from_dimacs(text: &str) -> Result<Graph> {
+        let mut graph: Option<Graph> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("p") => {
+                    let _format = parts.next();
+                    let n: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| Error::Parse(format!("line {}: bad vertex count", lineno + 1)))?;
+                    graph = Some(Graph::new(n));
+                }
+                Some("e") => {
+                    let g = graph
+                        .as_mut()
+                        .ok_or_else(|| Error::Parse(format!("line {}: edge before p line", lineno + 1)))?;
+                    let u: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| Error::Parse(format!("line {}: bad edge endpoint", lineno + 1)))?;
+                    let v: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| Error::Parse(format!("line {}: bad edge endpoint", lineno + 1)))?;
+                    if u == 0 || v == 0 || u > g.n || v > g.n {
+                        return Err(Error::Parse(format!("line {}: vertex out of range", lineno + 1)));
+                    }
+                    g.add_edge(u - 1, v - 1);
+                }
+                _ => continue,
+            }
+        }
+        graph.ok_or_else(|| Error::Parse("no p line found".into()))
+    }
+
+    /// Render the graph in DIMACS `.clq` format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("p edge {} {}\n", self.n, self.edges));
+        for u in 0..self.n {
+            for v in self.adj[u].iter() {
+                if v > u {
+                    out.push_str(&format!("e {} {}\n", u + 1, v + 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Erdős–Rényi `G(n, p)` random graph.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A "brock-like" instance: a dense random graph with a planted (hidden)
+/// clique of `clique_size` vertices, scattered through the vertex order so
+/// that degree heuristics cannot trivially find it — the character of the
+/// DIMACS `brock` family.
+pub fn planted_clique(n: usize, p: f64, clique_size: usize, seed: u64) -> Graph {
+    assert!(clique_size <= n, "clique larger than the graph");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = gnp(n, p, seed.wrapping_add(1));
+    // Choose the planted members by reservoir-style sampling of a shuffled
+    // vertex list.
+    let mut vertices: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        vertices.swap(i, j);
+    }
+    let members = &vertices[..clique_size];
+    for (i, &u) in members.iter().enumerate() {
+        for &v in &members[i + 1..] {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A "p_hat-like" instance: a random graph with a wide degree spread, built
+/// by giving every vertex its own edge probability drawn from `[lo, hi]`
+/// (the generalised `G(n, p)` construction used for the DIMACS `p_hat`
+/// family).
+pub fn p_hat_like(n: usize, lo: f64, hi: f64, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (probs[u] + probs[v]) / 2.0;
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A "san-like" instance: a very dense graph whose maximum clique is planted
+/// and substantially larger than what random structure alone would give,
+/// so bounds are tight and search is pruning-heavy.
+pub fn san_like(n: usize, density: f64, clique_size: usize, seed: u64) -> Graph {
+    planted_clique(n, density, clique_size, seed)
+}
+
+/// A "MANN-like" instance: the complement of a sparse graph (i.e. an
+/// extremely dense graph) whose maximum clique is very large — search trees
+/// are deep and thin.
+pub fn mann_like(n: usize, missing_prob: f64, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !rng.gen_bool(missing_prob.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = Graph::new(5);
+        assert_eq!(g.order(), 5);
+        assert_eq!(g.size(), 0);
+        assert_eq!(g.density(), 0.0);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_idempotent() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 0);
+        assert_eq!(g.size(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.degree(0), 1);
+        assert!(g.neighbours(0).contains(1));
+    }
+
+    #[test]
+    fn clique_checking() {
+        let mut g = Graph::new(5);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (2, 3)] {
+            g.add_edge(u, v);
+        }
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 2, 3]));
+        assert!(g.is_clique(&[4]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 5);
+        g.add_edge(3, 4);
+        let text = g.to_dimacs();
+        let parsed = Graph::from_dimacs(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn dimacs_parser_handles_comments_and_errors() {
+        let ok = "c a comment\np edge 3 2\ne 1 2\ne 2 3\n";
+        let g = Graph::from_dimacs(ok).unwrap();
+        assert_eq!(g.order(), 3);
+        assert_eq!(g.size(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+
+        assert!(Graph::from_dimacs("").is_err());
+        assert!(Graph::from_dimacs("e 1 2\n").is_err());
+        assert!(Graph::from_dimacs("p edge 2 1\ne 1 5\n").is_err());
+        assert!(Graph::from_dimacs("p edge x 1\n").is_err());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(20, 0.0, 1);
+        assert_eq!(empty.size(), 0);
+        let complete = gnp(20, 1.0, 1);
+        assert_eq!(complete.size(), 20 * 19 / 2);
+        assert!((complete.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_in_its_seed() {
+        assert_eq!(gnp(40, 0.3, 7), gnp(40, 0.3, 7));
+        assert_ne!(gnp(40, 0.3, 7), gnp(40, 0.3, 8));
+    }
+
+    #[test]
+    fn planted_clique_contains_a_clique_of_requested_size() {
+        let g = planted_clique(60, 0.4, 12, 99);
+        // Find the planted members by brute force greedy extension from every
+        // vertex would be slow; instead verify indirectly: some set of 12
+        // vertices is a clique.  We recover it by re-running the generator's
+        // shuffling logic — simpler: check the degeneracy bound allows it.
+        // Direct check: at least one vertex has >= 11 neighbours that are
+        // pairwise adjacent is expensive; rely on the clique application's
+        // integration tests for exact verification and check basic shape here.
+        assert_eq!(g.order(), 60);
+        assert!(g.density() > 0.3);
+    }
+
+    #[test]
+    fn mann_like_is_very_dense() {
+        let g = mann_like(40, 0.05, 3);
+        assert!(g.density() > 0.9);
+    }
+
+    #[test]
+    fn p_hat_like_has_wide_degree_spread() {
+        let g = p_hat_like(80, 0.1, 0.9, 11);
+        let degrees: Vec<usize> = (0..g.order()).map(|v| g.degree(v)).collect();
+        let min = degrees.iter().min().unwrap();
+        let max = degrees.iter().max().unwrap();
+        assert!(max - min > 10, "expected a wide degree spread, got {min}..{max}");
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = gnp(10, 0.5, 5);
+        let perm: Vec<usize> = (0..10).rev().collect();
+        let h = g.relabel(&perm);
+        assert_eq!(g.size(), h.size());
+        for u in 0..10 {
+            for v in 0..10 {
+                assert_eq!(g.has_edge(perm[u], perm[v]), h.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_order_is_non_increasing() {
+        let g = p_hat_like(30, 0.1, 0.9, 2);
+        let order = g.degree_order();
+        for w in order.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dimacs_roundtrip_random_graphs(n in 1usize..30, p in 0.0f64..1.0, seed in 0u64..1000) {
+            let g = gnp(n, p, seed);
+            let parsed = Graph::from_dimacs(&g.to_dimacs()).unwrap();
+            prop_assert_eq!(parsed, g);
+        }
+
+        #[test]
+        fn planted_clique_vertices_really_form_a_clique(seed in 0u64..200) {
+            // Reconstruct the planted members exactly as the generator does.
+            let n = 30;
+            let k = 8;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = planted_clique(n, 0.2, k, seed);
+            let mut vertices: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rand::Rng::gen_range(&mut rng, 0..=i);
+                vertices.swap(i, j);
+            }
+            prop_assert!(g.is_clique(&vertices[..k]));
+        }
+    }
+}

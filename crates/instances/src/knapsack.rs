@@ -1,0 +1,182 @@
+//! 0/1 knapsack instances and the standard correlated generator classes.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A 0/1 knapsack instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnapsackInstance {
+    /// Profit of each item.
+    pub profits: Vec<u64>,
+    /// Weight of each item.
+    pub weights: Vec<u64>,
+    /// Total weight capacity.
+    pub capacity: u64,
+}
+
+/// Correlation class of a generated instance (Pisinger's classic families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnapsackClass {
+    /// Profits and weights drawn independently.
+    Uncorrelated,
+    /// Profit = weight + noise: bounds are informative but not exact.
+    WeaklyCorrelated,
+    /// Profit = weight + constant: hard for branch and bound.
+    StronglyCorrelated,
+}
+
+impl KnapsackInstance {
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.profits.len()
+    }
+
+    /// Total profit and weight of a subset of item indices.
+    pub fn evaluate(&self, chosen: &[usize]) -> (u64, u64) {
+        let profit = chosen.iter().map(|&i| self.profits[i]).sum();
+        let weight = chosen.iter().map(|&i| self.weights[i]).sum();
+        (profit, weight)
+    }
+
+    /// True if the subset fits in the capacity.
+    pub fn is_feasible(&self, chosen: &[usize]) -> bool {
+        self.evaluate(chosen).1 <= self.capacity
+    }
+
+    /// Item indices sorted by non-increasing profit density (profit/weight) —
+    /// the branching heuristic of the branch-and-bound solver.
+    pub fn density_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.items()).collect();
+        // Compare p_i / w_i > p_j / w_j without floating point:
+        // p_i * w_j > p_j * w_i.
+        order.sort_by(|&i, &j| {
+            let lhs = self.profits[i] as u128 * self.weights[j].max(1) as u128;
+            let rhs = self.profits[j] as u128 * self.weights[i].max(1) as u128;
+            rhs.cmp(&lhs)
+        });
+        order
+    }
+
+    /// Exact optimum by dynamic programming over capacity (reference answer
+    /// for tests; O(items × capacity), so only suitable for small instances).
+    pub fn optimum_by_dp(&self) -> u64 {
+        let cap = self.capacity as usize;
+        let mut best = vec![0u64; cap + 1];
+        for i in 0..self.items() {
+            let w = self.weights[i] as usize;
+            let p = self.profits[i];
+            if w > cap {
+                continue;
+            }
+            for c in (w..=cap).rev() {
+                best[c] = best[c].max(best[c - w] + p);
+            }
+        }
+        best[cap]
+    }
+
+    /// Generate an instance of the given class.
+    ///
+    /// * `items` — number of items,
+    /// * `max_weight` — weights drawn from `1..=max_weight`,
+    /// * capacity is set to half the total weight (the standard choice that
+    ///   makes roughly half the items fit).
+    pub fn generate(class: KnapsackClass, items: usize, max_weight: u64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut profits = Vec::with_capacity(items);
+        let mut weights = Vec::with_capacity(items);
+        for _ in 0..items {
+            let w = rng.gen_range(1..=max_weight);
+            let p = match class {
+                KnapsackClass::Uncorrelated => rng.gen_range(1..=max_weight),
+                KnapsackClass::WeaklyCorrelated => {
+                    let spread = (max_weight / 10).max(1);
+                    let delta = rng.gen_range(0..=2 * spread) as i64 - spread as i64;
+                    (w as i64 + delta).max(1) as u64
+                }
+                KnapsackClass::StronglyCorrelated => w + max_weight / 10,
+            };
+            profits.push(p);
+            weights.push(w);
+        }
+        let capacity = weights.iter().sum::<u64>() / 2;
+        KnapsackInstance {
+            profits,
+            weights,
+            capacity: capacity.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> KnapsackInstance {
+        KnapsackInstance {
+            profits: vec![60, 100, 120],
+            weights: vec![10, 20, 30],
+            capacity: 50,
+        }
+    }
+
+    #[test]
+    fn evaluate_and_feasibility() {
+        let k = tiny();
+        assert_eq!(k.items(), 3);
+        assert_eq!(k.evaluate(&[1, 2]), (220, 50));
+        assert!(k.is_feasible(&[1, 2]));
+        assert!(!k.is_feasible(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn dp_optimum_matches_known_answer() {
+        assert_eq!(tiny().optimum_by_dp(), 220);
+    }
+
+    #[test]
+    fn density_order_puts_best_ratio_first() {
+        let k = tiny();
+        let order = k.density_order();
+        assert_eq!(order[0], 0, "item 0 has ratio 6.0, the best");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_class_shaped() {
+        let a = KnapsackInstance::generate(KnapsackClass::StronglyCorrelated, 20, 100, 3);
+        let b = KnapsackInstance::generate(KnapsackClass::StronglyCorrelated, 20, 100, 3);
+        assert_eq!(a, b);
+        for i in 0..a.items() {
+            assert_eq!(a.profits[i], a.weights[i] + 10, "strong correlation broken at item {i}");
+        }
+        let u = KnapsackInstance::generate(KnapsackClass::Uncorrelated, 50, 100, 4);
+        assert_eq!(u.items(), 50);
+        assert!(u.capacity >= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn generated_instances_are_well_formed(
+            items in 1usize..40,
+            max_weight in 2u64..200,
+            seed in 0u64..500,
+        ) {
+            for class in [KnapsackClass::Uncorrelated, KnapsackClass::WeaklyCorrelated, KnapsackClass::StronglyCorrelated] {
+                let k = KnapsackInstance::generate(class, items, max_weight, seed);
+                prop_assert_eq!(k.items(), items);
+                prop_assert!(k.profits.iter().all(|&p| p >= 1));
+                prop_assert!(k.weights.iter().all(|&w| (1..=max_weight).contains(&w)));
+                prop_assert!(k.capacity <= k.weights.iter().sum::<u64>());
+            }
+        }
+
+        #[test]
+        fn dp_never_exceeds_total_profit(seed in 0u64..100) {
+            let k = KnapsackInstance::generate(KnapsackClass::WeaklyCorrelated, 12, 30, seed);
+            let opt = k.optimum_by_dp();
+            prop_assert!(opt <= k.profits.iter().sum::<u64>());
+        }
+    }
+}

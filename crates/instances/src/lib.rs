@@ -1,0 +1,31 @@
+//! Instance parsers and synthetic instance generators.
+//!
+//! The YewPar paper evaluates its skeletons on standard challenge instances:
+//! DIMACS clique graphs (brock, p_hat, san, MANN families), finite-geometry
+//! k-clique instances, knapsack and TSP instances, and subgraph-isomorphism
+//! pattern/target pairs.  Those exact files are not redistributed here;
+//! instead this crate provides
+//!
+//! * a DIMACS `.clq` parser/writer so real instances can be dropped in, and
+//! * **seeded synthetic generators** producing instance families with the
+//!   same structural character (dense graphs with planted cliques, banded
+//!   random graphs, structured "sandwiches", Euclidean tours, correlated
+//!   knapsack classes, pattern-embedded SIP pairs), scaled so that the
+//!   benchmark harnesses finish in seconds rather than hours.
+//!
+//! Every generator is deterministic in its seed (ChaCha8), so benchmark runs
+//! are reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graph;
+pub mod knapsack;
+pub mod registry;
+pub mod sip;
+pub mod tsp;
+
+pub use graph::Graph;
+pub use knapsack::KnapsackInstance;
+pub use sip::SipInstance;
+pub use tsp::TspInstance;

@@ -1,0 +1,140 @@
+//! Subgraph isomorphism instances: pattern/target graph pairs.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::graph::{gnp, Graph};
+
+/// A subgraph-isomorphism (SIP) instance: decide whether the pattern graph
+/// appears as a (non-induced) subgraph of the target graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SipInstance {
+    /// The (small) pattern graph.
+    pub pattern: Graph,
+    /// The (larger) target graph.
+    pub target: Graph,
+}
+
+impl SipInstance {
+    /// Check that `mapping[i]` (pattern vertex i → target vertex) is a valid
+    /// non-induced subgraph embedding: injective and edge-preserving.
+    pub fn is_embedding(&self, mapping: &[usize]) -> bool {
+        if mapping.len() != self.pattern.order() {
+            return false;
+        }
+        // Injectivity.
+        let mut seen = vec![false; self.target.order()];
+        for &t in mapping {
+            if t >= self.target.order() || seen[t] {
+                return false;
+            }
+            seen[t] = true;
+        }
+        // Edge preservation.
+        for u in 0..self.pattern.order() {
+            for v in (u + 1)..self.pattern.order() {
+                if self.pattern.has_edge(u, v) && !self.target.has_edge(mapping[u], mapping[v]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Generate an instance with a **guaranteed** embedding: the target is a
+    /// `G(n, p)` graph and the pattern is an edge subgraph induced by a
+    /// random subset of `pattern_size` target vertices (with vertex labels
+    /// shuffled), so the decision answer is always "yes".
+    pub fn with_embedding(target_n: usize, pattern_size: usize, p: f64, seed: u64) -> Self {
+        assert!(pattern_size <= target_n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let target = gnp(target_n, p, seed.wrapping_add(17));
+        // Pick the embedded vertices.
+        let mut vertices: Vec<usize> = (0..target_n).collect();
+        for i in (1..target_n).rev() {
+            let j = rng.gen_range(0..=i);
+            vertices.swap(i, j);
+        }
+        let members = &vertices[..pattern_size];
+        let mut pattern = Graph::new(pattern_size);
+        for i in 0..pattern_size {
+            for j in (i + 1)..pattern_size {
+                if target.has_edge(members[i], members[j]) {
+                    // Keep most edges; drop a few so the pattern is a proper
+                    // subgraph (still guaranteed embeddable).
+                    if rng.gen_bool(0.9) {
+                        pattern.add_edge(i, j);
+                    }
+                }
+            }
+        }
+        SipInstance { pattern, target }
+    }
+
+    /// Generate an instance that is *unlikely* to contain an embedding: the
+    /// pattern is a dense random graph generated independently of a sparse
+    /// target, so the decision search usually has to exhaust the space.
+    pub fn unlikely(target_n: usize, pattern_size: usize, seed: u64) -> Self {
+        let target = gnp(target_n, 0.15, seed.wrapping_add(3));
+        let pattern = gnp(pattern_size, 0.9, seed.wrapping_add(4));
+        SipInstance { pattern, target }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn embedding_checker_accepts_identity_on_equal_graphs() {
+        let g = gnp(8, 0.5, 1);
+        let inst = SipInstance {
+            pattern: g.clone(),
+            target: g,
+        };
+        let identity: Vec<usize> = (0..8).collect();
+        assert!(inst.is_embedding(&identity));
+    }
+
+    #[test]
+    fn embedding_checker_rejects_bad_mappings() {
+        let mut pattern = Graph::new(2);
+        pattern.add_edge(0, 1);
+        let target = Graph::new(3); // no edges at all
+        let inst = SipInstance { pattern, target };
+        assert!(!inst.is_embedding(&[0, 1]), "edge not preserved");
+        assert!(!inst.is_embedding(&[0, 0]), "not injective");
+        assert!(!inst.is_embedding(&[0]), "wrong arity");
+        assert!(!inst.is_embedding(&[0, 9]), "vertex out of range");
+    }
+
+    #[test]
+    fn with_embedding_is_deterministic() {
+        let a = SipInstance::with_embedding(20, 6, 0.4, 11);
+        let b = SipInstance::with_embedding(20, 6, 0.4, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.pattern.order(), 6);
+        assert_eq!(a.target.order(), 20);
+    }
+
+    proptest! {
+        /// The construction guarantees an embedding exists: the original
+        /// member list (reconstructed from the seed) must be one.
+        #[test]
+        fn with_embedding_really_embeds(seed in 0u64..100) {
+            let target_n = 16;
+            let k = 5;
+            let inst = SipInstance::with_embedding(target_n, k, 0.5, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut vertices: Vec<usize> = (0..target_n).collect();
+            for i in (1..target_n).rev() {
+                let j = rand::Rng::gen_range(&mut rng, 0..=i);
+                vertices.swap(i, j);
+            }
+            let mapping: Vec<usize> = vertices[..k].to_vec();
+            prop_assert!(inst.is_embedding(&mapping));
+        }
+    }
+}

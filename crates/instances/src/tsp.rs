@@ -1,0 +1,186 @@
+//! Symmetric TSP instances with integer distances.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A symmetric travelling-salesperson instance given by a full distance
+/// matrix (integer distances, as in TSPLIB's `EUC_2D` rounding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TspInstance {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl TspInstance {
+    /// Build an instance from a full distance matrix (must be square and
+    /// symmetric with zero diagonal).
+    pub fn from_matrix(matrix: Vec<Vec<u32>>) -> Self {
+        let n = matrix.len();
+        let mut dist = vec![0; n * n];
+        for (i, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), n, "distance matrix must be square");
+            for (j, &d) in row.iter().enumerate() {
+                assert_eq!(d, matrix[j][i], "distance matrix must be symmetric");
+                dist[i * n + j] = d;
+            }
+        }
+        TspInstance { n, dist }
+    }
+
+    /// Random Euclidean instance: `n` cities uniformly placed in a
+    /// `size × size` square, distances rounded to the nearest integer.
+    pub fn random_euclidean(n: usize, size: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..size), rng.gen_range(0.0..size)))
+            .collect();
+        let mut dist = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = coords[i].0 - coords[j].0;
+                let dy = coords[i].1 - coords[j].1;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt().round() as u32;
+            }
+        }
+        TspInstance { n, dist }
+    }
+
+    /// Number of cities.
+    pub fn cities(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between cities `i` and `j`.
+    pub fn distance(&self, i: usize, j: usize) -> u32 {
+        self.dist[i * self.n + j]
+    }
+
+    /// Length of the closed tour visiting `tour` in order and returning to
+    /// its first city.
+    pub fn tour_length(&self, tour: &[usize]) -> u64 {
+        if tour.len() < 2 {
+            return 0;
+        }
+        let mut total = 0u64;
+        for w in tour.windows(2) {
+            total += self.distance(w[0], w[1]) as u64;
+        }
+        total + self.distance(*tour.last().unwrap(), tour[0]) as u64
+    }
+
+    /// The cheapest edge incident to city `i` (excluding the self loop),
+    /// used by simple lower bounds.
+    pub fn min_edge(&self, i: usize) -> u32 {
+        (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| self.distance(i, j))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Exact optimum by Held–Karp dynamic programming (reference answer for
+    /// tests; exponential memory, only for n ≤ ~16).
+    pub fn optimum_by_held_karp(&self) -> u64 {
+        let n = self.n;
+        assert!(n >= 2 && n <= 16, "Held-Karp reference only supports 2..=16 cities");
+        let full = 1usize << (n - 1); // subsets of cities 1..n
+        let inf = u64::MAX / 4;
+        // dp[mask][j]: shortest path from 0 visiting exactly mask ∪ {0},
+        // ending at city j+1.
+        let mut dp = vec![vec![inf; n - 1]; full];
+        for j in 0..n - 1 {
+            dp[1 << j][j] = self.distance(0, j + 1) as u64;
+        }
+        for mask in 1..full {
+            for j in 0..n - 1 {
+                if mask & (1 << j) == 0 || dp[mask][j] >= inf {
+                    continue;
+                }
+                for k in 0..n - 1 {
+                    if mask & (1 << k) != 0 {
+                        continue;
+                    }
+                    let next = mask | (1 << k);
+                    let cand = dp[mask][j] + self.distance(j + 1, k + 1) as u64;
+                    if cand < dp[next][k] {
+                        dp[next][k] = cand;
+                    }
+                }
+            }
+        }
+        (0..n - 1)
+            .map(|j| dp[full - 1][j] + self.distance(j + 1, 0) as u64)
+            .min()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square() -> TspInstance {
+        // Four cities at the corners of a unit square scaled by 10.
+        TspInstance::from_matrix(vec![
+            vec![0, 10, 14, 10],
+            vec![10, 0, 10, 14],
+            vec![14, 10, 0, 10],
+            vec![10, 14, 10, 0],
+        ])
+    }
+
+    #[test]
+    fn tour_length_of_square() {
+        let t = square();
+        assert_eq!(t.tour_length(&[0, 1, 2, 3]), 40);
+        assert_eq!(t.tour_length(&[0, 2, 1, 3]), 48);
+        assert_eq!(t.cities(), 4);
+        assert_eq!(t.min_edge(0), 10);
+    }
+
+    #[test]
+    fn held_karp_finds_square_optimum() {
+        assert_eq!(square().optimum_by_held_karp(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_is_rejected() {
+        TspInstance::from_matrix(vec![vec![0, 1], vec![2, 0]]);
+    }
+
+    #[test]
+    fn random_euclidean_is_deterministic() {
+        let a = TspInstance::random_euclidean(9, 100.0, 5);
+        let b = TspInstance::random_euclidean(9, 100.0, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.cities(), 9);
+    }
+
+    proptest! {
+        #[test]
+        fn euclidean_distances_satisfy_symmetry_and_rough_triangle(n in 3usize..10, seed in 0u64..100) {
+            let t = TspInstance::random_euclidean(n, 50.0, seed);
+            for i in 0..n {
+                prop_assert_eq!(t.distance(i, i), 0);
+                for j in 0..n {
+                    prop_assert_eq!(t.distance(i, j), t.distance(j, i));
+                    for k in 0..n {
+                        // Rounding can violate the exact triangle inequality by at most 1 per edge.
+                        prop_assert!(t.distance(i, k) as u64 <= t.distance(i, j) as u64 + t.distance(j, k) as u64 + 2);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn any_tour_is_at_least_the_optimum(seed in 0u64..50) {
+            let t = TspInstance::random_euclidean(8, 100.0, seed);
+            let opt = t.optimum_by_held_karp();
+            let identity: Vec<usize> = (0..8).collect();
+            prop_assert!(t.tour_length(&identity) >= opt);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Executable formal model of parallel backtracking search.
+//!
+//! This crate is a direct, executable rendering of Section 3 of the YewPar
+//! paper: search trees as prefix-closed sets of words, the traversal order,
+//! the three search types characterised by monoids, and the nondeterministic
+//! small-step operational semantics of Fig. 2 (traversal, node processing,
+//! pruning and spawning rules, plus the derived spawn rules of the
+//! Depth-Bounded, Budget and Stack-Stealing coordinations).
+//!
+//! Its purpose is to *check* the paper's correctness claims mechanically:
+//! the correctness theorems 3.1–3.3 are encoded as property tests
+//! (`tests/theorems.rs`) that run randomly generated trees through randomly
+//! interleaved parallel reductions and verify that every maximal reduction
+//! sequence terminates in the same sum (enumeration) or an optimal witness
+//! (optimisation / decision), regardless of the interleaving and of which
+//! spawn rules fire.
+//!
+//! The model is intentionally independent of the production `yewpar` crate:
+//! it manipulates explicit node sets rather than lazy generators, so that the
+//! reduction rules can be written exactly as in the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod semantics;
+pub mod tree;
+
+pub use semantics::{Configuration, Knowledge, Rule, SearchKind, Semantics, ThreadState};
+pub use tree::{Subtree, Tree, Word};

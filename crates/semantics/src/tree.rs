@@ -1,0 +1,295 @@
+//! Search trees as prefix-closed sets of words (paper §3.1).
+//!
+//! Nodes are words over a small alphabet.  Sibling order is the numeric
+//! order of the letters, so the paper's traversal order `≪` — the linear
+//! extension of the prefix order and the sibling order — coincides with the
+//! ordinary lexicographic order on words (a proper prefix sorts before its
+//! extensions, and otherwise the first differing letter decides).  Tasks and
+//! thread states manipulate explicit [`Subtree`] node sets, which is exactly
+//! what the reduction rules of Fig. 2 operate on.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A search-tree node: a word over the alphabet of child indices.
+pub type Word = Vec<u8>;
+
+/// Is `prefix` a prefix of `word` (the paper's `⪯`)?
+pub fn is_prefix(prefix: &[u8], word: &[u8]) -> bool {
+    word.len() >= prefix.len() && &word[..prefix.len()] == prefix
+}
+
+/// A finite prefix-closed tree: the full search space of a model run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    nodes: BTreeSet<Word>,
+}
+
+impl Tree {
+    /// Build a tree from a generator function mapping each node to its
+    /// number of children (children get letters `0..n` in heuristic order).
+    pub fn generate(mut arity: impl FnMut(&Word) -> usize) -> Tree {
+        let mut nodes = BTreeSet::new();
+        let mut frontier = vec![Word::new()];
+        nodes.insert(Word::new());
+        while let Some(node) = frontier.pop() {
+            let n = arity(&node).min(255);
+            for letter in 0..n as u8 {
+                let mut child = node.clone();
+                child.push(letter);
+                nodes.insert(child.clone());
+                frontier.push(child);
+            }
+        }
+        Tree { nodes }
+    }
+
+    /// A random tree with at most `max_nodes` nodes, branching factor at most
+    /// `max_children` and depth at most `max_depth`.  Deterministic in the
+    /// seed.
+    pub fn random(seed: u64, max_nodes: usize, max_children: usize, max_depth: usize) -> Tree {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = max_nodes.max(1);
+        Tree::generate(|node| {
+            if node.len() >= max_depth || budget == 0 {
+                return 0;
+            }
+            let n = rng.gen_range(0..=max_children).min(budget);
+            budget -= n;
+            n
+        })
+    }
+
+    /// All nodes of the tree.
+    pub fn nodes(&self) -> &BTreeSet<Word> {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A tree always contains at least the root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The whole tree as a [`Subtree`] rooted at ϵ (the initial task `S0`).
+    pub fn as_subtree(&self) -> Subtree {
+        Subtree {
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    /// Check prefix-closure (used by tests).
+    pub fn is_prefix_closed(&self) -> bool {
+        self.nodes.iter().all(|w| {
+            w.is_empty() || {
+                let parent = w[..w.len() - 1].to_vec();
+                self.nodes.contains(&parent)
+            }
+        })
+    }
+}
+
+/// A subtree: a node set with a least element (its root) that is
+/// prefix-closed above the root.  Tasks and active threads hold subtrees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subtree {
+    nodes: BTreeSet<Word>,
+}
+
+impl Subtree {
+    /// Build a subtree from an explicit node set (must be non-empty).
+    pub fn from_nodes(nodes: BTreeSet<Word>) -> Subtree {
+        assert!(!nodes.is_empty(), "a subtree is non-empty by definition");
+        Subtree { nodes }
+    }
+
+    /// The root: the least node in traversal order.
+    pub fn root(&self) -> &Word {
+        self.nodes.iter().next().expect("subtrees are non-empty")
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &BTreeSet<Word> {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, w: &Word) -> bool {
+        self.nodes.contains(w)
+    }
+
+    /// `next(S, v)`: the node immediately following `v` in traversal order,
+    /// or `None` (the paper's `⊥`).
+    pub fn next(&self, v: &Word) -> Option<Word> {
+        use std::ops::Bound;
+        self.nodes
+            .range((Bound::Excluded(v.clone()), Bound::Unbounded))
+            .next()
+            .cloned()
+    }
+
+    /// `children(S, v)`: the children of `v` present in the subtree.
+    pub fn children(&self, v: &Word) -> Vec<Word> {
+        self.nodes
+            .iter()
+            .filter(|w| w.len() == v.len() + 1 && is_prefix(v, w))
+            .cloned()
+            .collect()
+    }
+
+    /// `subtree(S, u)`: all nodes of `S` that have `u` as a prefix.
+    pub fn subtree_at(&self, u: &Word) -> BTreeSet<Word> {
+        self.nodes.iter().filter(|w| is_prefix(u, w)).cloned().collect()
+    }
+
+    /// `succ(S, v)`: the nodes following `v` in traversal order.
+    pub fn successors(&self, v: &Word) -> Vec<Word> {
+        use std::ops::Bound;
+        self.nodes
+            .range((Bound::Excluded(v.clone()), Bound::Unbounded))
+            .cloned()
+            .collect()
+    }
+
+    /// `lowest(S, v)`: the successors of `v` at minimum depth.
+    pub fn lowest(&self, v: &Word) -> Vec<Word> {
+        let succ = self.successors(v);
+        let min_depth = match succ.iter().map(|w| w.len()).min() {
+            Some(d) => d,
+            None => return Vec::new(),
+        };
+        succ.into_iter().filter(|w| w.len() == min_depth).collect()
+    }
+
+    /// `nextLowest(S, v)`: the first minimum-depth successor in traversal
+    /// order.
+    pub fn next_lowest(&self, v: &Word) -> Option<Word> {
+        self.lowest(v).into_iter().min()
+    }
+
+    /// Remove a set of nodes (used by the prune and spawn rules); the result
+    /// must remain a valid subtree (callers only remove whole subtrees that
+    /// do not contain the root).
+    pub fn remove_all(&mut self, remove: &BTreeSet<Word>) {
+        for w in remove {
+            self.nodes.remove(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(s: &[u8]) -> Word {
+        s.to_vec()
+    }
+
+    /// The running example: root with children 0, 1; child 0 has children
+    /// 0.0 and 0.1; child 1 has child 1.0.
+    fn small_tree() -> Tree {
+        Tree::generate(|w| match w.as_slice() {
+            [] => 2,
+            [0] => 2,
+            [1] => 1,
+            _ => 0,
+        })
+    }
+
+    #[test]
+    fn generation_is_prefix_closed_and_complete() {
+        let t = small_tree();
+        assert_eq!(t.len(), 6);
+        assert!(t.is_prefix_closed());
+        assert!(t.nodes().contains(&word(&[0, 1])));
+        assert!(!t.nodes().contains(&word(&[2])));
+    }
+
+    #[test]
+    fn traversal_order_is_depth_first_left_to_right() {
+        let t = small_tree();
+        let order: Vec<Word> = t.nodes().iter().cloned().collect();
+        assert_eq!(
+            order,
+            vec![
+                word(&[]),
+                word(&[0]),
+                word(&[0, 0]),
+                word(&[0, 1]),
+                word(&[1]),
+                word(&[1, 0])
+            ]
+        );
+    }
+
+    #[test]
+    fn next_walks_the_traversal_order() {
+        let s = small_tree().as_subtree();
+        assert_eq!(s.next(&word(&[])), Some(word(&[0])));
+        assert_eq!(s.next(&word(&[0, 1])), Some(word(&[1])));
+        assert_eq!(s.next(&word(&[1, 0])), None);
+    }
+
+    #[test]
+    fn children_and_subtree_at() {
+        let s = small_tree().as_subtree();
+        assert_eq!(s.children(&word(&[])), vec![word(&[0]), word(&[1])]);
+        assert_eq!(s.children(&word(&[0, 0])), Vec::<Word>::new());
+        let sub = s.subtree_at(&word(&[0]));
+        assert_eq!(sub.len(), 3);
+        assert!(sub.contains(&word(&[0, 1])));
+        assert!(!sub.contains(&word(&[1])));
+    }
+
+    #[test]
+    fn lowest_and_next_lowest() {
+        let s = small_tree().as_subtree();
+        // After visiting the root, the lowest-depth successors are its children.
+        assert_eq!(s.lowest(&word(&[])), vec![word(&[0]), word(&[1])]);
+        assert_eq!(s.next_lowest(&word(&[])), Some(word(&[0])));
+        // After [0,0], depth-1 node [1] is the lowest successor.
+        assert_eq!(s.next_lowest(&word(&[0, 0])), Some(word(&[1])));
+        // After the last node there is nothing.
+        assert_eq!(s.next_lowest(&word(&[1, 0])), None);
+    }
+
+    #[test]
+    fn subtree_root_is_the_traversal_minimum() {
+        let s = small_tree().as_subtree();
+        assert_eq!(s.root(), &word(&[]));
+        let deeper = Subtree::from_nodes(s.subtree_at(&word(&[0])));
+        assert_eq!(deeper.root(), &word(&[0]));
+    }
+
+    #[test]
+    fn random_trees_are_prefix_closed_and_bounded() {
+        for seed in 0..20 {
+            let t = Tree::random(seed, 50, 4, 6);
+            assert!(t.is_prefix_closed());
+            assert!(t.len() <= 51);
+            assert!(t.nodes().iter().all(|w| w.len() <= 6));
+        }
+    }
+
+    #[test]
+    fn remove_all_removes_a_whole_subtree() {
+        let s = small_tree().as_subtree();
+        let mut s2 = s.clone();
+        let cut = s.subtree_at(&word(&[0]));
+        s2.remove_all(&cut);
+        assert_eq!(s2.len(), 3);
+        assert!(!s2.contains(&word(&[0, 1])));
+        assert!(s2.contains(&word(&[1, 0])));
+    }
+}

@@ -1,0 +1,739 @@
+//! The discrete-event simulation engine.
+//!
+//! Workers are advanced one search step at a time in virtual-time order.
+//! Every step charges its cost to the worker's clock; the simulation ends
+//! when every spawned task has been fully explored (or a decision search
+//! short-circuits), and the makespan is the virtual time of that moment.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use yewpar::genstack::GenStack;
+use yewpar::monoid::Monoid;
+use yewpar::objective::PruneLevel;
+use yewpar::params::Coordination;
+use yewpar::workpool::{DepthPool, Task};
+use yewpar::{Decide, Enumerate, Optimise, SearchProblem};
+
+/// Virtual-time costs of the simulated operations, in abstract "ticks".
+///
+/// The defaults approximate a cluster where a node expansion costs ~1µs
+/// (100 ticks), an intra-locality steal tens of microseconds, a remote steal
+/// or an incumbent broadcast ~100µs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of processing (expanding) one search-tree node.
+    pub node_cost: u64,
+    /// Cost of pushing one task into a workpool.
+    pub spawn_cost: u64,
+    /// Cost of popping a task from the local workpool.
+    pub pop_cost: u64,
+    /// Latency of obtaining work from another worker/pool in the same locality.
+    pub local_steal_latency: u64,
+    /// Latency of obtaining work from a remote locality.
+    pub remote_steal_latency: u64,
+    /// Delay before an improved incumbent becomes visible at other localities.
+    pub bound_broadcast_latency: u64,
+    /// Re-poll interval of an idle worker that found no work anywhere.
+    pub idle_poll: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            node_cost: 100,
+            spawn_cost: 20,
+            pop_cost: 20,
+            local_steal_latency: 500,
+            remote_steal_latency: 10_000,
+            bound_broadcast_latency: 20_000,
+            idle_poll: 200,
+        }
+    }
+}
+
+/// Configuration of one simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of localities (physical machines in the paper's terminology).
+    pub localities: usize,
+    /// Search workers per locality (the paper uses 15 on 16-core nodes).
+    pub workers_per_locality: usize,
+    /// The search coordination to simulate.
+    pub coordination: Coordination,
+    /// Virtual-time cost model.
+    pub costs: CostModel,
+    /// Seed for randomised victim selection.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A convenience constructor: `localities × workers_per_locality` workers
+    /// with default costs.
+    pub fn new(coordination: Coordination, localities: usize, workers_per_locality: usize) -> Self {
+        SimConfig {
+            localities: localities.max(1),
+            workers_per_locality: workers_per_locality.max(1),
+            coordination,
+            costs: CostModel::default(),
+            seed: 0xF1_6004,
+        }
+    }
+
+    /// Total number of simulated workers.
+    pub fn workers(&self) -> usize {
+        self.localities * self.workers_per_locality
+    }
+}
+
+/// Result of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimOutcome<R> {
+    /// The search result (identical to what the threaded skeletons return).
+    pub result: R,
+    /// Virtual completion time.
+    pub makespan: u64,
+    /// Total node-processing work performed (ticks, summed over workers).
+    pub total_work: u64,
+    /// Nodes processed.
+    pub nodes: u64,
+    /// Subtrees pruned.
+    pub prunes: u64,
+    /// Tasks spawned into pools or stolen.
+    pub spawns: u64,
+    /// Successful steals (remote or local).
+    pub steals: u64,
+    /// Number of workers simulated.
+    pub workers: usize,
+}
+
+impl<R> SimOutcome<R> {
+    /// Parallel efficiency: node work divided by `makespan × workers`.
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0 || self.workers == 0 {
+            return 1.0;
+        }
+        self.total_work as f64 / (self.makespan as f64 * self.workers as f64)
+    }
+
+    /// Speedup relative to a reference makespan (usually the 1-worker run).
+    pub fn speedup_vs(&self, reference_makespan: u64) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        reference_makespan as f64 / self.makespan as f64
+    }
+}
+
+/// What the driver wants the traversal to do after processing a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Expand,
+    Prune,
+    PruneSiblings,
+    ShortCircuit,
+}
+
+/// Single-threaded search-type driver with locality-aware knowledge.
+trait SimDriver<P: SearchProblem> {
+    fn process(&mut self, problem: &P, node: &P::Node, locality: usize, now: u64) -> Action;
+}
+
+/// Enumeration: accumulate the monoid; knowledge is purely local.
+struct EnumSimDriver<P: Enumerate> {
+    acc: P::Value,
+}
+
+impl<P: Enumerate> SimDriver<P> for EnumSimDriver<P> {
+    fn process(&mut self, problem: &P, node: &P::Node, _locality: usize, _now: u64) -> Action {
+        let acc = std::mem::replace(&mut self.acc, P::Value::empty());
+        self.acc = acc.combine(problem.value(node));
+        Action::Expand
+    }
+}
+
+/// A recorded incumbent improvement: other localities see it only after the
+/// broadcast latency has elapsed.
+struct BoundUpdate<S> {
+    score: S,
+    origin: usize,
+    visible_elsewhere_at: u64,
+}
+
+/// Optimisation: strengthen a global incumbent, prune against the *visible*
+/// bound of the worker's locality (stale bounds lose pruning, not correctness).
+struct OptimSimDriver<P: Optimise> {
+    best: Option<(P::Score, P::Node)>,
+    updates: Vec<BoundUpdate<P::Score>>,
+    broadcast_latency: u64,
+}
+
+impl<P: Optimise> OptimSimDriver<P> {
+    fn new(broadcast_latency: u64) -> Self {
+        OptimSimDriver {
+            best: None,
+            updates: Vec::new(),
+            broadcast_latency,
+        }
+    }
+
+    /// The best score visible from `locality` at time `now`.
+    fn visible_bound(&self, locality: usize, now: u64) -> Option<&P::Score> {
+        self.updates
+            .iter()
+            .filter(|u| u.origin == locality || u.visible_elsewhere_at <= now)
+            .map(|u| &u.score)
+            .max()
+    }
+
+    fn strengthen(&mut self, score: P::Score, node: &P::Node, locality: usize, now: u64) {
+        let improves = match &self.best {
+            Some((best, _)) => score > *best,
+            None => true,
+        };
+        if improves {
+            self.best = Some((score.clone(), node.clone()));
+            self.updates.push(BoundUpdate {
+                score,
+                origin: locality,
+                visible_elsewhere_at: now + self.broadcast_latency,
+            });
+        }
+    }
+}
+
+impl<P: Optimise> SimDriver<P> for OptimSimDriver<P> {
+    fn process(&mut self, problem: &P, node: &P::Node, locality: usize, now: u64) -> Action {
+        let score = problem.objective(node);
+        self.strengthen(score, node, locality, now);
+        if let Some(bound) = problem.bound(node) {
+            if let Some(best) = self.visible_bound(locality, now) {
+                if bound <= *best {
+                    return match problem.prune_level() {
+                        PruneLevel::Node => Action::Prune,
+                        PruneLevel::Siblings => Action::PruneSiblings,
+                    };
+                }
+            }
+        }
+        Action::Expand
+    }
+}
+
+/// Decision: optimisation plus a short-circuit at the target.
+struct DecideSimDriver<P: Decide> {
+    inner: OptimSimDriver<P>,
+    target: P::Score,
+    witness: Option<P::Node>,
+}
+
+impl<P: Decide> SimDriver<P> for DecideSimDriver<P> {
+    fn process(&mut self, problem: &P, node: &P::Node, locality: usize, now: u64) -> Action {
+        let score = problem.objective(node);
+        if score >= self.target {
+            self.witness = Some(node.clone());
+            return Action::ShortCircuit;
+        }
+        self.inner.strengthen(score, node, locality, now);
+        if let Some(bound) = problem.bound(node) {
+            if bound < self.target {
+                return match problem.prune_level() {
+                    PruneLevel::Node => Action::Prune,
+                    PruneLevel::Siblings => Action::PruneSiblings,
+                };
+            }
+        }
+        Action::Expand
+    }
+}
+
+/// Per-worker simulation state.
+struct SimWorker<'p, P: SearchProblem> {
+    locality: usize,
+    /// Resumable depth-first traversal of the current task.
+    stack: GenStack<'p, P>,
+    /// Stolen (or locally retained) tasks not yet started.
+    backlog: Vec<Task<P::Node>>,
+    /// Backtracks since the last Budget split.
+    backtracks_since_split: u64,
+    /// Total node-processing work charged to this worker.
+    work: u64,
+}
+
+/// Aggregate counters of a simulation run.
+#[derive(Debug, Default, Clone, Copy)]
+struct SimStats {
+    nodes: u64,
+    prunes: u64,
+    spawns: u64,
+    steals: u64,
+    makespan: u64,
+    total_work: u64,
+}
+
+/// Simulate an enumeration search.
+pub fn simulate_enumerate<P: Enumerate>(problem: &P, config: &SimConfig) -> SimOutcome<P::Value> {
+    let mut driver = EnumSimDriver::<P> { acc: P::Value::empty() };
+    let stats = simulate(problem, config, &mut driver);
+    outcome(stats, config, driver.acc)
+}
+
+/// Simulate an optimisation search.
+pub fn simulate_maximise<P: Optimise>(problem: &P, config: &SimConfig) -> SimOutcome<Option<(P::Node, P::Score)>> {
+    let mut driver = OptimSimDriver::<P>::new(config.costs.bound_broadcast_latency);
+    let stats = simulate(problem, config, &mut driver);
+    outcome(stats, config, driver.best.map(|(s, n)| (n, s)))
+}
+
+/// Simulate a decision search.
+pub fn simulate_decide<P: Decide>(problem: &P, config: &SimConfig) -> SimOutcome<Option<P::Node>> {
+    let mut driver = DecideSimDriver::<P> {
+        inner: OptimSimDriver::<P>::new(config.costs.bound_broadcast_latency),
+        target: problem.target(),
+        witness: None,
+    };
+    let stats = simulate(problem, config, &mut driver);
+    outcome(stats, config, driver.witness)
+}
+
+fn outcome<R>(stats: SimStats, config: &SimConfig, result: R) -> SimOutcome<R> {
+    SimOutcome {
+        result,
+        makespan: stats.makespan,
+        total_work: stats.total_work,
+        nodes: stats.nodes,
+        prunes: stats.prunes,
+        spawns: stats.spawns,
+        steals: stats.steals,
+        workers: config.workers(),
+    }
+}
+
+/// The core event loop, generic over the search-type driver.
+fn simulate<P, D>(problem: &P, config: &SimConfig, driver: &mut D) -> SimStats
+where
+    P: SearchProblem,
+    D: SimDriver<P>,
+{
+    let costs = &config.costs;
+    let n_workers = config.workers();
+    let n_localities = config.localities;
+    let coordination = config.coordination;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // One order-preserving pool per locality (used by Depth-Bounded, Budget
+    // and Sequential; Stack-Stealing steals directly from worker stacks).
+    let pools: Vec<DepthPool<P::Node>> = (0..n_localities).map(|_| DepthPool::new()).collect();
+
+    let mut workers: Vec<SimWorker<'_, P>> = (0..n_workers)
+        .map(|i| SimWorker {
+            locality: i / config.workers_per_locality,
+            stack: GenStack::new(),
+            backlog: Vec::new(),
+            backtracks_since_split: 0,
+            work: 0,
+        })
+        .collect();
+
+    // The root task starts at locality 0 (worker 0's backlog for
+    // stack-stealing; locality 0's pool otherwise).
+    let root_task = Task::new(problem.root(), 0);
+    let mut outstanding: u64 = 1;
+    match coordination {
+        Coordination::StackStealing { .. } => workers[0].backlog.push(root_task),
+        _ => pools[0].push(root_task),
+    }
+
+    let mut stats = SimStats::default();
+    // Event heap: (time, worker) — Reverse for a min-heap; ties broken by
+    // worker index for determinism.
+    let mut events: BinaryHeap<Reverse<(u64, usize)>> = (0..n_workers).map(|w| Reverse((0, w))).collect();
+    let mut short_circuited = false;
+
+    while let Some(Reverse((now, w))) = events.pop() {
+        if outstanding == 0 || short_circuited {
+            break;
+        }
+        let mut next_time = now;
+
+        // ---- Busy worker: one traversal step of its current task ----------
+        if !workers[w].stack.is_empty() {
+            // Budget coordination: split before the next step if the budget
+            // is exhausted.
+            if let Coordination::Budget { backtracks } = coordination {
+                if workers[w].backtracks_since_split >= backtracks {
+                    let offload = workers[w].stack.split_lowest(true);
+                    if !offload.is_empty() {
+                        outstanding += offload.len() as u64;
+                        stats.spawns += offload.len() as u64;
+                        next_time += costs.spawn_cost * offload.len() as u64;
+                        pools[workers[w].locality].push_all(offload);
+                    }
+                    workers[w].backtracks_since_split = 0;
+                }
+            }
+            match workers[w].stack.next_child() {
+                Some((child, depth)) => {
+                    next_time += costs.node_cost;
+                    workers[w].work += costs.node_cost;
+                    stats.nodes += 1;
+                    match driver.process(problem, &child, workers[w].locality, next_time) {
+                        Action::Expand => workers[w].stack.push(problem, &child, depth),
+                        Action::Prune => stats.prunes += 1,
+                        Action::PruneSiblings => {
+                            stats.prunes += 1;
+                            workers[w].stack.pop();
+                            workers[w].backtracks_since_split += 1;
+                            if workers[w].stack.is_empty() {
+                                outstanding -= 1;
+                                if outstanding == 0 {
+                                    stats.makespan = next_time;
+                                }
+                            }
+                        }
+                        Action::ShortCircuit => {
+                            stats.makespan = next_time;
+                            short_circuited = true;
+                        }
+                    }
+                }
+                None => {
+                    workers[w].stack.pop();
+                    workers[w].backtracks_since_split += 1;
+                    next_time += 1; // backtracking is cheap but not free
+                    if workers[w].stack.is_empty() {
+                        // Task complete.
+                        outstanding -= 1;
+                        if outstanding == 0 {
+                            stats.makespan = next_time;
+                        }
+                    }
+                }
+            }
+            events.push(Reverse((next_time, w)));
+            continue;
+        }
+
+        // ---- Idle worker: start backlog work, pop a pool, or steal --------
+        if let Some(task) = pop_backlog(&mut workers[w]) {
+            next_time += start_task(
+                problem,
+                driver,
+                &mut workers[w],
+                &pools,
+                coordination,
+                costs,
+                &mut outstanding,
+                &mut stats,
+                &mut short_circuited,
+                task,
+                now,
+            );
+            events.push(Reverse((next_time, w)));
+            continue;
+        }
+
+        let my_locality = workers[w].locality;
+        match coordination {
+            Coordination::Sequential | Coordination::DepthBounded { .. } | Coordination::Budget { .. } => {
+                // Local pool first, then a random remote pool.
+                if let Some(task) = pools[my_locality].pop() {
+                    next_time += costs.pop_cost;
+                    workers[w].backlog.push(task);
+                } else if n_localities > 1 {
+                    let victim = pick_other(&mut rng, n_localities, my_locality);
+                    if let Some(task) = pools[victim].pop() {
+                        next_time += costs.remote_steal_latency;
+                        stats.steals += 1;
+                        workers[w].backlog.push(task);
+                    } else {
+                        next_time += costs.idle_poll;
+                    }
+                } else {
+                    next_time += costs.idle_poll;
+                }
+            }
+            Coordination::StackStealing { chunked } => {
+                // Steal directly from another worker's stack: prefer a random
+                // local victim, fall back to a random remote one.
+                let local_victims: Vec<usize> = (0..n_workers)
+                    .filter(|&v| v != w && workers[v].locality == my_locality)
+                    .collect();
+                let remote_victims: Vec<usize> =
+                    (0..n_workers).filter(|&v| workers[v].locality != my_locality).collect();
+                let mut stolen = Vec::new();
+                let mut latency = costs.idle_poll;
+                for (victims, cost) in [
+                    (&local_victims, costs.local_steal_latency),
+                    (&remote_victims, costs.remote_steal_latency),
+                ] {
+                    if victims.is_empty() {
+                        continue;
+                    }
+                    let victim = victims[rng.gen_range(0..victims.len())];
+                    let split = workers[victim].stack.split_lowest(chunked);
+                    if !split.is_empty() {
+                        stolen = split;
+                        latency = cost;
+                        break;
+                    }
+                }
+                if !stolen.is_empty() {
+                    outstanding += stolen.len() as u64;
+                    stats.spawns += stolen.len() as u64;
+                    stats.steals += 1;
+                    workers[w].backlog.extend(stolen);
+                }
+                next_time += latency;
+            }
+        }
+        events.push(Reverse((next_time, w)));
+    }
+
+    if stats.makespan == 0 {
+        // Short-circuit before any completion event, or a degenerate
+        // zero-work run: fall back to the last observed time.
+        stats.makespan = stats.nodes * costs.node_cost / n_workers.max(1) as u64;
+    }
+    stats.total_work = workers.iter().map(|w| w.work).sum();
+    stats
+}
+
+fn pop_backlog<P: SearchProblem>(worker: &mut SimWorker<'_, P>) -> Option<Task<P::Node>> {
+    if worker.backlog.is_empty() {
+        None
+    } else {
+        Some(worker.backlog.remove(0))
+    }
+}
+
+/// Begin executing a task on a worker: process its root node and either
+/// spawn its children (Depth-Bounded above the cutoff) or set up the
+/// resumable depth-first traversal.  Returns the virtual time consumed.
+#[allow(clippy::too_many_arguments)]
+fn start_task<'p, P, D>(
+    problem: &'p P,
+    driver: &mut D,
+    worker: &mut SimWorker<'p, P>,
+    pools: &[DepthPool<P::Node>],
+    coordination: Coordination,
+    costs: &CostModel,
+    outstanding: &mut u64,
+    stats: &mut SimStats,
+    short_circuited: &mut bool,
+    task: Task<P::Node>,
+    now: u64,
+) -> u64
+where
+    P: SearchProblem,
+    D: SimDriver<P>,
+{
+    let mut elapsed = costs.node_cost;
+    worker.work += costs.node_cost;
+    stats.nodes += 1;
+    match driver.process(problem, &task.node, worker.locality, now + elapsed) {
+        Action::Prune | Action::PruneSiblings => {
+            stats.prunes += 1;
+            *outstanding -= 1;
+            if *outstanding == 0 {
+                stats.makespan = now + elapsed;
+            }
+            return elapsed;
+        }
+        Action::ShortCircuit => {
+            stats.makespan = now + elapsed;
+            *short_circuited = true;
+            return elapsed;
+        }
+        Action::Expand => {}
+    }
+
+    if let Coordination::DepthBounded { dcutoff } = coordination {
+        if task.depth < dcutoff {
+            // Convert every child into a task on the local pool.
+            let children: Vec<Task<P::Node>> = problem
+                .generator(&task.node)
+                .map(|c| Task::new(c, task.depth + 1))
+                .collect();
+            *outstanding += children.len() as u64;
+            stats.spawns += children.len() as u64;
+            elapsed += costs.spawn_cost * children.len() as u64;
+            pools[worker.locality].push_all(children);
+            *outstanding -= 1;
+            if *outstanding == 0 {
+                stats.makespan = now + elapsed;
+            }
+            return elapsed;
+        }
+    }
+
+    worker.stack.push(problem, &task.node, task.depth);
+    worker.backtracks_since_split = 0;
+    elapsed
+}
+
+fn pick_other(rng: &mut SmallRng, n: usize, me: usize) -> usize {
+    if n <= 1 {
+        return me;
+    }
+    let mut v = rng.gen_range(0..n - 1);
+    if v >= me {
+        v += 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yewpar::monoid::Sum;
+    use yewpar::{Coordination, Skeleton};
+
+    /// Irregular enumeration tree shared by the tests.
+    struct Fib {
+        depth: usize,
+    }
+
+    impl SearchProblem for Fib {
+        type Node = (usize, u64);
+        type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+        fn root(&self) -> (usize, u64) {
+            (0, 3)
+        }
+        fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+            let (d, s) = *node;
+            if d >= self.depth {
+                return vec![].into_iter();
+            }
+            let width = (s % 3 + 1) as usize;
+            (0..width)
+                .map(|i| (d + 1, s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64)))
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl Enumerate for Fib {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    impl Optimise for Fib {
+        type Score = u64;
+        fn objective(&self, node: &(usize, u64)) -> u64 {
+            node.1 % 997
+        }
+        fn bound(&self, _node: &(usize, u64)) -> Option<u64> {
+            Some(997)
+        }
+    }
+
+    impl Decide for Fib {
+        fn target(&self) -> u64 {
+            990
+        }
+    }
+
+    fn sim(coord: Coordination, localities: usize, wpl: usize) -> SimConfig {
+        SimConfig::new(coord, localities, wpl)
+    }
+
+    #[test]
+    fn simulated_enumeration_matches_the_threaded_skeleton() {
+        let p = Fib { depth: 10 };
+        let reference = Skeleton::new(Coordination::Sequential).enumerate(&p).value;
+        for coord in [
+            Coordination::Sequential,
+            Coordination::depth_bounded(2),
+            Coordination::stack_stealing_chunked(),
+            Coordination::budget(30),
+        ] {
+            let out = simulate_enumerate(&p, &sim(coord, 2, 3));
+            assert_eq!(out.result, reference, "{coord}");
+            assert_eq!(out.nodes, reference.0);
+        }
+    }
+
+    #[test]
+    fn simulated_optimisation_matches_the_threaded_skeleton() {
+        let p = Fib { depth: 9 };
+        let reference = Skeleton::new(Coordination::Sequential).maximise(&p);
+        for coord in [
+            Coordination::depth_bounded(3),
+            Coordination::stack_stealing(),
+            Coordination::budget(20),
+        ] {
+            let out = simulate_maximise(&p, &sim(coord, 3, 2));
+            assert_eq!(
+                out.result.as_ref().map(|(_, s)| *s),
+                Some(*reference.score()),
+                "{coord}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_decision_finds_a_witness() {
+        let p = Fib { depth: 12 };
+        let seq = Skeleton::new(Coordination::Sequential).decide(&p);
+        let out = simulate_decide(&p, &sim(Coordination::depth_bounded(2), 2, 4));
+        assert_eq!(out.result.is_some(), seq.found());
+    }
+
+    #[test]
+    fn more_workers_reduce_the_makespan_of_a_parallel_friendly_tree() {
+        let p = Fib { depth: 11 };
+        let one = simulate_enumerate(&p, &sim(Coordination::depth_bounded(3), 1, 1));
+        let many = simulate_enumerate(&p, &sim(Coordination::depth_bounded(3), 1, 8));
+        assert_eq!(one.result, many.result);
+        assert!(
+            many.makespan < one.makespan,
+            "8 workers ({}) should beat 1 worker ({})",
+            many.makespan,
+            one.makespan
+        );
+        let speedup = many.speedup_vs(one.makespan);
+        assert!(speedup > 2.0, "expected a real speedup, got {speedup:.2}");
+        assert!(many.efficiency() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn remote_steals_are_more_expensive_than_local_ones() {
+        let p = Fib { depth: 11 };
+        let single_locality = simulate_enumerate(&p, &sim(Coordination::stack_stealing_chunked(), 1, 8));
+        let many_localities = simulate_enumerate(&p, &sim(Coordination::stack_stealing_chunked(), 8, 1));
+        assert_eq!(single_locality.result, many_localities.result);
+        assert!(
+            many_localities.makespan >= single_locality.makespan,
+            "8 localities ({}) should not beat 8 local workers ({})",
+            many_localities.makespan,
+            single_locality.makespan
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = Fib { depth: 10 };
+        let cfg = sim(Coordination::budget(25), 2, 3);
+        let a = simulate_maximise(&p, &cfg);
+        let b = simulate_maximise(&p, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.steals, b.steals);
+    }
+
+    #[test]
+    fn sequential_simulation_visits_every_node_exactly_once() {
+        let p = Fib { depth: 9 };
+        let out = simulate_enumerate(&p, &sim(Coordination::Sequential, 1, 1));
+        assert_eq!(out.nodes, out.result.0);
+        assert_eq!(out.total_work, out.nodes * CostModel::default().node_cost);
+        assert_eq!(out.spawns, 0);
+        assert_eq!(out.steals, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Domain example: cargo-loading optimisation with the 0/1 knapsack
+//! application, comparing all three generated instance classes and two
+//! skeletons.
+//!
+//! ```text
+//! cargo run --release --example knapsack_planner
+//! ```
+
+use yewpar::{Coordination, Skeleton};
+use yewpar_apps::knapsack::Knapsack;
+use yewpar_instances::knapsack::{KnapsackClass, KnapsackInstance};
+
+fn main() {
+    for (label, class) in [
+        ("uncorrelated", KnapsackClass::Uncorrelated),
+        ("weakly correlated", KnapsackClass::WeaklyCorrelated),
+        ("strongly correlated", KnapsackClass::StronglyCorrelated),
+    ] {
+        let instance = KnapsackInstance::generate(class, 26, 500, 42);
+        let reference = instance.optimum_by_dp();
+        let problem = Knapsack::new(instance);
+
+        let sequential = Skeleton::new(Coordination::Sequential).maximise(&problem);
+        let parallel = Skeleton::new(Coordination::budget(1_000)).workers(4).maximise(&problem);
+
+        assert_eq!(*sequential.score(), reference);
+        assert_eq!(*parallel.score(), reference);
+
+        let chosen = problem.selected_items(parallel.node());
+        let (profit, weight) = problem.instance().evaluate(&chosen);
+        println!("{label:>20}: optimum profit {profit:>6} using {:>2} items, weight {weight}/{}", chosen.len(), problem.instance().capacity);
+        println!(
+            "{:>20}  sequential explored {:>8} nodes; Budget skeleton explored {:>8} nodes with {} tasks",
+            "",
+            sequential.metrics.nodes(),
+            parallel.metrics.nodes(),
+            parallel.metrics.spawns()
+        );
+    }
+}

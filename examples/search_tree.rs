@@ -1,0 +1,69 @@
+//! Reproduce the paper's Figure 1: the 8-vertex maximum-clique instance and
+//! its search tree, printed as text.  Each line shows a search-tree node as
+//! `{current clique} [candidate vertices in heuristic order]`, exactly as the
+//! figure annotates them.
+//!
+//! ```text
+//! cargo run --example search_tree
+//! ```
+
+use yewpar::SearchProblem;
+use yewpar_apps::maxclique::{CliqueNode, MaxClique};
+use yewpar_instances::Graph;
+
+/// The graph of Figure 1 (vertices a..h = 0..7; maximum clique {a, d, f, g}).
+fn figure1_graph() -> Graph {
+    let mut g = Graph::new(8);
+    let edges = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (1, 2),
+        (1, 6),
+        (2, 4),
+        (3, 5),
+        (3, 6),
+        (4, 7),
+        (5, 6),
+    ];
+    for (u, v) in edges {
+        g.add_edge(u, v);
+    }
+    g
+}
+
+fn vertex_name(v: usize) -> char {
+    (b'a' + v as u8) as char
+}
+
+fn show(node: &CliqueNode) -> String {
+    let clique: String = node.clique.iter().map(vertex_name).collect::<Vec<_>>().iter().collect();
+    let cands: String = node
+        .candidates
+        .iter()
+        .map(vertex_name)
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{clique}}} [{cands}]")
+}
+
+fn print_tree(problem: &MaxClique, node: &CliqueNode, depth: usize, lines: &mut usize) {
+    println!("{}{}", "  ".repeat(depth), show(node));
+    *lines += 1;
+    for child in problem.generator(node) {
+        print_tree(problem, &child, depth + 1, lines);
+    }
+}
+
+fn main() {
+    let problem = MaxClique::new(figure1_graph());
+    println!("Figure 1 search tree (node = current clique, candidates in heuristic order):\n");
+    let mut count = 0;
+    print_tree(&problem, &problem.root(), 0, &mut count);
+    println!("\n{count} search-tree nodes in total.");
+    println!("The maximum clique is {{a, d, f, g}} (size 4).");
+}

@@ -1,0 +1,56 @@
+//! Domain example: route planning with the TSP application — find a provably
+//! optimal tour of randomly placed depots and compare against the Held–Karp
+//! reference and a greedy nearest-neighbour heuristic.
+//!
+//! ```text
+//! cargo run --release --example tsp_tour
+//! ```
+
+use yewpar::{Coordination, Skeleton};
+use yewpar_apps::tsp::Tsp;
+use yewpar_instances::TspInstance;
+
+/// Greedy nearest-neighbour tour (a non-exact baseline for comparison).
+fn nearest_neighbour(instance: &TspInstance) -> (Vec<usize>, u64) {
+    let n = instance.cities();
+    let mut tour = vec![0usize];
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    while tour.len() < n {
+        let here = *tour.last().unwrap();
+        let next = (0..n)
+            .filter(|&c| !visited[c])
+            .min_by_key(|&c| instance.distance(here, c))
+            .unwrap();
+        visited[next] = true;
+        tour.push(next);
+    }
+    let len = instance.tour_length(&tour);
+    (tour, len)
+}
+
+fn main() {
+    let instance = TspInstance::random_euclidean(13, 1000.0, 7);
+    let (greedy_tour, greedy_len) = nearest_neighbour(&instance);
+    let reference = instance.optimum_by_held_karp();
+
+    let problem = Tsp::new(instance);
+    let out = Skeleton::new(Coordination::stack_stealing_chunked())
+        .workers(4)
+        .maximise(&problem);
+    let optimal_len = out.score().0;
+    let tour: Vec<usize> = out.node().path.iter().map(|&c| c as usize).collect();
+
+    println!("Cities: {}", problem.instance().cities());
+    println!("Greedy nearest-neighbour tour: length {greedy_len}  {greedy_tour:?}");
+    println!("Exact branch-and-bound tour:   length {optimal_len}  {tour:?}");
+    println!("Held-Karp reference optimum:   length {reference}");
+    println!(
+        "Search explored {} nodes, pruned {} subtrees, spawned {} tasks.",
+        out.metrics.nodes(),
+        out.metrics.totals.prunes,
+        out.metrics.spawns()
+    );
+    assert_eq!(optimal_len, reference);
+    assert!(optimal_len <= greedy_len);
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the YewPar reproduction workspace.
+//!
+//! This crate exists so that the workspace root can host the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! The actual library code lives in the `crates/` members:
+//!
+//! * [`yewpar`] — the search-skeleton library (the paper's contribution),
+//! * [`yewpar_semantics`] — the executable formal model of Section 3,
+//! * [`yewpar_sim`] — the discrete-event distributed execution substrate,
+//! * [`yewpar_instances`] — instance parsers and synthetic generators,
+//! * [`yewpar_apps`] — the seven search applications from Section 5.1.
+
+pub use yewpar;
+pub use yewpar_apps;
+pub use yewpar_instances;
+pub use yewpar_semantics;
+pub use yewpar_sim;

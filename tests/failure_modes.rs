@@ -1,0 +1,104 @@
+//! Edge cases and failure injection across the public API: degenerate
+//! configurations, trivial search spaces, unreachable decision targets and
+//! pathological skeleton parameters must all behave predictably.
+
+use yewpar::error::Error;
+use yewpar::{Coordination, SearchConfig, Skeleton};
+use yewpar_apps::kclique::KClique;
+use yewpar_apps::maxclique::MaxClique;
+use yewpar_apps::semigroups::Semigroups;
+use yewpar_apps::tsp::Tsp;
+use yewpar_instances::{graph, Graph, TspInstance};
+
+#[test]
+fn invalid_configurations_are_rejected_up_front() {
+    assert!(matches!(Coordination::budget(0).validate(), Err(Error::InvalidConfig(_))));
+    let cfg = SearchConfig {
+        workers: 0,
+        ..SearchConfig::default()
+    };
+    assert!(cfg.validate().is_err());
+}
+
+#[test]
+#[should_panic(expected = "invalid skeleton configuration")]
+fn running_with_a_zero_budget_panics_with_a_clear_message() {
+    let p = MaxClique::new(Graph::new(3));
+    let _ = Skeleton::new(Coordination::budget(0)).maximise(&p);
+}
+
+#[test]
+fn trivial_graphs_work_under_every_coordination() {
+    for coord in [
+        Coordination::Sequential,
+        Coordination::depth_bounded(5),
+        Coordination::stack_stealing(),
+        Coordination::budget(1),
+    ] {
+        // Single vertex.
+        let p = MaxClique::new(Graph::new(1));
+        assert_eq!(*Skeleton::new(coord).workers(3).maximise(&p).score(), 1, "{coord}");
+        // Edgeless graph.
+        let p = MaxClique::new(Graph::new(6));
+        assert_eq!(*Skeleton::new(coord).workers(3).maximise(&p).score(), 1, "{coord}");
+        // Complete graph.
+        let p = MaxClique::new(graph::gnp(8, 1.0, 0));
+        assert_eq!(*Skeleton::new(coord).workers(3).maximise(&p).score(), 8, "{coord}");
+    }
+}
+
+#[test]
+fn unreachable_decision_targets_explore_and_return_none() {
+    let g = graph::gnp(25, 0.3, 9);
+    let p = KClique::new(g, 24);
+    for coord in [
+        Coordination::Sequential,
+        Coordination::depth_bounded(1),
+        Coordination::stack_stealing_chunked(),
+        Coordination::budget(4),
+    ] {
+        let out = Skeleton::new(coord).workers(3).decide(&p);
+        assert!(!out.found(), "{coord}");
+        assert!(out.witness.is_none());
+    }
+}
+
+#[test]
+fn extreme_skeleton_parameters_still_give_correct_answers() {
+    let p = Semigroups::new(9);
+    let expected = Skeleton::new(Coordination::Sequential).enumerate(&p).value;
+    // A depth cutoff far beyond the tree depth turns every node into a task.
+    let out = Skeleton::new(Coordination::depth_bounded(1_000)).workers(3).enumerate(&p);
+    assert_eq!(out.value, expected);
+    // A budget of one backtrack splits almost constantly.
+    let out = Skeleton::new(Coordination::budget(1)).workers(3).enumerate(&p);
+    assert_eq!(out.value, expected);
+    // A cutoff of zero never spawns.
+    let out = Skeleton::new(Coordination::depth_bounded(0)).workers(3).enumerate(&p);
+    assert_eq!(out.value, expected);
+    assert_eq!(out.metrics.spawns(), 0);
+}
+
+#[test]
+fn single_worker_parallel_skeletons_degenerate_gracefully() {
+    let p = Tsp::new(TspInstance::random_euclidean(9, 100.0, 3));
+    let expected = Skeleton::new(Coordination::Sequential).maximise(&p);
+    for coord in [
+        Coordination::depth_bounded(2),
+        Coordination::stack_stealing(),
+        Coordination::budget(10),
+    ] {
+        let out = Skeleton::new(coord).workers(1).maximise(&p);
+        assert_eq!(out.score(), expected.score(), "{coord}");
+    }
+}
+
+#[test]
+fn oversubscribed_worker_counts_are_safe() {
+    // Far more workers than hardware threads (and than available tasks).
+    let p = MaxClique::new(graph::gnp(20, 0.5, 77));
+    let expected = *Skeleton::new(Coordination::Sequential).maximise(&p).score();
+    let out = Skeleton::new(Coordination::depth_bounded(2)).workers(32).maximise(&p);
+    assert_eq!(*out.score(), expected);
+    assert_eq!(out.metrics.workers, 32);
+}

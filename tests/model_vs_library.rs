@@ -1,0 +1,108 @@
+//! Cross-validation of the executable formal model (`yewpar-semantics`)
+//! against the production library (`yewpar`): running the *same* explicit
+//! tree through the paper's reduction semantics and through the threaded
+//! skeletons must give identical enumeration sums and optimisation maxima.
+
+use std::collections::BTreeMap;
+
+use yewpar::monoid::Sum;
+use yewpar::{Coordination, Enumerate, Optimise, SearchProblem, Skeleton};
+use yewpar_semantics::{Knowledge, SearchKind, Semantics, Tree, Word};
+
+/// Wrap an explicit model tree as a `yewpar` search problem so both systems
+/// traverse exactly the same node set in the same heuristic order.
+struct ExplicitTree {
+    children: BTreeMap<Word, Vec<Word>>,
+}
+
+impl ExplicitTree {
+    fn from_model(tree: &Tree) -> Self {
+        let mut children: BTreeMap<Word, Vec<Word>> = BTreeMap::new();
+        for node in tree.nodes() {
+            children.entry(node.clone()).or_default();
+            if !node.is_empty() {
+                let parent = node[..node.len() - 1].to_vec();
+                children.entry(parent).or_default().push(node.clone());
+            }
+        }
+        for siblings in children.values_mut() {
+            siblings.sort();
+        }
+        ExplicitTree { children }
+    }
+}
+
+impl SearchProblem for ExplicitTree {
+    type Node = Word;
+    type Gen<'a> = std::vec::IntoIter<Word>;
+    fn root(&self) -> Word {
+        Vec::new()
+    }
+    fn generator(&self, node: &Word) -> Self::Gen<'_> {
+        self.children.get(node).cloned().unwrap_or_default().into_iter()
+    }
+}
+
+fn objective(w: &Word) -> i64 {
+    w.len() as i64 * 2 + w.iter().map(|&c| c as i64).sum::<i64>() % 5
+}
+
+impl Enumerate for ExplicitTree {
+    type Value = Sum<u64>;
+    fn value(&self, _n: &Word) -> Sum<u64> {
+        Sum(1)
+    }
+}
+
+impl Optimise for ExplicitTree {
+    type Score = i64;
+    fn objective(&self, node: &Word) -> i64 {
+        objective(node)
+    }
+}
+
+#[test]
+fn model_and_library_count_the_same_trees() {
+    for seed in 0..10 {
+        let model_tree = Tree::random(seed, 60, 4, 5);
+        let expected = model_tree.len() as u64;
+
+        // Formal model, parallel random interleaving.
+        let sem = Semantics::new(model_tree.clone(), |_| 1, SearchKind::Enumeration);
+        let (end, _) = sem.run_random(3, seed ^ 0xABCD, 0.5);
+        assert_eq!(end.sigma, Knowledge::Accumulator(expected as i64), "seed {seed}");
+
+        // Production library, every skeleton.
+        let problem = ExplicitTree::from_model(&model_tree);
+        for coord in [
+            Coordination::Sequential,
+            Coordination::depth_bounded(2),
+            Coordination::stack_stealing_chunked(),
+            Coordination::budget(8),
+        ] {
+            let out = Skeleton::new(coord).workers(3).enumerate(&problem);
+            assert_eq!(out.value.0, expected, "seed {seed}, {coord}");
+        }
+    }
+}
+
+#[test]
+fn model_and_library_agree_on_maxima() {
+    for seed in 20..28 {
+        let model_tree = Tree::random(seed, 48, 3, 6);
+        let sem = Semantics::new(model_tree.clone(), objective, SearchKind::Optimisation);
+        let expected = sem.reference();
+
+        let (end, _) = sem.run_random(2, seed, 0.3);
+        match end.sigma {
+            Knowledge::Incumbent(u) => assert_eq!(sem.h(&u), expected, "model, seed {seed}"),
+            _ => unreachable!(),
+        }
+
+        let problem = ExplicitTree::from_model(&model_tree);
+        for coord in [Coordination::Sequential, Coordination::budget(8)] {
+            let out = Skeleton::new(coord).workers(2).maximise(&problem);
+            assert_eq!(*out.score(), expected, "library, seed {seed}, {coord}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The discrete-event simulator must compute exactly the same search results
+//! as the threaded skeletons — it only changes *when* work happens, never
+//! *what* the search computes — and must be deterministic, since the paper's
+//! scaling figures are regenerated from it.
+
+use yewpar::{Coordination, Skeleton};
+use yewpar_apps::kclique::KClique;
+use yewpar_apps::knapsack::Knapsack;
+use yewpar_apps::maxclique::MaxClique;
+use yewpar_apps::semigroups::Semigroups;
+use yewpar_apps::uts::Uts;
+use yewpar_instances::graph;
+use yewpar_instances::knapsack::{KnapsackClass, KnapsackInstance};
+use yewpar_sim::{simulate_decide, simulate_enumerate, simulate_maximise, SimConfig};
+
+fn sim_coordinations() -> Vec<Coordination> {
+    vec![
+        Coordination::Sequential,
+        Coordination::depth_bounded(2),
+        Coordination::stack_stealing_chunked(),
+        Coordination::budget(50),
+    ]
+}
+
+#[test]
+fn simulated_maxclique_equals_threaded_result() {
+    let g = graph::planted_clique(45, 0.4, 11, 808);
+    let p = MaxClique::new(g);
+    let reference = *Skeleton::new(Coordination::Sequential).maximise(&p).score();
+    for coord in sim_coordinations() {
+        for localities in [1, 4] {
+            let out = simulate_maximise(&p, &SimConfig::new(coord, localities, 4));
+            assert_eq!(out.result.as_ref().map(|(_, s)| *s), Some(reference), "{coord}, {localities} localities");
+        }
+    }
+}
+
+#[test]
+fn simulated_knapsack_equals_dp_optimum() {
+    let inst = KnapsackInstance::generate(KnapsackClass::StronglyCorrelated, 20, 100, 7);
+    let reference = inst.optimum_by_dp();
+    let p = Knapsack::new(inst);
+    for coord in sim_coordinations() {
+        let out = simulate_maximise(&p, &SimConfig::new(coord, 2, 8));
+        assert_eq!(out.result.map(|(_, s)| s), Some(reference), "{coord}");
+    }
+}
+
+#[test]
+fn simulated_enumeration_counts_every_node_exactly_once() {
+    let p = Semigroups::new(10);
+    let reference = Skeleton::new(Coordination::Sequential).enumerate(&p).value;
+    for coord in sim_coordinations() {
+        let out = simulate_enumerate(&p, &SimConfig::new(coord, 3, 5));
+        assert_eq!(out.result, reference, "{coord}");
+        assert_eq!(out.nodes, reference.total(), "{coord}");
+    }
+
+    let p = Uts::geometric_small(3);
+    let reference = Skeleton::new(Coordination::Sequential).enumerate(&p).value;
+    for coord in sim_coordinations() {
+        let out = simulate_enumerate(&p, &SimConfig::new(coord, 2, 4));
+        assert_eq!(out.result, reference, "{coord}");
+    }
+}
+
+#[test]
+fn simulated_decision_agrees_on_satisfiability() {
+    let g = graph::planted_clique(40, 0.4, 10, 55);
+    for (k, expected) in [(10, true), (18, false)] {
+        let p = KClique::new(g.clone(), k);
+        for coord in sim_coordinations() {
+            let out = simulate_decide(&p, &SimConfig::new(coord, 2, 6));
+            assert_eq!(out.result.is_some(), expected, "k={k}, {coord}");
+        }
+    }
+}
+
+#[test]
+fn simulation_is_fully_deterministic() {
+    let g = graph::p_hat_like(60, 0.3, 0.8, 31);
+    let p = MaxClique::new(g);
+    for coord in sim_coordinations() {
+        let cfg = SimConfig::new(coord, 4, 4);
+        let a = simulate_maximise(&p, &cfg);
+        let b = simulate_maximise(&p, &cfg);
+        assert_eq!(a.makespan, b.makespan, "{coord}");
+        assert_eq!(a.nodes, b.nodes, "{coord}");
+        assert_eq!(a.spawns, b.spawns, "{coord}");
+        assert_eq!(a.steals, b.steals, "{coord}");
+    }
+}
+
+#[test]
+fn adding_workers_never_changes_the_answer_and_speeds_up_enumeration() {
+    // Enumeration has a fixed amount of work, so any parallel configuration
+    // must produce the same count and a shorter virtual makespan than a
+    // single simulated worker.
+    let p = Semigroups::new(12);
+    let coord = Coordination::depth_bounded(3);
+    let single = simulate_enumerate(&p, &SimConfig::new(coord, 1, 1));
+    for workers in [4usize, 15] {
+        let out = simulate_enumerate(&p, &SimConfig::new(coord, 1, workers));
+        assert_eq!(out.result, single.result, "{workers} workers");
+        assert!(
+            out.makespan < single.makespan,
+            "{workers} workers took {} vs single-worker {}",
+            out.makespan,
+            single.makespan
+        );
+    }
+}

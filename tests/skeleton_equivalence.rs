@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: every application run under every skeleton
+//! must agree with the Sequential skeleton (and with external references
+//! where available).  This is the executable form of the paper's claim that
+//! the 12 skeletons are interchangeable parallelisations of the same search.
+
+use yewpar::{Coordination, Skeleton};
+use yewpar_apps::kclique::KClique;
+use yewpar_apps::knapsack::Knapsack;
+use yewpar_apps::maxclique::MaxClique;
+use yewpar_apps::semigroups::{Semigroups, SEMIGROUPS_PER_GENUS};
+use yewpar_apps::sip::Sip;
+use yewpar_apps::tsp::Tsp;
+use yewpar_apps::uts::Uts;
+use yewpar_instances::knapsack::{KnapsackClass, KnapsackInstance};
+use yewpar_instances::{graph, SipInstance, TspInstance};
+
+/// The twelve skeletons: four coordinations, applied below to the three
+/// search types.
+fn parallel_coordinations() -> Vec<Coordination> {
+    vec![
+        Coordination::depth_bounded(2),
+        Coordination::stack_stealing(),
+        Coordination::stack_stealing_chunked(),
+        Coordination::budget(64),
+    ]
+}
+
+#[test]
+fn maxclique_all_skeletons_agree() {
+    let g = graph::planted_clique(50, 0.45, 12, 3141);
+    let p = MaxClique::new(g);
+    let reference = Skeleton::new(Coordination::Sequential).maximise(&p);
+    for coord in parallel_coordinations() {
+        let out = Skeleton::new(coord).workers(4).maximise(&p);
+        assert_eq!(out.score(), reference.score(), "{coord}");
+        assert!(p.verify(out.node()), "{coord} returned an invalid clique");
+    }
+}
+
+#[test]
+fn kclique_decision_all_skeletons_agree() {
+    let g = graph::planted_clique(45, 0.4, 11, 2718);
+    for (k, expected) in [(11, true), (10, true), (20, false)] {
+        let p = KClique::new(g.clone(), k);
+        for coord in parallel_coordinations() {
+            let out = Skeleton::new(coord).workers(4).decide(&p);
+            assert_eq!(out.found(), expected, "k={k}, {coord}");
+            if let Some(w) = &out.witness {
+                assert!(p.verify(w));
+            }
+        }
+    }
+}
+
+#[test]
+fn knapsack_matches_dynamic_programming_under_every_skeleton() {
+    let inst = KnapsackInstance::generate(KnapsackClass::WeaklyCorrelated, 22, 200, 99);
+    let reference = inst.optimum_by_dp();
+    let p = Knapsack::new(inst);
+    for coord in parallel_coordinations() {
+        let out = Skeleton::new(coord).workers(4).maximise(&p);
+        assert_eq!(*out.score(), reference, "{coord}");
+        assert!(p.verify(out.node()));
+    }
+}
+
+#[test]
+fn tsp_matches_held_karp_under_every_skeleton() {
+    let inst = TspInstance::random_euclidean(11, 500.0, 11);
+    let reference = inst.optimum_by_held_karp();
+    let p = Tsp::new(inst);
+    for coord in parallel_coordinations() {
+        let out = Skeleton::new(coord).workers(4).maximise(&p);
+        assert_eq!(out.score().0, reference, "{coord}");
+        assert!(p.verify(out.node()));
+    }
+}
+
+#[test]
+fn sip_decisions_agree_under_every_skeleton() {
+    let yes = SipInstance::with_embedding(30, 8, 0.35, 5);
+    let no = SipInstance::unlikely(25, 8, 6);
+    for (inst, expected) in [(yes, true), (no, false)] {
+        let p = Sip::new(inst);
+        for coord in parallel_coordinations() {
+            let out = Skeleton::new(coord).workers(4).decide(&p);
+            assert_eq!(out.found(), expected, "{coord}");
+            if let Some(w) = &out.witness {
+                assert!(p.verify(w));
+            }
+        }
+    }
+}
+
+#[test]
+fn semigroup_counts_match_oeis_under_every_skeleton() {
+    let genus = 11;
+    let p = Semigroups::new(genus);
+    for coord in parallel_coordinations() {
+        let out = Skeleton::new(coord).workers(4).enumerate(&p);
+        for g in 0..=genus as usize {
+            assert_eq!(out.value.count_at(g), SEMIGROUPS_PER_GENUS[g], "genus {g}, {coord}");
+        }
+    }
+}
+
+#[test]
+fn uts_counts_agree_under_every_skeleton() {
+    let p = Uts::geometric_small(4242);
+    let reference = Skeleton::new(Coordination::Sequential).enumerate(&p).value;
+    for coord in parallel_coordinations() {
+        let out = Skeleton::new(coord).workers(4).enumerate(&p);
+        assert_eq!(out.value, reference, "{coord}");
+    }
+}
+
+#[test]
+fn metrics_account_for_every_processed_node_in_enumeration() {
+    // For enumeration (no pruning) the node count in the metrics must equal
+    // the tree size under every coordination and any worker count.
+    let p = Uts::geometric_small(7);
+    let expected = Skeleton::new(Coordination::Sequential).enumerate(&p).value.0;
+    for coord in parallel_coordinations() {
+        for workers in [1, 2, 5] {
+            let out = Skeleton::new(coord).workers(workers).enumerate(&p);
+            assert_eq!(out.value.0 .0, expected.0, "{coord} workers={workers}");
+            assert_eq!(out.metrics.nodes(), expected.0, "{coord} workers={workers}");
+            assert_eq!(out.metrics.workers, workers);
+        }
+    }
+}
