@@ -137,7 +137,8 @@ mod tests {
         assert!(yes.found());
         // Deciding a small k must explore far fewer nodes than running the
         // full branch-and-bound optimisation (which has to prove optimality).
-        let full = Skeleton::new(Coordination::Sequential).maximise(&crate::maxclique::MaxClique::new(g));
+        let full =
+            Skeleton::new(Coordination::Sequential).maximise(&crate::maxclique::MaxClique::new(g));
         assert!(
             yes.metrics.nodes() < full.metrics.nodes(),
             "decision should explore fewer nodes ({} vs {})",

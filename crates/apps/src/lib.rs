@@ -12,6 +12,9 @@
 //! | Subgraph Isomorphism (SIP) | decision | [`sip`] |
 //! | k-Clique | decision | [`kclique`] |
 //!
+//! In addition, [`irregular`] provides the synthetic *Irregular* tree used
+//! as the canonical quick benchmark workload across the workspace.
+//!
 //! [`maxclique::baseline`] additionally provides the *hand-written*
 //! specialised solvers (sequential and statically-split parallel) used as the
 //! comparison point of the paper's Table 1 overhead experiment.
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod irregular;
 pub mod kclique;
 pub mod knapsack;
 pub mod maxclique;

@@ -235,7 +235,11 @@ mod tests {
         let g = graph::planted_clique(45, 0.35, 12, 7);
         let p = MaxClique::new(g);
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert!(*out.score() >= 12, "planted clique of size 12 must be found, got {}", out.score());
+        assert!(
+            *out.score() >= 12,
+            "planted clique of size 12 must be found, got {}",
+            out.score()
+        );
         assert!(p.verify(out.node()));
     }
 
@@ -260,7 +264,10 @@ mod tests {
         let g = graph::gnp(35, 0.7, 21);
         let p = MaxClique::new(g);
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert!(out.metrics.totals.prunes > 0, "dense graphs must trigger colour-bound pruning");
+        assert!(
+            out.metrics.totals.prunes > 0,
+            "dense graphs must trigger colour-bound pruning"
+        );
     }
 
     #[test]

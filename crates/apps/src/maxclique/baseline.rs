@@ -35,7 +35,14 @@ pub fn sequential_max_clique(graph: &Graph) -> CliqueResult {
     let mut nodes = 0u64;
     let mut current = Vec::new();
     let candidates = BitSet::full(graph.order());
-    expand(graph, &mut current, &candidates, &mut best, &mut best_size, &mut nodes);
+    expand(
+        graph,
+        &mut current,
+        &candidates,
+        &mut best,
+        &mut best_size,
+        &mut nodes,
+    );
     CliqueResult {
         clique: best,
         size: best_size,
@@ -113,7 +120,14 @@ pub fn parallel_max_clique_depth1(graph: &Graph, workers: usize) -> CliqueResult
                     }
                     let (v, cands) = &branches[idx];
                     let mut current = vec![*v];
-                    par_expand(graph, &mut current, cands, &best_size, &best_clique, &mut nodes);
+                    par_expand(
+                        graph,
+                        &mut current,
+                        cands,
+                        &best_size,
+                        &best_clique,
+                        &mut nodes,
+                    );
                 }
                 total_nodes.fetch_add(nodes as u32, Ordering::Relaxed);
             });

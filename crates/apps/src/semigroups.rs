@@ -45,7 +45,10 @@ impl Semigroups {
     /// Count semigroups of every genus up to `genus_max` (≤ 30, limited by
     /// the 64-bit membership mask).
     pub fn new(genus_max: u32) -> Self {
-        assert!(genus_max <= 30, "the u64 membership mask supports genus at most 30");
+        assert!(
+            genus_max <= 30,
+            "the u64 membership mask supports genus at most 30"
+        );
         Semigroups {
             genus_max,
             limit: 2 * genus_max + 2,
@@ -115,13 +118,17 @@ impl SearchProblem for Semigroups {
 
     fn root(&self) -> SemigroupNode {
         SemigroupNode {
-            members: if self.limit >= 64 { u64::MAX } else { (1u64 << self.limit) - 1 },
+            members: if self.limit >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.limit) - 1
+            },
             frobenius: -1,
             genus: 0,
         }
     }
 
-    fn generator<'a>(&'a self, node: &SemigroupNode) -> SemigroupGen {
+    fn generator(&self, node: &SemigroupNode) -> SemigroupGen {
         SemigroupGen {
             parent: *node,
             generators: self.effective_generators(node).into_iter(),
@@ -174,12 +181,12 @@ mod tests {
         let genus = 12;
         let p = Semigroups::new(genus);
         let out = Skeleton::new(Coordination::Sequential).enumerate(&p);
-        for g in 0..=genus as usize {
-            assert_eq!(
-                out.value.count_at(g),
-                SEMIGROUPS_PER_GENUS[g],
-                "wrong count at genus {g}"
-            );
+        for (g, &expected) in SEMIGROUPS_PER_GENUS
+            .iter()
+            .enumerate()
+            .take(genus as usize + 1)
+        {
+            assert_eq!(out.value.count_at(g), expected, "wrong count at genus {g}");
         }
     }
 

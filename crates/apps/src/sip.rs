@@ -71,7 +71,10 @@ impl Sip {
         for (i, &assigned_target) in node.mapping.iter().enumerate() {
             let earlier_pattern = self.var_order[i];
             if self.instance.pattern.has_edge(pattern_v, earlier_pattern)
-                && !self.instance.target.has_edge(target_v, assigned_target as usize)
+                && !self
+                    .instance
+                    .target
+                    .has_edge(target_v, assigned_target as usize)
             {
                 return false;
             }

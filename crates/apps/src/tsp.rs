@@ -25,7 +25,10 @@ pub struct TourNode {
 impl TourNode {
     /// The city the tour currently ends at.
     pub fn current(&self) -> usize {
-        *self.path.last().expect("path always contains the start city") as usize
+        *self
+            .path
+            .last()
+            .expect("path always contains the start city") as usize
     }
 
     /// True once every city has been visited.
@@ -49,7 +52,9 @@ impl Tsp {
             instance.cities() >= 2 && instance.cities() <= 64,
             "tsp node representation supports 2..=64 cities"
         );
-        let min_edge = (0..instance.cities()).map(|i| instance.min_edge(i) as u64).collect();
+        let min_edge = (0..instance.cities())
+            .map(|i| instance.min_edge(i) as u64)
+            .collect();
         Tsp { instance, min_edge }
     }
 
@@ -117,7 +122,10 @@ impl Iterator for TourGen<'_> {
         path.push(next_city);
         Some(TourNode {
             cost: self.parent.cost
-                + self.problem.instance.distance(self.parent.current(), next_city as usize) as u64,
+                + self
+                    .problem
+                    .instance
+                    .distance(self.parent.current(), next_city as usize) as u64,
             visited: self.parent.visited | (1 << next_city),
             path,
         })
@@ -139,7 +147,9 @@ impl SearchProblem for Tsp {
     fn generator<'a>(&'a self, node: &TourNode) -> TourGen<'a> {
         let n = self.instance.cities();
         let current = node.current();
-        let mut order: Vec<u16> = (0..n as u16).filter(|&c| node.visited & (1 << c) == 0).collect();
+        let mut order: Vec<u16> = (0..n as u16)
+            .filter(|&c| node.visited & (1 << c) == 0)
+            .collect();
         order.sort_by_key(|&c| self.instance.distance(current, c as usize));
         TourGen {
             problem: self,

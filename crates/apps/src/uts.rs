@@ -121,7 +121,12 @@ impl Uts {
                 let k = (1.0 - u).ln() / p.ln();
                 (k.floor() as usize).min(4 * b0.ceil() as usize)
             }
-            UtsShape::Binomial { b0, q, m, max_depth } => {
+            UtsShape::Binomial {
+                b0,
+                q,
+                m,
+                max_depth,
+            } => {
                 if node.depth == 0 {
                     b0
                 } else if (node.depth as usize) < max_depth && uniform01(node.state) < q {
@@ -169,7 +174,7 @@ impl SearchProblem for Uts {
         }
     }
 
-    fn generator<'a>(&'a self, node: &UtsNode) -> UtsGen {
+    fn generator(&self, node: &UtsNode) -> UtsGen {
         UtsGen {
             parent: *node,
             count: self.num_children(node),
@@ -210,7 +215,10 @@ mod tests {
         let b = Skeleton::new(Coordination::Sequential).enumerate(&Uts::geometric_small(1));
         let c = Skeleton::new(Coordination::Sequential).enumerate(&Uts::geometric_small(2));
         assert_eq!(a.value, b.value);
-        assert_ne!(a.value.0, c.value.0, "different seeds should give different trees");
+        assert_ne!(
+            a.value.0, c.value.0,
+            "different seeds should give different trees"
+        );
     }
 
     #[test]
@@ -223,7 +231,11 @@ mod tests {
             11,
         );
         let out = Skeleton::new(Coordination::Sequential).enumerate(&p);
-        assert!(out.value.1 .0 <= 6, "max depth {} exceeds cap", out.value.1 .0);
+        assert!(
+            out.value.1 .0 <= 6,
+            "max depth {} exceeds cap",
+            out.value.1 .0
+        );
         assert!(out.value.0 .0 > 1);
     }
 

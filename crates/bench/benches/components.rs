@@ -14,7 +14,10 @@ use yewpar_instances::graph;
 
 fn bench_bitset(c: &mut Criterion) {
     let mut group = c.benchmark_group("components/bitset");
-    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let a = BitSet::from_iter(512, (0..512).filter(|i| i % 3 == 0));
     let b = BitSet::from_iter(512, (0..512).filter(|i| i % 7 == 0));
     group.bench_function("intersect_512", |bench| {
@@ -28,13 +31,18 @@ fn bench_bitset(c: &mut Criterion) {
         )
     });
     group.bench_function("count_512", |bench| bench.iter(|| a.count()));
-    group.bench_function("iterate_512", |bench| bench.iter(|| a.iter().sum::<usize>()));
+    group.bench_function("iterate_512", |bench| {
+        bench.iter(|| a.iter().sum::<usize>())
+    });
     group.finish();
 }
 
 fn bench_workpool(c: &mut Criterion) {
     let mut group = c.benchmark_group("components/workpool");
-    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("push_pop_1000", |bench| {
         bench.iter(|| {
             let pool = DepthPool::new();
@@ -53,10 +61,15 @@ fn bench_workpool(c: &mut Criterion) {
 
 fn bench_maxclique_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("components/maxclique");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let g = graph::gnp(120, 0.5, 7);
     let all = BitSet::full(120);
-    group.bench_function("greedy_colour_120", |bench| bench.iter(|| greedy_colour(&g, &all)));
+    group.bench_function("greedy_colour_120", |bench| {
+        bench.iter(|| greedy_colour(&g, &all))
+    });
 
     let problem = MaxClique::new(g);
     let root = problem.root();
@@ -66,5 +79,10 @@ fn bench_maxclique_components(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bitset, bench_workpool, bench_maxclique_components);
+criterion_group!(
+    benches,
+    bench_bitset,
+    bench_workpool,
+    bench_maxclique_components
+);
 criterion_main!(benches);

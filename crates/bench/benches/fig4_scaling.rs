@@ -23,7 +23,10 @@ fn bench_fig4(c: &mut Criterion) {
     let problem = KClique::new(g, omega + 1);
 
     let mut group = c.benchmark_group("fig4/kclique-scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (label, coord) in [
         ("depth-bounded", Coordination::depth_bounded(2)),
         ("stack-stealing", Coordination::stack_stealing_chunked()),

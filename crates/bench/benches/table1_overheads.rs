@@ -21,16 +21,23 @@ fn representative_instances() -> Vec<yewpar_instances::registry::NamedGraph> {
 
 fn bench_sequential_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/sequential");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for named in representative_instances() {
         let graph = named.graph.clone();
         let problem = MaxClique::new(graph.clone());
-        group.bench_with_input(BenchmarkId::new("hand-written", &named.name), &graph, |b, g| {
-            b.iter(|| baseline::sequential_max_clique(g))
-        });
-        group.bench_with_input(BenchmarkId::new("yewpar-sequential", &named.name), &problem, |b, p| {
-            b.iter(|| Skeleton::new(Coordination::Sequential).maximise(p))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hand-written", &named.name),
+            &graph,
+            |b, g| b.iter(|| baseline::sequential_max_clique(g)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("yewpar-sequential", &named.name),
+            &problem,
+            |b, p| b.iter(|| Skeleton::new(Coordination::Sequential).maximise(p)),
+        );
     }
     group.finish();
 }
@@ -38,20 +45,29 @@ fn bench_sequential_overhead(c: &mut Criterion) {
 fn bench_parallel_overhead(c: &mut Criterion) {
     let workers = 4; // a modest worker count keeps oversubscription noise low
     let mut group = c.benchmark_group("table1/parallel");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for named in representative_instances().into_iter().take(2) {
         let graph = named.graph.clone();
         let problem = MaxClique::new(graph.clone());
-        group.bench_with_input(BenchmarkId::new("hand-written-depth1", &named.name), &graph, |b, g| {
-            b.iter(|| baseline::parallel_max_clique_depth1(g, workers))
-        });
-        group.bench_with_input(BenchmarkId::new("yewpar-depthbounded", &named.name), &problem, |b, p| {
-            b.iter(|| {
-                Skeleton::new(Coordination::depth_bounded(1))
-                    .workers(workers)
-                    .maximise(p)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hand-written-depth1", &named.name),
+            &graph,
+            |b, g| b.iter(|| baseline::parallel_max_clique_depth1(g, workers)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("yewpar-depthbounded", &named.name),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    Skeleton::new(Coordination::depth_bounded(1))
+                        .workers(workers)
+                        .maximise(p)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -26,7 +26,10 @@ fn coordinations() -> Vec<(&'static str, Coordination)> {
 
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/applications");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     let clique = MaxClique::new(registry::table2_clique_instances().remove(0).graph);
     let tsp = Tsp::new(registry::table2_tsp_instances().remove(0).1);

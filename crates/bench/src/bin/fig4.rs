@@ -45,7 +45,10 @@ fn main() {
 
     let localities = [1usize, 2, 4, 8, 16, 17];
     let skeletons: Vec<(String, Coordination)> = vec![
-        ("Depth-Bounded (d=2)".to_string(), Coordination::depth_bounded(2)),
+        (
+            "Depth-Bounded (d=2)".to_string(),
+            Coordination::depth_bounded(2),
+        ),
         (
             "Stack-Stealing (chunked)".to_string(),
             Coordination::stack_stealing_chunked(),

@@ -9,7 +9,10 @@ use yewpar_bench::{fmt_secs, time};
 use yewpar_instances::registry;
 
 fn main() {
-    println!("{:>16} {:>8} {:>8} {:>12} {:>10}", "instance", "order", "clique", "nodes", "time");
+    println!(
+        "{:>16} {:>8} {:>8} {:>12} {:>10}",
+        "instance", "order", "clique", "nodes", "time"
+    );
     for named in registry::table1_clique_instances() {
         let problem = MaxClique::new(named.graph.clone());
         let (out, secs) = time(|| Skeleton::new(Coordination::Sequential).maximise(&problem));

@@ -21,13 +21,18 @@ use yewpar_bench::{fmt_secs, geometric_mean, slowdown_pct, time_mean, TableWrite
 use yewpar_instances::registry;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
     let workers = env_usize("YEWPAR_WORKERS", 15);
     let reps = env_usize("YEWPAR_REPS", 5).max(1);
-    println!("Table 1: YewPar vs hand-written Maximum Clique ({reps} repetitions, {workers} workers)");
+    println!(
+        "Table 1: YewPar vs hand-written Maximum Clique ({reps} repetitions, {workers} workers)"
+    );
     println!();
 
     let table = TableWriter::new(&[16, 10, 10, 9, 10, 10, 9]);
@@ -54,9 +59,12 @@ fn main() {
         let problem = MaxClique::new(graph.clone());
 
         let (hand_seq, t_hand_seq) = time_mean(reps, || baseline::sequential_max_clique(&graph));
-        let (skel_seq, t_skel_seq) =
-            time_mean(reps, || Skeleton::new(Coordination::Sequential).maximise(&problem));
-        let (hand_par, t_hand_par) = time_mean(reps, || baseline::parallel_max_clique_depth1(&graph, workers));
+        let (skel_seq, t_skel_seq) = time_mean(reps, || {
+            Skeleton::new(Coordination::Sequential).maximise(&problem)
+        });
+        let (hand_par, t_hand_par) = time_mean(reps, || {
+            baseline::parallel_max_clique_depth1(&graph, workers)
+        });
         let (skel_par, t_skel_par) = time_mean(reps, || {
             Skeleton::new(Coordination::depth_bounded(1))
                 .workers(workers)
@@ -65,8 +73,18 @@ fn main() {
 
         // All four solvers must agree on the clique number — a correctness
         // gate on the overhead comparison.
-        assert_eq!(hand_seq.size, *skel_seq.score(), "{}: sequential mismatch", named.name);
-        assert_eq!(hand_par.size, *skel_par.score(), "{}: parallel mismatch", named.name);
+        assert_eq!(
+            hand_seq.size,
+            *skel_seq.score(),
+            "{}: sequential mismatch",
+            named.name
+        );
+        assert_eq!(
+            hand_par.size,
+            *skel_par.score(),
+            "{}: parallel mismatch",
+            named.name
+        );
 
         let seq_slow = slowdown_pct(t_hand_seq, t_skel_seq);
         let par_slow = slowdown_pct(t_hand_par, t_skel_par);

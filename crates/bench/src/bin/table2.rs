@@ -12,11 +12,17 @@
 //! simulated Sequential skeleton, and the worst/random/best aggregation
 //! follows the paper.
 //!
-//! Environment variable: `YEWPAR_T2_LOCALITIES` (default 8).
+//! Environment variables:
+//!
+//! * `YEWPAR_T2_LOCALITIES` (default 8) — simulated localities;
+//! * `YEWPAR_T2_APPS` — comma-separated filter of application names
+//!   (e.g. `YEWPAR_T2_APPS=Irregular` runs only the synthetic Irregular
+//!   tree, the quick baseline recorded in `BENCH_0.json`).
 
 use std::collections::BTreeMap;
 
 use yewpar::Coordination;
+use yewpar_apps::irregular::Irregular;
 use yewpar_apps::knapsack::Knapsack;
 use yewpar_apps::maxclique::MaxClique;
 use yewpar_apps::semigroups::Semigroups;
@@ -133,6 +139,19 @@ fn uts_workloads() -> Vec<Workload> {
     ]
 }
 
+fn irregular_workloads() -> Vec<Workload> {
+    [(12usize, 1u64), (13, 7)]
+        .into_iter()
+        .map(|(depth, seed)| {
+            let problem = Irregular::new(depth, seed);
+            Workload {
+                name: format!("irregular-d{depth}-s{seed}"),
+                run: Box::new(move |cfg| simulate_enumerate(&problem, cfg).makespan),
+            }
+        })
+        .collect()
+}
+
 /// The parameterised coordinations swept by the experiment.
 fn sweep(coordination: &str) -> Vec<(String, Coordination)> {
     match coordination {
@@ -163,14 +182,30 @@ fn main() {
     println!("({localities} localities x {workers_per_locality} workers; speedup vs the simulated Sequential skeleton)");
     println!();
 
-    let applications: Vec<(&str, Vec<Workload>)> = vec![
-        ("MaxClique", clique_workloads()),
-        ("TSP", tsp_workloads()),
-        ("Knapsack", knapsack_workloads()),
-        ("SIP", sip_workloads()),
-        ("NS", semigroup_workloads()),
-        ("UTS", uts_workloads()),
-    ];
+    let app_filter: Option<Vec<String>> = std::env::var("YEWPAR_T2_APPS").ok().map(|v| {
+        v.split(',')
+            .map(|s| s.trim().to_ascii_lowercase())
+            .collect()
+    });
+    let selected = |name: &str| {
+        app_filter
+            .as_ref()
+            .map(|apps| apps.iter().any(|a| a == &name.to_ascii_lowercase()))
+            .unwrap_or(true)
+    };
+    let applications: Vec<(&str, Vec<Workload>)> = [
+        ("MaxClique", clique_workloads as fn() -> Vec<Workload>),
+        ("TSP", tsp_workloads),
+        ("Knapsack", knapsack_workloads),
+        ("SIP", sip_workloads),
+        ("NS", semigroup_workloads),
+        ("UTS", uts_workloads),
+        ("Irregular", irregular_workloads),
+    ]
+    .into_iter()
+    .filter(|(name, _)| selected(name))
+    .map(|(name, build)| (name, build()))
+    .collect();
     let coordinations = ["Depth-Bounded", "Stack-Stealing", "Budget"];
 
     let table = TableWriter::new(&[10, 15, 9, 9, 9]);
@@ -188,7 +223,8 @@ fn main() {
 
     // speedups[coord] accumulates per-instance speedups across all apps for
     // the final "All" rows.
-    let mut all_speedups: BTreeMap<&str, (Vec<f64>, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    type SpeedupAgg = (Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut all_speedups: BTreeMap<&str, SpeedupAgg> = BTreeMap::new();
     let mut report_rows = Vec::new();
 
     for (app, workloads) in &applications {
@@ -220,7 +256,11 @@ fn main() {
                 random.push(speedups[pick]);
                 best.push(max);
             }
-            let (w_geo, r_geo, b_geo) = (geometric_mean(&worst), geometric_mean(&random), geometric_mean(&best));
+            let (w_geo, r_geo, b_geo) = (
+                geometric_mean(&worst),
+                geometric_mean(&random),
+                geometric_mean(&best),
+            );
             println!(
                 "{}",
                 table.row(&[
@@ -247,7 +287,9 @@ fn main() {
     }
 
     for coord_name in &coordinations {
-        let (worst, random, best) = &all_speedups[coord_name];
+        let Some((worst, random, best)) = all_speedups.get(coord_name) else {
+            continue; // An app filter excluded everything.
+        };
         println!(
             "{}",
             table.row(&[

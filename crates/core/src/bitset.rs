@@ -68,7 +68,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `value >= capacity`.
     pub fn insert(&mut self, value: usize) {
-        assert!(value < self.capacity, "bit {value} out of range 0..{}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bit {value} out of range 0..{}",
+            self.capacity
+        );
         self.words[value / WORD_BITS] |= 1 << (value % WORD_BITS);
     }
 
@@ -141,7 +145,10 @@ impl BitSet {
 
     /// True if every member of `self` is a member of `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// The smallest member, if the set is non-empty.

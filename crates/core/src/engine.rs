@@ -1,0 +1,686 @@
+//! The unified worker engine behind every search coordination.
+//!
+//! Historically each parallel coordination (Depth-Bounded, Stack-Stealing,
+//! Budget) carried its own copy of the worker-spawn loop, termination
+//! polling, panic ("poison") handling and metrics plumbing. This module
+//! owns all of that exactly once. A coordination is now just a pair of
+//! small strategy objects plugged into [`run`]:
+//!
+//! * a [`WorkSource`] — where a worker's next task comes from and where
+//!   tasks it gives up go (a sharded depth pool, per-worker steal channels,
+//!   or a one-shot root holder for the Sequential case);
+//! * a [`SpawnPolicy`] — *when* the traversal splits off work for others
+//!   (eagerly above a depth cutoff, after a backtrack budget, or never).
+//!
+//! The engine drives the shared depth-first traversal (the (expand),
+//! (backtrack), (prune) and (shortcircuit) rules) through the search-type
+//! driver, polls the [`Termination`] flags, calls the source's per-step
+//! hook so on-demand splitting (stack stealing) can happen mid-task, and
+//! joins the workers, re-raising any worker panic. Knowledge sharing (the
+//! incumbent of optimisation/decision searches) lives inside the drivers
+//! and is therefore identical across coordinations by construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::genstack::GenStack;
+use crate::metrics::WorkerMetrics;
+use crate::node::SearchProblem;
+use crate::skeleton::driver::{Action, Driver};
+use crate::termination::Termination;
+use crate::workpool::Task;
+
+/// How a task's (sub)search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// The subtree was fully explored (or pruned away).
+    Completed,
+    /// A short-circuit was requested: the whole search must stop.
+    ShortCircuited,
+}
+
+/// Where workers obtain tasks and publish tasks for others.
+///
+/// A source is shared by all workers of one skeleton execution; per-worker
+/// state (a shard index, a steal-request receiver, a private backlog, …)
+/// lives in the associated [`WorkSource::Local`] value claimed once per
+/// worker via [`WorkSource::register`].
+pub trait WorkSource<P: SearchProblem>: Sync {
+    /// Per-worker state. Claimed once, owned by the worker thread.
+    type Local: Send;
+
+    /// Claim worker `worker`'s local state. Called exactly once per worker,
+    /// from that worker's thread, before it processes any task.
+    fn register(&self, worker: usize) -> Self::Local;
+
+    /// Install the root task before any worker starts.
+    fn seed(&self, task: Task<P::Node>);
+
+    /// Pop the next locally owned task, if any (the owner fast path).
+    fn pop(&self, local: &mut Self::Local) -> Option<Task<P::Node>>;
+
+    /// Try to obtain work that is not locally available (the steal path).
+    /// Implementations record `steals` / `failed_steals` on `metrics`.
+    fn acquire(
+        &self,
+        local: &mut Self::Local,
+        term: &Termination,
+        metrics: &mut WorkerMetrics,
+    ) -> Option<Task<P::Node>>;
+
+    /// Publish `tasks` so other workers can pick them up. Callers must
+    /// have registered the tasks with the termination counter *before*
+    /// calling this (see [`StepEnv::spawn`], which does both).
+    fn release(&self, local: &mut Self::Local, tasks: Vec<Task<P::Node>>);
+
+    /// Per-expansion-step hook, called with the live generator stack of the
+    /// executing task. Sources that hand out work on demand (stack
+    /// stealing) answer pending steal requests here; pool-backed sources do
+    /// nothing.
+    fn poll(
+        &self,
+        local: &mut Self::Local,
+        stack: &mut GenStack<'_, P>,
+        term: &Termination,
+        metrics: &mut WorkerMetrics,
+    ) {
+        let _ = (local, stack, term, metrics);
+    }
+
+    /// Discard every task still queued (called when a decision search
+    /// short-circuits), returning how many were dropped.
+    fn discard(&self) -> usize {
+        0
+    }
+}
+
+/// When the depth-first traversal splits off work for other workers.
+///
+/// The two hooks mirror the paper's spawn rules: [`spawn_children`]
+/// implements eager, placement-time splitting ((spawn-depth), Listing 2 of
+/// the Depth-Bounded coordination) and [`on_step`] implements splitting
+/// *during* a task's traversal ((spawn-budget), Listing 4).  On-demand
+/// splitting on behalf of a thief ((spawn-stack), Listing 3) is the work
+/// source's business, not the policy's, because it is driven by the thief's
+/// request rather than by the victim's traversal state.
+///
+/// [`spawn_children`]: SpawnPolicy::spawn_children
+/// [`on_step`]: SpawnPolicy::on_step
+pub trait SpawnPolicy<P: SearchProblem, S: WorkSource<P>>: Sync {
+    /// Should a task rooted at `depth` have its children spawned as tasks
+    /// instead of being explored in place?
+    fn spawn_children(&self, depth: usize) -> bool {
+        let _ = depth;
+        false
+    }
+
+    /// Called once per traversal step of an executing task, before the next
+    /// child is generated. `task_backtracks` counts the backtracks this
+    /// task performed since the policy last reset it — the Budget policy's
+    /// spawn trigger.
+    fn on_step(
+        &self,
+        env: &mut StepEnv<'_, P, S>,
+        stack: &mut GenStack<'_, P>,
+        task_backtracks: &mut u64,
+    ) {
+        let _ = (env, stack, task_backtracks);
+    }
+}
+
+/// The policy that never spawns: Sequential, and Stack-Stealing (where all
+/// splitting happens in the source's steal-request hook).
+pub(crate) struct NoSpawn;
+
+impl<P: SearchProblem, S: WorkSource<P>> SpawnPolicy<P, S> for NoSpawn {}
+
+/// What a [`SpawnPolicy`] sees on each step: enough to hand tasks to the
+/// work source with correct termination/metrics accounting.
+pub struct StepEnv<'e, P: SearchProblem, S: WorkSource<P>> {
+    source: &'e S,
+    local: &'e mut S::Local,
+    term: &'e Termination,
+    metrics: &'e mut WorkerMetrics,
+}
+
+impl<P: SearchProblem, S: WorkSource<P>> StepEnv<'_, P, S> {
+    /// Spawn `tasks` into the work source: registers them with the
+    /// termination counter first (so the outstanding count can never reach
+    /// zero while they are in flight), records them as spawns, then
+    /// releases them for other workers.
+    pub fn spawn(&mut self, tasks: Vec<Task<P::Node>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        self.term.task_spawned(tasks.len() as u64);
+        self.metrics.spawns += tasks.len() as u64;
+        self.source.release(self.local, tasks);
+    }
+}
+
+/// Run a search: spawn `workers` workers over `source`, splitting per
+/// `policy`, and collect per-worker metrics and the elapsed wall-clock time.
+///
+/// A single worker runs inline on the calling thread — no spawn/join cost,
+/// so `Skeleton` overhead measurements (the Table 1 experiment) compare the
+/// traversal itself against hand-written baselines, and panics propagate
+/// unchanged.  With several workers, panics of worker threads are detected
+/// at join and re-raised here ("poison handling"), so a buggy search
+/// problem cannot silently drop part of the tree.
+pub(crate) fn run<P, D, S, Y>(
+    problem: &P,
+    driver: &D,
+    workers: usize,
+    source: S,
+    policy: Y,
+) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+    S: WorkSource<P>,
+    Y: SpawnPolicy<P, S>,
+{
+    let start = Instant::now();
+    let workers = workers.max(1);
+    let term = Termination::new(1);
+    source.seed(Task::new(problem.root(), 0));
+
+    if workers == 1 {
+        let metrics = worker_loop(problem, driver, &source, &policy, &term, 0);
+        return (vec![metrics], start.elapsed());
+    }
+
+    let poisoned = AtomicBool::new(false);
+    let mut all_metrics = vec![WorkerMetrics::default(); workers];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let term = &term;
+            let source = &source;
+            let policy = &policy;
+            handles.push(
+                scope.spawn(move || worker_loop(problem, driver, source, policy, term, worker)),
+            );
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(metrics) => all_metrics[i] = metrics,
+                Err(_) => poisoned.store(true, Ordering::Relaxed),
+            }
+        }
+    });
+    if poisoned.load(Ordering::Relaxed) {
+        panic!("a search worker panicked");
+    }
+    (all_metrics, start.elapsed())
+}
+
+/// One worker: pop/steal tasks until the search completes or short-circuits.
+fn worker_loop<P, D, S, Y>(
+    problem: &P,
+    driver: &D,
+    source: &S,
+    policy: &Y,
+    term: &Termination,
+    worker: usize,
+) -> WorkerMetrics
+where
+    P: SearchProblem,
+    D: Driver<P>,
+    S: WorkSource<P>,
+    Y: SpawnPolicy<P, S>,
+{
+    // If this worker unwinds (a panicking search problem or driver), stop
+    // the whole search so surviving workers exit their loops — otherwise
+    // the panicked task is never marked completed, the outstanding-task
+    // counter never drains, and the scope would block on the join forever
+    // instead of re-raising.
+    struct UnwindGuard<'a>(&'a Termination);
+    impl Drop for UnwindGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.short_circuit();
+            }
+        }
+    }
+    let _guard = UnwindGuard(term);
+
+    let mut local = source.register(worker);
+    let mut metrics = WorkerMetrics::default();
+    let mut partial = driver.new_partial();
+    let mut idle_spins: u32 = 0;
+
+    loop {
+        if term.finished() {
+            break;
+        }
+        let next = match source.pop(&mut local) {
+            Some(task) => Some(task),
+            None => {
+                if term.all_done() {
+                    break;
+                }
+                source.acquire(&mut local, term, &mut metrics)
+            }
+        };
+        match next {
+            Some(task) => {
+                idle_spins = 0;
+                let flow = run_task(
+                    problem,
+                    driver,
+                    &mut partial,
+                    &mut metrics,
+                    term,
+                    source,
+                    &mut local,
+                    policy,
+                    task,
+                );
+                if flow == Flow::ShortCircuited {
+                    term.short_circuit();
+                    source.discard();
+                }
+                term.task_completed();
+            }
+            None => {
+                // Exponential-ish backoff: spin briefly, then sleep so idle
+                // workers do not starve the busy ones on small machines.
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins < 16 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    driver.merge(partial);
+    metrics
+}
+
+/// Execute one task: process its root node, then either spawn its children
+/// (eager policies) or explore its subtree depth-first, giving the source
+/// and policy a chance to split work on every expansion step.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_task<P, D, S, Y>(
+    problem: &P,
+    driver: &D,
+    partial: &mut D::Partial,
+    metrics: &mut WorkerMetrics,
+    term: &Termination,
+    source: &S,
+    local: &mut S::Local,
+    policy: &Y,
+    task: Task<P::Node>,
+) -> Flow
+where
+    P: SearchProblem,
+    D: Driver<P>,
+    S: WorkSource<P>,
+    Y: SpawnPolicy<P, S>,
+{
+    metrics.nodes += 1;
+    metrics.max_depth = metrics.max_depth.max(task.depth as u64);
+    match driver.process(problem, &task.node, partial) {
+        Action::Expand => {}
+        Action::Prune | Action::PruneSiblings => {
+            metrics.prunes += 1;
+            return Flow::Completed;
+        }
+        Action::ShortCircuit => return Flow::ShortCircuited,
+    }
+
+    if policy.spawn_children(task.depth) {
+        // Eager splitting: every child becomes a task, queued in heuristic
+        // order. Register the spawns before releasing so the termination
+        // counter can never observe an empty system while tasks exist.
+        let children: Vec<Task<P::Node>> = problem
+            .generator(&task.node)
+            .map(|child| Task::new(child, task.depth + 1))
+            .collect();
+        StepEnv {
+            source,
+            local,
+            term,
+            metrics,
+        }
+        .spawn(children);
+        return Flow::Completed;
+    }
+
+    let mut stack = GenStack::new();
+    stack.push(problem, &task.node, task.depth);
+    let mut task_backtracks: u64 = 0;
+
+    while !stack.is_empty() {
+        if term.short_circuited() {
+            return Flow::ShortCircuited;
+        }
+        // Give the source a chance to serve a thief (at most one steal
+        // request per expansion step, mirroring Listing 3), then the policy
+        // a chance to offload (the budget rule of Listing 4).
+        source.poll(local, &mut stack, term, metrics);
+        policy.on_step(
+            &mut StepEnv {
+                source,
+                local,
+                term,
+                metrics,
+            },
+            &mut stack,
+            &mut task_backtracks,
+        );
+        match stack.next_child() {
+            Some((child, depth)) => {
+                metrics.nodes += 1;
+                metrics.max_depth = metrics.max_depth.max(depth as u64);
+                match driver.process(problem, &child, partial) {
+                    Action::Expand => stack.push(problem, &child, depth),
+                    Action::Prune => metrics.prunes += 1,
+                    Action::PruneSiblings => {
+                        // The generator yields children in non-increasing
+                        // bound order: the failed check also disposes of the
+                        // unexplored later siblings.
+                        metrics.prunes += 1;
+                        stack.pop();
+                        metrics.backtracks += 1;
+                        task_backtracks += 1;
+                    }
+                    Action::ShortCircuit => return Flow::ShortCircuited,
+                }
+            }
+            None => {
+                stack.pop();
+                metrics.backtracks += 1;
+                task_backtracks += 1;
+            }
+        }
+    }
+    Flow::Completed
+}
+
+// ---------------------------------------------------------------------------
+// Shared sources
+// ---------------------------------------------------------------------------
+
+use crate::workpool::ShardedPool;
+use parking_lot::Mutex;
+
+/// The degenerate source of the Sequential coordination: a single shared
+/// queue that starts with the root task; there is no one to steal from.
+pub(crate) struct RootSource<N> {
+    queue: Mutex<std::collections::VecDeque<Task<N>>>,
+}
+
+impl<N> RootSource<N> {
+    pub(crate) fn new() -> Self {
+        RootSource {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+}
+
+impl<P: SearchProblem> WorkSource<P> for RootSource<P::Node> {
+    type Local = ();
+
+    fn register(&self, _worker: usize) -> Self::Local {}
+
+    fn seed(&self, task: Task<P::Node>) {
+        self.queue.lock().push_back(task);
+    }
+
+    fn pop(&self, _local: &mut Self::Local) -> Option<Task<P::Node>> {
+        self.queue.lock().pop_front()
+    }
+
+    fn acquire(
+        &self,
+        _local: &mut Self::Local,
+        _term: &Termination,
+        _metrics: &mut WorkerMetrics,
+    ) -> Option<Task<P::Node>> {
+        None
+    }
+
+    fn release(&self, _local: &mut Self::Local, tasks: Vec<Task<P::Node>>) {
+        // Only reachable if a spawning policy is paired with this source;
+        // keep every task (in heuristic order) so none is lost while
+        // registered with the termination counter.
+        self.queue.lock().extend(tasks);
+    }
+}
+
+/// A sharded order-preserving pool source: one depth-pool shard per worker.
+/// Owners push and pop their own shard without contending with anyone;
+/// thieves scan the other shards and take from the one whose shallowest
+/// task is globally shallowest (§4.3's heuristic, preserved across shards).
+/// Shared by the Depth-Bounded and Budget coordinations.
+pub(crate) struct PoolSource<N> {
+    pool: ShardedPool<N>,
+}
+
+impl<N> PoolSource<N> {
+    pub(crate) fn new(workers: usize) -> Self {
+        PoolSource {
+            pool: ShardedPool::new(workers),
+        }
+    }
+}
+
+impl<P: SearchProblem> WorkSource<P> for PoolSource<P::Node> {
+    type Local = usize;
+
+    fn register(&self, worker: usize) -> usize {
+        worker % self.pool.shards()
+    }
+
+    fn seed(&self, task: Task<P::Node>) {
+        self.pool.push(0, task);
+    }
+
+    fn pop(&self, shard: &mut usize) -> Option<Task<P::Node>> {
+        self.pool.pop_local(*shard)
+    }
+
+    fn acquire(
+        &self,
+        shard: &mut usize,
+        _term: &Termination,
+        metrics: &mut WorkerMetrics,
+    ) -> Option<Task<P::Node>> {
+        match self.pool.steal(*shard) {
+            Some(task) => {
+                metrics.steals += 1;
+                Some(task)
+            }
+            None => {
+                metrics.failed_steals += 1;
+                None
+            }
+        }
+    }
+
+    fn release(&self, shard: &mut usize, tasks: Vec<Task<P::Node>>) {
+        self.pool.push_all(*shard, tasks);
+    }
+
+    fn discard(&self) -> usize {
+        self.pool.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::Sum;
+    use crate::objective::Enumerate;
+    use crate::skeleton::driver::{DecideDriver, EnumDriver};
+
+    /// Complete binary tree of a fixed depth; node = (depth, label).
+    struct Bin {
+        depth: usize,
+    }
+
+    impl SearchProblem for Bin {
+        type Node = (usize, u64);
+        type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+        fn root(&self) -> (usize, u64) {
+            (0, 1)
+        }
+        fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+            if node.0 < self.depth {
+                vec![(node.0 + 1, node.1 * 2), (node.0 + 1, node.1 * 2 + 1)].into_iter()
+            } else {
+                vec![].into_iter()
+            }
+        }
+    }
+
+    impl Enumerate for Bin {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    impl crate::objective::Optimise for Bin {
+        type Score = u64;
+        fn objective(&self, node: &(usize, u64)) -> u64 {
+            node.1
+        }
+    }
+
+    impl crate::objective::Decide for Bin {
+        fn target(&self) -> u64 {
+            6
+        }
+    }
+
+    #[test]
+    fn engine_with_root_source_is_a_full_traversal() {
+        let p = Bin { depth: 10 };
+        let driver = EnumDriver::<Bin>::new();
+        let (metrics, _) = run(&p, &driver, 1, RootSource::new(), NoSpawn);
+        assert_eq!(driver.into_value(), Sum(2u64.pow(11) - 1));
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].nodes, 2u64.pow(11) - 1);
+        assert_eq!(metrics[0].spawns, 0);
+    }
+
+    #[test]
+    fn run_task_respects_preexisting_short_circuit() {
+        let p = Bin { depth: 16 };
+        let driver = EnumDriver::<Bin>::new();
+        let mut partial = driver.new_partial();
+        let mut metrics = WorkerMetrics::default();
+        let term = Termination::new(1);
+        term.short_circuit();
+        let source = RootSource::new();
+        WorkSource::<Bin>::register(&source, 0);
+        let flow = run_task(
+            &p,
+            &driver,
+            &mut partial,
+            &mut metrics,
+            &term,
+            &source,
+            &mut (),
+            &NoSpawn,
+            Task::new(p.root(), 0),
+        );
+        assert_eq!(flow, Flow::ShortCircuited);
+        assert!(metrics.nodes <= 2, "the poll happens before each expansion");
+    }
+
+    #[test]
+    fn decision_short_circuit_discards_pool_tasks() {
+        // An always-spawning policy floods the pool; the short-circuit on a
+        // decision target must stop the engine without draining the tree.
+        struct AlwaysSpawn;
+        impl<P: SearchProblem, S: WorkSource<P>> SpawnPolicy<P, S> for AlwaysSpawn {
+            fn spawn_children(&self, depth: usize) -> bool {
+                depth < 6
+            }
+        }
+        let p = Bin { depth: 14 };
+        let driver = DecideDriver::<Bin>::new(6);
+        let (metrics, _) = run(&p, &driver, 2, PoolSource::new(2), AlwaysSpawn);
+        let witness = driver.into_witness().expect("label 6 exists");
+        assert!(witness.1 >= 6);
+        let nodes: u64 = metrics.iter().map(|m| m.nodes).sum();
+        assert!(
+            nodes < 2u64.pow(15) - 1,
+            "short-circuit must cut the search off early"
+        );
+    }
+
+    /// One poisoned subtree among many live tasks: the panicking worker's
+    /// unwind guard must stop the search so the surviving workers exit and
+    /// the join re-raises, rather than spinning forever on an
+    /// outstanding-task counter that can no longer drain.
+    #[test]
+    #[should_panic(expected = "a search worker panicked")]
+    fn multi_worker_panic_is_reraised_not_deadlocked() {
+        struct PartialBomb;
+        impl SearchProblem for PartialBomb {
+            type Node = u32;
+            type Gen<'a> = std::vec::IntoIter<u32>;
+            fn root(&self) -> u32 {
+                0
+            }
+            fn generator(&self, node: &u32) -> Self::Gen<'_> {
+                match *node {
+                    0 => (1..=8).collect::<Vec<_>>().into_iter(),
+                    5 => panic!("poisoned subtree"),
+                    _ => vec![].into_iter(),
+                }
+            }
+        }
+        impl Enumerate for PartialBomb {
+            type Value = Sum<u64>;
+            fn value(&self, _n: &u32) -> Sum<u64> {
+                Sum(1)
+            }
+        }
+        struct SpawnRoot;
+        impl<P: SearchProblem, S: WorkSource<P>> SpawnPolicy<P, S> for SpawnRoot {
+            fn spawn_children(&self, depth: usize) -> bool {
+                depth == 0
+            }
+        }
+        let driver = EnumDriver::<PartialBomb>::new();
+        let _ = run(&PartialBomb, &driver, 4, PoolSource::new(4), SpawnRoot);
+    }
+
+    /// A single worker runs inline, so a panicking search problem
+    /// propagates its own panic straight to the caller (the multi-worker
+    /// join path re-raises as "a search worker panicked" instead).
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn single_worker_panic_propagates_to_caller() {
+        struct Bomb;
+        impl SearchProblem for Bomb {
+            type Node = u32;
+            type Gen<'a> = std::vec::IntoIter<u32>;
+            fn root(&self) -> u32 {
+                0
+            }
+            fn generator(&self, node: &u32) -> Self::Gen<'_> {
+                if *node > 2 {
+                    panic!("boom");
+                }
+                vec![node + 1].into_iter()
+            }
+        }
+        impl Enumerate for Bomb {
+            type Value = Sum<u64>;
+            fn value(&self, _n: &u32) -> Sum<u64> {
+                Sum(1)
+            }
+        }
+        let driver = EnumDriver::<Bomb>::new();
+        let _ = run(&Bomb, &driver, 1, RootSource::new(), NoSpawn);
+    }
+}

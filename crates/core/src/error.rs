@@ -42,7 +42,10 @@ mod tests {
             Error::WorkerPanic("boom".into()).to_string(),
             "search worker panicked: boom"
         );
-        assert_eq!(Error::Parse("bad line".into()).to_string(), "parse error: bad line");
+        assert_eq!(
+            Error::Parse("bad line".into()).to_string(),
+            "parse error: bad line"
+        );
     }
 
     #[test]

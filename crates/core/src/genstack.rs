@@ -32,6 +32,12 @@ pub struct GenStack<'p, P: SearchProblem + 'p> {
     frames: Vec<Frame<'p, P>>,
 }
 
+impl<'p, P: SearchProblem + 'p> Default for GenStack<'p, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<'p, P: SearchProblem + 'p> GenStack<'p, P> {
     /// An empty stack.
     pub fn new() -> Self {
@@ -85,7 +91,11 @@ impl<'p, P: SearchProblem + 'p> GenStack<'p, P> {
                 return if chunked {
                     frame.gen.by_ref().map(|n| Task::new(n, depth)).collect()
                 } else {
-                    frame.gen.next().map(|n| vec![Task::new(n, depth)]).unwrap_or_default()
+                    frame
+                        .gen
+                        .next()
+                        .map(|n| vec![Task::new(n, depth)])
+                        .unwrap_or_default()
                 };
             }
         }
@@ -116,7 +126,10 @@ mod tests {
         }
         fn generator(&self, node: &(usize, usize)) -> Self::Gen<'_> {
             if node.0 < self.depth {
-                (0..3).map(|i| (node.0 + 1, i)).collect::<Vec<_>>().into_iter()
+                (0..3)
+                    .map(|i| (node.0 + 1, i))
+                    .collect::<Vec<_>>()
+                    .into_iter()
             } else {
                 vec![].into_iter()
             }

@@ -131,7 +131,10 @@ mod tests {
     fn strengthen_only_improves() {
         let inc: Incumbent<u32, u32> = Incumbent::new();
         assert!(inc.strengthen(5, &50));
-        assert!(!inc.strengthen(5, &51), "equal score must not replace the witness");
+        assert!(
+            !inc.strengthen(5, &51),
+            "equal score must not replace the witness"
+        );
         assert!(!inc.strengthen(3, &30));
         assert!(inc.strengthen(9, &90));
         assert_eq!(inc.snapshot(), Some((9, 90)));

@@ -45,14 +45,17 @@
 //! The crate deliberately does **not** use a generic deque-based
 //! work-stealing runtime (such as rayon) for the parallel coordinations: as
 //! the paper discusses, LIFO deque stealing destroys the heuristic search
-//! order that exact search depends on.  Instead the coordinations use the
-//! bespoke order-preserving depth pool ([`workpool`]) and explicit
-//! steal-request channels ([`skeleton::stack_stealing`]).
+//! order that exact search depends on.  Instead all four coordinations run
+//! on one unified worker [`engine`], parameterised by a work source and a
+//! spawn policy: the bespoke order-preserving sharded depth pool
+//! ([`workpool`]) for the Depth-Bounded and Budget coordinations, and
+//! explicit steal-request channels for Stack-Stealing.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bitset;
+pub mod engine;
 pub mod error;
 pub mod genstack;
 pub mod knowledge;

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn from_workers_aggregates() {
-        let m = Metrics::from_workers(vec![worker(4, 0, 2), worker(6, 1, 3)], Duration::from_millis(10));
+        let m = Metrics::from_workers(
+            vec![worker(4, 0, 2), worker(6, 1, 3)],
+            Duration::from_millis(10),
+        );
         assert_eq!(m.workers, 2);
         assert_eq!(m.nodes(), 10);
         assert_eq!(m.totals.prunes, 1);
@@ -142,13 +145,19 @@ mod tests {
 
     #[test]
     fn imbalance_of_balanced_workers_is_one() {
-        let m = Metrics::from_workers(vec![worker(5, 0, 1), worker(5, 0, 1)], Duration::from_millis(1));
+        let m = Metrics::from_workers(
+            vec![worker(5, 0, 1), worker(5, 0, 1)],
+            Duration::from_millis(1),
+        );
         assert!((m.imbalance() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn imbalance_detects_skew() {
-        let m = Metrics::from_workers(vec![worker(10, 0, 1), worker(0, 0, 0)], Duration::from_millis(1));
+        let m = Metrics::from_workers(
+            vec![worker(10, 0, 1), worker(0, 0, 0)],
+            Duration::from_millis(1),
+        );
         assert!((m.imbalance() - 2.0).abs() < 1e-9);
     }
 

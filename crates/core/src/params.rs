@@ -5,7 +5,6 @@ use crate::error::{Error, Result};
 /// The search coordination: how (and when) the search tree is split into
 /// parallel tasks (paper Section 4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Coordination {
     /// Single-threaded depth-first search (Listing 2); no spawn rule.
     Sequential,
@@ -87,7 +86,11 @@ impl std::fmt::Display for Coordination {
             Coordination::Sequential => write!(f, "Sequential"),
             Coordination::DepthBounded { dcutoff } => write!(f, "DepthBounded(d={dcutoff})"),
             Coordination::StackStealing { chunked } => {
-                write!(f, "StackStealing({})", if *chunked { "chunked" } else { "single" })
+                write!(
+                    f,
+                    "StackStealing({})",
+                    if *chunked { "chunked" } else { "single" }
+                )
             }
             Coordination::Budget { backtracks } => write!(f, "Budget(b={backtracks})"),
         }
@@ -123,7 +126,9 @@ impl SearchConfig {
     /// count (all available parallelism for parallel coordinations).
     pub fn new(coordination: Coordination) -> Self {
         let workers = if coordination.is_parallel() {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             1
         };
@@ -138,7 +143,9 @@ impl SearchConfig {
     pub fn validate(&self) -> Result<()> {
         self.coordination.validate()?;
         if self.workers == 0 {
-            return Err(Error::InvalidConfig("worker count must be at least 1".into()));
+            return Err(Error::InvalidConfig(
+                "worker count must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -150,7 +157,10 @@ mod tests {
 
     #[test]
     fn constructor_helpers_build_expected_variants() {
-        assert_eq!(Coordination::depth_bounded(3), Coordination::DepthBounded { dcutoff: 3 });
+        assert_eq!(
+            Coordination::depth_bounded(3),
+            Coordination::DepthBounded { dcutoff: 3 }
+        );
         assert_eq!(
             Coordination::stack_stealing(),
             Coordination::StackStealing { chunked: false }
@@ -159,7 +169,10 @@ mod tests {
             Coordination::stack_stealing_chunked(),
             Coordination::StackStealing { chunked: true }
         );
-        assert_eq!(Coordination::budget(100), Coordination::Budget { backtracks: 100 });
+        assert_eq!(
+            Coordination::budget(100),
+            Coordination::Budget { backtracks: 100 }
+        );
     }
 
     #[test]
@@ -189,7 +202,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(Coordination::depth_bounded(2).to_string(), "DepthBounded(d=2)");
+        assert_eq!(
+            Coordination::depth_bounded(2).to_string(),
+            "DepthBounded(d=2)"
+        );
         assert_eq!(Coordination::budget(7).to_string(), "Budget(b=7)");
         assert_eq!(
             Coordination::stack_stealing_chunked().to_string(),

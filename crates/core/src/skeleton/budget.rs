@@ -3,22 +3,42 @@
 //! Workers search their task sequentially until they have backtracked as
 //! many times as the user-supplied budget allows.  A task that exhausts its
 //! budget is assumed to hold a significant amount of work, so all of its
-//! lowest-depth unexplored subtrees are spawned into the shared workpool (in
-//! heuristic order) and the backtrack counter is reset.  This implements
-//! asynchronous periodic load balancing similar to the `mts` framework the
-//! paper cites.
+//! lowest-depth unexplored subtrees are spawned onto the worker's shard of
+//! the sharded depth pool (in heuristic order) and the backtrack counter is
+//! reset.  This implements asynchronous periodic load balancing similar to
+//! the `mts` framework the paper cites.  All worker-loop machinery lives in
+//! `crate::engine`; this module is only the per-step offload policy.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use super::driver::{Action, Driver};
+use crate::engine::{self, PoolSource, SpawnPolicy, StepEnv, WorkSource};
 use crate::genstack::GenStack;
-use super::sequential::Flow;
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
-use crate::termination::Termination;
-use crate::workpool::{DepthPool, Task};
+use crate::skeleton::driver::Driver;
+
+/// Offload the lowest-depth unexplored subtrees after `budget` backtracks.
+pub(crate) struct BudgetPolicy {
+    budget: u64,
+}
+
+impl<P: SearchProblem, S: WorkSource<P>> SpawnPolicy<P, S> for BudgetPolicy {
+    fn on_step(
+        &self,
+        env: &mut StepEnv<'_, P, S>,
+        stack: &mut GenStack<'_, P>,
+        task_backtracks: &mut u64,
+    ) {
+        if *task_backtracks >= self.budget {
+            // Offload all unexplored subtrees at the lowest depth of this
+            // task's stack, preserving heuristic order, then keep searching
+            // with a fresh budget.
+            env.spawn(stack.split_lowest(true));
+            *task_backtracks = 0;
+        }
+    }
+}
 
 /// Run the Budget coordination with the given backtrack budget.
 pub(crate) fn run<P, D>(
@@ -31,149 +51,14 @@ where
     P: SearchProblem,
     D: Driver<P>,
 {
-    let start = Instant::now();
     let workers = config.workers.max(1);
-    let pool: DepthPool<P::Node> = DepthPool::new();
-    let term = Termination::new(1);
-    let poisoned = AtomicBool::new(false);
-    pool.push(Task::new(problem.root(), 0));
-
-    let mut all_metrics = vec![WorkerMetrics::default(); workers];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            handles.push(scope.spawn(|| worker_loop(problem, driver, &pool, &term, budget)));
-        }
-        for (i, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(metrics) => all_metrics[i] = metrics,
-                Err(_) => poisoned.store(true, Ordering::Relaxed),
-            }
-        }
-    });
-    if poisoned.load(Ordering::Relaxed) {
-        panic!("a budget search worker panicked");
-    }
-    (all_metrics, start.elapsed())
-}
-
-fn worker_loop<P, D>(
-    problem: &P,
-    driver: &D,
-    pool: &DepthPool<P::Node>,
-    term: &Termination,
-    budget: u64,
-) -> WorkerMetrics
-where
-    P: SearchProblem,
-    D: Driver<P>,
-{
-    let mut metrics = WorkerMetrics::default();
-    let mut partial = driver.new_partial();
-    let mut idle_spins: u32 = 0;
-
-    loop {
-        if term.finished() {
-            break;
-        }
-        match pool.pop() {
-            Some(task) => {
-                idle_spins = 0;
-                let flow = execute_task(problem, driver, &mut partial, &mut metrics, pool, term, budget, task);
-                if flow == Flow::ShortCircuited {
-                    term.short_circuit();
-                }
-                term.task_completed();
-            }
-            None => {
-                if term.all_done() {
-                    break;
-                }
-                idle_spins = idle_spins.saturating_add(1);
-                if idle_spins < 16 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-            }
-        }
-    }
-
-    driver.merge(partial);
-    metrics
-}
-
-/// Execute one task with a backtrack budget (paper Listing 4).
-#[allow(clippy::too_many_arguments)]
-fn execute_task<P, D>(
-    problem: &P,
-    driver: &D,
-    partial: &mut D::Partial,
-    metrics: &mut WorkerMetrics,
-    pool: &DepthPool<P::Node>,
-    term: &Termination,
-    budget: u64,
-    task: Task<P::Node>,
-) -> Flow
-where
-    P: SearchProblem,
-    D: Driver<P>,
-{
-    metrics.nodes += 1;
-    metrics.max_depth = metrics.max_depth.max(task.depth as u64);
-    match driver.process(problem, &task.node, partial) {
-        Action::Expand => {}
-        Action::Prune | Action::PruneSiblings => {
-            metrics.prunes += 1;
-            return Flow::Completed;
-        }
-        Action::ShortCircuit => return Flow::ShortCircuited,
-    }
-
-    let mut stack = GenStack::new();
-    stack.push(problem, &task.node, task.depth);
-    let mut backtracks_since_spawn: u64 = 0;
-
-    while !stack.is_empty() {
-        if term.short_circuited() {
-            return Flow::ShortCircuited;
-        }
-        if backtracks_since_spawn >= budget {
-            // Offload all unexplored subtrees at the lowest depth of this
-            // task's stack, preserving heuristic order, then keep searching
-            // with a fresh budget.
-            let offload = stack.split_lowest(true);
-            if !offload.is_empty() {
-                term.task_spawned(offload.len() as u64);
-                metrics.spawns += offload.len() as u64;
-                pool.push_all(offload);
-            }
-            backtracks_since_spawn = 0;
-        }
-        match stack.next_child() {
-            Some((child, depth)) => {
-                metrics.nodes += 1;
-                metrics.max_depth = metrics.max_depth.max(depth as u64);
-                match driver.process(problem, &child, partial) {
-                    Action::Expand => stack.push(problem, &child, depth),
-                    Action::Prune => metrics.prunes += 1,
-                    Action::PruneSiblings => {
-                        metrics.prunes += 1;
-                        stack.pop();
-                        metrics.backtracks += 1;
-                        backtracks_since_spawn += 1;
-                    }
-                    Action::ShortCircuit => return Flow::ShortCircuited,
-                }
-            }
-            None => {
-                stack.pop();
-                metrics.backtracks += 1;
-                backtracks_since_spawn += 1;
-            }
-        }
-    }
-    Flow::Completed
+    engine::run(
+        problem,
+        driver,
+        workers,
+        PoolSource::new(workers),
+        BudgetPolicy { budget },
+    )
 }
 
 #[cfg(test)]
@@ -202,7 +87,10 @@ mod tests {
             // The leftmost child is "heavy" (kind 0 keeps branching), the
             // others are lighter.
             let width = if kind == 0 { 4 } else { 2 };
-            (0..width).map(|i| (depth + 1, i)).collect::<Vec<_>>().into_iter()
+            (0..width)
+                .map(|i| (depth + 1, i))
+                .collect::<Vec<_>>()
+                .into_iter()
         }
     }
 
@@ -244,7 +132,13 @@ mod tests {
         };
         let small = spawns_for(2);
         let large = spawns_for(1_000_000);
-        assert!(small > large, "budget 2 spawned {small}, budget 1e6 spawned {large}");
-        assert_eq!(large, 0, "a budget larger than the tree never triggers a spawn");
+        assert!(
+            small > large,
+            "budget 2 spawned {small}, budget 1e6 spawned {large}"
+        );
+        assert_eq!(
+            large, 0,
+            "a budget larger than the tree never triggers a spawn"
+        );
     }
 }

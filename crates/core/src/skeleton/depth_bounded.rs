@@ -1,21 +1,31 @@
 //! Depth-Bounded search coordination (the (spawn-depth) rule).
 //!
 //! Every node shallower than the cutoff depth has its children converted to
-//! tasks, queued in heuristic order in the shared order-preserving workpool;
-//! nodes at or below the cutoff are explored sequentially by the worker that
-//! picked them up.  Spawns happen as tasks execute (not all up-front), just
-//! as in the YewPar implementation.
+//! tasks, queued in heuristic order on the worker's own shard of the sharded
+//! depth pool; nodes at or below the cutoff are explored sequentially by the
+//! worker that picked them up.  Spawns happen as tasks execute (not all
+//! up-front), just as in the YewPar implementation.  All worker-loop
+//! machinery lives in `crate::engine`; this module is only the eager spawn
+//! policy.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use super::driver::{Action, Driver};
-use super::sequential::{explore_subtree, Flow};
+use crate::engine::{self, PoolSource, SpawnPolicy, WorkSource};
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
-use crate::termination::Termination;
-use crate::workpool::{DepthPool, Task};
+use crate::skeleton::driver::Driver;
+
+/// Spawn the children of every node shallower than `dcutoff`.
+pub(crate) struct DepthPolicy {
+    dcutoff: usize,
+}
+
+impl<P: SearchProblem, S: WorkSource<P>> SpawnPolicy<P, S> for DepthPolicy {
+    fn spawn_children(&self, depth: usize) -> bool {
+        depth < self.dcutoff
+    }
+}
 
 /// Run the Depth-Bounded coordination with the given cutoff depth.
 pub(crate) fn run<P, D>(
@@ -28,122 +38,14 @@ where
     P: SearchProblem,
     D: Driver<P>,
 {
-    let start = Instant::now();
     let workers = config.workers.max(1);
-    let pool: DepthPool<P::Node> = DepthPool::new();
-    let term = Termination::new(1);
-    let poisoned = AtomicBool::new(false);
-    pool.push(Task::new(problem.root(), 0));
-
-    let mut all_metrics = vec![WorkerMetrics::default(); workers];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            handles.push(scope.spawn(|| worker_loop(problem, driver, &pool, &term, dcutoff)));
-        }
-        for (i, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(metrics) => all_metrics[i] = metrics,
-                Err(_) => poisoned.store(true, Ordering::Relaxed),
-            }
-        }
-    });
-    if poisoned.load(Ordering::Relaxed) {
-        panic!("a depth-bounded search worker panicked");
-    }
-    (all_metrics, start.elapsed())
-}
-
-fn worker_loop<P, D>(
-    problem: &P,
-    driver: &D,
-    pool: &DepthPool<P::Node>,
-    term: &Termination,
-    dcutoff: usize,
-) -> WorkerMetrics
-where
-    P: SearchProblem,
-    D: Driver<P>,
-{
-    let mut metrics = WorkerMetrics::default();
-    let mut partial = driver.new_partial();
-    let mut idle_spins: u32 = 0;
-
-    loop {
-        if term.finished() {
-            break;
-        }
-        match pool.pop() {
-            Some(task) => {
-                idle_spins = 0;
-                let flow = execute_task(problem, driver, &mut partial, &mut metrics, pool, term, dcutoff, task);
-                if flow == Flow::ShortCircuited {
-                    term.short_circuit();
-                }
-                term.task_completed();
-            }
-            None => {
-                if term.all_done() {
-                    break;
-                }
-                // Exponential-ish backoff: spin briefly, then sleep so idle
-                // workers do not starve the busy ones on small machines.
-                idle_spins = idle_spins.saturating_add(1);
-                if idle_spins < 16 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-            }
-        }
-    }
-
-    driver.merge(partial);
-    metrics
-}
-
-/// Execute one task: process its root; above the cutoff spawn children as
-/// new tasks, otherwise explore the subtree sequentially.
-#[allow(clippy::too_many_arguments)]
-fn execute_task<P, D>(
-    problem: &P,
-    driver: &D,
-    partial: &mut D::Partial,
-    metrics: &mut WorkerMetrics,
-    pool: &DepthPool<P::Node>,
-    term: &Termination,
-    dcutoff: usize,
-    task: Task<P::Node>,
-) -> Flow
-where
-    P: SearchProblem,
-    D: Driver<P>,
-{
-    if task.depth < dcutoff {
-        metrics.nodes += 1;
-        metrics.max_depth = metrics.max_depth.max(task.depth as u64);
-        match driver.process(problem, &task.node, partial) {
-            Action::Expand => {}
-            Action::Prune | Action::PruneSiblings => {
-                metrics.prunes += 1;
-                return Flow::Completed;
-            }
-            Action::ShortCircuit => return Flow::ShortCircuited,
-        }
-        // Spawn each child as a task, preserving heuristic order.  Register
-        // the spawns before pushing so the termination counter can never
-        // observe an empty system while tasks exist.
-        let children: Vec<Task<P::Node>> = problem
-            .generator(&task.node)
-            .map(|child| Task::new(child, task.depth + 1))
-            .collect();
-        term.task_spawned(children.len() as u64);
-        metrics.spawns += children.len() as u64;
-        pool.push_all(children);
-        Flow::Completed
-    } else {
-        explore_subtree(problem, driver, partial, metrics, Some(term), &task.node, task.depth)
-    }
+    engine::run(
+        problem,
+        driver,
+        workers,
+        PoolSource::new(workers),
+        DepthPolicy { dcutoff },
+    )
 }
 
 #[cfg(test)]
@@ -194,7 +96,11 @@ mod tests {
         for dcutoff in [0, 1, 2, 5, 10] {
             let driver = EnumDriver::<Fanout>::new();
             let (metrics, _) = run(&p, &driver, &cfg, dcutoff);
-            assert_eq!(driver.into_value(), Sum(expected_nodes(5, 3)), "dcutoff={dcutoff}");
+            assert_eq!(
+                driver.into_value(),
+                Sum(expected_nodes(5, 3)),
+                "dcutoff={dcutoff}"
+            );
             let total: u64 = metrics.iter().map(|m| m.nodes).sum();
             assert_eq!(total, expected_nodes(5, 3));
         }

@@ -270,7 +270,11 @@ mod tests {
         let d = OptimDriver::<Path>::new();
         let mut cache = d.new_partial();
         assert_eq!(d.process(&Path, &3, &mut cache), Action::Expand);
-        assert_eq!(d.process(&Path, &9, &mut cache), Action::Prune, "bound 9 <= incumbent 9 prunes");
+        assert_eq!(
+            d.process(&Path, &9, &mut cache),
+            Action::Prune,
+            "bound 9 <= incumbent 9 prunes"
+        );
         assert_eq!(d.incumbent_updates(), 2);
         assert_eq!(d.into_best(), Some((9, 9)));
     }

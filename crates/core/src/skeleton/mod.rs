@@ -54,12 +54,20 @@ pub struct OptimOutcome<N, S> {
 impl<N, S> OptimOutcome<N, S> {
     /// The witness node (panics if the search recorded no node).
     pub fn node(&self) -> &N {
-        &self.best.as_ref().expect("optimisation search always records the root").0
+        &self
+            .best
+            .as_ref()
+            .expect("optimisation search always records the root")
+            .0
     }
 
     /// The maximal objective value (panics if the search recorded no node).
     pub fn score(&self) -> &S {
-        &self.best.as_ref().expect("optimisation search always records the root").1
+        &self
+            .best
+            .as_ref()
+            .expect("optimisation search always records the root")
+            .1
     }
 }
 
@@ -162,7 +170,11 @@ impl Skeleton {
 }
 
 /// Dispatch a driver over the configured coordination.
-fn run_coordination<P, D>(problem: &P, driver: &D, config: &SearchConfig) -> (Vec<WorkerMetrics>, Duration)
+fn run_coordination<P, D>(
+    problem: &P,
+    driver: &D,
+    config: &SearchConfig,
+) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
     D: Driver<P>,
@@ -170,8 +182,12 @@ where
     config.validate().expect("invalid skeleton configuration");
     match config.coordination {
         Coordination::Sequential => sequential::run(problem, driver),
-        Coordination::DepthBounded { dcutoff } => depth_bounded::run(problem, driver, config, dcutoff),
-        Coordination::StackStealing { chunked } => stack_stealing::run(problem, driver, config, chunked),
+        Coordination::DepthBounded { dcutoff } => {
+            depth_bounded::run(problem, driver, config, dcutoff)
+        }
+        Coordination::StackStealing { chunked } => {
+            stack_stealing::run(problem, driver, config, chunked)
+        }
         Coordination::Budget { backtracks } => budget::run(problem, driver, config, backtracks),
     }
 }
@@ -210,7 +226,13 @@ mod tests {
             }
             let fanout = (seed % 4) as usize + 1;
             (0..fanout)
-                .map(|i| (depth + 1, seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)))
+                .map(|i| {
+                    (
+                        depth + 1,
+                        seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add(i as u64),
+                    )
+                })
                 .collect::<Vec<_>>()
                 .into_iter()
         }
@@ -249,8 +271,15 @@ mod tests {
         let expected = reference_count(&p);
         for coord in all_coordinations(2, 50, true) {
             let out = Skeleton::new(coord).workers(3).enumerate(&p);
-            assert_eq!(out.value.0, expected, "coordination {coord} returned a wrong count");
-            assert_eq!(out.metrics.nodes(), expected, "every node must be processed exactly once");
+            assert_eq!(
+                out.value.0, expected,
+                "coordination {coord} returned a wrong count"
+            );
+            assert_eq!(
+                out.metrics.nodes(),
+                expected,
+                "every node must be processed exactly once"
+            );
         }
     }
 
@@ -260,7 +289,11 @@ mod tests {
         let seq = Skeleton::new(Coordination::Sequential).maximise(&p);
         for coord in all_coordinations(3, 25, false) {
             let out = Skeleton::new(coord).workers(3).maximise(&p);
-            assert_eq!(out.score(), seq.score(), "coordination {coord} found a different optimum");
+            assert_eq!(
+                out.score(),
+                seq.score(),
+                "coordination {coord} found a different optimum"
+            );
         }
     }
 
@@ -274,7 +307,45 @@ mod tests {
             }
             // The witness existence must agree with the sequential result.
             let seq = Skeleton::new(Coordination::Sequential).decide(&p);
-            assert_eq!(out.found(), seq.found(), "coordination {coord} disagrees on decidability");
+            assert_eq!(
+                out.found(),
+                seq.found(),
+                "coordination {coord} disagrees on decidability"
+            );
+        }
+    }
+
+    /// The sharded-workpool acceptance check: at 8 workers on the synthetic
+    /// irregular tree, the pooled coordinations must put the shards to work
+    /// (at least one recorded cross-shard steal) while still processing
+    /// every node exactly once.
+    #[test]
+    fn eight_workers_steal_across_shards_and_count_exactly() {
+        let p = Irregular { depth: 12 };
+        let seq = Skeleton::new(Coordination::Sequential).enumerate(&p);
+        for coord in [Coordination::depth_bounded(3), Coordination::budget(40)] {
+            let mut steals = 0;
+            // Whether thieves win a task is pure OS-scheduling
+            // nondeterminism (steal_seed does not influence the pooled
+            // coordinations' shard scan); on a small machine one worker can
+            // (rarely) finish alone, so retry a few runs before declaring
+            // failure.
+            for _attempt in 0..5 {
+                let out = Skeleton::new(coord).workers(8).enumerate(&p);
+                assert_eq!(
+                    out.value.0, seq.value.0,
+                    "coordination {coord} count diverged"
+                );
+                assert_eq!(out.metrics.nodes(), seq.metrics.nodes());
+                steals += out.metrics.totals.steals;
+                if steals > 0 {
+                    break;
+                }
+            }
+            assert!(
+                steals >= 1,
+                "coordination {coord} recorded no steal at 8 workers"
+            );
         }
     }
 

@@ -1,106 +1,24 @@
 //! Sequential search coordination (paper Listing 2).
 //!
-//! A single worker performs a depth-first traversal from the root using a
-//! stack of lazy node generators.  This module also provides
-//! [`explore_subtree`], the sequential inner loop reused by the parallel
-//! coordinations once a task is small enough (or deep enough) to be explored
-//! without further splitting.
+//! The degenerate instance of the unified engine (`crate::engine`): one
+//! worker, a work source holding exactly the root task, and a policy that
+//! never spawns.  The engine's generic task loop then *is* the classic
+//! depth-first traversal over a stack of lazy node generators.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use super::driver::{Action, Driver};
-use crate::genstack::GenStack;
+use crate::engine::{self, NoSpawn, RootSource};
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
-use crate::termination::Termination;
+use crate::skeleton::driver::Driver;
 
-/// How a (sub)search ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Flow {
-    /// The subtree was fully explored (or pruned away).
-    Completed,
-    /// A short-circuit was requested: the caller must stop the whole search.
-    ShortCircuited,
-}
-
-/// Run the Sequential skeleton: process the root and explore its subtree in
-/// a single worker.
+/// Run the Sequential skeleton: explore the whole tree in a single worker.
 pub(crate) fn run<P, D>(problem: &P, driver: &D) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
     D: Driver<P>,
 {
-    let start = Instant::now();
-    let mut metrics = WorkerMetrics::default();
-    let mut partial = driver.new_partial();
-    let root = problem.root();
-    let _ = explore_subtree(problem, driver, &mut partial, &mut metrics, None, &root, 0);
-    driver.merge(partial);
-    (vec![metrics], start.elapsed())
-}
-
-/// Depth-first exploration of the subtree rooted at `node` (which is
-/// processed first), with no work splitting.
-///
-/// If `term` is provided the loop polls its short-circuit flag so that a
-/// decision target found by another worker stops this worker promptly.
-pub(crate) fn explore_subtree<P, D>(
-    problem: &P,
-    driver: &D,
-    partial: &mut D::Partial,
-    metrics: &mut WorkerMetrics,
-    term: Option<&Termination>,
-    node: &P::Node,
-    node_depth: usize,
-) -> Flow
-where
-    P: SearchProblem,
-    D: Driver<P>,
-{
-    metrics.nodes += 1;
-    metrics.max_depth = metrics.max_depth.max(node_depth as u64);
-    match driver.process(problem, node, partial) {
-        Action::Expand => {}
-        Action::Prune | Action::PruneSiblings => {
-            metrics.prunes += 1;
-            return Flow::Completed;
-        }
-        Action::ShortCircuit => return Flow::ShortCircuited,
-    }
-
-    let mut stack = GenStack::new();
-    stack.push(problem, node, node_depth);
-    while !stack.is_empty() {
-        if let Some(term) = term {
-            if term.short_circuited() {
-                return Flow::ShortCircuited;
-            }
-        }
-        match stack.next_child() {
-            Some((child, depth)) => {
-                metrics.nodes += 1;
-                metrics.max_depth = metrics.max_depth.max(depth as u64);
-                match driver.process(problem, &child, partial) {
-                    Action::Expand => stack.push(problem, &child, depth),
-                    Action::Prune => metrics.prunes += 1,
-                    Action::PruneSiblings => {
-                        // The generator yields children in non-increasing
-                        // bound order: the failed check also disposes of the
-                        // unexplored later siblings.
-                        metrics.prunes += 1;
-                        stack.pop();
-                        metrics.backtracks += 1;
-                    }
-                    Action::ShortCircuit => return Flow::ShortCircuited,
-                }
-            }
-            None => {
-                stack.pop();
-                metrics.backtracks += 1;
-            }
-        }
-    }
-    Flow::Completed
+    engine::run(problem, driver, 1, RootSource::new(), NoSpawn)
 }
 
 #[cfg(test)]
@@ -187,15 +105,11 @@ mod tests {
     }
 
     #[test]
-    fn explore_subtree_respects_external_short_circuit() {
-        let p = Bin { depth: 16 };
+    fn sequential_never_spawns_or_steals() {
+        let p = Bin { depth: 8 };
         let driver = EnumDriver::<Bin>::new();
-        let mut partial = driver.new_partial();
-        let mut metrics = WorkerMetrics::default();
-        let term = Termination::new(1);
-        term.short_circuit();
-        let flow = explore_subtree(&p, &driver, &mut partial, &mut metrics, Some(&term), &p.root(), 0);
-        assert_eq!(flow, Flow::ShortCircuited);
-        assert!(metrics.nodes <= 2, "the poll happens before each expansion");
+        let (metrics, _) = run(&p, &driver);
+        assert_eq!(metrics[0].spawns, 0);
+        assert_eq!(metrics[0].steals, 0);
     }
 }

@@ -3,31 +3,213 @@
 //!
 //! Work is split *on demand*: an idle worker (thief) sends a steal request
 //! over a channel to a randomly chosen victim; the victim polls its request
-//! channel on every expansion step and, when asked, scans its generator
-//! stack bottom-up and gives away its lowest-depth unexplored subtree (or
-//! every sibling at that depth when the `chunked` flag is set).  There is no
-//! shared workpool — tasks travel directly from victim to thief, with the
-//! termination counter tracking tasks in flight.
+//! channel on every expansion step (the engine's per-step `poll` hook) and,
+//! when asked, scans its generator stack bottom-up and gives away its
+//! lowest-depth unexplored subtree (or every sibling at that depth when the
+//! `chunked` flag is set).  There is no shared workpool — tasks travel
+//! directly from victim to thief, with the termination counter tracking
+//! tasks in flight.  All worker-loop machinery lives in `crate::engine`;
+//! this module is only the steal-channel [`WorkSource`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
+use std::collections::VecDeque;
+use std::time::Duration;
 
-use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use super::driver::{Action, Driver};
+use crate::engine::{self, NoSpawn, WorkSource};
 use crate::genstack::GenStack;
-use super::sequential::Flow;
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
+use crate::skeleton::driver::Driver;
 use crate::termination::Termination;
 use crate::workpool::Task;
 
 /// A steal request carrying the channel on which the victim should reply.
 struct StealRequest<N> {
     reply: Sender<Vec<Task<N>>>,
+}
+
+/// Per-worker state: the request receiver, the private task backlog and the
+/// victim-selection generator.
+pub(crate) struct StealLocal<N> {
+    id: usize,
+    rx: Receiver<StealRequest<N>>,
+    backlog: VecDeque<Task<N>>,
+    rng: SmallRng,
+}
+
+/// The steal-channel work source: one bounded request channel per worker,
+/// every worker holding a sender to every other.
+pub(crate) struct StealSource<N> {
+    senders: Vec<Sender<StealRequest<N>>>,
+    locals: Mutex<Vec<Option<StealLocal<N>>>>,
+    chunked: bool,
+}
+
+impl<N> StealSource<N> {
+    pub(crate) fn new(workers: usize, seed: u64, chunked: bool) -> Self {
+        // Requests are bounded so thieves cannot pile up unbounded requests
+        // on a busy victim.
+        let mut senders = Vec::with_capacity(workers);
+        let mut locals = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let (tx, rx) = bounded::<StealRequest<N>>(workers);
+            senders.push(tx);
+            locals.push(Some(StealLocal {
+                id,
+                rx,
+                backlog: VecDeque::new(),
+                rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            }));
+        }
+        StealSource {
+            senders,
+            locals: Mutex::new(locals),
+            chunked,
+        }
+    }
+
+    /// Reply "no work" to any queued requests so thieves do not wait for the
+    /// full timeout when the victim is itself idle.
+    fn drain_requests_empty(rx: &Receiver<StealRequest<N>>) {
+        while let Ok(req) = rx.try_recv() {
+            let _ = req.reply.send(Vec::new());
+        }
+    }
+
+    /// Pick a random victim and ask it for work.
+    fn attempt_steal(&self, local: &mut StealLocal<N>, term: &Termination) -> Option<Vec<Task<N>>> {
+        let n = self.senders.len();
+        let victim = {
+            let mut v = local.rng.gen_range(0..n - 1);
+            if v >= local.id {
+                v += 1;
+            }
+            v
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        if self.senders[victim]
+            .try_send(StealRequest { reply: reply_tx })
+            .is_err()
+        {
+            return None;
+        }
+        // Once the request is delivered the thief must not abandon it on a
+        // mere timeout: the victim may already have removed subtrees from
+        // its generator stack and registered them with the termination
+        // counter — dropping `reply_rx` at that instant would destroy them
+        // and hang the search.  Waiting is safe: victims poll their channel
+        // on every expansion step, answer "no work" whenever they are idle
+        // (including below, so waiting thieves cannot deadlock each other),
+        // and drop their endpoints on exit, which surfaces here as a
+        // disconnect.  Abandoning on `term.finished()` is also safe — tasks
+        // in flight keep the outstanding counter above zero, so `all_done`
+        // cannot be set while a reply with real work is buffered.
+        loop {
+            match reply_rx.recv_timeout(Duration::from_micros(200)) {
+                Ok(tasks) if tasks.is_empty() => return None,
+                Ok(tasks) => return Some(tasks),
+                Err(RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {
+                    if term.finished() {
+                        return None;
+                    }
+                    // Answer anyone asking *us* while we wait; we hold no
+                    // work, so "empty" is always the right reply.
+                    Self::drain_requests_empty(&local.rx);
+                }
+            }
+        }
+    }
+}
+
+impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
+    type Local = StealLocal<P::Node>;
+
+    fn register(&self, worker: usize) -> Self::Local {
+        self.locals.lock()[worker]
+            .take()
+            .expect("worker registered once")
+    }
+
+    fn seed(&self, task: Task<P::Node>) {
+        // The root starts on worker 0's backlog; everyone else steals.
+        let mut locals = self.locals.lock();
+        locals[0]
+            .as_mut()
+            .expect("seed before registration")
+            .backlog
+            .push_back(task);
+    }
+
+    fn pop(&self, local: &mut Self::Local) -> Option<Task<P::Node>> {
+        local.backlog.pop_front()
+    }
+
+    fn acquire(
+        &self,
+        local: &mut Self::Local,
+        term: &Termination,
+        metrics: &mut WorkerMetrics,
+    ) -> Option<Task<P::Node>> {
+        // Idle: answer any pending requests with "no work", then try to
+        // steal (single worker: no one to steal from).
+        Self::drain_requests_empty(&local.rx);
+        if self.senders.len() <= 1 {
+            return None;
+        }
+        match self.attempt_steal(local, term) {
+            Some(tasks) => {
+                metrics.steals += 1;
+                local.backlog.extend(tasks);
+                local.backlog.pop_front()
+            }
+            None => {
+                metrics.failed_steals += 1;
+                None
+            }
+        }
+    }
+
+    fn release(&self, local: &mut Self::Local, tasks: Vec<Task<P::Node>>) {
+        local.backlog.extend(tasks);
+    }
+
+    fn poll(
+        &self,
+        local: &mut Self::Local,
+        stack: &mut GenStack<'_, P>,
+        term: &Termination,
+        metrics: &mut WorkerMetrics,
+    ) {
+        // Serve at most one steal request per expansion step (mirrors the
+        // per-iteration check in Listing 3).
+        let request = match local.rx.try_recv() {
+            Ok(request) => request,
+            Err(_) => return,
+        };
+        let stolen = stack.split_lowest(self.chunked);
+        if stolen.is_empty() {
+            let _ = request.reply.send(Vec::new());
+            return;
+        }
+        // Register the new tasks before they leave this worker so the
+        // termination counter never under-counts live work.
+        term.task_spawned(stolen.len() as u64);
+        metrics.spawns += stolen.len() as u64;
+        if let Err(send_err) = request.reply.send(stolen) {
+            // The thief gave up waiting (or the search is finishing).  The
+            // subtrees were already removed from our generator stack, so
+            // keep them in our own backlog; they remain registered as
+            // outstanding tasks and will be completed when we execute them
+            // ourselves.
+            local.backlog.extend(send_err.into_inner());
+        }
+    }
 }
 
 /// Run the Stack-Stealing coordination.
@@ -41,272 +223,14 @@ where
     P: SearchProblem,
     D: Driver<P>,
 {
-    let start = Instant::now();
     let workers = config.workers.max(1);
-    let term = Termination::new(1);
-    let poisoned = AtomicBool::new(false);
-
-    // One steal-request channel per worker.  Requests are bounded so thieves
-    // cannot pile up unbounded requests on a busy victim.
-    let mut senders = Vec::with_capacity(workers);
-    let mut receivers = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (tx, rx) = bounded::<StealRequest<P::Node>>(workers);
-        senders.push(tx);
-        receivers.push(Some(rx));
-    }
-
-    let mut all_metrics = vec![WorkerMetrics::default(); workers];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (id, slot) in receivers.iter_mut().enumerate() {
-            let rx = slot.take().expect("receiver taken once");
-            let senders = senders.clone();
-            let term = &term;
-            let initial = if id == 0 { Some(Task::new(problem.root(), 0)) } else { None };
-            handles.push(scope.spawn(move || {
-                worker_loop(
-                    problem,
-                    driver,
-                    term,
-                    WorkerLinks {
-                        id,
-                        rx,
-                        senders,
-                        chunked,
-                        seed: config.steal_seed,
-                    },
-                    initial,
-                )
-            }));
-        }
-        for (i, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(metrics) => all_metrics[i] = metrics,
-                Err(_) => poisoned.store(true, Ordering::Relaxed),
-            }
-        }
-    });
-    if poisoned.load(Ordering::Relaxed) {
-        panic!("a stack-stealing search worker panicked");
-    }
-    (all_metrics, start.elapsed())
-}
-
-/// The communication endpoints of one worker.
-struct WorkerLinks<N> {
-    id: usize,
-    rx: Receiver<StealRequest<N>>,
-    senders: Vec<Sender<StealRequest<N>>>,
-    chunked: bool,
-    seed: u64,
-}
-
-fn worker_loop<P, D>(
-    problem: &P,
-    driver: &D,
-    term: &Termination,
-    links: WorkerLinks<P::Node>,
-    initial: Option<Task<P::Node>>,
-) -> WorkerMetrics
-where
-    P: SearchProblem,
-    D: Driver<P>,
-{
-    let mut metrics = WorkerMetrics::default();
-    let mut partial = driver.new_partial();
-    let mut rng = SmallRng::seed_from_u64(links.seed ^ (links.id as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    // Tasks this worker owns but has not started yet (stolen chunks, or work
-    // it failed to hand over to a thief).
-    let mut backlog: Vec<Task<P::Node>> = Vec::new();
-    if let Some(task) = initial {
-        backlog.push(task);
-    }
-
-    loop {
-        if term.finished() {
-            break;
-        }
-        if let Some(task) = pop_front(&mut backlog) {
-            let flow = execute_task(problem, driver, &mut partial, &mut metrics, term, &links, &mut backlog, task);
-            if flow == Flow::ShortCircuited {
-                term.short_circuit();
-            }
-            term.task_completed();
-            continue;
-        }
-        // Idle: answer any pending requests with "no work", then try to steal.
-        drain_requests_empty(&links.rx);
-        if term.finished() || links.senders.len() <= 1 {
-            if links.senders.len() <= 1 {
-                // Single worker: no one to steal from; if our backlog is
-                // empty the search must be over (or short-circuited).
-                if term.finished() {
-                    break;
-                }
-                std::thread::sleep(Duration::from_micros(20));
-                continue;
-            }
-            break;
-        }
-        match attempt_steal(term, &links, &mut rng) {
-            Some(tasks) => {
-                metrics.steals += 1;
-                backlog.extend(tasks);
-            }
-            None => {
-                metrics.failed_steals += 1;
-                std::thread::sleep(Duration::from_micros(20));
-            }
-        }
-    }
-
-    driver.merge(partial);
-    metrics
-}
-
-fn pop_front<T>(backlog: &mut Vec<T>) -> Option<T> {
-    if backlog.is_empty() {
-        None
-    } else {
-        Some(backlog.remove(0))
-    }
-}
-
-/// Reply "no work" to any queued requests so thieves do not wait for the
-/// full timeout when the victim is itself idle.
-fn drain_requests_empty<N>(rx: &Receiver<StealRequest<N>>) {
-    while let Ok(req) = rx.try_recv() {
-        let _ = req.reply.send(Vec::new());
-    }
-}
-
-/// Pick a random victim and ask it for work.
-fn attempt_steal<N>(
-    term: &Termination,
-    links: &WorkerLinks<N>,
-    rng: &mut SmallRng,
-) -> Option<Vec<Task<N>>> {
-    let n = links.senders.len();
-    let victim = {
-        let mut v = rng.gen_range(0..n - 1);
-        if v >= links.id {
-            v += 1;
-        }
-        v
-    };
-    let (reply_tx, reply_rx) = bounded(1);
-    if links.senders[victim].try_send(StealRequest { reply: reply_tx }).is_err() {
-        return None;
-    }
-    // Wait briefly for the victim to respond; victims poll their channel on
-    // every expansion step so the latency is typically a handful of node
-    // expansions.
-    let deadline = Instant::now() + Duration::from_millis(2);
-    loop {
-        match reply_rx.recv_timeout(Duration::from_micros(200)) {
-            Ok(tasks) if tasks.is_empty() => return None,
-            Ok(tasks) => return Some(tasks),
-            Err(_) => {
-                if term.finished() || Instant::now() >= deadline {
-                    return None;
-                }
-            }
-        }
-    }
-}
-
-/// Execute one task, answering steal requests on every expansion step.
-#[allow(clippy::too_many_arguments)]
-fn execute_task<P, D>(
-    problem: &P,
-    driver: &D,
-    partial: &mut D::Partial,
-    metrics: &mut WorkerMetrics,
-    term: &Termination,
-    links: &WorkerLinks<P::Node>,
-    backlog: &mut Vec<Task<P::Node>>,
-    task: Task<P::Node>,
-) -> Flow
-where
-    P: SearchProblem,
-    D: Driver<P>,
-{
-    metrics.nodes += 1;
-    metrics.max_depth = metrics.max_depth.max(task.depth as u64);
-    match driver.process(problem, &task.node, partial) {
-        Action::Expand => {}
-        Action::Prune | Action::PruneSiblings => {
-            metrics.prunes += 1;
-            return Flow::Completed;
-        }
-        Action::ShortCircuit => return Flow::ShortCircuited,
-    }
-
-    let mut stack = GenStack::new();
-    stack.push(problem, &task.node, task.depth);
-
-    while !stack.is_empty() {
-        if term.short_circuited() {
-            return Flow::ShortCircuited;
-        }
-        // Serve at most one steal request per expansion step (mirrors the
-        // per-iteration check in Listing 3).
-        match links.rx.try_recv() {
-            Ok(request) => serve_steal(term, metrics, backlog, &mut stack, request, links.chunked),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
-        }
-        match stack.next_child() {
-            Some((child, depth)) => {
-                metrics.nodes += 1;
-                metrics.max_depth = metrics.max_depth.max(depth as u64);
-                match driver.process(problem, &child, partial) {
-                    Action::Expand => stack.push(problem, &child, depth),
-                    Action::Prune => metrics.prunes += 1,
-                    Action::PruneSiblings => {
-                        metrics.prunes += 1;
-                        stack.pop();
-                        metrics.backtracks += 1;
-                    }
-                    Action::ShortCircuit => return Flow::ShortCircuited,
-                }
-            }
-            None => {
-                stack.pop();
-                metrics.backtracks += 1;
-            }
-        }
-    }
-    Flow::Completed
-}
-
-/// Give the requester the lowest-depth unexplored subtree(s) of `stack`.
-fn serve_steal<N>(
-    term: &Termination,
-    metrics: &mut WorkerMetrics,
-    backlog: &mut Vec<Task<N>>,
-    stack: &mut GenStack<'_, impl SearchProblem<Node = N>>,
-    request: StealRequest<N>,
-    chunked: bool,
-) where
-    N: Clone + Send + 'static,
-{
-    let stolen = stack.split_lowest(chunked);
-    if stolen.is_empty() {
-        let _ = request.reply.send(Vec::new());
-        return;
-    }
-    // Register the new tasks before they leave this worker so the
-    // termination counter never under-counts live work.
-    term.task_spawned(stolen.len() as u64);
-    metrics.spawns += stolen.len() as u64;
-    if let Err(send_err) = request.reply.send(stolen) {
-        // The thief gave up waiting (or the search is finishing).  The
-        // subtrees were already removed from our generator stack, so keep
-        // them in our own backlog; they remain registered as outstanding
-        // tasks and will be completed when we execute them ourselves.
-        backlog.extend(send_err.into_inner());
-    }
+    engine::run(
+        problem,
+        driver,
+        workers,
+        StealSource::new(workers, config.steal_seed, chunked),
+        NoSpawn,
+    )
 }
 
 #[cfg(test)]
@@ -333,7 +257,13 @@ mod tests {
             }
             let width = (seed % 3 + 2) as usize;
             (0..width)
-                .map(|i| (depth + 1, seed.wrapping_mul(2862933555777941757).wrapping_add(i as u64)))
+                .map(|i| {
+                    (
+                        depth + 1,
+                        seed.wrapping_mul(2862933555777941757)
+                            .wrapping_add(i as u64),
+                    )
+                })
                 .collect::<Vec<_>>()
                 .into_iter()
         }

@@ -9,10 +9,17 @@
 //! FIFO order, i.e. exactly the heuristic order in which the lazy node
 //! generator produced them.
 //!
-//! [`DepthPool`] implements that policy behind a mutex.  The pool is shared
-//! by all workers of a locality; for the cluster-scale experiments the
-//! discrete-event simulator (`yewpar-sim`) instantiates one pool per
-//! simulated locality.
+//! [`DepthPool`] implements that policy behind a mutex.  The discrete-event
+//! simulator (`yewpar-sim`) instantiates one pool per simulated locality.
+//!
+//! A single shared pool serialises every push and pop on one lock, which
+//! becomes the bottleneck of the Depth-Bounded and Budget coordinations as
+//! workers scale.  [`ShardedPool`] therefore gives each worker its own
+//! [`DepthPool`] shard: owners push and pop locally without contention, and
+//! idle workers *steal* by scanning the other shards and taking from the one
+//! whose shallowest task is globally shallowest — preserving the
+//! shallowest-first heuristic across shards while eliminating the global
+//! lock from the hot path.
 
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
@@ -66,7 +73,11 @@ impl<N> DepthPool<N> {
     /// preserving heuristic order).
     pub fn push(&self, task: Task<N>) {
         let mut inner = self.inner.lock();
-        inner.by_depth.entry(task.depth).or_default().push_back(task);
+        inner
+            .by_depth
+            .entry(task.depth)
+            .or_default()
+            .push_back(task);
         inner.len += 1;
     }
 
@@ -74,13 +85,22 @@ impl<N> DepthPool<N> {
     pub fn push_all(&self, tasks: impl IntoIterator<Item = Task<N>>) {
         let mut inner = self.inner.lock();
         for task in tasks {
-            inner.by_depth.entry(task.depth).or_default().push_back(task);
+            inner
+                .by_depth
+                .entry(task.depth)
+                .or_default()
+                .push_back(task);
             inner.len += 1;
         }
     }
 
     /// Remove and return the highest-priority task: the oldest task at the
     /// shallowest populated depth.
+    ///
+    /// Returns `None` only when the pool is empty *at this instant*; with
+    /// concurrent producers a subsequent `pop` may succeed.  Callers must
+    /// therefore combine an empty `pop` with a termination check (see
+    /// `Termination::all_done`) rather than treating it as end-of-search.
     pub fn pop(&self) -> Option<Task<N>> {
         let mut inner = self.inner.lock();
         let depth = *inner.by_depth.keys().next()?;
@@ -105,14 +125,111 @@ impl<N> DepthPool<N> {
         self.len() == 0
     }
 
-    /// Discard every queued task, returning how many were dropped.  Used when
-    /// a decision search short-circuits.
+    /// Depth of the shallowest queued task, if any.  Used by the sharded
+    /// steal path to pick the most promising victim shard; the answer may be
+    /// stale by the time the caller acts on it, which only affects heuristic
+    /// quality, never correctness.
+    pub fn min_depth(&self) -> Option<usize> {
+        self.inner.lock().by_depth.keys().next().copied()
+    }
+
+    /// Discard every queued task, returning exactly how many were dropped.
+    /// Used when a decision search short-circuits.
+    ///
+    /// The count is taken under the pool lock: a task popped concurrently by
+    /// a worker is counted by that worker's pop, never by `clear`, so
+    /// `pops + cleared` always equals the number of pushes.
     pub fn clear(&self) -> usize {
         let mut inner = self.inner.lock();
         let dropped = inner.len;
         inner.by_depth.clear();
         inner.len = 0;
         dropped
+    }
+}
+
+/// A per-worker sharding of [`DepthPool`] with a shallowest-first steal path.
+///
+/// Owners interact only with their own shard ([`push`](Self::push),
+/// [`push_all`](Self::push_all), [`pop_local`](Self::pop_local)); an idle
+/// worker calls [`steal`](Self::steal), which scans the other shards'
+/// shallowest depths and pops from the best one.  All operations are
+/// linearisable per shard; cross-shard reads (`steal`, `len`,
+/// [`clear`](Self::clear)) are best-effort snapshots, which is sound because
+/// task order is a heuristic and global emptiness is decided by the
+/// termination counter, not by the pool.
+#[derive(Debug)]
+pub struct ShardedPool<N> {
+    shards: Vec<DepthPool<N>>,
+}
+
+impl<N> ShardedPool<N> {
+    /// A pool with one shard per worker (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedPool {
+            shards: (0..shards.max(1)).map(|_| DepthPool::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queue a task on `shard` (the calling worker's own shard).
+    pub fn push(&self, shard: usize, task: Task<N>) {
+        self.shards[shard].push(task);
+    }
+
+    /// Queue several tasks on `shard`, preserving their heuristic order.
+    pub fn push_all(&self, shard: usize, tasks: impl IntoIterator<Item = Task<N>>) {
+        self.shards[shard].push_all(tasks);
+    }
+
+    /// Pop the highest-priority task of the worker's own shard.
+    pub fn pop_local(&self, shard: usize) -> Option<Task<N>> {
+        self.shards[shard].pop()
+    }
+
+    /// Steal a task for `thief`: scan every other shard's shallowest depth
+    /// and pop from the shard holding the globally shallowest task.  Returns
+    /// `None` if every other shard looked empty (the victim may have been
+    /// drained between the scan and the pop — callers should retry after
+    /// checking termination).
+    pub fn steal(&self, thief: usize) -> Option<Task<N>> {
+        let mut best: Option<(usize, usize)> = None; // (depth, shard index)
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == thief {
+                continue;
+            }
+            if let Some(depth) = shard.min_depth() {
+                if best.map_or(true, |(d, _)| depth < d) {
+                    best = Some((depth, i));
+                }
+            }
+        }
+        let (_, victim) = best?;
+        self.shards[victim].pop()
+    }
+
+    /// Total queued tasks across all shards (a racy snapshot under
+    /// concurrency).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when every shard looked empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard every queued task in every shard, returning exactly how many
+    /// were dropped in total.  Each shard's count is taken under that
+    /// shard's lock, so tasks popped concurrently by workers (e.g. during a
+    /// decision short-circuit) are never double-counted: over the whole run,
+    /// `pops + cleared == pushes`.
+    pub fn clear(&self) -> usize {
+        self.shards.iter().map(|s| s.clear()).sum()
     }
 }
 
@@ -198,6 +315,97 @@ mod tests {
         });
         // Whatever the consumers missed must still be in the pool.
         assert_eq!(consumed.load(Ordering::SeqCst) + pool.len(), 1000);
+    }
+
+    #[test]
+    fn sharded_steal_prefers_the_shallowest_shard() {
+        let pool = ShardedPool::new(3);
+        pool.push(0, Task::new("own", 4));
+        pool.push(1, Task::new("deep", 7));
+        pool.push(2, Task::new("shallow", 2));
+        // Worker 0 steals: shard 2 holds the globally shallowest task.
+        assert_eq!(pool.steal(0).unwrap().node, "shallow");
+        // Next steal must skip the thief's own shard even though it now
+        // holds the shallowest task.
+        assert_eq!(pool.steal(0).unwrap().node, "deep");
+        assert!(
+            pool.steal(0).is_none(),
+            "only the thief's own shard is left"
+        );
+        assert_eq!(pool.pop_local(0).unwrap().node, "own");
+    }
+
+    #[test]
+    fn sharded_owner_pops_are_local() {
+        let pool = ShardedPool::new(2);
+        pool.push_all(0, (0..5).map(|i| Task::new(i, 3)));
+        pool.push(1, Task::new(99, 0));
+        // Owner 0 pops its own FIFO run and never sees shard 1's task.
+        for i in 0..5 {
+            assert_eq!(pool.pop_local(0).unwrap().node, i);
+        }
+        assert!(pool.pop_local(0).is_none());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn sharded_clear_counts_drops_across_all_shards() {
+        let pool = ShardedPool::new(4);
+        for shard in 0..4 {
+            pool.push_all(shard, (0..(shard + 1)).map(|i| Task::new(i, i)));
+        }
+        assert_eq!(pool.len(), 1 + 2 + 3 + 4);
+        assert_eq!(
+            pool.clear(),
+            10,
+            "clear must report drops summed over shards"
+        );
+        assert!(pool.is_empty());
+        assert_eq!(pool.clear(), 0);
+    }
+
+    #[test]
+    fn sharded_clear_never_double_counts_concurrent_pops() {
+        // The decision short-circuit scenario: workers keep popping while
+        // one thread clears. Every task must be observed exactly once,
+        // either by a pop or by the clear's drop count.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = Arc::new(ShardedPool::new(4));
+        for shard in 0..4 {
+            pool.push_all(shard, (0..250).map(|i| Task::new(i, i % 9)));
+        }
+        let popped = Arc::new(AtomicUsize::new(0));
+        let dropped = std::thread::scope(|s| {
+            for t in 0..3 {
+                let pool = Arc::clone(&pool);
+                let popped = Arc::clone(&popped);
+                s.spawn(move || {
+                    let mut local = 0;
+                    for _ in 0..200 {
+                        if pool.pop_local(t).is_some() {
+                            local += 1;
+                        }
+                        if pool.steal(t).is_some() {
+                            local += 1;
+                        }
+                    }
+                    popped.fetch_add(local, Ordering::SeqCst);
+                });
+            }
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                std::thread::yield_now();
+                pool.clear()
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(
+            popped.load(Ordering::SeqCst) + dropped + pool.len(),
+            1000,
+            "pops + cleared + remaining must account for every push"
+        );
     }
 
     proptest! {

@@ -39,7 +39,11 @@ impl Graph {
     /// Add the undirected edge `{u, v}` (ignored if already present or if
     /// `u == v`).
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for order {}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for order {}",
+            self.n
+        );
         if u == v || self.adj[u].contains(v) {
             return;
         }
@@ -120,26 +124,26 @@ impl Graph {
             match parts.next() {
                 Some("p") => {
                     let _format = parts.next();
-                    let n: usize = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| Error::Parse(format!("line {}: bad vertex count", lineno + 1)))?;
+                    let n: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        Error::Parse(format!("line {}: bad vertex count", lineno + 1))
+                    })?;
                     graph = Some(Graph::new(n));
                 }
                 Some("e") => {
-                    let g = graph
-                        .as_mut()
-                        .ok_or_else(|| Error::Parse(format!("line {}: edge before p line", lineno + 1)))?;
-                    let u: usize = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| Error::Parse(format!("line {}: bad edge endpoint", lineno + 1)))?;
-                    let v: usize = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| Error::Parse(format!("line {}: bad edge endpoint", lineno + 1)))?;
+                    let g = graph.as_mut().ok_or_else(|| {
+                        Error::Parse(format!("line {}: edge before p line", lineno + 1))
+                    })?;
+                    let u: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        Error::Parse(format!("line {}: bad edge endpoint", lineno + 1))
+                    })?;
+                    let v: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        Error::Parse(format!("line {}: bad edge endpoint", lineno + 1))
+                    })?;
                     if u == 0 || v == 0 || u > g.n || v > g.n {
-                        return Err(Error::Parse(format!("line {}: vertex out of range", lineno + 1)));
+                        return Err(Error::Parse(format!(
+                            "line {}: vertex out of range",
+                            lineno + 1
+                        )));
                     }
                     g.add_edge(u - 1, v - 1);
                 }
@@ -348,7 +352,10 @@ mod tests {
         let degrees: Vec<usize> = (0..g.order()).map(|v| g.degree(v)).collect();
         let min = degrees.iter().min().unwrap();
         let max = degrees.iter().max().unwrap();
-        assert!(max - min > 10, "expected a wide degree spread, got {min}..{max}");
+        assert!(
+            max - min > 10,
+            "expected a wide degree spread, got {min}..{max}"
+        );
     }
 
     #[test]

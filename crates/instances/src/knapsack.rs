@@ -149,7 +149,11 @@ mod tests {
         let b = KnapsackInstance::generate(KnapsackClass::StronglyCorrelated, 20, 100, 3);
         assert_eq!(a, b);
         for i in 0..a.items() {
-            assert_eq!(a.profits[i], a.weights[i] + 10, "strong correlation broken at item {i}");
+            assert_eq!(
+                a.profits[i],
+                a.weights[i] + 10,
+                "strong correlation broken at item {i}"
+            );
         }
         let u = KnapsackInstance::generate(KnapsackClass::Uncorrelated, 50, 100, 4);
         assert_eq!(u.items(), 50);

@@ -30,9 +30,14 @@ pub struct NamedGraph {
 pub fn table1_clique_instances() -> Vec<NamedGraph> {
     let mut out = Vec::new();
     // brock-like: dense random graphs with a planted clique.
-    for (i, (n, p, k)) in [(110, 0.60, 18), (120, 0.60, 19), (130, 0.58, 19), (140, 0.55, 20)]
-        .iter()
-        .enumerate()
+    for (i, (n, p, k)) in [
+        (110, 0.60, 18),
+        (120, 0.60, 19),
+        (130, 0.58, 19),
+        (140, 0.55, 20),
+    ]
+    .iter()
+    .enumerate()
     {
         out.push(NamedGraph {
             name: format!("brock-{n}-{}", i + 1),
@@ -72,7 +77,10 @@ pub fn table1_clique_instances() -> Vec<NamedGraph> {
         });
     }
     // MANN-like: near-complete graphs.
-    for (i, (n, miss)) in [(60, 0.06), (66, 0.06), (70, 0.06), (72, 0.055)].iter().enumerate() {
+    for (i, (n, miss)) in [(60, 0.06), (66, 0.06), (70, 0.06), (72, 0.055)]
+        .iter()
+        .enumerate()
+    {
         out.push(NamedGraph {
             name: format!("mann-{n}-{}", i + 1),
             graph: graph::mann_like(*n, *miss, 4000 + i as u64),
@@ -134,9 +142,18 @@ pub fn table2_knapsack_instances() -> Vec<(String, KnapsackInstance)> {
 /// TSP instances for Table 2.
 pub fn table2_tsp_instances() -> Vec<(String, TspInstance)> {
     vec![
-        ("tsp-euc-13".into(), TspInstance::random_euclidean(13, 1000.0, 9001)),
-        ("tsp-euc-14".into(), TspInstance::random_euclidean(14, 1000.0, 9002)),
-        ("tsp-euc-15".into(), TspInstance::random_euclidean(15, 500.0, 9003)),
+        (
+            "tsp-euc-13".into(),
+            TspInstance::random_euclidean(13, 1000.0, 9001),
+        ),
+        (
+            "tsp-euc-14".into(),
+            TspInstance::random_euclidean(14, 1000.0, 9002),
+        ),
+        (
+            "tsp-euc-15".into(),
+            TspInstance::random_euclidean(15, 500.0, 9003),
+        ),
     ]
 }
 
@@ -144,9 +161,18 @@ pub fn table2_tsp_instances() -> Vec<(String, TspInstance)> {
 /// like the mixed difficulty of the paper's SIP set).
 pub fn table2_sip_instances() -> Vec<(String, SipInstance)> {
     vec![
-        ("sip-embed-60-14".into(), SipInstance::with_embedding(60, 14, 0.3, 10_001)),
-        ("sip-embed-70-15".into(), SipInstance::with_embedding(70, 15, 0.25, 10_002)),
-        ("sip-unsat-40-10".into(), SipInstance::unlikely(40, 10, 10_003)),
+        (
+            "sip-embed-60-14".into(),
+            SipInstance::with_embedding(60, 14, 0.3, 10_001),
+        ),
+        (
+            "sip-embed-70-15".into(),
+            SipInstance::with_embedding(70, 15, 0.25, 10_002),
+        ),
+        (
+            "sip-unsat-40-10".into(),
+            SipInstance::unlikely(40, 10, 10_003),
+        ),
     ]
 }
 

@@ -83,7 +83,10 @@ impl TspInstance {
     /// tests; exponential memory, only for n ≤ ~16).
     pub fn optimum_by_held_karp(&self) -> u64 {
         let n = self.n;
-        assert!(n >= 2 && n <= 16, "Held-Karp reference only supports 2..=16 cities");
+        assert!(
+            (2..=16).contains(&n),
+            "Held-Karp reference only supports 2..=16 cities"
+        );
         let full = 1usize << (n - 1); // subsets of cities 1..n
         let inf = u64::MAX / 4;
         // dp[mask][j]: shortest path from 0 visiting exactly mask ∪ {0},

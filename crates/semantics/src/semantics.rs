@@ -205,7 +205,13 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
     pub fn reference(&self) -> i64 {
         match self.kind {
             SearchKind::Enumeration => self.tree.nodes().iter().map(|w| self.h(w)).sum(),
-            _ => self.tree.nodes().iter().map(|w| self.h(w)).max().unwrap_or(0),
+            _ => self
+                .tree
+                .nodes()
+                .iter()
+                .map(|w| self.h(w))
+                .max()
+                .unwrap_or(0),
         }
     }
 
@@ -259,7 +265,11 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
                         rules.push(Rule::Schedule { thread: i });
                     }
                 }
-                ThreadState::Active { sub, current, backtracks } => {
+                ThreadState::Active {
+                    sub,
+                    current,
+                    backtracks,
+                } => {
                     match sub.next(current) {
                         Some(next) => {
                             if is_prefix(current, &next) {
@@ -291,10 +301,16 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
                     }
                     // Derived spawn rules.
                     if current.len() < 2 && !sub.children(current).is_empty() {
-                        rules.push(Rule::SpawnDepth { thread: i, dcutoff: 2 });
+                        rules.push(Rule::SpawnDepth {
+                            thread: i,
+                            dcutoff: 2,
+                        });
                     }
                     if *backtracks >= 2 && !sub.lowest(current).is_empty() {
-                        rules.push(Rule::SpawnBudget { thread: i, kbudget: 2 });
+                        rules.push(Rule::SpawnBudget {
+                            thread: i,
+                            kbudget: 2,
+                        });
                     }
                     if config.tasks.is_empty() && sub.next_lowest(current).is_some() {
                         rules.push(Rule::SpawnStack { thread: i });
@@ -314,7 +330,10 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
         let mut next = config.clone();
         match rule {
             Rule::Schedule { thread } => {
-                let task = next.tasks.pop_front().expect("(schedule) requires a pending task");
+                let task = next
+                    .tasks
+                    .pop_front()
+                    .expect("(schedule) requires a pending task");
                 let root = task.root().clone();
                 self.process(&mut next.sigma, &root);
                 next.threads[*thread] = ThreadState::Active {
@@ -325,7 +344,9 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
             }
             Rule::Expand { thread } | Rule::Backtrack { thread } => {
                 let (sub, current, backtracks) = expect_active(&next.threads[*thread]);
-                let target = sub.next(&current).expect("(expand)/(backtrack) require a next node");
+                let target = sub
+                    .next(&current)
+                    .expect("(expand)/(backtrack) require a next node");
                 let is_expand = is_prefix(&current, &target);
                 debug_assert_eq!(is_expand, matches!(rule, Rule::Expand { .. }));
                 self.process(&mut next.sigma, &target);
@@ -337,7 +358,10 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
             }
             Rule::Terminate { thread } => {
                 let (sub, current, _) = expect_active(&next.threads[*thread]);
-                assert!(sub.next(&current).is_none(), "(terminate) requires an exhausted task");
+                assert!(
+                    sub.next(&current).is_none(),
+                    "(terminate) requires an exhausted task"
+                );
                 next.threads[*thread] = ThreadState::Idle;
             }
             Rule::Prune { thread } => {
@@ -371,7 +395,10 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
             }
             Rule::SpawnDepth { thread, dcutoff } => {
                 let (mut sub, current, backtracks) = expect_active(&next.threads[*thread]);
-                assert!(current.len() < *dcutoff, "(spawn-depth) requires depth below the cutoff");
+                assert!(
+                    current.len() < *dcutoff,
+                    "(spawn-depth) requires depth below the cutoff"
+                );
                 for child in sub.children(&current) {
                     let spawned = sub.subtree_at(&child);
                     if spawned.is_empty() {
@@ -388,7 +415,10 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
             }
             Rule::SpawnBudget { thread, kbudget } => {
                 let (mut sub, current, backtracks) = expect_active(&next.threads[*thread]);
-                assert!(backtracks >= *kbudget, "(spawn-budget) requires an exhausted budget");
+                assert!(
+                    backtracks >= *kbudget,
+                    "(spawn-budget) requires an exhausted budget"
+                );
                 for u in sub.lowest(&current) {
                     let spawned = sub.subtree_at(&u);
                     if spawned.is_empty() {
@@ -405,8 +435,13 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
             }
             Rule::SpawnStack { thread } => {
                 let (mut sub, current, backtracks) = expect_active(&next.threads[*thread]);
-                assert!(next.tasks.is_empty(), "(spawn-stack) fires only on an empty queue");
-                let u = sub.next_lowest(&current).expect("(spawn-stack) requires unexplored work");
+                assert!(
+                    next.tasks.is_empty(),
+                    "(spawn-stack) fires only on an empty queue"
+                );
+                let u = sub
+                    .next_lowest(&current)
+                    .expect("(spawn-stack) requires unexplored work");
                 let spawned = sub.subtree_at(&u);
                 sub.remove_all(&spawned);
                 next.tasks.push_back(Subtree::from_nodes(spawned));
@@ -437,11 +472,17 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
         let limit = 16 * (self.tree.len() + 1) * threads.max(1) + 64;
         while !config.is_final() {
             let rules = self.applicable(&config);
-            assert!(!rules.is_empty(), "non-final configuration with no applicable rule");
+            assert!(
+                !rules.is_empty(),
+                "non-final configuration with no applicable rule"
+            );
             let (spawns, others): (Vec<_>, Vec<_>) = rules.into_iter().partition(|r| {
                 matches!(
                     r,
-                    Rule::Spawn { .. } | Rule::SpawnDepth { .. } | Rule::SpawnBudget { .. } | Rule::SpawnStack { .. }
+                    Rule::Spawn { .. }
+                        | Rule::SpawnDepth { .. }
+                        | Rule::SpawnBudget { .. }
+                        | Rule::SpawnStack { .. }
                 )
             });
             let pick_from = if !spawns.is_empty() && rng.gen_bool(spawn_bias) {
@@ -454,7 +495,10 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
             let rule = pick_from[rng.gen_range(0..pick_from.len())].clone();
             config = self.apply(&config, &rule);
             steps += 1;
-            assert!(steps <= limit, "reduction did not terminate within {limit} steps");
+            assert!(
+                steps <= limit,
+                "reduction did not terminate within {limit} steps"
+            );
         }
         (config, steps)
     }
@@ -462,7 +506,11 @@ impl<F: Fn(&Word) -> i64> Semantics<F> {
 
 fn expect_active(state: &ThreadState) -> (Subtree, Word, u32) {
     match state {
-        ThreadState::Active { sub, current, backtracks } => (sub.clone(), current.clone(), *backtracks),
+        ThreadState::Active {
+            sub,
+            current,
+            backtracks,
+        } => (sub.clone(), current.clone(), *backtracks),
         ThreadState::Idle => panic!("rule requires an active thread"),
     }
 }
@@ -533,14 +581,21 @@ mod tests {
 
     #[test]
     fn shortcircuit_empties_the_configuration() {
-        let sem = Semantics::new(small_tree(), |w| w.len() as i64, SearchKind::Decision { greatest: 1 });
+        let sem = Semantics::new(
+            small_tree(),
+            |w| w.len() as i64,
+            SearchKind::Decision { greatest: 1 },
+        );
         // Drive manually: schedule, expand once (incumbent reaches depth 1 =
         // greatest), then the short-circuit must be applicable.
         let c0 = sem.initial(1);
         let c1 = sem.apply(&c0, &Rule::Schedule { thread: 0 });
         let c2 = sem.apply(&c1, &Rule::Expand { thread: 0 });
         let rules = sem.applicable(&c2);
-        assert!(rules.contains(&Rule::ShortCircuit { thread: 0 }), "rules: {rules:?}");
+        assert!(
+            rules.contains(&Rule::ShortCircuit { thread: 0 }),
+            "rules: {rules:?}"
+        );
         let c3 = sem.apply(&c2, &Rule::ShortCircuit { thread: 0 });
         assert!(c3.is_final());
         match c3.sigma {

@@ -124,6 +124,13 @@ impl Subtree {
         self.nodes.len()
     }
 
+    /// A subtree is non-empty by construction ([`Subtree::from_nodes`]
+    /// asserts it), but report the node set truthfully rather than
+    /// hardcoding the invariant.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
     /// Membership test.
     pub fn contains(&self, w: &Word) -> bool {
         self.nodes.contains(w)
@@ -150,7 +157,11 @@ impl Subtree {
 
     /// `subtree(S, u)`: all nodes of `S` that have `u` as a prefix.
     pub fn subtree_at(&self, u: &Word) -> BTreeSet<Word> {
-        self.nodes.iter().filter(|w| is_prefix(u, w)).cloned().collect()
+        self.nodes
+            .iter()
+            .filter(|w| is_prefix(u, w))
+            .cloned()
+            .collect()
     }
 
     /// `succ(S, v)`: the nodes following `v` in traversal order.

@@ -118,7 +118,10 @@ fn sequential_schedule_is_deterministic() {
     let sem = Semantics::new(tree, objective, SearchKind::Enumeration);
     let a = sem.run_random(1, 1, 0.0);
     let b = sem.run_random(1, 2, 0.0);
-    assert_eq!(a.0, b.0, "with no spawn rules the schedule is fully determined");
+    assert_eq!(
+        a.0, b.0,
+        "with no spawn rules the schedule is fully determined"
+    );
     assert_eq!(a.1, b.1);
 }
 

@@ -276,13 +276,18 @@ struct SimStats {
 
 /// Simulate an enumeration search.
 pub fn simulate_enumerate<P: Enumerate>(problem: &P, config: &SimConfig) -> SimOutcome<P::Value> {
-    let mut driver = EnumSimDriver::<P> { acc: P::Value::empty() };
+    let mut driver = EnumSimDriver::<P> {
+        acc: P::Value::empty(),
+    };
     let stats = simulate(problem, config, &mut driver);
     outcome(stats, config, driver.acc)
 }
 
 /// Simulate an optimisation search.
-pub fn simulate_maximise<P: Optimise>(problem: &P, config: &SimConfig) -> SimOutcome<Option<(P::Node, P::Score)>> {
+pub fn simulate_maximise<P: Optimise>(
+    problem: &P,
+    config: &SimConfig,
+) -> SimOutcome<Option<(P::Node, P::Score)>> {
     let mut driver = OptimSimDriver::<P>::new(config.costs.bound_broadcast_latency);
     let stats = simulate(problem, config, &mut driver);
     outcome(stats, config, driver.best.map(|(s, n)| (n, s)))
@@ -350,7 +355,8 @@ where
     let mut stats = SimStats::default();
     // Event heap: (time, worker) — Reverse for a min-heap; ties broken by
     // worker index for determinism.
-    let mut events: BinaryHeap<Reverse<(u64, usize)>> = (0..n_workers).map(|w| Reverse((0, w))).collect();
+    let mut events: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n_workers).map(|w| Reverse((0, w))).collect();
     let mut short_circuited = false;
 
     while let Some(Reverse((now, w))) = events.pop() {
@@ -438,7 +444,9 @@ where
 
         let my_locality = workers[w].locality;
         match coordination {
-            Coordination::Sequential | Coordination::DepthBounded { .. } | Coordination::Budget { .. } => {
+            Coordination::Sequential
+            | Coordination::DepthBounded { .. }
+            | Coordination::Budget { .. } => {
                 // Local pool first, then a random remote pool.
                 if let Some(task) = pools[my_locality].pop() {
                     next_time += costs.pop_cost;
@@ -462,8 +470,9 @@ where
                 let local_victims: Vec<usize> = (0..n_workers)
                     .filter(|&v| v != w && workers[v].locality == my_locality)
                     .collect();
-                let remote_victims: Vec<usize> =
-                    (0..n_workers).filter(|&v| workers[v].locality != my_locality).collect();
+                let remote_victims: Vec<usize> = (0..n_workers)
+                    .filter(|&v| workers[v].locality != my_locality)
+                    .collect();
                 let mut stolen = Vec::new();
                 let mut latency = costs.idle_poll;
                 for (victims, cost) in [
@@ -610,7 +619,12 @@ mod tests {
             }
             let width = (s % 3 + 1) as usize;
             (0..width)
-                .map(|i| (d + 1, s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64)))
+                .map(|i| {
+                    (
+                        d + 1,
+                        s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64),
+                    )
+                })
                 .collect::<Vec<_>>()
                 .into_iter()
         }
@@ -705,8 +719,10 @@ mod tests {
     #[test]
     fn remote_steals_are_more_expensive_than_local_ones() {
         let p = Fib { depth: 11 };
-        let single_locality = simulate_enumerate(&p, &sim(Coordination::stack_stealing_chunked(), 1, 8));
-        let many_localities = simulate_enumerate(&p, &sim(Coordination::stack_stealing_chunked(), 8, 1));
+        let single_locality =
+            simulate_enumerate(&p, &sim(Coordination::stack_stealing_chunked(), 1, 8));
+        let many_localities =
+            simulate_enumerate(&p, &sim(Coordination::stack_stealing_chunked(), 8, 1));
         assert_eq!(single_locality.result, many_localities.result);
         assert!(
             many_localities.makespan >= single_locality.makespan,

@@ -32,4 +32,6 @@
 
 pub mod engine;
 
-pub use engine::{simulate_decide, simulate_enumerate, simulate_maximise, CostModel, SimConfig, SimOutcome};
+pub use engine::{
+    simulate_decide, simulate_enumerate, simulate_maximise, CostModel, SimConfig, SimOutcome,
+};

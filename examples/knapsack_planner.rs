@@ -21,14 +21,20 @@ fn main() {
         let problem = Knapsack::new(instance);
 
         let sequential = Skeleton::new(Coordination::Sequential).maximise(&problem);
-        let parallel = Skeleton::new(Coordination::budget(1_000)).workers(4).maximise(&problem);
+        let parallel = Skeleton::new(Coordination::budget(1_000))
+            .workers(4)
+            .maximise(&problem);
 
         assert_eq!(*sequential.score(), reference);
         assert_eq!(*parallel.score(), reference);
 
         let chosen = problem.selected_items(parallel.node());
         let (profit, weight) = problem.instance().evaluate(&chosen);
-        println!("{label:>20}: optimum profit {profit:>6} using {:>2} items, weight {weight}/{}", chosen.len(), problem.instance().capacity);
+        println!(
+            "{label:>20}: optimum profit {profit:>6} using {:>2} items, weight {weight}/{}",
+            chosen.len(),
+            problem.instance().capacity
+        );
         println!(
             "{:>20}  sequential explored {:>8} nodes; Budget skeleton explored {:>8} nodes with {} tasks",
             "",

@@ -40,7 +40,13 @@ fn vertex_name(v: usize) -> char {
 }
 
 fn show(node: &CliqueNode) -> String {
-    let clique: String = node.clique.iter().map(vertex_name).collect::<Vec<_>>().iter().collect();
+    let clique: String = node
+        .clique
+        .iter()
+        .map(vertex_name)
+        .collect::<Vec<_>>()
+        .iter()
+        .collect();
     let cands: String = node
         .candidates
         .iter()

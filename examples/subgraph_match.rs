@@ -14,7 +14,10 @@ fn main() {
     let satisfiable = SipInstance::with_embedding(40, 9, 0.35, 99);
     let unsatisfiable = SipInstance::unlikely(35, 9, 77);
 
-    for (label, instance) in [("guaranteed-embedding", satisfiable), ("unlikely-embedding", unsatisfiable)] {
+    for (label, instance) in [
+        ("guaranteed-embedding", satisfiable),
+        ("unlikely-embedding", unsatisfiable),
+    ] {
         println!(
             "{label}: pattern {} vertices / target {} vertices",
             instance.pattern.order(),

@@ -1,0 +1,140 @@
+//! Engine equivalence: every parallel coordination, driven through the
+//! unified worker engine, must agree with the Sequential skeleton on
+//! enumeration node counts, the optimisation optimum, and decidability —
+//! for every search type, across worker counts and steal seeds.
+//!
+//! A deterministic sweep pins the required coverage (≥3 worker counts ×
+//! ≥3 steal seeds × all four coordinations × all three search types); a
+//! property test then randomises the coordination parameters, the tree and
+//! the seeds.
+
+use proptest::prelude::*;
+use yewpar::monoid::Sum;
+use yewpar::{Coordination, Decide, Enumerate, Optimise, SearchProblem, Skeleton};
+use yewpar_apps::irregular::Irregular as IrregularTree;
+
+/// The canonical synthetic irregular tree (`yewpar_apps::irregular`),
+/// wrapped in a newtype so the optimisation/decision objectives these
+/// equivalence tests need can be added on top of its enumeration shape.
+struct Irregular(IrregularTree);
+
+impl Irregular {
+    fn with_depth(depth: usize) -> Self {
+        Irregular(IrregularTree::new(depth, 1))
+    }
+}
+
+impl SearchProblem for Irregular {
+    type Node = (usize, u64);
+    type Gen<'a> = <IrregularTree as SearchProblem>::Gen<'a>;
+
+    fn root(&self) -> (usize, u64) {
+        self.0.root()
+    }
+
+    fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+        self.0.generator(node)
+    }
+}
+
+impl Enumerate for Irregular {
+    type Value = Sum<u64>;
+    fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+        Sum(1)
+    }
+}
+
+impl Optimise for Irregular {
+    type Score = u64;
+    fn objective(&self, node: &(usize, u64)) -> u64 {
+        node.1 % 1000
+    }
+    fn bound(&self, _node: &(usize, u64)) -> Option<u64> {
+        Some(1000)
+    }
+}
+
+impl Decide for Irregular {
+    fn target(&self) -> u64 {
+        990
+    }
+}
+
+fn parallel_coordinations(dcutoff: usize, budget: u64) -> Vec<Coordination> {
+    vec![
+        Coordination::depth_bounded(dcutoff),
+        Coordination::stack_stealing(),
+        Coordination::stack_stealing_chunked(),
+        Coordination::budget(budget),
+    ]
+}
+
+#[test]
+fn deterministic_sweep_over_workers_and_seeds() {
+    let p = Irregular::with_depth(8);
+    let seq_enum = Skeleton::new(Coordination::Sequential).enumerate(&p);
+    let seq_opt = Skeleton::new(Coordination::Sequential).maximise(&p);
+    let seq_dec = Skeleton::new(Coordination::Sequential).decide(&p);
+
+    for workers in [1, 3, 8] {
+        for steal_seed in [1u64, 7, 42] {
+            for coord in parallel_coordinations(2, 25) {
+                let skel = Skeleton::new(coord).workers(workers).steal_seed(steal_seed);
+                let e = skel.enumerate(&p);
+                assert_eq!(
+                    e.value.0, seq_enum.value.0,
+                    "{coord} w={workers} seed={steal_seed}: enumeration value diverged"
+                );
+                assert_eq!(
+                    e.metrics.nodes(),
+                    seq_enum.metrics.nodes(),
+                    "{coord} w={workers} seed={steal_seed}: node count diverged"
+                );
+                let o = skel.maximise(&p);
+                assert_eq!(
+                    o.score(),
+                    seq_opt.score(),
+                    "{coord} w={workers} seed={steal_seed}: optimum diverged"
+                );
+                let d = skel.decide(&p);
+                assert_eq!(
+                    d.found(),
+                    seq_dec.found(),
+                    "{coord} w={workers} seed={steal_seed}: decidability diverged"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomised coordination parameters, worker counts, steal seeds and
+    /// tree sizes: the engine must stay equivalent to Sequential.
+    #[test]
+    fn any_coordination_agrees_with_sequential(
+        dcutoff in 1usize..5,
+        budget in 1u64..60,
+        steal_seed in 0u64..1_000_000,
+        workers_sel in 0usize..3,
+        depth in 6usize..9,
+    ) {
+        let workers = [2usize, 5, 8][workers_sel];
+        let p = Irregular::with_depth(depth);
+        let seq_enum = Skeleton::new(Coordination::Sequential).enumerate(&p);
+        let seq_opt = Skeleton::new(Coordination::Sequential).maximise(&p);
+        let seq_dec = Skeleton::new(Coordination::Sequential).decide(&p);
+
+        for coord in parallel_coordinations(dcutoff, budget) {
+            let skel = Skeleton::new(coord).workers(workers).steal_seed(steal_seed);
+            let e = skel.enumerate(&p);
+            prop_assert_eq!(e.value.0, seq_enum.value.0, "{} enumeration value diverged", coord);
+            prop_assert_eq!(e.metrics.nodes(), seq_enum.metrics.nodes(), "{} node count diverged", coord);
+            let o = skel.maximise(&p);
+            prop_assert_eq!(*o.score(), *seq_opt.score(), "{} optimum diverged", coord);
+            let d = skel.decide(&p);
+            prop_assert_eq!(d.found(), seq_dec.found(), "{} decidability diverged", coord);
+        }
+    }
+}

@@ -12,7 +12,10 @@ use yewpar_instances::{graph, Graph, TspInstance};
 
 #[test]
 fn invalid_configurations_are_rejected_up_front() {
-    assert!(matches!(Coordination::budget(0).validate(), Err(Error::InvalidConfig(_))));
+    assert!(matches!(
+        Coordination::budget(0).validate(),
+        Err(Error::InvalidConfig(_))
+    ));
     let cfg = SearchConfig {
         workers: 0,
         ..SearchConfig::default()
@@ -37,13 +40,25 @@ fn trivial_graphs_work_under_every_coordination() {
     ] {
         // Single vertex.
         let p = MaxClique::new(Graph::new(1));
-        assert_eq!(*Skeleton::new(coord).workers(3).maximise(&p).score(), 1, "{coord}");
+        assert_eq!(
+            *Skeleton::new(coord).workers(3).maximise(&p).score(),
+            1,
+            "{coord}"
+        );
         // Edgeless graph.
         let p = MaxClique::new(Graph::new(6));
-        assert_eq!(*Skeleton::new(coord).workers(3).maximise(&p).score(), 1, "{coord}");
+        assert_eq!(
+            *Skeleton::new(coord).workers(3).maximise(&p).score(),
+            1,
+            "{coord}"
+        );
         // Complete graph.
         let p = MaxClique::new(graph::gnp(8, 1.0, 0));
-        assert_eq!(*Skeleton::new(coord).workers(3).maximise(&p).score(), 8, "{coord}");
+        assert_eq!(
+            *Skeleton::new(coord).workers(3).maximise(&p).score(),
+            8,
+            "{coord}"
+        );
     }
 }
 
@@ -68,13 +83,19 @@ fn extreme_skeleton_parameters_still_give_correct_answers() {
     let p = Semigroups::new(9);
     let expected = Skeleton::new(Coordination::Sequential).enumerate(&p).value;
     // A depth cutoff far beyond the tree depth turns every node into a task.
-    let out = Skeleton::new(Coordination::depth_bounded(1_000)).workers(3).enumerate(&p);
+    let out = Skeleton::new(Coordination::depth_bounded(1_000))
+        .workers(3)
+        .enumerate(&p);
     assert_eq!(out.value, expected);
     // A budget of one backtrack splits almost constantly.
-    let out = Skeleton::new(Coordination::budget(1)).workers(3).enumerate(&p);
+    let out = Skeleton::new(Coordination::budget(1))
+        .workers(3)
+        .enumerate(&p);
     assert_eq!(out.value, expected);
     // A cutoff of zero never spawns.
-    let out = Skeleton::new(Coordination::depth_bounded(0)).workers(3).enumerate(&p);
+    let out = Skeleton::new(Coordination::depth_bounded(0))
+        .workers(3)
+        .enumerate(&p);
     assert_eq!(out.value, expected);
     assert_eq!(out.metrics.spawns(), 0);
 }
@@ -98,7 +119,9 @@ fn oversubscribed_worker_counts_are_safe() {
     // Far more workers than hardware threads (and than available tasks).
     let p = MaxClique::new(graph::gnp(20, 0.5, 77));
     let expected = *Skeleton::new(Coordination::Sequential).maximise(&p).score();
-    let out = Skeleton::new(Coordination::depth_bounded(2)).workers(32).maximise(&p);
+    let out = Skeleton::new(Coordination::depth_bounded(2))
+        .workers(32)
+        .maximise(&p);
     assert_eq!(*out.score(), expected);
     assert_eq!(out.metrics.workers, 32);
 }

@@ -39,7 +39,11 @@ impl SearchProblem for ExplicitTree {
         Vec::new()
     }
     fn generator(&self, node: &Word) -> Self::Gen<'_> {
-        self.children.get(node).cloned().unwrap_or_default().into_iter()
+        self.children
+            .get(node)
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
     }
 }
 
@@ -70,7 +74,11 @@ fn model_and_library_count_the_same_trees() {
         // Formal model, parallel random interleaving.
         let sem = Semantics::new(model_tree.clone(), |_| 1, SearchKind::Enumeration);
         let (end, _) = sem.run_random(3, seed ^ 0xABCD, 0.5);
-        assert_eq!(end.sigma, Knowledge::Accumulator(expected as i64), "seed {seed}");
+        assert_eq!(
+            end.sigma,
+            Knowledge::Accumulator(expected as i64),
+            "seed {seed}"
+        );
 
         // Production library, every skeleton.
         let problem = ExplicitTree::from_model(&model_tree);

@@ -30,7 +30,11 @@ fn simulated_maxclique_equals_threaded_result() {
     for coord in sim_coordinations() {
         for localities in [1, 4] {
             let out = simulate_maximise(&p, &SimConfig::new(coord, localities, 4));
-            assert_eq!(out.result.as_ref().map(|(_, s)| *s), Some(reference), "{coord}, {localities} localities");
+            assert_eq!(
+                out.result.as_ref().map(|(_, s)| *s),
+                Some(reference),
+                "{coord}, {localities} localities"
+            );
         }
     }
 }

@@ -1,0 +1,233 @@
+//! Offline shim for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the macro and builder surface this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! group configuration (`sample_size`, `measurement_time`, `warm_up_time`),
+//! `bench_function` / `bench_with_input`, and `Bencher::{iter, iter_batched}`.
+//! Measurement is plain wall-clock sampling: each benchmark runs a short
+//! warm-up, then `sample_size` timed iterations, and the mean/min are printed
+//! to stdout. No statistics, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    /// Collected per-sample durations for the enclosing group to report.
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std_black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup excluded from the
+    /// measured time).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std_black_box(routine(setup()));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is bounded by `sample_size`.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            elapsed: Vec::new(),
+        };
+        f(&mut bencher);
+        let n = bencher.elapsed.len().max(1);
+        let total: Duration = bencher.elapsed.iter().sum();
+        let mean = total / n as u32;
+        let min = bencher.elapsed.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {:<50} mean {:>12?}  min {:>12?}  ({} samples)",
+            format!("{}/{}", self.name, id),
+            mean,
+            min,
+            n
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let mut f = f;
+        self.run(id.to_string(), |b| f(b));
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// Finish the group (no-op; reports are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with generated `criterion_group!` code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            _criterion: self,
+        }
+    }
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        group.bench_function("iter", |b| b.iter(|| 2 + 2));
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_expansion_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

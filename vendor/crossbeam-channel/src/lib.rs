@@ -1,0 +1,121 @@
+//! Offline shim for the `crossbeam-channel` crate (see `vendor/README.md`).
+//!
+//! Implements the bounded-channel subset this workspace uses on top of
+//! `std::sync::mpsc::sync_channel`. Since Rust 1.72 std's mpsc is itself the
+//! crossbeam implementation, so behaviour (including rendezvous semantics for
+//! capacity 0) matches the real crate for this surface.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvTimeoutError, TryRecvError};
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    /// Recover the unsent message.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// The receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the unsent message.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+        }
+    }
+}
+
+/// The sending half of a bounded channel. Clonable; `Send + Sync`.
+pub struct Sender<T>(mpsc::SyncSender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is delivered or the receiver disconnects.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value).map_err(|e| SendError(e.0))
+    }
+
+    /// Deliver without blocking, failing if the channel is full.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.0.try_send(value).map_err(|e| match e {
+            mpsc::TrySendError::Full(t) => TrySendError::Full(t),
+            mpsc::TrySendError::Disconnected(t) => TrySendError::Disconnected(t),
+        })
+    }
+}
+
+/// The receiving half of a bounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Receive, giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
+    /// Receive, blocking until a message or disconnection.
+    pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        self.0.recv()
+    }
+}
+
+/// Create a bounded channel with the given capacity (0 = rendezvous).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_try_send_respects_capacity() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn send_error_returns_message() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        let err = tx.send(7).unwrap_err();
+        assert_eq!(err.into_inner(), 7);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<u8>(1);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline shim for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! Provides the `json!` macro (object/array literals with expression values),
+//! the [`Value`] tree, and [`to_string_pretty`] — the surface used by the
+//! benchmark report writers. Object key order is preserved as written.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number (integer or float).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no Infinity/NaN; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::U64(v as u64)) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self { Value::Number(Number::U64(*v as u64)) }
+        }
+    )*};
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::I64(v as i64)) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self { Value::Number(Number::I64(*v as i64)) }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, usize);
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Self {
+        Value::Number(Number::F64(*v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Self {
+        Value::String((*v).to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Serialisation error (never produced by this shim; kept for signature
+/// compatibility with `serde_json::to_string_pretty`).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) if items.is_empty() => out.push_str("[]"),
+        Value::Array(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if fields.is_empty() => out.push_str("{}"),
+        Value::Object(fields) => {
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(key, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print a value with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-like literal. Keys must be string literals;
+/// values may be arbitrary expressions convertible into [`Value`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($element) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::Value::from($value)) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_preserves_order_and_types() {
+        let rows = vec![json!({"a": 1u64}), json!({"a": 2u64})];
+        let v = json!({
+            "name": "x",
+            "count": 3usize,
+            "ratio": 0.5f64,
+            "ok": true,
+            "rows": rows,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.starts_with("{\n  \"name\": \"x\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.contains("\"rows\": [\n"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "k": "a\"b\\c\nd" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains(r#""a\"b\\c\nd""#));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+        assert_eq!(to_string_pretty(&json!(null)).unwrap(), "null");
+    }
+}
