@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
 
 use yewpar::bitset::BitSet;
-use yewpar::workpool::{DepthPool, Task};
+use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task};
 use yewpar::SearchProblem;
 use yewpar_apps::maxclique::{greedy_colour, MaxClique};
 use yewpar_instances::graph;
@@ -48,6 +48,24 @@ fn bench_workpool(c: &mut Criterion) {
             let pool = DepthPool::new();
             for i in 0..1000u32 {
                 pool.push(Task::new(i, (i % 8) as usize));
+            }
+            let mut drained = 0;
+            while pool.pop().is_some() {
+                drained += 1;
+            }
+            drained
+        })
+    });
+    group.bench_function("ordered_push_pop_1000", |bench| {
+        // Pre-build the sequence keys so the bench isolates the pool's
+        // O(log n) heap operations from key construction.
+        let keys: Vec<SeqKey> = (0..1000u32)
+            .map(|i| SeqKey::root().child(i % 8).child(i))
+            .collect();
+        bench.iter(|| {
+            let pool = OrderedPool::new();
+            for (i, key) in keys.iter().enumerate() {
+                pool.push(key.clone(), Task::new(i as u32, key.depth()));
             }
             let mut drained = 0;
             while pool.pop().is_some() {

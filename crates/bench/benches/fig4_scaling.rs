@@ -31,6 +31,7 @@ fn bench_fig4(c: &mut Criterion) {
         ("depth-bounded", Coordination::depth_bounded(2)),
         ("stack-stealing", Coordination::stack_stealing_chunked()),
         ("budget", Coordination::budget(1000)),
+        ("ordered", Coordination::ordered(2)),
     ] {
         for localities in [1usize, 8, 17] {
             let cfg = SimConfig::new(coord, localities, 15);

@@ -21,6 +21,7 @@ fn coordinations() -> Vec<(&'static str, Coordination)> {
         ("depth-bounded", Coordination::depth_bounded(2)),
         ("stack-stealing", Coordination::stack_stealing_chunked()),
         ("budget", Coordination::budget(100)),
+        ("ordered", Coordination::ordered(2)),
     ]
 }
 

@@ -12,12 +12,18 @@
 //! simulated Sequential skeleton, and the worst/random/best aggregation
 //! follows the paper.
 //!
-//! Environment variables:
+//! Beyond the paper's three parallel coordinations the harness also sweeps
+//! the Ordered (replicable) coordination added in PR 2, whose spawn depth
+//! plays the same role as the Depth-Bounded cutoff.
+//!
+//! Environment variables and flags:
 //!
 //! * `YEWPAR_T2_LOCALITIES` (default 8) — simulated localities;
 //! * `YEWPAR_T2_APPS` — comma-separated filter of application names
 //!   (e.g. `YEWPAR_T2_APPS=Irregular` runs only the synthetic Irregular
-//!   tree, the quick baseline recorded in `BENCH_0.json`).
+//!   tree, the quick baseline recorded in `BENCH_0.json` / `BENCH_1.json`);
+//! * `--coordination <name>[,<name>…]` — filter of skeleton names
+//!   (e.g. `--coordination ordered` is the CI smoke invocation).
 
 use std::collections::BTreeMap;
 
@@ -167,8 +173,28 @@ fn sweep(coordination: &str) -> Vec<(String, Coordination)> {
             .iter()
             .map(|&b| (format!("b={b}"), Coordination::budget(b)))
             .collect(),
+        "Ordered" => [1usize, 2, 4, 6]
+            .iter()
+            .map(|&d| (format!("d={d}"), Coordination::ordered(d)))
+            .collect(),
         _ => unreachable!(),
     }
+}
+
+/// Parse `--coordination <name>[,<name>…]` (case-insensitive, accepts both
+/// "ordered" and "Ordered", "depth-bounded" etc.) into a skeleton filter.
+fn coordination_filter(args: &[String]) -> Option<Vec<String>> {
+    let pos = args.iter().position(|a| a == "--coordination")?;
+    let value = args.get(pos + 1).unwrap_or_else(|| {
+        eprintln!("--coordination requires a value (e.g. `--coordination ordered`)");
+        std::process::exit(2);
+    });
+    Some(
+        value
+            .split(',')
+            .map(|s| s.trim().to_ascii_lowercase())
+            .collect(),
+    )
 }
 
 fn main() {
@@ -178,7 +204,7 @@ fn main() {
         .unwrap_or(8);
     let workers_per_locality = 15;
     let workers = localities * workers_per_locality;
-    println!("Table 2: 18 alternate application parallelisations — mean speedup on {workers} simulated workers");
+    println!("Table 2: alternate application parallelisations — mean speedup on {workers} simulated workers");
     println!("({localities} localities x {workers_per_locality} workers; speedup vs the simulated Sequential skeleton)");
     println!();
 
@@ -206,7 +232,31 @@ fn main() {
     .filter(|(name, _)| selected(name))
     .map(|(name, build)| (name, build()))
     .collect();
-    let coordinations = ["Depth-Bounded", "Stack-Stealing", "Budget"];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let coord_filter = coordination_filter(&args);
+    let known = ["Depth-Bounded", "Stack-Stealing", "Budget", "Ordered"];
+    if let Some(wanted) = &coord_filter {
+        // A typo'd filter must fail loudly, not print an empty table with
+        // exit code 0 — CI relies on this invocation actually running work.
+        for w in wanted {
+            if !known.iter().any(|name| name.to_ascii_lowercase() == *w) {
+                eprintln!(
+                    "unknown --coordination {w:?}; expected one of: {}",
+                    known.map(|n| n.to_ascii_lowercase()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let coordinations: Vec<&str> = known
+        .into_iter()
+        .filter(|name| {
+            coord_filter
+                .as_ref()
+                .map(|wanted| wanted.iter().any(|w| w == &name.to_ascii_lowercase()))
+                .unwrap_or(true)
+        })
+        .collect();
 
     let table = TableWriter::new(&[10, 15, 9, 9, 9]);
     println!(

@@ -19,6 +19,13 @@
 //! joins the workers, re-raising any worker panic. Knowledge sharing (the
 //! incumbent of optimisation/decision searches) lives inside the drivers
 //! and is therefore identical across coordinations by construction.
+//!
+//! The Ordered coordination plugs its `OrderedSource`/`OrderedPolicy` pair
+//! into the same [`WorkSource`]/[`SpawnPolicy`] traits and reuses
+//! [`run_task`], but drives its own worker loop (`skeleton::ordered`): its
+//! decision short-circuits must be *committed in sequence order* rather than
+//! applied the instant a worker finds a witness, which is the one behaviour
+//! this engine's loop cannot express.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -128,6 +135,22 @@ pub trait SpawnPolicy<P: SearchProblem, S: WorkSource<P>>: Sync {
     }
 }
 
+/// If a worker unwinds (a panicking search problem or driver), stop the
+/// whole search so surviving workers exit their loops — otherwise the
+/// panicked task is never marked completed, the outstanding-task counter
+/// never drains, and the scope would block on the join forever instead of
+/// re-raising.  Shared by the engine's worker loop and the Ordered
+/// coordination's commit-aware loop.
+pub(crate) struct UnwindGuard<'a>(pub(crate) &'a Termination);
+
+impl Drop for UnwindGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.short_circuit();
+        }
+    }
+}
+
 /// The policy that never spawns: Sequential, and Stack-Stealing (where all
 /// splitting happens in the source's steal-request hook).
 pub(crate) struct NoSpawn;
@@ -184,23 +207,33 @@ where
     let workers = workers.max(1);
     let term = Termination::new(1);
     source.seed(Task::new(problem.root(), 0));
+    let all_metrics = spawn_and_join(workers, |worker| {
+        worker_loop(problem, driver, &source, &policy, &term, worker)
+    });
+    (all_metrics, start.elapsed())
+}
 
+/// Run `worker_fn` on `workers` worker threads and collect their metrics.
+///
+/// A single worker runs inline on the calling thread — no spawn/join cost,
+/// and panics propagate unchanged.  With several workers, a worker panic is
+/// detected at join and re-raised here as "a search worker panicked"
+/// ("poison handling").  Shared by [`run`] and the Ordered coordination's
+/// commit-aware run loop.
+pub(crate) fn spawn_and_join<F>(workers: usize, worker_fn: F) -> Vec<WorkerMetrics>
+where
+    F: Fn(usize) -> WorkerMetrics + Sync,
+{
     if workers == 1 {
-        let metrics = worker_loop(problem, driver, &source, &policy, &term, 0);
-        return (vec![metrics], start.elapsed());
+        return vec![worker_fn(0)];
     }
-
     let poisoned = AtomicBool::new(false);
     let mut all_metrics = vec![WorkerMetrics::default(); workers];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
-            let term = &term;
-            let source = &source;
-            let policy = &policy;
-            handles.push(
-                scope.spawn(move || worker_loop(problem, driver, source, policy, term, worker)),
-            );
+            let worker_fn = &worker_fn;
+            handles.push(scope.spawn(move || worker_fn(worker)));
         }
         for (i, handle) in handles.into_iter().enumerate() {
             match handle.join() {
@@ -212,7 +245,7 @@ where
     if poisoned.load(Ordering::Relaxed) {
         panic!("a search worker panicked");
     }
-    (all_metrics, start.elapsed())
+    all_metrics
 }
 
 /// One worker: pop/steal tasks until the search completes or short-circuits.
@@ -230,19 +263,6 @@ where
     S: WorkSource<P>,
     Y: SpawnPolicy<P, S>,
 {
-    // If this worker unwinds (a panicking search problem or driver), stop
-    // the whole search so surviving workers exit their loops — otherwise
-    // the panicked task is never marked completed, the outstanding-task
-    // counter never drains, and the scope would block on the join forever
-    // instead of re-raising.
-    struct UnwindGuard<'a>(&'a Termination);
-    impl Drop for UnwindGuard<'_> {
-        fn drop(&mut self) {
-            if std::thread::panicking() {
-                self.0.short_circuit();
-            }
-        }
-    }
     let _guard = UnwindGuard(term);
 
     let mut local = source.register(worker);

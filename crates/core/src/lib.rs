@@ -14,9 +14,9 @@
 //! 2. a **search skeleton** — a search *coordination* (how the tree is split
 //!    into parallel tasks: [`Coordination::Sequential`],
 //!    [`Coordination::DepthBounded`], [`Coordination::StackStealing`],
-//!    [`Coordination::Budget`]) combined with a search *type* (enumeration,
-//!    decision, optimisation).  The 4 × 3 = 12 combinations are exposed
-//!    through the [`Skeleton`] entry point.
+//!    [`Coordination::Budget`], [`Coordination::Ordered`]) combined with a
+//!    search *type* (enumeration, decision, optimisation).  The 5 × 3 = 15
+//!    combinations are exposed through the [`Skeleton`] entry point.
 //!
 //! ```
 //! use yewpar::{Coordination, Skeleton, SearchProblem, Enumerate, monoid::Sum};
@@ -45,11 +45,12 @@
 //! The crate deliberately does **not** use a generic deque-based
 //! work-stealing runtime (such as rayon) for the parallel coordinations: as
 //! the paper discusses, LIFO deque stealing destroys the heuristic search
-//! order that exact search depends on.  Instead all four coordinations run
+//! order that exact search depends on.  Instead all five coordinations run
 //! on one unified worker [`engine`], parameterised by a work source and a
 //! spawn policy: the bespoke order-preserving sharded depth pool
-//! ([`workpool`]) for the Depth-Bounded and Budget coordinations, and
-//! explicit steal-request channels for Stack-Stealing.
+//! ([`workpool`]) for the Depth-Bounded and Budget coordinations, explicit
+//! steal-request channels for Stack-Stealing, and the sequence-keyed global
+//! [`workpool::OrderedPool`] for the replicable Ordered coordination.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -28,6 +28,18 @@ pub struct WorkerMetrics {
     pub incumbent_updates: u64,
     /// Deepest depth reached.
     pub max_depth: u64,
+    /// Tasks spawned with a sequence key into the ordered workpool (Ordered
+    /// coordination only).
+    pub ordered_spawns: u64,
+    /// Ordered pops that ran ahead of the sequential frontier: the popped
+    /// task's sequence key was greater than that of a task still in flight.
+    /// Zero on a single worker; quantifies speculation under parallelism.
+    pub priority_inversions: u64,
+    /// Nodes expanded speculatively by the Ordered coordination but discarded
+    /// at commit time (their task was sequentially after the committed
+    /// decision witness).  Excluded from `nodes`, which therefore stays
+    /// replicable across worker counts.
+    pub speculative_nodes: u64,
 }
 
 impl WorkerMetrics {
@@ -41,6 +53,9 @@ impl WorkerMetrics {
         self.failed_steals += other.failed_steals;
         self.incumbent_updates += other.incumbent_updates;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.ordered_spawns += other.ordered_spawns;
+        self.priority_inversions += other.priority_inversions;
+        self.speculative_nodes += other.speculative_nodes;
     }
 }
 
@@ -128,6 +143,25 @@ mod tests {
         assert_eq!(a.nodes, 17);
         assert_eq!(a.prunes, 3);
         assert_eq!(a.max_depth, 9);
+    }
+
+    #[test]
+    fn merge_sums_ordered_counters() {
+        let mut a = WorkerMetrics {
+            ordered_spawns: 3,
+            priority_inversions: 1,
+            speculative_nodes: 10,
+            ..WorkerMetrics::default()
+        };
+        a.merge(&WorkerMetrics {
+            ordered_spawns: 4,
+            priority_inversions: 2,
+            speculative_nodes: 5,
+            ..WorkerMetrics::default()
+        });
+        assert_eq!(a.ordered_spawns, 7);
+        assert_eq!(a.priority_inversions, 3);
+        assert_eq!(a.speculative_nodes, 15);
     }
 
     #[test]

@@ -29,6 +29,18 @@ pub enum Coordination {
         /// The backtrack budget (the paper's `kbudget` / `btBudget`).
         backtracks: u64,
     },
+    /// Replicable, priority-ordered search: the children of every node
+    /// shallower than `spawn_depth` become tasks tagged with their *sequence
+    /// key* (the path of child indices from the root), and workers always
+    /// drain the globally smallest key — i.e. subtrees are processed in
+    /// sequential (discrepancy) order.  Decision short-circuits are committed
+    /// in sequence order, so node expansions are identical across worker
+    /// counts (anomaly-free parallel search).
+    Ordered {
+        /// Nodes at depth `< spawn_depth` have their children converted to
+        /// sequence-keyed tasks.
+        spawn_depth: usize,
+    },
 }
 
 impl Coordination {
@@ -52,6 +64,11 @@ impl Coordination {
         Coordination::Budget { backtracks }
     }
 
+    /// Ordered (replicable) coordination with the given spawn depth.
+    pub fn ordered(spawn_depth: usize) -> Self {
+        Coordination::Ordered { spawn_depth }
+    }
+
     /// Short human-readable name used in metrics and benchmark tables.
     pub fn name(&self) -> &'static str {
         match self {
@@ -59,6 +76,7 @@ impl Coordination {
             Coordination::DepthBounded { .. } => "DepthBounded",
             Coordination::StackStealing { .. } => "StackStealing",
             Coordination::Budget { .. } => "Budget",
+            Coordination::Ordered { .. } => "Ordered",
         }
     }
 
@@ -93,6 +111,7 @@ impl std::fmt::Display for Coordination {
                 )
             }
             Coordination::Budget { backtracks } => write!(f, "Budget(b={backtracks})"),
+            Coordination::Ordered { spawn_depth } => write!(f, "Ordered(d={spawn_depth})"),
         }
     }
 }
@@ -173,6 +192,10 @@ mod tests {
             Coordination::budget(100),
             Coordination::Budget { backtracks: 100 }
         );
+        assert_eq!(
+            Coordination::ordered(3),
+            Coordination::Ordered { spawn_depth: 3 }
+        );
     }
 
     #[test]
@@ -182,6 +205,8 @@ mod tests {
         assert!(Coordination::depth_bounded(1).is_parallel());
         assert!(Coordination::budget(10).is_parallel());
         assert!(Coordination::stack_stealing().is_parallel());
+        assert_eq!(Coordination::ordered(2).name(), "Ordered");
+        assert!(Coordination::ordered(2).is_parallel());
     }
 
     #[test]
@@ -212,6 +237,7 @@ mod tests {
             "StackStealing(chunked)"
         );
         assert_eq!(Coordination::Sequential.to_string(), "Sequential");
+        assert_eq!(Coordination::ordered(4).to_string(), "Ordered(d=4)");
     }
 
     #[test]

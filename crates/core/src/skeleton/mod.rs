@@ -1,5 +1,5 @@
-//! The 12 search skeletons: {Sequential, Depth-Bounded, Stack-Stealing,
-//! Budget} × {Enumeration, Decision, Optimisation}.
+//! The 15 search skeletons: {Sequential, Depth-Bounded, Stack-Stealing,
+//! Budget, Ordered} × {Enumeration, Decision, Optimisation}.
 //!
 //! A [`Skeleton`] is configured with a [`Coordination`] (and optionally a
 //! worker count and steal seed) and then applied to a search problem through
@@ -19,6 +19,7 @@
 pub(crate) mod budget;
 pub(crate) mod depth_bounded;
 pub(crate) mod driver;
+pub(crate) mod ordered;
 pub(crate) mod sequential;
 pub(crate) mod stack_stealing;
 
@@ -189,17 +190,22 @@ where
             stack_stealing::run(problem, driver, config, chunked)
         }
         Coordination::Budget { backtracks } => budget::run(problem, driver, config, backtracks),
+        Coordination::Ordered { spawn_depth } => ordered::run(problem, driver, config, spawn_depth),
     }
 }
 
-/// All four coordinations, convenient for "try every skeleton" sweeps such as
-/// the Table 2 experiment.
+/// All five coordinations, convenient for "try every skeleton" sweeps such as
+/// the Table 2 experiment.  `dcutoff` doubles as the Ordered spawn depth —
+/// both bound the eager-spawn region of the tree.
 pub fn all_coordinations(dcutoff: usize, budget: u64, chunked: bool) -> Vec<Coordination> {
     vec![
         Coordination::Sequential,
         Coordination::DepthBounded { dcutoff },
         Coordination::StackStealing { chunked },
         Coordination::Budget { backtracks: budget },
+        Coordination::Ordered {
+            spawn_depth: dcutoff,
+        },
     ]
 }
 

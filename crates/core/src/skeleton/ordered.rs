@@ -1,0 +1,590 @@
+//! Ordered (replicable) search coordination.
+//!
+//! The four PR-1 coordinations trade search order for load balance: whichever
+//! worker is free grabs whatever task the heuristic ranks best *right now*,
+//! so the set of expanded nodes varies run to run and worker count to worker
+//! count (the paper's §2.1 performance anomalies).  The Ordered coordination
+//! instead processes subtrees in **sequential (discrepancy) order** and
+//! commits decision short-circuits in that order, making the expanded-node
+//! count of a decision search a pure function of the instance — identical
+//! across 1, 2, 4, … workers, and identical to the Sequential skeleton.
+//!
+//! Three mechanisms cooperate:
+//!
+//! 1. **Sequence-keyed spawning** ([`OrderedPolicy`] + [`OrderedSource`]):
+//!    the children of every node shallower than `spawn_depth` become tasks
+//!    tagged with their [`SeqKey`] (path of heuristic child indices).  The
+//!    tasks live in a global [`OrderedPool`], and every pop takes the
+//!    smallest key — so the leftmost (sequential-order) frontier task is
+//!    always the next one issued, and the worker holding the smallest
+//!    in-flight key plays the role of the pinned sequential worker at any
+//!    instant.  With one worker the pop sequence *is* depth-first preorder.
+//! 2. **Speculation with in-order commit**: spare workers run later subtrees
+//!    speculatively.  A witness found by a task does **not** stop the search
+//!    immediately; it is recorded, and the stop is committed only once every
+//!    task with a smaller sequence key has retired without finding an
+//!    earlier witness.  Tasks sequentially after the committed witness are
+//!    aborted and their partial work is reported as
+//!    [`speculative_nodes`](crate::metrics::WorkerMetrics::speculative_nodes)
+//!    instead of `nodes` — committed metrics never exceed the Sequential
+//!    skeleton's on a decision search.
+//! 3. **Deterministic task traces**: a decision search prunes against the
+//!    fixed target (never the racy incumbent), so each task's committed
+//!    trace — full subtree, pruned, or stopped at its first witness — is a
+//!    pure function of the task.  Summing committed traces is therefore
+//!    replicable.
+//!
+//! The coordination reuses the engine's [`run_task`] traversal (so the
+//! (expand)/(backtrack)/(prune)/(shortcircuit) rules, spawn accounting and
+//! per-step polling stay identical to every other coordination) but drives
+//! its own worker loop: the engine's loop applies short-circuits instantly,
+//! which is precisely what Ordered must not do.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::engine::{self, Flow, SpawnPolicy, UnwindGuard, WorkSource};
+use crate::metrics::WorkerMetrics;
+use crate::node::SearchProblem;
+use crate::params::SearchConfig;
+use crate::skeleton::driver::Driver;
+use crate::termination::Termination;
+use crate::workpool::{OrderedPool, SeqKey, Task};
+
+/// Spawn the children of every node shallower than `spawn_depth`, exactly
+/// like the Depth-Bounded policy — the ordering lives in the source, not
+/// the policy.
+pub(crate) struct OrderedPolicy {
+    spawn_depth: usize,
+}
+
+impl<P: SearchProblem, S: WorkSource<P>> SpawnPolicy<P, S> for OrderedPolicy {
+    fn spawn_children(&self, depth: usize) -> bool {
+        depth < self.spawn_depth
+    }
+}
+
+/// What one finished task leaves behind for the commit log.
+struct TaskRecord {
+    key: SeqKey,
+    worker: usize,
+    metrics: WorkerMetrics,
+}
+
+/// Shared commit state: which tasks are running, which witness (if any) is
+/// pending, and the per-task metrics needed to assemble the committed totals.
+struct CommitLog {
+    /// Sequence keys of issued-but-not-retired tasks.
+    in_flight: std::collections::BTreeSet<SeqKey>,
+    /// Smallest sequence key that produced a decision witness so far.
+    witness: Option<SeqKey>,
+    /// True once the witness has been committed and the search stopped.
+    committed: bool,
+    /// Per-task metrics of every retired task, speculative or not.
+    records: Vec<TaskRecord>,
+}
+
+/// Per-worker state of the ordered source.
+pub(crate) struct OrderedLocal {
+    /// Sequence key of the task this worker is currently executing.
+    current: SeqKey,
+    /// Child index counter for tasks released by the current task.
+    next_child: u32,
+    /// Pops that ran ahead of a smaller in-flight key.
+    inversions: u64,
+    /// Tasks this worker released with a sequence key.
+    ordered_spawns: u64,
+}
+
+/// The Ordered coordination's work source: a global priority-ordered pool
+/// plus the in-order commit log.
+pub(crate) struct OrderedSource<N> {
+    pool: OrderedPool<Task<N>>,
+    commit: Mutex<CommitLog>,
+}
+
+impl<N> OrderedSource<N> {
+    pub(crate) fn new() -> Self {
+        OrderedSource {
+            pool: OrderedPool::new(),
+            commit: Mutex::new(CommitLog {
+                in_flight: std::collections::BTreeSet::new(),
+                witness: None,
+                committed: false,
+                records: Vec::new(),
+            }),
+        }
+    }
+
+    /// Pop the smallest-key task and atomically mark it in flight (the
+    /// commit lock spans the pool pop, so the commit check can never observe
+    /// a task that is neither queued nor in flight).
+    fn issue(&self, local: &mut OrderedLocal) -> Option<Task<N>> {
+        let mut commit = self.commit.lock();
+        let (key, task) = self.pool.pop()?;
+        if commit.in_flight.iter().next().is_some_and(|min| *min < key) {
+            local.inversions += 1;
+        }
+        commit.in_flight.insert(key.clone());
+        local.current = key;
+        local.next_child = 0;
+        Some(task)
+    }
+
+    /// Retire a finished task: log its metrics, fold a genuine witness into
+    /// the pending minimum, and commit the stop once nothing sequentially
+    /// earlier remains.  Aborted tasks (post-commit `ShortCircuited` flows)
+    /// always carry keys after the witness, so folding them is a no-op.
+    fn retire(
+        &self,
+        key: SeqKey,
+        worker: usize,
+        metrics: WorkerMetrics,
+        flow: Flow,
+        term: &Termination,
+    ) {
+        let mut commit = self.commit.lock();
+        commit.in_flight.remove(&key);
+        if flow == Flow::ShortCircuited && commit.witness.as_ref().map_or(true, |w| key < *w) {
+            commit.witness = Some(key.clone());
+        }
+        commit.records.push(TaskRecord {
+            key,
+            worker,
+            metrics,
+        });
+        if commit.committed {
+            return;
+        }
+        let ready = match commit.witness.clone() {
+            None => false,
+            Some(w) => {
+                commit.in_flight.iter().next().map_or(true, |min| *min >= w)
+                    && self.pool.min_key().map_or(true, |min| min >= w)
+            }
+        };
+        if ready {
+            commit.committed = true;
+            term.short_circuit();
+            self.pool.clear();
+        }
+    }
+
+    /// Assemble the final per-worker metrics: committed task records merge
+    /// into `nodes`/`prunes`/…, speculative records (sequentially after the
+    /// committed witness) surface only as `speculative_nodes`.
+    fn finalize(&self, base: &mut [WorkerMetrics]) {
+        let commit = self.commit.lock();
+        for record in &commit.records {
+            let committed = match &commit.witness {
+                None => true,
+                Some(w) => record.key <= *w,
+            };
+            if committed {
+                base[record.worker].merge(&record.metrics);
+            } else {
+                base[record.worker].speculative_nodes += record.metrics.nodes;
+            }
+        }
+    }
+}
+
+impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
+    type Local = OrderedLocal;
+
+    fn register(&self, _worker: usize) -> OrderedLocal {
+        OrderedLocal {
+            current: SeqKey::root(),
+            next_child: 0,
+            inversions: 0,
+            ordered_spawns: 0,
+        }
+    }
+
+    fn seed(&self, task: Task<P::Node>) {
+        self.pool.push(SeqKey::root(), task);
+    }
+
+    fn pop(&self, local: &mut OrderedLocal) -> Option<Task<P::Node>> {
+        self.issue(local)
+    }
+
+    /// There is no separate steal path: the pool is global and every pop
+    /// already takes the globally best (smallest-key) task.
+    fn acquire(
+        &self,
+        _local: &mut OrderedLocal,
+        _term: &Termination,
+        _metrics: &mut WorkerMetrics,
+    ) -> Option<Task<P::Node>> {
+        None
+    }
+
+    fn release(&self, local: &mut OrderedLocal, tasks: Vec<Task<P::Node>>) {
+        for task in tasks {
+            let key = local.current.child(local.next_child);
+            local.next_child += 1;
+            local.ordered_spawns += 1;
+            self.pool.push(key, task);
+        }
+    }
+
+    // `discard` keeps its default: only the engine's worker loop calls it on
+    // a short-circuit, and this source is driven by the ordered loop, whose
+    // commit path clears the pool itself (see `retire`).
+}
+
+/// Run the Ordered coordination with the given spawn depth.
+pub(crate) fn run<P, D>(
+    problem: &P,
+    driver: &D,
+    config: &SearchConfig,
+    spawn_depth: usize,
+) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let start = Instant::now();
+    let workers = config.workers.max(1);
+    let term = Termination::new(1);
+    let source = OrderedSource::new();
+    let policy = OrderedPolicy { spawn_depth };
+    WorkSource::<P>::seed(&source, Task::new(problem.root(), 0));
+
+    let mut all_metrics = engine::spawn_and_join(workers, |worker| {
+        worker_loop(problem, driver, &source, &policy, &term, worker)
+    });
+    source.finalize(&mut all_metrics);
+    (all_metrics, start.elapsed())
+}
+
+/// One ordered worker: issue smallest-key tasks, run them through the shared
+/// engine traversal with *per-task* metrics, and retire each into the commit
+/// log instead of short-circuiting on the spot.
+fn worker_loop<P, D>(
+    problem: &P,
+    driver: &D,
+    source: &OrderedSource<P::Node>,
+    policy: &OrderedPolicy,
+    term: &Termination,
+    worker: usize,
+) -> WorkerMetrics
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
+    let _guard = UnwindGuard(term);
+    let mut local = WorkSource::<P>::register(source, worker);
+    let mut partial = driver.new_partial();
+    let mut idle_spins: u32 = 0;
+
+    loop {
+        if term.finished() {
+            break;
+        }
+        match source.issue(&mut local) {
+            Some(task) => {
+                idle_spins = 0;
+                let key = local.current.clone();
+                let mut task_metrics = WorkerMetrics::default();
+                let flow = engine::run_task(
+                    problem,
+                    driver,
+                    &mut partial,
+                    &mut task_metrics,
+                    term,
+                    source,
+                    &mut local,
+                    policy,
+                    task,
+                );
+                source.retire(key, worker, task_metrics, flow, term);
+                term.task_completed();
+            }
+            None => {
+                if term.all_done() {
+                    break;
+                }
+                // Same idle backoff as the engine's loop: spin briefly, then
+                // sleep so speculating workers do not starve the busy ones.
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins < 16 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    driver.merge(partial);
+    WorkerMetrics {
+        priority_inversions: local.inversions,
+        ordered_spawns: local.ordered_spawns,
+        ..WorkerMetrics::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::Sum;
+    use crate::objective::{Decide, Enumerate, Optimise};
+    use crate::params::Coordination;
+    use crate::skeleton::Skeleton;
+
+    /// Deterministic irregular tree; node = (depth, seed).
+    struct Irregular {
+        depth: usize,
+    }
+
+    impl SearchProblem for Irregular {
+        type Node = (usize, u64);
+        type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+        fn root(&self) -> (usize, u64) {
+            (0, 1)
+        }
+        fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+            let (depth, seed) = *node;
+            if depth >= self.depth {
+                return vec![].into_iter();
+            }
+            let fanout = (seed % 4) as usize + 1;
+            (0..fanout)
+                .map(|i| {
+                    (
+                        depth + 1,
+                        seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add(i as u64),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl Enumerate for Irregular {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    impl Optimise for Irregular {
+        type Score = u64;
+        fn objective(&self, node: &(usize, u64)) -> u64 {
+            node.1 % 1000
+        }
+        fn bound(&self, _node: &(usize, u64)) -> Option<u64> {
+            Some(1000)
+        }
+    }
+
+    impl Decide for Irregular {
+        fn target(&self) -> u64 {
+            990
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_match_sequential_for_various_spawn_depths() {
+        let p = Irregular { depth: 8 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        for spawn_depth in [0, 1, 3, 100] {
+            for workers in [1, 4] {
+                let out = Skeleton::new(Coordination::ordered(spawn_depth))
+                    .workers(workers)
+                    .enumerate(&p);
+                assert_eq!(
+                    out.value.0, expected,
+                    "spawn_depth={spawn_depth} workers={workers}"
+                );
+                assert_eq!(out.metrics.nodes(), expected);
+                assert_eq!(out.metrics.totals.speculative_nodes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn optimisation_agrees_with_sequential() {
+        let p = Irregular { depth: 7 };
+        let seq = Skeleton::new(Coordination::Sequential).maximise(&p);
+        let out = Skeleton::new(Coordination::ordered(3))
+            .workers(4)
+            .maximise(&p);
+        assert_eq!(out.score(), seq.score());
+    }
+
+    #[test]
+    fn decision_node_counts_are_replicable_across_worker_counts() {
+        let p = Irregular { depth: 9 };
+        let seq = Skeleton::new(Coordination::Sequential).decide(&p);
+        let reference = Skeleton::new(Coordination::ordered(3))
+            .workers(1)
+            .decide(&p);
+        assert_eq!(reference.found(), seq.found());
+        assert_eq!(
+            reference.metrics.nodes(),
+            seq.metrics.nodes(),
+            "one ordered worker must replay the sequential visit order"
+        );
+        for workers in [2, 4, 8] {
+            let out = Skeleton::new(Coordination::ordered(3))
+                .workers(workers)
+                .decide(&p);
+            assert_eq!(out.found(), seq.found(), "workers={workers}");
+            assert_eq!(
+                out.metrics.nodes(),
+                reference.metrics.nodes(),
+                "committed node count diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_never_records_a_priority_inversion() {
+        let p = Irregular { depth: 7 };
+        let out = Skeleton::new(Coordination::ordered(2))
+            .workers(1)
+            .enumerate(&p);
+        assert_eq!(out.metrics.totals.priority_inversions, 0);
+        assert!(
+            out.metrics.totals.ordered_spawns > 0,
+            "spawn_depth 2 must create keyed tasks"
+        );
+        assert_eq!(
+            out.metrics.totals.ordered_spawns,
+            out.metrics.spawns(),
+            "with no discarded work the two spawn counters coincide"
+        );
+    }
+
+    #[test]
+    fn spawn_depth_zero_degenerates_to_a_single_task() {
+        let p = Irregular { depth: 6 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let out = Skeleton::new(Coordination::ordered(0))
+            .workers(3)
+            .enumerate(&p);
+        assert_eq!(out.value.0, expected);
+        assert_eq!(out.metrics.spawns(), 0);
+        assert_eq!(out.metrics.totals.ordered_spawns, 0);
+    }
+
+    /// Force speculation: the decision witness sits near the top of the
+    /// *second* subtree, so the sequential prefix (the whole first subtree,
+    /// ~30k nodes) keeps the commit frontier busy long enough for spare
+    /// workers to expand later tasks that the commit then discards.  The
+    /// committed count must stay put while the discarded work shows up in
+    /// `speculative_nodes`.
+    struct LeftWitness;
+
+    impl SearchProblem for LeftWitness {
+        type Node = Vec<u32>;
+        type Gen<'a> = std::vec::IntoIter<Vec<u32>>;
+        fn root(&self) -> Vec<u32> {
+            Vec::new()
+        }
+        fn generator(&self, node: &Vec<u32>) -> Self::Gen<'_> {
+            if node.len() >= 10 {
+                return vec![].into_iter();
+            }
+            (0..3u32)
+                .map(|i| {
+                    let mut child = node.clone();
+                    child.push(i);
+                    child
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl Optimise for LeftWitness {
+        type Score = u64;
+        fn objective(&self, node: &Vec<u32>) -> u64 {
+            // Only the path 1.0.0.0.0.0.0 reaches the target.
+            if node.len() == 7 && node[0] == 1 && node[1..].iter().all(|&i| i == 0) {
+                100
+            } else {
+                0
+            }
+        }
+    }
+
+    impl Decide for LeftWitness {
+        fn target(&self) -> u64 {
+            100
+        }
+    }
+
+    #[test]
+    fn speculative_work_is_reported_but_never_committed() {
+        let seq = Skeleton::new(Coordination::Sequential).decide(&LeftWitness);
+        assert!(seq.found());
+        let reference = seq.metrics.nodes();
+        for workers in [1, 4, 8] {
+            let out = Skeleton::new(Coordination::ordered(2))
+                .workers(workers)
+                .decide(&LeftWitness);
+            assert!(out.found(), "workers={workers}");
+            assert_eq!(
+                out.metrics.nodes(),
+                reference,
+                "committed nodes must equal the sequential count at {workers} workers"
+            );
+            if workers == 1 {
+                assert_eq!(out.metrics.totals.speculative_nodes, 0);
+            }
+        }
+        // Whether spare workers win any speculative task before the commit
+        // is OS-scheduling nondeterminism; retry a few runs before declaring
+        // that speculation accounting never fires.
+        let mut saw_speculation = false;
+        for _attempt in 0..5 {
+            let out = Skeleton::new(Coordination::ordered(2))
+                .workers(8)
+                .decide(&LeftWitness);
+            assert_eq!(out.metrics.nodes(), reference);
+            if out.metrics.totals.speculative_nodes > 0 {
+                saw_speculation = true;
+                break;
+            }
+        }
+        assert!(
+            saw_speculation,
+            "8-worker runs of a left-witness tree must have speculated"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "a search worker panicked")]
+    fn multi_worker_panic_is_reraised() {
+        struct Bomb;
+        impl SearchProblem for Bomb {
+            type Node = u32;
+            type Gen<'a> = std::vec::IntoIter<u32>;
+            fn root(&self) -> u32 {
+                0
+            }
+            fn generator(&self, node: &u32) -> Self::Gen<'_> {
+                match *node {
+                    0 => (1..=8).collect::<Vec<_>>().into_iter(),
+                    5 => panic!("poisoned subtree"),
+                    _ => vec![].into_iter(),
+                }
+            }
+        }
+        impl Enumerate for Bomb {
+            type Value = Sum<u64>;
+            fn value(&self, _n: &u32) -> Sum<u64> {
+                Sum(1)
+            }
+        }
+        let _ = Skeleton::new(Coordination::ordered(1))
+            .workers(4)
+            .enumerate(&Bomb);
+    }
+}

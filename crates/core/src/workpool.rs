@@ -21,6 +21,10 @@
 //! shallowest-first heuristic across shards while eliminating the global
 //! lock from the hot path.
 
+pub mod ordered;
+
+pub use ordered::{OrderedPool, SeqKey};
+
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -192,24 +196,24 @@ impl<N> ShardedPool<N> {
     }
 
     /// Steal a task for `thief`: scan every other shard's shallowest depth
-    /// and pop from the shard holding the globally shallowest task.  Returns
-    /// `None` if every other shard looked empty (the victim may have been
-    /// drained between the scan and the pop — callers should retry after
-    /// checking termination).
+    /// and pop from the shard holding the globally shallowest task.  If the
+    /// chosen victim was drained between the scan and the pop (a concurrent
+    /// owner pop or rival thief), fall through to the next-best shard rather
+    /// than giving up.  Returns `None` only when every candidate shard was
+    /// empty by the time it was tried — callers should retry after checking
+    /// termination, since concurrent pushes may repopulate the shards.
     pub fn steal(&self, thief: usize) -> Option<Task<N>> {
-        let mut best: Option<(usize, usize)> = None; // (depth, shard index)
-        for (i, shard) in self.shards.iter().enumerate() {
-            if i == thief {
-                continue;
-            }
-            if let Some(depth) = shard.min_depth() {
-                if best.map_or(true, |(d, _)| depth < d) {
-                    best = Some((depth, i));
-                }
-            }
-        }
-        let (_, victim) = best?;
-        self.shards[victim].pop()
+        let mut candidates: Vec<(usize, usize)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != thief)
+            .filter_map(|(i, shard)| shard.min_depth().map(|depth| (depth, i)))
+            .collect();
+        candidates.sort_unstable();
+        candidates
+            .into_iter()
+            .find_map(|(_, victim)| self.shards[victim].pop())
     }
 
     /// Total queued tasks across all shards (a racy snapshot under
@@ -346,6 +350,38 @@ mod tests {
         }
         assert!(pool.pop_local(0).is_none());
         assert_eq!(pool.len(), 1);
+    }
+
+    /// Regression test (PR 1 review finding): `steal` used to return `None`
+    /// when its chosen victim shard was drained between the min-depth scan
+    /// and the pop, even though other shards still held work.  Race an owner
+    /// pop on the shallowest shard against a thief: with the fall-through the
+    /// thief must *always* obtain a task, because the deep shard is never
+    /// touched by anyone else.
+    #[test]
+    fn steal_falls_through_to_the_next_best_shard_when_the_victim_drains() {
+        use std::sync::Arc;
+        for _ in 0..500 {
+            let pool = Arc::new(ShardedPool::new(3));
+            pool.push(0, Task::new("shallow", 0));
+            pool.push(1, Task::new("deep", 9));
+            let stolen = std::thread::scope(|s| {
+                let owner = {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || pool.pop_local(0))
+                };
+                let thief = {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || pool.steal(2))
+                };
+                let _ = owner.join().unwrap();
+                thief.join().unwrap()
+            });
+            assert!(
+                stolen.is_some(),
+                "a task was available in a shard the whole time"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! The priority-ordered global workpool of the Ordered coordination.
+//!
+//! Where [`DepthPool`](super::DepthPool) prioritises tasks by the *depth* at
+//! which they were generated, [`OrderedPool`] prioritises them by their
+//! **sequence key**: the path of child indices from the root to the task's
+//! root node.  Sequence keys compare lexicographically, which is exactly the
+//! depth-first *preorder* of the search tree (a prefix sorts before its
+//! extensions, siblings sort by heuristic child index).  Draining an
+//! `OrderedPool` smallest-key-first therefore replays the sequential search
+//! order — the property the Ordered coordination builds its replicability
+//! guarantee on.
+//!
+//! Push and pop are `O(log n)` (a binary heap behind a mutex).  The tie-break
+//! is documented and deterministic: entries are ordered by `(sequence key,
+//! arrival index)`, so two entries pushed with the same key (which the
+//! skeleton never does, but the pool does not forbid) pop in FIFO order, and
+//! the pop sequence is a pure function of the push history.
+
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The sequence key of a task: the path of heuristic child indices from the
+/// search-tree root to the task's root node.  The root itself has the empty
+/// key.  `Ord` is the derived lexicographic order on the underlying path,
+/// which coincides with depth-first preorder of the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqKey(Vec<u32>);
+
+impl SeqKey {
+    /// The key of the search-tree root (the empty path).
+    pub fn root() -> Self {
+        SeqKey(Vec::new())
+    }
+
+    /// The key of this node's `index`-th child (0 = the heuristically best
+    /// child, i.e. the one the sequential search explores first).
+    pub fn child(&self, index: u32) -> Self {
+        let mut path = Vec::with_capacity(self.0.len() + 1);
+        path.extend_from_slice(&self.0);
+        path.push(index);
+        SeqKey(path)
+    }
+
+    /// Depth of the node this key addresses (the root has depth 0).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The underlying path of child indices.
+    pub fn path(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for SeqKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, step) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{step}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// One heap entry: priority `(key, arrival)`, payload `item`.  Only the
+/// priority participates in the ordering, so `T` needs no bounds.
+struct Entry<T> {
+    key: SeqKey,
+    arrival: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.arrival == other.arrival
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then(self.arrival.cmp(&other.arrival))
+    }
+}
+
+/// A priority-ordered workpool: smallest sequence key first, FIFO (arrival
+/// order) among equal keys.
+///
+/// Unlike [`ShardedPool`](super::ShardedPool) this pool is deliberately
+/// *global*: the Ordered coordination's whole point is that every pop
+/// observes the one true sequential frontier, so per-worker sharding would
+/// defeat it.  All operations lock the single internal mutex; push and pop
+/// are `O(log n)`.
+#[derive(Default)]
+pub struct OrderedPool<T> {
+    inner: Mutex<OrderedInner<T>>,
+}
+
+struct OrderedInner<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    arrivals: u64,
+}
+
+impl<T> Default for OrderedInner<T> {
+    fn default() -> Self {
+        OrderedInner {
+            heap: BinaryHeap::new(),
+            arrivals: 0,
+        }
+    }
+}
+
+impl<T> OrderedPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        OrderedPool {
+            inner: Mutex::new(OrderedInner::default()),
+        }
+    }
+
+    /// Queue `item` under `key`.  Arrival order is recorded so that pops are
+    /// deterministic even among equal keys.
+    pub fn push(&self, key: SeqKey, item: T) {
+        let mut inner = self.inner.lock();
+        let arrival = inner.arrivals;
+        inner.arrivals += 1;
+        inner.heap.push(Reverse(Entry { key, arrival, item }));
+    }
+
+    /// Remove and return the entry with the smallest `(key, arrival)`
+    /// priority.
+    ///
+    /// As with the depth pools, `None` only means "empty at this instant":
+    /// with concurrent producers a later pop may succeed, so callers must
+    /// pair an empty pop with a termination check rather than treating it as
+    /// end-of-search.
+    pub fn pop(&self) -> Option<(SeqKey, T)> {
+        let Reverse(entry) = self.inner.lock().heap.pop()?;
+        Some((entry.key, entry.item))
+    }
+
+    /// The smallest queued sequence key, if any (a snapshot — it may be gone
+    /// by the time the caller acts, which matters only for heuristics, and
+    /// for the Ordered commit check, which re-verifies under its own lock).
+    pub fn min_key(&self) -> Option<SeqKey> {
+        self.inner
+            .lock()
+            .heap
+            .peek()
+            .map(|Reverse(e)| e.key.clone())
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// True when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard every queued entry, returning exactly how many were dropped.
+    /// The count is taken under the pool lock, so a concurrently popped entry
+    /// is counted by its pop, never by `clear`: over a whole run,
+    /// `pops + cleared == pushes`.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let dropped = inner.heap.len();
+        inner.heap.clear();
+        dropped
+    }
+}
+
+impl<T> std::fmt::Debug for OrderedPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedPool")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(path: &[u32]) -> SeqKey {
+        path.iter().fold(SeqKey::root(), |k, &i| k.child(i))
+    }
+
+    #[test]
+    fn sequence_keys_order_as_dfs_preorder() {
+        // A parent sorts before its children; children sort before the
+        // parent's later siblings; siblings sort by child index.
+        let root = SeqKey::root();
+        let c0 = root.child(0);
+        let c0_5 = c0.child(5);
+        let c1 = root.child(1);
+        assert!(root < c0);
+        assert!(c0 < c0_5);
+        assert!(c0_5 < c1, "a whole subtree precedes the next sibling");
+        assert_eq!(c0_5.depth(), 2);
+        assert_eq!(c0_5.path(), &[0, 5]);
+        assert_eq!(c0_5.to_string(), "⟨0.5⟩");
+        assert_eq!(root.to_string(), "⟨⟩");
+    }
+
+    #[test]
+    fn pops_smallest_key_first() {
+        let pool = OrderedPool::new();
+        pool.push(key(&[1]), "right");
+        pool.push(key(&[0, 2]), "left-deep");
+        pool.push(key(&[0]), "left");
+        assert_eq!(pool.pop().unwrap().1, "left");
+        assert_eq!(pool.pop().unwrap().1, "left-deep");
+        assert_eq!(pool.pop().unwrap().1, "right");
+        assert!(pool.pop().is_none());
+    }
+
+    #[test]
+    fn equal_keys_pop_in_arrival_order() {
+        let pool = OrderedPool::new();
+        for i in 0..10 {
+            pool.push(key(&[3]), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| pool.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>(), "tie-break must be FIFO");
+    }
+
+    #[test]
+    fn len_and_exact_clear_counts() {
+        let pool = OrderedPool::new();
+        assert!(pool.is_empty());
+        pool.push(key(&[0]), 1);
+        pool.push(key(&[1]), 2);
+        pool.push(key(&[2]), 3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.min_key(), Some(key(&[0])));
+        assert_eq!(pool.clear(), 3, "clear must report exactly what it drops");
+        assert!(pool.is_empty());
+        assert_eq!(pool.clear(), 0);
+        assert!(pool.pop().is_none());
+        assert_eq!(pool.min_key(), None);
+    }
+
+    #[test]
+    fn clear_never_double_counts_concurrent_pops() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = Arc::new(OrderedPool::new());
+        for i in 0..1000u32 {
+            pool.push(key(&[i % 7, i]), i);
+        }
+        let popped = Arc::new(AtomicUsize::new(0));
+        let dropped = std::thread::scope(|s| {
+            for _ in 0..3 {
+                let pool = Arc::clone(&pool);
+                let popped = Arc::clone(&popped);
+                s.spawn(move || {
+                    let mut local = 0;
+                    for _ in 0..200 {
+                        if pool.pop().is_some() {
+                            local += 1;
+                        }
+                    }
+                    popped.fetch_add(local, Ordering::SeqCst);
+                });
+            }
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                std::thread::yield_now();
+                pool.clear()
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(
+            popped.load(Ordering::SeqCst) + dropped + pool.len(),
+            1000,
+            "pops + cleared + remaining must account for every push"
+        );
+    }
+
+    /// Concurrent pushers with disjoint key ranges, then a single drain: the
+    /// pop order must be fully sorted regardless of push interleaving —
+    /// deterministic pop order is the pool's contract.
+    #[test]
+    fn concurrent_pushes_still_drain_in_sorted_order() {
+        use std::sync::Arc;
+        let pool = Arc::new(OrderedPool::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..250u32 {
+                        pool.push(key(&[t, i]), (t, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), 1000);
+        let drained: Vec<SeqKey> = std::iter::from_fn(|| pool.pop().map(|(k, _)| k)).collect();
+        assert_eq!(drained.len(), 1000);
+        for w in drained.windows(2) {
+            assert!(w[0] < w[1], "pop order must be strictly key-sorted");
+        }
+    }
+
+    /// Interleaved push/pop from multiple threads: every pop a consumer
+    /// observes must be the smallest key present at that instant *among the
+    /// keys it can reason about* — verified globally by checking that no
+    /// task is ever lost and the final drain is sorted.
+    #[test]
+    fn interleaved_push_pop_from_multiple_threads_loses_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = Arc::new(OrderedPool::new());
+        let consumed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..2u32 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        pool.push(key(&[i % 5, t]), (t, i));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                let consumed = Arc::clone(&consumed);
+                s.spawn(move || {
+                    let mut local = 0;
+                    for _ in 0..10_000 {
+                        if pool.pop().is_some() {
+                            local += 1;
+                        }
+                    }
+                    consumed.fetch_add(local, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst) + pool.len(), 1000);
+    }
+
+    proptest! {
+        /// The pool is a priority queue keyed by (sequence key, arrival):
+        /// for any push history the pop sequence is sorted by key, FIFO
+        /// within a key — i.e. pops are a deterministic function of pushes.
+        #[test]
+        fn pop_order_is_key_then_fifo(paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 0..5), 1..64)) {
+            let pool = OrderedPool::new();
+            for (i, p) in paths.iter().enumerate() {
+                pool.push(key(p), i);
+            }
+            let popped: Vec<(SeqKey, usize)> = std::iter::from_fn(|| pool.pop()).collect();
+            prop_assert_eq!(popped.len(), paths.len());
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "key order violated");
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "FIFO violated within a key");
+                }
+            }
+        }
+    }
+}

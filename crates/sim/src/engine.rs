@@ -446,7 +446,8 @@ where
         match coordination {
             Coordination::Sequential
             | Coordination::DepthBounded { .. }
-            | Coordination::Budget { .. } => {
+            | Coordination::Budget { .. }
+            | Coordination::Ordered { .. } => {
                 // Local pool first, then a random remote pool.
                 if let Some(task) = pools[my_locality].pop() {
                     next_time += costs.pop_cost;
@@ -560,7 +561,16 @@ where
         Action::Expand => {}
     }
 
-    if let Coordination::DepthBounded { dcutoff } = coordination {
+    // Eager placement-time spawning: Depth-Bounded's cutoff, and Ordered's
+    // spawn depth (the simulated locality pools are FIFO-within-depth, which
+    // approximates sequence order; the threaded engine's OrderedPool carries
+    // the exact replicability guarantee).
+    let eager_cutoff = match coordination {
+        Coordination::DepthBounded { dcutoff } => Some(dcutoff),
+        Coordination::Ordered { spawn_depth } => Some(spawn_depth),
+        _ => None,
+    };
+    if let Some(dcutoff) = eager_cutoff {
         if task.depth < dcutoff {
             // Convert every child into a task on the local pool.
             let children: Vec<Task<P::Node>> = problem
@@ -666,6 +676,7 @@ mod tests {
             Coordination::depth_bounded(2),
             Coordination::stack_stealing_chunked(),
             Coordination::budget(30),
+            Coordination::ordered(2),
         ] {
             let out = simulate_enumerate(&p, &sim(coord, 2, 3));
             assert_eq!(out.result, reference, "{coord}");
@@ -681,6 +692,7 @@ mod tests {
             Coordination::depth_bounded(3),
             Coordination::stack_stealing(),
             Coordination::budget(20),
+            Coordination::ordered(3),
         ] {
             let out = simulate_maximise(&p, &sim(coord, 3, 2));
             assert_eq!(

@@ -28,6 +28,7 @@ fn main() {
         Coordination::depth_bounded(2),
         Coordination::stack_stealing_chunked(),
         Coordination::budget(10_000),
+        Coordination::ordered(2),
     ] {
         let skeleton = Skeleton::new(coordination).workers(4);
         let out = skeleton.maximise(&problem);

@@ -29,6 +29,7 @@ fn main() {
             Coordination::depth_bounded(2),
             Coordination::stack_stealing(),
             Coordination::budget(100),
+            Coordination::ordered(2),
         ] {
             let out = Skeleton::new(coordination).workers(4).decide(&problem);
             match &out.witness {

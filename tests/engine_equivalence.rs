@@ -66,6 +66,7 @@ fn parallel_coordinations(dcutoff: usize, budget: u64) -> Vec<Coordination> {
         Coordination::stack_stealing(),
         Coordination::stack_stealing_chunked(),
         Coordination::budget(budget),
+        Coordination::ordered(dcutoff),
     ]
 }
 

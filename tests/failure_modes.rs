@@ -37,6 +37,7 @@ fn trivial_graphs_work_under_every_coordination() {
         Coordination::depth_bounded(5),
         Coordination::stack_stealing(),
         Coordination::budget(1),
+        Coordination::ordered(5),
     ] {
         // Single vertex.
         let p = MaxClique::new(Graph::new(1));
@@ -71,6 +72,7 @@ fn unreachable_decision_targets_explore_and_return_none() {
         Coordination::depth_bounded(1),
         Coordination::stack_stealing_chunked(),
         Coordination::budget(4),
+        Coordination::ordered(1),
     ] {
         let out = Skeleton::new(coord).workers(3).decide(&p);
         assert!(!out.found(), "{coord}");
@@ -98,6 +100,17 @@ fn extreme_skeleton_parameters_still_give_correct_answers() {
         .enumerate(&p);
     assert_eq!(out.value, expected);
     assert_eq!(out.metrics.spawns(), 0);
+    // An ordered spawn depth far beyond the tree keys every node's children;
+    // a spawn depth of zero degenerates to one sequentially ordered task.
+    let out = Skeleton::new(Coordination::ordered(1_000))
+        .workers(3)
+        .enumerate(&p);
+    assert_eq!(out.value, expected);
+    let out = Skeleton::new(Coordination::ordered(0))
+        .workers(3)
+        .enumerate(&p);
+    assert_eq!(out.value, expected);
+    assert_eq!(out.metrics.totals.ordered_spawns, 0);
 }
 
 #[test]
@@ -108,6 +121,7 @@ fn single_worker_parallel_skeletons_degenerate_gracefully() {
         Coordination::depth_bounded(2),
         Coordination::stack_stealing(),
         Coordination::budget(10),
+        Coordination::ordered(2),
     ] {
         let out = Skeleton::new(coord).workers(1).maximise(&p);
         assert_eq!(out.score(), expected.score(), "{coord}");

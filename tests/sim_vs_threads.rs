@@ -19,6 +19,7 @@ fn sim_coordinations() -> Vec<Coordination> {
         Coordination::depth_bounded(2),
         Coordination::stack_stealing_chunked(),
         Coordination::budget(50),
+        Coordination::ordered(2),
     ]
 }
 

@@ -14,7 +14,7 @@ use yewpar_apps::uts::Uts;
 use yewpar_instances::knapsack::{KnapsackClass, KnapsackInstance};
 use yewpar_instances::{graph, SipInstance, TspInstance};
 
-/// The twelve skeletons: four coordinations, applied below to the three
+/// The fifteen skeletons: five coordinations, applied below to the three
 /// search types.
 fn parallel_coordinations() -> Vec<Coordination> {
     vec![
@@ -22,6 +22,7 @@ fn parallel_coordinations() -> Vec<Coordination> {
         Coordination::stack_stealing(),
         Coordination::stack_stealing_chunked(),
         Coordination::budget(64),
+        Coordination::ordered(2),
     ]
 }
 

@@ -62,7 +62,26 @@ macro_rules! impl_float_range {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
-                self.start + unit * (self.end - self.start)
+                let sample = self.start + unit * (self.end - self.start);
+                // `start + unit * span` can round up to the excluded endpoint
+                // on a draw within ~2⁻⁵³ of 1 (e.g. 0.25..0.75 with the
+                // maximal draw).  Real rand 0.8 guarantees sample < end for a
+                // half-open range, so clamp to the largest value below `end`
+                // (which is always >= start, since start < end).  The bit
+                // arithmetic is `next_down()` without its Rust-1.86 MSRV:
+                // stepping the payload bits toward zero for a positive float
+                // and away from zero for a negative one.
+                if sample < self.end {
+                    sample
+                } else if self.end > 0.0 {
+                    <$t>::from_bits(self.end.to_bits() - 1)
+                } else if self.end < 0.0 {
+                    <$t>::from_bits(self.end.to_bits() + 1)
+                } else {
+                    // end == ±0.0: the largest value below zero is the
+                    // smallest negative subnormal.
+                    -<$t>::from_bits(1)
+                }
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
@@ -151,6 +170,37 @@ mod tests {
             let f = rng.gen_range(0.25f64..0.75);
             assert!((0.25..0.75).contains(&f));
         }
+    }
+
+    /// A generator pinned to the maximal draw, exercising the rounding
+    /// boundary of the float ranges.
+    struct MaxRng;
+
+    impl super::RngCore for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn float_half_open_range_never_yields_the_excluded_endpoint() {
+        let mut rng = MaxRng;
+        // With the maximal draw, unit = 1 - 2⁻⁵³ and 0.25 + unit * 0.5 is
+        // exactly halfway between 0.75 - 2⁻⁵³ and 0.75; round-to-even picks
+        // 0.75, the excluded endpoint, without the clamp.
+        let x = rng.gen_range(0.25f64..0.75);
+        assert!(x < 0.75, "sampled the excluded endpoint: {x}");
+        assert!(x >= 0.25);
+        let x = rng.gen_range(0.25f32..0.75);
+        assert!(x < 0.75, "sampled the excluded f32 endpoint: {x}");
+        // Negative and zero endpoints must clamp toward the range, not away.
+        let x = rng.gen_range(-0.75f64..-0.25);
+        assert!((-0.75..-0.25).contains(&x));
+        let x = rng.gen_range(-1.0f64..0.0);
+        assert!((-1.0..0.0).contains(&x), "got {x}");
+        // Inclusive ranges may return the endpoint itself but nothing above.
+        let x = rng.gen_range(0.25f64..=0.75);
+        assert!(x <= 0.75);
     }
 
     #[test]
