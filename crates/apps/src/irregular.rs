@@ -11,7 +11,7 @@
 //! machines and PRs.
 
 use yewpar::monoid::Sum;
-use yewpar::{Enumerate, SearchProblem};
+use yewpar::{Decide, Enumerate, Optimise, SearchProblem};
 
 /// The Irregular enumeration problem.
 #[derive(Debug, Clone)]
@@ -76,6 +76,30 @@ impl Enumerate for Irregular {
     }
 }
 
+/// The canonical decision objective over the Irregular tree (the same one
+/// the core's replicability tests use): a node's score is its LCG state mod
+/// 1000, the bound is the trivial constant 1000 — so a decision search never
+/// prunes (node-level pruning only) and its committed expansion count equals
+/// the Sequential skeleton's, which makes this family the quick replicable
+/// decision workload for `table2` and the Ordered cancellation A/B sweeps.
+impl Optimise for Irregular {
+    type Score = u64;
+
+    fn objective(&self, node: &(usize, u64)) -> u64 {
+        node.1 % 1000
+    }
+
+    fn bound(&self, _node: &(usize, u64)) -> Option<u64> {
+        Some(1000)
+    }
+}
+
+impl Decide for Irregular {
+    fn target(&self) -> u64 {
+        990
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +133,24 @@ mod tests {
             frontier.extend(children);
         }
         assert!(widths.len() > 1, "tree is not irregular: widths {widths:?}");
+    }
+
+    #[test]
+    fn decision_objective_is_replicable_under_ordered() {
+        let p = Irregular::new(9, 1);
+        let seq = Skeleton::new(Coordination::Sequential).decide(&p);
+        assert!(seq.found(), "target 990 exists in this tree");
+        for workers in [1usize, 4] {
+            let out = Skeleton::new(Coordination::ordered(3))
+                .workers(workers)
+                .decide(&p);
+            assert_eq!(out.found(), seq.found());
+            assert_eq!(
+                out.metrics.nodes(),
+                seq.metrics.nodes(),
+                "node-level pruning only, so Ordered must replay Sequential"
+            );
+        }
     }
 
     #[test]

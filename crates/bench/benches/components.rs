@@ -74,6 +74,25 @@ fn bench_workpool(c: &mut Criterion) {
             drained
         })
     });
+    group.bench_function("ordered_purge_after_1000", |bench| {
+        // The speculation-cancellation primitive: drop everything after a
+        // mid-range witness key (≈ half the pool) in one O(n) sweep.
+        let keys: Vec<SeqKey> = (0..1000u32)
+            .map(|i| SeqKey::root().child(i % 8).child(i))
+            .collect();
+        let witness = SeqKey::root().child(4);
+        bench.iter_batched(
+            || {
+                let pool = OrderedPool::new();
+                for (i, key) in keys.iter().enumerate() {
+                    pool.push(key.clone(), Task::new(i as u32, key.depth()));
+                }
+                pool
+            },
+            |pool| pool.purge_after(&witness),
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

@@ -21,7 +21,11 @@
 //! * `YEWPAR_T2_LOCALITIES` (default 8) — simulated localities;
 //! * `YEWPAR_T2_APPS` — comma-separated filter of application names
 //!   (e.g. `YEWPAR_T2_APPS=Irregular` runs only the synthetic Irregular
-//!   tree, the quick baseline recorded in `BENCH_0.json` / `BENCH_1.json`);
+//!   tree, the quick baseline recorded in `BENCH_0.json` / `BENCH_1.json` /
+//!   `BENCH_2.json`);
+//! * `YEWPAR_T2_ORDERED_CANCEL` — set to `0`/`off`/`false` to disable the
+//!   Ordered coordination's speculation cancellation for the main sweep
+//!   (the A/B smoke knob; the dedicated A/B section below always runs both);
 //! * `--coordination <name>[,<name>…]` — filter of skeleton names
 //!   (e.g. `--coordination ordered` is the CI smoke invocation).
 
@@ -37,13 +41,36 @@ use yewpar_apps::tsp::Tsp;
 use yewpar_apps::uts::Uts;
 use yewpar_bench::{geometric_mean, TableWriter};
 use yewpar_instances::registry;
-use yewpar_sim::{simulate_decide, simulate_enumerate, simulate_maximise, SimConfig};
+use yewpar_sim::{simulate_decide, simulate_enumerate, simulate_maximise, SimConfig, SimOutcome};
 
-/// A named instance reduced to "run this search under this config and give me
-/// the virtual makespan".
+/// What one simulated run reports back to the table: the virtual makespan
+/// plus the Ordered coordination's speculation accounting (zero for every
+/// other coordination).
+#[derive(Debug, Clone, Copy)]
+struct RunStats {
+    makespan: u64,
+    speculative_nodes: u64,
+    cancelled_tasks: u64,
+}
+
+impl RunStats {
+    fn of<R>(out: SimOutcome<R>) -> RunStats {
+        RunStats {
+            makespan: out.makespan,
+            speculative_nodes: out.speculative_nodes,
+            cancelled_tasks: out.cancelled_tasks,
+        }
+    }
+}
+
+/// A named instance reduced to "run this search under this config and give
+/// me the stats".  `decision` marks decision (short-circuiting) searches —
+/// the only kind with speculation to cancel, and therefore the instances the
+/// Ordered cancellation A/B section sweeps.
 struct Workload {
     name: String,
-    run: Box<dyn Fn(&SimConfig) -> u64>,
+    decision: bool,
+    run: Box<dyn Fn(&SimConfig) -> RunStats>,
 }
 
 fn clique_workloads() -> Vec<Workload> {
@@ -53,7 +80,8 @@ fn clique_workloads() -> Vec<Workload> {
             let problem = MaxClique::new(named.graph);
             Workload {
                 name: named.name,
-                run: Box::new(move |cfg| simulate_maximise(&problem, cfg).makespan),
+                decision: false,
+                run: Box::new(move |cfg| RunStats::of(simulate_maximise(&problem, cfg))),
             }
         })
         .collect()
@@ -66,7 +94,8 @@ fn tsp_workloads() -> Vec<Workload> {
             let problem = Tsp::new(inst);
             Workload {
                 name,
-                run: Box::new(move |cfg| simulate_maximise(&problem, cfg).makespan),
+                decision: false,
+                run: Box::new(move |cfg| RunStats::of(simulate_maximise(&problem, cfg))),
             }
         })
         .collect()
@@ -79,7 +108,8 @@ fn knapsack_workloads() -> Vec<Workload> {
             let problem = Knapsack::new(inst);
             Workload {
                 name,
-                run: Box::new(move |cfg| simulate_maximise(&problem, cfg).makespan),
+                decision: false,
+                run: Box::new(move |cfg| RunStats::of(simulate_maximise(&problem, cfg))),
             }
         })
         .collect()
@@ -92,7 +122,8 @@ fn sip_workloads() -> Vec<Workload> {
             let problem = Sip::new(inst);
             Workload {
                 name,
-                run: Box::new(move |cfg| simulate_decide(&problem, cfg).makespan),
+                decision: true,
+                run: Box::new(move |cfg| RunStats::of(simulate_decide(&problem, cfg))),
             }
         })
         .collect()
@@ -105,7 +136,8 @@ fn semigroup_workloads() -> Vec<Workload> {
             let problem = Semigroups::new(genus);
             Workload {
                 name: format!("ns-genus-{genus}"),
-                run: Box::new(move |cfg| simulate_enumerate(&problem, cfg).makespan),
+                decision: false,
+                run: Box::new(move |cfg| RunStats::of(simulate_enumerate(&problem, cfg))),
             }
         })
         .collect()
@@ -124,7 +156,8 @@ fn uts_workloads() -> Vec<Workload> {
             );
             Workload {
                 name: "uts-geo-11".into(),
-                run: Box::new(move |cfg| simulate_enumerate(&problem, cfg).makespan),
+                decision: false,
+                run: Box::new(move |cfg| RunStats::of(simulate_enumerate(&problem, cfg))),
             }
         },
         {
@@ -139,23 +172,37 @@ fn uts_workloads() -> Vec<Workload> {
             );
             Workload {
                 name: "uts-bin-17".into(),
-                run: Box::new(move |cfg| simulate_enumerate(&problem, cfg).makespan),
+                decision: false,
+                run: Box::new(move |cfg| RunStats::of(simulate_enumerate(&problem, cfg))),
             }
         },
     ]
 }
 
 fn irregular_workloads() -> Vec<Workload> {
-    [(12usize, 1u64), (13, 7)]
+    let mut workloads: Vec<Workload> = [(12usize, 1u64), (13, 7)]
         .into_iter()
         .map(|(depth, seed)| {
             let problem = Irregular::new(depth, seed);
             Workload {
                 name: format!("irregular-d{depth}-s{seed}"),
-                run: Box::new(move |cfg| simulate_enumerate(&problem, cfg).makespan),
+                decision: false,
+                run: Box::new(move |cfg| RunStats::of(simulate_enumerate(&problem, cfg))),
             }
         })
-        .collect()
+        .collect();
+    // Decision variants of the same family (target 990 over `state % 1000`,
+    // node-level pruning only): the quick replicable decision workload the
+    // Ordered cancellation A/B section sweeps.
+    workloads.extend([(12usize, 1u64), (13, 7)].into_iter().map(|(depth, seed)| {
+        let problem = Irregular::new(depth, seed);
+        Workload {
+            name: format!("irregular-decide-d{depth}-s{seed}"),
+            decision: true,
+            run: Box::new(move |cfg| RunStats::of(simulate_decide(&problem, cfg))),
+        }
+    }));
+    workloads
 }
 
 /// The parameterised coordinations swept by the experiment.
@@ -197,6 +244,16 @@ fn coordination_filter(args: &[String]) -> Option<Vec<String>> {
     )
 }
 
+/// Parse `YEWPAR_T2_ORDERED_CANCEL` (default: on).
+fn ordered_cancel_knob() -> bool {
+    !std::env::var("YEWPAR_T2_ORDERED_CANCEL")
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "0" || v == "off" || v == "false"
+        })
+        .unwrap_or(false)
+}
+
 fn main() {
     let localities: usize = std::env::var("YEWPAR_T2_LOCALITIES")
         .ok()
@@ -204,8 +261,13 @@ fn main() {
         .unwrap_or(8);
     let workers_per_locality = 15;
     let workers = localities * workers_per_locality;
+    let ordered_cancel = ordered_cancel_knob();
     println!("Table 2: alternate application parallelisations — mean speedup on {workers} simulated workers");
     println!("({localities} localities x {workers_per_locality} workers; speedup vs the simulated Sequential skeleton)");
+    println!(
+        "(Ordered speculation cancellation: {})",
+        if ordered_cancel { "on" } else { "off" }
+    );
     println!();
 
     let app_filter: Option<Vec<String>> = std::env::var("YEWPAR_T2_APPS").ok().map(|v| {
@@ -280,21 +342,30 @@ fn main() {
     for (app, workloads) in &applications {
         // Sequential virtual baselines, one per instance.
         let seq_cfg = SimConfig::new(Coordination::Sequential, 1, 1);
-        let baselines: Vec<u64> = workloads.iter().map(|w| (w.run)(&seq_cfg)).collect();
+        let baselines: Vec<u64> = workloads
+            .iter()
+            .map(|w| (w.run)(&seq_cfg).makespan)
+            .collect();
 
         for coord_name in &coordinations {
             let params = sweep(coord_name);
-            // Per-instance speedups for every parameter choice.
+            // Per-instance speedups for every parameter choice, plus the
+            // Ordered speculation accounting summed over the whole sweep.
             let mut worst = Vec::new();
             let mut random = Vec::new();
             let mut best = Vec::new();
+            let mut speculative_nodes: u64 = 0;
+            let mut cancelled_tasks: u64 = 0;
             for (w, &baseline) in workloads.iter().zip(&baselines) {
                 let speedups: Vec<f64> = params
                     .iter()
                     .map(|(_, coord)| {
-                        let cfg = SimConfig::new(*coord, localities, workers_per_locality);
-                        let makespan = (w.run)(&cfg).max(1);
-                        baseline as f64 / makespan as f64
+                        let mut cfg = SimConfig::new(*coord, localities, workers_per_locality);
+                        cfg.cancel_speculation = ordered_cancel;
+                        let stats = (w.run)(&cfg);
+                        speculative_nodes += stats.speculative_nodes;
+                        cancelled_tasks += stats.cancelled_tasks;
+                        baseline as f64 / stats.makespan.max(1) as f64
                     })
                     .collect();
                 let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -331,6 +402,8 @@ fn main() {
                 "worst_speedup": w_geo,
                 "random_speedup": r_geo,
                 "best_speedup": b_geo,
+                "speculative_nodes": speculative_nodes,
+                "cancelled_tasks": cancelled_tasks,
             }));
         }
         println!("{}", table.separator());
@@ -351,6 +424,57 @@ fn main() {
             ])
         );
     }
+    // ---- Ordered speculation-cancellation A/B -----------------------------
+    // For every decision instance (the only searches with speculation to
+    // cancel) and every Ordered spawn depth, run the identical simulation
+    // with the knob on and off.  Committed work is replicable either way;
+    // the A/B isolates how much speculative work the cancellation reclaims.
+    let mut ab_rows = Vec::new();
+    if coordinations.contains(&"Ordered") {
+        let (mut on_spec, mut off_spec, mut on_cancelled) = (0u64, 0u64, 0u64);
+        for (app, workloads) in &applications {
+            for w in workloads.iter().filter(|w| w.decision) {
+                for (param, coord) in sweep("Ordered") {
+                    let mut on_cfg = SimConfig::new(coord, localities, workers_per_locality);
+                    on_cfg.cancel_speculation = true;
+                    let on = (w.run)(&on_cfg);
+                    let mut off_cfg = SimConfig::new(coord, localities, workers_per_locality);
+                    off_cfg.cancel_speculation = false;
+                    let off = (w.run)(&off_cfg);
+                    on_spec += on.speculative_nodes;
+                    off_spec += off.speculative_nodes;
+                    on_cancelled += on.cancelled_tasks;
+                    let side = |stats: RunStats| {
+                        serde_json::json!({
+                            "makespan": stats.makespan,
+                            "speculative_nodes": stats.speculative_nodes,
+                            "cancelled_tasks": stats.cancelled_tasks,
+                        })
+                    };
+                    ab_rows.push(serde_json::json!({
+                        "application": app,
+                        "instance": w.name.clone(),
+                        "param": param,
+                        "cancel_on": side(on),
+                        "cancel_off": side(off),
+                    }));
+                }
+            }
+        }
+        if !ab_rows.is_empty() {
+            println!();
+            println!(
+                "Ordered cancellation A/B over {} decision runs: cancelled {} speculative tasks;",
+                ab_rows.len(),
+                on_cancelled
+            );
+            println!(
+                "speculative nodes {} (cancellation on) vs {} (off, the PR 2 behaviour).",
+                on_spec, off_spec
+            );
+        }
+    }
+
     println!();
     println!("Paper reference (Table 2, 120 workers): no single skeleton wins everywhere;");
     println!("Depth-Bounded is best for MaxClique/TSP, Budget for Knapsack/NS/UTS,");
@@ -360,7 +484,9 @@ fn main() {
     let report = serde_json::json!({
         "experiment": "table2",
         "workers": workers,
+        "ordered_cancellation": ordered_cancel,
         "rows": report_rows,
+        "ordered_cancellation_ab": ab_rows,
     });
     write_report("table2.json", &report);
 }

@@ -44,6 +44,11 @@ pub(crate) enum Flow {
     Completed,
     /// A short-circuit was requested: the whole search must stop.
     ShortCircuited,
+    /// The work source cancelled this task mid-traversal: its remaining
+    /// subtree is known to be useless (Ordered speculation sequentially after
+    /// a pending decision witness) and the worker should move on.  Unlike
+    /// `ShortCircuited` this stops only the *task*, never the search.
+    Cancelled,
 }
 
 /// Where workers obtain tasks and publish tasks for others.
@@ -95,9 +100,25 @@ pub trait WorkSource<P: SearchProblem>: Sync {
     }
 
     /// Discard every task still queued (called when a decision search
-    /// short-circuits), returning how many were dropped.
+    /// short-circuits), returning how many were dropped.  Callers must hand
+    /// the count to [`Termination::tasks_discarded`] so the outstanding-task
+    /// counter still drains to zero.
     fn discard(&self) -> usize {
         0
+    }
+
+    /// Polled once per traversal step of an executing task: should the task
+    /// abandon its remaining subtree?  Sources that learn mid-run that a
+    /// task's work is useless (the Ordered coordination's speculation
+    /// cancellation: the task's sequence key is after a pending decision
+    /// witness) answer `true`, making [`run_task`] return [`Flow::Cancelled`]
+    /// so the worker can be reclaimed immediately instead of burning until
+    /// the commit fires.  `local` is mutable so implementations can cache
+    /// whatever they need to keep this poll off shared state (the Ordered
+    /// source caches the broadcast frontier per epoch).  The default never
+    /// cancels.
+    fn cancelled(&self, _local: &mut Self::Local) -> bool {
+        false
     }
 }
 
@@ -147,6 +168,58 @@ impl Drop for UnwindGuard<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.0.short_circuit();
+        }
+    }
+}
+
+/// Bounded idle backoff shared by every worker loop: a few rounds of busy
+/// spinning (cheapest wake-up when work arrives within nanoseconds), then
+/// scheduler yields, then exponentially growing sleeps capped well below a
+/// millisecond.  An idle worker whose source is empty while tasks are still
+/// outstanding therefore costs a bounded amount of CPU instead of
+/// hot-spinning the pop/steal path, without adding meaningful wake-up
+/// latency when work does appear.
+pub(crate) struct IdleBackoff {
+    rounds: u32,
+}
+
+impl IdleBackoff {
+    /// Rounds of pure `spin_loop` hints before yielding.
+    const SPIN_ROUNDS: u32 = 4;
+    /// Rounds (cumulative) before the backoff starts sleeping.
+    const YIELD_ROUNDS: u32 = 16;
+    /// First sleep duration; doubles each round up to [`MAX_SLEEP`].
+    ///
+    /// [`MAX_SLEEP`]: IdleBackoff::MAX_SLEEP
+    const FIRST_SLEEP_MICROS: u64 = 50;
+    /// Ceiling on a single backoff sleep, so termination and cancellation
+    /// signals are still observed promptly.
+    const MAX_SLEEP: Duration = Duration::from_micros(500);
+
+    pub(crate) fn new() -> Self {
+        IdleBackoff { rounds: 0 }
+    }
+
+    /// Work was found: restart the backoff from the cheap end.
+    pub(crate) fn reset(&mut self) {
+        self.rounds = 0;
+    }
+
+    /// No work was found: wait a little, escalating spin → yield → sleep.
+    pub(crate) fn wait(&mut self) {
+        let round = self.rounds;
+        self.rounds = self.rounds.saturating_add(1);
+        if round < Self::SPIN_ROUNDS {
+            for _ in 0..(1u32 << round) {
+                std::hint::spin_loop();
+            }
+        } else if round < Self::YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            let doublings = (round - Self::YIELD_ROUNDS).min(8);
+            let sleep =
+                Duration::from_micros(Self::FIRST_SLEEP_MICROS << doublings).min(Self::MAX_SLEEP);
+            std::thread::sleep(sleep);
         }
     }
 }
@@ -210,6 +283,15 @@ where
     let all_metrics = spawn_and_join(workers, |worker| {
         worker_loop(problem, driver, &source, &policy, &term, worker)
     });
+    // Stragglers: a worker can release spawned tasks after another worker's
+    // short-circuit already discarded the source, and then exit on the stop
+    // flag without a further discard.  Drain them here so queued tasks are
+    // accounted exactly once (the Ordered run loop does the same, where
+    // `outstanding() == 0` is then asserted).  No such assert here: a
+    // short-circuited Stack-Stealing run may legitimately abandon tasks in
+    // per-worker backlogs and reply channels, which no source-level discard
+    // can reach — the stop flag, not `all_done`, ends those runs.
+    term.tasks_discarded(source.discard() as u64);
     (all_metrics, start.elapsed())
 }
 
@@ -268,7 +350,7 @@ where
     let mut local = source.register(worker);
     let mut metrics = WorkerMetrics::default();
     let mut partial = driver.new_partial();
-    let mut idle_spins: u32 = 0;
+    let mut backoff = IdleBackoff::new();
 
     loop {
         if term.finished() {
@@ -285,7 +367,7 @@ where
         };
         match next {
             Some(task) => {
-                idle_spins = 0;
+                backoff.reset();
                 let flow = run_task(
                     problem,
                     driver,
@@ -299,20 +381,14 @@ where
                 );
                 if flow == Flow::ShortCircuited {
                     term.short_circuit();
-                    source.discard();
+                    // Discarded tasks never run, so they must drain the
+                    // outstanding counter here — otherwise `all_done()` stays
+                    // false forever and only the stop flag masks it.
+                    term.tasks_discarded(source.discard() as u64);
                 }
                 term.task_completed();
             }
-            None => {
-                // Exponential-ish backoff: spin briefly, then sleep so idle
-                // workers do not starve the busy ones on small machines.
-                idle_spins = idle_spins.saturating_add(1);
-                if idle_spins < 16 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-            }
+            None => backoff.wait(),
         }
     }
 
@@ -377,6 +453,11 @@ where
     while !stack.is_empty() {
         if term.short_circuited() {
             return Flow::ShortCircuited;
+        }
+        // Key-scoped cancellation (Ordered speculation): the source knows
+        // this task's remaining subtree can only produce discarded work.
+        if source.cancelled(local) {
+            return Flow::Cancelled;
         }
         // Give the source a chance to serve a thief (at most one steal
         // request per expansion step, mirroring Listing 3), then the policy
@@ -672,6 +753,41 @@ mod tests {
         }
         let driver = EnumDriver::<PartialBomb>::new();
         let _ = run(&PartialBomb, &driver, 4, PoolSource::new(4), SpawnRoot);
+    }
+
+    /// Seven of eight workers never receive a task (a never-spawning policy
+    /// leaves the whole tree to whoever pops the root): the idle backoff
+    /// must keep them from hot-spinning the steal path, so the run finishes
+    /// in the same order of magnitude as the single-worker traversal rather
+    /// than regressing wall-clock.
+    #[test]
+    fn idle_workers_back_off_without_burning_wallclock() {
+        let p = Bin { depth: 15 }; // ~65k nodes, a few ms of real work
+        let driver = EnumDriver::<Bin>::new();
+        let start = std::time::Instant::now();
+        let (metrics, _) = run(&p, &driver, 8, PoolSource::new(8), NoSpawn);
+        let elapsed = start.elapsed();
+        assert_eq!(driver.into_value(), Sum(2u64.pow(16) - 1));
+        assert_eq!(
+            metrics.iter().map(|m| m.nodes).sum::<u64>(),
+            2u64.pow(16) - 1
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "1-task/8-worker run took {elapsed:?}; idle workers are burning the clock"
+        );
+    }
+
+    #[test]
+    fn idle_backoff_escalates_and_resets() {
+        let mut b = IdleBackoff::new();
+        // Never panics and stays bounded over many rounds.
+        for _ in 0..64 {
+            b.wait();
+        }
+        assert!(b.rounds >= 64);
+        b.reset();
+        assert_eq!(b.rounds, 0);
     }
 
     /// A single worker runs inline, so a panicking search problem

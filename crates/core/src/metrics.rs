@@ -40,6 +40,14 @@ pub struct WorkerMetrics {
     /// decision witness).  Excluded from `nodes`, which therefore stays
     /// replicable across worker counts.
     pub speculative_nodes: u64,
+    /// Speculative tasks reclaimed by the Ordered coordination's cancellation
+    /// signal: queued tasks purged when a pending witness was recorded,
+    /// post-witness tasks skipped at pop time, and in-flight tasks that
+    /// observed the broadcast witness key mid-traversal and exited early
+    /// (their partial work lands in `speculative_nodes`).  Zero when
+    /// cancellation is disabled or no witness is ever recorded; never affects
+    /// the committed `nodes` count.
+    pub cancelled_tasks: u64,
 }
 
 impl WorkerMetrics {
@@ -56,6 +64,7 @@ impl WorkerMetrics {
         self.ordered_spawns += other.ordered_spawns;
         self.priority_inversions += other.priority_inversions;
         self.speculative_nodes += other.speculative_nodes;
+        self.cancelled_tasks += other.cancelled_tasks;
     }
 }
 
@@ -151,17 +160,20 @@ mod tests {
             ordered_spawns: 3,
             priority_inversions: 1,
             speculative_nodes: 10,
+            cancelled_tasks: 2,
             ..WorkerMetrics::default()
         };
         a.merge(&WorkerMetrics {
             ordered_spawns: 4,
             priority_inversions: 2,
             speculative_nodes: 5,
+            cancelled_tasks: 1,
             ..WorkerMetrics::default()
         });
         assert_eq!(a.ordered_spawns, 7);
         assert_eq!(a.priority_inversions, 3);
         assert_eq!(a.speculative_nodes, 15);
+        assert_eq!(a.cancelled_tasks, 3);
     }
 
     #[test]

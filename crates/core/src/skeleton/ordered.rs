@@ -34,17 +34,36 @@
 //!    pure function of the task.  Summing committed traces is therefore
 //!    replicable.
 //!
+//! A fourth mechanism reclaims the cores speculation would otherwise waste:
+//!
+//! 4. **Key-scoped cancellation** (on by default,
+//!    [`SearchConfig::cancel_speculation`]): the moment a pending witness is
+//!    recorded, every *queued* task with a later sequence key is purged from
+//!    the pool, and the witness key is broadcast so every *in-flight* task
+//!    with a later key observes it on its next traversal step (the engine's
+//!    per-step poll) and exits with [`Flow::Cancelled`].  Cancelled work is
+//!    reported via
+//!    [`cancelled_tasks`](crate::metrics::WorkerMetrics::cancelled_tasks)
+//!    and its partial node count via `speculative_nodes`; the committed
+//!    count is untouched because only keys strictly after the pending
+//!    witness — which can only move *earlier* — are ever cancelled, and
+//!    those are exactly the tasks the commit would discard anyway.
+//!
 //! The coordination reuses the engine's [`run_task`] traversal (so the
 //! (expand)/(backtrack)/(prune)/(shortcircuit) rules, spawn accounting and
 //! per-step polling stay identical to every other coordination) but drives
 //! its own worker loop: the engine's loop applies short-circuits instantly,
 //! which is precisely what Ordered must not do.
+//!
+//! [`run_task`]: crate::engine::run_task
+//! [`SearchConfig::cancel_speculation`]: crate::params::SearchConfig::cancel_speculation
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::engine::{self, Flow, SpawnPolicy, UnwindGuard, WorkSource};
+use crate::engine::{self, Flow, IdleBackoff, SpawnPolicy, UnwindGuard, WorkSource};
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
@@ -95,17 +114,93 @@ pub(crate) struct OrderedLocal {
     inversions: u64,
     /// Tasks this worker released with a sequence key.
     ordered_spawns: u64,
+    /// Speculative tasks this worker reclaimed: queued tasks it purged or
+    /// skipped at pop time, plus its own in-flight tasks that exited early.
+    cancelled: u64,
+    /// The [`CancelSignal`] epoch this worker last synchronised with
+    /// (0 = never; the signal starts at epoch 0 = no witness).
+    cancel_epoch: u64,
+    /// This worker's cached copy of the broadcast witness frontier, valid
+    /// for `cancel_epoch`.
+    cancel_frontier: Option<SeqKey>,
 }
 
-/// The Ordered coordination's work source: a global priority-ordered pool
-/// plus the in-order commit log.
+/// The broadcast half of speculation cancellation: the smallest pending
+/// witness key, readable with one atomic epoch load on the per-step poll.
+/// Workers cache the frontier in their [`OrderedLocal`] and re-read the
+/// mutex-protected key only when the epoch moves, so the commit-critical
+/// tasks (the ones the pending witness is waiting on) never contend on a
+/// shared lock per node expansion — at worst they cancel one epoch late,
+/// which costs a few speculative steps, never correctness.
+struct CancelSignal {
+    /// The on/off knob ([`SearchConfig::cancel_speculation`]).
+    ///
+    /// [`SearchConfig::cancel_speculation`]: crate::params::SearchConfig::cancel_speculation
+    enabled: bool,
+    /// Bumped after every frontier move; 0 means no witness broadcast yet.
+    epoch: AtomicU64,
+    /// The smallest witness key broadcast so far.  Only ever moves earlier,
+    /// so a key observed as "after the frontier" stays after every later
+    /// frontier — cancellation can never hit a task the commit would keep.
+    frontier: Mutex<Option<SeqKey>>,
+}
+
+impl CancelSignal {
+    fn new(enabled: bool) -> Self {
+        CancelSignal {
+            enabled,
+            epoch: AtomicU64::new(0),
+            frontier: Mutex::new(None),
+        }
+    }
+
+    /// Publish `key` as the pending witness (keeps the smallest seen).
+    fn broadcast(&self, key: &SeqKey) {
+        if !self.enabled {
+            return;
+        }
+        let mut frontier = self.frontier.lock();
+        if frontier.as_ref().map_or(true, |w| key < w) {
+            *frontier = Some(key.clone());
+        }
+        drop(frontier);
+        // Bump *after* the frontier is in place: a reader that observes the
+        // new epoch is guaranteed to read (at least) this frontier.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Should the task `local` is executing abandon its subtree?  One atomic
+    /// load on the fast path; the frontier mutex is touched only on an epoch
+    /// change (i.e. O(witness updates) times per worker, not O(nodes)).
+    fn should_cancel(&self, local: &mut OrderedLocal) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if epoch == 0 {
+            return false;
+        }
+        if local.cancel_epoch != epoch {
+            local.cancel_epoch = epoch;
+            local.cancel_frontier = self.frontier.lock().clone();
+        }
+        local
+            .cancel_frontier
+            .as_ref()
+            .is_some_and(|w| local.current > *w)
+    }
+}
+
+/// The Ordered coordination's work source: a global priority-ordered pool,
+/// the in-order commit log, and the speculation-cancellation signal.
 pub(crate) struct OrderedSource<N> {
     pool: OrderedPool<Task<N>>,
     commit: Mutex<CommitLog>,
+    cancel: CancelSignal,
 }
 
 impl<N> OrderedSource<N> {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(cancel_speculation: bool) -> Self {
         OrderedSource {
             pool: OrderedPool::new(),
             commit: Mutex::new(CommitLog {
@@ -114,28 +209,54 @@ impl<N> OrderedSource<N> {
                 committed: false,
                 records: Vec::new(),
             }),
+            cancel: CancelSignal::new(cancel_speculation),
         }
     }
 
     /// Pop the smallest-key task and atomically mark it in flight (the
     /// commit lock spans the pool pop, so the commit check can never observe
     /// a task that is neither queued nor in flight).
-    fn issue(&self, local: &mut OrderedLocal) -> Option<Task<N>> {
+    ///
+    /// With cancellation enabled and a witness pending, tasks with keys
+    /// after the witness are skipped instead of issued: children of
+    /// committed-side tasks can legitimately land in the pool *after* the
+    /// witness purge (a parent's key sorts before the witness but a child's
+    /// may sort after), and issuing them would only create work the commit
+    /// discards.  Each skip is retired on the spot — counted in
+    /// `cancelled_tasks` and drained from the termination counter — which
+    /// requires the `term` handle; the trait-level [`WorkSource::pop`] has
+    /// no such handle and passes `None`, falling back to plain issue (safe:
+    /// the per-step poll cancels the task right after it starts).
+    fn issue(&self, local: &mut OrderedLocal, term: Option<&Termination>) -> Option<Task<N>> {
         let mut commit = self.commit.lock();
-        let (key, task) = self.pool.pop()?;
-        if commit.in_flight.iter().next().is_some_and(|min| *min < key) {
-            local.inversions += 1;
+        loop {
+            let (key, task) = self.pool.pop()?;
+            if let (Some(term), true, Some(w)) =
+                (term, self.cancel.enabled, commit.witness.as_ref())
+            {
+                if !commit.committed && key > *w {
+                    // The task never runs: drain it as discarded, exactly
+                    // like the purge and commit-clear disposal paths.
+                    local.cancelled += 1;
+                    term.tasks_discarded(1);
+                    continue;
+                }
+            }
+            if commit.in_flight.iter().next().is_some_and(|min| *min < key) {
+                local.inversions += 1;
+            }
+            commit.in_flight.insert(key.clone());
+            local.current = key;
+            local.next_child = 0;
+            return Some(task);
         }
-        commit.in_flight.insert(key.clone());
-        local.current = key;
-        local.next_child = 0;
-        Some(task)
     }
 
     /// Retire a finished task: log its metrics, fold a genuine witness into
-    /// the pending minimum, and commit the stop once nothing sequentially
-    /// earlier remains.  Aborted tasks (post-commit `ShortCircuited` flows)
-    /// always carry keys after the witness, so folding them is a no-op.
+    /// the pending minimum (purging and broadcasting against the new
+    /// frontier), and commit the stop once nothing sequentially earlier
+    /// remains.  Aborted tasks (post-commit `ShortCircuited` flows) always
+    /// carry keys after the witness, so folding them is a no-op.
     fn retire(
         &self,
         key: SeqKey,
@@ -143,11 +264,21 @@ impl<N> OrderedSource<N> {
         metrics: WorkerMetrics,
         flow: Flow,
         term: &Termination,
+        local: &mut OrderedLocal,
     ) {
         let mut commit = self.commit.lock();
         commit.in_flight.remove(&key);
         if flow == Flow::ShortCircuited && commit.witness.as_ref().map_or(true, |w| key < *w) {
             commit.witness = Some(key.clone());
+            if self.cancel.enabled && !commit.committed {
+                // Reclaim speculation beyond the new frontier: purge the
+                // queue now, and broadcast the key so in-flight tasks with
+                // later keys exit at their next traversal step.
+                self.cancel.broadcast(&key);
+                let purged = self.pool.purge_after(&key) as u64;
+                local.cancelled += purged;
+                term.tasks_discarded(purged);
+            }
         }
         commit.records.push(TaskRecord {
             key,
@@ -167,7 +298,7 @@ impl<N> OrderedSource<N> {
         if ready {
             commit.committed = true;
             term.short_circuit();
-            self.pool.clear();
+            term.tasks_discarded(self.pool.clear() as u64);
         }
     }
 
@@ -199,6 +330,9 @@ impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
             next_child: 0,
             inversions: 0,
             ordered_spawns: 0,
+            cancelled: 0,
+            cancel_epoch: 0,
+            cancel_frontier: None,
         }
     }
 
@@ -207,7 +341,7 @@ impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
     }
 
     fn pop(&self, local: &mut OrderedLocal) -> Option<Task<P::Node>> {
-        self.issue(local)
+        self.issue(local, None)
     }
 
     /// There is no separate steal path: the pool is global and every pop
@@ -230,6 +364,12 @@ impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
         }
     }
 
+    /// The engine's per-step cancellation poll: cancel the executing task as
+    /// soon as a broadcast witness key sorts before it.
+    fn cancelled(&self, local: &mut OrderedLocal) -> bool {
+        self.cancel.should_cancel(local)
+    }
+
     // `discard` keeps its default: only the engine's worker loop calls it on
     // a short-circuit, and this source is driven by the ordered loop, whose
     // commit path clears the pool itself (see `retire`).
@@ -246,17 +386,45 @@ where
     P: SearchProblem,
     D: Driver<P>,
 {
+    let term = Termination::new(1);
+    run_with_term(problem, driver, config, spawn_depth, &term)
+}
+
+/// [`run`] against a caller-supplied termination handle, so tests can verify
+/// the outstanding-task accounting after the run (every spawned task must be
+/// drained — completed, purged, skipped or cleared — even when the commit
+/// short-circuits the search).
+pub(crate) fn run_with_term<P, D>(
+    problem: &P,
+    driver: &D,
+    config: &SearchConfig,
+    spawn_depth: usize,
+    term: &Termination,
+) -> (Vec<WorkerMetrics>, Duration)
+where
+    P: SearchProblem,
+    D: Driver<P>,
+{
     let start = Instant::now();
     let workers = config.workers.max(1);
-    let term = Termination::new(1);
-    let source = OrderedSource::new();
+    let source = OrderedSource::new(config.cancel_speculation);
     let policy = OrderedPolicy { spawn_depth };
     WorkSource::<P>::seed(&source, Task::new(problem.root(), 0));
 
     let mut all_metrics = engine::spawn_and_join(workers, |worker| {
-        worker_loop(problem, driver, &source, &policy, &term, worker)
+        worker_loop(problem, driver, &source, &policy, term, worker)
     });
     source.finalize(&mut all_metrics);
+    // Stragglers: a post-commit in-flight task may still have released
+    // children after the commit cleared the pool.  Those tasks never run, so
+    // drain them here — after this, `outstanding() == 0` holds on every
+    // non-panicking run, short-circuited or not.
+    term.tasks_discarded(source.pool.clear() as u64);
+    debug_assert_eq!(
+        term.outstanding(),
+        0,
+        "an ordered run must account for every spawned task"
+    );
     (all_metrics, start.elapsed())
 }
 
@@ -278,15 +446,15 @@ where
     let _guard = UnwindGuard(term);
     let mut local = WorkSource::<P>::register(source, worker);
     let mut partial = driver.new_partial();
-    let mut idle_spins: u32 = 0;
+    let mut backoff = IdleBackoff::new();
 
     loop {
         if term.finished() {
             break;
         }
-        match source.issue(&mut local) {
+        match source.issue(&mut local, Some(term)) {
             Some(task) => {
-                idle_spins = 0;
+                backoff.reset();
                 let key = local.current.clone();
                 let mut task_metrics = WorkerMetrics::default();
                 let flow = engine::run_task(
@@ -300,21 +468,20 @@ where
                     policy,
                     task,
                 );
-                source.retire(key, worker, task_metrics, flow, term);
+                if flow == Flow::Cancelled {
+                    local.cancelled += 1;
+                }
+                source.retire(key, worker, task_metrics, flow, term, &mut local);
                 term.task_completed();
             }
             None => {
                 if term.all_done() {
                     break;
                 }
-                // Same idle backoff as the engine's loop: spin briefly, then
-                // sleep so speculating workers do not starve the busy ones.
-                idle_spins = idle_spins.saturating_add(1);
-                if idle_spins < 16 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
+                // Same idle backoff as the engine's loop: spin, then yield,
+                // then bounded sleeps so speculating workers neither starve
+                // the busy ones nor burn a core while the frontier drains.
+                backoff.wait();
             }
         }
     }
@@ -323,6 +490,7 @@ where
     WorkerMetrics {
         priority_inversions: local.inversions,
         ordered_spawns: local.ordered_spawns,
+        cancelled_tasks: local.cancelled,
         ..WorkerMetrics::default()
     }
 }
@@ -541,11 +709,15 @@ mod tests {
         }
         // Whether spare workers win any speculative task before the commit
         // is OS-scheduling nondeterminism; retry a few runs before declaring
-        // that speculation accounting never fires.
+        // that speculation accounting never fires.  Cancellation is switched
+        // off here on purpose: with it on, post-witness tasks are reclaimed
+        // before they can accumulate the nodes this test wants to observe
+        // (that reclamation has its own test below).
         let mut saw_speculation = false;
         for _attempt in 0..5 {
             let out = Skeleton::new(Coordination::ordered(2))
                 .workers(8)
+                .cancel_speculation(false)
                 .decide(&LeftWitness);
             assert_eq!(out.metrics.nodes(), reference);
             if out.metrics.totals.speculative_nodes > 0 {
@@ -557,6 +729,109 @@ mod tests {
             saw_speculation,
             "8-worker runs of a left-witness tree must have speculated"
         );
+    }
+
+    /// Regression (satellite of the cancellation PR): the commit path clears
+    /// the workpool, and every cleared/purged task must still drain the
+    /// outstanding-task counter — otherwise `all_done()` stays false forever
+    /// and only the stop flag masks the leak.
+    #[test]
+    fn short_circuited_run_drains_the_outstanding_counter() {
+        use crate::skeleton::driver::DecideDriver;
+        for cancel in [true, false] {
+            for workers in [1usize, 4, 8] {
+                let driver = DecideDriver::<LeftWitness>::new(100);
+                let term = Termination::new(1);
+                let config = SearchConfig {
+                    coordination: Coordination::ordered(2),
+                    workers,
+                    cancel_speculation: cancel,
+                    ..SearchConfig::default()
+                };
+                let (_metrics, _elapsed) = run_with_term(&LeftWitness, &driver, &config, 2, &term);
+                assert_eq!(
+                    term.outstanding(),
+                    0,
+                    "cancel={cancel} workers={workers}: purged tasks leaked"
+                );
+                assert!(
+                    term.all_done(),
+                    "cancel={cancel} workers={workers}: all_done must not be masked by the stop flag"
+                );
+                assert!(term.short_circuited());
+            }
+        }
+    }
+
+    /// Cancellation is purely an efficiency knob: committed node counts are
+    /// identical with it on and off, at every worker count, and with it on a
+    /// contended run reclaims speculative tasks (`cancelled_tasks > 0`).
+    #[test]
+    fn cancellation_preserves_committed_counts_and_reclaims_speculation() {
+        let seq = Skeleton::new(Coordination::Sequential).decide(&LeftWitness);
+        let reference = seq.metrics.nodes();
+        for cancel in [true, false] {
+            for workers in [1usize, 2, 4, 8] {
+                let out = Skeleton::new(Coordination::ordered(2))
+                    .workers(workers)
+                    .cancel_speculation(cancel)
+                    .decide(&LeftWitness);
+                assert!(out.found(), "cancel={cancel} workers={workers}");
+                assert_eq!(
+                    out.metrics.nodes(),
+                    reference,
+                    "cancel={cancel} workers={workers}: committed count diverged"
+                );
+                if !cancel {
+                    assert_eq!(
+                        out.metrics.totals.cancelled_tasks, 0,
+                        "the off knob must record no cancellations"
+                    );
+                }
+                if workers == 1 {
+                    // A single worker runs strictly in preorder, so nothing
+                    // speculative ever *executes* — purged queued tasks may
+                    // still be counted as cancelled, but they carry no work.
+                    assert_eq!(
+                        out.metrics.totals.speculative_nodes, 0,
+                        "one worker must not record speculative work"
+                    );
+                }
+            }
+        }
+        // Whether spare workers start speculative tasks before the witness
+        // is OS-scheduling nondeterminism; retry a few runs before declaring
+        // that cancellation never fires.
+        let mut saw_cancellation = false;
+        for _attempt in 0..5 {
+            let out = Skeleton::new(Coordination::ordered(2))
+                .workers(8)
+                .decide(&LeftWitness);
+            assert_eq!(out.metrics.nodes(), reference);
+            if out.metrics.totals.cancelled_tasks > 0 {
+                saw_cancellation = true;
+                break;
+            }
+        }
+        assert!(
+            saw_cancellation,
+            "8-worker left-witness runs must reclaim some speculation"
+        );
+    }
+
+    /// Enumeration never records a witness, so the cancel signal must stay
+    /// inert: no cancellations, no speculative nodes, exact counts.
+    #[test]
+    fn cancellation_is_inert_without_a_witness() {
+        let p = Irregular { depth: 8 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let out = Skeleton::new(Coordination::ordered(3))
+            .workers(4)
+            .cancel_speculation(true)
+            .enumerate(&p);
+        assert_eq!(out.value.0, expected);
+        assert_eq!(out.metrics.totals.cancelled_tasks, 0);
+        assert_eq!(out.metrics.totals.speculative_nodes, 0);
     }
 
     #[test]

@@ -54,6 +54,28 @@ impl Termination {
         }
     }
 
+    /// Register the disposal of `n` tasks that were spawned but will never
+    /// run — a workpool purge or a post-short-circuit clear.  Every spawned
+    /// task must be accounted exactly once, either by [`task_completed`]
+    /// (after running) or here (when discarded), otherwise the outstanding
+    /// counter never drains and [`all_done`] stays false forever.
+    ///
+    /// [`task_completed`]: Termination::task_completed
+    /// [`all_done`]: Termination::all_done
+    pub fn tasks_discarded(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.outstanding.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(
+            prev >= n,
+            "tasks_discarded({n}) with only {prev} outstanding tasks"
+        );
+        if prev == n {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+
     /// Number of outstanding (spawned but not yet completed) tasks.
     pub fn outstanding(&self) -> u64 {
         self.outstanding.load(Ordering::Acquire)
@@ -120,6 +142,22 @@ mod tests {
         let t = Termination::new(1);
         t.task_spawned(0);
         assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    fn discarding_tasks_drains_like_completing_them() {
+        let t = Termination::new(1);
+        t.task_spawned(4);
+        assert_eq!(t.outstanding(), 5);
+        t.tasks_discarded(0);
+        assert_eq!(t.outstanding(), 5, "discarding zero tasks is a no-op");
+        t.tasks_discarded(3);
+        assert_eq!(t.outstanding(), 2);
+        assert!(!t.all_done());
+        assert!(!t.task_completed());
+        t.tasks_discarded(1);
+        assert!(t.all_done(), "the last discard must set done");
+        assert_eq!(t.outstanding(), 0);
     }
 
     #[test]

@@ -183,6 +183,26 @@ impl<T> OrderedPool<T> {
         inner.heap.clear();
         dropped
     }
+
+    /// Discard every queued entry whose key sorts strictly after `bound`,
+    /// returning exactly how many were dropped.  This is the Ordered
+    /// coordination's speculation-cancellation primitive: once a decision
+    /// witness with sequence key `bound` is pending, every queued task with a
+    /// later key can only ever produce work the commit will throw away.  The
+    /// count is exact for the same reason as [`clear`](Self::clear): it is
+    /// taken under the pool lock, so each entry is accounted either by its
+    /// pop or by exactly one purge.
+    pub fn purge_after(&self, bound: &SeqKey) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.heap.len();
+        let retained: BinaryHeap<Reverse<Entry<T>>> = inner
+            .heap
+            .drain()
+            .filter(|Reverse(entry)| entry.key <= *bound)
+            .collect();
+        inner.heap = retained;
+        before - inner.heap.len()
+    }
 }
 
 impl<T> std::fmt::Debug for OrderedPool<T> {
@@ -255,6 +275,61 @@ mod tests {
         assert_eq!(pool.clear(), 0);
         assert!(pool.pop().is_none());
         assert_eq!(pool.min_key(), None);
+    }
+
+    #[test]
+    fn purge_after_drops_only_later_keys_and_counts_exactly() {
+        let pool = OrderedPool::new();
+        pool.push(key(&[0]), "left");
+        pool.push(key(&[1]), "witness");
+        pool.push(key(&[1, 0]), "inside-witness-subtree");
+        pool.push(key(&[2]), "after");
+        pool.push(key(&[2, 3]), "after-deep");
+        assert_eq!(pool.purge_after(&key(&[1])), 3, "⟨1.0⟩, ⟨2⟩ and ⟨2.3⟩ go");
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.pop().unwrap().1, "left");
+        assert_eq!(pool.pop().unwrap().1, "witness");
+        assert!(pool.pop().is_none());
+        assert_eq!(
+            pool.purge_after(&key(&[1])),
+            0,
+            "purging empty drops nothing"
+        );
+    }
+
+    #[test]
+    fn purge_after_keeps_the_bound_key_itself() {
+        let pool = OrderedPool::new();
+        pool.push(key(&[4]), ());
+        assert_eq!(pool.purge_after(&key(&[4])), 0, "bound key is not 'after'");
+        assert_eq!(pool.purge_after(&key(&[3, 9])), 1, "⟨4⟩ > ⟨3.9⟩ is purged");
+        assert!(pool.is_empty());
+    }
+
+    proptest! {
+        /// purge_after + drain partitions the pushes exactly: dropped entries
+        /// are precisely those with key > bound, survivors still pop sorted.
+        #[test]
+        fn purge_after_partitions_by_key(paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 0..5), 1..64),
+            bound in proptest::collection::vec(0u32..4, 0..4)) {
+            let pool = OrderedPool::new();
+            for (i, p) in paths.iter().enumerate() {
+                pool.push(key(p), i);
+            }
+            let bound = key(&bound);
+            let expected_dropped = paths.iter().filter(|p| key(p) > bound).count();
+            prop_assert_eq!(pool.purge_after(&bound), expected_dropped);
+            let survivors: Vec<SeqKey> =
+                std::iter::from_fn(|| pool.pop().map(|(k, _)| k)).collect();
+            prop_assert_eq!(survivors.len(), paths.len() - expected_dropped);
+            for k in &survivors {
+                prop_assert!(*k <= bound);
+            }
+            for w in survivors.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
     }
 
     #[test]

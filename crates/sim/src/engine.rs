@@ -15,7 +15,7 @@ use yewpar::genstack::GenStack;
 use yewpar::monoid::Monoid;
 use yewpar::objective::PruneLevel;
 use yewpar::params::Coordination;
-use yewpar::workpool::{DepthPool, Task};
+use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task};
 use yewpar::{Decide, Enumerate, Optimise, SearchProblem};
 
 /// Virtual-time costs of the simulated operations, in abstract "ticks".
@@ -68,6 +68,12 @@ pub struct SimConfig {
     pub costs: CostModel,
     /// Seed for randomised victim selection.
     pub seed: u64,
+    /// Ordered coordination only: reclaim speculation sequentially after a
+    /// pending decision witness (purge queued tasks, cancel in-flight ones)
+    /// instead of letting it run until the in-order commit fires.  Mirrors
+    /// the threaded engine's `SearchConfig::cancel_speculation`; on by
+    /// default, ignored by every other coordination.
+    pub cancel_speculation: bool,
 }
 
 impl SimConfig {
@@ -80,6 +86,7 @@ impl SimConfig {
             coordination,
             costs: CostModel::default(),
             seed: 0xF1_6004,
+            cancel_speculation: true,
         }
     }
 
@@ -106,6 +113,19 @@ pub struct SimOutcome<R> {
     pub spawns: u64,
     /// Successful steals (remote or local).
     pub steals: u64,
+    /// Tasks spawned with a sequence key (Ordered coordination only).
+    pub ordered_spawns: u64,
+    /// Ordered pops that ran ahead of the sequential frontier (a smaller
+    /// sequence key was still in flight when the pop happened).
+    pub priority_inversions: u64,
+    /// Nodes expanded by Ordered tasks sequentially after the committed
+    /// decision witness — discarded at commit time and excluded from
+    /// `nodes`, which therefore stays replicable across worker counts.
+    pub speculative_nodes: u64,
+    /// Ordered speculative tasks reclaimed by the cancellation signal
+    /// (queued purges plus in-flight early exits).  Zero when
+    /// `cancel_speculation` is off or no witness is recorded.
+    pub cancelled_tasks: u64,
     /// Number of workers simulated.
     pub workers: usize,
 }
@@ -140,6 +160,14 @@ enum Action {
 /// Single-threaded search-type driver with locality-aware knowledge.
 trait SimDriver<P: SearchProblem> {
     fn process(&mut self, problem: &P, node: &P::Node, locality: usize, now: u64) -> Action;
+
+    /// Ordered coordination only: the sequence key of the task about to call
+    /// [`process`](Self::process).  Decision drivers use it to keep the
+    /// *sequentially first* witness rather than the temporally first one —
+    /// the commit discards later-keyed witnesses, so the reported node must
+    /// match.  Default: ignore (every other coordination stops at the first
+    /// witness found, which is then the only one).
+    fn set_active_task(&mut self, _key: Option<&SeqKey>) {}
 }
 
 /// Enumeration: accumulate the monoid; knowledge is purely local.
@@ -228,13 +256,37 @@ struct DecideSimDriver<P: Decide> {
     inner: OptimSimDriver<P>,
     target: P::Score,
     witness: Option<P::Node>,
+    /// Sequence key of the task currently calling `process` (Ordered only).
+    active_key: Option<SeqKey>,
+    /// Sequence key of the task that produced `witness` (Ordered only).
+    witness_key: Option<SeqKey>,
 }
 
 impl<P: Decide> SimDriver<P> for DecideSimDriver<P> {
+    fn set_active_task(&mut self, key: Option<&SeqKey>) {
+        // Called once per simulated traversal step; the key only changes at
+        // task boundaries, so skip the Vec clone while it is unchanged.
+        if self.active_key.as_ref() != key {
+            self.active_key = key.cloned();
+        }
+    }
+
     fn process(&mut self, problem: &P, node: &P::Node, locality: usize, now: u64) -> Action {
         let score = problem.objective(node);
         if score >= self.target {
-            self.witness = Some(node.clone());
+            // Under Ordered speculation several tasks may each hit a
+            // witness; only the sequentially first one survives the commit,
+            // so keep the candidate with the smallest task key.  Outside
+            // Ordered (no active key) the first witness stops the run and is
+            // trivially the one to keep.
+            let keep = match (&self.active_key, &self.witness_key) {
+                (Some(key), Some(existing)) => key < existing,
+                _ => true,
+            };
+            if keep {
+                self.witness = Some(node.clone());
+                self.witness_key = self.active_key.clone();
+            }
             return Action::ShortCircuit;
         }
         self.inner.strengthen(score, node, locality, now);
@@ -272,6 +324,10 @@ struct SimStats {
     steals: u64,
     makespan: u64,
     total_work: u64,
+    ordered_spawns: u64,
+    priority_inversions: u64,
+    speculative_nodes: u64,
+    cancelled_tasks: u64,
 }
 
 /// Simulate an enumeration search.
@@ -299,6 +355,8 @@ pub fn simulate_decide<P: Decide>(problem: &P, config: &SimConfig) -> SimOutcome
         inner: OptimSimDriver::<P>::new(config.costs.bound_broadcast_latency),
         target: problem.target(),
         witness: None,
+        active_key: None,
+        witness_key: None,
     };
     let stats = simulate(problem, config, &mut driver);
     outcome(stats, config, driver.witness)
@@ -313,6 +371,10 @@ fn outcome<R>(stats: SimStats, config: &SimConfig, result: R) -> SimOutcome<R> {
         prunes: stats.prunes,
         spawns: stats.spawns,
         steals: stats.steals,
+        ordered_spawns: stats.ordered_spawns,
+        priority_inversions: stats.priority_inversions,
+        speculative_nodes: stats.speculative_nodes,
+        cancelled_tasks: stats.cancelled_tasks,
         workers: config.workers(),
     }
 }
@@ -323,6 +385,13 @@ where
     P: SearchProblem,
     D: SimDriver<P>,
 {
+    // The Ordered coordination gets its own loop: a sequence-keyed global
+    // pool with in-order commit semantics cannot be approximated by the
+    // per-locality depth pools without losing the replicability guarantee.
+    if let Coordination::Ordered { spawn_depth } = config.coordination {
+        return simulate_ordered(problem, config, driver, spawn_depth);
+    }
+
     let costs = &config.costs;
     let n_workers = config.workers();
     let n_localities = config.localities;
@@ -444,10 +513,10 @@ where
 
         let my_locality = workers[w].locality;
         match coordination {
+            Coordination::Ordered { .. } => unreachable!("ordered runs in simulate_ordered"),
             Coordination::Sequential
             | Coordination::DepthBounded { .. }
-            | Coordination::Budget { .. }
-            | Coordination::Ordered { .. } => {
+            | Coordination::Budget { .. } => {
                 // Local pool first, then a random remote pool.
                 if let Some(task) = pools[my_locality].pop() {
                     next_time += costs.pop_cost;
@@ -512,6 +581,335 @@ where
     stats
 }
 
+/// One retired (or aborted) task of the simulated Ordered coordination: its
+/// sequence key plus its private counters, classified committed/speculative
+/// only once the final witness is known — exactly like the threaded commit
+/// log's task records.
+struct OrderedTaskRecord {
+    key: SeqKey,
+    nodes: u64,
+    prunes: u64,
+}
+
+/// Per-worker state of the simulated Ordered coordination.
+struct OrderedSimWorker<'p, P: SearchProblem> {
+    /// Resumable depth-first traversal of the current task.
+    stack: GenStack<'p, P>,
+    /// Sequence key of the current task (`None` when idle).
+    key: Option<SeqKey>,
+    /// Nodes processed by the current task.
+    nodes: u64,
+    /// Prunes performed by the current task.
+    prunes: u64,
+    /// Total node-processing work charged to this worker.
+    work: u64,
+}
+
+/// The shared commit state of the simulated Ordered coordination: the global
+/// sequence-keyed pool plus the in-flight set, witness, task records and
+/// outstanding counter every disposal path touches.  Mirrors the threaded
+/// engine's `CommitLog`, collapsed into one owner so retiring, cancelling
+/// and skipping all share the same bookkeeping.
+struct OrderedCommitState<N> {
+    pool: OrderedPool<Task<N>>,
+    in_flight: std::collections::BTreeSet<SeqKey>,
+    records: Vec<OrderedTaskRecord>,
+    witness: Option<SeqKey>,
+    committed: bool,
+    outstanding: u64,
+    /// The [`SimConfig::cancel_speculation`] knob.
+    cancel: bool,
+}
+
+impl<N> OrderedCommitState<N> {
+    fn new(cancel: bool, root: Task<N>) -> Self {
+        let pool = OrderedPool::new();
+        pool.push(SeqKey::root(), root);
+        OrderedCommitState {
+            pool,
+            in_flight: std::collections::BTreeSet::new(),
+            records: Vec::new(),
+            witness: None,
+            committed: false,
+            outstanding: 1,
+            cancel,
+        }
+    }
+
+    /// True when `key` is known speculation: cancellation is on and a
+    /// pending witness with an earlier key exists.
+    fn beyond_witness(&self, key: &SeqKey) -> bool {
+        self.cancel && self.witness.as_ref().is_some_and(|w| key > w)
+    }
+
+    /// Mark a freshly popped task in flight, counting a priority inversion
+    /// when a smaller key is still executing.
+    fn issue(&mut self, key: SeqKey, stats: &mut SimStats) {
+        if self.in_flight.iter().next().is_some_and(|min| *min < key) {
+            stats.priority_inversions += 1;
+        }
+        self.in_flight.insert(key);
+    }
+
+    /// Retire one finished task: fold a witness into the pending minimum
+    /// (purging later-keyed queued tasks when cancellation is on), record
+    /// the task's counters, and commit the stop once nothing sequentially
+    /// earlier remains queued or in flight.
+    fn retire(
+        &mut self,
+        key: SeqKey,
+        nodes: u64,
+        prunes: u64,
+        witnessed: bool,
+        stats: &mut SimStats,
+        now: u64,
+    ) {
+        self.in_flight.remove(&key);
+        self.outstanding -= 1;
+        if witnessed && self.witness.as_ref().map_or(true, |w| key < *w) {
+            self.witness = Some(key.clone());
+            if self.cancel {
+                let purged = self.pool.purge_after(&key) as u64;
+                self.outstanding -= purged;
+                stats.cancelled_tasks += purged;
+            }
+        }
+        self.records.push(OrderedTaskRecord { key, nodes, prunes });
+        if let Some(w) = self.witness.as_ref() {
+            // Speculative tasks (keys after the witness) never block the
+            // commit; only earlier-keyed work still queued or in flight does.
+            if !self.committed
+                && self.in_flight.iter().next().map_or(true, |min| min >= w)
+                && self.pool.min_key().map_or(true, |min| min >= *w)
+            {
+                self.committed = true;
+                stats.makespan = now;
+            }
+        }
+        if self.outstanding == 0 && stats.makespan == 0 {
+            stats.makespan = now;
+        }
+    }
+
+    /// Reclaim an in-flight speculative task that observed the pending
+    /// witness mid-traversal: its partial counters are recorded (classified
+    /// speculative later, since its key is after the witness).  No commit
+    /// check: removing a post-witness key can never unblock a commit that
+    /// waits only on earlier keys.
+    fn cancel_in_flight(&mut self, key: SeqKey, nodes: u64, prunes: u64, stats: &mut SimStats) {
+        self.in_flight.remove(&key);
+        self.outstanding -= 1;
+        stats.cancelled_tasks += 1;
+        self.records.push(OrderedTaskRecord { key, nodes, prunes });
+    }
+
+    /// Reclaim a queued post-witness straggler at pop time (a child released
+    /// by a committed-side parent after the purge): it never ran, so there
+    /// is nothing to record.
+    fn discard_queued(&mut self, stats: &mut SimStats) {
+        self.outstanding -= 1;
+        stats.cancelled_tasks += 1;
+    }
+}
+
+/// The simulated Ordered coordination: a *global* sequence-keyed pool (the
+/// whole point of the coordination is that every pop observes the one true
+/// sequential frontier, so per-locality pools would break replicability),
+/// speculation with in-order commit, and — when
+/// [`SimConfig::cancel_speculation`] is on — the same purge/broadcast
+/// cancellation as the threaded engine.  Committed node counts are a pure
+/// function of the instance and spawn depth: identical across worker counts
+/// and equal to the threaded Ordered skeleton's committed counts.
+fn simulate_ordered<P, D>(
+    problem: &P,
+    config: &SimConfig,
+    driver: &mut D,
+    spawn_depth: usize,
+) -> SimStats
+where
+    P: SearchProblem,
+    D: SimDriver<P>,
+{
+    let costs = &config.costs;
+    let n_workers = config.workers();
+
+    let mut state: OrderedCommitState<P::Node> =
+        OrderedCommitState::new(config.cancel_speculation, Task::new(problem.root(), 0));
+    let mut stats = SimStats::default();
+
+    let mut workers: Vec<OrderedSimWorker<'_, P>> = (0..n_workers)
+        .map(|_| OrderedSimWorker {
+            stack: GenStack::new(),
+            key: None,
+            nodes: 0,
+            prunes: 0,
+            work: 0,
+        })
+        .collect();
+
+    // Event heap as in `simulate`: (time, worker), ties broken by worker
+    // index — the simulation stays fully deterministic (no RNG anywhere).
+    let mut events: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n_workers).map(|w| Reverse((0, w))).collect();
+
+    while let Some(Reverse((now, w))) = events.pop() {
+        if state.committed || state.outstanding == 0 {
+            break;
+        }
+        let mut next_time = now;
+        let locality = w / config.workers_per_locality;
+
+        // ---- Busy worker: one traversal step of its current task ----------
+        if !workers[w].stack.is_empty() {
+            let key = workers[w]
+                .key
+                .clone()
+                .expect("busy ordered worker has a key");
+
+            // Cooperative cancellation, polled once per step like the
+            // threaded engine: a pending witness with an earlier key makes
+            // this task's remaining subtree worthless.
+            if state.beyond_witness(&key) {
+                let wk = &mut workers[w];
+                wk.stack = GenStack::new();
+                wk.key = None;
+                state.cancel_in_flight(key, wk.nodes, wk.prunes, &mut stats);
+                events.push(Reverse((next_time + 1, w)));
+                continue;
+            }
+
+            driver.set_active_task(Some(&key));
+            let mut finished = false;
+            let mut found_witness = false;
+            match workers[w].stack.next_child() {
+                Some((child, depth)) => {
+                    next_time += costs.node_cost;
+                    workers[w].work += costs.node_cost;
+                    workers[w].nodes += 1;
+                    match driver.process(problem, &child, locality, next_time) {
+                        Action::Expand => workers[w].stack.push(problem, &child, depth),
+                        Action::Prune => workers[w].prunes += 1,
+                        Action::PruneSiblings => {
+                            workers[w].prunes += 1;
+                            workers[w].stack.pop();
+                            finished = workers[w].stack.is_empty();
+                        }
+                        Action::ShortCircuit => {
+                            // The task stops at its first witness; whether
+                            // the *search* stops is the commit's decision.
+                            workers[w].stack = GenStack::new();
+                            finished = true;
+                            found_witness = true;
+                        }
+                    }
+                }
+                None => {
+                    workers[w].stack.pop();
+                    next_time += 1; // backtracking is cheap but not free
+                    finished = workers[w].stack.is_empty();
+                }
+            }
+            if finished {
+                let wk = &mut workers[w];
+                let (nodes, prunes) = (wk.nodes, wk.prunes);
+                wk.key = None;
+                state.retire(key, nodes, prunes, found_witness, &mut stats, next_time);
+            }
+            events.push(Reverse((next_time, w)));
+            continue;
+        }
+
+        // ---- Idle worker: issue the globally smallest-key task ------------
+        loop {
+            let Some((key, task)) = state.pool.pop() else {
+                next_time += costs.idle_poll;
+                break;
+            };
+            // Post-witness stragglers (children released by committed-side
+            // parents after the purge) are reclaimed at pop time — each
+            // skip still pays the pop it performed, like the threaded pool.
+            if state.beyond_witness(&key) {
+                state.discard_queued(&mut stats);
+                next_time += costs.pop_cost;
+                continue;
+            }
+            state.issue(key.clone(), &mut stats);
+            next_time += costs.pop_cost + costs.node_cost;
+            let wk = &mut workers[w];
+            wk.key = Some(key.clone());
+            wk.nodes = 1;
+            wk.prunes = 0;
+            wk.work += costs.node_cost;
+            driver.set_active_task(Some(&key));
+            match driver.process(problem, &task.node, locality, next_time) {
+                Action::Prune | Action::PruneSiblings => {
+                    wk.prunes = 1;
+                    wk.key = None;
+                    state.retire(key, 1, 1, false, &mut stats, next_time);
+                }
+                Action::ShortCircuit => {
+                    wk.key = None;
+                    state.retire(key, 1, 0, true, &mut stats, next_time);
+                }
+                Action::Expand => {
+                    if task.depth < spawn_depth {
+                        // Eager sequence-keyed spawning: every child becomes
+                        // a task keyed in heuristic order.
+                        let children: Vec<Task<P::Node>> = problem
+                            .generator(&task.node)
+                            .map(|c| Task::new(c, task.depth + 1))
+                            .collect();
+                        state.outstanding += children.len() as u64;
+                        stats.spawns += children.len() as u64;
+                        stats.ordered_spawns += children.len() as u64;
+                        next_time += costs.spawn_cost * children.len() as u64;
+                        for (i, child) in children.into_iter().enumerate() {
+                            state.pool.push(key.child(i as u32), child);
+                        }
+                        wk.key = None;
+                        state.retire(key, 1, 0, false, &mut stats, next_time);
+                    } else {
+                        wk.stack.push(problem, &task.node, task.depth);
+                    }
+                }
+            }
+            break;
+        }
+        events.push(Reverse((next_time, w)));
+    }
+
+    // Post-commit aborts: in-flight tasks at the stop all carry keys after
+    // the witness (the commit waited for everything earlier); their partial
+    // work is speculative by classification below.
+    for wk in &mut workers {
+        if let Some(key) = wk.key.take() {
+            state.records.push(OrderedTaskRecord {
+                key,
+                nodes: wk.nodes,
+                prunes: wk.prunes,
+            });
+        }
+    }
+
+    // Classify every task record against the final witness: committed work
+    // counts, speculative work is surfaced separately — `nodes` is therefore
+    // a pure function of the instance, replicable across worker counts.
+    for rec in &state.records {
+        if state.witness.as_ref().map_or(true, |w| rec.key <= *w) {
+            stats.nodes += rec.nodes;
+            stats.prunes += rec.prunes;
+        } else {
+            stats.speculative_nodes += rec.nodes;
+        }
+    }
+
+    if stats.makespan == 0 {
+        stats.makespan = stats.nodes * costs.node_cost / n_workers.max(1) as u64;
+    }
+    stats.total_work = workers.iter().map(|w| w.work).sum();
+    stats
+}
+
 fn pop_backlog<P: SearchProblem>(worker: &mut SimWorker<'_, P>) -> Option<Task<P::Node>> {
     if worker.backlog.is_empty() {
         None
@@ -561,13 +959,11 @@ where
         Action::Expand => {}
     }
 
-    // Eager placement-time spawning: Depth-Bounded's cutoff, and Ordered's
-    // spawn depth (the simulated locality pools are FIFO-within-depth, which
-    // approximates sequence order; the threaded engine's OrderedPool carries
-    // the exact replicability guarantee).
+    // Eager placement-time spawning: the Depth-Bounded cutoff.  (Ordered —
+    // which also spawns eagerly, but into the sequence-keyed pool — has its
+    // own loop in `simulate_ordered`.)
     let eager_cutoff = match coordination {
         Coordination::DepthBounded { dcutoff } => Some(dcutoff),
-        Coordination::Ordered { spawn_depth } => Some(spawn_depth),
         _ => None,
     };
     if let Some(dcutoff) = eager_cutoff {
@@ -753,6 +1149,64 @@ mod tests {
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.nodes, b.nodes);
         assert_eq!(a.steals, b.steals);
+    }
+
+    #[test]
+    fn simulated_ordered_decision_counts_are_replicable_across_worker_counts() {
+        let p = Fib { depth: 12 };
+        let seq = simulate_decide(&p, &sim(Coordination::Sequential, 1, 1));
+        assert!(seq.result.is_some());
+        for cancel in [true, false] {
+            let mut reference = None;
+            for (localities, wpl) in [(1, 1), (1, 2), (2, 2), (2, 4)] {
+                let mut cfg = sim(Coordination::ordered(3), localities, wpl);
+                cfg.cancel_speculation = cancel;
+                let out = simulate_decide(&p, &cfg);
+                assert_eq!(out.result.is_some(), seq.result.is_some());
+                let committed = *reference.get_or_insert(out.nodes);
+                assert_eq!(
+                    out.nodes,
+                    committed,
+                    "cancel={cancel} workers={}: committed count diverged",
+                    localities * wpl
+                );
+            }
+            // A single ordered worker replays the sequential search exactly
+            // (Fib's decision objective prunes at node level only).
+            assert_eq!(reference, Some(seq.nodes), "cancel={cancel}");
+        }
+    }
+
+    #[test]
+    fn simulated_ordered_populates_the_ordered_counters() {
+        let p = Fib { depth: 10 };
+        let out = simulate_enumerate(&p, &sim(Coordination::ordered(2), 2, 3));
+        assert!(out.ordered_spawns > 0, "spawn depth 2 must key tasks");
+        assert_eq!(
+            out.ordered_spawns, out.spawns,
+            "every ordered spawn carries a sequence key"
+        );
+        assert_eq!(
+            out.speculative_nodes, 0,
+            "enumeration has no witness, hence no speculation"
+        );
+        assert_eq!(out.cancelled_tasks, 0);
+
+        // A parallel decision run with speculation: cancellation reclaims
+        // tasks while the committed count stays put (checked above).
+        let p = Fib { depth: 12 };
+        let on = simulate_decide(&p, &sim(Coordination::ordered(3), 2, 4));
+        let mut off_cfg = sim(Coordination::ordered(3), 2, 4);
+        off_cfg.cancel_speculation = false;
+        let off = simulate_decide(&p, &off_cfg);
+        assert_eq!(off.cancelled_tasks, 0, "the off knob records nothing");
+        assert_eq!(on.nodes, off.nodes, "the knob must not move committed work");
+        assert!(
+            on.speculative_nodes <= off.speculative_nodes,
+            "cancellation must not create extra speculative work (on={} off={})",
+            on.speculative_nodes,
+            off.speculative_nodes
+        );
     }
 
     #[test]

@@ -128,6 +128,54 @@ fn single_worker_parallel_skeletons_degenerate_gracefully() {
     }
 }
 
+/// A search tree whose *first* subtree is large (it pins the Ordered
+/// sequential frontier) while a node early in the *second* subtree panics:
+/// the panic happens inside a task that is pure speculation.  The panicking
+/// worker's unwind guard must stop the whole search so the join re-raises,
+/// rather than leaving the panicked task's `in_flight` key unretired and the
+/// commit log wedged (the run would otherwise spin forever waiting for a
+/// retire that can never come).
+struct SpeculativeBomb;
+
+impl yewpar::SearchProblem for SpeculativeBomb {
+    type Node = Vec<u32>;
+    type Gen<'a> = std::vec::IntoIter<Vec<u32>>;
+    fn root(&self) -> Vec<u32> {
+        Vec::new()
+    }
+    fn generator(&self, node: &Vec<u32>) -> Self::Gen<'_> {
+        if node.first() == Some(&1) && node.len() >= 2 {
+            panic!("poisoned speculative subtree");
+        }
+        if node.len() >= 8 {
+            return vec![].into_iter();
+        }
+        (0..3u32)
+            .map(|i| {
+                let mut child = node.clone();
+                child.push(i);
+                child
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl yewpar::Enumerate for SpeculativeBomb {
+    type Value = yewpar::monoid::Sum<u64>;
+    fn value(&self, _n: &Vec<u32>) -> yewpar::monoid::Sum<u64> {
+        yewpar::monoid::Sum(1)
+    }
+}
+
+#[test]
+#[should_panic(expected = "a search worker panicked")]
+fn panic_inside_a_speculative_ordered_task_errors_out_instead_of_wedging() {
+    let _ = Skeleton::new(Coordination::ordered(1))
+        .workers(4)
+        .enumerate(&SpeculativeBomb);
+}
+
 #[test]
 fn oversubscribed_worker_counts_are_safe() {
     // Far more workers than hardware threads (and than available tasks).

@@ -96,6 +96,52 @@ fn simulation_is_fully_deterministic() {
     }
 }
 
+/// The sim's Ordered arm populates the same coordination counters as the
+/// threaded engine instead of silently leaving them at zero: sequence-keyed
+/// spawns, replicable committed node counts, and speculation that is
+/// surfaced (and reclaimed) rather than folded into `nodes`.  `steals` is
+/// the one counter asserted *excluded*: the Ordered pool is global, so the
+/// pop path has no steal to record — in either engine.
+#[test]
+fn simulated_ordered_counters_match_threaded_semantics() {
+    // Enumeration: every spawn is sequence-keyed, nothing is speculative.
+    let p = Semigroups::new(10);
+    let threaded = Skeleton::new(Coordination::ordered(2))
+        .workers(4)
+        .enumerate(&p);
+    let sim = simulate_enumerate(&p, &SimConfig::new(Coordination::ordered(2), 2, 2));
+    assert_eq!(sim.nodes, threaded.metrics.nodes());
+    assert_eq!(
+        sim.ordered_spawns, sim.spawns,
+        "every simulated ordered spawn must carry a sequence key"
+    );
+    assert_eq!(
+        threaded.metrics.totals.ordered_spawns, sim.ordered_spawns,
+        "eager keyed spawning is deterministic, so both engines agree"
+    );
+    assert_eq!(sim.speculative_nodes, 0);
+    assert_eq!(sim.cancelled_tasks, 0);
+    assert_eq!(sim.steals, 0, "a global pool has no steal path");
+
+    // Decision: committed counts agree between engines at every simulated
+    // worker count (the replicability guarantee, now held by the sim too).
+    let g = graph::planted_clique(40, 0.4, 10, 55);
+    let p = KClique::new(g, 10);
+    let threaded = Skeleton::new(Coordination::ordered(2))
+        .workers(1)
+        .decide(&p);
+    assert!(threaded.found());
+    for localities in [1usize, 2, 4] {
+        let out = simulate_decide(&p, &SimConfig::new(Coordination::ordered(2), localities, 4));
+        assert!(out.result.is_some(), "{localities} localities");
+        assert_eq!(
+            out.nodes,
+            threaded.metrics.nodes(),
+            "{localities} localities: committed counts diverged"
+        );
+    }
+}
+
 #[test]
 fn adding_workers_never_changes_the_answer_and_speeds_up_enumeration() {
     // Enumeration has a fixed amount of work, so any parallel configuration
