@@ -170,9 +170,9 @@ mod tests {
     fn textbook_optimum() {
         let p = Knapsack::new(textbook());
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(*out.score(), 220);
-        assert!(p.verify(out.node()));
-        let mut items = p.selected_items(out.node());
+        assert_eq!(*out.try_score().unwrap(), 220);
+        assert!(p.verify(out.try_node().unwrap()));
+        let mut items = p.selected_items(out.try_node().unwrap());
         items.sort();
         assert_eq!(items, vec![1, 2]);
     }
@@ -188,8 +188,8 @@ mod tests {
             let expected = inst.optimum_by_dp();
             let p = Knapsack::new(inst);
             let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-            assert_eq!(*out.score(), expected, "class {class:?}");
-            assert!(p.verify(out.node()));
+            assert_eq!(*out.try_score().unwrap(), expected, "class {class:?}");
+            assert!(p.verify(out.try_node().unwrap()));
         }
     }
 
@@ -205,7 +205,7 @@ mod tests {
             Coordination::budget(100),
         ] {
             let out = Skeleton::new(coord).workers(3).maximise(&p);
-            assert_eq!(*out.score(), expected, "{coord}");
+            assert_eq!(*out.try_score().unwrap(), expected, "{coord}");
         }
     }
 
@@ -218,8 +218,8 @@ mod tests {
         };
         let p = Knapsack::new(inst);
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(*out.score(), 0);
-        assert_eq!(out.node().chosen, 0);
+        assert_eq!(*out.try_score().unwrap(), 0);
+        assert_eq!(out.try_node().unwrap().chosen, 0);
     }
 
     #[test]

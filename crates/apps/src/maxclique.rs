@@ -224,10 +224,10 @@ mod tests {
     fn figure1_maximum_clique_is_four() {
         let p = MaxClique::new(figure1_graph());
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(*out.score(), 4);
-        assert!(p.verify(out.node()));
+        assert_eq!(*out.try_score().unwrap(), 4);
+        assert!(p.verify(out.try_node().unwrap()));
         // The unique maximum clique of Fig. 1 is {a, d, f, g}.
-        assert_eq!(out.node().clique.to_vec(), vec![0, 3, 5, 6]);
+        assert_eq!(out.try_node().unwrap().clique.to_vec(), vec![0, 3, 5, 6]);
     }
 
     #[test]
@@ -236,26 +236,33 @@ mod tests {
         let p = MaxClique::new(g);
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
         assert!(
-            *out.score() >= 12,
+            *out.try_score().unwrap() >= 12,
             "planted clique of size 12 must be found, got {}",
-            out.score()
+            out.try_score().unwrap()
         );
-        assert!(p.verify(out.node()));
+        assert!(p.verify(out.try_node().unwrap()));
     }
 
     #[test]
     fn all_skeletons_agree_on_clique_number() {
         let g = graph::gnp(40, 0.6, 13);
         let p = MaxClique::new(g);
-        let expected = *Skeleton::new(Coordination::Sequential).maximise(&p).score();
+        let expected = *Skeleton::new(Coordination::Sequential)
+            .maximise(&p)
+            .try_score()
+            .unwrap();
         for coord in [
             Coordination::depth_bounded(2),
             Coordination::stack_stealing_chunked(),
             Coordination::budget(500),
         ] {
             let out = Skeleton::new(coord).workers(3).maximise(&p);
-            assert_eq!(*out.score(), expected, "{coord} disagrees with sequential");
-            assert!(p.verify(out.node()));
+            assert_eq!(
+                *out.try_score().unwrap(),
+                expected,
+                "{coord} disagrees with sequential"
+            );
+            assert!(p.verify(out.try_node().unwrap()));
         }
     }
 
@@ -274,10 +281,10 @@ mod tests {
     fn empty_and_singleton_graphs() {
         let p = MaxClique::new(Graph::new(1));
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(*out.score(), 1);
+        assert_eq!(*out.try_score().unwrap(), 1);
         let p = MaxClique::new(Graph::new(3)); // edgeless: max clique is a single vertex
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(*out.score(), 1);
+        assert_eq!(*out.try_score().unwrap(), 1);
     }
 
     /// Admissibility of the bound function (the pruning relation's condition

@@ -192,7 +192,7 @@ mod tests {
             let g = graph::gnp(35, 0.5, seed);
             let base = sequential_max_clique(&g);
             let skel = Skeleton::new(Coordination::Sequential).maximise(&MaxClique::new(g.clone()));
-            assert_eq!(base.size, *skel.score(), "seed {seed}");
+            assert_eq!(base.size, *skel.try_score().unwrap(), "seed {seed}");
             assert!(g.is_clique(&base.clique));
         }
     }

@@ -198,8 +198,8 @@ mod tests {
     fn square_optimum_is_the_perimeter() {
         let p = Tsp::new(square());
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(out.score().0, 40);
-        assert!(p.verify(out.node()));
+        assert_eq!(out.try_score().unwrap().0, 40);
+        assert!(p.verify(out.try_node().unwrap()));
     }
 
     #[test]
@@ -209,8 +209,8 @@ mod tests {
             let expected = inst.optimum_by_held_karp();
             let p = Tsp::new(inst);
             let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-            assert_eq!(out.score().0, expected, "seed {seed}");
-            assert!(p.verify(out.node()));
+            assert_eq!(out.try_score().unwrap().0, expected, "seed {seed}");
+            assert!(p.verify(out.try_node().unwrap()));
         }
     }
 
@@ -226,8 +226,8 @@ mod tests {
             Coordination::budget(100),
         ] {
             let out = Skeleton::new(coord).workers(3).maximise(&p);
-            assert_eq!(out.score().0, expected, "{coord}");
-            assert!(p.verify(out.node()));
+            assert_eq!(out.try_score().unwrap().0, expected, "{coord}");
+            assert!(p.verify(out.try_node().unwrap()));
         }
     }
 
@@ -279,6 +279,6 @@ mod tests {
         let inst = TspInstance::from_matrix(vec![vec![0, 5], vec![5, 0]]);
         let p = Tsp::new(inst);
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(out.score().0, 10);
+        assert_eq!(out.try_score().unwrap().0, 10);
     }
 }

@@ -1,14 +1,16 @@
 //! Micro-benchmarks of the low-level components the skeletons are built from:
-//! bitset algebra, the order-preserving depth pool, greedy colouring and raw
-//! lazy-node-generator throughput.  These quantify the constant factors
-//! behind the §5.3 overhead discussion.
+//! bitset algebra, the order-preserving depth pool, greedy colouring, raw
+//! lazy-node-generator throughput, and the runtime's submission path.  These
+//! quantify the constant factors behind the §5.3 overhead discussion and the
+//! persistent-pool win of the anytime runtime.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
 
 use yewpar::bitset::BitSet;
 use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task};
-use yewpar::SearchProblem;
+use yewpar::{Coordination, Runtime, RuntimeConfig, SearchConfig, SearchProblem, Skeleton};
+use yewpar_apps::irregular::Irregular;
 use yewpar_apps::maxclique::{greedy_colour, MaxClique};
 use yewpar_instances::graph;
 
@@ -116,10 +118,53 @@ fn bench_maxclique_components(c: &mut Criterion) {
     group.finish();
 }
 
+/// Spawn-per-search vs persistent-pool submission: the same small irregular
+/// enumeration (≈2.4k nodes, small enough that fixed costs dominate) run
+/// (a) through the blocking `Skeleton` facade, which spawns and joins 4
+/// scoped worker threads per call, and (b) through a long-lived `Runtime`,
+/// whose parked pool threads are reused across submissions.  The gap is the
+/// per-search thread-churn cost the runtime redesign eliminates.
+fn bench_runtime_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/runtime_submission");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let workers = 4;
+    let mut config = SearchConfig::new(Coordination::depth_bounded(2));
+    config.workers = workers;
+
+    group.bench_function("spawn_per_search", |bench| {
+        let skeleton = Skeleton::from_config(config.clone());
+        bench.iter(|| skeleton.enumerate(&Irregular::new(8, 1)).value)
+    });
+
+    group.bench_function("persistent_pool", |bench| {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(workers));
+        bench.iter(|| {
+            runtime
+                .enumerate(Irregular::new(8, 1), &config)
+                .wait()
+                .value
+        })
+    });
+
+    // The single-worker facade needs no threads at all — the floor the two
+    // multi-worker paths are measured against.
+    group.bench_function("single_worker_inline", |bench| {
+        let mut inline = config.clone();
+        inline.workers = 1;
+        let skeleton = Skeleton::from_config(inline);
+        bench.iter(|| skeleton.enumerate(&Irregular::new(8, 1)).value)
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitset,
     bench_workpool,
-    bench_maxclique_components
+    bench_maxclique_components,
+    bench_runtime_submission
 );
 criterion_main!(benches);

@@ -19,7 +19,8 @@ fn bench_fig4(c: &mut Criterion) {
     let g = graph::p_hat_like(100, 0.35, 0.8, 4545);
     let omega = *Skeleton::new(Coordination::Sequential)
         .maximise(&MaxClique::new(g.clone()))
-        .score();
+        .try_score()
+        .unwrap();
     let problem = KClique::new(g, omega + 1);
 
     let mut group = c.benchmark_group("fig4/kclique-scaling");

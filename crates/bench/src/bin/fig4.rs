@@ -33,7 +33,8 @@ fn main() {
     // instance an exhaustive proof (the hard, deterministic case).
     let omega = *Skeleton::new(Coordination::Sequential)
         .maximise(&MaxClique::new(graph.clone()))
-        .score();
+        .try_score()
+        .unwrap();
     let k = omega + 1;
     println!(
         "Figure 4: k-clique scaling on instance {} (|V|={}, ω={omega}, deciding k={k})",

@@ -20,7 +20,7 @@ fn main() {
             "{:>16} {:>8} {:>8} {:>12} {:>10}",
             named.name,
             named.graph.order(),
-            out.score(),
+            out.try_score().unwrap(),
             out.metrics.nodes(),
             fmt_secs(secs)
         );
@@ -32,7 +32,7 @@ fn main() {
         "{:>16} {:>8} {:>8} {:>12} {:>10}   (fig4)",
         named.name,
         named.graph.order(),
-        out.score(),
+        out.try_score().unwrap(),
         out.metrics.nodes(),
         fmt_secs(secs)
     );

@@ -75,13 +75,13 @@ fn main() {
         // gate on the overhead comparison.
         assert_eq!(
             hand_seq.size,
-            *skel_seq.score(),
+            *skel_seq.try_score().unwrap(),
             "{}: sequential mismatch",
             named.name
         );
         assert_eq!(
             hand_par.size,
-            *skel_par.score(),
+            *skel_par.try_score().unwrap(),
             "{}: parallel mismatch",
             named.name
         );

@@ -27,7 +27,15 @@
 //!   Ordered coordination's speculation cancellation for the main sweep
 //!   (the A/B smoke knob; the dedicated A/B section below always runs both);
 //! * `--coordination <name>[,<name>…]` — filter of skeleton names
-//!   (e.g. `--coordination ordered` is the CI smoke invocation).
+//!   (e.g. `--coordination ordered` is the CI smoke invocation);
+//! * `--deadline-ms <n>` — anytime smoke: give every simulated run a
+//!   virtual deadline of `n` milliseconds (1 ms = 100 000 ticks under the
+//!   default cost model, ~1 µs per expanded node).  Runs that hit it
+//!   report `SearchStatus::DeadlineExceeded` and partial work; the table
+//!   then measures *truncated* speedups and the JSON report counts the
+//!   deadline-exceeded runs per row.  This exercises the same
+//!   `deadline_ticks` plumbing end-to-end that the threaded engine's
+//!   `SearchConfig::deadline` uses per wall-clock.
 
 use std::collections::BTreeMap;
 
@@ -51,6 +59,7 @@ struct RunStats {
     makespan: u64,
     speculative_nodes: u64,
     cancelled_tasks: u64,
+    deadline_exceeded: bool,
 }
 
 impl RunStats {
@@ -59,6 +68,7 @@ impl RunStats {
             makespan: out.makespan,
             speculative_nodes: out.speculative_nodes,
             cancelled_tasks: out.cancelled_tasks,
+            deadline_exceeded: !out.status.is_complete(),
         }
     }
 }
@@ -244,6 +254,24 @@ fn coordination_filter(args: &[String]) -> Option<Vec<String>> {
     )
 }
 
+/// Parse `--deadline-ms <n>` into a virtual-tick deadline (1 ms =
+/// 100 000 ticks: the default cost model charges ~100 ticks ≈ 1 µs per
+/// expanded node).
+fn deadline_flag(args: &[String]) -> Option<u64> {
+    let pos = args.iter().position(|a| a == "--deadline-ms")?;
+    let value = args.get(pos + 1).unwrap_or_else(|| {
+        eprintln!("--deadline-ms requires a value (e.g. `--deadline-ms 50`)");
+        std::process::exit(2);
+    });
+    match value.parse::<u64>() {
+        Ok(ms) => Some(ms.saturating_mul(100_000)),
+        Err(_) => {
+            eprintln!("--deadline-ms expects an integer millisecond count, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Parse `YEWPAR_T2_ORDERED_CANCEL` (default: on).
 fn ordered_cancel_knob() -> bool {
     !std::env::var("YEWPAR_T2_ORDERED_CANCEL")
@@ -262,12 +290,21 @@ fn main() {
     let workers_per_locality = 15;
     let workers = localities * workers_per_locality;
     let ordered_cancel = ordered_cancel_knob();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deadline_ticks = deadline_flag(&args);
     println!("Table 2: alternate application parallelisations — mean speedup on {workers} simulated workers");
     println!("({localities} localities x {workers_per_locality} workers; speedup vs the simulated Sequential skeleton)");
     println!(
         "(Ordered speculation cancellation: {})",
         if ordered_cancel { "on" } else { "off" }
     );
+    if let Some(ticks) = deadline_ticks {
+        println!(
+            "(anytime mode: every run carries a virtual deadline of {} ms = {ticks} ticks; \
+             speedups below compare *truncated* runs)",
+            ticks / 100_000
+        );
+    }
     println!();
 
     let app_filter: Option<Vec<String>> = std::env::var("YEWPAR_T2_APPS").ok().map(|v| {
@@ -294,7 +331,6 @@ fn main() {
     .filter(|(name, _)| selected(name))
     .map(|(name, build)| (name, build()))
     .collect();
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let coord_filter = coordination_filter(&args);
     let known = ["Depth-Bounded", "Stack-Stealing", "Budget", "Ordered"];
     if let Some(wanted) = &coord_filter {
@@ -338,10 +374,14 @@ fn main() {
     type SpeedupAgg = (Vec<f64>, Vec<f64>, Vec<f64>);
     let mut all_speedups: BTreeMap<&str, SpeedupAgg> = BTreeMap::new();
     let mut report_rows = Vec::new();
+    let mut total_deadline_exceeded: u64 = 0;
+    let mut total_runs: u64 = 0;
 
     for (app, workloads) in &applications {
-        // Sequential virtual baselines, one per instance.
-        let seq_cfg = SimConfig::new(Coordination::Sequential, 1, 1);
+        // Sequential virtual baselines, one per instance (deadlined too in
+        // anytime mode, so the comparison is truncated-vs-truncated).
+        let mut seq_cfg = SimConfig::new(Coordination::Sequential, 1, 1);
+        seq_cfg.deadline_ticks = deadline_ticks;
         let baselines: Vec<u64> = workloads
             .iter()
             .map(|w| (w.run)(&seq_cfg).makespan)
@@ -356,15 +396,18 @@ fn main() {
             let mut best = Vec::new();
             let mut speculative_nodes: u64 = 0;
             let mut cancelled_tasks: u64 = 0;
+            let mut deadline_exceeded_runs: u64 = 0;
             for (w, &baseline) in workloads.iter().zip(&baselines) {
                 let speedups: Vec<f64> = params
                     .iter()
                     .map(|(_, coord)| {
                         let mut cfg = SimConfig::new(*coord, localities, workers_per_locality);
                         cfg.cancel_speculation = ordered_cancel;
+                        cfg.deadline_ticks = deadline_ticks;
                         let stats = (w.run)(&cfg);
                         speculative_nodes += stats.speculative_nodes;
                         cancelled_tasks += stats.cancelled_tasks;
+                        deadline_exceeded_runs += u64::from(stats.deadline_exceeded);
                         baseline as f64 / stats.makespan.max(1) as f64
                     })
                     .collect();
@@ -404,7 +447,10 @@ fn main() {
                 "best_speedup": b_geo,
                 "speculative_nodes": speculative_nodes,
                 "cancelled_tasks": cancelled_tasks,
+                "deadline_exceeded_runs": deadline_exceeded_runs,
             }));
+            total_deadline_exceeded += deadline_exceeded_runs;
+            total_runs += (workloads.len() * params.len()) as u64;
         }
         println!("{}", table.separator());
     }
@@ -481,10 +527,21 @@ fn main() {
     println!("Stack-Stealing for SIP; poor parameters can even cause slowdowns (<1x),");
     println!("while Stack-Stealing (parameter-free) varies the least between worst and best.");
 
+    if let Some(ticks) = deadline_ticks {
+        println!();
+        println!(
+            "Anytime smoke: {total_deadline_exceeded} of {total_runs} sweep runs hit the \
+             {} ms virtual deadline (status DeadlineExceeded, partial results kept).",
+            ticks / 100_000
+        );
+    }
+
     let report = serde_json::json!({
         "experiment": "table2",
         "workers": workers,
         "ordered_cancellation": ordered_cancel,
+        "deadline_ticks": deadline_ticks.map(serde_json::Value::from).unwrap_or(serde_json::Value::Null),
+        "deadline_exceeded_runs": total_deadline_exceeded,
         "rows": report_rows,
         "ordered_cancellation_ab": ab_rows,
     });

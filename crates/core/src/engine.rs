@@ -4,7 +4,7 @@
 //! Budget) carried its own copy of the worker-spawn loop, termination
 //! polling, panic ("poison") handling and metrics plumbing. This module
 //! owns all of that exactly once. A coordination is now just a pair of
-//! small strategy objects plugged into [`run`]:
+//! small strategy objects plugged into the engine's `run` entry point:
 //!
 //! * a [`WorkSource`] — where a worker's next task comes from and where
 //!   tasks it gives up go (a sharded depth pool, per-worker steal channels,
@@ -22,7 +22,7 @@
 //!
 //! The Ordered coordination plugs its `OrderedSource`/`OrderedPolicy` pair
 //! into the same [`WorkSource`]/[`SpawnPolicy`] traits and reuses
-//! [`run_task`], but drives its own worker loop (`skeleton::ordered`): its
+//! `run_task`, but drives its own worker loop (`skeleton::ordered`): its
 //! decision short-circuits must be *committed in sequence order* rather than
 //! applied the instant a worker finds a witness, which is the one behaviour
 //! this engine's loop cannot express.
@@ -31,8 +31,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::genstack::GenStack;
+use crate::lifecycle::{Lifecycle, LifecycleLocal};
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
+use crate::runtime::WorkerPool;
 use crate::skeleton::driver::{Action, Driver};
 use crate::termination::Termination;
 use crate::workpool::Task;
@@ -44,10 +46,13 @@ pub(crate) enum Flow {
     Completed,
     /// A short-circuit was requested: the whole search must stop.
     ShortCircuited,
-    /// The work source cancelled this task mid-traversal: its remaining
-    /// subtree is known to be useless (Ordered speculation sequentially after
-    /// a pending decision witness) and the worker should move on.  Unlike
-    /// `ShortCircuited` this stops only the *task*, never the search.
+    /// The task was cancelled mid-traversal and the worker should move on —
+    /// either the work source learned the task's remaining subtree is
+    /// useless (Ordered speculation sequentially after a pending decision
+    /// witness, which stops only the *task*), or the whole search was
+    /// stopped externally (cancel token / deadline, where the stop flag is
+    /// already raised and must *not* be reported as a witness-bearing
+    /// short-circuit).
     Cancelled,
 }
 
@@ -111,7 +116,7 @@ pub trait WorkSource<P: SearchProblem>: Sync {
     /// abandon its remaining subtree?  Sources that learn mid-run that a
     /// task's work is useless (the Ordered coordination's speculation
     /// cancellation: the task's sequence key is after a pending decision
-    /// witness) answer `true`, making [`run_task`] return [`Flow::Cancelled`]
+    /// witness) answer `true`, making `run_task` return a cancelled flow
     /// so the worker can be reclaimed immediately instead of burning until
     /// the commit fires.  `local` is mutable so implementations can cache
     /// whatever they need to keep this poll off shared state (the Ordered
@@ -119,6 +124,19 @@ pub trait WorkSource<P: SearchProblem>: Sync {
     /// cancels.
     fn cancelled(&self, _local: &mut Self::Local) -> bool {
         false
+    }
+
+    /// Discard every task still held in a worker's private state, returning
+    /// how many were dropped.  Called once per worker as its loop exits, so
+    /// tasks abandoned in per-worker backlogs (Stack-Stealing) drain the
+    /// outstanding counter exactly like pool-level [`discard`]s — after an
+    /// external cancel or deadline, `Termination::outstanding()` therefore
+    /// reaches zero for *every* coordination.  The default holds no private
+    /// tasks.
+    ///
+    /// [`discard`]: WorkSource::discard
+    fn drain_local(&self, _local: &mut Self::Local) -> usize {
+        0
     }
 }
 
@@ -263,12 +281,20 @@ impl<P: SearchProblem, S: WorkSource<P>> StepEnv<'_, P, S> {
 /// unchanged.  With several workers, panics of worker threads are detected
 /// at join and re-raised here ("poison handling"), so a buggy search
 /// problem cannot silently drop part of the tree.
+///
+/// `term` is caller-supplied so the caller can read the stop cause and the
+/// outstanding-task counter after the run; `lifecycle` carries the external
+/// stop conditions (cancel token, deadline), the progress sink, and an
+/// optional persistent worker pool to run on instead of spawning scoped
+/// threads.
 pub(crate) fn run<P, D, S, Y>(
     problem: &P,
     driver: &D,
     workers: usize,
     source: S,
     policy: Y,
+    term: &Termination,
+    lifecycle: &Lifecycle,
 ) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
@@ -278,19 +304,17 @@ where
 {
     let start = Instant::now();
     let workers = workers.max(1);
-    let term = Termination::new(1);
     source.seed(Task::new(problem.root(), 0));
-    let all_metrics = spawn_and_join(workers, |worker| {
-        worker_loop(problem, driver, &source, &policy, &term, worker)
+    let all_metrics = spawn_and_join(lifecycle.pool.as_deref(), workers, |worker| {
+        worker_loop(problem, driver, &source, &policy, term, lifecycle, worker)
     });
     // Stragglers: a worker can release spawned tasks after another worker's
     // short-circuit already discarded the source, and then exit on the stop
     // flag without a further discard.  Drain them here so queued tasks are
-    // accounted exactly once (the Ordered run loop does the same, where
-    // `outstanding() == 0` is then asserted).  No such assert here: a
-    // short-circuited Stack-Stealing run may legitimately abandon tasks in
-    // per-worker backlogs and reply channels, which no source-level discard
-    // can reach — the stop flag, not `all_done`, ends those runs.
+    // accounted exactly once — together with the per-worker
+    // [`WorkSource::drain_local`] on loop exit, `outstanding() == 0` holds
+    // after every non-panicking run of every coordination, completed,
+    // short-circuited, cancelled or timed out alike.
     term.tasks_discarded(source.discard() as u64);
     (all_metrics, start.elapsed())
 }
@@ -298,16 +322,29 @@ where
 /// Run `worker_fn` on `workers` worker threads and collect their metrics.
 ///
 /// A single worker runs inline on the calling thread — no spawn/join cost,
-/// and panics propagate unchanged.  With several workers, a worker panic is
-/// detected at join and re-raised here as "a search worker panicked"
-/// ("poison handling").  Shared by [`run`] and the Ordered coordination's
-/// commit-aware run loop.
-pub(crate) fn spawn_and_join<F>(workers: usize, worker_fn: F) -> Vec<WorkerMetrics>
+/// and panics propagate unchanged.  With several workers and no `pool`, a
+/// scoped thread is spawned per worker; with a persistent [`WorkerPool`]
+/// (runtime submissions), worker 0 runs inline on the submitting thread and
+/// the rest are dispatched to the pool's parked threads — no per-search
+/// thread spawn at all.  Either way a worker panic is detected at join and
+/// re-raised here as "a search worker panicked" ("poison handling").
+/// Shared by [`run`] and the Ordered coordination's commit-aware run loop.
+pub(crate) fn spawn_and_join<F>(
+    pool: Option<&WorkerPool>,
+    workers: usize,
+    worker_fn: F,
+) -> Vec<WorkerMetrics>
 where
     F: Fn(usize) -> WorkerMetrics + Sync,
 {
     if workers == 1 {
         return vec![worker_fn(0)];
+    }
+    // A zero-thread pool (a workers=1 runtime asked to run a multi-worker
+    // search) has no threads to dispatch to; fall through to scoped
+    // threads rather than dividing by zero in the pool's round-robin.
+    if let Some(pool) = pool.filter(|p| p.size() > 0) {
+        return pool.scoped_run(workers, &worker_fn);
     }
     let poisoned = AtomicBool::new(false);
     let mut all_metrics = vec![WorkerMetrics::default(); workers];
@@ -330,13 +367,15 @@ where
     all_metrics
 }
 
-/// One worker: pop/steal tasks until the search completes or short-circuits.
+/// One worker: pop/steal tasks until the search completes, short-circuits,
+/// is cancelled, or times out.
 fn worker_loop<P, D, S, Y>(
     problem: &P,
     driver: &D,
     source: &S,
     policy: &Y,
     term: &Termination,
+    lifecycle: &Lifecycle,
     worker: usize,
 ) -> WorkerMetrics
 where
@@ -351,8 +390,13 @@ where
     let mut metrics = WorkerMetrics::default();
     let mut partial = driver.new_partial();
     let mut backoff = IdleBackoff::new();
+    let mut lstate = LifecycleLocal::default();
 
     loop {
+        // Poll the external stop conditions between tasks too: an idle
+        // worker in backoff must still observe a deadline even when no task
+        // ever reaches it.
+        lifecycle.poll(term);
         if term.finished() {
             break;
         }
@@ -374,6 +418,8 @@ where
                     &mut partial,
                     &mut metrics,
                     term,
+                    lifecycle,
+                    &mut lstate,
                     source,
                     &mut local,
                     policy,
@@ -392,6 +438,10 @@ where
         }
     }
 
+    // Tasks still in this worker's private state (a Stack-Stealing backlog
+    // after a stop) never run; drain them so the outstanding counter
+    // reaches zero on every exit path.
+    term.tasks_discarded(source.drain_local(&mut local) as u64);
     driver.merge(partial);
     metrics
 }
@@ -399,6 +449,11 @@ where
 /// Execute one task: process its root node, then either spawn its children
 /// (eager policies) or explore its subtree depth-first, giving the source
 /// and policy a chance to split work on every expansion step.
+///
+/// A stop flag raised by a decision short-circuit returns
+/// [`Flow::ShortCircuited`]; one raised externally (cancel token, deadline)
+/// returns [`Flow::Cancelled`] so callers never mistake an abandoned task
+/// for a witness-bearing one.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_task<P, D, S, Y>(
     problem: &P,
@@ -406,6 +461,8 @@ pub(crate) fn run_task<P, D, S, Y>(
     partial: &mut D::Partial,
     metrics: &mut WorkerMetrics,
     term: &Termination,
+    lifecycle: &Lifecycle,
+    lstate: &mut LifecycleLocal,
     source: &S,
     local: &mut S::Local,
     policy: &Y,
@@ -451,8 +508,18 @@ where
     let mut task_backtracks: u64 = 0;
 
     while !stack.is_empty() {
+        // External lifecycle: stride-gated cancel-token/deadline poll and
+        // heartbeat emission.
+        lifecycle.on_step(lstate, term);
         if term.short_circuited() {
-            return Flow::ShortCircuited;
+            // An external stop is not a witness: report the task as
+            // cancelled so (e.g.) the Ordered commit log never mistakes a
+            // timed-out task for a decision short-circuit.
+            return if term.stopped_externally() {
+                Flow::Cancelled
+            } else {
+                Flow::ShortCircuited
+            };
         }
         // Key-scoped cancellation (Ordered speculation): the source knows
         // this task's remaining subtree can only produce discarded work.
@@ -551,6 +618,15 @@ impl<P: SearchProblem> WorkSource<P> for RootSource<P::Node> {
         // registered with the termination counter.
         self.queue.lock().extend(tasks);
     }
+
+    fn discard(&self) -> usize {
+        // A search stopped before its (single) worker ever popped the root
+        // still has to drain the seeded task.
+        let mut queue = self.queue.lock();
+        let n = queue.len();
+        queue.clear();
+        n
+    }
 }
 
 /// A sharded order-preserving pool source: one depth-pool shard per worker.
@@ -619,6 +695,26 @@ mod tests {
     use crate::objective::Enumerate;
     use crate::skeleton::driver::{DecideDriver, EnumDriver};
 
+    /// Drive [`run`] with a fresh termination handle and an inert lifecycle,
+    /// as the pre-anytime engine did.
+    fn run_plain<P, D, S, Y>(
+        problem: &P,
+        driver: &D,
+        workers: usize,
+        source: S,
+        policy: Y,
+    ) -> (Vec<WorkerMetrics>, Duration)
+    where
+        P: SearchProblem,
+        D: Driver<P>,
+        S: WorkSource<P>,
+        Y: SpawnPolicy<P, S>,
+    {
+        let term = Termination::new(1);
+        let lifecycle = Lifecycle::inert();
+        run(problem, driver, workers, source, policy, &term, &lifecycle)
+    }
+
     /// Complete binary tree of a fixed depth; node = (depth, label).
     struct Bin {
         depth: usize,
@@ -663,7 +759,7 @@ mod tests {
     fn engine_with_root_source_is_a_full_traversal() {
         let p = Bin { depth: 10 };
         let driver = EnumDriver::<Bin>::new();
-        let (metrics, _) = run(&p, &driver, 1, RootSource::new(), NoSpawn);
+        let (metrics, _) = run_plain(&p, &driver, 1, RootSource::new(), NoSpawn);
         assert_eq!(driver.into_value(), Sum(2u64.pow(11) - 1));
         assert_eq!(metrics.len(), 1);
         assert_eq!(metrics[0].nodes, 2u64.pow(11) - 1);
@@ -680,12 +776,16 @@ mod tests {
         term.short_circuit();
         let source = RootSource::new();
         WorkSource::<Bin>::register(&source, 0);
+        let lifecycle = Lifecycle::inert();
+        let mut lstate = LifecycleLocal::default();
         let flow = run_task(
             &p,
             &driver,
             &mut partial,
             &mut metrics,
             &term,
+            &lifecycle,
+            &mut lstate,
             &source,
             &mut (),
             &NoSpawn,
@@ -707,7 +807,7 @@ mod tests {
         }
         let p = Bin { depth: 14 };
         let driver = DecideDriver::<Bin>::new(6);
-        let (metrics, _) = run(&p, &driver, 2, PoolSource::new(2), AlwaysSpawn);
+        let (metrics, _) = run_plain(&p, &driver, 2, PoolSource::new(2), AlwaysSpawn);
         let witness = driver.into_witness().expect("label 6 exists");
         assert!(witness.1 >= 6);
         let nodes: u64 = metrics.iter().map(|m| m.nodes).sum();
@@ -752,7 +852,7 @@ mod tests {
             }
         }
         let driver = EnumDriver::<PartialBomb>::new();
-        let _ = run(&PartialBomb, &driver, 4, PoolSource::new(4), SpawnRoot);
+        let _ = run_plain(&PartialBomb, &driver, 4, PoolSource::new(4), SpawnRoot);
     }
 
     /// Seven of eight workers never receive a task (a never-spawning policy
@@ -765,7 +865,7 @@ mod tests {
         let p = Bin { depth: 15 }; // ~65k nodes, a few ms of real work
         let driver = EnumDriver::<Bin>::new();
         let start = std::time::Instant::now();
-        let (metrics, _) = run(&p, &driver, 8, PoolSource::new(8), NoSpawn);
+        let (metrics, _) = run_plain(&p, &driver, 8, PoolSource::new(8), NoSpawn);
         let elapsed = start.elapsed();
         assert_eq!(driver.into_value(), Sum(2u64.pow(16) - 1));
         assert_eq!(
@@ -817,6 +917,6 @@ mod tests {
             }
         }
         let driver = EnumDriver::<Bomb>::new();
-        let _ = run(&Bomb, &driver, 1, RootSource::new(), NoSpawn);
+        let _ = run_plain(&Bomb, &driver, 1, RootSource::new(), NoSpawn);
     }
 }

@@ -60,19 +60,23 @@ pub mod engine;
 pub mod error;
 pub mod genstack;
 pub mod knowledge;
+pub mod lifecycle;
 pub mod metrics;
 pub mod monoid;
 pub mod node;
 pub mod objective;
 pub mod params;
+pub mod runtime;
 pub mod skeleton;
 pub mod termination;
 pub mod workpool;
 
 pub use error::{Error, Result};
+pub use lifecycle::{CancelToken, ProgressEvent, ProgressStream, SearchStatus};
 pub use metrics::Metrics;
 pub use monoid::Monoid;
 pub use node::SearchProblem;
 pub use objective::{Decide, Enumerate, Optimise, PruneLevel};
 pub use params::{Coordination, SearchConfig};
+pub use runtime::{Runtime, RuntimeConfig, SearchHandle};
 pub use skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};

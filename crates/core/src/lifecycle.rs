@@ -1,0 +1,552 @@
+//! Anytime-search lifecycle primitives: cancellation tokens, deadlines,
+//! statuses and progress streaming.
+//!
+//! The paper's skeletons are one-shot batch calls, but real exact-search
+//! deployments are *anytime*: branch-and-bound solvers routinely run under a
+//! wall-clock limit and must surface the best incumbent found so far, and a
+//! long-running service must be able to abort a search a user no longer
+//! wants.  This module holds the pieces that make every coordination
+//! interruptible:
+//!
+//! * [`CancelToken`] — a cloneable flag any thread can pull to stop a search
+//!   from outside (the generalisation of PR 3's Ordered speculation
+//!   cancellation to whole searches);
+//! * [`SearchConfig::deadline`] — a wall-clock budget checked in the
+//!   engine's per-step poll for **all five** coordinations;
+//! * [`SearchStatus`] — how a search ended, reported on every outcome: a
+//!   cancelled or timed-out optimisation still returns its partial
+//!   incumbent, so callers always get the best answer the budget allowed;
+//! * [`ProgressEvent`] — a bounded, lossy stream of incumbent updates and
+//!   node-count heartbeats fed from the running drivers, exposed through
+//!   [`SearchHandle::progress`].
+//!
+//! The engine-facing half (the crate-internal `Lifecycle` struct) bundles
+//! the token, deadline and
+//! progress sender and is polled once per traversal step (stride-gated so
+//! the hot path stays a handful of arithmetic instructions).  A triggered
+//! cancel or deadline raises the shared [`Termination`] stop flag with an
+//! external [`StopCause`]; workers then unwind exactly like a decision
+//! short-circuit — outstanding counters drain, pools purge, metrics are
+//! still summed — but the outcome reports the honest status.
+//!
+//! [`SearchConfig::deadline`]: crate::params::SearchConfig::deadline
+//! [`SearchHandle::progress`]: crate::runtime::SearchHandle::progress
+//! [`Termination`]: crate::termination::Termination
+//! [`StopCause`]: crate::termination::StopCause
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, Sender, TrySendError};
+
+use crate::termination::{StopCause, Termination};
+
+/// How a search ended.  Attached to every outcome
+/// ([`EnumOutcome::status`], [`OptimOutcome::status`],
+/// [`DecideOutcome::status`]).
+///
+/// [`EnumOutcome::status`]: crate::skeleton::EnumOutcome::status
+/// [`OptimOutcome::status`]: crate::skeleton::OptimOutcome::status
+/// [`DecideOutcome::status`]: crate::skeleton::DecideOutcome::status
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchStatus {
+    /// The search ran to its natural end: the tree was exhausted, or a
+    /// decision target was witnessed and short-circuited the search.
+    Complete,
+    /// An external [`CancelToken`] was pulled mid-run.  Optimisation and
+    /// decision outcomes carry the partial incumbent found so far.
+    Cancelled,
+    /// The configured deadline expired mid-run.  Optimisation and decision
+    /// outcomes carry the partial incumbent found so far.
+    DeadlineExceeded,
+}
+
+impl SearchStatus {
+    /// True when the search ran to its natural end (its result is exact,
+    /// not a partial anytime answer).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SearchStatus::Complete)
+    }
+}
+
+impl std::fmt::Display for SearchStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchStatus::Complete => write!(f, "complete"),
+            SearchStatus::Cancelled => write!(f, "cancelled"),
+            SearchStatus::DeadlineExceeded => write!(f, "deadline-exceeded"),
+        }
+    }
+}
+
+/// A cloneable cancellation flag for stopping a search from outside.
+///
+/// Every clone observes the same flag; pulling any clone makes every
+/// coordination's workers exit at their next per-step poll, unwinding the
+/// search cleanly (counters drained, pools purged, partial incumbent
+/// returned with [`SearchStatus::Cancelled`]).  Cancellation is level-
+/// triggered and permanent: a token cannot be re-armed, so a token attached
+/// to a [`Skeleton`](crate::skeleton::Skeleton) must be fresh per search.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-pulled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Pull the token: every search it is attached to stops at its next
+    /// per-step poll.  Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has the token been pulled?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One event on a search's progress stream (see
+/// [`SearchHandle::progress`](crate::runtime::SearchHandle::progress)).
+///
+/// The stream is *bounded and lossy*: events that would overflow the
+/// channel are dropped rather than ever blocking a search worker, so
+/// consumers must treat it as a sampled view, not an exact log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// The shared incumbent of an optimisation/decision search improved.
+    Incumbent {
+        /// The incumbent's version counter after this update (monotone, but
+        /// observed versions may skip when events are dropped).
+        version: u64,
+        /// The new best objective value, rendered with `Debug` (scores are
+        /// generic, so the stream carries a display form rather than a
+        /// type-erased value).
+        score: String,
+        /// Wall-clock time since the search started.
+        elapsed: Duration,
+    },
+    /// Periodic node-count heartbeat (approximate: workers report in
+    /// batches, so the count trails the true total by up to one batch per
+    /// worker).
+    Heartbeat {
+        /// Approximate nodes processed so far across all workers.
+        nodes: u64,
+        /// Wall-clock time since the search started.
+        elapsed: Duration,
+    },
+    /// The search finished; no further events follow.
+    Finished {
+        /// How the search ended.
+        status: SearchStatus,
+    },
+}
+
+/// The consuming half of a search's progress stream.
+///
+/// Wraps a bounded channel: [`try_next`](ProgressStream::try_next) never
+/// blocks, [`next_timeout`](ProgressStream::next_timeout) waits at most the
+/// given duration.  The stream ends (returns `None` forever) after the
+/// [`ProgressEvent::Finished`] event has been consumed.  Heartbeats and
+/// incumbent updates are lossy; the terminal `Finished` marker is not — it
+/// travels through a dedicated slot, so a consumer that lagged the bounded
+/// channel still receives it (after the buffered events drain).
+pub struct ProgressStream {
+    rx: Receiver<ProgressEvent>,
+    terminal: Arc<Mutex<Option<SearchStatus>>>,
+    /// The `Finished` event has been handed to the consumer (from either
+    /// the channel or the terminal slot); never yield it twice.
+    finished_seen: std::cell::Cell<bool>,
+}
+
+impl std::fmt::Debug for ProgressStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressStream(..)")
+    }
+}
+
+impl ProgressStream {
+    fn note(&self, event: Option<ProgressEvent>) -> Option<ProgressEvent> {
+        if self.finished_seen.get() {
+            // The stream is over; drop any duplicate terminal event.
+            return match event {
+                Some(ProgressEvent::Finished { .. }) | None => None,
+                other => other,
+            };
+        }
+        match event {
+            Some(ProgressEvent::Finished { status }) => {
+                self.finished_seen.set(true);
+                Some(ProgressEvent::Finished { status })
+            }
+            Some(other) => Some(other),
+            // Channel empty: fall back to the terminal slot.  The slot is
+            // only written after every worker has stopped emitting, so the
+            // buffered prefix has already been drained at this point.
+            None => {
+                let status = (*self.terminal.lock().expect("terminal slot")).take()?;
+                self.finished_seen.set(true);
+                Some(ProgressEvent::Finished { status })
+            }
+        }
+    }
+
+    /// Pop the next buffered event without blocking.
+    pub fn try_next(&self) -> Option<ProgressEvent> {
+        self.note(self.rx.try_recv().ok())
+    }
+
+    /// Wait up to `timeout` for the next event.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<ProgressEvent> {
+        self.note(self.rx.recv_timeout(timeout).ok())
+    }
+
+    /// Drain every currently buffered event.
+    pub fn drain(&self) -> Vec<ProgressEvent> {
+        let mut events = Vec::new();
+        while let Some(e) = self.try_next() {
+            events.push(e);
+        }
+        events
+    }
+}
+
+/// The producing half of a progress stream.  Cloneable (one per driver plus
+/// one in the engine's lifecycle); all sends are non-blocking and drop the
+/// event when the consumer lags — except the terminal
+/// [`ProgressEvent::Finished`], which is additionally recorded in a slot
+/// the stream falls back to, so the end-of-stream contract survives a full
+/// channel.
+#[derive(Clone)]
+pub(crate) struct ProgressSender {
+    tx: Sender<ProgressEvent>,
+    terminal: Arc<Mutex<Option<SearchStatus>>>,
+}
+
+impl std::fmt::Debug for ProgressSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressSender(..)")
+    }
+}
+
+impl ProgressSender {
+    /// Best-effort send: never blocks, drops the event if the stream is
+    /// full or the consumer is gone.  A [`ProgressEvent::Finished`] is
+    /// also written to the guaranteed terminal slot.
+    pub(crate) fn emit(&self, event: ProgressEvent) {
+        if let ProgressEvent::Finished { status } = &event {
+            *self.terminal.lock().expect("terminal slot") = Some(*status);
+        }
+        match self.tx.try_send(event) {
+            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
+/// Create a bounded progress channel of the given capacity.
+pub(crate) fn progress_channel(capacity: usize) -> (ProgressSender, ProgressStream) {
+    let (tx, rx) = crossbeam_channel::bounded(capacity.max(1));
+    let terminal = Arc::new(Mutex::new(None));
+    (
+        ProgressSender {
+            tx,
+            terminal: Arc::clone(&terminal),
+        },
+        ProgressStream {
+            rx,
+            terminal,
+            finished_seen: std::cell::Cell::new(false),
+        },
+    )
+}
+
+/// The engine-facing lifecycle of one search execution: the external stop
+/// conditions to poll and the progress stream to feed.  Built once per
+/// search by [`Skeleton`](crate::skeleton::Skeleton) and shared by
+/// reference with every worker.
+#[derive(Debug, Default)]
+pub(crate) struct Lifecycle {
+    /// External cancellation flag, if one was attached.
+    pub(crate) cancel: Option<CancelToken>,
+    /// Absolute wall-clock deadline, computed from
+    /// [`SearchConfig::deadline`](crate::params::SearchConfig::deadline)
+    /// when the search starts executing.
+    pub(crate) deadline: Option<Instant>,
+    /// Progress sink, if a consumer subscribed.
+    pub(crate) progress: Option<ProgressSender>,
+    /// Persistent worker pool to run on instead of spawning scoped threads
+    /// (set by [`Runtime`](crate::runtime::Runtime) submissions).
+    pub(crate) pool: Option<Arc<crate::runtime::WorkerPool>>,
+    /// Wall-clock start of the execution (heartbeat/incumbent timestamps).
+    pub(crate) start: Option<Instant>,
+    /// Approximate global node counter feeding heartbeat events.
+    pub(crate) nodes_seen: AtomicU64,
+}
+
+/// Per-worker lifecycle state: a step counter gating the stride checks so
+/// the per-node cost of the anytime machinery is a couple of increments.
+#[derive(Debug, Default)]
+pub(crate) struct LifecycleLocal {
+    steps: u64,
+}
+
+impl Lifecycle {
+    /// Traversal steps between external-stop polls.  Small enough that a
+    /// 10 ms deadline is observed promptly on any realistic tree, large
+    /// enough that `Instant::now` stays off the per-node hot path.
+    const POLL_STRIDE: u64 = 64;
+    /// Traversal steps between heartbeat progress events (per worker).
+    const HEARTBEAT_STRIDE: u64 = 8192;
+
+    /// A lifecycle with no external conditions and no subscribers — the
+    /// plain blocking `Skeleton` facade with no deadline configured.
+    pub(crate) fn inert() -> Self {
+        Lifecycle::default()
+    }
+
+    /// Record the execution start and resolve the relative deadline.  Must
+    /// be called once, when the search actually begins running (a queued
+    /// runtime submission's budget starts when it leaves the queue).
+    pub(crate) fn begin(&mut self, deadline: Option<Duration>) {
+        let now = Instant::now();
+        self.start = Some(now);
+        if let Some(budget) = deadline {
+            self.deadline = Some(now + budget);
+        }
+    }
+
+    /// Check the external stop conditions, raising the termination stop
+    /// flag with the matching cause if one has triggered.  Cheap enough to
+    /// call between tasks; the per-step path goes through
+    /// [`on_step`](Lifecycle::on_step) which stride-gates this.
+    pub(crate) fn poll(&self, term: &Termination) {
+        if term.short_circuited() {
+            return;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                term.stop_external(StopCause::Cancelled);
+                return;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                term.stop_external(StopCause::Deadline);
+            }
+        }
+    }
+
+    /// Per-traversal-step hook: stride-gated external-stop poll plus
+    /// heartbeat emission.  `local` is the calling worker's private state.
+    #[inline]
+    pub(crate) fn on_step(&self, local: &mut LifecycleLocal, term: &Termination) {
+        local.steps = local.steps.wrapping_add(1);
+        if local.steps % Self::POLL_STRIDE == 0 {
+            self.poll(term);
+        }
+        if local.steps % Self::HEARTBEAT_STRIDE == 0 {
+            if let Some(progress) = &self.progress {
+                let nodes = self
+                    .nodes_seen
+                    .fetch_add(Self::HEARTBEAT_STRIDE, Ordering::Relaxed)
+                    + Self::HEARTBEAT_STRIDE;
+                progress.emit(ProgressEvent::Heartbeat {
+                    nodes,
+                    elapsed: self.elapsed(),
+                });
+            }
+        }
+    }
+
+    /// Announce the end of the search on the progress stream.
+    pub(crate) fn finish(&self, status: SearchStatus) {
+        if let Some(progress) = &self.progress {
+            progress.emit(ProgressEvent::Finished { status });
+        }
+    }
+
+    /// Wall-clock time since [`begin`](Lifecycle::begin) (zero if the
+    /// lifecycle never began, e.g. in unit tests).
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or_default()
+    }
+
+    /// A clone of the progress sender for a driver to emit incumbent
+    /// events through.
+    pub(crate) fn progress_sender(&self) -> Option<ProgressSender> {
+        self.progress.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn poll_raises_the_matching_stop_cause() {
+        use crate::termination::StopCause;
+        // Cancel token.
+        let token = CancelToken::new();
+        let mut lc = Lifecycle {
+            cancel: Some(token.clone()),
+            ..Lifecycle::inert()
+        };
+        lc.begin(None);
+        let term = Termination::new(1);
+        lc.poll(&term);
+        assert_eq!(term.stop_cause(), None);
+        token.cancel();
+        lc.poll(&term);
+        assert_eq!(term.stop_cause(), Some(StopCause::Cancelled));
+
+        // Expired deadline.
+        let mut lc = Lifecycle::inert();
+        lc.begin(Some(Duration::ZERO));
+        let term = Termination::new(1);
+        lc.poll(&term);
+        assert_eq!(term.stop_cause(), Some(StopCause::Deadline));
+
+        // Future deadline does not fire.
+        let mut lc = Lifecycle::inert();
+        lc.begin(Some(Duration::from_secs(3600)));
+        let term = Termination::new(1);
+        lc.poll(&term);
+        assert_eq!(term.stop_cause(), None);
+    }
+
+    #[test]
+    fn poll_never_overrides_an_existing_stop() {
+        use crate::termination::StopCause;
+        let mut lc = Lifecycle::inert();
+        lc.begin(Some(Duration::ZERO));
+        let term = Termination::new(1);
+        term.short_circuit();
+        lc.poll(&term);
+        assert_eq!(term.stop_cause(), Some(StopCause::ShortCircuit));
+    }
+
+    #[test]
+    fn progress_stream_is_bounded_and_lossy() {
+        let (tx, rx) = progress_channel(2);
+        for nodes in [1u64, 2, 3] {
+            tx.emit(ProgressEvent::Heartbeat {
+                nodes,
+                elapsed: Duration::ZERO,
+            });
+        }
+        // Capacity 2: the third emit was dropped, not blocked on.
+        let drained = rx.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(
+            drained[0],
+            ProgressEvent::Heartbeat {
+                nodes: 1,
+                elapsed: Duration::ZERO
+            }
+        );
+        assert!(rx.try_next().is_none());
+        assert!(rx.next_timeout(Duration::from_millis(1)).is_none());
+    }
+
+    /// The terminal `Finished` marker must survive a full channel: it is
+    /// delivered through the guaranteed slot once the buffered (lossy)
+    /// prefix has drained — and exactly once.
+    #[test]
+    fn finished_event_survives_a_full_channel() {
+        let (tx, rx) = progress_channel(2);
+        for nodes in [1u64, 2, 3] {
+            tx.emit(ProgressEvent::Heartbeat {
+                nodes,
+                elapsed: Duration::ZERO,
+            });
+        }
+        // The channel is full: this emit's channel send is dropped, but the
+        // terminal slot keeps it.
+        tx.emit(ProgressEvent::Finished {
+            status: SearchStatus::DeadlineExceeded,
+        });
+        let drained = rx.drain();
+        assert_eq!(
+            drained.len(),
+            3,
+            "two heartbeats, then the slot-backed Finished"
+        );
+        assert_eq!(
+            drained[2],
+            ProgressEvent::Finished {
+                status: SearchStatus::DeadlineExceeded
+            }
+        );
+        assert!(rx.try_next().is_none(), "Finished is yielded exactly once");
+    }
+
+    /// When the channel had room, the Finished event arrives through it —
+    /// and the slot copy must not duplicate it.
+    #[test]
+    fn finished_event_is_not_duplicated_when_the_channel_had_room() {
+        let (tx, rx) = progress_channel(8);
+        tx.emit(ProgressEvent::Finished {
+            status: SearchStatus::Complete,
+        });
+        assert_eq!(
+            rx.try_next(),
+            Some(ProgressEvent::Finished {
+                status: SearchStatus::Complete
+            })
+        );
+        assert!(rx.try_next().is_none());
+        assert!(rx.next_timeout(Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn heartbeats_fire_on_the_stride() {
+        let (tx, rx) = progress_channel(16);
+        let mut lc = Lifecycle {
+            progress: Some(tx),
+            ..Lifecycle::inert()
+        };
+        lc.begin(None);
+        let term = Termination::new(1);
+        let mut local = LifecycleLocal::default();
+        for _ in 0..(Lifecycle::HEARTBEAT_STRIDE * 2) {
+            lc.on_step(&mut local, &term);
+        }
+        let events = rx.drain();
+        assert_eq!(events.len(), 2, "one heartbeat per stride");
+        match &events[1] {
+            ProgressEvent::Heartbeat { nodes, .. } => {
+                assert_eq!(*nodes, Lifecycle::HEARTBEAT_STRIDE * 2);
+            }
+            other => panic!("expected a heartbeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_status_display_and_completeness() {
+        assert!(SearchStatus::Complete.is_complete());
+        assert!(!SearchStatus::Cancelled.is_complete());
+        assert!(!SearchStatus::DeadlineExceeded.is_complete());
+        assert_eq!(SearchStatus::Cancelled.to_string(), "cancelled");
+        assert_eq!(
+            SearchStatus::DeadlineExceeded.to_string(),
+            "deadline-exceeded"
+        );
+    }
+}

@@ -79,6 +79,13 @@ pub struct Metrics {
     pub elapsed: Duration,
     /// Number of workers used.
     pub workers: usize,
+    /// The termination counter's outstanding-task count observed after the
+    /// run.  Zero on every clean exit — completed, short-circuited,
+    /// cancelled or timed out — because every spawned task is accounted
+    /// exactly once (completed, discarded or drained).  A non-zero value
+    /// would indicate a task-accounting leak; the failure-mode tests assert
+    /// on it.
+    pub outstanding_tasks: u64,
 }
 
 impl Metrics {
@@ -93,6 +100,7 @@ impl Metrics {
             totals,
             per_worker,
             elapsed,
+            outstanding_tasks: 0,
         }
     }
 

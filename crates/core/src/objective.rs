@@ -45,8 +45,14 @@ pub enum PruneLevel {
 /// An optimisation search: maximise an objective over all tree nodes.
 pub trait Optimise: SearchProblem {
     /// The totally ordered objective values.  The order's least element acts
-    /// as the monoid identity; `max` acts as the monoid operation.
-    type Score: Ord + Clone + Send + Sync + 'static;
+    /// as the monoid identity; `max` acts as the monoid operation.  `Debug`
+    /// is required so incumbent improvements can be rendered on the anytime
+    /// progress stream ([`ProgressEvent::Incumbent`]); every practical score
+    /// type (integers, floats behind ordered wrappers, [`MinimiseScore`])
+    /// derives it.
+    ///
+    /// [`ProgressEvent::Incumbent`]: crate::lifecycle::ProgressEvent::Incumbent
+    type Score: Ord + Clone + Send + Sync + std::fmt::Debug + 'static;
 
     /// Objective value of a node (the paper's `getObj`).
     fn objective(&self, node: &Self::Node) -> Self::Score;

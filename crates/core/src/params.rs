@@ -1,5 +1,7 @@
 //! Skeleton configuration: search coordinations and runtime parameters.
 
+use std::time::Duration;
+
 use crate::error::{Error, Result};
 
 /// The search coordination: how (and when) the search tree is split into
@@ -137,6 +139,26 @@ pub struct SearchConfig {
     /// committed node counts; the knob only changes how much speculative work
     /// is wasted before the commit.  Ignored by every other coordination.
     pub cancel_speculation: bool,
+    /// Wall-clock budget for the whole search.  `None` (the default) runs to
+    /// completion; `Some(d)` makes every coordination's workers stop at
+    /// their next per-step poll once `d` has elapsed, unwinding cleanly
+    /// (outstanding counters drained, pools purged) and reporting
+    /// [`SearchStatus::DeadlineExceeded`] on the outcome.  Optimisation and
+    /// decision searches return the partial incumbent found so far — true
+    /// *anytime* semantics.  The budget starts when the search begins
+    /// executing (for a queued [`Runtime`] submission: when it leaves the
+    /// queue, not when it was submitted).
+    ///
+    /// [`SearchStatus::DeadlineExceeded`]: crate::lifecycle::SearchStatus::DeadlineExceeded
+    /// [`Runtime`]: crate::runtime::Runtime
+    pub deadline: Option<Duration>,
+    /// Stack-Stealing coordination only: how long a thief waits for a
+    /// victim's reply before re-polling its own request channel and checking
+    /// for termination.  Purely a latency/CPU trade-off — correctness never
+    /// depends on it — but deadline tests on loaded CI machines want it
+    /// larger than the historical hard-coded 200 µs, which stays the
+    /// default.
+    pub steal_reply_timeout: Duration,
 }
 
 impl Default for SearchConfig {
@@ -146,6 +168,8 @@ impl Default for SearchConfig {
             workers: 1,
             steal_seed: 0xC0FFEE,
             cancel_speculation: true,
+            deadline: None,
+            steal_reply_timeout: Duration::from_micros(200),
         }
     }
 }
@@ -258,6 +282,12 @@ mod tests {
         assert!(
             cfg.cancel_speculation,
             "speculation cancellation is on by default"
+        );
+        assert_eq!(cfg.deadline, None, "no deadline unless asked for");
+        assert_eq!(
+            cfg.steal_reply_timeout,
+            Duration::from_micros(200),
+            "the historical stack-stealing reply timeout stays the default"
         );
     }
 

@@ -1,0 +1,873 @@
+//! A persistent search runtime: long-lived workers, job queueing and
+//! non-blocking anytime-search handles.
+//!
+//! The [`Skeleton`] entry point is a one-shot batch call: it spawns scoped
+//! worker threads, runs the search to completion, joins, and returns.  A
+//! production service running many searches for many users on one machine
+//! wants none of that per-call ceremony: it wants a [`Runtime`] that owns a
+//! **long-lived worker pool** (workers park between jobs instead of being
+//! respawned per search), accepts submissions from any thread, and hands
+//! back a [`SearchHandle`] that can be waited on, polled, cancelled from
+//! another thread, or observed mid-run through a progress stream.
+//!
+//! ```
+//! use std::time::Duration;
+//! use yewpar::{Coordination, Runtime, RuntimeConfig, SearchConfig, SearchStatus};
+//! use yewpar::{Enumerate, SearchProblem, monoid::Sum};
+//!
+//! struct BinTree { depth: usize }
+//! impl SearchProblem for BinTree {
+//!     type Node = usize;
+//!     type Gen<'a> = std::vec::IntoIter<usize>;
+//!     fn root(&self) -> usize { 0 }
+//!     fn generator(&self, node: &usize) -> Self::Gen<'_> {
+//!         if *node < self.depth { vec![node + 1, node + 1].into_iter() } else { vec![].into_iter() }
+//!     }
+//! }
+//! impl Enumerate for BinTree {
+//!     type Value = Sum<u64>;
+//!     fn value(&self, _node: &usize) -> Sum<u64> { Sum(1) }
+//! }
+//!
+//! let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+//! let mut config = SearchConfig::new(Coordination::depth_bounded(2));
+//! config.workers = 2;
+//! let handle = runtime.enumerate(BinTree { depth: 10 }, &config);
+//! let outcome = handle.wait();
+//! assert_eq!(outcome.status, SearchStatus::Complete);
+//! assert_eq!(outcome.value.0, 2u64.pow(11) - 1);
+//! ```
+//!
+//! **Scheduling model.**  Submissions queue FIFO; the runtime executes one
+//! search at a time over the whole pool (the submitting search gets every
+//! pool worker).  Multiplexing several concurrent searches across disjoint
+//! worker subsets is deliberately left as a follow-up: it needs a worker-
+//! count negotiation and fairness policy that deserve their own design,
+//! while FIFO-over-the-pool already gives a service the two properties it
+//! cannot fake — no per-search thread churn and non-blocking handles.
+//!
+//! **Anytime semantics.**  A handle's search obeys the same lifecycle rules
+//! as the blocking facade: [`SearchConfig::deadline`] bounds its wall-clock
+//! budget (counted from when the job *starts executing*, not from
+//! submission), [`SearchHandle::cancel`] stops it from outside, and either
+//! way the outcome reports an honest [`SearchStatus`](crate::lifecycle::SearchStatus) with the partial
+//! incumbent preserved.
+//!
+//! [`Skeleton`]: crate::skeleton::Skeleton
+//! [`SearchConfig::deadline`]: crate::params::SearchConfig::deadline
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use crate::lifecycle::{progress_channel, CancelToken, ProgressStream};
+use crate::metrics::WorkerMetrics;
+use crate::objective::{Decide, Enumerate, Optimise};
+use crate::params::SearchConfig;
+use crate::skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// A search-worker closure with its lifetime erased so it can cross into a
+/// persistent pool thread.  Soundness rests on the latch protocol of
+/// [`WorkerPool::scoped_run`]: the caller does not return (and therefore the
+/// borrowed closure cannot die) until every job has signalled completion,
+/// and a job never touches the pointer after signalling.
+struct ScopedJob {
+    f: *const (dyn Fn(usize) -> WorkerMetrics + Sync),
+    index: usize,
+    state: Arc<ScopedState>,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced while the
+// `scoped_run` caller is blocked on the completion latch, which keeps the
+// referent alive; the closure itself is `Sync`, so shared calls from
+// several pool threads are fine.
+unsafe impl Send for ScopedJob {}
+
+/// Completion latch + result slots shared between one `scoped_run` call and
+/// the pool threads executing its jobs.
+struct ScopedState {
+    /// Jobs not yet completed; guarded by the mutex so the condvar wait is
+    /// race-free.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// One slot per worker index (index 0 is the inline caller's).
+    results: Mutex<Vec<Option<WorkerMetrics>>>,
+    /// Set when any job panicked; the caller re-raises after the join.
+    poisoned: AtomicBool,
+}
+
+/// A pool of persistent, parked worker threads that scoped search workers
+/// run on — the engine-facing half of [`Runtime`].  Public only to the
+/// crate; the public API is `Runtime`.
+pub struct WorkerPool {
+    /// One job channel per thread: the vendored channel shim is single-
+    /// consumer, and per-thread queues also keep dispatch deterministic.
+    senders: Vec<Sender<ScopedJob>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` parked worker threads.
+    pub(crate) fn new(threads: usize) -> Self {
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            // Deep enough that an oversubscribed search (more workers than
+            // pool threads) can queue all its extra jobs without blocking
+            // the dispatching thread.
+            let (tx, rx) = bounded::<ScopedJob>(1024);
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("yewpar-pool-{i}"))
+                    .spawn(move || pool_thread(rx))
+                    .expect("spawn pool worker"),
+            );
+        }
+        WorkerPool {
+            senders,
+            threads: handles,
+        }
+    }
+
+    /// Number of pool threads.
+    pub(crate) fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run `count` scoped search workers: worker 0 inline on the calling
+    /// thread, workers 1.. on the pool's parked threads (round-robin; with
+    /// more workers than threads the surplus run after earlier ones retire,
+    /// which is safe — search termination never requires a minimum worker
+    /// count, late workers simply find the search finished).  Blocks until
+    /// every worker has completed; a panic in any worker is re-raised as
+    /// "a search worker panicked", matching the scoped-thread path.
+    pub(crate) fn scoped_run<F>(&self, count: usize, worker_fn: &F) -> Vec<WorkerMetrics>
+    where
+        F: Fn(usize) -> WorkerMetrics + Sync,
+    {
+        assert!(count >= 1);
+        assert!(
+            !self.senders.is_empty(),
+            "scoped_run on a zero-thread pool (callers fall back to scoped threads)"
+        );
+        let state = Arc::new(ScopedState {
+            remaining: Mutex::new(count - 1),
+            done: Condvar::new(),
+            results: Mutex::new((0..count).map(|_| None).collect()),
+            poisoned: AtomicBool::new(false),
+        });
+        // SAFETY: erase the borrow's lifetime so the pointer can cross into
+        // 'static pool threads.  The latch below guarantees this function
+        // does not return — and `worker_fn` therefore stays alive — until
+        // every job has finished dereferencing it.
+        let erased: *const (dyn Fn(usize) -> WorkerMetrics + Sync) = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize) -> WorkerMetrics + Sync + '_),
+                *const (dyn Fn(usize) -> WorkerMetrics + Sync + 'static),
+            >(worker_fn)
+        };
+        for index in 1..count {
+            let job = ScopedJob {
+                f: erased,
+                index,
+                state: Arc::clone(&state),
+            };
+            let target = (index - 1) % self.senders.len();
+            if self.senders[target].send(job).is_err() {
+                // The pool is shutting down; run the worker inline instead
+                // of losing it (the latch still expects its completion).
+                run_scoped_inline(erased, index, &state);
+            }
+        }
+        // The calling thread is worker 0 — it would otherwise just block.
+        let inline = catch_unwind(AssertUnwindSafe(|| worker_fn(0)));
+        let inline = match inline {
+            Ok(metrics) => Some(metrics),
+            Err(_) => {
+                state.poisoned.store(true, Ordering::Relaxed);
+                None
+            }
+        };
+        // Wait for the helpers before touching the results (and before the
+        // borrowed closure can go out of scope).
+        let mut remaining = state.remaining.lock().expect("latch lock");
+        while *remaining > 0 {
+            remaining = state.done.wait(remaining).expect("latch wait");
+        }
+        drop(remaining);
+        let mut results = state.results.lock().expect("results lock");
+        results[0] = inline;
+        let all: Vec<WorkerMetrics> = results
+            .iter_mut()
+            .map(|slot| slot.take().unwrap_or_default())
+            .collect();
+        drop(results);
+        if state.poisoned.load(Ordering::Relaxed) {
+            panic!("a search worker panicked");
+        }
+        all
+    }
+
+    /// Close the job channels and join every thread.  Called by
+    /// [`Runtime`]'s drop after the dispatcher has drained.
+    fn shutdown(&mut self) {
+        self.senders.clear();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Execute one scoped job, recording its result (or the poison flag) and
+/// signalling the latch even on panic.
+fn run_scoped_inline(
+    f: *const (dyn Fn(usize) -> WorkerMetrics + Sync),
+    index: usize,
+    state: &Arc<ScopedState>,
+) {
+    // SAFETY: see `ScopedJob` — the referent outlives the latch.
+    let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*f)(index) }));
+    let result = match outcome {
+        Ok(metrics) => Some(metrics),
+        Err(_) => {
+            state.poisoned.store(true, Ordering::Relaxed);
+            None
+        }
+    };
+    let mut results = state.results.lock().expect("results lock");
+    results[index] = result;
+    drop(results);
+    let mut remaining = state.remaining.lock().expect("latch lock");
+    *remaining -= 1;
+    if *remaining == 0 {
+        state.done.notify_all();
+    }
+}
+
+/// A pool thread: park on the job channel, run scoped jobs as they arrive,
+/// survive job panics (they are reported through the latch, not by killing
+/// the thread).
+fn pool_thread(rx: Receiver<ScopedJob>) {
+    while let Ok(job) = rx.recv() {
+        run_scoped_inline(job.f, job.index, &job.state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Maximum search workers that can run in parallel.  The pool keeps
+    /// `workers - 1` persistent threads (the dispatching thread itself runs
+    /// worker 0 of each search), so a search configured with up to this
+    /// many workers executes with zero thread spawns.
+    pub workers: usize,
+    /// Capacity of each handle's bounded progress channel; events beyond a
+    /// lagging consumer are dropped, never blocked on.
+    pub progress_capacity: usize,
+    /// Capacity of the FIFO submission queue.  Submitting beyond it blocks
+    /// the submitter until the dispatcher catches up (backpressure, not an
+    /// error).
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            progress_capacity: 1024,
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Set the maximum parallel search workers.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the per-handle progress-channel capacity.
+    pub fn progress_capacity(mut self, capacity: usize) -> Self {
+        self.progress_capacity = capacity.max(1);
+        self
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent search runtime: a long-lived worker pool plus a FIFO job
+/// queue.  See the [module docs](self) for the full model.
+pub struct Runtime {
+    jobs: Option<Sender<Job>>,
+    dispatcher: Option<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+    config: RuntimeConfig,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.config.workers)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Start a runtime: spawn the worker pool and the dispatcher thread.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.workers.saturating_sub(1)));
+        let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let dispatcher = std::thread::Builder::new()
+            .name("yewpar-dispatch".into())
+            .spawn(move || {
+                // FIFO, one search at a time; a panicking search is caught
+                // (its handle re-raises) so the dispatcher survives.
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("spawn runtime dispatcher");
+        Runtime {
+            jobs: Some(tx),
+            dispatcher: Some(dispatcher),
+            pool,
+            config,
+        }
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Submit an enumeration search; returns immediately with a handle.
+    pub fn enumerate<P>(
+        &self,
+        problem: P,
+        config: &SearchConfig,
+    ) -> SearchHandle<EnumOutcome<P::Value>>
+    where
+        P: Enumerate + Send + Sync + 'static,
+        P::Value: Send + 'static,
+    {
+        self.submit(problem, config, |skeleton, problem| {
+            skeleton.enumerate(problem)
+        })
+    }
+
+    /// Submit an optimisation search; returns immediately with a handle.
+    /// On cancel or deadline the outcome carries the partial incumbent.
+    pub fn maximise<P>(
+        &self,
+        problem: P,
+        config: &SearchConfig,
+    ) -> SearchHandle<OptimOutcome<P::Node, P::Score>>
+    where
+        P: Optimise + Send + Sync + 'static,
+        P::Node: 'static,
+    {
+        self.submit(problem, config, |skeleton, problem| {
+            skeleton.maximise(problem)
+        })
+    }
+
+    /// Submit a decision search; returns immediately with a handle.
+    pub fn decide<P>(
+        &self,
+        problem: P,
+        config: &SearchConfig,
+    ) -> SearchHandle<DecideOutcome<P::Node>>
+    where
+        P: Decide + Send + Sync + 'static,
+        P::Node: 'static,
+    {
+        self.submit(problem, config, |skeleton, problem| {
+            skeleton.decide(problem)
+        })
+    }
+
+    fn submit<P, T>(
+        &self,
+        problem: P,
+        config: &SearchConfig,
+        run: impl FnOnce(&Skeleton, &P) -> T + Send + 'static,
+    ) -> SearchHandle<T>
+    where
+        P: Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        let cancel = CancelToken::new();
+        let (progress_tx, progress_rx) = progress_channel(self.config.progress_capacity);
+        let shared: Arc<HandleState<T>> = Arc::new(HandleState::new());
+        let skeleton = Skeleton::from_config(config.clone())
+            .cancel_token(cancel.clone())
+            .attach_progress(progress_tx)
+            .attach_pool(Arc::clone(&self.pool));
+        let job_state = Arc::clone(&shared);
+        let job: Job = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| run(&skeleton, &problem)));
+            job_state.complete(outcome);
+        });
+        let sent = self
+            .jobs
+            .as_ref()
+            .expect("runtime is live until dropped")
+            .send(job);
+        assert!(sent.is_ok(), "dispatcher outlives the runtime handle");
+        SearchHandle {
+            state: shared,
+            progress: progress_rx,
+            cancel,
+        }
+    }
+
+    /// Shut the runtime down: stop accepting submissions, run every queued
+    /// job to completion, then join the dispatcher and the pool.  `Drop`
+    /// does the same; this method only makes the blocking explicit.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Closing the sender lets the dispatcher drain the queue and exit;
+        // handles of queued searches therefore always resolve.
+        self.jobs = None;
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        // The pool joins its threads in its own drop.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Search handles
+// ---------------------------------------------------------------------------
+
+/// Result slot shared between a runtime job and its [`SearchHandle`].
+struct HandleState<T> {
+    slot: Mutex<SlotState<T>>,
+    ready: Condvar,
+    finished: AtomicBool,
+}
+
+enum SlotState<T> {
+    Pending,
+    Done(T),
+    /// The search panicked; the payload re-raises on `wait`/`try_result`.
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// The result was already taken by `try_result`.
+    Taken,
+}
+
+impl<T> HandleState<T> {
+    fn new() -> Self {
+        HandleState {
+            slot: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    fn complete(&self, outcome: Result<T, Box<dyn std::any::Any + Send>>) {
+        let mut slot = self.slot.lock().expect("handle lock");
+        *slot = match outcome {
+            Ok(value) => SlotState::Done(value),
+            Err(payload) => SlotState::Panicked(payload),
+        };
+        self.finished.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+}
+
+/// A non-blocking handle to a search submitted to a [`Runtime`].
+///
+/// The handle is the search's *anytime* interface: poll it with
+/// [`try_result`](SearchHandle::try_result) / [`is_finished`](SearchHandle::is_finished),
+/// block on it with [`wait`](SearchHandle::wait), stop it from any thread
+/// with [`cancel`](SearchHandle::cancel), and observe it mid-run through
+/// [`progress`](SearchHandle::progress).  Dropping the handle detaches the
+/// search (it keeps running to its natural end); cancel first if the work
+/// is no longer wanted.
+pub struct SearchHandle<T> {
+    state: Arc<HandleState<T>>,
+    progress: ProgressStream,
+    cancel: CancelToken,
+}
+
+impl<T> std::fmt::Debug for SearchHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchHandle")
+            .field("finished", &self.is_finished())
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish()
+    }
+}
+
+impl<T> SearchHandle<T> {
+    /// Block until the search finishes and return its outcome.  A panic
+    /// inside the search is re-raised here.
+    pub fn wait(self) -> T {
+        let mut slot = self.state.slot.lock().expect("handle lock");
+        loop {
+            match std::mem::replace(&mut *slot, SlotState::Taken) {
+                SlotState::Done(value) => return value,
+                SlotState::Panicked(payload) => {
+                    drop(slot);
+                    resume_unwind(payload)
+                }
+                SlotState::Taken => unreachable!("wait consumes the handle"),
+                SlotState::Pending => {
+                    *slot = SlotState::Pending;
+                    slot = self.state.ready.wait(slot).expect("handle wait");
+                }
+            }
+        }
+    }
+
+    /// Take the outcome if the search has finished; `None` while it is
+    /// still queued or running (and after the outcome was already taken).
+    /// A panic inside the search is re-raised here.
+    pub fn try_result(&mut self) -> Option<T> {
+        if !self.is_finished() {
+            return None;
+        }
+        let mut slot = self.state.slot.lock().expect("handle lock");
+        match std::mem::replace(&mut *slot, SlotState::Taken) {
+            SlotState::Done(value) => Some(value),
+            SlotState::Panicked(payload) => {
+                drop(slot);
+                resume_unwind(payload)
+            }
+            SlotState::Pending | SlotState::Taken => None,
+        }
+    }
+
+    /// Has the search finished (successfully or by panic)?  Queued and
+    /// running searches answer `false`.
+    pub fn is_finished(&self) -> bool {
+        self.state.finished.load(Ordering::Acquire)
+    }
+
+    /// Cancel the search from any thread: it stops at its next per-step
+    /// poll and resolves with [`SearchStatus::Cancelled`](crate::lifecycle::SearchStatus::Cancelled), carrying the
+    /// partial incumbent found so far.  Idempotent; cancelling a queued
+    /// search makes it resolve (almost) immediately when it reaches the
+    /// front of the queue.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the search's cancel token, e.g. to hand to a watchdog.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The search's progress stream: incumbent improvements, node-count
+    /// heartbeats and a final [`ProgressEvent::Finished`] marker.  Bounded
+    /// and lossy — see [`ProgressEvent`](crate::lifecycle::ProgressEvent).
+    ///
+    /// [`ProgressEvent::Finished`]: crate::lifecycle::ProgressEvent::Finished
+    pub fn progress(&self) -> &ProgressStream {
+        &self.progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::ProgressEvent;
+    use crate::monoid::Sum;
+    use crate::node::SearchProblem;
+    use crate::params::Coordination;
+    use std::time::Duration;
+
+    /// Deterministic irregular tree; node = (depth, seed).
+    struct Irregular {
+        depth: usize,
+    }
+
+    impl SearchProblem for Irregular {
+        type Node = (usize, u64);
+        type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+        fn root(&self) -> (usize, u64) {
+            (0, 1)
+        }
+        fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+            let (depth, seed) = *node;
+            if depth >= self.depth {
+                return vec![].into_iter();
+            }
+            let fanout = (seed % 4) as usize + 1;
+            (0..fanout)
+                .map(|i| {
+                    (
+                        depth + 1,
+                        seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add(i as u64),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl Enumerate for Irregular {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    impl Optimise for Irregular {
+        type Score = u64;
+        fn objective(&self, node: &(usize, u64)) -> u64 {
+            node.1 % 1000
+        }
+    }
+
+    impl Decide for Irregular {
+        fn target(&self) -> u64 {
+            990
+        }
+    }
+
+    fn config(coordination: Coordination, workers: usize) -> SearchConfig {
+        SearchConfig {
+            coordination,
+            workers,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn runtime_matches_the_blocking_facade() {
+        let problem = Irregular { depth: 8 };
+        let expected = crate::node::subtree_size(&problem, &problem.root());
+        let runtime = Runtime::new(RuntimeConfig::default().workers(4));
+        for coordination in [
+            Coordination::Sequential,
+            Coordination::depth_bounded(2),
+            Coordination::stack_stealing(),
+            Coordination::budget(50),
+            Coordination::ordered(2),
+        ] {
+            let handle = runtime.enumerate(Irregular { depth: 8 }, &config(coordination, 4));
+            let out = handle.wait();
+            assert_eq!(out.value.0, expected, "{coordination}");
+            assert!(out.status.is_complete());
+            assert_eq!(out.metrics.outstanding_tasks, 0);
+        }
+    }
+
+    #[test]
+    fn submissions_queue_fifo_and_handles_poll() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let mut handles: Vec<SearchHandle<EnumOutcome<Sum<u64>>>> = (0..4)
+            .map(|_| {
+                runtime.enumerate(
+                    Irregular { depth: 7 },
+                    &config(Coordination::depth_bounded(2), 2),
+                )
+            })
+            .collect();
+        let expected = {
+            let p = Irregular { depth: 7 };
+            crate::node::subtree_size(&p, &p.root())
+        };
+        for handle in &mut handles {
+            // Poll until done, then take the result exactly once.
+            let out = loop {
+                if let Some(out) = handle.try_result() {
+                    break out;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            };
+            assert_eq!(out.value.0, expected);
+            assert!(handle.is_finished());
+            assert_eq!(handle.try_result().map(|_| ()), None, "result taken once");
+        }
+    }
+
+    #[test]
+    fn workers_park_between_jobs_instead_of_respawning() {
+        // Not directly observable from the API, but the pool must at least
+        // survive many back-to-back submissions without accumulating
+        // threads or wedging.
+        let runtime = Runtime::new(RuntimeConfig::default().workers(3));
+        for _ in 0..20 {
+            let out = runtime
+                .enumerate(
+                    Irregular { depth: 6 },
+                    &config(Coordination::depth_bounded(2), 3),
+                )
+                .wait();
+            assert!(out.status.is_complete());
+        }
+        assert_eq!(runtime.pool.size(), 2, "workers-1 persistent threads");
+    }
+
+    #[test]
+    fn handle_reports_finished_event_on_progress_stream() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let mut handle = runtime.maximise(
+            Irregular { depth: 8 },
+            &config(Coordination::depth_bounded(2), 2),
+        );
+        // Consume the stream until the Finished marker (incumbent events
+        // may precede it), then take the result.
+        let mut events = Vec::new();
+        loop {
+            match handle.progress().next_timeout(Duration::from_secs(30)) {
+                Some(event) => {
+                    let finished = matches!(&event, ProgressEvent::Finished { .. });
+                    events.push(event);
+                    if finished {
+                        break;
+                    }
+                }
+                None => panic!("progress stream ended without a Finished event: {events:?}"),
+            }
+        }
+        assert!(
+            matches!(
+                events.last(),
+                Some(ProgressEvent::Finished { status }) if status.is_complete()
+            ),
+            "expected a complete Finished event, got {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ProgressEvent::Incumbent { .. })),
+            "a maximise run must report incumbent improvements, got {events:?}"
+        );
+        // The Finished event is emitted before the job completes the
+        // handle, so give the result a moment.
+        let out = loop {
+            if let Some(out) = handle.try_result() {
+                break out;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        assert!(out.status.is_complete());
+        assert!(out.try_score().is_some());
+    }
+
+    #[test]
+    fn search_panic_surfaces_on_wait_not_in_the_dispatcher() {
+        struct Bomb;
+        impl SearchProblem for Bomb {
+            type Node = u32;
+            type Gen<'a> = std::vec::IntoIter<u32>;
+            fn root(&self) -> u32 {
+                0
+            }
+            fn generator(&self, node: &u32) -> Self::Gen<'_> {
+                if *node > 2 {
+                    panic!("boom");
+                }
+                vec![node + 1].into_iter()
+            }
+        }
+        impl Enumerate for Bomb {
+            type Value = Sum<u64>;
+            fn value(&self, _n: &u32) -> Sum<u64> {
+                Sum(1)
+            }
+        }
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let handle = runtime.enumerate(Bomb, &config(Coordination::Sequential, 1));
+        let panicked = catch_unwind(AssertUnwindSafe(|| handle.wait())).is_err();
+        assert!(panicked, "the search panic must re-raise on wait");
+        // The runtime survives and runs the next search.
+        let out = runtime
+            .enumerate(
+                Irregular { depth: 6 },
+                &config(Coordination::depth_bounded(1), 2),
+            )
+            .wait();
+        assert!(out.status.is_complete());
+    }
+
+    #[test]
+    fn oversubscribed_searches_complete_on_a_small_pool() {
+        // 8 search workers on a runtime with 2 — surplus workers run after
+        // earlier ones retire and find the search finished.
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let problem = Irregular { depth: 9 };
+        let expected = crate::node::subtree_size(&problem, &problem.root());
+        let out = runtime
+            .enumerate(problem, &config(Coordination::depth_bounded(3), 8))
+            .wait();
+        assert_eq!(out.value.0, expected);
+        assert_eq!(out.metrics.workers, 8);
+    }
+
+    /// Regression: an oversubscribed *Stack-Stealing* search on a small
+    /// pool must not deadlock.  With one pool thread, workers 2..4 queue
+    /// behind worker 1; a thief that delivered a steal request to such a
+    /// never-registered victim would wait forever on a reply — the source
+    /// now skips unregistered victims instead.
+    #[test]
+    fn oversubscribed_stack_stealing_does_not_deadlock_on_a_small_pool() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let problem = Irregular { depth: 9 };
+        let expected = crate::node::subtree_size(&problem, &problem.root());
+        let out = runtime
+            .enumerate(problem, &config(Coordination::stack_stealing_chunked(), 4))
+            .wait();
+        assert_eq!(out.value.0, expected);
+        assert_eq!(out.metrics.outstanding_tasks, 0);
+    }
+
+    /// Regression: a workers=1 runtime (zero pool threads — also the
+    /// default on a single-core machine) asked to run a multi-worker
+    /// search must fall back to scoped threads, not divide by zero in the
+    /// pool's round-robin dispatch.
+    #[test]
+    fn single_worker_runtime_runs_multi_worker_searches() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(1));
+        let problem = Irregular { depth: 8 };
+        let expected = crate::node::subtree_size(&problem, &problem.root());
+        for coordination in [
+            Coordination::depth_bounded(2),
+            Coordination::stack_stealing(),
+            Coordination::ordered(2),
+        ] {
+            let out = runtime
+                .enumerate(Irregular { depth: 8 }, &config(coordination, 4))
+                .wait();
+            assert_eq!(out.value.0, expected, "{coordination}");
+            assert!(out.status.is_complete());
+        }
+    }
+}

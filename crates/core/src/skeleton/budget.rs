@@ -13,10 +13,12 @@ use std::time::Duration;
 
 use crate::engine::{self, PoolSource, SpawnPolicy, StepEnv, WorkSource};
 use crate::genstack::GenStack;
+use crate::lifecycle::Lifecycle;
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
 use crate::skeleton::driver::Driver;
+use crate::termination::Termination;
 
 /// Offload the lowest-depth unexplored subtrees after `budget` backtracks.
 pub(crate) struct BudgetPolicy {
@@ -46,6 +48,8 @@ pub(crate) fn run<P, D>(
     driver: &D,
     config: &SearchConfig,
     budget: u64,
+    term: &Termination,
+    lifecycle: &Lifecycle,
 ) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
@@ -58,6 +62,8 @@ where
         workers,
         PoolSource::new(workers),
         BudgetPolicy { budget },
+        term,
+        lifecycle,
     )
 }
 
@@ -67,6 +73,26 @@ mod tests {
     use crate::monoid::Sum;
     use crate::objective::Enumerate;
     use crate::skeleton::driver::EnumDriver;
+
+    fn run_plain<P, D>(
+        problem: &P,
+        driver: &D,
+        config: &SearchConfig,
+        param: u64,
+    ) -> (Vec<WorkerMetrics>, Duration)
+    where
+        P: SearchProblem,
+        D: Driver<P>,
+    {
+        run(
+            problem,
+            driver,
+            config,
+            param,
+            &Termination::new(1),
+            &Lifecycle::inert(),
+        )
+    }
 
     /// Left-heavy irregular tree to force mid-task splitting.
     struct Skewed {
@@ -111,7 +137,7 @@ mod tests {
         };
         for budget in [1, 5, 50, 10_000] {
             let driver = EnumDriver::<Skewed>::new();
-            let (metrics, _) = run(&p, &driver, &cfg, budget);
+            let (metrics, _) = run_plain(&p, &driver, &cfg, budget);
             assert_eq!(driver.into_value(), Sum(expected), "budget={budget}");
             let total: u64 = metrics.iter().map(|m| m.nodes).sum();
             assert_eq!(total, expected);
@@ -127,7 +153,7 @@ mod tests {
         };
         let spawns_for = |budget| {
             let driver = EnumDriver::<Skewed>::new();
-            let (metrics, _) = run(&p, &driver, &cfg, budget);
+            let (metrics, _) = run_plain(&p, &driver, &cfg, budget);
             metrics.iter().map(|m| m.spawns).sum::<u64>()
         };
         let small = spawns_for(2);

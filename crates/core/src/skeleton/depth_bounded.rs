@@ -11,10 +11,12 @@
 use std::time::Duration;
 
 use crate::engine::{self, PoolSource, SpawnPolicy, WorkSource};
+use crate::lifecycle::Lifecycle;
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
 use crate::skeleton::driver::Driver;
+use crate::termination::Termination;
 
 /// Spawn the children of every node shallower than `dcutoff`.
 pub(crate) struct DepthPolicy {
@@ -33,6 +35,8 @@ pub(crate) fn run<P, D>(
     driver: &D,
     config: &SearchConfig,
     dcutoff: usize,
+    term: &Termination,
+    lifecycle: &Lifecycle,
 ) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
@@ -45,6 +49,8 @@ where
         workers,
         PoolSource::new(workers),
         DepthPolicy { dcutoff },
+        term,
+        lifecycle,
     )
 }
 
@@ -54,6 +60,26 @@ mod tests {
     use crate::monoid::Sum;
     use crate::objective::Enumerate;
     use crate::skeleton::driver::EnumDriver;
+
+    fn run_plain<P, D>(
+        problem: &P,
+        driver: &D,
+        config: &SearchConfig,
+        param: usize,
+    ) -> (Vec<WorkerMetrics>, Duration)
+    where
+        P: SearchProblem,
+        D: Driver<P>,
+    {
+        run(
+            problem,
+            driver,
+            config,
+            param,
+            &Termination::new(1),
+            &Lifecycle::inert(),
+        )
+    }
 
     struct Fanout {
         depth: usize,
@@ -95,7 +121,7 @@ mod tests {
         };
         for dcutoff in [0, 1, 2, 5, 10] {
             let driver = EnumDriver::<Fanout>::new();
-            let (metrics, _) = run(&p, &driver, &cfg, dcutoff);
+            let (metrics, _) = run_plain(&p, &driver, &cfg, dcutoff);
             assert_eq!(
                 driver.into_value(),
                 Sum(expected_nodes(5, 3)),
@@ -114,7 +140,7 @@ mod tests {
             ..SearchConfig::default()
         };
         let driver = EnumDriver::<Fanout>::new();
-        let (metrics, _) = run(&p, &driver, &cfg, 0);
+        let (metrics, _) = run_plain(&p, &driver, &cfg, 0);
         assert_eq!(metrics.iter().map(|m| m.spawns).sum::<u64>(), 0);
         assert_eq!(driver.into_value(), Sum(expected_nodes(4, 2)));
     }
@@ -127,7 +153,7 @@ mod tests {
             ..SearchConfig::default()
         };
         let driver = EnumDriver::<Fanout>::new();
-        let (metrics, _) = run(&p, &driver, &cfg, 100);
+        let (metrics, _) = run_plain(&p, &driver, &cfg, 100);
         // Every node except the root is spawned as a task.
         assert_eq!(
             metrics.iter().map(|m| m.spawns).sum::<u64>(),

@@ -5,12 +5,32 @@
 //! Fig. 2 — independently of *how* the tree is traversed and split, which is
 //! the coordination's job.  One driver exists per search type.
 
+use std::time::Instant;
+
 use parking_lot::Mutex;
 
 use crate::knowledge::{BoundCache, Incumbent};
+use crate::lifecycle::{ProgressEvent, ProgressSender};
 use crate::monoid::Monoid;
 use crate::node::SearchProblem;
 use crate::objective::{Decide, Enumerate, Optimise, PruneLevel};
+
+/// Shared helper: report a successful incumbent strengthening on the
+/// progress stream (no-op without a subscriber; the `Debug` rendering is
+/// only paid when one is attached).
+fn emit_incumbent<S: std::fmt::Debug>(
+    progress: &Option<(ProgressSender, Instant)>,
+    version: u64,
+    score: &S,
+) {
+    if let Some((sender, started)) = progress {
+        sender.emit(ProgressEvent::Incumbent {
+            version,
+            score: format!("{score:?}"),
+            elapsed: started.elapsed(),
+        });
+    }
+}
 
 /// What the traversal should do after processing a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,12 +104,23 @@ impl<P: Enumerate> Driver<P> for EnumDriver<P> {
 /// Optimisation: strengthen a shared incumbent and prune via the bound.
 pub(crate) struct OptimDriver<P: Optimise> {
     incumbent: Incumbent<P::Node, P::Score>,
+    /// Progress sink plus the moment it was armed (event timestamps).
+    progress: Option<(ProgressSender, Instant)>,
 }
 
 impl<P: Optimise> OptimDriver<P> {
+    /// A driver with no progress sink (unit tests; the skeleton facade
+    /// always goes through [`with_progress`](OptimDriver::with_progress)).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new() -> Self {
+        Self::with_progress(None)
+    }
+
+    /// A driver that reports incumbent improvements on `progress`.
+    pub(crate) fn with_progress(progress: Option<ProgressSender>) -> Self {
         OptimDriver {
             incumbent: Incumbent::new(),
+            progress: progress.map(|p| (p, Instant::now())),
         }
     }
 
@@ -116,8 +147,8 @@ impl<P: Optimise> Driver<P> for OptimDriver<P> {
             Some(best) => score > *best,
             None => true,
         };
-        if locally_better {
-            self.incumbent.strengthen(score, node);
+        if locally_better && self.incumbent.strengthen(score.clone(), node) {
+            emit_incumbent(&self.progress, self.incumbent.version(), &score);
         }
         // Branch-and-bound pruning: if even the most optimistic completion of
         // this subtree cannot beat the incumbent, do not expand it.
@@ -141,13 +172,24 @@ impl<P: Optimise> Driver<P> for OptimDriver<P> {
 pub(crate) struct DecideDriver<P: Decide> {
     incumbent: Incumbent<P::Node, P::Score>,
     target: P::Score,
+    /// Progress sink plus the moment it was armed (event timestamps).
+    progress: Option<(ProgressSender, Instant)>,
 }
 
 impl<P: Decide> DecideDriver<P> {
+    /// A driver with no progress sink (unit tests; the skeleton facade
+    /// always goes through [`with_progress`](DecideDriver::with_progress)).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(target: P::Score) -> Self {
+        Self::with_progress(target, None)
+    }
+
+    /// A driver that reports incumbent improvements on `progress`.
+    pub(crate) fn with_progress(target: P::Score, progress: Option<ProgressSender>) -> Self {
         DecideDriver {
             incumbent: Incumbent::new(),
             target,
+            progress: progress.map(|p| (p, Instant::now())),
         }
     }
 
@@ -174,7 +216,9 @@ impl<P: Decide> Driver<P> for DecideDriver<P> {
     fn process(&self, problem: &P, node: &P::Node, cache: &mut Self::Partial) -> Action {
         let score = problem.objective(node);
         if score >= self.target {
-            self.incumbent.strengthen(score, node);
+            if self.incumbent.strengthen(score.clone(), node) {
+                emit_incumbent(&self.progress, self.incumbent.version(), &score);
+            }
             return Action::ShortCircuit;
         }
         // Keep the incumbent up to date so the "best seen" is reported even
@@ -184,8 +228,8 @@ impl<P: Decide> Driver<P> for DecideDriver<P> {
             Some(best) => score > *best,
             None => true,
         };
-        if locally_better {
-            self.incumbent.strengthen(score, node);
+        if locally_better && self.incumbent.strengthen(score.clone(), node) {
+            emit_incumbent(&self.progress, self.incumbent.version(), &score);
         }
         if let Some(bound) = problem.bound(node) {
             // A subtree that cannot reach the target is useless to a decision

@@ -23,20 +23,29 @@ pub(crate) mod ordered;
 pub(crate) mod sequential;
 pub(crate) mod stack_stealing;
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use crate::lifecycle::{CancelToken, Lifecycle, ProgressSender, SearchStatus};
 use crate::metrics::{Metrics, WorkerMetrics};
 use crate::node::SearchProblem;
 use crate::objective::{Decide, Enumerate, Optimise};
 use crate::params::{Coordination, SearchConfig};
+use crate::runtime::WorkerPool;
+use crate::termination::{StopCause, Termination};
 
 use driver::{DecideDriver, Driver, EnumDriver, OptimDriver};
 
 /// Result of an enumeration search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnumOutcome<V> {
-    /// The monoid fold of the objective over every node of the search tree.
+    /// The monoid fold of the objective over every node of the search tree —
+    /// or, when [`status`](EnumOutcome::status) is not
+    /// [`SearchStatus::Complete`], over every node processed before the
+    /// search was stopped (a partial fold).
     pub value: V,
+    /// How the search ended.
+    pub status: SearchStatus,
     /// Execution metrics (nodes, prunes, spawns, steals, elapsed time, …).
     pub metrics: Metrics,
 }
@@ -44,31 +53,50 @@ pub struct EnumOutcome<V> {
 /// Result of an optimisation search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimOutcome<N, S> {
-    /// The maximal node found and its objective value.  `None` only if the
-    /// search was unable to record any node (never happens for a well-formed
-    /// problem, whose root is always processed).
+    /// The maximal node found and its objective value.  With
+    /// [`status`](OptimOutcome::status) [`SearchStatus::Complete`] this is
+    /// the proven optimum; on a cancelled or timed-out search it is the
+    /// *partial incumbent* — the best node found before the stop (anytime
+    /// semantics).  `None` only when the search was stopped before its root
+    /// task committed any node.
     pub best: Option<(N, S)>,
+    /// How the search ended.
+    pub status: SearchStatus,
     /// Execution metrics.
     pub metrics: Metrics,
 }
 
 impl<N, S> OptimOutcome<N, S> {
+    /// The best node found, if any node was recorded.
+    pub fn try_node(&self) -> Option<&N> {
+        self.best.as_ref().map(|(n, _)| n)
+    }
+
+    /// The best objective value found, if any node was recorded.
+    pub fn try_score(&self) -> Option<&S> {
+        self.best.as_ref().map(|(_, s)| s)
+    }
+
     /// The witness node (panics if the search recorded no node).
+    #[deprecated(
+        since = "0.1.0",
+        note = "with anytime statuses an empty `best` is a reachable, legitimate state \
+                (cancelled before the root committed); use `try_node()` instead"
+    )]
     pub fn node(&self) -> &N {
-        &self
-            .best
-            .as_ref()
-            .expect("optimisation search always records the root")
-            .0
+        self.try_node()
+            .expect("optimisation search recorded no node (stopped before the root committed)")
     }
 
     /// The maximal objective value (panics if the search recorded no node).
+    #[deprecated(
+        since = "0.1.0",
+        note = "with anytime statuses an empty `best` is a reachable, legitimate state \
+                (cancelled before the root committed); use `try_score()` instead"
+    )]
     pub fn score(&self) -> &S {
-        &self
-            .best
-            .as_ref()
-            .expect("optimisation search always records the root")
-            .1
+        self.try_score()
+            .expect("optimisation search recorded no node (stopped before the root committed)")
     }
 }
 
@@ -76,8 +104,12 @@ impl<N, S> OptimOutcome<N, S> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecideOutcome<N> {
     /// A node witnessing the target objective, or `None` if the whole tree
-    /// was explored without reaching the target.
+    /// was explored without reaching the target — or, when
+    /// [`status`](DecideOutcome::status) is not [`SearchStatus::Complete`],
+    /// if no witness had been found before the search was stopped.
     pub witness: Option<N>,
+    /// How the search ended.
+    pub status: SearchStatus,
     /// Execution metrics.
     pub metrics: Metrics,
 }
@@ -89,7 +121,10 @@ impl<N> DecideOutcome<N> {
     }
 }
 
-/// A configured search skeleton (coordination + worker count).
+/// A configured search skeleton (coordination + worker count), the blocking
+/// facade over the unified engine.  For a persistent pool with non-blocking
+/// handles, submit through [`Runtime`](crate::runtime::Runtime) instead —
+/// it drives this same facade internally.
 ///
 /// ```
 /// use yewpar::{Coordination, Skeleton};
@@ -99,20 +134,31 @@ impl<N> DecideOutcome<N> {
 #[derive(Debug, Clone)]
 pub struct Skeleton {
     config: SearchConfig,
+    /// External cancellation flag checked by every worker's per-step poll.
+    cancel: Option<CancelToken>,
+    /// Progress sink for incumbent updates, heartbeats and the final
+    /// status (runtime submissions attach one; the plain facade has none).
+    progress: Option<ProgressSender>,
+    /// Persistent pool to run workers on instead of spawning scoped
+    /// threads (runtime submissions only).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Skeleton {
     /// A skeleton for the given coordination with a default worker count
     /// (one worker for Sequential, all available cores otherwise).
     pub fn new(coordination: Coordination) -> Self {
-        Skeleton {
-            config: SearchConfig::new(coordination),
-        }
+        Skeleton::from_config(SearchConfig::new(coordination))
     }
 
     /// A skeleton from a full [`SearchConfig`].
     pub fn from_config(config: SearchConfig) -> Self {
-        Skeleton { config }
+        Skeleton {
+            config,
+            cancel: None,
+            progress: None,
+            pool: None,
+        }
     }
 
     /// Set the number of worker threads.
@@ -136,71 +182,149 @@ impl Skeleton {
         self
     }
 
+    /// Set a wall-clock deadline for each search run through this skeleton
+    /// (see [`SearchConfig::deadline`]): the run stops once the budget
+    /// elapses and the outcome reports
+    /// [`SearchStatus::DeadlineExceeded`] with the partial incumbent.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.config.deadline = Some(budget);
+        self
+    }
+
+    /// Attach an external cancellation token: pulling it (from any thread)
+    /// stops the search at its next per-step poll, and the outcome reports
+    /// [`SearchStatus::Cancelled`] with the partial incumbent.  Tokens are
+    /// single-use — attach a fresh one per search.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a progress sink (runtime submissions).
+    pub(crate) fn attach_progress(mut self, progress: ProgressSender) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Attach a persistent worker pool (runtime submissions).
+    pub(crate) fn attach_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// The effective configuration.
     pub fn config(&self) -> &SearchConfig {
         &self.config
     }
 
+    /// The per-execution lifecycle: external stop conditions, progress
+    /// sink, pool, and the resolved absolute deadline.
+    fn lifecycle(&self) -> Lifecycle {
+        let mut lifecycle = Lifecycle {
+            cancel: self.cancel.clone(),
+            progress: self.progress.clone(),
+            pool: self.pool.clone(),
+            ..Lifecycle::inert()
+        };
+        lifecycle.begin(self.config.deadline);
+        lifecycle
+    }
+
     /// Run an enumeration search: fold the objective of every node of the
     /// search tree into the accumulator monoid.
     pub fn enumerate<P: Enumerate>(&self, problem: &P) -> EnumOutcome<P::Value> {
+        let lifecycle = self.lifecycle();
         let driver = EnumDriver::<P>::new();
-        let (workers, elapsed) = run_coordination(problem, &driver, &self.config);
+        let run = run_coordination(problem, &driver, &self.config, &lifecycle);
+        lifecycle.finish(run.status);
         EnumOutcome {
             value: driver.into_value(),
-            metrics: Metrics::from_workers(workers, elapsed),
+            status: run.status,
+            metrics: run.metrics,
         }
     }
 
     /// Run an optimisation search: find a node maximising the objective,
-    /// pruning subtrees whose bound cannot beat the incumbent.
+    /// pruning subtrees whose bound cannot beat the incumbent.  On a
+    /// cancelled or timed-out run the outcome carries the partial incumbent.
     pub fn maximise<P: Optimise>(&self, problem: &P) -> OptimOutcome<P::Node, P::Score> {
-        let driver = OptimDriver::<P>::new();
-        let (workers, elapsed) = run_coordination(problem, &driver, &self.config);
-        let mut metrics = Metrics::from_workers(workers, elapsed);
-        metrics.totals.incumbent_updates = driver.incumbent_updates();
+        let lifecycle = self.lifecycle();
+        let driver = OptimDriver::<P>::with_progress(lifecycle.progress_sender());
+        let mut run = run_coordination(problem, &driver, &self.config, &lifecycle);
+        run.metrics.totals.incumbent_updates = driver.incumbent_updates();
+        lifecycle.finish(run.status);
         OptimOutcome {
             best: driver.into_best(),
-            metrics,
+            status: run.status,
+            metrics: run.metrics,
         }
     }
 
     /// Run a decision search: stop as soon as a node reaches the target
     /// objective and return it as a witness.
     pub fn decide<P: Decide>(&self, problem: &P) -> DecideOutcome<P::Node> {
-        let driver = DecideDriver::<P>::new(problem.target());
-        let (workers, elapsed) = run_coordination(problem, &driver, &self.config);
-        let mut metrics = Metrics::from_workers(workers, elapsed);
-        metrics.totals.incumbent_updates = driver.incumbent_updates();
+        let lifecycle = self.lifecycle();
+        let driver =
+            DecideDriver::<P>::with_progress(problem.target(), lifecycle.progress_sender());
+        let mut run = run_coordination(problem, &driver, &self.config, &lifecycle);
+        run.metrics.totals.incumbent_updates = driver.incumbent_updates();
+        lifecycle.finish(run.status);
         DecideOutcome {
             witness: driver.into_witness(),
-            metrics,
+            status: run.status,
+            metrics: run.metrics,
         }
     }
 }
 
-/// Dispatch a driver over the configured coordination.
+/// What one coordinated execution hands back to the outcome constructors.
+struct RunOutput {
+    metrics: Metrics,
+    status: SearchStatus,
+}
+
+/// Dispatch a driver over the configured coordination, under the given
+/// lifecycle (external stops, progress, pool).
 fn run_coordination<P, D>(
     problem: &P,
     driver: &D,
     config: &SearchConfig,
-) -> (Vec<WorkerMetrics>, Duration)
+    lifecycle: &Lifecycle,
+) -> RunOutput
 where
     P: SearchProblem,
     D: Driver<P>,
 {
     config.validate().expect("invalid skeleton configuration");
-    match config.coordination {
-        Coordination::Sequential => sequential::run(problem, driver),
+    let term = Termination::new(1);
+    // An already-expired deadline or pre-pulled token stops the run before
+    // any worker starts; the seeded root is then drained by the source
+    // discard, so even a zero-budget run exits with clean accounting.
+    lifecycle.poll(&term);
+    let (workers, elapsed): (Vec<WorkerMetrics>, Duration) = match config.coordination {
+        Coordination::Sequential => sequential::run(problem, driver, &term, lifecycle),
         Coordination::DepthBounded { dcutoff } => {
-            depth_bounded::run(problem, driver, config, dcutoff)
+            depth_bounded::run(problem, driver, config, dcutoff, &term, lifecycle)
         }
         Coordination::StackStealing { chunked } => {
-            stack_stealing::run(problem, driver, config, chunked)
+            stack_stealing::run(problem, driver, config, chunked, &term, lifecycle)
         }
-        Coordination::Budget { backtracks } => budget::run(problem, driver, config, backtracks),
-        Coordination::Ordered { spawn_depth } => ordered::run(problem, driver, config, spawn_depth),
-    }
+        Coordination::Budget { backtracks } => {
+            budget::run(problem, driver, config, backtracks, &term, lifecycle)
+        }
+        Coordination::Ordered { spawn_depth } => {
+            ordered::run(problem, driver, config, spawn_depth, &term, lifecycle)
+        }
+    };
+    let status = match term.stop_cause() {
+        Some(StopCause::Cancelled) => SearchStatus::Cancelled,
+        Some(StopCause::Deadline) => SearchStatus::DeadlineExceeded,
+        // A decision short-circuit *is* a completed search.
+        Some(StopCause::ShortCircuit) | None => SearchStatus::Complete,
+    };
+    let mut metrics = Metrics::from_workers(workers, elapsed);
+    metrics.outstanding_tasks = term.outstanding();
+    RunOutput { metrics, status }
 }
 
 /// All five coordinations, convenient for "try every skeleton" sweeps such as
@@ -305,10 +429,11 @@ mod tests {
         for coord in all_coordinations(3, 25, false) {
             let out = Skeleton::new(coord).workers(3).maximise(&p);
             assert_eq!(
-                out.score(),
-                seq.score(),
+                out.try_score(),
+                seq.try_score(),
                 "coordination {coord} found a different optimum"
             );
+            assert!(out.status.is_complete());
         }
     }
 
@@ -368,9 +493,19 @@ mod tests {
     fn outcome_accessors() {
         let p = Irregular { depth: 4 };
         let out = Skeleton::new(Coordination::Sequential).maximise(&p);
-        assert_eq!(p.objective(out.node()), *out.score());
+        let node = out.try_node().expect("complete search records the root");
+        let score = out.try_score().expect("complete search records the root");
+        assert_eq!(p.objective(node), *score);
+        assert!(out.status.is_complete());
+        // The deprecated panicking accessors still work on a non-empty best.
+        #[allow(deprecated)]
+        {
+            assert_eq!(out.node(), node);
+            assert_eq!(out.score(), score);
+        }
         let dec = Skeleton::new(Coordination::Sequential).decide(&p);
         assert_eq!(dec.found(), dec.witness.is_some());
+        assert!(dec.status.is_complete());
     }
 
     #[test]

@@ -64,6 +64,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::engine::{self, Flow, IdleBackoff, SpawnPolicy, UnwindGuard, WorkSource};
+use crate::lifecycle::{Lifecycle, LifecycleLocal};
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
@@ -381,13 +382,14 @@ pub(crate) fn run<P, D>(
     driver: &D,
     config: &SearchConfig,
     spawn_depth: usize,
+    term: &Termination,
+    lifecycle: &Lifecycle,
 ) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
     D: Driver<P>,
 {
-    let term = Termination::new(1);
-    run_with_term(problem, driver, config, spawn_depth, &term)
+    run_with_term(problem, driver, config, spawn_depth, term, lifecycle)
 }
 
 /// [`run`] against a caller-supplied termination handle, so tests can verify
@@ -400,6 +402,7 @@ pub(crate) fn run_with_term<P, D>(
     config: &SearchConfig,
     spawn_depth: usize,
     term: &Termination,
+    lifecycle: &Lifecycle,
 ) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
@@ -411,14 +414,14 @@ where
     let policy = OrderedPolicy { spawn_depth };
     WorkSource::<P>::seed(&source, Task::new(problem.root(), 0));
 
-    let mut all_metrics = engine::spawn_and_join(workers, |worker| {
-        worker_loop(problem, driver, &source, &policy, term, worker)
+    let mut all_metrics = engine::spawn_and_join(lifecycle.pool.as_deref(), workers, |worker| {
+        worker_loop(problem, driver, &source, &policy, term, lifecycle, worker)
     });
     source.finalize(&mut all_metrics);
     // Stragglers: a post-commit in-flight task may still have released
     // children after the commit cleared the pool.  Those tasks never run, so
     // drain them here — after this, `outstanding() == 0` holds on every
-    // non-panicking run, short-circuited or not.
+    // non-panicking run, short-circuited, cancelled or timed out alike.
     term.tasks_discarded(source.pool.clear() as u64);
     debug_assert_eq!(
         term.outstanding(),
@@ -437,6 +440,7 @@ fn worker_loop<P, D>(
     source: &OrderedSource<P::Node>,
     policy: &OrderedPolicy,
     term: &Termination,
+    lifecycle: &Lifecycle,
     worker: usize,
 ) -> WorkerMetrics
 where
@@ -447,8 +451,12 @@ where
     let mut local = WorkSource::<P>::register(source, worker);
     let mut partial = driver.new_partial();
     let mut backoff = IdleBackoff::new();
+    let mut lstate = LifecycleLocal::default();
 
     loop {
+        // External stop conditions are polled between tasks too, so idle
+        // speculating workers observe a deadline promptly.
+        lifecycle.poll(term);
         if term.finished() {
             break;
         }
@@ -463,6 +471,8 @@ where
                     &mut partial,
                     &mut task_metrics,
                     term,
+                    lifecycle,
+                    &mut lstate,
                     source,
                     &mut local,
                     policy,
@@ -582,7 +592,7 @@ mod tests {
         let out = Skeleton::new(Coordination::ordered(3))
             .workers(4)
             .maximise(&p);
-        assert_eq!(out.score(), seq.score());
+        assert_eq!(out.try_score(), seq.try_score());
     }
 
     #[test]
@@ -748,7 +758,14 @@ mod tests {
                     cancel_speculation: cancel,
                     ..SearchConfig::default()
                 };
-                let (_metrics, _elapsed) = run_with_term(&LeftWitness, &driver, &config, 2, &term);
+                let (_metrics, _elapsed) = run_with_term(
+                    &LeftWitness,
+                    &driver,
+                    &config,
+                    2,
+                    &term,
+                    &Lifecycle::inert(),
+                );
                 assert_eq!(
                     term.outstanding(),
                     0,

@@ -8,17 +8,32 @@
 use std::time::Duration;
 
 use crate::engine::{self, NoSpawn, RootSource};
+use crate::lifecycle::Lifecycle;
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::skeleton::driver::Driver;
+use crate::termination::Termination;
 
 /// Run the Sequential skeleton: explore the whole tree in a single worker.
-pub(crate) fn run<P, D>(problem: &P, driver: &D) -> (Vec<WorkerMetrics>, Duration)
+pub(crate) fn run<P, D>(
+    problem: &P,
+    driver: &D,
+    term: &Termination,
+    lifecycle: &Lifecycle,
+) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
     D: Driver<P>,
 {
-    engine::run(problem, driver, 1, RootSource::new(), NoSpawn)
+    engine::run(
+        problem,
+        driver,
+        1,
+        RootSource::new(),
+        NoSpawn,
+        term,
+        lifecycle,
+    )
 }
 
 #[cfg(test)]
@@ -27,6 +42,14 @@ mod tests {
     use crate::monoid::Sum;
     use crate::objective::{Decide, Enumerate, Optimise};
     use crate::skeleton::driver::{DecideDriver, EnumDriver, OptimDriver};
+
+    fn run_plain<P, D>(problem: &P, driver: &D) -> (Vec<WorkerMetrics>, Duration)
+    where
+        P: SearchProblem,
+        D: Driver<P>,
+    {
+        run(problem, driver, &Termination::new(1), &Lifecycle::inert())
+    }
 
     /// Complete binary tree of a fixed depth; node = (depth, label).
     struct Bin {
@@ -72,7 +95,7 @@ mod tests {
     fn sequential_counts_complete_binary_tree() {
         let p = Bin { depth: 10 };
         let driver = EnumDriver::<Bin>::new();
-        let (metrics, _) = run(&p, &driver);
+        let (metrics, _) = run_plain(&p, &driver);
         assert_eq!(driver.into_value(), Sum(2u64.pow(11) - 1));
         assert_eq!(metrics[0].nodes, 2u64.pow(11) - 1);
         assert_eq!(metrics[0].max_depth, 10);
@@ -83,7 +106,7 @@ mod tests {
     fn sequential_finds_the_maximum_label() {
         let p = Bin { depth: 6 };
         let driver = OptimDriver::<Bin>::new();
-        let (_, _) = run(&p, &driver);
+        let (_, _) = run_plain(&p, &driver);
         // Deepest-rightmost label is 2^(d+1) - 1.
         assert_eq!(driver.into_best().map(|(_, s)| s), Some(2u64.pow(7) - 1));
     }
@@ -92,7 +115,7 @@ mod tests {
     fn sequential_decision_short_circuits_before_visiting_everything() {
         let p = Bin { depth: 12 };
         let driver = DecideDriver::<Bin>::new(6);
-        let (metrics, _) = run(&p, &driver);
+        let (metrics, _) = run_plain(&p, &driver);
         let witness = driver.into_witness().expect("label 6 exists in the tree");
         assert!(witness.1 >= 6);
         // Label 6 is found on the left-ish side of the tree quickly: the
@@ -108,7 +131,7 @@ mod tests {
     fn sequential_never_spawns_or_steals() {
         let p = Bin { depth: 8 };
         let driver = EnumDriver::<Bin>::new();
-        let (metrics, _) = run(&p, &driver);
+        let (metrics, _) = run_plain(&p, &driver);
         assert_eq!(metrics[0].spawns, 0);
         assert_eq!(metrics[0].steals, 0);
     }

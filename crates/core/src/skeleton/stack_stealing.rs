@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::engine::{self, NoSpawn, WorkSource};
 use crate::genstack::GenStack;
+use crate::lifecycle::Lifecycle;
 use crate::metrics::WorkerMetrics;
 use crate::node::SearchProblem;
 use crate::params::SearchConfig;
@@ -48,10 +49,18 @@ pub(crate) struct StealSource<N> {
     senders: Vec<Sender<StealRequest<N>>>,
     locals: Mutex<Vec<Option<StealLocal<N>>>>,
     chunked: bool,
+    /// How long a waiting thief blocks on a victim's reply before
+    /// re-answering its own request channel and re-checking termination
+    /// ([`SearchConfig::steal_reply_timeout`]; historically hard-coded to
+    /// 200 µs, hoisted so deadline tests on loaded CI machines can widen
+    /// it).
+    ///
+    /// [`SearchConfig::steal_reply_timeout`]: crate::params::SearchConfig::steal_reply_timeout
+    reply_timeout: Duration,
 }
 
 impl<N> StealSource<N> {
-    pub(crate) fn new(workers: usize, seed: u64, chunked: bool) -> Self {
+    pub(crate) fn new(workers: usize, seed: u64, chunked: bool, reply_timeout: Duration) -> Self {
         // Requests are bounded so thieves cannot pile up unbounded requests
         // on a busy victim.
         let mut senders = Vec::with_capacity(workers);
@@ -70,6 +79,7 @@ impl<N> StealSource<N> {
             senders,
             locals: Mutex::new(locals),
             chunked,
+            reply_timeout,
         }
     }
 
@@ -82,7 +92,7 @@ impl<N> StealSource<N> {
     }
 
     /// Pick a random victim and ask it for work.
-    fn attempt_steal(&self, local: &mut StealLocal<N>, term: &Termination) -> Option<Vec<Task<N>>> {
+    fn attempt_steal(&self, local: &mut StealLocal<N>) -> Option<Vec<Task<N>>> {
         let n = self.senders.len();
         let victim = {
             let mut v = local.rng.gen_range(0..n - 1);
@@ -91,6 +101,15 @@ impl<N> StealSource<N> {
             }
             v
         };
+        // Never deliver a request to a victim that has not registered yet:
+        // it cannot answer, and on a persistent runtime pool smaller than
+        // the search's worker count the victim's worker job may be queued
+        // *behind this thief's own pool thread* — waiting on its reply
+        // would then deadlock the search.  (Registering between this check
+        // and the send is benign: a registered victim answers.)
+        if self.locals.lock()[victim].is_some() {
+            return None;
+        }
         let (reply_tx, reply_rx) = bounded(1);
         if self.senders[victim]
             .try_send(StealRequest { reply: reply_tx })
@@ -98,28 +117,30 @@ impl<N> StealSource<N> {
         {
             return None;
         }
-        // Once the request is delivered the thief must not abandon it on a
-        // mere timeout: the victim may already have removed subtrees from
-        // its generator stack and registered them with the termination
-        // counter — dropping `reply_rx` at that instant would destroy them
-        // and hang the search.  Waiting is safe: victims poll their channel
-        // on every expansion step, answer "no work" whenever they are idle
-        // (including below, so waiting thieves cannot deadlock each other),
-        // and drop their endpoints on exit, which surfaces here as a
-        // disconnect.  Abandoning on `term.finished()` is also safe — tasks
-        // in flight keep the outstanding counter above zero, so `all_done`
-        // cannot be set while a reply with real work is buffered.
+        // Once the request is delivered the thief must not abandon it: the
+        // victim may already have removed subtrees from its generator stack
+        // and registered them with the termination counter — dropping
+        // `reply_rx` at that instant would destroy them and hang the
+        // search, or (after a stop) leak them from the outstanding counter.
+        // Waiting until the request *resolves* is safe and bounded: victims
+        // poll their channel on every expansion step, answer "no work"
+        // whenever they are idle (including below, so waiting thieves
+        // cannot deadlock each other), and drop their endpoints on exit —
+        // a stopped search therefore resolves every pending request as
+        // either a buffered reply (kept, then drained by `drain_local`) or
+        // a disconnect, and `Termination::outstanding()` reaches zero even
+        // for cancelled or timed-out Stack-Stealing runs.
         loop {
-            match reply_rx.recv_timeout(Duration::from_micros(200)) {
+            match reply_rx.recv_timeout(self.reply_timeout) {
                 Ok(tasks) if tasks.is_empty() => return None,
                 Ok(tasks) => return Some(tasks),
                 Err(RecvTimeoutError::Disconnected) => return None,
                 Err(RecvTimeoutError::Timeout) => {
-                    if term.finished() {
-                        return None;
-                    }
                     // Answer anyone asking *us* while we wait; we hold no
-                    // work, so "empty" is always the right reply.
+                    // work, so "empty" is always the right reply.  Even
+                    // when `term.finished()` we keep waiting for the
+                    // resolution — it arrives promptly (the victim either
+                    // replies on its next step or exits and disconnects).
                     Self::drain_requests_empty(&local.rx);
                 }
             }
@@ -153,7 +174,7 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
     fn acquire(
         &self,
         local: &mut Self::Local,
-        term: &Termination,
+        _term: &Termination,
         metrics: &mut WorkerMetrics,
     ) -> Option<Task<P::Node>> {
         // Idle: answer any pending requests with "no work", then try to
@@ -162,7 +183,7 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         if self.senders.len() <= 1 {
             return None;
         }
-        match self.attempt_steal(local, term) {
+        match self.attempt_steal(local) {
             Some(tasks) => {
                 metrics.steals += 1;
                 local.backlog.extend(tasks);
@@ -210,6 +231,15 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
             local.backlog.extend(send_err.into_inner());
         }
     }
+
+    /// Tasks abandoned in this worker's private backlog by a stop
+    /// (short-circuit, cancel, deadline) never run; the engine drains them
+    /// from the outstanding counter as the worker exits.
+    fn drain_local(&self, local: &mut Self::Local) -> usize {
+        let n = local.backlog.len();
+        local.backlog.clear();
+        n
+    }
 }
 
 /// Run the Stack-Stealing coordination.
@@ -218,6 +248,8 @@ pub(crate) fn run<P, D>(
     driver: &D,
     config: &SearchConfig,
     chunked: bool,
+    term: &Termination,
+    lifecycle: &Lifecycle,
 ) -> (Vec<WorkerMetrics>, Duration)
 where
     P: SearchProblem,
@@ -228,8 +260,15 @@ where
         problem,
         driver,
         workers,
-        StealSource::new(workers, config.steal_seed, chunked),
+        StealSource::new(
+            workers,
+            config.steal_seed,
+            chunked,
+            config.steal_reply_timeout,
+        ),
         NoSpawn,
+        term,
+        lifecycle,
     )
 }
 
@@ -296,12 +335,32 @@ mod tests {
         }
     }
 
+    fn run_plain<P, D>(
+        problem: &P,
+        driver: &D,
+        config: &SearchConfig,
+        chunked: bool,
+    ) -> (Vec<WorkerMetrics>, Duration)
+    where
+        P: SearchProblem,
+        D: Driver<P>,
+    {
+        run(
+            problem,
+            driver,
+            config,
+            chunked,
+            &Termination::new(1),
+            &Lifecycle::inert(),
+        )
+    }
+
     #[test]
     fn single_worker_stack_stealing_degenerates_to_sequential() {
         let p = Wide { depth: 6 };
         let expected = crate::node::subtree_size(&p, &p.root());
         let driver = EnumDriver::<Wide>::new();
-        let (metrics, _) = run(&p, &driver, &config(1), false);
+        let (metrics, _) = run_plain(&p, &driver, &config(1), false);
         assert_eq!(driver.into_value(), Sum(expected));
         assert_eq!(metrics[0].steals, 0);
     }
@@ -312,7 +371,7 @@ mod tests {
         let expected = crate::node::subtree_size(&p, &p.root());
         for chunked in [false, true] {
             let driver = EnumDriver::<Wide>::new();
-            let (metrics, _) = run(&p, &driver, &config(4), chunked);
+            let (metrics, _) = run_plain(&p, &driver, &config(4), chunked);
             assert_eq!(driver.into_value(), Sum(expected), "chunked={chunked}");
             let total: u64 = metrics.iter().map(|m| m.nodes).sum();
             assert_eq!(total, expected);
@@ -323,7 +382,7 @@ mod tests {
     fn decision_short_circuit_terminates_all_workers() {
         let p = Wide { depth: 20 };
         let driver = DecideDriver::<Wide>::new(100);
-        let (_, elapsed) = run(&p, &driver, &config(3), true);
+        let (_, elapsed) = run_plain(&p, &driver, &config(3), true);
         // A value ≡ 100 (mod 101) appears quickly in this pseudo-random
         // labelling; the whole (enormous) tree is certainly not explored.
         assert!(elapsed < Duration::from_secs(30));

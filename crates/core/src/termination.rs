@@ -12,8 +12,32 @@
 //! Decision searches additionally short-circuit: the first worker to witness
 //! the target sets a global stop flag (the (shortcircuit) rule) that all
 //! loops poll.
+//!
+//! Since the anytime-search lifecycle redesign the stop flag also carries a
+//! *cause*: a search can stop because a decision target was witnessed (the
+//! classic short-circuit), because an external [`CancelToken`] was pulled, or
+//! because a [`SearchConfig::deadline`] expired.  All three unwind through
+//! the same stop-flag machinery (workers exit their loops, queued tasks are
+//! drained), but the cause survives so the outcome can report an honest
+//! [`SearchStatus`].
+//!
+//! [`CancelToken`]: crate::lifecycle::CancelToken
+//! [`SearchConfig::deadline`]: crate::params::SearchConfig::deadline
+//! [`SearchStatus`]: crate::lifecycle::SearchStatus
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Why a search's global stop flag was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// A decision target was witnessed (the (shortcircuit) rule) — the
+    /// search finished *meaningfully*, it did not fail to complete.
+    ShortCircuit,
+    /// An external [`CancelToken`](crate::lifecycle::CancelToken) was pulled.
+    Cancelled,
+    /// The configured wall-clock deadline expired.
+    Deadline,
+}
 
 /// Shared termination state for one skeleton execution.
 #[derive(Debug, Default)]
@@ -21,6 +45,10 @@ pub struct Termination {
     outstanding: AtomicU64,
     done: AtomicBool,
     stop: AtomicBool,
+    /// 0 = no cause recorded; 1/2/3 = the `StopCause` variants in order.
+    /// First writer wins: a deadline firing a microsecond after a genuine
+    /// short-circuit must not masquerade the completed search as timed out.
+    cause: AtomicU8,
 }
 
 impl Termination {
@@ -30,6 +58,7 @@ impl Termination {
             outstanding: AtomicU64::new(initial),
             done: AtomicBool::new(initial == 0),
             stop: AtomicBool::new(false),
+            cause: AtomicU8::new(0),
         }
     }
 
@@ -88,10 +117,58 @@ impl Termination {
 
     /// Request a global short-circuit (decision target found).
     pub fn short_circuit(&self) {
+        self.stop_with(StopCause::ShortCircuit);
+    }
+
+    /// Raise the stop flag for an *external* reason — a pulled cancel token
+    /// or an expired deadline.  Unwinds exactly like a short-circuit (every
+    /// loop polls the same flag) but records the cause so the outcome's
+    /// status can distinguish "found the answer" from "gave up".
+    pub fn stop_external(&self, cause: StopCause) {
+        self.stop_with(cause);
+    }
+
+    fn stop_with(&self, cause: StopCause) {
+        let code = match cause {
+            StopCause::ShortCircuit => 1,
+            StopCause::Cancelled => 2,
+            StopCause::Deadline => 3,
+        };
+        // Record the cause before raising the flag so any reader that
+        // observes `stop` also observes a cause; first cause wins.
+        let _ = self
+            .cause
+            .compare_exchange(0, code, Ordering::AcqRel, Ordering::Acquire);
         self.stop.store(true, Ordering::Release);
     }
 
-    /// True if a short-circuit has been requested.
+    /// Why the stop flag was raised, if it was.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        if !self.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        match self.cause.load(Ordering::Acquire) {
+            2 => Some(StopCause::Cancelled),
+            3 => Some(StopCause::Deadline),
+            // 0 can only be observed in the sliver between a racing
+            // `compare_exchange` and `store`; classify it as the benign
+            // default rather than inventing an external stop.
+            _ => Some(StopCause::ShortCircuit),
+        }
+    }
+
+    /// True if the stop flag was raised for an external reason (cancel token
+    /// or deadline) rather than a decision short-circuit.  Workers use this
+    /// to report a cancelled task flow instead of a witness-bearing
+    /// short-circuit flow when they unwind.
+    pub fn stopped_externally(&self) -> bool {
+        matches!(
+            self.stop_cause(),
+            Some(StopCause::Cancelled) | Some(StopCause::Deadline)
+        )
+    }
+
+    /// True if a short-circuit (or external stop) has been requested.
     pub fn short_circuited(&self) -> bool {
         self.stop.load(Ordering::Acquire)
     }
@@ -158,6 +235,35 @@ mod tests {
         t.tasks_discarded(1);
         assert!(t.all_done(), "the last discard must set done");
         assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn stop_cause_is_first_writer_wins() {
+        let t = Termination::new(1);
+        assert_eq!(t.stop_cause(), None);
+        assert!(!t.stopped_externally());
+        t.short_circuit();
+        assert_eq!(t.stop_cause(), Some(StopCause::ShortCircuit));
+        // A later external stop must not overwrite the genuine short-circuit.
+        t.stop_external(StopCause::Deadline);
+        assert_eq!(t.stop_cause(), Some(StopCause::ShortCircuit));
+        assert!(!t.stopped_externally());
+    }
+
+    #[test]
+    fn external_stop_raises_the_flag_with_its_cause() {
+        for (cause, expect_external) in [
+            (StopCause::Cancelled, true),
+            (StopCause::Deadline, true),
+            (StopCause::ShortCircuit, false),
+        ] {
+            let t = Termination::new(3);
+            t.stop_external(cause);
+            assert!(t.short_circuited());
+            assert!(t.finished());
+            assert_eq!(t.stop_cause(), Some(cause));
+            assert_eq!(t.stopped_externally(), expect_external);
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use yewpar::monoid::Monoid;
 use yewpar::objective::PruneLevel;
 use yewpar::params::Coordination;
 use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task};
-use yewpar::{Decide, Enumerate, Optimise, SearchProblem};
+use yewpar::{Decide, Enumerate, Optimise, SearchProblem, SearchStatus};
 
 /// Virtual-time costs of the simulated operations, in abstract "ticks".
 ///
@@ -74,6 +74,16 @@ pub struct SimConfig {
     /// the threaded engine's `SearchConfig::cancel_speculation`; on by
     /// default, ignored by every other coordination.
     pub cancel_speculation: bool,
+    /// Virtual-time deadline in ticks, mirroring the threaded engine's
+    /// `SearchConfig::deadline`: the simulation stops at the first event at
+    /// or past this virtual time, reports
+    /// [`SearchStatus::DeadlineExceeded`], and returns the partial result
+    /// accumulated so far (anytime semantics).  With the default
+    /// [`CostModel`] (~100 ticks per expanded node ≈ 1 µs), one millisecond
+    /// is 100 000 ticks.  `None` (the default) runs to completion.  There
+    /// is no simulated cancel token — external cancellation is an
+    /// asynchronous wall-clock phenomenon with no virtual-time analogue.
+    pub deadline_ticks: Option<u64>,
 }
 
 impl SimConfig {
@@ -87,6 +97,7 @@ impl SimConfig {
             costs: CostModel::default(),
             seed: 0xF1_6004,
             cancel_speculation: true,
+            deadline_ticks: None,
         }
     }
 
@@ -128,6 +139,11 @@ pub struct SimOutcome<R> {
     pub cancelled_tasks: u64,
     /// Number of workers simulated.
     pub workers: usize,
+    /// How the simulated search ended: [`SearchStatus::Complete`], or
+    /// [`SearchStatus::DeadlineExceeded`] when
+    /// [`SimConfig::deadline_ticks`] expired first (the result is then the
+    /// partial anytime answer).
+    pub status: SearchStatus,
 }
 
 impl<R> SimOutcome<R> {
@@ -328,6 +344,8 @@ struct SimStats {
     priority_inversions: u64,
     speculative_nodes: u64,
     cancelled_tasks: u64,
+    /// The virtual deadline fired before the search could finish.
+    deadline_hit: bool,
 }
 
 /// Simulate an enumeration search.
@@ -376,6 +394,11 @@ fn outcome<R>(stats: SimStats, config: &SimConfig, result: R) -> SimOutcome<R> {
         speculative_nodes: stats.speculative_nodes,
         cancelled_tasks: stats.cancelled_tasks,
         workers: config.workers(),
+        status: if stats.deadline_hit {
+            SearchStatus::DeadlineExceeded
+        } else {
+            SearchStatus::Complete
+        },
     }
 }
 
@@ -430,6 +453,17 @@ where
 
     while let Some(Reverse((now, w))) = events.pop() {
         if outstanding == 0 || short_circuited {
+            break;
+        }
+        // Virtual deadline: events are processed in time order, so the
+        // first event at or past the deadline ends the whole run — exactly
+        // like the threaded engine's per-step wall-clock poll, with zero
+        // nondeterminism.
+        if let Some(d) = config.deadline_ticks.filter(|&d| now >= d) {
+            stats.deadline_hit = true;
+            // The overshooting event never executes: the run ends at the
+            // deadline itself.
+            stats.makespan = d;
             break;
         }
         let mut next_time = now;
@@ -756,6 +790,16 @@ where
         if state.committed || state.outstanding == 0 {
             break;
         }
+        // Virtual deadline, exactly as in `simulate`: the commit-ordered
+        // loop stops at the first event past it, and the post-loop record
+        // classification still runs so partial work is reported honestly.
+        if let Some(d) = config.deadline_ticks.filter(|&d| now >= d) {
+            stats.deadline_hit = true;
+            // The overshooting event never executes: the run ends at the
+            // deadline itself.
+            stats.makespan = d;
+            break;
+        }
         let mut next_time = now;
         let locality = w / config.workers_per_locality;
 
@@ -1064,6 +1108,57 @@ mod tests {
     }
 
     #[test]
+    fn virtual_deadline_stops_every_coordination_with_partial_results() {
+        let p = Fib { depth: 12 };
+        for coord in [
+            Coordination::Sequential,
+            Coordination::depth_bounded(2),
+            Coordination::stack_stealing_chunked(),
+            Coordination::budget(30),
+            Coordination::ordered(2),
+        ] {
+            let full = simulate_enumerate(&p, &sim(coord, 2, 3));
+            assert!(full.status.is_complete(), "{coord}");
+            let mut cfg = sim(coord, 2, 3);
+            cfg.deadline_ticks = Some(full.makespan / 4);
+            let partial = simulate_enumerate(&p, &cfg);
+            assert_eq!(partial.status, SearchStatus::DeadlineExceeded, "{coord}");
+            assert!(
+                partial.nodes < full.nodes,
+                "{coord}: deadline at a quarter of the makespan must cut work \
+                 ({} vs {})",
+                partial.nodes,
+                full.nodes
+            );
+            assert!(partial.makespan <= full.makespan / 4, "{coord}");
+            // Virtual time is deterministic: the truncated run is exactly
+            // reproducible.
+            let again = simulate_enumerate(&p, &cfg);
+            assert_eq!(again.nodes, partial.nodes, "{coord}");
+            assert_eq!(again.makespan, partial.makespan, "{coord}");
+        }
+    }
+
+    #[test]
+    fn virtual_deadline_keeps_the_partial_incumbent() {
+        let p = Fib { depth: 12 };
+        let mut cfg = sim(Coordination::depth_bounded(2), 2, 3);
+        let full = simulate_maximise(&p, &cfg);
+        cfg.deadline_ticks = Some(full.makespan / 4);
+        let partial = simulate_maximise(&p, &cfg);
+        assert_eq!(partial.status, SearchStatus::DeadlineExceeded);
+        let partial_best = partial.result.map(|(_, s)| s).expect("root was processed");
+        let full_best = full
+            .result
+            .map(|(_, s)| s)
+            .expect("complete run has a best");
+        assert!(
+            partial_best <= full_best,
+            "anytime incumbent can only trail"
+        );
+    }
+
+    #[test]
     fn simulated_enumeration_matches_the_threaded_skeleton() {
         let p = Fib { depth: 10 };
         let reference = Skeleton::new(Coordination::Sequential).enumerate(&p).value;
@@ -1093,7 +1188,7 @@ mod tests {
             let out = simulate_maximise(&p, &sim(coord, 3, 2));
             assert_eq!(
                 out.result.as_ref().map(|(_, s)| *s),
-                Some(*reference.score()),
+                Some(*reference.try_score().unwrap()),
                 "{coord}"
             );
         }

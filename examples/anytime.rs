@@ -1,0 +1,87 @@
+//! Anytime search: a deadline-bounded TSP optimisation through the
+//! persistent [`Runtime`], streaming the incumbent as it improves.
+//!
+//! A 17-city instance is far beyond what branch-and-bound finishes in
+//! 150 ms, so the search runs as a true *anytime* solver: the deadline
+//! expires, the outcome reports `DeadlineExceeded`, and the best tour found
+//! so far is returned — exactly how time-limited exact solvers are deployed
+//! in practice.  While the search runs, the handle's progress stream prints
+//! every incumbent improvement and periodic node-count heartbeats.
+//!
+//! ```text
+//! cargo run --release --example anytime
+//! ```
+//!
+//! [`Runtime`]: yewpar::Runtime
+
+use std::time::Duration;
+
+use yewpar::{Coordination, ProgressEvent, Runtime, RuntimeConfig, SearchConfig, SearchStatus};
+use yewpar_apps::tsp::Tsp;
+use yewpar_instances::TspInstance;
+
+fn main() {
+    let instance = TspInstance::random_euclidean(17, 1000.0, 42);
+    let problem = Tsp::new(instance);
+
+    // A persistent runtime: the worker pool outlives this search and would
+    // serve any number of follow-up submissions without respawning threads.
+    let runtime = Runtime::new(RuntimeConfig::default().workers(4));
+    let mut config = SearchConfig::new(Coordination::depth_bounded(2));
+    config.workers = 4;
+    config.deadline = Some(Duration::from_millis(150));
+
+    println!(
+        "Submitting a {}-city TSP maximise with a {:?} deadline on 4 workers…",
+        problem.instance().cities(),
+        config.deadline.unwrap()
+    );
+    let handle = runtime.maximise(problem, &config);
+
+    // Consume the progress stream until the search announces its end.
+    // Scores are MinimiseScore-wrapped tour lengths, rendered via Debug.
+    // Heartbeats arrive every few thousand nodes; thin them to ~25 ms.
+    let mut next_heartbeat_print = Duration::ZERO;
+    let status = loop {
+        match handle.progress().next_timeout(Duration::from_secs(10)) {
+            Some(ProgressEvent::Incumbent {
+                version,
+                score,
+                elapsed,
+            }) => println!("  [{elapsed:>9.3?}] incumbent #{version}: {score}"),
+            Some(ProgressEvent::Heartbeat { nodes, elapsed }) => {
+                if elapsed >= next_heartbeat_print {
+                    println!("  [{elapsed:>9.3?}] … ~{nodes} nodes expanded");
+                    next_heartbeat_print = elapsed + Duration::from_millis(25);
+                }
+            }
+            Some(ProgressEvent::Finished { status }) => break status,
+            None => panic!("the search neither progressed nor finished"),
+        }
+    };
+
+    let outcome = handle.wait();
+    let (tour, score) = outcome
+        .best
+        .as_ref()
+        .expect("the incumbent stream was non-empty");
+    println!();
+    println!(
+        "Status: {status} (search budget spent: {:?})",
+        outcome.metrics.elapsed
+    );
+    println!(
+        "Best tour after the budget: length {}  {:?}",
+        score.0,
+        tour.path.iter().map(|&c| c as usize).collect::<Vec<_>>()
+    );
+    println!(
+        "Work done: {} nodes, {} prunes, {} incumbent updates, outstanding tasks {}",
+        outcome.metrics.nodes(),
+        outcome.metrics.totals.prunes,
+        outcome.metrics.totals.incumbent_updates,
+        outcome.metrics.outstanding_tasks,
+    );
+    assert_eq!(outcome.status, SearchStatus::DeadlineExceeded);
+    assert_eq!(outcome.metrics.outstanding_tasks, 0);
+}

@@ -25,10 +25,10 @@ fn main() {
             .workers(4)
             .maximise(&problem);
 
-        assert_eq!(*sequential.score(), reference);
-        assert_eq!(*parallel.score(), reference);
+        assert_eq!(*sequential.try_score().unwrap(), reference);
+        assert_eq!(*parallel.try_score().unwrap(), reference);
 
-        let chosen = problem.selected_items(parallel.node());
+        let chosen = problem.selected_items(parallel.try_node().unwrap());
         let (profit, weight) = problem.instance().evaluate(&chosen);
         println!(
             "{label:>20}: optimum profit {profit:>6} using {:>2} items, weight {weight}/{}",

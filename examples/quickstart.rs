@@ -35,13 +35,13 @@ fn main() {
         println!(
             "{coordination:<24} -> clique of size {:>2} {:?} \
              ({} nodes, {} prunes, {} tasks spawned, {:.1?})",
-            out.score(),
-            out.node().clique.to_vec(),
+            out.try_score().unwrap(),
+            out.try_node().unwrap().clique.to_vec(),
             out.metrics.nodes(),
             out.metrics.totals.prunes,
             out.metrics.spawns(),
             out.metrics.elapsed
         );
-        assert!(problem.verify(out.node()));
+        assert!(problem.verify(out.try_node().unwrap()));
     }
 }

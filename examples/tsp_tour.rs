@@ -38,8 +38,14 @@ fn main() {
     let out = Skeleton::new(Coordination::stack_stealing_chunked())
         .workers(4)
         .maximise(&problem);
-    let optimal_len = out.score().0;
-    let tour: Vec<usize> = out.node().path.iter().map(|&c| c as usize).collect();
+    let optimal_len = out.try_score().unwrap().0;
+    let tour: Vec<usize> = out
+        .try_node()
+        .unwrap()
+        .path
+        .iter()
+        .map(|&c| c as usize)
+        .collect();
 
     println!("Cities: {}", problem.instance().cities());
     println!("Greedy nearest-neighbour tour: length {greedy_len}  {greedy_tour:?}");

@@ -93,8 +93,8 @@ fn deterministic_sweep_over_workers_and_seeds() {
                 );
                 let o = skel.maximise(&p);
                 assert_eq!(
-                    o.score(),
-                    seq_opt.score(),
+                    o.try_score().unwrap(),
+                    seq_opt.try_score().unwrap(),
                     "{coord} w={workers} seed={steal_seed}: optimum diverged"
                 );
                 let d = skel.decide(&p);
@@ -133,7 +133,7 @@ proptest! {
             prop_assert_eq!(e.value.0, seq_enum.value.0, "{} enumeration value diverged", coord);
             prop_assert_eq!(e.metrics.nodes(), seq_enum.metrics.nodes(), "{} node count diverged", coord);
             let o = skel.maximise(&p);
-            prop_assert_eq!(*o.score(), *seq_opt.score(), "{} optimum diverged", coord);
+            prop_assert_eq!(*o.try_score().unwrap(), *seq_opt.try_score().unwrap(), "{} optimum diverged", coord);
             let d = skel.decide(&p);
             prop_assert_eq!(d.found(), seq_dec.found(), "{} decidability diverged", coord);
         }

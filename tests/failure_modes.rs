@@ -1,9 +1,12 @@
 //! Edge cases and failure injection across the public API: degenerate
-//! configurations, trivial search spaces, unreachable decision targets and
-//! pathological skeleton parameters must all behave predictably.
+//! configurations, trivial search spaces, unreachable decision targets,
+//! pathological skeleton parameters, and mid-run lifecycle interruptions
+//! (external cancellation, expired deadlines) must all behave predictably.
+
+use std::time::Duration;
 
 use yewpar::error::Error;
-use yewpar::{Coordination, SearchConfig, Skeleton};
+use yewpar::{CancelToken, Coordination, SearchConfig, SearchStatus, Skeleton};
 use yewpar_apps::kclique::KClique;
 use yewpar_apps::maxclique::MaxClique;
 use yewpar_apps::semigroups::Semigroups;
@@ -42,21 +45,33 @@ fn trivial_graphs_work_under_every_coordination() {
         // Single vertex.
         let p = MaxClique::new(Graph::new(1));
         assert_eq!(
-            *Skeleton::new(coord).workers(3).maximise(&p).score(),
+            *Skeleton::new(coord)
+                .workers(3)
+                .maximise(&p)
+                .try_score()
+                .unwrap(),
             1,
             "{coord}"
         );
         // Edgeless graph.
         let p = MaxClique::new(Graph::new(6));
         assert_eq!(
-            *Skeleton::new(coord).workers(3).maximise(&p).score(),
+            *Skeleton::new(coord)
+                .workers(3)
+                .maximise(&p)
+                .try_score()
+                .unwrap(),
             1,
             "{coord}"
         );
         // Complete graph.
         let p = MaxClique::new(graph::gnp(8, 1.0, 0));
         assert_eq!(
-            *Skeleton::new(coord).workers(3).maximise(&p).score(),
+            *Skeleton::new(coord)
+                .workers(3)
+                .maximise(&p)
+                .try_score()
+                .unwrap(),
             8,
             "{coord}"
         );
@@ -124,7 +139,11 @@ fn single_worker_parallel_skeletons_degenerate_gracefully() {
         Coordination::ordered(2),
     ] {
         let out = Skeleton::new(coord).workers(1).maximise(&p);
-        assert_eq!(out.score(), expected.score(), "{coord}");
+        assert_eq!(
+            out.try_score().unwrap(),
+            expected.try_score().unwrap(),
+            "{coord}"
+        );
     }
 }
 
@@ -180,10 +199,265 @@ fn panic_inside_a_speculative_ordered_task_errors_out_instead_of_wedging() {
 fn oversubscribed_worker_counts_are_safe() {
     // Far more workers than hardware threads (and than available tasks).
     let p = MaxClique::new(graph::gnp(20, 0.5, 77));
-    let expected = *Skeleton::new(Coordination::Sequential).maximise(&p).score();
+    let expected = *Skeleton::new(Coordination::Sequential)
+        .maximise(&p)
+        .try_score()
+        .unwrap();
     let out = Skeleton::new(Coordination::depth_bounded(2))
         .workers(32)
         .maximise(&p);
-    assert_eq!(*out.score(), expected);
+    assert_eq!(*out.try_score().unwrap(), expected);
     assert_eq!(out.metrics.workers, 32);
+}
+
+// ---------------------------------------------------------------------------
+// Anytime lifecycle: cancel-mid-run and deadline-exceeded, every
+// coordination × every search type
+// ---------------------------------------------------------------------------
+
+/// A deterministic irregular tree far too large to finish (multi-second at
+/// any worker count): fan-out `state % 4 + 1`, objective `state % 1000`
+/// (so the optimum is bounded by 999), decision target 1000 — unreachable,
+/// so neither optimisation pruning nor a decision short-circuit can end the
+/// search before the lifecycle interruption under test does.
+struct Endless;
+
+impl yewpar::SearchProblem for Endless {
+    type Node = (u32, u64);
+    type Gen<'a> = std::vec::IntoIter<(u32, u64)>;
+    fn root(&self) -> (u32, u64) {
+        (0, 1)
+    }
+    fn generator(&self, node: &(u32, u64)) -> Self::Gen<'_> {
+        let (depth, seed) = *node;
+        if depth >= 64 {
+            return vec![].into_iter();
+        }
+        let fanout = (seed % 4) as usize + 1;
+        (0..fanout)
+            .map(|i| {
+                (
+                    depth + 1,
+                    seed.wrapping_mul(6364136223846793005)
+                        .wrapping_add(i as u64),
+                )
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl yewpar::Enumerate for Endless {
+    type Value = yewpar::monoid::Sum<u64>;
+    fn value(&self, _n: &(u32, u64)) -> yewpar::monoid::Sum<u64> {
+        yewpar::monoid::Sum(1)
+    }
+}
+
+impl yewpar::Optimise for Endless {
+    type Score = u64;
+    fn objective(&self, node: &(u32, u64)) -> u64 {
+        node.1 % 1000
+    }
+}
+
+impl yewpar::Decide for Endless {
+    fn target(&self) -> u64 {
+        1_000 // objective < 1000 everywhere: never witnessed
+    }
+}
+
+fn every_coordination() -> [Coordination; 5] {
+    [
+        Coordination::Sequential,
+        Coordination::depth_bounded(3),
+        Coordination::stack_stealing_chunked(),
+        Coordination::budget(100),
+        Coordination::ordered(3),
+    ]
+}
+
+/// Run one interrupted search of each type and apply the shared
+/// assertions: correct status, drained termination counter, no wedged
+/// workers (the call returned, and fast).
+fn assert_interrupted(skeleton: &Skeleton, expected: SearchStatus, label: &str) {
+    let enumeration = skeleton.enumerate(&Endless);
+    assert_eq!(enumeration.status, expected, "{label}: enumerate status");
+    assert_eq!(
+        enumeration.metrics.outstanding_tasks, 0,
+        "{label}: enumerate leaked outstanding tasks"
+    );
+
+    let optimisation = skeleton.maximise(&Endless);
+    assert_eq!(optimisation.status, expected, "{label}: maximise status");
+    assert_eq!(
+        optimisation.metrics.outstanding_tasks, 0,
+        "{label}: maximise leaked outstanding tasks"
+    );
+    // Anytime semantics: the partial incumbent is reported, and it can
+    // never exceed the mathematical optimum of the objective.
+    let score = *optimisation
+        .try_score()
+        .unwrap_or_else(|| panic!("{label}: interrupted maximise must keep its partial incumbent"));
+    assert!(score <= 999, "{label}: impossible incumbent {score}");
+
+    let decision = skeleton.decide(&Endless);
+    assert_eq!(decision.status, expected, "{label}: decide status");
+    assert!(
+        decision.witness.is_none(),
+        "{label}: the unreachable target cannot have a witness"
+    );
+    assert_eq!(
+        decision.metrics.outstanding_tasks, 0,
+        "{label}: decide leaked outstanding tasks"
+    );
+}
+
+#[test]
+fn deadline_exceeded_unwinds_every_coordination_and_search_type() {
+    for coordination in every_coordination() {
+        for workers in [1usize, 4, 8] {
+            let skeleton = Skeleton::new(coordination)
+                .workers(workers)
+                .deadline(Duration::from_millis(10));
+            let started = std::time::Instant::now();
+            assert_interrupted(
+                &skeleton,
+                SearchStatus::DeadlineExceeded,
+                &format!("{coordination} workers={workers}"),
+            );
+            // Three interrupted searches with 10 ms budgets: anything near
+            // seconds means a worker wedged past its deadline.
+            assert!(
+                started.elapsed() < Duration::from_secs(20),
+                "{coordination} workers={workers}: runs took {:?}",
+                started.elapsed()
+            );
+        }
+    }
+}
+
+#[test]
+fn external_cancel_unwinds_every_coordination_and_search_type() {
+    for coordination in every_coordination() {
+        for workers in [1usize, 4, 8] {
+            // One watchdog per search: tokens are single-use, so the
+            // skeleton is rebuilt with a fresh token per search type.
+            let label = format!("{coordination} workers={workers}");
+            let run = |make: &dyn Fn(&Skeleton)| {
+                let token = CancelToken::new();
+                let skeleton = Skeleton::new(coordination)
+                    .workers(workers)
+                    .cancel_token(token.clone());
+                let watchdog = std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(10));
+                    token.cancel();
+                });
+                make(&skeleton);
+                watchdog.join().unwrap();
+            };
+            run(&|s| {
+                let out = s.enumerate(&Endless);
+                assert_eq!(out.status, SearchStatus::Cancelled, "{label}: enumerate");
+                assert_eq!(out.metrics.outstanding_tasks, 0, "{label}: enumerate");
+            });
+            run(&|s| {
+                let out = s.maximise(&Endless);
+                assert_eq!(out.status, SearchStatus::Cancelled, "{label}: maximise");
+                assert_eq!(out.metrics.outstanding_tasks, 0, "{label}: maximise");
+                assert!(
+                    out.try_node().is_some(),
+                    "{label}: cancelled maximise must keep its partial incumbent"
+                );
+            });
+            run(&|s| {
+                let out = s.decide(&Endless);
+                assert_eq!(out.status, SearchStatus::Cancelled, "{label}: decide");
+                assert_eq!(out.metrics.outstanding_tasks, 0, "{label}: decide");
+                assert!(out.witness.is_none(), "{label}: decide");
+            });
+        }
+    }
+}
+
+/// A zero deadline (or a token pulled before submission) stops the search
+/// before any worker runs: the seeded root must still be drained and the
+/// outcome must be well-formed — `best` may legitimately be empty, which
+/// is exactly why the panicking accessors were deprecated.
+#[test]
+fn pre_expired_deadline_exits_cleanly_with_an_empty_best() {
+    for coordination in every_coordination() {
+        let skeleton = Skeleton::new(coordination)
+            .workers(4)
+            .deadline(Duration::ZERO);
+        let out = skeleton.maximise(&Endless);
+        assert_eq!(out.status, SearchStatus::DeadlineExceeded, "{coordination}");
+        assert_eq!(out.metrics.outstanding_tasks, 0, "{coordination}");
+        assert!(
+            out.try_node().is_none() && out.try_score().is_none(),
+            "{coordination}: nothing was searched, so there is no incumbent"
+        );
+    }
+}
+
+/// Truncated-vs-complete agreement: on an instance small enough to finish,
+/// a deadline-truncated optimisation's partial incumbent can never exceed
+/// the sequential optimum of the same instance.
+#[test]
+fn partial_incumbent_never_exceeds_the_sequential_optimum() {
+    use yewpar_apps::irregular::Irregular;
+    let instance = Irregular::new(13, 7);
+    let reference = Skeleton::new(Coordination::Sequential).maximise(&instance);
+    assert!(reference.status.is_complete());
+    let optimum = *reference.try_score().expect("complete run has a best");
+    for coordination in every_coordination() {
+        let out = Skeleton::new(coordination)
+            .workers(4)
+            .deadline(Duration::from_millis(2))
+            .maximise(&instance);
+        // The run may or may not hit the 2 ms budget depending on machine
+        // speed — both outcomes must be coherent.
+        match out.status {
+            SearchStatus::Complete => {
+                assert_eq!(*out.try_score().unwrap(), optimum, "{coordination}")
+            }
+            SearchStatus::DeadlineExceeded => {
+                let partial = *out
+                    .try_score()
+                    .expect("the root commits before any 2 ms deadline");
+                assert!(
+                    partial <= optimum,
+                    "{coordination}: partial incumbent {partial} beats the optimum {optimum}"
+                );
+            }
+            SearchStatus::Cancelled => {
+                panic!("{coordination}: no token was attached, cancel impossible")
+            }
+        }
+        assert_eq!(out.metrics.outstanding_tasks, 0, "{coordination}");
+    }
+}
+
+/// The hoisted stack-stealing reply timeout is honoured end-to-end: a
+/// widened timeout still completes and still cancels cleanly.
+#[test]
+fn configurable_steal_reply_timeout_is_honoured() {
+    use yewpar_apps::irregular::Irregular;
+    let instance = Irregular::new(10, 3);
+    let reference = Skeleton::new(Coordination::Sequential).enumerate(&instance);
+    let mut config = SearchConfig {
+        coordination: Coordination::stack_stealing_chunked(),
+        workers: 4,
+        steal_reply_timeout: Duration::from_millis(2),
+        ..SearchConfig::default()
+    };
+    let out = Skeleton::from_config(config.clone()).enumerate(&instance);
+    assert_eq!(out.value, reference.value);
+    assert!(out.status.is_complete());
+    // And under a deadline, the wider reply timeout must not wedge the
+    // unwinding (thieves waiting on replies resolve via victim exit).
+    config.deadline = Some(Duration::from_millis(10));
+    let out = Skeleton::from_config(config).enumerate(&Endless);
+    assert_eq!(out.status, SearchStatus::DeadlineExceeded);
+    assert_eq!(out.metrics.outstanding_tasks, 0);
 }

@@ -110,7 +110,11 @@ fn model_and_library_agree_on_maxima() {
         let problem = ExplicitTree::from_model(&model_tree);
         for coord in [Coordination::Sequential, Coordination::budget(8)] {
             let out = Skeleton::new(coord).workers(2).maximise(&problem);
-            assert_eq!(*out.score(), expected, "library, seed {seed}, {coord}");
+            assert_eq!(
+                *out.try_score().unwrap(),
+                expected,
+                "library, seed {seed}, {coord}"
+            );
         }
     }
 }

@@ -27,7 +27,10 @@ fn sim_coordinations() -> Vec<Coordination> {
 fn simulated_maxclique_equals_threaded_result() {
     let g = graph::planted_clique(45, 0.4, 11, 808);
     let p = MaxClique::new(g);
-    let reference = *Skeleton::new(Coordination::Sequential).maximise(&p).score();
+    let reference = *Skeleton::new(Coordination::Sequential)
+        .maximise(&p)
+        .try_score()
+        .unwrap();
     for coord in sim_coordinations() {
         for localities in [1, 4] {
             let out = simulate_maximise(&p, &SimConfig::new(coord, localities, 4));

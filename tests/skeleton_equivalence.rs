@@ -33,8 +33,15 @@ fn maxclique_all_skeletons_agree() {
     let reference = Skeleton::new(Coordination::Sequential).maximise(&p);
     for coord in parallel_coordinations() {
         let out = Skeleton::new(coord).workers(4).maximise(&p);
-        assert_eq!(out.score(), reference.score(), "{coord}");
-        assert!(p.verify(out.node()), "{coord} returned an invalid clique");
+        assert_eq!(
+            out.try_score().unwrap(),
+            reference.try_score().unwrap(),
+            "{coord}"
+        );
+        assert!(
+            p.verify(out.try_node().unwrap()),
+            "{coord} returned an invalid clique"
+        );
     }
 }
 
@@ -60,8 +67,8 @@ fn knapsack_matches_dynamic_programming_under_every_skeleton() {
     let p = Knapsack::new(inst);
     for coord in parallel_coordinations() {
         let out = Skeleton::new(coord).workers(4).maximise(&p);
-        assert_eq!(*out.score(), reference, "{coord}");
-        assert!(p.verify(out.node()));
+        assert_eq!(*out.try_score().unwrap(), reference, "{coord}");
+        assert!(p.verify(out.try_node().unwrap()));
     }
 }
 
@@ -72,8 +79,8 @@ fn tsp_matches_held_karp_under_every_skeleton() {
     let p = Tsp::new(inst);
     for coord in parallel_coordinations() {
         let out = Skeleton::new(coord).workers(4).maximise(&p);
-        assert_eq!(out.score().0, reference, "{coord}");
-        assert!(p.verify(out.node()));
+        assert_eq!(out.try_score().unwrap().0, reference, "{coord}");
+        assert!(p.verify(out.try_node().unwrap()));
     }
 }
 
