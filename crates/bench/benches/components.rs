@@ -160,11 +160,51 @@ fn bench_runtime_submission(c: &mut Criterion) {
     group.finish();
 }
 
+/// The multiplexing A/B: the same four submissions served serially by the
+/// FIFO policy (each search granted the whole 4-worker pool) versus
+/// concurrently by FairShare (the pool split across the four).  The total
+/// work is identical; the row quantifies what admission-time multiplexing
+/// costs or saves end-to-end on the persistent pool, including the
+/// per-search driver threads FairShare spawns.
+fn bench_runtime_multiplexing(c: &mut Criterion) {
+    use yewpar::schedule::{FairShare, Fifo, SchedulePolicy};
+
+    let mut group = c.benchmark_group("components/runtime_multiplexing");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let pool_workers = 4;
+    let submissions = 4;
+    let mut config = SearchConfig::new(Coordination::depth_bounded(2));
+    config.workers = pool_workers;
+
+    let mut bench_policy = |label: &str, make_policy: fn() -> Box<dyn SchedulePolicy>| {
+        let config = config.clone();
+        group.bench_function(label, |bench| {
+            let runtime = Runtime::with_policy(
+                RuntimeConfig::default().workers(pool_workers),
+                make_policy(),
+            );
+            bench.iter(|| {
+                let handles: Vec<_> = (0..submissions)
+                    .map(|_| runtime.enumerate(Irregular::new(9, 1), &config))
+                    .collect();
+                handles.into_iter().map(|h| h.wait().value.0).sum::<u64>()
+            })
+        });
+    };
+    bench_policy("4_searches_serial_fifo", || Box::new(Fifo));
+    bench_policy("4_searches_concurrent_fair_share", || Box::new(FairShare));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitset,
     bench_workpool,
     bench_maxclique_components,
-    bench_runtime_submission
+    bench_runtime_submission,
+    bench_runtime_multiplexing
 );
 criterion_main!(benches);

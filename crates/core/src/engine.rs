@@ -305,7 +305,7 @@ where
     let start = Instant::now();
     let workers = workers.max(1);
     source.seed(Task::new(problem.root(), 0));
-    let all_metrics = spawn_and_join(lifecycle.pool.as_deref(), workers, |worker| {
+    let all_metrics = spawn_and_join(lifecycle, workers, |worker| {
         worker_loop(problem, driver, &source, &policy, term, lifecycle, worker)
     });
     // Stragglers: a worker can release spawned tasks after another worker's
@@ -322,15 +322,17 @@ where
 /// Run `worker_fn` on `workers` worker threads and collect their metrics.
 ///
 /// A single worker runs inline on the calling thread — no spawn/join cost,
-/// and panics propagate unchanged.  With several workers and no `pool`, a
-/// scoped thread is spawned per worker; with a persistent [`WorkerPool`]
-/// (runtime submissions), worker 0 runs inline on the submitting thread and
-/// the rest are dispatched to the pool's parked threads — no per-search
-/// thread spawn at all.  Either way a worker panic is detected at join and
+/// and panics propagate unchanged.  With several workers and no pool on the
+/// `lifecycle`, a scoped thread is spawned per worker; with a persistent
+/// [`WorkerPool`] (runtime submissions), worker 0 runs inline on the
+/// submitting thread and the rest are dispatched to the pool threads leased
+/// by the scheduler's grant (the whole pool when no grant restricts it) —
+/// no per-search thread spawn, and concurrently multiplexed searches stay
+/// on disjoint threads.  Either way a worker panic is detected at join and
 /// re-raised here as "a search worker panicked" ("poison handling").
 /// Shared by [`run`] and the Ordered coordination's commit-aware run loop.
 pub(crate) fn spawn_and_join<F>(
-    pool: Option<&WorkerPool>,
+    lifecycle: &Lifecycle,
     workers: usize,
     worker_fn: F,
 ) -> Vec<WorkerMetrics>
@@ -341,10 +343,19 @@ where
         return vec![worker_fn(0)];
     }
     // A zero-thread pool (a workers=1 runtime asked to run a multi-worker
-    // search) has no threads to dispatch to; fall through to scoped
-    // threads rather than dividing by zero in the pool's round-robin.
-    if let Some(pool) = pool.filter(|p| p.size() > 0) {
-        return pool.scoped_run(workers, &worker_fn);
+    // search) has no threads to dispatch to — and a grant can lease zero
+    // slots for the same reason; fall through to scoped threads rather
+    // than dividing by zero in the pool's round-robin.
+    let pool: Option<&WorkerPool> = lifecycle.pool.as_deref().filter(|p| p.size() > 0);
+    if let Some(pool) = pool {
+        let lease: Vec<usize> = match lifecycle.grant.as_ref() {
+            Some(grant) if !grant.slots.is_empty() => grant.slots.clone(),
+            Some(_) => Vec::new(),
+            None => (0..pool.size()).collect(),
+        };
+        if !lease.is_empty() {
+            return pool.scoped_run_on(&lease, workers, &worker_fn);
+        }
     }
     let poisoned = AtomicBool::new(false);
     let mut all_metrics = vec![WorkerMetrics::default(); workers];

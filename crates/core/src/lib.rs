@@ -67,16 +67,18 @@ pub mod node;
 pub mod objective;
 pub mod params;
 pub mod runtime;
+pub mod schedule;
 pub mod skeleton;
 pub mod termination;
 pub mod workpool;
 
 pub use error::{Error, Result};
 pub use lifecycle::{CancelToken, ProgressEvent, ProgressStream, SearchStatus};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, RuntimeStats};
 pub use monoid::Monoid;
 pub use node::SearchProblem;
 pub use objective::{Decide, Enumerate, Optimise, PruneLevel};
 pub use params::{Coordination, SearchConfig};
-pub use runtime::{Runtime, RuntimeConfig, SearchHandle};
+pub use runtime::{Runtime, RuntimeConfig, SearchHandle, Session, SessionStatus, ShutdownMode};
+pub use schedule::{FairShare, Fifo, SchedulePolicy};
 pub use skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};

@@ -80,7 +80,34 @@ impl std::fmt::Display for SearchStatus {
     }
 }
 
-/// A cloneable cancellation flag for stopping a search from outside.
+/// One node of a cancellation tree: an own flag plus an optional parent
+/// link.  A token is cancelled when its own flag — or any ancestor's — is
+/// set, so cancelling a parent scope cancels every descendant without
+/// bookkeeping a child list.
+#[derive(Debug, Default)]
+struct TokenNode {
+    flag: AtomicBool,
+    parent: Option<Arc<TokenNode>>,
+}
+
+impl TokenNode {
+    fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        let mut ancestor = self.parent.as_deref();
+        while let Some(node) = ancestor {
+            if node.flag.load(Ordering::Acquire) {
+                return true;
+            }
+            ancestor = node.parent.as_deref();
+        }
+        false
+    }
+}
+
+/// A cloneable, *hierarchical* cancellation flag for stopping searches from
+/// outside.
 ///
 /// Every clone observes the same flag; pulling any clone makes every
 /// coordination's workers exit at their next per-step poll, unwinding the
@@ -88,26 +115,48 @@ impl std::fmt::Display for SearchStatus {
 /// returned with [`SearchStatus::Cancelled`]).  Cancellation is level-
 /// triggered and permanent: a token cannot be re-armed, so a token attached
 /// to a [`Skeleton`](crate::skeleton::Skeleton) must be fresh per search.
+///
+/// Tokens form a tree: [`child`](CancelToken::child) derives a token that is
+/// cancelled whenever its parent (or any further ancestor) is, while
+/// cancelling the child leaves the parent untouched.  This is how a service
+/// cancels *a whole session* of searches at once — the
+/// [`Runtime`](crate::runtime::Runtime) keeps a root token, each
+/// [`Session`](crate::runtime::Session) scope is a child of it, and every
+/// submitted search gets a leaf child of its session — without the leaf
+/// tokens ever losing their single-search cancel.  Checking walks the
+/// (short) ancestor chain, so the per-step poll stays a few atomic loads.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    node: Arc<TokenNode>,
 }
 
 impl CancelToken {
-    /// A fresh, un-pulled token.
+    /// A fresh, un-pulled root token.
     pub fn new() -> Self {
         CancelToken::default()
     }
 
-    /// Pull the token: every search it is attached to stops at its next
-    /// per-step poll.  Idempotent.
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+    /// Derive a child token: cancelled when `self` (or any ancestor of it)
+    /// is cancelled, while cancelling the child does not affect `self`.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            node: Arc::new(TokenNode {
+                flag: AtomicBool::new(false),
+                parent: Some(Arc::clone(&self.node)),
+            }),
+        }
     }
 
-    /// Has the token been pulled?
+    /// Pull the token: every search it is attached to — and every search
+    /// attached to a descendant token — stops at its next per-step poll.
+    /// Idempotent.
+    pub fn cancel(&self) {
+        self.node.flag.store(true, Ordering::Release);
+    }
+
+    /// Has the token (or any ancestor scope) been pulled?
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.node.is_cancelled()
     }
 }
 
@@ -282,6 +331,11 @@ pub(crate) struct Lifecycle {
     /// Persistent worker pool to run on instead of spawning scoped threads
     /// (set by [`Runtime`](crate::runtime::Runtime) submissions).
     pub(crate) pool: Option<Arc<crate::runtime::WorkerPool>>,
+    /// The worker allotment granted by the runtime's scheduler at dispatch
+    /// time: the effective worker count, the leased pool-thread slots, the
+    /// search id and the observed queue wait.  `None` for the plain blocking
+    /// facade, whose worker count comes from the config instead.
+    pub(crate) grant: Option<crate::runtime::ExecutionGrant>,
     /// Wall-clock start of the execution (heartbeat/incumbent timestamps).
     pub(crate) start: Option<Instant>,
     /// Approximate global node counter feeding heartbeat events.
@@ -307,6 +361,17 @@ impl Lifecycle {
     /// plain blocking `Skeleton` facade with no deadline configured.
     pub(crate) fn inert() -> Self {
         Lifecycle::default()
+    }
+
+    /// The effective worker count of this execution: the scheduler's grant
+    /// for runtime submissions (worker counts are granted at dispatch, not
+    /// config time), the configured count for the blocking facade.
+    pub(crate) fn worker_count(&self, config: &crate::params::SearchConfig) -> usize {
+        self.grant
+            .as_ref()
+            .map(|g| g.workers)
+            .unwrap_or(config.workers)
+            .max(1)
     }
 
     /// Record the execution start and resolve the relative deadline.  Must
@@ -397,6 +462,55 @@ mod tests {
         assert!(b.is_cancelled());
         b.cancel(); // idempotent
         assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn child_tokens_inherit_ancestor_cancellation() {
+        let root = CancelToken::new();
+        let session = root.child();
+        let leaf_a = session.child();
+        let leaf_b = session.child();
+        let other_session = root.child();
+
+        // Cancelling a leaf stays local.
+        leaf_a.cancel();
+        assert!(leaf_a.is_cancelled());
+        assert!(!leaf_b.is_cancelled());
+        assert!(!session.is_cancelled());
+        assert!(!root.is_cancelled());
+
+        // Cancelling the session scope reaches every child under it…
+        session.cancel();
+        assert!(leaf_b.is_cancelled());
+        assert!(session.is_cancelled());
+        // …but not siblings of the scope or the root.
+        assert!(!other_session.is_cancelled());
+        assert!(!root.is_cancelled());
+
+        // Cancelling the root reaches everything.
+        root.cancel();
+        assert!(other_session.is_cancelled());
+        assert!(
+            other_session.child().is_cancelled(),
+            "late-born children observe it too"
+        );
+    }
+
+    #[test]
+    fn poll_observes_a_cancelled_parent_scope() {
+        use crate::termination::StopCause;
+        let scope = CancelToken::new();
+        let mut lc = Lifecycle {
+            cancel: Some(scope.child()),
+            ..Lifecycle::inert()
+        };
+        lc.begin(None);
+        let term = Termination::new(1);
+        lc.poll(&term);
+        assert_eq!(term.stop_cause(), None);
+        scope.cancel();
+        lc.poll(&term);
+        assert_eq!(term.stop_cause(), Some(StopCause::Cancelled));
     }
 
     #[test]

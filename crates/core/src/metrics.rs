@@ -86,6 +86,27 @@ pub struct Metrics {
     /// would indicate a task-accounting leak; the failure-mode tests assert
     /// on it.
     pub outstanding_tasks: u64,
+    /// Runtime-unique id of the search when it ran as a
+    /// [`Runtime`](crate::runtime::Runtime) submission (matches
+    /// [`SearchHandle::id`](crate::runtime::SearchHandle::id)); 0 for the
+    /// blocking facade.
+    pub search_id: u64,
+    /// The worker count the scheduler granted at dispatch time.  For a
+    /// runtime submission this is the policy's grant (which may be less
+    /// than the requested `SearchConfig::workers` under
+    /// [`FairShare`](crate::schedule::FairShare)); for the blocking facade
+    /// it equals [`workers`](Metrics::workers).
+    pub granted_workers: usize,
+    /// The pool-thread slots leased to this search — **disjoint** between
+    /// concurrently multiplexed searches, which is exactly what the
+    /// scheduler-matrix tests assert.  Empty for the blocking facade and
+    /// for single-worker grants (worker 0 runs on the driver thread, not a
+    /// pool thread).
+    pub granted_slots: Vec<usize>,
+    /// Time the submission waited in the runtime's queue before its grant,
+    /// measured on the **dispatcher's** clock (receipt → grant), so it is
+    /// comparable across submitters.  Zero for the blocking facade.
+    pub queue_wait: Duration,
 }
 
 impl Metrics {
@@ -96,11 +117,15 @@ impl Metrics {
             totals.merge(w);
         }
         Metrics {
+            granted_workers: per_worker.len(),
             workers: per_worker.len(),
             totals,
             per_worker,
             elapsed,
             outstanding_tasks: 0,
+            search_id: 0,
+            granted_slots: Vec::new(),
+            queue_wait: Duration::ZERO,
         }
     }
 
@@ -138,6 +163,29 @@ impl Metrics {
             1.0
         }
     }
+}
+
+/// A snapshot of a [`Runtime`](crate::runtime::Runtime)'s pool-wide
+/// scheduler gauges (see [`Runtime::stats`](crate::runtime::Runtime::stats)).
+/// Counters are cumulative since the runtime started; gauges reflect the
+/// instant of the snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Searches currently running (granted workers, not yet finished).
+    pub active_searches: usize,
+    /// High-water mark of `active_searches` — >1 proves searches were
+    /// actually multiplexed.
+    pub peak_active_searches: usize,
+    /// Workers currently leased out across all active searches.
+    pub granted_workers: usize,
+    /// Submissions waiting in the queue for a grant.
+    pub queued_searches: usize,
+    /// Searches that finished (including cancelled / timed-out / panicked).
+    pub completed_searches: u64,
+    /// Sum of every granted search's queue wait (dispatcher clock); divide
+    /// by [`completed_searches`](RuntimeStats::completed_searches) for the
+    /// mean.
+    pub total_queue_wait: Duration,
 }
 
 #[cfg(test)]

@@ -38,35 +38,59 @@
 //! assert_eq!(outcome.value.0, 2u64.pow(11) - 1);
 //! ```
 //!
-//! **Scheduling model.**  Submissions queue FIFO; the runtime executes one
-//! search at a time over the whole pool (the submitting search gets every
-//! pool worker).  Multiplexing several concurrent searches across disjoint
-//! worker subsets is deliberately left as a follow-up: it needs a worker-
-//! count negotiation and fairness policy that deserve their own design,
-//! while FIFO-over-the-pool already gives a service the two properties it
-//! cannot fake — no per-search thread churn and non-blocking handles.
+//! **Scheduling model.**  The dispatcher is an *allocator*: the pool's
+//! worker slots belong to the runtime, and every submission is granted an
+//! allotment at dispatch time by a pluggable
+//! [`SchedulePolicy`].  Under the default
+//! [`Fifo`] policy submissions run one at a time
+//! over the whole pool, granted exactly the worker count they asked for —
+//! the PR 4 behaviour, unchanged.  Under
+//! [`FairShare`](crate::schedule::FairShare)
+//! ([`Runtime::with_policy`]) the free workers are split proportionally
+//! across the pending queue and several searches run **concurrently on
+//! disjoint pool-thread subsets**, each with its own driver thread; leases
+//! are reclaimed and re-granted as searches finish.  The granted worker
+//! count, leased slots and dispatcher-clock queue wait are stamped onto
+//! each outcome's [`Metrics`](crate::metrics::Metrics)
+//! (`granted_workers`, `granted_slots`, `queue_wait`, `search_id`), and
+//! pool-wide gauges are available through [`Runtime::stats`].  Growing a
+//! running search's allotment when the pool goes idle is a documented
+//! follow-up — grants are currently fixed for a search's lifetime.
+//!
+//! **Sessions and hierarchical cancellation.**  Cancel tokens form a tree:
+//! [`Runtime::session`] opens a [`Session`] scope (a child of the
+//! runtime's root token) and searches submitted through it get leaf
+//! tokens, so cancelling — or dropping — the session stops its whole group
+//! of searches while leaving the rest of the runtime untouched.
+//! [`Runtime::shutdown`] takes a [`ShutdownMode`]: `Graceful` drains the
+//! queue, `Now` cancels the root scope so running searches stop at their
+//! next poll and queued ones resolve `Cancelled` at their pre-start poll
+//! (skeleton setup runs, but the search stops before any worker starts).
 //!
 //! **Anytime semantics.**  A handle's search obeys the same lifecycle rules
 //! as the blocking facade: [`SearchConfig::deadline`] bounds its wall-clock
 //! budget (counted from when the job *starts executing*, not from
 //! submission), [`SearchHandle::cancel`] stops it from outside, and either
-//! way the outcome reports an honest [`SearchStatus`](crate::lifecycle::SearchStatus) with the partial
+//! way the outcome reports an honest [`SearchStatus`] with the partial
 //! incumbent preserved.
 //!
 //! [`Skeleton`]: crate::skeleton::Skeleton
 //! [`SearchConfig::deadline`]: crate::params::SearchConfig::deadline
 
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 
-use crate::lifecycle::{progress_channel, CancelToken, ProgressStream};
-use crate::metrics::WorkerMetrics;
+use crate::lifecycle::{progress_channel, CancelToken, ProgressStream, SearchStatus};
+use crate::metrics::{RuntimeStats, WorkerMetrics};
 use crate::objective::{Decide, Enumerate, Optimise};
 use crate::params::SearchConfig;
+use crate::schedule::{Admission, Fifo, PendingRequest, SchedulePolicy};
 use crate::skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};
 
 // ---------------------------------------------------------------------------
@@ -150,21 +174,33 @@ impl WorkerPool {
         self.senders.len()
     }
 
-    /// Run `count` scoped search workers: worker 0 inline on the calling
-    /// thread, workers 1.. on the pool's parked threads (round-robin; with
-    /// more workers than threads the surplus run after earlier ones retire,
-    /// which is safe — search termination never requires a minimum worker
-    /// count, late workers simply find the search finished).  Blocks until
-    /// every worker has completed; a panic in any worker is re-raised as
-    /// "a search worker panicked", matching the scoped-thread path.
-    pub(crate) fn scoped_run<F>(&self, count: usize, worker_fn: &F) -> Vec<WorkerMetrics>
+    /// Run `count` scoped search workers on the *leased* pool threads in
+    /// `slots`: worker 0 inline on the calling thread, workers 1.. on the
+    /// listed pool threads (round-robin over the lease; with more workers
+    /// than leased threads the surplus run after earlier ones retire, which
+    /// is safe — search termination never requires a minimum worker count,
+    /// late workers simply find the search finished).  Restricting dispatch
+    /// to the lease is what keeps concurrently multiplexed searches on
+    /// **disjoint** worker subsets.  Blocks until every worker has
+    /// completed; a panic in any worker is re-raised as "a search worker
+    /// panicked", matching the scoped-thread path.
+    pub(crate) fn scoped_run_on<F>(
+        &self,
+        slots: &[usize],
+        count: usize,
+        worker_fn: &F,
+    ) -> Vec<WorkerMetrics>
     where
         F: Fn(usize) -> WorkerMetrics + Sync,
     {
         assert!(count >= 1);
         assert!(
-            !self.senders.is_empty(),
-            "scoped_run on a zero-thread pool (callers fall back to scoped threads)"
+            !self.senders.is_empty() && !slots.is_empty(),
+            "scoped_run_on with no leased pool threads (callers fall back to scoped threads)"
+        );
+        debug_assert!(
+            slots.iter().all(|&s| s < self.senders.len()),
+            "leased slot out of range"
         );
         let state = Arc::new(ScopedState {
             remaining: Mutex::new(count - 1),
@@ -188,7 +224,7 @@ impl WorkerPool {
                 index,
                 state: Arc::clone(&state),
             };
-            let target = (index - 1) % self.senders.len();
+            let target = slots[(index - 1) % slots.len()];
             if self.senders[target].send(job).is_err() {
                 // The pool is shutting down; run the worker inline instead
                 // of losing it (the latch still expects its completion).
@@ -322,51 +358,417 @@ impl RuntimeConfig {
     }
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// How [`Runtime::shutdown`] treats work that has not finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShutdownMode {
+    /// Stop accepting submissions, run every queued search to its natural
+    /// end (deadlines and cancel tokens still apply), wait for running
+    /// searches, then join all threads.  This is what dropping a [`Runtime`]
+    /// does.
+    Graceful,
+    /// Stop *now*, deterministically: cancel the runtime's root scope (every
+    /// running search stops at its next per-step poll with
+    /// [`SearchStatus::Cancelled`]), cancel every queued-but-unstarted
+    /// search (its handle resolves `Cancelled` with an empty partial instead
+    /// of hanging), then join.  No handle is left unresolved.
+    Now,
+}
 
-/// A persistent search runtime: a long-lived worker pool plus a FIFO job
-/// queue.  See the [module docs](self) for the full model.
+/// The worker allotment the scheduler granted one search at dispatch time.
+/// Flows from the dispatcher through [`Skeleton`] into the engine (which
+/// sizes its worker set and work source from it) and is stamped onto the
+/// outcome's [`Metrics`](crate::metrics::Metrics) so disjointness and
+/// queue-wait are observable per search.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExecutionGrant {
+    /// Runtime-unique id of the search (1-based; 0 = not a runtime search).
+    pub(crate) search_id: u64,
+    /// Granted worker count — the engine's effective worker count,
+    /// overriding `SearchConfig::workers` (which is the *request*).
+    pub(crate) workers: usize,
+    /// Leased pool-thread indices (disjoint between concurrently running
+    /// searches).  Workers 1.. round-robin over these; worker 0 runs on the
+    /// search's driver thread.
+    pub(crate) slots: Vec<usize>,
+    /// Time from submission to grant, recorded by the dispatcher at grant
+    /// time (the submitter never self-reports its wait).
+    pub(crate) queue_wait: Duration,
+}
+
+/// A submitted search job: runs once the scheduler grants it workers.
+type Job = Box<dyn FnOnce(ExecutionGrant) + Send + 'static>;
+
+/// A submission travelling from [`Runtime::submit_scoped`] to the
+/// dispatcher.
+struct Submission {
+    search_id: u64,
+    requested_workers: usize,
+    /// The search's (leaf) cancel token — the dispatcher pre-cancels queued
+    /// submissions on [`ShutdownMode::Now`].
+    cancel: CancelToken,
+    /// Monotonic timestamp of the submission.  Queue wait is *recorded by
+    /// the dispatcher* at grant time (`submitted_at` → grant instant), so a
+    /// submitter never self-reports its wait — and time spent in the
+    /// channel while the dispatcher runs a FIFO job inline still counts.
+    submitted_at: Instant,
+    job: Job,
+}
+
+/// Dispatcher control messages.  Submissions and driver-completion
+/// notifications share one channel so the dispatcher has a single blocking
+/// point.
+enum Control {
+    Submit(Submission),
+    /// A concurrently driven search finished; reclaim its lease.
+    Finished {
+        search_id: u64,
+        workers: usize,
+        slots: Vec<usize>,
+    },
+    Shutdown(ShutdownMode),
+}
+
+/// Pool-wide scheduler gauges, updated by the dispatcher and snapshotted by
+/// [`Runtime::stats`].
+#[derive(Debug, Default)]
+struct PoolGauges {
+    active_searches: AtomicUsize,
+    peak_active_searches: AtomicUsize,
+    granted_workers: AtomicUsize,
+    queued_searches: AtomicUsize,
+    completed_searches: AtomicU64,
+    total_queue_wait_micros: AtomicU64,
+}
+
+impl PoolGauges {
+    fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            active_searches: self.active_searches.load(Ordering::Relaxed),
+            peak_active_searches: self.peak_active_searches.load(Ordering::Relaxed),
+            granted_workers: self.granted_workers.load(Ordering::Relaxed),
+            queued_searches: self.queued_searches.load(Ordering::Relaxed),
+            completed_searches: self.completed_searches.load(Ordering::Relaxed),
+            total_queue_wait: Duration::from_micros(
+                self.total_queue_wait_micros.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+/// A submission the dispatcher has received but not yet granted workers.
+struct QueuedSearch {
+    submission: Submission,
+}
+
+/// The allocator loop state: owns the pending queue, the free worker budget
+/// and the free pool-thread slots, and executes the policy's admissions.
+struct Dispatcher {
+    rx: Receiver<Control>,
+    /// Clone handed to each driver thread for its `Finished` notification.
+    finished_tx: Sender<Control>,
+    policy: Box<dyn SchedulePolicy>,
+    /// Total worker capacity (`RuntimeConfig::workers`).
+    capacity: usize,
+    /// Unleased worker budget.  `capacity` minus the granted counts of the
+    /// running searches (saturating: FIFO grants oversubscribed requests).
+    free_workers: usize,
+    /// Unleased pool-thread indices.
+    free_slots: Vec<usize>,
+    pending: VecDeque<QueuedSearch>,
+    active: usize,
+    /// Driver threads of concurrently running searches, joined on their
+    /// `Finished` message.
+    drivers: HashMap<u64, JoinHandle<()>>,
+    gauges: Arc<PoolGauges>,
+    draining: Option<ShutdownMode>,
+}
+
+impl Dispatcher {
+    fn run(mut self) {
+        loop {
+            if self.draining.is_some() && self.pending.is_empty() && self.active == 0 {
+                break;
+            }
+            match self.rx.recv() {
+                Ok(msg) => self.handle(msg),
+                Err(_) => {
+                    // Unreachable by construction — `finished_tx` keeps the
+                    // channel open for this loop's whole lifetime (`Drop`
+                    // terminates via an explicit `Shutdown` message).  Kept
+                    // as a defensive exit so a refactor that drops that
+                    // clone cannot silently hang the dispatcher.
+                    if self.draining.is_none() {
+                        self.draining = Some(ShutdownMode::Graceful);
+                    }
+                    if self.pending.is_empty() && self.active == 0 {
+                        break;
+                    }
+                }
+            }
+            // Batch whatever else already arrived before planning, so one
+            // planning round sees the whole burst.
+            while let Ok(msg) = self.rx.try_recv() {
+                self.handle(msg);
+            }
+            self.dispatch();
+        }
+        for (_, driver) in self.drivers.drain() {
+            let _ = driver.join();
+        }
+    }
+
+    fn handle(&mut self, msg: Control) {
+        match msg {
+            Control::Submit(submission) => {
+                if matches!(self.draining, Some(ShutdownMode::Now)) {
+                    submission.cancel.cancel();
+                }
+                // `queued_searches` was already incremented by the
+                // submitter, so time spent in the control channel (e.g.
+                // while a FIFO job runs inline) shows up in the gauge.
+                self.pending.push_back(QueuedSearch { submission });
+            }
+            Control::Finished {
+                search_id,
+                workers,
+                slots,
+            } => {
+                self.reclaim(workers, slots);
+                if let Some(driver) = self.drivers.remove(&search_id) {
+                    // The driver sent `Finished` as its last action; the
+                    // join returns promptly and keeps the thread count
+                    // bounded by the number of *running* searches.
+                    let _ = driver.join();
+                }
+            }
+            Control::Shutdown(mode) => {
+                if matches!(mode, ShutdownMode::Now) {
+                    for queued in &self.pending {
+                        queued.submission.cancel.cancel();
+                    }
+                }
+                if !matches!(self.draining, Some(ShutdownMode::Now)) {
+                    self.draining = Some(mode);
+                }
+            }
+        }
+    }
+
+    /// Return a finished search's lease to the free pools.
+    fn reclaim(&mut self, workers: usize, mut slots: Vec<usize>) {
+        self.active -= 1;
+        self.free_workers = (self.free_workers + workers).min(self.capacity);
+        self.free_slots.append(&mut slots);
+        self.gauges.active_searches.fetch_sub(1, Ordering::Relaxed);
+        self.gauges
+            .granted_workers
+            .fetch_sub(workers, Ordering::Relaxed);
+        self.gauges
+            .completed_searches
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ask the policy for admissions and execute them, repeating until the
+    /// policy admits nothing (a serial policy's inline run frees the pool,
+    /// so one `dispatch` call can drain a whole FIFO queue).
+    fn dispatch(&mut self) {
+        loop {
+            if self.pending.is_empty() {
+                return;
+            }
+            let now = Instant::now();
+            let requests: Vec<PendingRequest> = self
+                .pending
+                .iter()
+                .map(|q| PendingRequest {
+                    requested_workers: q.submission.requested_workers,
+                    queued_for: now.duration_since(q.submission.submitted_at),
+                })
+                .collect();
+            let admissions =
+                self.policy
+                    .plan(&requests, self.free_workers, self.capacity, self.active);
+            if admissions.is_empty() {
+                return;
+            }
+            debug_assert!(
+                admissions.windows(2).all(|w| w[0].index < w[1].index),
+                "admission indices must be strictly increasing"
+            );
+            // Pop admitted submissions back-to-front so indices stay valid,
+            // then launch in queue order.
+            let mut admitted: Vec<(QueuedSearch, usize)> = Vec::with_capacity(admissions.len());
+            for Admission { index, workers } in admissions.into_iter().rev() {
+                let queued = self
+                    .pending
+                    .remove(index)
+                    .expect("policy admitted a pending index");
+                admitted.push((queued, workers.max(1)));
+            }
+            admitted.reverse();
+            for (queued, workers) in admitted {
+                self.launch(queued, workers);
+            }
+            // Re-plan: after inline runs (or a batch of launches) the state
+            // may admit more.
+        }
+    }
+
+    /// Lease pool slots to one admitted search and run it — inline on this
+    /// thread under a serial policy (the PR 4 fast path), on a dedicated
+    /// driver thread under a concurrent one.
+    fn launch(&mut self, queued: QueuedSearch, workers: usize) {
+        let QueuedSearch { submission } = queued;
+        // Worker 0 runs on the driver; workers 1.. need pool threads.  A
+        // FIFO oversubscribed grant takes every free slot and round-robins.
+        let lease_len = workers.saturating_sub(1).min(self.free_slots.len());
+        let slots: Vec<usize> = self.free_slots.drain(..lease_len).collect();
+        let grant = ExecutionGrant {
+            search_id: submission.search_id,
+            workers,
+            slots: slots.clone(),
+            queue_wait: submission.submitted_at.elapsed(),
+        };
+        self.active += 1;
+        self.free_workers = self.free_workers.saturating_sub(workers);
+        self.gauges.queued_searches.fetch_sub(1, Ordering::Relaxed);
+        self.gauges
+            .granted_workers
+            .fetch_add(workers, Ordering::Relaxed);
+        let active_now = self.gauges.active_searches.fetch_add(1, Ordering::Relaxed) + 1;
+        self.gauges
+            .peak_active_searches
+            .fetch_max(active_now, Ordering::Relaxed);
+        self.gauges
+            .total_queue_wait_micros
+            .fetch_add(grant.queue_wait.as_micros() as u64, Ordering::Relaxed);
+        let job = submission.job;
+        if self.policy.concurrent() {
+            let finished = self.finished_tx.clone();
+            let search_id = submission.search_id;
+            let driver = std::thread::Builder::new()
+                .name(format!("yewpar-driver-{search_id}"))
+                .spawn(move || {
+                    // The job catches search panics itself (the handle
+                    // re-raises them); this outer catch only guarantees the
+                    // lease is returned even if result delivery panics.
+                    let _ = catch_unwind(AssertUnwindSafe(|| job(grant)));
+                    let _ = finished.send(Control::Finished {
+                        search_id,
+                        workers,
+                        slots,
+                    });
+                })
+                .expect("spawn search driver");
+            self.drivers.insert(search_id, driver);
+        } else {
+            // Serial policy: inline on the dispatcher thread — zero handoff
+            // latency, identical to the PR 4 FIFO runtime.
+            job(grant);
+            self.reclaim(workers, slots);
+        }
+    }
+}
+
+/// A persistent search runtime: a long-lived worker pool plus a
+/// policy-driven multiplexing scheduler.  See the [module docs](self) for
+/// the full model.
 pub struct Runtime {
-    jobs: Option<Sender<Job>>,
+    control: Option<Sender<Control>>,
     dispatcher: Option<JoinHandle<()>>,
     pool: Arc<WorkerPool>,
     config: RuntimeConfig,
+    /// Root of the runtime's cancellation tree: sessions are children,
+    /// searches are grandchildren (or children, for sessionless
+    /// submissions).  [`ShutdownMode::Now`] cancels it.
+    root: CancelToken,
+    gauges: Arc<PoolGauges>,
+    next_search_id: AtomicU64,
+    policy_name: &'static str,
 }
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
             .field("workers", &self.config.workers)
+            .field("policy", &self.policy_name)
             .finish()
     }
 }
 
 impl Runtime {
-    /// Start a runtime: spawn the worker pool and the dispatcher thread.
+    /// Start a runtime with the default [`Fifo`] scheduling policy — one
+    /// search at a time over the whole pool, exactly the PR 4 behaviour.
     pub fn new(config: RuntimeConfig) -> Self {
+        Runtime::with_policy(config, Box::new(Fifo))
+    }
+
+    /// Start a runtime with an explicit scheduling policy (e.g.
+    /// [`FairShare`](crate::schedule::FairShare) to multiplex concurrent
+    /// searches over disjoint worker subsets).
+    pub fn with_policy(config: RuntimeConfig, policy: Box<dyn SchedulePolicy>) -> Self {
         let pool = Arc::new(WorkerPool::new(config.workers.saturating_sub(1)));
-        let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let capacity = config.workers.max(1);
+        let (tx, rx) = bounded::<Control>(config.queue_capacity.max(1));
+        let gauges = Arc::new(PoolGauges::default());
+        let policy_name = policy.name();
+        let dispatcher_state = Dispatcher {
+            rx,
+            finished_tx: tx.clone(),
+            policy,
+            capacity,
+            free_workers: capacity,
+            free_slots: (0..pool.size()).collect(),
+            pending: VecDeque::new(),
+            active: 0,
+            drivers: HashMap::new(),
+            gauges: Arc::clone(&gauges),
+            draining: None,
+        };
         let dispatcher = std::thread::Builder::new()
             .name("yewpar-dispatch".into())
-            .spawn(move || {
-                // FIFO, one search at a time; a panicking search is caught
-                // (its handle re-raises) so the dispatcher survives.
-                while let Ok(job) = rx.recv() {
-                    job();
-                }
-            })
+            .spawn(move || dispatcher_state.run())
             .expect("spawn runtime dispatcher");
         Runtime {
-            jobs: Some(tx),
+            control: Some(tx),
             dispatcher: Some(dispatcher),
             pool,
             config,
+            root: CancelToken::new(),
+            gauges,
+            next_search_id: AtomicU64::new(1),
+            policy_name,
         }
     }
 
     /// The effective configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
+    }
+
+    /// The active scheduling policy's name (`"fifo"`, `"fair-share"`, …).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// A snapshot of the pool-wide scheduler gauges: active searches,
+    /// granted workers, queue depth, peak concurrency and cumulative
+    /// queue-wait.
+    pub fn stats(&self) -> RuntimeStats {
+        self.gauges.snapshot()
+    }
+
+    /// Open a [`Session`]: a cancellation scope grouping any number of
+    /// subsequent submissions.  Cancelling the session — or just dropping
+    /// it — cancels every search submitted through it; the session also
+    /// aggregates its searches' terminal [`SearchStatus`]es.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            runtime: self,
+            scope: self.root.child(),
+            state: Arc::new(SessionState::default()),
+            armed: true,
+        }
     }
 
     /// Submit an enumeration search; returns immediately with a handle.
@@ -379,9 +781,14 @@ impl Runtime {
         P: Enumerate + Send + Sync + 'static,
         P::Value: Send + 'static,
     {
-        self.submit(problem, config, |skeleton, problem| {
-            skeleton.enumerate(problem)
-        })
+        self.submit_scoped(
+            &self.root,
+            None,
+            problem,
+            config,
+            |skeleton, problem| skeleton.enumerate(problem),
+            |outcome| outcome.status,
+        )
     }
 
     /// Submit an optimisation search; returns immediately with a handle.
@@ -395,9 +802,14 @@ impl Runtime {
         P: Optimise + Send + Sync + 'static,
         P::Node: 'static,
     {
-        self.submit(problem, config, |skeleton, problem| {
-            skeleton.maximise(problem)
-        })
+        self.submit_scoped(
+            &self.root,
+            None,
+            problem,
+            config,
+            |skeleton, problem| skeleton.maximise(problem),
+            |outcome| outcome.status,
+        )
     }
 
     /// Submit a decision search; returns immediately with a handle.
@@ -410,61 +822,320 @@ impl Runtime {
         P: Decide + Send + Sync + 'static,
         P::Node: 'static,
     {
-        self.submit(problem, config, |skeleton, problem| {
-            skeleton.decide(problem)
-        })
+        self.submit_scoped(
+            &self.root,
+            None,
+            problem,
+            config,
+            |skeleton, problem| skeleton.decide(problem),
+            |outcome| outcome.status,
+        )
     }
 
-    fn submit<P, T>(
+    /// The shared submission path: derive a leaf cancel token under
+    /// `parent`, wrap the search into a grant-accepting job, and hand it to
+    /// the dispatcher.  `status_of` lets the (type-erased) session
+    /// aggregation read the outcome's terminal status.
+    fn submit_scoped<P, T>(
         &self,
+        parent: &CancelToken,
+        session: Option<Arc<SessionState>>,
         problem: P,
         config: &SearchConfig,
         run: impl FnOnce(&Skeleton, &P) -> T + Send + 'static,
+        status_of: fn(&T) -> SearchStatus,
     ) -> SearchHandle<T>
     where
         P: Send + Sync + 'static,
         T: Send + 'static,
     {
-        let cancel = CancelToken::new();
+        let search_id = self.next_search_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = parent.child();
         let (progress_tx, progress_rx) = progress_channel(self.config.progress_capacity);
         let shared: Arc<HandleState<T>> = Arc::new(HandleState::new());
         let skeleton = Skeleton::from_config(config.clone())
             .cancel_token(cancel.clone())
             .attach_progress(progress_tx)
             .attach_pool(Arc::clone(&self.pool));
+        if let Some(state) = &session {
+            state.submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        // Count the submission as queued from the moment it is sent — not
+        // from dispatcher receipt — so a backlog sitting in the control
+        // channel while a FIFO job runs inline is visible in `stats()`,
+        // matching the queue-wait semantics (channel time counts).
+        self.gauges.queued_searches.fetch_add(1, Ordering::Relaxed);
         let job_state = Arc::clone(&shared);
-        let job: Job = Box::new(move || {
+        let job: Job = Box::new(move |grant: ExecutionGrant| {
+            let skeleton = skeleton.attach_grant(grant);
             let outcome = catch_unwind(AssertUnwindSafe(|| run(&skeleton, &problem)));
+            if let Some(state) = &session {
+                state.record(outcome.as_ref().map(status_of).ok());
+            }
             job_state.complete(outcome);
         });
         let sent = self
-            .jobs
+            .control
             .as_ref()
             .expect("runtime is live until dropped")
-            .send(job);
+            .send(Control::Submit(Submission {
+                search_id,
+                requested_workers: config.workers.max(1),
+                cancel: cancel.clone(),
+                submitted_at: Instant::now(),
+                job,
+            }));
         assert!(sent.is_ok(), "dispatcher outlives the runtime handle");
         SearchHandle {
+            id: search_id,
             state: shared,
             progress: progress_rx,
             cancel,
         }
     }
 
-    /// Shut the runtime down: stop accepting submissions, run every queued
-    /// job to completion, then join the dispatcher and the pool.  `Drop`
-    /// does the same; this method only makes the blocking explicit.
-    pub fn shutdown(self) {}
-}
+    /// Shut the runtime down deterministically per `mode`:
+    /// [`ShutdownMode::Graceful`] runs every queued search to completion
+    /// first (what `Drop` does); [`ShutdownMode::Now`] cancels the root
+    /// scope so running searches stop at their next poll and queued ones
+    /// resolve [`SearchStatus::Cancelled`] at their pre-start poll — each
+    /// queued job is still dispatched (skeleton setup plus one stop-flag
+    /// check), but stops before any worker expands a node.  Either way
+    /// every outstanding [`SearchHandle`] is resolved and every thread
+    /// joined before this returns.
+    pub fn shutdown(mut self, mode: ShutdownMode) {
+        self.shutdown_inner(mode);
+    }
 
-impl Drop for Runtime {
-    fn drop(&mut self) {
-        // Closing the sender lets the dispatcher drain the queue and exit;
-        // handles of queued searches therefore always resolve.
-        self.jobs = None;
+    fn shutdown_inner(&mut self, mode: ShutdownMode) {
+        let Some(control) = self.control.take() else {
+            return; // Already shut down explicitly; Drop becomes a no-op.
+        };
+        if matches!(mode, ShutdownMode::Now) {
+            // Root-scope cancel reaches running searches immediately (the
+            // dispatcher may be busy running one inline) and pre-cancels
+            // everything still queued.
+            self.root.cancel();
+        }
+        let _ = control.send(Control::Shutdown(mode));
+        drop(control);
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
         // The pool joins its threads in its own drop.
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_inner(ShutdownMode::Graceful);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// Per-session terminal-status counters (see [`Session::status`]).
+#[derive(Debug, Default)]
+struct SessionState {
+    submitted: AtomicU64,
+    complete: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panicked: AtomicU64,
+}
+
+impl SessionState {
+    /// Record one search's terminal status (`None` = the search panicked).
+    fn record(&self, status: Option<SearchStatus>) {
+        let counter = match status {
+            Some(SearchStatus::Complete) => &self.complete,
+            Some(SearchStatus::Cancelled) => &self.cancelled,
+            Some(SearchStatus::DeadlineExceeded) => &self.deadline_exceeded,
+            None => &self.panicked,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SessionStatus {
+        SessionStatus {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            complete: self.complete.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregated terminal statuses of the searches submitted through one
+/// [`Session`] — a snapshot, not a live view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Searches submitted through the session so far.
+    pub submitted: u64,
+    /// Searches that ran to their natural end.
+    pub complete: u64,
+    /// Searches stopped by a cancel (their own token, the session scope, or
+    /// the runtime's root scope).
+    pub cancelled: u64,
+    /// Searches stopped by their deadline.
+    pub deadline_exceeded: u64,
+    /// Searches that panicked (the panic re-raises on their handle).
+    pub panicked: u64,
+}
+
+impl SessionStatus {
+    /// Searches that have reached *any* terminal state.
+    pub fn finished(&self) -> u64 {
+        self.complete + self.cancelled + self.deadline_exceeded + self.panicked
+    }
+
+    /// Have all submitted searches finished?
+    pub fn all_finished(&self) -> bool {
+        self.finished() == self.submitted
+    }
+
+    /// The session's aggregate [`SearchStatus`], worst-first: `Cancelled`
+    /// if any search was cancelled, else `DeadlineExceeded` if any timed
+    /// out, else `Complete`.  `None` while no search has finished (or none
+    /// was submitted).  Panicked searches are excluded — they re-raise on
+    /// their handles.
+    pub fn aggregate(&self) -> Option<SearchStatus> {
+        if self.finished() == 0 {
+            return None;
+        }
+        Some(if self.cancelled > 0 {
+            SearchStatus::Cancelled
+        } else if self.deadline_exceeded > 0 {
+            SearchStatus::DeadlineExceeded
+        } else {
+            SearchStatus::Complete
+        })
+    }
+}
+
+/// A cancellation scope over a group of searches — the service-grade answer
+/// to "cancel this user's whole session".
+///
+/// Created by [`Runtime::session`]; submissions made through the session
+/// get cancel tokens that are **children** of the session scope, so
+/// [`cancel`](Session::cancel) — or simply dropping the session — stops
+/// every search submitted through it (running ones stop at their next poll
+/// with `Cancelled` and keep their partial incumbents; queued ones resolve
+/// at their pre-start poll, before any worker expands a node).  Cancelling
+/// an individual handle never affects its
+/// siblings.  Call [`detach`](Session::detach) to drop the scope *without*
+/// cancelling.
+pub struct Session<'rt> {
+    runtime: &'rt Runtime,
+    scope: CancelToken,
+    state: Arc<SessionState>,
+    /// Drop cancels the scope unless the session was detached.
+    armed: bool,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("status", &self.status())
+            .field("cancelled", &self.scope.is_cancelled())
+            .finish()
+    }
+}
+
+impl Session<'_> {
+    /// Submit an enumeration search under this session's scope.
+    pub fn enumerate<P>(
+        &self,
+        problem: P,
+        config: &SearchConfig,
+    ) -> SearchHandle<EnumOutcome<P::Value>>
+    where
+        P: Enumerate + Send + Sync + 'static,
+        P::Value: Send + 'static,
+    {
+        self.runtime.submit_scoped(
+            &self.scope,
+            Some(Arc::clone(&self.state)),
+            problem,
+            config,
+            |skeleton, problem| skeleton.enumerate(problem),
+            |outcome| outcome.status,
+        )
+    }
+
+    /// Submit an optimisation search under this session's scope.
+    pub fn maximise<P>(
+        &self,
+        problem: P,
+        config: &SearchConfig,
+    ) -> SearchHandle<OptimOutcome<P::Node, P::Score>>
+    where
+        P: Optimise + Send + Sync + 'static,
+        P::Node: 'static,
+    {
+        self.runtime.submit_scoped(
+            &self.scope,
+            Some(Arc::clone(&self.state)),
+            problem,
+            config,
+            |skeleton, problem| skeleton.maximise(problem),
+            |outcome| outcome.status,
+        )
+    }
+
+    /// Submit a decision search under this session's scope.
+    pub fn decide<P>(
+        &self,
+        problem: P,
+        config: &SearchConfig,
+    ) -> SearchHandle<DecideOutcome<P::Node>>
+    where
+        P: Decide + Send + Sync + 'static,
+        P::Node: 'static,
+    {
+        self.runtime.submit_scoped(
+            &self.scope,
+            Some(Arc::clone(&self.state)),
+            problem,
+            config,
+            |skeleton, problem| skeleton.decide(problem),
+            |outcome| outcome.status,
+        )
+    }
+
+    /// Cancel every search submitted through this session (idempotent;
+    /// future submissions through the session are born cancelled).
+    pub fn cancel(&self) {
+        self.scope.cancel();
+    }
+
+    /// A clone of the session's scope token — e.g. for a watchdog that
+    /// cancels the whole session on a timeout.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.scope.clone()
+    }
+
+    /// Snapshot of the session's aggregated search statuses.
+    pub fn status(&self) -> SessionStatus {
+        self.state.snapshot()
+    }
+
+    /// Consume the session *without* cancelling its searches: they keep
+    /// running to their natural ends, detached from any scope but the
+    /// runtime's root.
+    pub fn detach(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.scope.cancel();
+        }
     }
 }
 
@@ -518,6 +1189,7 @@ impl<T> HandleState<T> {
 /// search (it keeps running to its natural end); cancel first if the work
 /// is no longer wanted.
 pub struct SearchHandle<T> {
+    id: u64,
     state: Arc<HandleState<T>>,
     progress: ProgressStream,
     cancel: CancelToken,
@@ -526,6 +1198,7 @@ pub struct SearchHandle<T> {
 impl<T> std::fmt::Debug for SearchHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SearchHandle")
+            .field("id", &self.id)
             .field("finished", &self.is_finished())
             .field("cancelled", &self.cancel.is_cancelled())
             .finish()
@@ -533,6 +1206,12 @@ impl<T> std::fmt::Debug for SearchHandle<T> {
 }
 
 impl<T> SearchHandle<T> {
+    /// The search's runtime-unique id (1-based), matching the
+    /// [`Metrics::search_id`](crate::metrics::Metrics::search_id) on its
+    /// outcome.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
     /// Block until the search finishes and return its outcome.  A panic
     /// inside the search is re-raised here.
     pub fn wait(self) -> T {
@@ -578,7 +1257,7 @@ impl<T> SearchHandle<T> {
     }
 
     /// Cancel the search from any thread: it stops at its next per-step
-    /// poll and resolves with [`SearchStatus::Cancelled`](crate::lifecycle::SearchStatus::Cancelled), carrying the
+    /// poll and resolves with [`SearchStatus::Cancelled`], carrying the
     /// partial incumbent found so far.  Idempotent; cancelling a queued
     /// search makes it resolve (almost) immediately when it reaches the
     /// front of the queue.
@@ -869,5 +1548,249 @@ mod tests {
             assert_eq!(out.value.0, expected, "{coordination}");
             assert!(out.status.is_complete());
         }
+    }
+
+    /// An effectively unbounded tree: only cancellation or a deadline can
+    /// end a search over it.
+    struct Endless;
+
+    impl SearchProblem for Endless {
+        type Node = (u32, u64);
+        type Gen<'a> = std::vec::IntoIter<(u32, u64)>;
+        fn root(&self) -> (u32, u64) {
+            (0, 1)
+        }
+        fn generator(&self, node: &(u32, u64)) -> Self::Gen<'_> {
+            let (depth, seed) = *node;
+            if depth >= 64 {
+                return vec![].into_iter();
+            }
+            let fanout = (seed % 4) as usize + 1;
+            (0..fanout)
+                .map(|i| {
+                    (
+                        depth + 1,
+                        seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add(i as u64),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    impl Optimise for Endless {
+        type Score = u64;
+        fn objective(&self, node: &(u32, u64)) -> u64 {
+            node.1 % 1000
+        }
+    }
+
+    #[test]
+    fn fair_share_grants_disjoint_worker_subsets() {
+        use crate::schedule::FairShare;
+        let problem = Irregular { depth: 9 };
+        let expected = crate::node::subtree_size(&problem, &problem.root());
+        let runtime =
+            Runtime::with_policy(RuntimeConfig::default().workers(8), Box::new(FairShare));
+        assert_eq!(runtime.policy_name(), "fair-share");
+        let cfg = config(Coordination::depth_bounded(2), 4);
+        let handles: Vec<_> = (0..2)
+            .map(|_| runtime.enumerate(Irregular { depth: 9 }, &cfg))
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+        for out in &outcomes {
+            assert_eq!(out.value.0, expected);
+            assert!(out.status.is_complete());
+            assert_eq!(out.metrics.outstanding_tasks, 0);
+            assert_eq!(
+                out.metrics.granted_workers, 4,
+                "a 4-worker request on an 8-worker pool is granted in full"
+            );
+            assert_eq!(out.metrics.workers, 4, "the engine ran the granted count");
+            assert_eq!(out.metrics.granted_slots.len(), 3, "worker 0 is the driver");
+        }
+        assert_ne!(outcomes[0].metrics.search_id, outcomes[1].metrics.search_id);
+        assert!(
+            outcomes[0]
+                .metrics
+                .granted_slots
+                .iter()
+                .all(|s| !outcomes[1].metrics.granted_slots.contains(s)),
+            "concurrent grants must lease disjoint pool threads: {:?} vs {:?}",
+            outcomes[0].metrics.granted_slots,
+            outcomes[1].metrics.granted_slots
+        );
+        // The dispatcher reclaims a lease *after* the handle resolves, so
+        // give the gauges a moment to catch up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let stats = loop {
+            let stats = runtime.stats();
+            if stats.completed_searches == 2 || std::time::Instant::now() > deadline {
+                break stats;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        assert_eq!(stats.completed_searches, 2);
+        assert_eq!(stats.active_searches, 0);
+        assert_eq!(stats.granted_workers, 0, "all leases reclaimed");
+    }
+
+    #[test]
+    fn fifo_queue_wait_is_recorded_at_grant_time() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let mut first_cfg = config(Coordination::depth_bounded(2), 2);
+        first_cfg.deadline = Some(Duration::from_millis(50));
+        let first = runtime.maximise(Endless, &first_cfg);
+        let second =
+            runtime.enumerate(Irregular { depth: 6 }, &config(Coordination::Sequential, 1));
+        let first_out = first.wait();
+        let second_out = second.wait();
+        assert_eq!(
+            first_out.status,
+            crate::lifecycle::SearchStatus::DeadlineExceeded
+        );
+        // The second search was submitted before the first (50 ms) finished,
+        // so its recorded queue wait must cover most of that run.
+        assert!(
+            second_out.metrics.queue_wait >= Duration::from_millis(30),
+            "queue wait {:?} must include the predecessor's run",
+            second_out.metrics.queue_wait
+        );
+        assert!(
+            first_out.metrics.queue_wait < second_out.metrics.queue_wait,
+            "the head of the queue waits less than its successor"
+        );
+        assert!(runtime.stats().total_queue_wait >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn shutdown_now_resolves_queued_handles_as_cancelled() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let cfg = config(Coordination::depth_bounded(3), 2);
+        // One endless search runs; three more queue behind it.  Without the
+        // root-scope cancel this would hang forever.
+        let handles: Vec<_> = (0..4).map(|_| runtime.maximise(Endless, &cfg)).collect();
+        std::thread::sleep(Duration::from_millis(10));
+        runtime.shutdown(ShutdownMode::Now);
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert!(handle.is_finished(), "search {i} left unresolved");
+            let out = handle.wait();
+            assert_eq!(
+                out.status,
+                crate::lifecycle::SearchStatus::Cancelled,
+                "search {i}"
+            );
+            assert_eq!(out.metrics.outstanding_tasks, 0, "search {i}");
+        }
+    }
+
+    #[test]
+    fn shutdown_graceful_runs_every_queued_search() {
+        let problem = Irregular { depth: 7 };
+        let expected = crate::node::subtree_size(&problem, &problem.root());
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let cfg = config(Coordination::depth_bounded(2), 2);
+        let handles: Vec<_> = (0..3)
+            .map(|_| runtime.enumerate(Irregular { depth: 7 }, &cfg))
+            .collect();
+        runtime.shutdown(ShutdownMode::Graceful);
+        for handle in handles {
+            let out = handle.wait();
+            assert!(out.status.is_complete());
+            assert_eq!(out.value.0, expected);
+        }
+    }
+
+    #[test]
+    fn session_cancel_stops_every_child_search() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(4));
+        let session = runtime.session();
+        let cfg = config(Coordination::depth_bounded(3), 4);
+        let a = session.maximise(Endless, &cfg);
+        let b = session.maximise(Endless, &cfg);
+        std::thread::sleep(Duration::from_millis(5));
+        session.cancel();
+        let out_a = a.wait();
+        let out_b = b.wait();
+        assert_eq!(out_a.status, crate::lifecycle::SearchStatus::Cancelled);
+        assert_eq!(out_b.status, crate::lifecycle::SearchStatus::Cancelled);
+        assert_eq!(out_a.metrics.outstanding_tasks, 0);
+        assert_eq!(out_b.metrics.outstanding_tasks, 0);
+        let status = session.status();
+        assert_eq!(status.submitted, 2);
+        assert_eq!(status.cancelled, 2);
+        assert!(status.all_finished());
+        assert_eq!(
+            status.aggregate(),
+            Some(crate::lifecycle::SearchStatus::Cancelled)
+        );
+    }
+
+    #[test]
+    fn dropping_a_session_cancels_its_children_but_not_siblings() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(4));
+        let cfg = config(Coordination::depth_bounded(3), 4);
+        let doomed = {
+            let session = runtime.session();
+            session.maximise(Endless, &cfg)
+            // Dropping the scope here cancels the still-queued/running child.
+        };
+        let out = doomed.wait();
+        assert_eq!(out.status, crate::lifecycle::SearchStatus::Cancelled);
+        // A search submitted outside the dropped session is unaffected.
+        let p = Irregular { depth: 7 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let out = runtime
+            .enumerate(
+                Irregular { depth: 7 },
+                &config(Coordination::depth_bounded(2), 2),
+            )
+            .wait();
+        assert!(out.status.is_complete());
+        assert_eq!(out.value.0, expected);
+    }
+
+    #[test]
+    fn detached_sessions_let_children_finish() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let p = Irregular { depth: 7 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let handle = {
+            let session = runtime.session();
+            let handle = session.enumerate(
+                Irregular { depth: 7 },
+                &config(Coordination::depth_bounded(2), 2),
+            );
+            session.detach();
+            handle
+        };
+        let out = handle.wait();
+        assert!(
+            out.status.is_complete(),
+            "a detached session must not cancel"
+        );
+        assert_eq!(out.value.0, expected);
+    }
+
+    #[test]
+    fn handle_ids_match_outcome_metrics() {
+        let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+        let handle = runtime.enumerate(
+            Irregular { depth: 6 },
+            &config(Coordination::depth_bounded(2), 2),
+        );
+        let id = handle.id();
+        assert!(id >= 1);
+        let out = handle.wait();
+        assert_eq!(out.metrics.search_id, id);
+        assert_eq!(
+            out.metrics.granted_workers, 2,
+            "the grant (not the facade default) must be stamped onto metrics"
+        );
+        assert!(
+            !out.metrics.granted_slots.is_empty(),
+            "a 2-worker runtime grant leases at least one pool slot"
+        );
     }
 }

@@ -1,0 +1,372 @@
+//! Pluggable scheduling policies for the multiplexed [`Runtime`].
+//!
+//! Since PR 5 the runtime's dispatcher is an *allocator*: it owns the pool's
+//! worker slots and leases disjoint subsets of them to searches, running
+//! several searches concurrently and reclaiming workers as searches finish.
+//! *Which* pending submissions are admitted, and with how many workers each,
+//! is policy — and, mirroring the paper's design of keeping coordination
+//! policy pluggable behind one engine, scheduling policy is a trait with the
+//! mechanism (slot leasing, dispatch, reclamation) owned by the runtime:
+//!
+//! * [`Fifo`] — the PR 4 behaviour and the default: one search at a time
+//!   over the whole pool, granted exactly the worker count it asked for
+//!   (oversubscription allowed), admitted only when the pool is fully free.
+//!   Zero scheduling latency, no co-tenant interference — still the right
+//!   choice for a dedicated solver box.
+//! * [`FairShare`] — multi-tenant service scheduling: a submission is
+//!   admitted as soon as **one** worker is free, and the free workers are
+//!   split proportionally across the pending queue (each submission capped
+//!   at the worker count it requested).  Two searches requesting half an
+//!   8-worker pool each therefore run *concurrently* on disjoint 4-worker
+//!   subsets instead of serialising.
+//!
+//! A policy only *plans* ([`SchedulePolicy::plan`]): it maps the pending
+//! queue and the free-worker count to admissions.  It never touches threads
+//! or slots, which keeps implementations pure and unit-testable — and lets
+//! the discrete-event simulator drive the *same* policy objects in virtual
+//! time (`yewpar_sim::simulate_multiplexed`), so fairness properties can be
+//! asserted deterministically.
+//!
+//! [`Runtime`]: crate::runtime::Runtime
+
+use std::time::Duration;
+
+/// A submission waiting in the runtime's queue, as seen by a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The worker count the submission asked for
+    /// ([`SearchConfig::workers`](crate::params::SearchConfig::workers)).
+    pub requested_workers: usize,
+    /// How long the submission has been waiting, from its submission
+    /// timestamp to the dispatcher's planning instant (both read on the
+    /// process-monotonic clock, computed by the dispatcher — the submitter
+    /// never self-reports).  Time spent in the submission channel while the
+    /// dispatcher runs a FIFO job inline therefore counts as waiting.
+    pub queued_for: Duration,
+}
+
+/// One admission decision: grant `workers` workers to the pending
+/// submission at `index` (an index into the `pending` slice passed to
+/// [`SchedulePolicy::plan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Index into the pending queue (FIFO order, 0 = oldest).
+    pub index: usize,
+    /// Workers granted.  At least 1; policies other than [`Fifo`] keep it
+    /// within both the request and the free-worker budget.
+    pub workers: usize,
+}
+
+/// A scheduling policy: decides which pending submissions the runtime
+/// admits, and with how many workers each.
+///
+/// The runtime calls [`plan`](SchedulePolicy::plan) whenever the scheduler
+/// state changes (a submission arrives, a search finishes) and then executes
+/// the returned admissions itself: leasing disjoint pool-thread slots,
+/// dispatching the search, and reclaiming the lease when it finishes.  See
+/// the [module docs](self) for the two built-in policies.
+pub trait SchedulePolicy: Send + 'static {
+    /// Short policy name for logs, metrics and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// May several searches run concurrently under this policy?  When
+    /// `false` the runtime executes admitted jobs inline on the dispatcher
+    /// thread (the PR 4 fast path: zero handoff latency, submission-to-start
+    /// identical to the FIFO runtime); when `true` each admitted search gets
+    /// its own driver thread so the dispatcher stays free to admit more.
+    fn concurrent(&self) -> bool;
+
+    /// Plan admissions for the current scheduler state.
+    ///
+    /// `pending` is the FIFO submission queue (index 0 = oldest),
+    /// `free_workers` the unleased worker count, `capacity` the pool's total
+    /// worker count, and `active` the number of searches currently running.
+    /// Returned indices must be strictly increasing and each admission must
+    /// grant at least one worker; the runtime debug-asserts both.
+    fn plan(
+        &mut self,
+        pending: &[PendingRequest],
+        free_workers: usize,
+        capacity: usize,
+        active: usize,
+    ) -> Vec<Admission>;
+}
+
+/// One search at a time over the whole pool — the PR 4 scheduler and the
+/// default.  The head of the queue is admitted only when the pool is fully
+/// free and is granted exactly the worker count it requested, even beyond
+/// the pool size (oversubscribed workers round-robin onto the leased
+/// threads, exactly as before).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fifo;
+
+impl SchedulePolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn concurrent(&self) -> bool {
+        false
+    }
+
+    fn plan(
+        &mut self,
+        pending: &[PendingRequest],
+        free_workers: usize,
+        capacity: usize,
+        active: usize,
+    ) -> Vec<Admission> {
+        if active > 0 || free_workers < capacity {
+            return Vec::new();
+        }
+        pending
+            .first()
+            .map(|head| {
+                vec![Admission {
+                    index: 0,
+                    workers: head.requested_workers.max(1),
+                }]
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Proportional worker split across the pending queue, admission as soon as
+/// one worker is free.
+///
+/// Each planning round divides the free workers evenly over the still-
+/// pending submissions (oldest first, remainder to the earlier ones via the
+/// shrinking divisor), capping every grant at the submission's requested
+/// worker count; a redistribution pass then tops admissions up to their
+/// requests (oldest first) with whatever small requests left unused, so no
+/// worker idles while an admitted request is unmet.  The policy is
+/// work-conserving across the admitted set: a lone tenant that asks for the
+/// whole pool gets it; concurrency arises whenever tenants request less
+/// than the pool (or arrive while part of it is leased out).  Admitted
+/// searches keep their allotment until they finish — there is no preemption,
+/// so fairness is *admission-time* fairness (see README for when FIFO is
+/// still the right choice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FairShare;
+
+impl SchedulePolicy for FairShare {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn concurrent(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &mut self,
+        pending: &[PendingRequest],
+        free_workers: usize,
+        _capacity: usize,
+        _active: usize,
+    ) -> Vec<Admission> {
+        let mut admissions = Vec::new();
+        let mut free = free_workers;
+        let mut remaining = pending.len();
+        for (index, request) in pending.iter().enumerate() {
+            if free == 0 {
+                break;
+            }
+            // Ceiling division: the remainder goes to the *older* waiters.
+            let share = free.div_ceil(remaining).max(1);
+            let workers = request.requested_workers.clamp(1, share).min(free);
+            admissions.push(Admission { index, workers });
+            free -= workers;
+            remaining -= 1;
+        }
+        // Redistribution pass: a small request early in the queue shrinks
+        // later shares, which can leave workers unleased while another
+        // admitted request is still below what it asked for.  Grants are
+        // fixed for a search's lifetime, so top admissions up to their
+        // requests (oldest first) rather than strand workers idle.
+        while free > 0 {
+            let mut granted_any = false;
+            for admission in admissions.iter_mut() {
+                if free == 0 {
+                    break;
+                }
+                let requested = pending[admission.index].requested_workers.max(1);
+                if admission.workers < requested {
+                    let top_up = (requested - admission.workers).min(free);
+                    admission.workers += top_up;
+                    free -= top_up;
+                    granted_any = true;
+                }
+            }
+            if !granted_any {
+                break; // Every admitted request is satisfied in full.
+            }
+        }
+        admissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(requests: &[usize]) -> Vec<PendingRequest> {
+        requests
+            .iter()
+            .map(|&requested_workers| PendingRequest {
+                requested_workers,
+                queued_for: Duration::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_admits_only_the_head_and_only_on_an_idle_pool() {
+        let mut fifo = Fifo;
+        let queue = pending(&[4, 2, 8]);
+        assert_eq!(
+            fifo.plan(&queue, 8, 8, 0),
+            vec![Admission {
+                index: 0,
+                workers: 4
+            }],
+            "head admitted with exactly its requested workers"
+        );
+        assert!(
+            fifo.plan(&queue, 4, 8, 1).is_empty(),
+            "a busy pool admits nothing"
+        );
+        assert!(fifo.plan(&[], 8, 8, 0).is_empty());
+    }
+
+    #[test]
+    fn fifo_grants_oversubscribed_requests_in_full() {
+        let mut fifo = Fifo;
+        let queue = pending(&[16]);
+        assert_eq!(
+            fifo.plan(&queue, 2, 2, 0),
+            vec![Admission {
+                index: 0,
+                workers: 16
+            }],
+            "PR 4 semantics: the search gets the worker count it asked for"
+        );
+    }
+
+    #[test]
+    fn fair_share_splits_the_pool_proportionally() {
+        let mut fair = FairShare;
+        // Two tenants each asking for half an 8-worker pool: both admitted.
+        assert_eq!(
+            fair.plan(&pending(&[4, 4]), 8, 8, 0),
+            vec![
+                Admission {
+                    index: 0,
+                    workers: 4
+                },
+                Admission {
+                    index: 1,
+                    workers: 4
+                }
+            ]
+        );
+        // Three tenants asking for everything: 2 + 2 + 1 over 5 free.
+        assert_eq!(
+            fair.plan(&pending(&[8, 8, 8]), 5, 8, 1),
+            vec![
+                Admission {
+                    index: 0,
+                    workers: 2
+                },
+                Admission {
+                    index: 1,
+                    workers: 2
+                },
+                Admission {
+                    index: 2,
+                    workers: 1
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn fair_share_is_work_conserving_for_a_lone_tenant() {
+        let mut fair = FairShare;
+        assert_eq!(
+            fair.plan(&pending(&[8]), 8, 8, 0),
+            vec![Admission {
+                index: 0,
+                workers: 8
+            }],
+            "a lone tenant asking for the whole pool gets it"
+        );
+    }
+
+    #[test]
+    fn fair_share_admits_with_a_single_free_worker_and_never_overcommits() {
+        let mut fair = FairShare;
+        assert_eq!(
+            fair.plan(&pending(&[4, 4]), 1, 8, 3),
+            vec![Admission {
+                index: 0,
+                workers: 1
+            }],
+            "admission as soon as one worker is free; the rest stay queued"
+        );
+        assert!(fair.plan(&pending(&[4]), 0, 8, 4).is_empty());
+        // Grants never exceed the request even with a surplus of workers.
+        assert_eq!(
+            fair.plan(&pending(&[2]), 8, 8, 0),
+            vec![Admission {
+                index: 0,
+                workers: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn fair_share_redistributes_what_small_requests_leave_unused() {
+        let mut fair = FairShare;
+        // A greedy request followed by a tiny one on an idle 8-worker pool:
+        // the first pass would grant 4 + 1 and strand 3 workers; the
+        // redistribution pass tops the greedy request back up to 7.
+        assert_eq!(
+            fair.plan(&pending(&[8, 1]), 8, 8, 0),
+            vec![
+                Admission {
+                    index: 0,
+                    workers: 7
+                },
+                Admission {
+                    index: 1,
+                    workers: 1
+                }
+            ],
+            "no worker stays idle while an admitted request is unmet"
+        );
+        // Total demand below the pool: everyone gets their request, the
+        // genuine surplus stays free for future arrivals.
+        assert_eq!(
+            fair.plan(&pending(&[2, 2]), 8, 8, 0),
+            vec![
+                Admission {
+                    index: 0,
+                    workers: 2
+                },
+                Admission {
+                    index: 1,
+                    workers: 2
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn policy_names_and_modes() {
+        assert_eq!(Fifo.name(), "fifo");
+        assert!(!Fifo.concurrent());
+        assert_eq!(FairShare.name(), "fair-share");
+        assert!(FairShare.concurrent());
+    }
+}

@@ -42,7 +42,7 @@ where
     P: SearchProblem,
     D: Driver<P>,
 {
-    let workers = config.workers.max(1);
+    let workers = lifecycle.worker_count(config);
     engine::run(
         problem,
         driver,

@@ -142,6 +142,10 @@ pub struct Skeleton {
     /// Persistent pool to run workers on instead of spawning scoped
     /// threads (runtime submissions only).
     pool: Option<Arc<WorkerPool>>,
+    /// The scheduler's worker allotment (runtime submissions only): the
+    /// effective worker count and the leased pool-thread slots, granted at
+    /// dispatch time rather than config time.
+    grant: Option<crate::runtime::ExecutionGrant>,
 }
 
 impl Skeleton {
@@ -158,6 +162,7 @@ impl Skeleton {
             cancel: None,
             progress: None,
             pool: None,
+            grant: None,
         }
     }
 
@@ -212,6 +217,14 @@ impl Skeleton {
         self
     }
 
+    /// Attach the scheduler's worker grant (runtime submissions): the
+    /// engine then runs with the granted worker count on the leased slots
+    /// instead of the configured count on the whole pool.
+    pub(crate) fn attach_grant(mut self, grant: crate::runtime::ExecutionGrant) -> Self {
+        self.grant = Some(grant);
+        self
+    }
+
     /// The effective configuration.
     pub fn config(&self) -> &SearchConfig {
         &self.config
@@ -224,6 +237,7 @@ impl Skeleton {
             cancel: self.cancel.clone(),
             progress: self.progress.clone(),
             pool: self.pool.clone(),
+            grant: self.grant.clone(),
             ..Lifecycle::inert()
         };
         lifecycle.begin(self.config.deadline);
@@ -324,6 +338,14 @@ where
     };
     let mut metrics = Metrics::from_workers(workers, elapsed);
     metrics.outstanding_tasks = term.outstanding();
+    // Tag the outcome with the scheduler's grant so per-search dashboards
+    // (and the disjointness tests) can see what this search actually ran on.
+    if let Some(grant) = &lifecycle.grant {
+        metrics.search_id = grant.search_id;
+        metrics.granted_workers = grant.workers;
+        metrics.granted_slots = grant.slots.clone();
+        metrics.queue_wait = grant.queue_wait;
+    }
     RunOutput { metrics, status }
 }
 

@@ -409,12 +409,12 @@ where
     D: Driver<P>,
 {
     let start = Instant::now();
-    let workers = config.workers.max(1);
+    let workers = lifecycle.worker_count(config);
     let source = OrderedSource::new(config.cancel_speculation);
     let policy = OrderedPolicy { spawn_depth };
     WorkSource::<P>::seed(&source, Task::new(problem.root(), 0));
 
-    let mut all_metrics = engine::spawn_and_join(lifecycle.pool.as_deref(), workers, |worker| {
+    let mut all_metrics = engine::spawn_and_join(lifecycle, workers, |worker| {
         worker_loop(problem, driver, &source, &policy, term, lifecycle, worker)
     });
     source.finalize(&mut all_metrics);

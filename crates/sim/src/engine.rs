@@ -144,6 +144,17 @@ pub struct SimOutcome<R> {
     /// [`SimConfig::deadline_ticks`] expired first (the result is then the
     /// partial anytime answer).
     pub status: SearchStatus,
+    /// Virtual ticks the search spent queued before the scheduler granted
+    /// it workers.  Zero for a directly simulated search; set by
+    /// [`simulate_multiplexed`](crate::multiplex::simulate_multiplexed),
+    /// which records it from the virtual scheduler's clock — the mirror of
+    /// the threaded runtime's dispatcher-recorded `Metrics::queue_wait`.
+    pub queue_wait_ticks: u64,
+    /// The worker count the scheduler granted (equals
+    /// [`workers`](SimOutcome::workers) for a directly simulated search;
+    /// under a multiplexed `FairShare` schedule it may be less than the
+    /// submission requested).
+    pub granted_workers: usize,
 }
 
 impl<R> SimOutcome<R> {
@@ -399,6 +410,8 @@ fn outcome<R>(stats: SimStats, config: &SimConfig, result: R) -> SimOutcome<R> {
         } else {
             SearchStatus::Complete
         },
+        queue_wait_ticks: 0,
+        granted_workers: config.workers(),
     }
 }
 

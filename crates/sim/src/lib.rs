@@ -31,7 +31,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod multiplex;
 
 pub use engine::{
     simulate_decide, simulate_enumerate, simulate_maximise, CostModel, SimConfig, SimOutcome,
 };
+pub use multiplex::{simulate_multiplexed, SimJob};

@@ -1,0 +1,324 @@
+//! Virtual-time mirror of the runtime's multiplexing scheduler.
+//!
+//! The threaded [`Runtime`](yewpar::Runtime) leases disjoint worker subsets
+//! to concurrent searches under a pluggable
+//! [`SchedulePolicy`].  Its fairness
+//! properties (who is admitted when, with how many workers, and how long
+//! submissions wait) are timing-dependent and therefore awkward to assert
+//! on wall clocks.  This module replays the *same policy objects* against a
+//! virtual clock: each admitted search is simulated with its granted worker
+//! count (disjointness is free — simulated searches share nothing), its
+//! virtual makespan becomes its completion event, and the scheduler loop
+//! admits, leases and reclaims exactly like the threaded dispatcher.  The
+//! result is a deterministic schedule on which queue waits and grant sizes
+//! can be asserted to the tick:
+//!
+//! * under [`Fifo`](yewpar::schedule::Fifo), submission *k*'s
+//!   `queue_wait_ticks` is exactly the sum of its predecessors' makespans;
+//! * under [`FairShare`](yewpar::schedule::FairShare), submissions that fit
+//!   the pool together are granted simultaneously at tick 0 with a
+//!   proportional split;
+//! * per-search committed work (`nodes`) is unchanged by co-scheduling,
+//!   because grants are disjoint — the mirror of the threaded assertion in
+//!   `tests/sim_vs_threads.rs`.
+
+use yewpar::schedule::{PendingRequest, SchedulePolicy};
+
+use crate::engine::{SimConfig, SimOutcome};
+
+/// The boxed search runner of a [`SimJob`]: maps the scheduler-granted
+/// configuration to a simulated outcome.
+pub type SimRun<'p, R> = Box<dyn Fn(&SimConfig) -> SimOutcome<R> + 'p>;
+
+/// One submission to the virtual scheduler.
+pub struct SimJob<'p, R> {
+    /// The search to run once granted: called with the scheduler-granted
+    /// configuration (the submission's [`SimJob::config`] with its worker
+    /// count replaced by the grant).
+    pub run: SimRun<'p, R>,
+    /// The submission's configuration; `config.workers()` is the
+    /// *requested* worker count (the analogue of `SearchConfig::workers`).
+    pub config: SimConfig,
+    /// Virtual tick at which the submission arrives (0 = at startup).
+    pub submit_at: u64,
+}
+
+impl<'p, R> SimJob<'p, R> {
+    /// A submission arriving at tick 0.
+    pub fn new(config: SimConfig, run: impl Fn(&SimConfig) -> SimOutcome<R> + 'p) -> Self {
+        SimJob {
+            run: Box::new(run),
+            config,
+            submit_at: 0,
+        }
+    }
+
+    /// Set the virtual arrival tick.
+    pub fn submit_at(mut self, tick: u64) -> Self {
+        self.submit_at = tick;
+        self
+    }
+}
+
+/// A job queued in the virtual scheduler.
+struct Waiting {
+    job_index: usize,
+    requested: usize,
+    submitted_at: u64,
+}
+
+/// A granted job running until its virtual completion time.
+struct Running {
+    finish_at: u64,
+    granted: usize,
+    /// Tie-break so completions resolve in admission order.
+    seq: u64,
+}
+
+/// Run `jobs` through a virtual-time multiplexed scheduler over a pool of
+/// `pool_workers`, admitting with `policy` — the deterministic mirror of
+/// [`Runtime::with_policy`](yewpar::Runtime::with_policy).
+///
+/// Each admitted job is simulated single-locality with its granted worker
+/// count; its [`SimOutcome`] is returned in submission order with
+/// [`queue_wait_ticks`](SimOutcome::queue_wait_ticks) (virtual submission →
+/// grant, recorded from the scheduler's clock) and
+/// [`granted_workers`](SimOutcome::granted_workers) filled in.  Grants are
+/// fixed for a job's lifetime, exactly like the threaded runtime's.
+pub fn simulate_multiplexed<R>(
+    pool_workers: usize,
+    policy: &mut dyn SchedulePolicy,
+    jobs: Vec<SimJob<'_, R>>,
+) -> Vec<SimOutcome<R>> {
+    let capacity = pool_workers.max(1);
+    let mut outcomes: Vec<Option<SimOutcome<R>>> = jobs.iter().map(|_| None).collect();
+    // Arrival events, processed in (tick, submission order).
+    let mut arrivals: Vec<(u64, usize)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.submit_at, i))
+        .collect();
+    arrivals.sort_by_key(|&(tick, index)| (tick, index));
+    let mut arrivals = arrivals.into_iter().peekable();
+
+    let mut now: u64 = 0;
+    let mut free = capacity;
+    let mut pending: Vec<Waiting> = Vec::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut seq: u64 = 0;
+
+    loop {
+        // Ingest every arrival at or before `now` (the scheduler batches a
+        // burst, like the dispatcher draining its channel).
+        while let Some(&(tick, index)) = arrivals.peek() {
+            if tick > now {
+                break;
+            }
+            arrivals.next();
+            pending.push(Waiting {
+                job_index: index,
+                requested: jobs[index].config.workers().max(1),
+                submitted_at: tick,
+            });
+        }
+
+        // Plan and execute admissions until the policy admits nothing.
+        loop {
+            if pending.is_empty() {
+                break;
+            }
+            let requests: Vec<PendingRequest> = pending
+                .iter()
+                .map(|w| PendingRequest {
+                    requested_workers: w.requested,
+                    // Policies see the wait as a Duration; expose virtual
+                    // ticks as microseconds (neither built-in policy reads
+                    // it, but custom ones may).
+                    queued_for: std::time::Duration::from_micros(now - w.submitted_at),
+                })
+                .collect();
+            let admissions = policy.plan(&requests, free, capacity, running.len());
+            if admissions.is_empty() {
+                break;
+            }
+            // Pop admitted entries back-to-front so indices stay valid.
+            let mut admitted: Vec<(Waiting, usize)> = Vec::with_capacity(admissions.len());
+            for admission in admissions.into_iter().rev() {
+                let waiting = pending.remove(admission.index);
+                admitted.push((waiting, admission.workers.max(1)));
+            }
+            admitted.reverse();
+            for (waiting, granted) in admitted {
+                let job = &jobs[waiting.job_index];
+                // The grant re-shapes the submission's config: a
+                // single-locality slice of the pool with `granted` workers.
+                let mut cfg = job.config.clone();
+                cfg.localities = 1;
+                cfg.workers_per_locality = granted;
+                let mut outcome = (job.run)(&cfg);
+                outcome.queue_wait_ticks = now - waiting.submitted_at;
+                outcome.granted_workers = granted;
+                running.push(Running {
+                    finish_at: now + outcome.makespan,
+                    granted,
+                    seq,
+                });
+                seq += 1;
+                outcomes[waiting.job_index] = Some(outcome);
+                free = free.saturating_sub(granted);
+            }
+        }
+
+        // Advance the clock to the next event: a completion or an arrival.
+        let next_completion = running.iter().map(|r| (r.finish_at, r.seq)).min();
+        let next_arrival = arrivals.peek().map(|&(tick, _)| tick);
+        match (next_completion, next_arrival) {
+            (None, None) => break,
+            (Some((finish, _)), arrival) if arrival.map_or(true, |a| finish <= a) => {
+                now = finish;
+                // Reclaim every lease finishing at this tick, in admission
+                // order (deterministic, like the dispatcher's FIFO channel).
+                let mut done: Vec<usize> = running
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.finish_at == finish)
+                    .map(|(i, _)| i)
+                    .collect();
+                done.sort_by_key(|&i| running[i].seq);
+                for i in done.into_iter().rev() {
+                    let r = running.remove(i);
+                    free = (free + r.granted).min(capacity);
+                }
+            }
+            (_, Some(arrival)) => {
+                now = arrival;
+            }
+            // The guard always admits a completion when no arrival exists.
+            (Some(_), None) => unreachable!(),
+        }
+    }
+
+    debug_assert!(pending.is_empty() && running.is_empty());
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every submitted job was scheduled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yewpar::monoid::Sum;
+    use yewpar::schedule::{FairShare, Fifo};
+    use yewpar::{Coordination, Enumerate, SearchProblem};
+
+    use crate::engine::simulate_enumerate;
+
+    struct Fanout {
+        depth: usize,
+        width: usize,
+    }
+
+    impl SearchProblem for Fanout {
+        type Node = usize;
+        type Gen<'a> = std::vec::IntoIter<usize>;
+        fn root(&self) -> usize {
+            0
+        }
+        fn generator(&self, node: &usize) -> Self::Gen<'_> {
+            if *node < self.depth {
+                vec![node + 1; self.width].into_iter()
+            } else {
+                vec![].into_iter()
+            }
+        }
+    }
+
+    impl Enumerate for Fanout {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &usize) -> Sum<u64> {
+            Sum(1)
+        }
+    }
+
+    fn job(workers: usize) -> SimJob<'static, Sum<u64>> {
+        let cfg = SimConfig::new(Coordination::depth_bounded(2), 1, workers);
+        SimJob::new(cfg, |granted_cfg| {
+            simulate_enumerate(&Fanout { depth: 7, width: 3 }, granted_cfg)
+        })
+    }
+
+    #[test]
+    fn fifo_serialises_and_accumulates_queue_wait() {
+        let outcomes = simulate_multiplexed(8, &mut Fifo, vec![job(8), job(8), job(8)]);
+        assert_eq!(outcomes[0].queue_wait_ticks, 0);
+        assert_eq!(
+            outcomes[1].queue_wait_ticks, outcomes[0].makespan,
+            "the second FIFO submission waits out the first"
+        );
+        assert_eq!(
+            outcomes[2].queue_wait_ticks,
+            outcomes[0].makespan + outcomes[1].makespan
+        );
+        for out in &outcomes {
+            assert_eq!(out.granted_workers, 8, "FIFO grants the request in full");
+            assert!(out.status.is_complete());
+        }
+    }
+
+    #[test]
+    fn fair_share_admits_a_fitting_pair_simultaneously() {
+        let outcomes = simulate_multiplexed(8, &mut FairShare, vec![job(4), job(4)]);
+        for out in &outcomes {
+            assert_eq!(out.queue_wait_ticks, 0, "both admitted at tick 0");
+            assert_eq!(out.granted_workers, 4);
+        }
+        // Identical jobs co-scheduled on equal shares do identical work.
+        assert_eq!(outcomes[0].nodes, outcomes[1].nodes);
+        assert_eq!(outcomes[0].makespan, outcomes[1].makespan);
+    }
+
+    #[test]
+    fn fair_share_splits_a_contended_pool_and_reclaims() {
+        // Three greedy jobs on 8 workers: 3+3+2 (ceiling split, oldest
+        // favoured), all admitted at tick 0.
+        let outcomes = simulate_multiplexed(8, &mut FairShare, vec![job(8), job(8), job(8)]);
+        let grants: Vec<usize> = outcomes.iter().map(|o| o.granted_workers).collect();
+        assert_eq!(grants, vec![3, 3, 2]);
+        assert!(outcomes.iter().all(|o| o.queue_wait_ticks == 0));
+        // A *late* fourth job (arriving once the pool is fully leased)
+        // waits for the first reclamation, not for the whole pool.
+        let first_finish = outcomes.iter().map(|o| o.makespan).min().unwrap();
+        let outcomes = simulate_multiplexed(
+            8,
+            &mut FairShare,
+            vec![job(8), job(8), job(8), job(8).submit_at(1)],
+        );
+        assert_eq!(
+            outcomes[3].queue_wait_ticks,
+            first_finish - 1,
+            "the queued job is admitted at the first completion"
+        );
+    }
+
+    #[test]
+    fn co_scheduling_does_not_change_per_search_work() {
+        let solo = simulate_multiplexed(8, &mut FairShare, vec![job(4)]);
+        let paired = simulate_multiplexed(8, &mut FairShare, vec![job(4), job(4)]);
+        assert_eq!(solo[0].nodes, paired[0].nodes);
+        assert_eq!(solo[0].nodes, paired[1].nodes);
+        assert_eq!(
+            solo[0].makespan, paired[0].makespan,
+            "disjoint grants: no slowdown"
+        );
+    }
+
+    #[test]
+    fn arrivals_after_startup_are_respected() {
+        let late = job(8).submit_at(10_000);
+        let outcomes = simulate_multiplexed(8, &mut Fifo, vec![job(8), late]);
+        // The late job's wait is measured from its own arrival.
+        let first = outcomes[0].makespan;
+        assert_eq!(outcomes[1].queue_wait_ticks, first.saturating_sub(10_000));
+    }
+}

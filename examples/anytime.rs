@@ -1,5 +1,6 @@
 //! Anytime search: a deadline-bounded TSP optimisation through the
-//! persistent [`Runtime`], streaming the incumbent as it improves.
+//! persistent [`Runtime`], submitted under a [`Session`] scope and
+//! streaming the incumbent as it improves.
 //!
 //! A 17-city instance is far beyond what branch-and-bound finishes in
 //! 150 ms, so the search runs as a true *anytime* solver: the deadline
@@ -8,11 +9,18 @@
 //! in practice.  While the search runs, the handle's progress stream prints
 //! every incumbent improvement and periodic node-count heartbeats.
 //!
+//! The submission goes through `runtime.session()`: a hierarchical
+//! cancellation scope.  If this function returned early (an error path, a
+//! disconnecting client), dropping the session would cancel every search
+//! submitted through it — no orphaned work.  Here the session simply
+//! outlives the search and reports its aggregated status at the end.
+//!
 //! ```text
 //! cargo run --release --example anytime
 //! ```
 //!
 //! [`Runtime`]: yewpar::Runtime
+//! [`Session`]: yewpar::Session
 
 use std::time::Duration;
 
@@ -31,12 +39,16 @@ fn main() {
     config.workers = 4;
     config.deadline = Some(Duration::from_millis(150));
 
+    // One user's scope: dropping (or cancelling) `session` would stop every
+    // search submitted through it, so an abandoned request never leaks work.
+    let session = runtime.session();
+
     println!(
         "Submitting a {}-city TSP maximise with a {:?} deadline on 4 workers…",
         problem.instance().cities(),
         config.deadline.unwrap()
     );
-    let handle = runtime.maximise(problem, &config);
+    let handle = session.maximise(problem, &config);
 
     // Consume the progress stream until the search announces its end.
     // Scores are MinimiseScore-wrapped tour lengths, rendered via Debug.
@@ -84,4 +96,16 @@ fn main() {
     );
     assert_eq!(outcome.status, SearchStatus::DeadlineExceeded);
     assert_eq!(outcome.metrics.outstanding_tasks, 0);
+
+    let status = session.status();
+    println!(
+        "Session: {} submitted, {} deadline-exceeded (aggregate: {:?})",
+        status.submitted,
+        status.deadline_exceeded,
+        status.aggregate()
+    );
+    assert!(status.all_finished());
+    // The search already finished, so letting the session drop here cancels
+    // nothing — `session.detach()` would make that explicit for handles
+    // meant to outlive their scope.
 }

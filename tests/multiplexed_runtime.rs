@@ -1,0 +1,347 @@
+//! The multiplexed-runtime scheduler matrix: concurrent searches over
+//! partitioned worker subsets of one persistent pool, across
+//! {Fifo, FairShare} × 1/4/8-worker pools.
+//!
+//! What must hold (ISSUE 5 acceptance):
+//!
+//! * concurrently granted searches run on **disjoint** pool-thread subsets
+//!   (asserted via each outcome's `Metrics::granted_slots`) and produce
+//!   results identical to running alone;
+//! * `Termination::outstanding() == 0` on every exit path, co-scheduled or
+//!   not;
+//! * the Ordered coordination's replicability guarantee (identical
+//!   committed node counts across worker counts and runs) is unaffected by
+//!   co-scheduling;
+//! * cancelling a session scope cancels every child search's handle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use yewpar::{
+    Coordination, FairShare, Fifo, Runtime, RuntimeConfig, SchedulePolicy, SearchConfig,
+    SearchStatus, Skeleton,
+};
+
+/// Deterministic irregular tree; node = (depth, seed).
+#[derive(Clone)]
+struct Irregular {
+    depth: usize,
+    seed: u64,
+}
+
+impl yewpar::SearchProblem for Irregular {
+    type Node = (usize, u64);
+    type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+    fn root(&self) -> (usize, u64) {
+        (0, self.seed)
+    }
+    fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+        let (depth, seed) = *node;
+        if depth >= self.depth {
+            return vec![].into_iter();
+        }
+        let fanout = (seed % 4) as usize + 1;
+        (0..fanout)
+            .map(|i| {
+                (
+                    depth + 1,
+                    seed.wrapping_mul(6364136223846793005)
+                        .wrapping_add(i as u64),
+                )
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl yewpar::Enumerate for Irregular {
+    type Value = yewpar::monoid::Sum<u64>;
+    fn value(&self, _n: &(usize, u64)) -> yewpar::monoid::Sum<u64> {
+        yewpar::monoid::Sum(1)
+    }
+}
+
+impl yewpar::Optimise for Irregular {
+    type Score = u64;
+    fn objective(&self, node: &(usize, u64)) -> u64 {
+        node.1 % 1000
+    }
+}
+
+impl yewpar::Decide for Irregular {
+    fn target(&self) -> u64 {
+        997
+    }
+}
+
+/// A tree whose root expansion *blocks until `parties` searches have
+/// reached it*: a deterministic proof of concurrency.  Under a serialising
+/// scheduler the first search would wait forever (the test fails via the
+/// rendezvous timeout panic); under a multiplexing one every co-scheduled
+/// search reaches the gate and they all proceed.
+#[derive(Clone)]
+struct Rendezvous {
+    gate: Arc<AtomicUsize>,
+    parties: usize,
+    inner: Irregular,
+}
+
+impl yewpar::SearchProblem for Rendezvous {
+    type Node = (usize, u64);
+    type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+    fn root(&self) -> (usize, u64) {
+        self.inner.root()
+    }
+    fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+        if *node == self.inner.root() {
+            self.gate.fetch_add(1, Ordering::SeqCst);
+            let started = Instant::now();
+            while self.gate.load(Ordering::SeqCst) < self.parties {
+                assert!(
+                    started.elapsed() < Duration::from_secs(20),
+                    "rendezvous timed out: the scheduler did not run \
+                     {} searches concurrently",
+                    self.parties
+                );
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+        self.inner.generator(node)
+    }
+}
+
+impl yewpar::Enumerate for Rendezvous {
+    type Value = yewpar::monoid::Sum<u64>;
+    fn value(&self, _n: &(usize, u64)) -> yewpar::monoid::Sum<u64> {
+        yewpar::monoid::Sum(1)
+    }
+}
+
+fn config(coordination: Coordination, workers: usize) -> SearchConfig {
+    SearchConfig {
+        coordination,
+        workers,
+        ..SearchConfig::default()
+    }
+}
+
+fn subtree_size(p: &Irregular) -> u64 {
+    fn walk(p: &Irregular, node: (usize, u64)) -> u64 {
+        1 + p.generator(&node).map(|child| walk(p, child)).sum::<u64>()
+    }
+    use yewpar::SearchProblem;
+    walk(p, p.root())
+}
+
+/// Acceptance: two searches on an 8-worker FairShare runtime run
+/// *concurrently* (proved by the rendezvous gate — a serialising scheduler
+/// would deadlock/time out) on *disjoint* worker subsets (proved by the
+/// per-search metrics), complete, and produce exactly the solo results.
+#[test]
+fn two_fair_share_searches_run_concurrently_on_disjoint_subsets() {
+    let runtime = Runtime::with_policy(RuntimeConfig::default().workers(8), Box::new(FairShare));
+    let gate = Arc::new(AtomicUsize::new(0));
+    let problems: Vec<Rendezvous> = [1u64, 7]
+        .into_iter()
+        .map(|seed| Rendezvous {
+            gate: Arc::clone(&gate),
+            parties: 2,
+            inner: Irregular { depth: 8, seed },
+        })
+        .collect();
+    let expected: Vec<u64> = problems.iter().map(|r| subtree_size(&r.inner)).collect();
+    let cfg = config(Coordination::depth_bounded(2), 4);
+    let handles: Vec<_> = problems
+        .iter()
+        .map(|p| runtime.enumerate(p.clone(), &cfg))
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    for (out, expected) in outcomes.iter().zip(&expected) {
+        assert_eq!(out.status, SearchStatus::Complete);
+        assert_eq!(
+            out.value.0, *expected,
+            "co-scheduling must not change results"
+        );
+        assert_eq!(out.metrics.outstanding_tasks, 0);
+        assert_eq!(out.metrics.granted_workers, 4);
+        assert_eq!(out.metrics.granted_slots.len(), 3);
+    }
+    assert!(
+        outcomes[0]
+            .metrics
+            .granted_slots
+            .iter()
+            .all(|slot| !outcomes[1].metrics.granted_slots.contains(slot)),
+        "concurrent searches must hold disjoint leases: {:?} vs {:?}",
+        outcomes[0].metrics.granted_slots,
+        outcomes[1].metrics.granted_slots
+    );
+    let stats = runtime.stats();
+    assert!(
+        stats.peak_active_searches >= 2,
+        "the pool must actually have multiplexed: {stats:?}"
+    );
+}
+
+/// The scheduler matrix: 3 concurrent submissions × {Fifo, FairShare} ×
+/// {1, 4, 8}-worker pools, enumeration results identical to solo runs and
+/// clean task accounting on every exit.
+#[test]
+fn scheduler_matrix_preserves_results_and_accounting() {
+    let problems: Vec<Irregular> = [(8usize, 1u64), (8, 7), (7, 23)]
+        .into_iter()
+        .map(|(depth, seed)| Irregular { depth, seed })
+        .collect();
+    let expected: Vec<u64> = problems.iter().map(subtree_size).collect();
+    let policies: Vec<fn() -> Box<dyn SchedulePolicy>> =
+        vec![|| Box::new(Fifo), || Box::new(FairShare)];
+    for make_policy in policies {
+        for pool_workers in [1usize, 4, 8] {
+            let policy = make_policy();
+            let label = format!("policy={} pool={pool_workers}", policy.name());
+            let runtime =
+                Runtime::with_policy(RuntimeConfig::default().workers(pool_workers), policy);
+            let cfg = config(Coordination::depth_bounded(2), pool_workers.min(4));
+            let handles: Vec<_> = problems
+                .iter()
+                .map(|p| runtime.enumerate(p.clone(), &cfg))
+                .collect();
+            for (i, handle) in handles.into_iter().enumerate() {
+                let out = handle.wait();
+                assert_eq!(out.status, SearchStatus::Complete, "{label} search {i}");
+                assert_eq!(out.value.0, expected[i], "{label} search {i}");
+                assert_eq!(
+                    out.metrics.outstanding_tasks, 0,
+                    "{label} search {i}: outstanding tasks leaked"
+                );
+                assert!(
+                    out.metrics.granted_workers >= 1 && out.metrics.granted_workers <= cfg.workers,
+                    "{label} search {i}: grant {} outside [1, {}]",
+                    out.metrics.granted_workers,
+                    cfg.workers
+                );
+            }
+            let stats = runtime.stats();
+            assert_eq!(stats.queued_searches, 0, "{label}");
+        }
+    }
+}
+
+/// Ordered replicability under co-scheduling: the committed node count of a
+/// decision search is identical whether the search runs alone (blocking
+/// facade, 1/2/4 workers) or co-scheduled with a competitor on a FairShare
+/// pool — speculation never leaks into the committed counts.
+#[test]
+fn ordered_replicability_is_unaffected_by_co_scheduling() {
+    let problem = Irregular { depth: 9, seed: 1 };
+    let solo = Skeleton::new(Coordination::ordered(2))
+        .workers(4)
+        .decide(&problem);
+    assert!(solo.status.is_complete());
+    // Replicability baseline across solo worker counts.
+    for workers in [1usize, 2] {
+        let out = Skeleton::new(Coordination::ordered(2))
+            .workers(workers)
+            .decide(&problem);
+        assert_eq!(
+            out.metrics.nodes(),
+            solo.metrics.nodes(),
+            "solo replicability broken at {workers} workers"
+        );
+    }
+    // Two co-scheduled Ordered searches of the same instance: committed
+    // counts unchanged, both equal to the solo count, on every run.
+    let runtime = Runtime::with_policy(RuntimeConfig::default().workers(8), Box::new(FairShare));
+    let cfg = config(Coordination::ordered(2), 4);
+    for round in 0..3 {
+        let handles: Vec<_> = (0..2)
+            .map(|_| runtime.decide(problem.clone(), &cfg))
+            .collect();
+        for handle in handles {
+            let out = handle.wait();
+            assert!(out.status.is_complete(), "round {round}");
+            assert_eq!(
+                out.found(),
+                solo.found(),
+                "round {round}: co-scheduling changed the decision"
+            );
+            assert_eq!(
+                out.metrics.nodes(),
+                solo.metrics.nodes(),
+                "round {round}: committed counts must be replicable under \
+                 co-scheduling (granted {} workers)",
+                out.metrics.granted_workers
+            );
+            assert_eq!(out.metrics.outstanding_tasks, 0, "round {round}");
+        }
+    }
+}
+
+/// Cancelling a session scope cancels every child: running children stop at
+/// their next poll, queued children resolve without executing, and all
+/// handles resolve with clean accounting.
+#[test]
+fn parent_cancel_kills_every_child_handle() {
+    for (pool_workers, policy) in [
+        (4usize, Box::new(Fifo) as Box<dyn SchedulePolicy>),
+        (4, Box::new(FairShare)),
+        (1, Box::new(FairShare)),
+    ] {
+        let label = format!("pool={pool_workers}");
+        let runtime = Runtime::with_policy(RuntimeConfig::default().workers(pool_workers), policy);
+        let session = runtime.session();
+        // Endless searches: depth 64 on fanout up to 4 never finishes.
+        // (Odd seeds only: seeds ≡ 0 mod 4 degenerate into a fanout-1
+        // chain that completes instantly.)
+        let cfg = config(Coordination::depth_bounded(3), 2);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                session.maximise(
+                    Irregular {
+                        depth: 64,
+                        seed: 2 * i + 1,
+                    },
+                    &cfg,
+                )
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        session.cancel();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let out = handle.wait();
+            assert_eq!(
+                out.status,
+                SearchStatus::Cancelled,
+                "{label} child {i} not cancelled by the parent scope"
+            );
+            assert_eq!(
+                out.metrics.outstanding_tasks, 0,
+                "{label} child {i} leaked tasks"
+            );
+        }
+        let status = session.status();
+        assert_eq!(status.cancelled, 4, "{label}");
+        assert!(status.all_finished(), "{label}");
+        assert_eq!(status.aggregate(), Some(SearchStatus::Cancelled), "{label}");
+    }
+}
+
+/// FIFO stays FIFO: queue waits are monotonically non-decreasing in
+/// submission order (recorded at grant time on the dispatcher side).
+#[test]
+fn fifo_queue_waits_are_monotone_in_submission_order() {
+    let runtime = Runtime::new(RuntimeConfig::default().workers(2));
+    let cfg = config(Coordination::depth_bounded(2), 2);
+    let handles: Vec<_> = (0..3)
+        .map(|_| runtime.enumerate(Irregular { depth: 9, seed: 1 }, &cfg))
+        .collect();
+    let waits: Vec<Duration> = handles
+        .into_iter()
+        .map(|h| h.wait().metrics.queue_wait)
+        .collect();
+    assert!(
+        waits.windows(2).all(|w| w[0] <= w[1]),
+        "FIFO queue waits must be monotone: {waits:?}"
+    );
+}

@@ -145,6 +145,64 @@ fn simulated_ordered_counters_match_threaded_semantics() {
     }
 }
 
+/// Metrics honesty under multiplexing: per-search *committed* counts are
+/// unchanged by co-scheduling, in both engines.  Threaded: two searches
+/// co-scheduled on disjoint FairShare leases report the same node counts as
+/// running alone through the blocking facade.  Simulated: the virtual-time
+/// multiplexed scheduler yields identical per-search `nodes` for paired and
+/// solo submissions — and its queue waits come from the scheduler's clock,
+/// so FIFO waits equal the predecessor's makespan to the tick.
+#[test]
+fn per_search_committed_counts_are_unchanged_under_co_scheduling() {
+    use yewpar::schedule::{FairShare, Fifo};
+    use yewpar::{Runtime, RuntimeConfig};
+    use yewpar_sim::{simulate_multiplexed, SimJob};
+
+    // Threaded: co-scheduled vs solo.
+    let p = Semigroups::new(10);
+    let solo = Skeleton::new(Coordination::ordered(2))
+        .workers(4)
+        .enumerate(&p);
+    let runtime = Runtime::with_policy(RuntimeConfig::default().workers(8), Box::new(FairShare));
+    let mut cfg = yewpar::SearchConfig::new(Coordination::ordered(2));
+    cfg.workers = 4;
+    let handles: Vec<_> = (0..2)
+        .map(|_| runtime.enumerate(Semigroups::new(10), &cfg))
+        .collect();
+    for handle in handles {
+        let out = handle.wait();
+        assert!(out.status.is_complete());
+        assert_eq!(
+            out.metrics.nodes(),
+            solo.metrics.nodes(),
+            "co-scheduling changed a search's committed work"
+        );
+        assert_eq!(out.value, solo.value);
+    }
+
+    // Simulated: the multiplexed mirror agrees, deterministically.
+    let make_job = || {
+        SimJob::new(
+            SimConfig::new(Coordination::ordered(2), 1, 4),
+            |granted_cfg: &SimConfig| simulate_enumerate(&Semigroups::new(10), granted_cfg),
+        )
+    };
+    let solo_sim = simulate_multiplexed(8, &mut FairShare, vec![make_job()]);
+    let paired_sim = simulate_multiplexed(8, &mut FairShare, vec![make_job(), make_job()]);
+    for out in &paired_sim {
+        assert_eq!(out.nodes, solo_sim[0].nodes);
+        assert_eq!(
+            out.queue_wait_ticks, 0,
+            "a fitting pair is admitted at once"
+        );
+        assert_eq!(out.granted_workers, 4);
+    }
+    // FIFO's virtual queue wait is exactly the predecessor's makespan.
+    let fifo_sim = simulate_multiplexed(8, &mut Fifo, vec![make_job(), make_job()]);
+    assert_eq!(fifo_sim[1].queue_wait_ticks, fifo_sim[0].makespan);
+    assert_eq!(fifo_sim[1].nodes, fifo_sim[0].nodes);
+}
+
 #[test]
 fn adding_workers_never_changes_the_answer_and_speeds_up_enumeration() {
     // Enumeration has a fixed amount of work, so any parallel configuration
