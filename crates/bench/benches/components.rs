@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
 
 use yewpar::bitset::BitSet;
-use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task};
+use yewpar::workpool::{DepthPool, KeyArena, OrderedPool, SeqKey, Task, POP_BATCH};
 use yewpar::{Coordination, Runtime, RuntimeConfig, SearchConfig, SearchProblem, Skeleton};
 use yewpar_apps::irregular::Irregular;
 use yewpar_apps::maxclique::{greedy_colour, MaxClique};
@@ -58,6 +58,29 @@ fn bench_workpool(c: &mut Criterion) {
             drained
         })
     });
+    group.bench_function("push_batch_1000", |bench| {
+        // The per-task A/B partner of `push_pop_1000`: the same 1000 tasks
+        // through the batched paths — one lock per 8-task generator burst on
+        // the way in, one per `POP_BATCH` pops on the way out.
+        bench.iter(|| {
+            let pool = DepthPool::new();
+            let mut batch = Vec::with_capacity(8);
+            for burst in 0..125u32 {
+                for i in 0..8u32 {
+                    let t = burst * 8 + i;
+                    batch.push(Task::new(t, (t % 8) as usize));
+                }
+                pool.push_batch(&mut batch);
+            }
+            let mut out = std::collections::VecDeque::new();
+            let mut drained = 0;
+            while pool.pop_batch(POP_BATCH, &mut out) > 0 {
+                drained += out.len();
+                out.clear();
+            }
+            drained
+        })
+    });
     group.bench_function("ordered_push_pop_1000", |bench| {
         // Pre-build the sequence keys so the bench isolates the pool's
         // O(log n) heap operations from key construction.
@@ -94,6 +117,98 @@ fn bench_workpool(c: &mut Criterion) {
             |pool| pool.purge_after(&witness),
             BatchSize::SmallInput,
         )
+    });
+    // The sharded-insertion A/B: four threads push keyed batches into the
+    // ordered pool concurrently, against a single insertion point (1 shard,
+    // the old single-mutex design) and one shard per thread.  The measured
+    // phase is the *insertion* side — many small batches, the hot-path shape
+    // of the Ordered release (a handful of children per expanded node) —
+    // since that is all sharding changes: the `(key, arrival)` pop order is
+    // proven identical by the pool's property tests, and the consume side
+    // (pop + buffer migration) costs the same in both configurations.
+    // Key construction happens in the (un-timed) setup: minting 16k `SeqKey`
+    // paths costs the same either way and would otherwise drown the lock
+    // behaviour under allocator traffic.
+    // One keyed batch per push; each thread gets its rounds pre-built.
+    type KeyedBatch = Vec<(SeqKey, Task<u32>)>;
+    type ThreadRounds = Vec<KeyedBatch>;
+    fn ordered_batches() -> Vec<ThreadRounds> {
+        (0..4u32)
+            .map(|t| {
+                let base = SeqKey::root().child(t);
+                (0..2000u32)
+                    .map(|round| {
+                        let parent = base.child(round);
+                        (0..2u32)
+                            .map(|i| (parent.child(i), Task::new(i, 3)))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+    fn ordered_contended(shards: usize, batches: Vec<ThreadRounds>) -> u64 {
+        use std::sync::Arc;
+        let pool: Arc<OrderedPool<Task<u32>>> = Arc::new(OrderedPool::with_shards(shards));
+        let handles: Vec<_> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(t, rounds)| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for batch in rounds {
+                        pool.push_batch_from(t % pool.shards(), batch);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Do not drain here: migrating 16k entries through the heap costs
+        // the same in both configurations and would swamp the contended
+        // phase under measurement.
+        Arc::strong_count(&pool) as u64
+    }
+    group.bench_function("ordered_pool_single_heap_4_threads", |bench| {
+        bench.iter_batched(
+            ordered_batches,
+            |batches| ordered_contended(1, batches),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("ordered_pool_sharded_4_threads", |bench| {
+        bench.iter_batched(
+            ordered_batches,
+            |batches| ordered_contended(4, batches),
+            BatchSize::PerIteration,
+        )
+    });
+    // Arena-vs-Vec key minting: `SeqKey::child` allocates a fresh path Vec
+    // per key; the worker-local arena recycles retired allocations, which is
+    // what the Ordered release path does per spawned child.
+    group.bench_function("seqkey_child_alloc_1000", |bench| {
+        let parent = SeqKey::root().child(1).child(2).child(3);
+        bench.iter(|| {
+            let mut depth_sum = 0usize;
+            for i in 0..1000u32 {
+                depth_sum += parent.child(i).depth();
+            }
+            depth_sum
+        })
+    });
+    group.bench_function("seqkey_child_arena_1000", |bench| {
+        let parent = SeqKey::root().child(1).child(2).child(3);
+        bench.iter(|| {
+            let mut arena = KeyArena::new();
+            let mut depth_sum = 0usize;
+            for i in 0..1000u32 {
+                let key = arena.child_of(&parent, i);
+                depth_sum += key.depth();
+                arena.recycle(key);
+            }
+            depth_sum
+        })
     });
     group.finish();
 }

@@ -67,6 +67,9 @@ struct RunStats {
     makespan: u64,
     speculative_nodes: u64,
     cancelled_tasks: u64,
+    lock_acquisitions: u64,
+    batch_pushes: u64,
+    poll_checks: u64,
     deadline_exceeded: bool,
 }
 
@@ -76,6 +79,9 @@ impl RunStats {
             makespan: out.makespan,
             speculative_nodes: out.speculative_nodes,
             cancelled_tasks: out.cancelled_tasks,
+            lock_acquisitions: out.lock_acquisitions,
+            batch_pushes: out.batch_pushes,
+            poll_checks: out.poll_checks,
             deadline_exceeded: !out.status.is_complete(),
         }
     }
@@ -546,6 +552,9 @@ fn main() {
             let mut best = Vec::new();
             let mut speculative_nodes: u64 = 0;
             let mut cancelled_tasks: u64 = 0;
+            let mut lock_acquisitions: u64 = 0;
+            let mut batch_pushes: u64 = 0;
+            let mut poll_checks: u64 = 0;
             let mut deadline_exceeded_runs: u64 = 0;
             for (w, &baseline) in workloads.iter().zip(&baselines) {
                 let speedups: Vec<f64> = params
@@ -557,6 +566,9 @@ fn main() {
                         let stats = (w.run)(&cfg);
                         speculative_nodes += stats.speculative_nodes;
                         cancelled_tasks += stats.cancelled_tasks;
+                        lock_acquisitions += stats.lock_acquisitions;
+                        batch_pushes += stats.batch_pushes;
+                        poll_checks += stats.poll_checks;
                         deadline_exceeded_runs += u64::from(stats.deadline_exceeded);
                         baseline as f64 / stats.makespan.max(1) as f64
                     })
@@ -597,6 +609,9 @@ fn main() {
                 "best_speedup": b_geo,
                 "speculative_nodes": speculative_nodes,
                 "cancelled_tasks": cancelled_tasks,
+                "lock_acquisitions": lock_acquisitions,
+                "batch_pushes": batch_pushes,
+                "poll_checks": poll_checks,
                 "deadline_exceeded_runs": deadline_exceeded_runs,
             }));
             total_deadline_exceeded += deadline_exceeded_runs;

@@ -5,6 +5,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gate;
+
 use std::time::{Duration, Instant};
 
 /// Measure the wall-clock time of a closure, returning its result and the

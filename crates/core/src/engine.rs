@@ -85,10 +85,15 @@ pub trait WorkSource<P: SearchProblem>: Sync {
         metrics: &mut WorkerMetrics,
     ) -> Option<Task<P::Node>>;
 
-    /// Publish `tasks` so other workers can pick them up. Callers must
-    /// have registered the tasks with the termination counter *before*
-    /// calling this (see [`StepEnv::spawn`], which does both).
-    fn release(&self, local: &mut Self::Local, tasks: Vec<Task<P::Node>>);
+    /// Publish `tasks` so other workers can pick them up, draining the
+    /// vector. Callers must have registered the tasks with the termination
+    /// counter *before* calling this (see [`StepEnv::spawn`], which does
+    /// both).  Taking `&mut Vec` instead of `Vec` lets the engine reuse one
+    /// spawn buffer per worker for every generator burst, so the eager
+    /// spawn path allocates nothing in steady state; implementations must
+    /// leave the vector empty (e.g. via `drain(..)` or a batched pool
+    /// push).
+    fn release(&self, local: &mut Self::Local, tasks: &mut Vec<Task<P::Node>>);
 
     /// Per-expansion-step hook, called with the live generator stack of the
     /// executing task. Sources that hand out work on demand (stack
@@ -136,6 +141,14 @@ pub trait WorkSource<P: SearchProblem>: Sync {
     ///
     /// [`discard`]: WorkSource::discard
     fn drain_local(&self, _local: &mut Self::Local) -> usize {
+        0
+    }
+
+    /// Drain the worker-attributed count of pool lock acquisitions gathered
+    /// in `local` (resetting it).  Called once as a worker's loop exits and
+    /// added to [`WorkerMetrics::lock_acquisitions`], so the hot path pays
+    /// nothing for the diagnostic.  Sources without locked pools report 0.
+    fn drain_lock_count(&self, _local: &mut Self::Local) -> u64 {
         0
     }
 }
@@ -258,16 +271,19 @@ pub struct StepEnv<'e, P: SearchProblem, S: WorkSource<P>> {
 }
 
 impl<P: SearchProblem, S: WorkSource<P>> StepEnv<'_, P, S> {
-    /// Spawn `tasks` into the work source: registers them with the
-    /// termination counter first (so the outstanding count can never reach
-    /// zero while they are in flight), records them as spawns, then
-    /// releases them for other workers.
-    pub fn spawn(&mut self, tasks: Vec<Task<P::Node>>) {
+    /// Spawn `tasks` into the work source, draining the vector: registers
+    /// them with the termination counter first (so the outstanding count can
+    /// never reach zero while they are in flight), records them as spawns
+    /// and one batched push, then releases the whole burst for other workers
+    /// in a single source operation.  The caller keeps the vector's
+    /// capacity, so a reused spawn buffer makes this path allocation-free.
+    pub fn spawn(&mut self, tasks: &mut Vec<Task<P::Node>>) {
         if tasks.is_empty() {
             return;
         }
         self.term.task_spawned(tasks.len() as u64);
         self.metrics.spawns += tasks.len() as u64;
+        self.metrics.batch_pushes += 1;
         self.source.release(self.local, tasks);
     }
 }
@@ -402,6 +418,7 @@ where
     let mut partial = driver.new_partial();
     let mut backoff = IdleBackoff::new();
     let mut lstate = LifecycleLocal::default();
+    let mut spawn_buf: Vec<Task<P::Node>> = Vec::new();
 
     loop {
         // Poll the external stop conditions between tasks too: an idle
@@ -435,6 +452,7 @@ where
                     &mut local,
                     policy,
                     task,
+                    &mut spawn_buf,
                 );
                 if flow == Flow::ShortCircuited {
                     term.short_circuit();
@@ -450,9 +468,10 @@ where
     }
 
     // Tasks still in this worker's private state (a Stack-Stealing backlog
-    // after a stop) never run; drain them so the outstanding counter
-    // reaches zero on every exit path.
+    // or a batched pop stash after a stop) never run; drain them so the
+    // outstanding counter reaches zero on every exit path.
     term.tasks_discarded(source.drain_local(&mut local) as u64);
+    metrics.lock_acquisitions += source.drain_lock_count(&mut local);
     driver.merge(partial);
     metrics
 }
@@ -465,6 +484,11 @@ where
 /// [`Flow::ShortCircuited`]; one raised externally (cancel token, deadline)
 /// returns [`Flow::Cancelled`] so callers never mistake an abandoned task
 /// for a witness-bearing one.
+///
+/// `spawn_buf` is the worker's reusable spawn buffer: eager child bursts are
+/// collected into it and handed to the source as one batch, so the spawn
+/// path costs one pool operation — and, in steady state, zero allocations —
+/// per generator burst.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_task<P, D, S, Y>(
     problem: &P,
@@ -478,6 +502,7 @@ pub(crate) fn run_task<P, D, S, Y>(
     local: &mut S::Local,
     policy: &Y,
     task: Task<P::Node>,
+    spawn_buf: &mut Vec<Task<P::Node>>,
 ) -> Flow
 where
     P: SearchProblem,
@@ -498,19 +523,22 @@ where
 
     if policy.spawn_children(task.depth) {
         // Eager splitting: every child becomes a task, queued in heuristic
-        // order. Register the spawns before releasing so the termination
-        // counter can never observe an empty system while tasks exist.
-        let children: Vec<Task<P::Node>> = problem
-            .generator(&task.node)
-            .map(|child| Task::new(child, task.depth + 1))
-            .collect();
+        // order and released as one batch. Register the spawns before
+        // releasing so the termination counter can never observe an empty
+        // system while tasks exist.
+        spawn_buf.clear();
+        spawn_buf.extend(
+            problem
+                .generator(&task.node)
+                .map(|child| Task::new(child, task.depth + 1)),
+        );
         StepEnv {
             source,
             local,
             term,
             metrics,
         }
-        .spawn(children);
+        .spawn(spawn_buf);
         return Flow::Completed;
     }
 
@@ -519,23 +547,31 @@ where
     let mut task_backtracks: u64 = 0;
 
     while !stack.is_empty() {
-        // External lifecycle: stride-gated cancel-token/deadline poll and
-        // heartbeat emission.
-        lifecycle.on_step(lstate, term);
-        if term.short_circuited() {
-            // An external stop is not a witness: report the task as
-            // cancelled so (e.g.) the Ordered commit log never mistakes a
-            // timed-out task for a decision short-circuit.
-            return if term.stopped_externally() {
-                Flow::Cancelled
-            } else {
-                Flow::ShortCircuited
-            };
-        }
-        // Key-scoped cancellation (Ordered speculation): the source knows
-        // this task's remaining subtree can only produce discarded work.
-        if source.cancelled(local) {
-            return Flow::Cancelled;
+        // External lifecycle: adaptively stride-gated cancel-token/deadline
+        // poll and heartbeat emission.  The stop checks below piggyback on
+        // the same gate, which hoists all shared-atomic loads off the
+        // per-node path: a non-poll step costs one counter decrement here.
+        // Staleness is bounded by the stride ceiling, and stops raised
+        // between tasks are observed by the worker loop's own poll, so a
+        // task never starts after the search has finished.
+        if lifecycle.on_step(lstate, term) {
+            metrics.poll_checks += 1;
+            if term.short_circuited() {
+                // An external stop is not a witness: report the task as
+                // cancelled so (e.g.) the Ordered commit log never mistakes
+                // a timed-out task for a decision short-circuit.
+                return if term.stopped_externally() {
+                    Flow::Cancelled
+                } else {
+                    Flow::ShortCircuited
+                };
+            }
+            // Key-scoped cancellation (Ordered speculation): the source
+            // knows this task's remaining subtree can only produce discarded
+            // work.
+            if source.cancelled(local) {
+                return Flow::Cancelled;
+            }
         }
         // Give the source a chance to serve a thief (at most one steal
         // request per expansion step, mirroring Listing 3), then the policy
@@ -584,8 +620,9 @@ where
 // Shared sources
 // ---------------------------------------------------------------------------
 
-use crate::workpool::ShardedPool;
+use crate::workpool::{ShardedPool, POP_BATCH, STEAL_BATCH};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 
 /// The degenerate source of the Sequential coordination: a single shared
 /// queue that starts with the root task; there is no one to steal from.
@@ -623,11 +660,11 @@ impl<P: SearchProblem> WorkSource<P> for RootSource<P::Node> {
         None
     }
 
-    fn release(&self, _local: &mut Self::Local, tasks: Vec<Task<P::Node>>) {
+    fn release(&self, _local: &mut Self::Local, tasks: &mut Vec<Task<P::Node>>) {
         // Only reachable if a spawning policy is paired with this source;
         // keep every task (in heuristic order) so none is lost while
         // registered with the termination counter.
-        self.queue.lock().extend(tasks);
+        self.queue.lock().extend(tasks.drain(..));
     }
 
     fn discard(&self) -> usize {
@@ -642,11 +679,30 @@ impl<P: SearchProblem> WorkSource<P> for RootSource<P::Node> {
 
 /// A sharded order-preserving pool source: one depth-pool shard per worker.
 /// Owners push and pop their own shard without contending with anyone;
-/// thieves scan the other shards and take from the one whose shallowest
-/// task is globally shallowest (§4.3's heuristic, preserved across shards).
-/// Shared by the Depth-Bounded and Budget coordinations.
+/// thieves scan the other shards' atomic depth hints and take a small batch
+/// from the one whose shallowest task is globally shallowest (§4.3's
+/// heuristic, preserved across shards).  Shared by the Depth-Bounded and
+/// Budget coordinations.
+///
+/// Pops and steals are batched through a per-worker *stash*: an owner pop
+/// moves up to [`POP_BATCH`] tasks out of the shard under one lock, and a
+/// steal takes up to [`STEAL_BATCH`], so the per-task lock cost is amortised
+/// over the batch.  Stashed tasks are invisible to thieves, which is why the
+/// batches are small (at most `POP_BATCH - 1` tasks per worker are ever
+/// hidden), and the stash is drained into the discard accounting when the
+/// worker exits, so the outstanding-task counter still reaches zero on
+/// every exit path.
 pub(crate) struct PoolSource<N> {
     pool: ShardedPool<N>,
+}
+
+/// Per-worker state of [`PoolSource`]: the worker's shard index, its batched
+/// pop stash, and its share of the pool's lock-acquisition count (drained
+/// into metrics at loop exit).
+pub(crate) struct PoolLocal<N> {
+    shard: usize,
+    stash: VecDeque<Task<N>>,
+    locks: u64,
 }
 
 impl<N> PoolSource<N> {
@@ -658,44 +714,67 @@ impl<N> PoolSource<N> {
 }
 
 impl<P: SearchProblem> WorkSource<P> for PoolSource<P::Node> {
-    type Local = usize;
+    type Local = PoolLocal<P::Node>;
 
-    fn register(&self, worker: usize) -> usize {
-        worker % self.pool.shards()
+    fn register(&self, worker: usize) -> Self::Local {
+        PoolLocal {
+            shard: worker % self.pool.shards(),
+            stash: VecDeque::with_capacity(POP_BATCH),
+            locks: 0,
+        }
     }
 
     fn seed(&self, task: Task<P::Node>) {
         self.pool.push(0, task);
     }
 
-    fn pop(&self, shard: &mut usize) -> Option<Task<P::Node>> {
-        self.pool.pop_local(*shard)
+    fn pop(&self, local: &mut Self::Local) -> Option<Task<P::Node>> {
+        if let Some(task) = local.stash.pop_front() {
+            return Some(task);
+        }
+        local.locks += 1;
+        self.pool
+            .pop_batch_local(local.shard, POP_BATCH, &mut local.stash);
+        local.stash.pop_front()
     }
 
     fn acquire(
         &self,
-        shard: &mut usize,
+        local: &mut Self::Local,
         _term: &Termination,
         metrics: &mut WorkerMetrics,
     ) -> Option<Task<P::Node>> {
-        match self.pool.steal(*shard) {
-            Some(task) => {
-                metrics.steals += 1;
-                Some(task)
-            }
-            None => {
-                metrics.failed_steals += 1;
-                None
-            }
+        local.locks += 1;
+        if self
+            .pool
+            .steal_batch(local.shard, STEAL_BATCH, &mut local.stash)
+            > 0
+        {
+            metrics.steals += 1;
+            local.stash.pop_front()
+        } else {
+            metrics.failed_steals += 1;
+            None
         }
     }
 
-    fn release(&self, shard: &mut usize, tasks: Vec<Task<P::Node>>) {
-        self.pool.push_all(*shard, tasks);
+    fn release(&self, local: &mut Self::Local, tasks: &mut Vec<Task<P::Node>>) {
+        local.locks += 1;
+        self.pool.push_batch(local.shard, tasks);
     }
 
     fn discard(&self) -> usize {
         self.pool.clear()
+    }
+
+    fn drain_local(&self, local: &mut Self::Local) -> usize {
+        let stashed = local.stash.len();
+        local.stash.clear();
+        stashed
+    }
+
+    fn drain_lock_count(&self, local: &mut Self::Local) -> u64 {
+        std::mem::take(&mut local.locks)
     }
 }
 
@@ -801,6 +880,7 @@ mod tests {
             &mut (),
             &NoSpawn,
             Task::new(p.root(), 0),
+            &mut Vec::new(),
         );
         assert_eq!(flow, Flow::ShortCircuited);
         assert!(metrics.nodes <= 2, "the poll happens before each expansion");

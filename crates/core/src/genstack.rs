@@ -107,6 +107,24 @@ impl<'p, P: SearchProblem + 'p> GenStack<'p, P> {
     pub fn has_unexplored(&mut self) -> bool {
         self.frames.iter_mut().any(|f| f.gen.peek().is_some())
     }
+
+    /// Depth of the children [`split_lowest`](Self::split_lowest) would take:
+    /// the first bottom-up generator with unexplored children.  `None` when
+    /// the stack holds no stealable work.  This is the steal-quality hint a
+    /// victim advertises — shallower means a heuristically bigger subtree.
+    pub fn steal_depth(&mut self) -> Option<usize> {
+        self.frames
+            .iter_mut()
+            .find_map(|f| f.gen.peek().is_some().then_some(f.child_depth))
+    }
+
+    /// Depth of the bottom generator's children — an O(1) lower bound on
+    /// [`steal_depth`](Self::steal_depth) that never touches the lazy
+    /// generators, cheap enough for the threaded engine to publish as its
+    /// work hint once per task.  `None` when the stack is empty.
+    pub fn base_depth(&self) -> Option<usize> {
+        self.frames.first().map(|f| f.child_depth)
+    }
 }
 
 #[cfg(test)]

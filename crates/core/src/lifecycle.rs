@@ -342,18 +342,34 @@ pub(crate) struct Lifecycle {
     pub(crate) nodes_seen: AtomicU64,
 }
 
-/// Per-worker lifecycle state: a step counter gating the stride checks so
-/// the per-node cost of the anytime machinery is a couple of increments.
+/// Per-worker lifecycle state: a step counter plus the adaptive poll stride,
+/// so the per-node cost of the anytime machinery is a decrement and a
+/// branch.
+///
+/// The poll stride *adapts*: every poll that finds nothing doubles the
+/// stride (up to [`Lifecycle::MAX_POLL_STRIDE`]), so a long quiet search
+/// pays for `Instant::now` and the cancel-token walk once per ~512 nodes
+/// instead of once per 64; a poll that observes a stop collapses the stride
+/// back to [`Lifecycle::MIN_POLL_STRIDE`].  The first step always polls
+/// (`until_poll` starts at zero), so an already-expired deadline or
+/// pre-pulled token is observed before any real work happens.
 #[derive(Debug, Default)]
 pub(crate) struct LifecycleLocal {
     steps: u64,
+    /// Steps remaining until the next external-stop poll.
+    until_poll: u32,
+    /// Current poll stride (doubles while quiet, collapses on a stop).
+    stride: u32,
 }
 
 impl Lifecycle {
-    /// Traversal steps between external-stop polls.  Small enough that a
-    /// 10 ms deadline is observed promptly on any realistic tree, large
-    /// enough that `Instant::now` stays off the per-node hot path.
-    const POLL_STRIDE: u64 = 64;
+    /// Floor of the adaptive poll stride: the stride a worker restarts from
+    /// after observing a stop, and the effective stride early in a task.
+    pub(crate) const MIN_POLL_STRIDE: u32 = 16;
+    /// Ceiling of the adaptive poll stride — the bounded staleness of the
+    /// anytime machinery: an external cancel or an expired deadline is
+    /// observed within at most this many traversal steps per worker.
+    pub(crate) const MAX_POLL_STRIDE: u32 = 512;
     /// Traversal steps between heartbeat progress events (per worker).
     const HEARTBEAT_STRIDE: u64 = 8192;
 
@@ -406,14 +422,15 @@ impl Lifecycle {
         }
     }
 
-    /// Per-traversal-step hook: stride-gated external-stop poll plus
-    /// heartbeat emission.  `local` is the calling worker's private state.
+    /// Per-traversal-step hook: adaptively stride-gated external-stop poll
+    /// plus heartbeat emission.  `local` is the calling worker's private
+    /// state.  Returns `true` when this step actually polled, so the engine
+    /// can piggyback its own stop checks (short-circuit propagation,
+    /// coordination-specific cancellation) on the same gate instead of
+    /// loading shared atomics on every node.
     #[inline]
-    pub(crate) fn on_step(&self, local: &mut LifecycleLocal, term: &Termination) {
+    pub(crate) fn on_step(&self, local: &mut LifecycleLocal, term: &Termination) -> bool {
         local.steps = local.steps.wrapping_add(1);
-        if local.steps % Self::POLL_STRIDE == 0 {
-            self.poll(term);
-        }
         if local.steps % Self::HEARTBEAT_STRIDE == 0 {
             if let Some(progress) = &self.progress {
                 let nodes = self
@@ -426,6 +443,18 @@ impl Lifecycle {
                 });
             }
         }
+        if local.until_poll > 0 {
+            local.until_poll -= 1;
+            return false;
+        }
+        self.poll(term);
+        local.stride = if term.short_circuited() {
+            Self::MIN_POLL_STRIDE
+        } else {
+            (local.stride * 2).clamp(Self::MIN_POLL_STRIDE, Self::MAX_POLL_STRIDE)
+        };
+        local.until_poll = local.stride;
+        true
     }
 
     /// Announce the end of the search on the progress stream.
@@ -650,6 +679,52 @@ mod tests {
             }
             other => panic!("expected a heartbeat, got {other:?}"),
         }
+    }
+
+    /// The first step of a worker must poll immediately: a pre-expired
+    /// deadline or pre-pulled token is observed before any real work.
+    #[test]
+    fn the_first_step_polls_immediately() {
+        use crate::termination::StopCause;
+        let mut lc = Lifecycle::inert();
+        lc.begin(Some(Duration::ZERO));
+        let term = Termination::new(1);
+        let mut local = LifecycleLocal::default();
+        assert!(lc.on_step(&mut local, &term), "step 1 must poll");
+        assert_eq!(term.stop_cause(), Some(StopCause::Deadline));
+    }
+
+    /// Bounded staleness of the adaptive stride: however far a quiet run has
+    /// escalated the stride, a cancel pulled afterwards is observed within
+    /// at most `MAX_POLL_STRIDE` further steps — and once observed, the
+    /// stride collapses back to the floor.
+    #[test]
+    fn cancellation_staleness_is_bounded_by_the_max_stride() {
+        let token = CancelToken::new();
+        let mut lc = Lifecycle {
+            cancel: Some(token.clone()),
+            ..Lifecycle::inert()
+        };
+        lc.begin(None);
+        let term = Termination::new(1);
+        let mut local = LifecycleLocal::default();
+        // A long quiet run escalates the stride to its ceiling.
+        for _ in 0..10_000u32 {
+            lc.on_step(&mut local, &term);
+        }
+        assert_eq!(term.stop_cause(), None);
+        assert_eq!(local.stride, Lifecycle::MAX_POLL_STRIDE);
+        token.cancel();
+        let mut steps = 0u32;
+        while !term.short_circuited() {
+            lc.on_step(&mut local, &term);
+            steps += 1;
+            assert!(
+                steps <= Lifecycle::MAX_POLL_STRIDE + 1,
+                "cancel not observed within the stride ceiling"
+            );
+        }
+        assert_eq!(local.stride, Lifecycle::MIN_POLL_STRIDE);
     }
 
     #[test]

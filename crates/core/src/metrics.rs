@@ -48,6 +48,22 @@ pub struct WorkerMetrics {
     /// cancellation is disabled or no witness is ever recorded; never affects
     /// the committed `nodes` count.
     pub cancelled_tasks: u64,
+    /// Workpool lock acquisitions attributed to this worker (pushes, pops,
+    /// steals and their batched variants — one count per locked pool
+    /// operation, relaxed).  The batching PR's headline diagnostic: with
+    /// batched spawn/pop paths this should grow far slower than `nodes`.
+    /// Counted in both the threaded engine and the simulator (where it
+    /// counts simulated pool operations).
+    pub lock_acquisitions: u64,
+    /// Non-empty batched releases: generator bursts handed to the workpool
+    /// in a single operation.  `spawns / batch_pushes` is the realised
+    /// amortisation factor.
+    pub batch_pushes: u64,
+    /// Stride-gated lifecycle poll checks actually performed (cancel-token +
+    /// deadline evaluations).  With the adaptive stride this should be a
+    /// small fraction of `nodes`; a regression here means the poll gate is
+    /// back on the per-node path.
+    pub poll_checks: u64,
 }
 
 impl WorkerMetrics {
@@ -65,6 +81,9 @@ impl WorkerMetrics {
         self.priority_inversions += other.priority_inversions;
         self.speculative_nodes += other.speculative_nodes;
         self.cancelled_tasks += other.cancelled_tasks;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.batch_pushes += other.batch_pushes;
+        self.poll_checks += other.poll_checks;
     }
 }
 
@@ -230,6 +249,25 @@ mod tests {
         assert_eq!(a.priority_inversions, 3);
         assert_eq!(a.speculative_nodes, 15);
         assert_eq!(a.cancelled_tasks, 3);
+    }
+
+    #[test]
+    fn merge_sums_hot_path_counters() {
+        let mut a = WorkerMetrics {
+            lock_acquisitions: 5,
+            batch_pushes: 2,
+            poll_checks: 7,
+            ..WorkerMetrics::default()
+        };
+        a.merge(&WorkerMetrics {
+            lock_acquisitions: 3,
+            batch_pushes: 1,
+            poll_checks: 4,
+            ..WorkerMetrics::default()
+        });
+        assert_eq!(a.lock_acquisitions, 8);
+        assert_eq!(a.batch_pushes, 3);
+        assert_eq!(a.poll_checks, 11);
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl<P: SearchProblem, S: WorkSource<P>> SpawnPolicy<P, S> for BudgetPolicy {
             // Offload all unexplored subtrees at the lowest depth of this
             // task's stack, preserving heuristic order, then keep searching
             // with a fresh budget.
-            env.spawn(stack.split_lowest(true));
+            env.spawn(&mut stack.split_lowest(true));
             *task_backtracks = 0;
         }
     }

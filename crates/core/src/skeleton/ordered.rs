@@ -70,7 +70,7 @@ use crate::node::SearchProblem;
 use crate::params::SearchConfig;
 use crate::skeleton::driver::Driver;
 use crate::termination::Termination;
-use crate::workpool::{OrderedPool, SeqKey, Task};
+use crate::workpool::{KeyArena, OrderedPool, SeqKey, Task};
 
 /// Spawn the children of every node shallower than `spawn_depth`, exactly
 /// like the Depth-Bounded policy — the ordering lives in the source, not
@@ -107,6 +107,13 @@ struct CommitLog {
 
 /// Per-worker state of the ordered source.
 pub(crate) struct OrderedLocal {
+    /// The [`OrderedPool`] insertion shard this worker releases through, so
+    /// concurrent spawn bursts never contend on one insertion lock.
+    shard: usize,
+    /// Recycling arena for [`SeqKey`] path allocations: every key this
+    /// worker retires (skipped task, replaced `current`) feeds the next
+    /// batch of minted child keys.
+    arena: KeyArena,
     /// Sequence key of the task this worker is currently executing.
     current: SeqKey,
     /// Child index counter for tasks released by the current task.
@@ -201,9 +208,9 @@ pub(crate) struct OrderedSource<N> {
 }
 
 impl<N> OrderedSource<N> {
-    pub(crate) fn new(cancel_speculation: bool) -> Self {
+    pub(crate) fn new(cancel_speculation: bool, workers: usize) -> Self {
         OrderedSource {
-            pool: OrderedPool::new(),
+            pool: OrderedPool::with_shards(workers),
             commit: Mutex::new(CommitLog {
                 in_flight: std::collections::BTreeSet::new(),
                 witness: None,
@@ -239,6 +246,7 @@ impl<N> OrderedSource<N> {
                     // The task never runs: drain it as discarded, exactly
                     // like the purge and commit-clear disposal paths.
                     local.cancelled += 1;
+                    local.arena.recycle(key);
                     term.tasks_discarded(1);
                     continue;
                 }
@@ -247,7 +255,8 @@ impl<N> OrderedSource<N> {
                 local.inversions += 1;
             }
             commit.in_flight.insert(key.clone());
-            local.current = key;
+            let previous = std::mem::replace(&mut local.current, key);
+            local.arena.recycle(previous);
             local.next_child = 0;
             return Some(task);
         }
@@ -325,8 +334,10 @@ impl<N> OrderedSource<N> {
 impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
     type Local = OrderedLocal;
 
-    fn register(&self, _worker: usize) -> OrderedLocal {
+    fn register(&self, worker: usize) -> OrderedLocal {
         OrderedLocal {
+            shard: worker % self.pool.shards(),
+            arena: KeyArena::new(),
             current: SeqKey::root(),
             next_child: 0,
             inversions: 0,
@@ -338,7 +349,7 @@ impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
     }
 
     fn seed(&self, task: Task<P::Node>) {
-        self.pool.push(SeqKey::root(), task);
+        self.pool.push_from(0, SeqKey::root(), task);
     }
 
     fn pop(&self, local: &mut OrderedLocal) -> Option<Task<P::Node>> {
@@ -356,13 +367,29 @@ impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
         None
     }
 
-    fn release(&self, local: &mut OrderedLocal, tasks: Vec<Task<P::Node>>) {
-        for task in tasks {
-            let key = local.current.child(local.next_child);
-            local.next_child += 1;
-            local.ordered_spawns += 1;
-            self.pool.push(key, task);
+    /// Batched release: one generator burst becomes one insertion-shard lock
+    /// acquisition, with child keys minted from the worker's recycling
+    /// arena instead of fresh per-key allocations.
+    fn release(&self, local: &mut OrderedLocal, tasks: &mut Vec<Task<P::Node>>) {
+        if tasks.is_empty() {
+            return;
         }
+        let base = local.next_child;
+        local.next_child += tasks.len() as u32;
+        local.ordered_spawns += tasks.len() as u64;
+        let OrderedLocal {
+            shard,
+            arena,
+            current,
+            ..
+        } = local;
+        self.pool.push_batch_from(
+            *shard,
+            tasks
+                .drain(..)
+                .enumerate()
+                .map(|(i, task)| (arena.child_of(current, base + i as u32), task)),
+        );
     }
 
     /// The engine's per-step cancellation poll: cancel the executing task as
@@ -410,7 +437,7 @@ where
 {
     let start = Instant::now();
     let workers = lifecycle.worker_count(config);
-    let source = OrderedSource::new(config.cancel_speculation);
+    let source = OrderedSource::new(config.cancel_speculation, workers);
     let policy = OrderedPolicy { spawn_depth };
     WorkSource::<P>::seed(&source, Task::new(problem.root(), 0));
 
@@ -452,6 +479,7 @@ where
     let mut partial = driver.new_partial();
     let mut backoff = IdleBackoff::new();
     let mut lstate = LifecycleLocal::default();
+    let mut spawn_buf = Vec::new();
 
     loop {
         // External stop conditions are polled between tasks too, so idle
@@ -477,6 +505,7 @@ where
                     &mut local,
                     policy,
                     task,
+                    &mut spawn_buf,
                 );
                 if flow == Flow::Cancelled {
                     local.cancelled += 1;

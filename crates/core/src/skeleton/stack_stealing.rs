@@ -12,6 +12,7 @@
 //! this module is only the steal-channel [`WorkSource`].
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -41,13 +42,43 @@ pub(crate) struct StealLocal<N> {
     rx: Receiver<StealRequest<N>>,
     backlog: VecDeque<Task<N>>,
     rng: SmallRng,
+    /// The work-hint depth this worker last published (avoids a shared
+    /// atomic store on every expansion step — only changes write).
+    /// `NO_WORK_HINT` when the worker is advertised idle.
+    advertised: usize,
+    /// Reused candidate buffer for hint-guided victim selection.
+    scratch: Vec<usize>,
 }
 
+/// Hint value meaning "this worker has nothing to steal".
+const NO_WORK_HINT: usize = usize::MAX;
+
+/// One worker's published steal-depth hint — `NO_WORK_HINT` when idle,
+/// otherwise the depth of the bottom of its generator stack (a lower bound
+/// on what `split_lowest` would hand out) — padded to a cache line so
+/// thieves scanning the hint array never false-share with the victims
+/// updating it.  (The vendored crossbeam shim has no `CachePadded`, hence
+/// the local wrapper.)
+#[repr(align(64))]
+struct WorkHint(AtomicUsize);
+
 /// The steal-channel work source: one bounded request channel per worker,
-/// every worker holding a sender to every other.
+/// every worker holding a sender to every other, plus a per-worker *work
+/// hint*.
+///
+/// The hints fix the blind-victim ramp-up cost: a thief used to pick a
+/// victim uniformly at random and then block up to the reply timeout on a
+/// worker that might never have held work (during start-up, everyone but the
+/// root owner is idle — steal attempts mostly hit other thieves).  Now a
+/// worker advertises the depth of the bottom of its generator stack while it
+/// is traversing a task (one hint store per task, not per step) and thieves
+/// target the *shallowest* advertised victim — heuristically the biggest
+/// stealable subtree — breaking ties at random, and failing in nanoseconds
+/// when nobody has work instead of serialising on 200 µs timeouts.
 pub(crate) struct StealSource<N> {
     senders: Vec<Sender<StealRequest<N>>>,
     locals: Mutex<Vec<Option<StealLocal<N>>>>,
+    hints: Vec<WorkHint>,
     chunked: bool,
     /// How long a waiting thief blocks on a victim's reply before
     /// re-answering its own request channel and re-checking termination
@@ -73,13 +104,28 @@ impl<N> StealSource<N> {
                 rx,
                 backlog: VecDeque::new(),
                 rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                advertised: NO_WORK_HINT,
+                scratch: Vec::with_capacity(workers),
             }));
         }
         StealSource {
             senders,
             locals: Mutex::new(locals),
+            hints: (0..workers)
+                .map(|_| WorkHint(AtomicUsize::new(NO_WORK_HINT)))
+                .collect(),
             chunked,
             reply_timeout,
+        }
+    }
+
+    /// Publish or retract (`NO_WORK_HINT`) this worker's steal-depth hint
+    /// (idempotent; the `advertised` cache keeps stores off the steady path —
+    /// the hint only changes between tasks).
+    fn advertise(&self, local: &mut StealLocal<N>, depth: usize) {
+        if local.advertised != depth {
+            self.hints[local.id].0.store(depth, Ordering::Relaxed);
+            local.advertised = depth;
         }
     }
 
@@ -91,16 +137,33 @@ impl<N> StealSource<N> {
         }
     }
 
-    /// Pick a random victim and ask it for work.
+    /// Pick the *shallowest* advertised victim (ties broken at random) and
+    /// ask it for work.  With no advertised victim the steal fails
+    /// immediately — no request, no timeout — which is what keeps idle
+    /// workers cheap while the search ramps up or drains.
     fn attempt_steal(&self, local: &mut StealLocal<N>) -> Option<Vec<Task<N>>> {
         let n = self.senders.len();
-        let victim = {
-            let mut v = local.rng.gen_range(0..n - 1);
-            if v >= local.id {
-                v += 1;
+        local.scratch.clear();
+        let mut best = NO_WORK_HINT;
+        for v in 0..n {
+            if v == local.id {
+                continue;
             }
-            v
-        };
+            let depth = self.hints[v].0.load(Ordering::Relaxed);
+            match depth.cmp(&best) {
+                std::cmp::Ordering::Less => {
+                    best = depth;
+                    local.scratch.clear();
+                    local.scratch.push(v);
+                }
+                std::cmp::Ordering::Equal if depth != NO_WORK_HINT => local.scratch.push(v),
+                _ => {}
+            }
+        }
+        if local.scratch.is_empty() {
+            return None;
+        }
+        let victim = local.scratch[local.rng.gen_range(0..local.scratch.len())];
         // Never deliver a request to a victim that has not registered yet:
         // it cannot answer, and on a persistent runtime pool smaller than
         // the search's worker count the victim's worker job may be queued
@@ -177,8 +240,9 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         _term: &Termination,
         metrics: &mut WorkerMetrics,
     ) -> Option<Task<P::Node>> {
-        // Idle: answer any pending requests with "no work", then try to
-        // steal (single worker: no one to steal from).
+        // Idle: retract the work hint, answer any pending requests with "no
+        // work", then try to steal (single worker: no one to steal from).
+        self.advertise(local, NO_WORK_HINT);
         Self::drain_requests_empty(&local.rx);
         if self.senders.len() <= 1 {
             return None;
@@ -196,8 +260,8 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         }
     }
 
-    fn release(&self, local: &mut Self::Local, tasks: Vec<Task<P::Node>>) {
-        local.backlog.extend(tasks);
+    fn release(&self, local: &mut Self::Local, tasks: &mut Vec<Task<P::Node>>) {
+        local.backlog.extend(tasks.drain(..));
     }
 
     fn poll(
@@ -207,6 +271,11 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         term: &Termination,
         metrics: &mut WorkerMetrics,
     ) {
+        // This worker is mid-traversal: make it a steal candidate at the
+        // depth of its stack base (a store only when the hint changes —
+        // once per task, since the base frame is fixed for the task's
+        // lifetime).
+        self.advertise(local, stack.base_depth().unwrap_or(NO_WORK_HINT));
         // Serve at most one steal request per expansion step (mirrors the
         // per-iteration check in Listing 3).
         let request = match local.rx.try_recv() {
@@ -236,6 +305,7 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
     /// (short-circuit, cancel, deadline) never run; the engine drains them
     /// from the outstanding counter as the worker exits.
     fn drain_local(&self, local: &mut Self::Local) -> usize {
+        self.advertise(local, NO_WORK_HINT);
         let n = local.backlog.len();
         local.backlog.clear();
         n

@@ -1,0 +1,124 @@
+//! A per-worker recycling arena for [`SeqKey`] path allocations.
+//!
+//! The Ordered coordination mints one [`SeqKey`] per spawned task
+//! (`parent.child(i)`), and every mint allocates a fresh `Vec<u32>` — for
+//! fine-grained trees that is one heap allocation *per node*, paid on the
+//! spawn hot path.  A [`KeyArena`] breaks the churn: each worker owns one,
+//! and every key the worker retires (a skipped speculative task, a replaced
+//! `current` key) surrenders its allocation to the arena's free list, where
+//! the next [`child_of`](KeyArena::child_of) reuses it.  In steady state a
+//! worker mints keys without touching the allocator at all, because task
+//! paths at similar depths recycle buffers of the right capacity.
+//!
+//! The arena is deliberately *not* shared: it lives in the worker's local
+//! state, so `child_of`/`recycle` are plain `&mut` calls with no
+//! synchronisation, and keys that migrate between workers (through the
+//! [`OrderedPool`](super::OrderedPool)) simply get recycled by whichever
+//! worker retires them.
+
+use super::ordered::SeqKey;
+
+/// Upper bound on retained free buffers: enough to cover a generator burst's
+/// worth of retired keys without letting a pathological purge pin memory.
+const MAX_FREE: usize = 64;
+
+/// A free list of retired `SeqKey` path allocations.
+#[derive(Debug, Default)]
+pub struct KeyArena {
+    free: Vec<Vec<u32>>,
+}
+
+impl KeyArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        KeyArena::default()
+    }
+
+    /// Mint the key of `parent`'s `index`-th child, reusing a recycled
+    /// allocation when one is available.  Equivalent to
+    /// [`SeqKey::child`](super::SeqKey::child) in every observable way.
+    pub fn child_of(&mut self, parent: &SeqKey, index: u32) -> SeqKey {
+        let mut path = self.free.pop().unwrap_or_default();
+        path.clear();
+        path.reserve(parent.path().len() + 1);
+        path.extend_from_slice(parent.path());
+        path.push(index);
+        SeqKey::from_path(path)
+    }
+
+    /// Retire a key, keeping its allocation for a future
+    /// [`child_of`](Self::child_of).  Zero-capacity paths (the root key) and
+    /// overflow beyond the retention cap are simply dropped.
+    pub fn recycle(&mut self, key: SeqKey) {
+        let path = key.into_path();
+        if path.capacity() > 0 && self.free.len() < MAX_FREE {
+            self.free.push(path);
+        }
+    }
+
+    /// Number of buffers currently available for reuse (diagnostics/tests).
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_of_matches_seqkey_child_exactly() {
+        let mut arena = KeyArena::new();
+        let root = SeqKey::root();
+        let a = arena.child_of(&root, 3);
+        assert_eq!(a, root.child(3));
+        let b = arena.child_of(&a, 0);
+        assert_eq!(b, a.child(0));
+        assert_eq!(b.path(), &[3, 0]);
+        assert_eq!(b.depth(), 2);
+    }
+
+    #[test]
+    fn recycled_allocations_are_reused() {
+        let mut arena = KeyArena::new();
+        let root = SeqKey::root();
+        let key = arena.child_of(&root, 7);
+        assert_eq!(arena.free_buffers(), 0);
+        arena.recycle(key);
+        assert_eq!(arena.free_buffers(), 1);
+        // The next mint consumes the recycled buffer and is still correct.
+        let again = arena.child_of(&root, 9);
+        assert_eq!(arena.free_buffers(), 0);
+        assert_eq!(again, root.child(9));
+    }
+
+    #[test]
+    fn root_keys_and_overflow_are_dropped_not_retained() {
+        let mut arena = KeyArena::new();
+        arena.recycle(SeqKey::root());
+        assert_eq!(arena.free_buffers(), 0, "the root's path has no capacity");
+        let root = SeqKey::root();
+        for i in 0..200 {
+            let key = arena.child_of(&root, i);
+            // Mint without recycling so each key owns a distinct buffer.
+            let clone = key.clone();
+            arena.recycle(key);
+            arena.recycle(clone);
+        }
+        assert!(arena.free_buffers() <= MAX_FREE, "retention must be capped");
+    }
+
+    #[test]
+    fn deep_keys_recycle_cleanly_across_depths() {
+        let mut arena = KeyArena::new();
+        let mut key = SeqKey::root();
+        for i in 0..50 {
+            key = arena.child_of(&key, i);
+        }
+        assert_eq!(key.depth(), 50);
+        arena.recycle(key);
+        // A shallow mint after a deep recycle must not leak old path steps.
+        let shallow = arena.child_of(&SeqKey::root(), 1);
+        assert_eq!(shallow.path(), &[1]);
+    }
+}

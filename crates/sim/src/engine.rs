@@ -6,7 +6,7 @@
 //! short-circuits), and the makespan is the virtual time of that moment.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -15,7 +15,7 @@ use yewpar::genstack::GenStack;
 use yewpar::monoid::Monoid;
 use yewpar::objective::PruneLevel;
 use yewpar::params::Coordination;
-use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task};
+use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task, POP_BATCH, STEAL_BATCH};
 use yewpar::{Decide, Enumerate, Optimise, SearchProblem, SearchStatus};
 
 /// Virtual-time costs of the simulated operations, in abstract "ticks".
@@ -27,8 +27,14 @@ use yewpar::{Decide, Enumerate, Optimise, SearchProblem, SearchStatus};
 pub struct CostModel {
     /// Cost of processing (expanding) one search-tree node.
     pub node_cost: u64,
-    /// Cost of pushing one task into a workpool.
+    /// Cost of pushing one task into a workpool (covers the pool lock plus
+    /// the first task of a batch).
     pub spawn_cost: u64,
+    /// Marginal cost of each *additional* task in a batched pool operation:
+    /// a burst of `n` spawns costs `spawn_cost + batch_task_cost × (n-1)`
+    /// instead of `spawn_cost × n`, mirroring the threaded engine's batched
+    /// release (one lock acquisition per generator burst).
+    pub batch_task_cost: u64,
     /// Cost of popping a task from the local workpool.
     pub pop_cost: u64,
     /// Latency of obtaining work from another worker/pool in the same locality.
@@ -46,11 +52,26 @@ impl Default for CostModel {
         CostModel {
             node_cost: 100,
             spawn_cost: 20,
+            batch_task_cost: 5,
             pop_cost: 20,
             local_steal_latency: 500,
             remote_steal_latency: 10_000,
             bound_broadcast_latency: 20_000,
             idle_poll: 200,
+        }
+    }
+}
+
+impl CostModel {
+    /// Virtual time of one batched pool push of `n` tasks: the full
+    /// [`spawn_cost`](CostModel::spawn_cost) buys the lock and the first
+    /// task, each further task pays only the marginal
+    /// [`batch_task_cost`](CostModel::batch_task_cost).  Zero for an empty
+    /// batch (no pool operation happens).
+    pub fn batched_spawn_cost(&self, n: usize) -> u64 {
+        match n {
+            0 => 0,
+            n => self.spawn_cost + self.batch_task_cost * (n as u64 - 1),
         }
     }
 }
@@ -137,6 +158,18 @@ pub struct SimOutcome<R> {
     /// (queued purges plus in-flight early exits).  Zero when
     /// `cancel_speculation` is off or no witness is recorded.
     pub cancelled_tasks: u64,
+    /// Simulated workpool lock acquisitions: one per pool operation (a
+    /// push or pop, batched or not — a whole batch counts once).  The
+    /// virtual mirror of `WorkerMetrics::lock_acquisitions`; with batching
+    /// this grows far slower than `nodes`.
+    pub lock_acquisitions: u64,
+    /// Non-empty batched releases (generator bursts handed to a pool in one
+    /// operation).  `spawns / batch_pushes` is the realised amortisation
+    /// factor, mirroring `WorkerMetrics::batch_pushes`.
+    pub batch_pushes: u64,
+    /// Deadline evaluations performed (one per scheduled event), the
+    /// virtual analogue of `WorkerMetrics::poll_checks`.
+    pub poll_checks: u64,
     /// Number of workers simulated.
     pub workers: usize,
     /// How the simulated search ended: [`SearchStatus::Complete`], or
@@ -355,6 +388,9 @@ struct SimStats {
     priority_inversions: u64,
     speculative_nodes: u64,
     cancelled_tasks: u64,
+    lock_acquisitions: u64,
+    batch_pushes: u64,
+    poll_checks: u64,
     /// The virtual deadline fired before the search could finish.
     deadline_hit: bool,
 }
@@ -404,6 +440,9 @@ fn outcome<R>(stats: SimStats, config: &SimConfig, result: R) -> SimOutcome<R> {
         priority_inversions: stats.priority_inversions,
         speculative_nodes: stats.speculative_nodes,
         cancelled_tasks: stats.cancelled_tasks,
+        lock_acquisitions: stats.lock_acquisitions,
+        batch_pushes: stats.batch_pushes,
+        poll_checks: stats.poll_checks,
         workers: config.workers(),
         status: if stats.deadline_hit {
             SearchStatus::DeadlineExceeded
@@ -471,7 +510,9 @@ where
         // Virtual deadline: events are processed in time order, so the
         // first event at or past the deadline ends the whole run — exactly
         // like the threaded engine's per-step wall-clock poll, with zero
-        // nondeterminism.
+        // nondeterminism.  Every event is one deadline evaluation, the
+        // virtual analogue of the threaded stride-gated poll check.
+        stats.poll_checks += 1;
         if let Some(d) = config.deadline_ticks.filter(|&d| now >= d) {
             stats.deadline_hit = true;
             // The overshooting event never executes: the run ends at the
@@ -491,7 +532,9 @@ where
                     if !offload.is_empty() {
                         outstanding += offload.len() as u64;
                         stats.spawns += offload.len() as u64;
-                        next_time += costs.spawn_cost * offload.len() as u64;
+                        stats.batch_pushes += 1;
+                        stats.lock_acquisitions += 1;
+                        next_time += costs.batched_spawn_cost(offload.len());
                         pools[workers[w].locality].push_all(offload);
                     }
                     workers[w].backtracks_since_split = 0;
@@ -564,16 +607,41 @@ where
             Coordination::Sequential
             | Coordination::DepthBounded { .. }
             | Coordination::Budget { .. } => {
-                // Local pool first, then a random remote pool.
-                if let Some(task) = pools[my_locality].pop() {
+                // Local pool first — a batched pop takes up to `POP_BATCH`
+                // tasks for one pool operation, capped at this worker's fair
+                // share of the pool so a scarce frontier is never hoarded in
+                // one backlog (the threaded engine avoids this by sharding
+                // the pool per worker; the locality-level pool here must
+                // ration instead).  When the pool is empty, gamble on a
+                // *random* remote pool — the sharded pool's depth hints are
+                // in-process atomics that do not propagate across localities
+                // in the distributed model, so remote probing stays blind —
+                // and take a small batch on a hit to amortise the steal
+                // latency over `STEAL_BATCH` tasks.
+                let share = pools[my_locality]
+                    .len()
+                    .div_ceil(config.workers_per_locality.max(1))
+                    .max(1);
+                let mut grabbed = VecDeque::new();
+                if pools[my_locality].pop_batch(share.min(POP_BATCH), &mut grabbed) > 0 {
+                    stats.lock_acquisitions += 1;
                     next_time += costs.pop_cost;
-                    workers[w].backlog.push(task);
+                    workers[w].backlog.extend(grabbed);
                 } else if n_localities > 1 {
-                    let victim = pick_other(&mut rng, n_localities, my_locality);
-                    if let Some(task) = pools[victim].pop() {
-                        next_time += costs.remote_steal_latency;
+                    let mut victim = rng.gen_range(0..n_localities - 1);
+                    if victim >= my_locality {
+                        victim += 1;
+                    }
+                    // Victim-side rationing: never ship more than half the
+                    // victim pool's tasks, so a scarce frontier is spread
+                    // across stealing localities instead of hoarded by the
+                    // first thief to land.
+                    let cap = STEAL_BATCH.min(pools[victim].len().div_ceil(2)).max(1);
+                    if pools[victim].pop_batch(cap, &mut grabbed) > 0 {
+                        stats.lock_acquisitions += 1;
                         stats.steals += 1;
-                        workers[w].backlog.push(task);
+                        next_time += costs.remote_steal_latency;
+                        workers[w].backlog.extend(grabbed);
                     } else {
                         next_time += costs.idle_poll;
                     }
@@ -582,29 +650,58 @@ where
                 }
             }
             Coordination::StackStealing { chunked } => {
-                // Steal directly from another worker's stack: prefer a random
-                // local victim, fall back to a random remote one.
-                let local_victims: Vec<usize> = (0..n_workers)
-                    .filter(|&v| v != w && workers[v].locality == my_locality)
-                    .collect();
-                let remote_victims: Vec<usize> = (0..n_workers)
-                    .filter(|&v| workers[v].locality != my_locality)
-                    .collect();
+                // Steal directly from another worker's stack: prefer a local
+                // victim, fall back to a remote one.  The two tiers see
+                // different information, mirroring the threaded engine's
+                // shared-memory work-hint array:
+                //
+                // * *Local* picks are hint-guided — the per-worker hints are
+                //   cheap in-process atomics, so a thief skips empty stacks
+                //   entirely (failing fast for one idle poll when nobody in
+                //   the locality has work) and targets the victim whose
+                //   stealable frontier is *shallowest* (the heuristically
+                //   biggest subtree), breaking ties at random.
+                // * *Remote* picks are blind — hints do not propagate across
+                //   localities in the distributed model, so the thief
+                //   gambles a random remote worker and pays the full steal
+                //   latency on a miss.  (This is also a safety valve: were
+                //   remote thieves hint-guided too, every idle locality
+                //   would strip-mine the first busy worker's shallow
+                //   frontier the instant it appears, shipping nearly the
+                //   whole root frontier into in-flight transfers at once.)
                 let mut stolen = Vec::new();
                 let mut latency = costs.idle_poll;
-                for (victims, cost) in [
-                    (&local_victims, costs.local_steal_latency),
-                    (&remote_victims, costs.remote_steal_latency),
-                ] {
-                    if victims.is_empty() {
+                let mut best_depth = usize::MAX;
+                let mut best: Vec<usize> = Vec::new();
+                for (v, victim) in workers.iter_mut().enumerate() {
+                    if v == w || victim.locality != my_locality {
                         continue;
                     }
-                    let victim = victims[rng.gen_range(0..victims.len())];
+                    if let Some(d) = victim.stack.steal_depth() {
+                        match d.cmp(&best_depth) {
+                            std::cmp::Ordering::Less => {
+                                best_depth = d;
+                                best.clear();
+                                best.push(v);
+                            }
+                            std::cmp::Ordering::Equal => best.push(v),
+                            std::cmp::Ordering::Greater => {}
+                        }
+                    }
+                }
+                if !best.is_empty() {
+                    let victim = best[rng.gen_range(0..best.len())];
+                    stolen = workers[victim].stack.split_lowest(chunked);
+                    latency = costs.local_steal_latency;
+                } else if n_localities > 1 {
+                    let remote_victims: Vec<usize> = (0..n_workers)
+                        .filter(|&v| workers[v].locality != my_locality)
+                        .collect();
+                    let victim = remote_victims[rng.gen_range(0..remote_victims.len())];
                     let split = workers[victim].stack.split_lowest(chunked);
                     if !split.is_empty() {
                         stolen = split;
-                        latency = cost;
-                        break;
+                        latency = costs.remote_steal_latency;
                     }
                 }
                 if !stolen.is_empty() {
@@ -806,6 +903,7 @@ where
         // Virtual deadline, exactly as in `simulate`: the commit-ordered
         // loop stops at the first event past it, and the post-loop record
         // classification still runs so partial work is reported honestly.
+        stats.poll_checks += 1;
         if let Some(d) = config.deadline_ticks.filter(|&d| now >= d) {
             stats.deadline_hit = true;
             // The overshooting event never executes: the run ends at the
@@ -882,6 +980,7 @@ where
                 next_time += costs.idle_poll;
                 break;
             };
+            stats.lock_acquisitions += 1;
             // Post-witness stragglers (children released by committed-side
             // parents after the purge) are reclaimed at pop time — each
             // skip still pays the pop it performed, like the threaded pool.
@@ -919,7 +1018,11 @@ where
                         state.outstanding += children.len() as u64;
                         stats.spawns += children.len() as u64;
                         stats.ordered_spawns += children.len() as u64;
-                        next_time += costs.spawn_cost * children.len() as u64;
+                        if !children.is_empty() {
+                            stats.batch_pushes += 1;
+                            stats.lock_acquisitions += 1;
+                        }
+                        next_time += costs.batched_spawn_cost(children.len());
                         for (i, child) in children.into_iter().enumerate() {
                             state.pool.push(key.child(i as u32), child);
                         }
@@ -1032,7 +1135,11 @@ where
                 .collect();
             *outstanding += children.len() as u64;
             stats.spawns += children.len() as u64;
-            elapsed += costs.spawn_cost * children.len() as u64;
+            if !children.is_empty() {
+                stats.batch_pushes += 1;
+                stats.lock_acquisitions += 1;
+            }
+            elapsed += costs.batched_spawn_cost(children.len());
             pools[worker.locality].push_all(children);
             *outstanding -= 1;
             if *outstanding == 0 {
@@ -1045,17 +1152,6 @@ where
     worker.stack.push(problem, &task.node, task.depth);
     worker.backtracks_since_split = 0;
     elapsed
-}
-
-fn pick_other(rng: &mut SmallRng, n: usize, me: usize) -> usize {
-    if n <= 1 {
-        return me;
-    }
-    let mut v = rng.gen_range(0..n - 1);
-    if v >= me {
-        v += 1;
-    }
-    v
 }
 
 #[cfg(test)]
@@ -1314,6 +1410,28 @@ mod tests {
             "cancellation must not create extra speculative work (on={} off={})",
             on.speculative_nodes,
             off.speculative_nodes
+        );
+    }
+
+    #[test]
+    fn hot_path_counters_are_populated_and_amortised() {
+        let p = Fib { depth: 10 };
+        let out = simulate_enumerate(&p, &sim(Coordination::depth_bounded(3), 2, 3));
+        assert!(out.batch_pushes > 0, "eager spawning must batch");
+        assert!(out.lock_acquisitions > 0, "pool ops must be counted");
+        assert!(out.poll_checks > 0, "every event checks the deadline");
+        assert!(
+            out.spawns >= out.batch_pushes,
+            "a non-empty batch carries at least one task"
+        );
+        // The batched pop path must keep pool operations well below one per
+        // spawned task plus one per pop — the whole point of batching.
+        assert!(
+            out.lock_acquisitions < out.spawns + out.nodes,
+            "lock ops ({}) should be amortised below task traffic ({} spawns, {} nodes)",
+            out.lock_acquisitions,
+            out.spawns,
+            out.nodes
         );
     }
 

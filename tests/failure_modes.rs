@@ -461,3 +461,73 @@ fn configurable_steal_reply_timeout_is_honoured() {
     assert_eq!(out.status, SearchStatus::DeadlineExceeded);
     assert_eq!(out.metrics.outstanding_tasks, 0);
 }
+
+/// Task accounting stays exact when `purge_after` races batched pushes: the
+/// sharded `OrderedPool` buffers insertions per worker before migrating them
+/// into the global heap, and a purge running mid-migration must count every
+/// entry exactly once — each spawned task is either popped (completed) or
+/// purged/cleared (discarded), never both, never neither.  A miscount here
+/// would surface in the Ordered skeleton as a permanently non-zero
+/// `Termination::outstanding()` (the leak masked only by the stop flag).
+#[test]
+fn concurrent_purge_and_batched_pushes_keep_task_accounting_exact() {
+    use std::sync::Arc;
+    use yewpar::termination::Termination;
+    use yewpar::workpool::{OrderedPool, SeqKey};
+
+    let pool: Arc<OrderedPool<u64>> = Arc::new(OrderedPool::with_shards(4));
+    let term = Arc::new(Termination::new(0));
+    // Keys with a first path step past 2 sort after the bound and are
+    // eligible for the purge; earlier keys must all survive to be popped.
+    let bound = SeqKey::root().child(2);
+
+    let pushers: Vec<_> = (0..4u32)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            let term = Arc::clone(&term);
+            std::thread::spawn(move || {
+                let base = SeqKey::root().child(t);
+                for round in 0..50u32 {
+                    let parent = base.child(round);
+                    term.task_spawned(8);
+                    pool.push_batch_from(
+                        t as usize,
+                        (0..8u32).map(|i| (parent.child(i), u64::from(t * 1000 + round * 8 + i))),
+                    );
+                }
+            })
+        })
+        .collect();
+    let purger = {
+        let pool = Arc::clone(&pool);
+        let term = Arc::clone(&term);
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                let purged = pool.purge_after(&bound) as u64;
+                term.tasks_discarded(purged);
+                std::thread::yield_now();
+            }
+        })
+    };
+    for h in pushers {
+        h.join().unwrap();
+    }
+    purger.join().unwrap();
+
+    // Catch stragglers pushed after the purger's last pass, then drain the
+    // survivors: everything left must sort at or before the bound.
+    let bound = SeqKey::root().child(2);
+    term.tasks_discarded(pool.purge_after(&bound) as u64);
+    let mut drained = 0u64;
+    while let Some((key, _)) = pool.pop() {
+        assert!(key <= bound, "a purged-range key survived: {key:?}");
+        term.task_completed();
+        drained += 1;
+    }
+    assert!(drained > 0, "pre-bound batches must survive the purges");
+    assert_eq!(
+        term.outstanding(),
+        0,
+        "every batched push must be completed or discarded exactly once"
+    );
+}
