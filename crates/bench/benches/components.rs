@@ -314,12 +314,57 @@ fn bench_runtime_multiplexing(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flight-recorder A/B: the same 4-worker irregular enumeration with
+/// tracing disabled (the default — every emission site is a branch on a
+/// `None` handle), enabled with a ring large enough to never overflow, and
+/// never-configured (the `SearchConfig::trace` flag untouched, the row the
+/// zero-cost-when-off claim is judged against).  `traced_off` vs
+/// `trace_never_configured` should be indistinguishable; `traced_on` pays
+/// only the per-event ring pushes.
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/trace");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let workers = 4;
+
+    group.bench_function("trace_never_configured", |bench| {
+        let skeleton = Skeleton::new(Coordination::stack_stealing_chunked()).workers(workers);
+        bench.iter(|| skeleton.enumerate(&Irregular::new(9, 1)).value)
+    });
+
+    group.bench_function("traced_off", |bench| {
+        let skeleton = Skeleton::new(Coordination::stack_stealing_chunked())
+            .workers(workers)
+            .trace(false);
+        bench.iter(|| skeleton.enumerate(&Irregular::new(9, 1)).value)
+    });
+
+    group.bench_function("traced_on", |bench| {
+        let skeleton = Skeleton::new(Coordination::stack_stealing_chunked())
+            .workers(workers)
+            .trace(true)
+            .trace_capacity(1 << 20);
+        bench.iter(|| {
+            let value = skeleton.enumerate(&Irregular::new(9, 1)).value;
+            // Drain between iterations so the ring never saturates and the
+            // measured cost stays the per-event push, not overflow skips.
+            let records = skeleton.take_trace();
+            assert!(!records.is_empty());
+            value
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitset,
     bench_workpool,
     bench_maxclique_components,
     bench_runtime_submission,
-    bench_runtime_multiplexing
+    bench_runtime_multiplexing,
+    bench_trace
 );
 criterion_main!(benches);

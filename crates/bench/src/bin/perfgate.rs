@@ -8,7 +8,11 @@
 //! ```
 //!
 //! Exits non-zero if any skeleton's measured worst-case speedup falls below
-//! `baseline × TOLERANCE` (a >15% regression).  Knobs:
+//! `baseline × TOLERANCE` (a >15% regression).  The gate always runs with
+//! the flight recorder off — and additionally asserts *trace neutrality*:
+//! re-running one instance per skeleton with `trace: true` must reproduce
+//! the untraced schedule tick for tick, so enabling the recorder can never
+//! invalidate the gated numbers.  Knobs:
 //!
 //! * `--write-baseline` — regenerate `BENCH_BASELINE.json` from the current
 //!   engine instead of checking (run after a deliberate performance change,
@@ -22,7 +26,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serde_json::json;
-use yewpar_bench::gate::{irregular_worst_speedups, GateRow, TOLERANCE};
+use yewpar_bench::gate::{
+    irregular_worst_speedups, trace_neutrality_violations, GateRow, TOLERANCE,
+};
 
 /// The Table 2 cluster shape the committed baseline was recorded on.
 const LOCALITIES: usize = 8;
@@ -135,6 +141,17 @@ fn main() -> ExitCode {
             if ok { "ok" } else { "REGRESSION" }
         );
         failed |= !ok;
+    }
+
+    // The traced-off numbers above are only trustworthy if turning the
+    // recorder on costs zero virtual ticks — assert exact neutrality.
+    let violations = trace_neutrality_violations(LOCALITIES, WORKERS_PER_LOCALITY);
+    for v in &violations {
+        println!("  trace-neutrality: {v}");
+        failed = true;
+    }
+    if violations.is_empty() {
+        println!("  trace-neutrality: ok (recording moved no schedule)");
     }
 
     if failed {

@@ -44,6 +44,12 @@
 //!   asserting disjoint worker leases and reporting dispatcher-recorded
 //!   queue waits.  The JSON report gains a `concurrent` section (recorded
 //!   in `BENCH_4.json`).
+//! * `--trace-dir <dir>` — flight-recorder smoke: records three traced
+//!   Irregular runs (a threaded stack-stealing search, its virtual-time
+//!   mirror, and the PR 6 strip-mining reconstruction with hint-directed
+//!   remote steals re-enabled), exports each as canonical JSONL plus a
+//!   Chrome-trace file under `dir`, runs the search-anomaly analyzer on
+//!   every trace, and adds a `trace` section to the JSON report.
 
 use std::collections::BTreeMap;
 
@@ -302,6 +308,183 @@ fn concurrent_flag(args: &[String]) -> Option<usize> {
     }
 }
 
+/// Parse `--trace-dir <path>`: where the flight-recorder smoke drops its
+/// exported traces.
+fn trace_dir_flag(args: &[String]) -> Option<std::path::PathBuf> {
+    let pos = args.iter().position(|a| a == "--trace-dir")?;
+    let value = args.get(pos + 1).unwrap_or_else(|| {
+        eprintln!("--trace-dir requires a directory (e.g. `--trace-dir traces`)");
+        std::process::exit(2);
+    });
+    Some(std::path::PathBuf::from(value))
+}
+
+/// A single wide root frontier over binary bushes: the tree shape on which
+/// hint-directed remote steals deterministically collapse onto one victim
+/// (worker 0's depth-1 frame stays the shallowest advertised frontier for
+/// the whole run).  The strip-mining trace the smoke exports is recorded on
+/// this shape so the anomaly is guaranteed, not instance-dependent.
+struct WideRoot {
+    arms: usize,
+    bush_depth: u8,
+}
+
+impl yewpar::SearchProblem for WideRoot {
+    /// `None` is the root; `Some(b)` a bush node with `b` binary levels
+    /// left below it.
+    type Node = Option<u8>;
+    type Gen<'a> = std::vec::IntoIter<Option<u8>>;
+    fn root(&self) -> Option<u8> {
+        None
+    }
+    fn generator(&self, node: &Option<u8>) -> Self::Gen<'_> {
+        match *node {
+            None => vec![Some(self.bush_depth); self.arms].into_iter(),
+            Some(b) if b > 0 => vec![Some(b - 1); 2].into_iter(),
+            Some(_) => vec![].into_iter(),
+        }
+    }
+}
+
+impl yewpar::Enumerate for WideRoot {
+    type Value = yewpar::monoid::Sum<u64>;
+    fn value(&self, _n: &Option<u8>) -> yewpar::monoid::Sum<u64> {
+        yewpar::monoid::Sum(1)
+    }
+}
+
+/// The `--trace-dir DIR` smoke: flight-recorder end-to-end.  Three traced
+/// runs — a threaded stack-stealing Irregular search (nanosecond clock),
+/// its virtual-time simulator mirror, and the PR 6 strip-mining
+/// reconstruction (`hint_directed_remote_steals` with single-task splits,
+/// one worker per locality, on the [`WideRoot`] shape) — are each exported
+/// as canonical JSONL plus a Chrome-trace file under `dir` and fed to the
+/// search-anomaly analyzer with the run's own sequential node count as the
+/// work-inflation baseline.
+fn trace_section(
+    dir: &std::path::Path,
+    localities: usize,
+    workers_per_locality: usize,
+) -> serde_json::Value {
+    use yewpar::trace::analyze::{analyze, summarize, AnalyzeConfig};
+    use yewpar::trace::sink::{write_trace_file, ChromeTraceSink, JsonlSink};
+    use yewpar::trace::TraceRecord;
+    use yewpar::Skeleton;
+
+    println!();
+    println!(
+        "Flight-recorder smoke: tracing Irregular (12, 1), exporting to {}",
+        dir.display()
+    );
+
+    let problem = Irregular::new(12, 1);
+    let baseline_nodes =
+        simulate_enumerate(&problem, &SimConfig::new(Coordination::Sequential, 1, 1)).nodes;
+
+    // JsonlSink and ChromeTraceSink use different extensions, so one stem
+    // yields the `name.jsonl` / `name.json` pair side by side.
+    let record = |name: &str,
+                  records: Vec<TraceRecord>,
+                  dropped: u64,
+                  baseline_nodes: u64|
+     -> serde_json::Value {
+        let jsonl = write_trace_file(dir, name, &JsonlSink, &records)
+            .unwrap_or_else(|e| panic!("writing {name}.jsonl under {}: {e}", dir.display()));
+        let chrome = write_trace_file(dir, name, &ChromeTraceSink, &records)
+            .unwrap_or_else(|e| panic!("writing {name}.json under {}: {e}", dir.display()));
+        println!("  {name}: {}", summarize(&records));
+        let config = AnalyzeConfig {
+            baseline_nodes: Some(baseline_nodes),
+            ..AnalyzeConfig::default()
+        };
+        let findings = analyze(&records, &config);
+        for f in &findings {
+            println!("    finding [{}] {}", f.kind.name(), f.summary);
+        }
+        if findings.is_empty() {
+            println!("    no anomalies flagged");
+        }
+        serde_json::json!({
+            "name": name,
+            "events": records.len(),
+            "dropped": dropped,
+            "jsonl": jsonl.display().to_string(),
+            "chrome_trace": chrome.display().to_string(),
+            "findings": findings
+                .iter()
+                .map(|f| {
+                    serde_json::json!({
+                        "kind": f.kind.name(),
+                        "value": f.value,
+                        "summary": f.summary.clone(),
+                    })
+                })
+                .collect::<Vec<_>>(),
+        })
+    };
+    let mut runs = Vec::new();
+
+    // ---- Threaded stack-stealing run (real clock) -----------------------
+    let skeleton = Skeleton::new(Coordination::stack_stealing_chunked())
+        .workers(4)
+        .trace(true);
+    let outcome = skeleton.enumerate(&problem);
+    runs.push(record(
+        "threaded_stack_stealing",
+        skeleton.take_trace(),
+        skeleton.trace_dropped(),
+        baseline_nodes,
+    ));
+
+    // ---- Virtual-time mirror of the same coordination -------------------
+    let mut sim_cfg = SimConfig::new(
+        Coordination::stack_stealing_chunked(),
+        localities,
+        workers_per_locality,
+    );
+    sim_cfg.trace = true;
+    let sim_out = simulate_enumerate(&problem, &sim_cfg);
+    assert_eq!(
+        sim_out.result, outcome.value,
+        "sim/threaded result mismatch"
+    );
+    runs.push(record(
+        "sim_stack_stealing",
+        sim_out.trace,
+        0,
+        baseline_nodes,
+    ));
+
+    // ---- PR 6 strip-mining reconstruction -------------------------------
+    // Single-task splits and one worker per locality keep every steal
+    // remote, and the hint valve re-opens the shallowest-victim targeting
+    // that PR 6 removed: on the wide-root shape every thief converges on
+    // worker 0's frontier, so the exported trace deterministically carries
+    // a steal_strip_mining finding (CI pins this with `tracecat --expect`).
+    let wide = WideRoot {
+        arms: 60,
+        bush_depth: 6,
+    };
+    let wide_baseline =
+        simulate_enumerate(&wide, &SimConfig::new(Coordination::Sequential, 1, 1)).nodes;
+    let mut strip_cfg = SimConfig::new(Coordination::stack_stealing(), localities.max(2), 1);
+    strip_cfg.trace = true;
+    strip_cfg.hint_directed_remote_steals = true;
+    let strip_out = simulate_enumerate(&wide, &strip_cfg);
+    runs.push(record(
+        "sim_strip_mining",
+        strip_out.trace,
+        0,
+        wide_baseline,
+    ));
+
+    serde_json::json!({
+        "dir": dir.display().to_string(),
+        "baseline_nodes": baseline_nodes,
+        "runs": runs,
+    })
+}
+
 /// The `--concurrent N` smoke: schedule `n` identical Irregular
 /// enumerations through the virtual-time multiplexed scheduler (both
 /// policies) and through the threaded `FairShare` runtime, printing and
@@ -448,6 +631,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let deadline_ticks = deadline_flag(&args);
     let concurrent = concurrent_flag(&args);
+    let trace_dir = trace_dir_flag(&args);
     println!("Table 2: alternate application parallelisations — mean speedup on {workers} simulated workers");
     println!("({localities} localities x {workers_per_locality} workers; speedup vs the simulated Sequential skeleton)");
     println!(
@@ -704,6 +888,10 @@ fn main() {
     let concurrent_report = concurrent
         .map(|n| concurrent_section(n, workers))
         .unwrap_or(serde_json::Value::Null);
+    let trace_report = trace_dir
+        .as_deref()
+        .map(|dir| trace_section(dir, localities, workers_per_locality))
+        .unwrap_or(serde_json::Value::Null);
 
     let report = serde_json::json!({
         "experiment": "table2",
@@ -714,6 +902,7 @@ fn main() {
         "rows": report_rows,
         "ordered_cancellation_ab": ab_rows,
         "concurrent": concurrent_report,
+        "trace": trace_report,
     });
     write_report("table2.json", &report);
 }

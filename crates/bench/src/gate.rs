@@ -120,9 +120,46 @@ pub fn irregular_worst_speedups(localities: usize, workers_per_locality: usize) 
         .collect()
 }
 
+/// Flight-recorder neutrality: re-run one representative Irregular
+/// enumeration per parallel coordination with tracing on and assert the
+/// schedule is tick-for-tick identical to the untraced run.  The criterion
+/// A/B in `benches/components.rs` can only bound the threaded recorder's
+/// overhead statistically; the virtual cost model proves *exact*
+/// neutrality — recording must never move a steal or a makespan.  Returns
+/// one description per violated coordination (empty = gate passes).
+pub fn trace_neutrality_violations(localities: usize, workers_per_locality: usize) -> Vec<String> {
+    let problem = Irregular::new(12, 1);
+    let mut violations = Vec::new();
+    for (name, coord) in [
+        ("Depth-Bounded", Coordination::depth_bounded(2)),
+        ("Stack-Stealing", Coordination::stack_stealing_chunked()),
+        ("Budget", Coordination::budget(100)),
+        ("Ordered", Coordination::ordered(2)),
+    ] {
+        let off_cfg = SimConfig::new(coord, localities, workers_per_locality);
+        let mut on_cfg = SimConfig::new(coord, localities, workers_per_locality);
+        on_cfg.trace = true;
+        let off = simulate_enumerate(&problem, &off_cfg);
+        let on = simulate_enumerate(&problem, &on_cfg);
+        if on.makespan != off.makespan || on.nodes != off.nodes || on.steals != off.steals {
+            violations.push(format!(
+                "{name}: traced run diverged — makespan {} vs {}, nodes {} vs {}, \
+                 steals {} vs {} (traced vs untraced)",
+                on.makespan, off.makespan, on.nodes, off.nodes, on.steals, off.steals
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tracing_never_perturbs_the_virtual_schedule() {
+        assert_eq!(trace_neutrality_violations(2, 2), Vec::<String>::new());
+    }
 
     #[test]
     fn gate_rows_cover_every_parallel_skeleton_and_are_deterministic() {

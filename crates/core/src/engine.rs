@@ -37,6 +37,7 @@ use crate::node::SearchProblem;
 use crate::runtime::WorkerPool;
 use crate::skeleton::driver::{Action, Driver};
 use crate::termination::Termination;
+use crate::trace::{TraceEvent, TraceHandle, Tracer, UNKNOWN_VICTIM};
 use crate::workpool::Task;
 
 /// How a task's (sub)search ended.
@@ -419,6 +420,10 @@ where
     let mut backoff = IdleBackoff::new();
     let mut lstate = LifecycleLocal::default();
     let mut spawn_buf: Vec<Task<P::Node>> = Vec::new();
+    // Hoisted once per worker: when tracing is off this is `None` and every
+    // emission below is a branch on a worker-local register — the
+    // zero-cost-when-off guarantee the `bench_trace` A/B pins down.
+    let trace = lifecycle.tracer.handle(worker as u32);
 
     loop {
         // Poll the external stop conditions between tasks too: an idle
@@ -440,6 +445,12 @@ where
         match next {
             Some(task) => {
                 backoff.reset();
+                let before = metrics;
+                if let Some(t) = &trace {
+                    t.emit(TraceEvent::TaskStart {
+                        depth: task.depth as u32,
+                    });
+                }
                 let flow = run_task(
                     problem,
                     driver,
@@ -453,7 +464,22 @@ where
                     policy,
                     task,
                     &mut spawn_buf,
+                    trace.as_ref(),
                 );
+                if let Some(t) = &trace {
+                    // Per-task counter deltas: summing a drained trace's
+                    // `TaskEnd` events reconstructs the exact run-task
+                    // totals (the metrics-reconstruction property test).
+                    t.emit(TraceEvent::TaskEnd {
+                        nodes: metrics.nodes - before.nodes,
+                        prunes: metrics.prunes - before.prunes,
+                        backtracks: metrics.backtracks - before.backtracks,
+                        spawns: metrics.spawns - before.spawns,
+                        batch_pushes: metrics.batch_pushes - before.batch_pushes,
+                        poll_checks: metrics.poll_checks - before.poll_checks,
+                        max_depth: metrics.max_depth,
+                    });
+                }
                 if flow == Flow::ShortCircuited {
                     term.short_circuit();
                     // Discarded tasks never run, so they must drain the
@@ -503,6 +529,7 @@ pub(crate) fn run_task<P, D, S, Y>(
     policy: &Y,
     task: Task<P::Node>,
     spawn_buf: &mut Vec<Task<P::Node>>,
+    trace: Option<&TraceHandle>,
 ) -> Flow
 where
     P: SearchProblem,
@@ -556,6 +583,14 @@ where
         // task never starts after the search has finished.
         if lifecycle.on_step(lstate, term) {
             metrics.poll_checks += 1;
+            if let Some(t) = trace {
+                // One event per *performed* poll (the same stride gate as
+                // `poll_checks`), carrying the worker's live stack depth —
+                // the per-worker queue-depth sample of the gauge stream.
+                t.emit(TraceEvent::Poll {
+                    stack_depth: stack.depth() as u32,
+                });
+            }
             if term.short_circuited() {
                 // An external stop is not a witness: report the task as
                 // cancelled so (e.g.) the Ordered commit log never mistakes
@@ -694,21 +729,37 @@ impl<P: SearchProblem> WorkSource<P> for RootSource<P::Node> {
 /// every exit path.
 pub(crate) struct PoolSource<N> {
     pool: ShardedPool<N>,
+    tracer: Tracer,
 }
 
 /// Per-worker state of [`PoolSource`]: the worker's shard index, its batched
-/// pop stash, and its share of the pool's lock-acquisition count (drained
-/// into metrics at loop exit).
+/// pop stash, its share of the pool's lock-acquisition count (drained into
+/// metrics at loop exit), and its flight-recorder handle (`None` when
+/// tracing is off).
 pub(crate) struct PoolLocal<N> {
     shard: usize,
     stash: VecDeque<Task<N>>,
     locks: u64,
+    trace: Option<TraceHandle>,
 }
 
 impl<N> PoolSource<N> {
+    /// An untraced pool source (unit tests; the coordinations always go
+    /// through [`traced`](PoolSource::traced)).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(workers: usize) -> Self {
+        Self::traced(workers, Tracer::off())
+    }
+
+    /// A pool source whose steal outcomes are recorded by `tracer`.  Steal
+    /// events are emitted *here*, at the exact counter-increment sites,
+    /// rather than generically in the worker loop — so events and the
+    /// `steals`/`failed_steals` counters can never disagree (sources like
+    /// [`RootSource`] return `None` from `acquire` without counting).
+    pub(crate) fn traced(workers: usize, tracer: Tracer) -> Self {
         PoolSource {
             pool: ShardedPool::new(workers),
+            tracer,
         }
     }
 }
@@ -721,6 +772,7 @@ impl<P: SearchProblem> WorkSource<P> for PoolSource<P::Node> {
             shard: worker % self.pool.shards(),
             stash: VecDeque::with_capacity(POP_BATCH),
             locks: 0,
+            trace: self.tracer.handle(worker as u32),
         }
     }
 
@@ -745,15 +797,28 @@ impl<P: SearchProblem> WorkSource<P> for PoolSource<P::Node> {
         metrics: &mut WorkerMetrics,
     ) -> Option<Task<P::Node>> {
         local.locks += 1;
-        if self
+        let stolen = self
             .pool
-            .steal_batch(local.shard, STEAL_BATCH, &mut local.stash)
-            > 0
-        {
+            .steal_batch(local.shard, STEAL_BATCH, &mut local.stash);
+        if stolen > 0 {
             metrics.steals += 1;
+            if let Some(t) = &local.trace {
+                // The sharded pool picks its victim shard internally, so the
+                // victim is not attributable to a worker id.
+                t.emit(TraceEvent::StealHit {
+                    victim: UNKNOWN_VICTIM,
+                    tasks: stolen as u32,
+                    remote: false,
+                });
+            }
             local.stash.pop_front()
         } else {
             metrics.failed_steals += 1;
+            if let Some(t) = &local.trace {
+                t.emit(TraceEvent::StealMiss {
+                    victim: UNKNOWN_VICTIM,
+                });
+            }
             None
         }
     }
@@ -881,6 +946,7 @@ mod tests {
             &NoSpawn,
             Task::new(p.root(), 0),
             &mut Vec::new(),
+            None,
         );
         assert_eq!(flow, Flow::ShortCircuited);
         assert!(metrics.nodes <= 2, "the poll happens before each expansion");

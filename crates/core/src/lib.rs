@@ -70,6 +70,7 @@ pub mod runtime;
 pub mod schedule;
 pub mod skeleton;
 pub mod termination;
+pub mod trace;
 pub mod workpool;
 
 pub use error::{Error, Result};
@@ -82,3 +83,4 @@ pub use params::{Coordination, SearchConfig};
 pub use runtime::{Runtime, RuntimeConfig, SearchHandle, Session, SessionStatus, ShutdownMode};
 pub use schedule::{FairShare, Fifo, SchedulePolicy};
 pub use skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};
+pub use trace::{TraceBuffer, TraceEvent, TraceRecord, Tracer};

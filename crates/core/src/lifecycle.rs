@@ -189,6 +189,17 @@ pub enum ProgressEvent {
         /// Wall-clock time since the search started.
         elapsed: Duration,
     },
+    /// Periodic snapshot of the owning [`Runtime`](crate::runtime::Runtime)'s
+    /// pool-wide scheduler gauges, emitted on the same stride (and with the
+    /// same bounded/lossy semantics) as
+    /// [`Heartbeat`](ProgressEvent::Heartbeat).  Only present for runtime
+    /// submissions — the blocking facade has no runtime to snapshot.
+    Stats {
+        /// The runtime's gauges at the heartbeat instant.
+        stats: crate::metrics::RuntimeStats,
+        /// Wall-clock time since the search started.
+        elapsed: Duration,
+    },
     /// The search finished; no further events follow.
     Finished {
         /// How the search ended.
@@ -314,6 +325,21 @@ pub(crate) fn progress_channel(capacity: usize) -> (ProgressSender, ProgressStre
     )
 }
 
+/// A closure snapshotting the owning runtime's
+/// [`RuntimeStats`](crate::metrics::RuntimeStats), attached to runtime
+/// submissions so heartbeats can carry [`ProgressEvent::Stats`] payloads.
+/// Newtyped so [`Lifecycle`] keeps its `Debug` derive.
+#[derive(Clone)]
+pub(crate) struct StatsProbe(
+    pub(crate) Arc<dyn Fn() -> crate::metrics::RuntimeStats + Send + Sync>,
+);
+
+impl std::fmt::Debug for StatsProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StatsProbe(..)")
+    }
+}
+
 /// The engine-facing lifecycle of one search execution: the external stop
 /// conditions to poll and the progress stream to feed.  Built once per
 /// search by [`Skeleton`](crate::skeleton::Skeleton) and shared by
@@ -340,6 +366,13 @@ pub(crate) struct Lifecycle {
     pub(crate) start: Option<Instant>,
     /// Approximate global node counter feeding heartbeat events.
     pub(crate) nodes_seen: AtomicU64,
+    /// Flight-recorder switch: disabled (`Tracer::off`, the default) unless
+    /// [`SearchConfig::trace`](crate::params::SearchConfig::trace) is set.
+    /// Workers pull per-worker emission handles from it once at start-up.
+    pub(crate) tracer: crate::trace::Tracer,
+    /// Runtime-gauge snapshotter for [`ProgressEvent::Stats`] heartbeats;
+    /// `None` for the blocking facade.
+    pub(crate) stats_probe: Option<StatsProbe>,
 }
 
 /// Per-worker lifecycle state: a step counter plus the adaptive poll stride,
@@ -441,6 +474,12 @@ impl Lifecycle {
                     nodes,
                     elapsed: self.elapsed(),
                 });
+                if let Some(probe) = &self.stats_probe {
+                    progress.emit(ProgressEvent::Stats {
+                        stats: (probe.0)(),
+                        elapsed: self.elapsed(),
+                    });
+                }
             }
         }
         if local.until_poll > 0 {
@@ -678,6 +717,40 @@ mod tests {
                 assert_eq!(*nodes, Lifecycle::HEARTBEAT_STRIDE * 2);
             }
             other => panic!("expected a heartbeat, got {other:?}"),
+        }
+    }
+
+    /// With a stats probe attached, every heartbeat is followed by a
+    /// `Stats` snapshot on the same lossy channel; without one (the plain
+    /// facade, as in `heartbeats_fire_on_the_stride`) no `Stats` events
+    /// appear at all.
+    #[test]
+    fn stats_heartbeats_piggyback_on_the_stride_when_probed() {
+        use crate::metrics::RuntimeStats;
+        let (tx, rx) = progress_channel(16);
+        let mut lc = Lifecycle {
+            progress: Some(tx),
+            stats_probe: Some(StatsProbe(Arc::new(|| RuntimeStats {
+                active_searches: 2,
+                granted_workers: 4,
+                ..RuntimeStats::default()
+            }))),
+            ..Lifecycle::inert()
+        };
+        lc.begin(None);
+        let term = Termination::new(1);
+        let mut local = LifecycleLocal::default();
+        for _ in 0..(Lifecycle::HEARTBEAT_STRIDE * 2) {
+            lc.on_step(&mut local, &term);
+        }
+        let events = rx.drain();
+        assert_eq!(events.len(), 4, "heartbeat + stats per stride");
+        match &events[1] {
+            ProgressEvent::Stats { stats, .. } => {
+                assert_eq!(stats.active_searches, 2);
+                assert_eq!(stats.granted_workers, 4);
+            }
+            other => panic!("expected a stats snapshot, got {other:?}"),
         }
     }
 

@@ -168,19 +168,47 @@ impl Metrics {
         }
     }
 
-    /// A crude load-balance indicator: ratio of the busiest worker's node
-    /// count to the mean node count (1.0 = perfectly balanced).
+    /// Sum of every count-like counter a worker accumulated — its total
+    /// recorded *activity*, whether productive (nodes, spawns) or not
+    /// (failed steals, poll checks).  `max_depth` is a high-water mark, not
+    /// a count, and is excluded.
+    fn activity(w: &WorkerMetrics) -> u64 {
+        w.nodes
+            + w.prunes
+            + w.backtracks
+            + w.spawns
+            + w.steals
+            + w.failed_steals
+            + w.incumbent_updates
+            + w.ordered_spawns
+            + w.priority_inversions
+            + w.speculative_nodes
+            + w.cancelled_tasks
+            + w.lock_acquisitions
+            + w.batch_pushes
+            + w.poll_checks
+    }
+
+    /// A crude load-balance indicator: ratio of the busiest worker's
+    /// *activity* (the sum of all its count-like counters, not just
+    /// `nodes`) to the mean activity (1.0 = perfectly balanced).  Falling
+    /// back over every counter means a worker that spent the run stealing
+    /// and failing no longer reads as perfectly idle.  For a time-resolved
+    /// variant fed by the trace clock instead of counters, see
+    /// [`trace::analyze::busy_time_imbalance`](crate::trace::analyze::busy_time_imbalance).
     pub fn imbalance(&self) -> f64 {
-        if self.per_worker.is_empty() || self.totals.nodes == 0 {
+        let total: u64 = self.per_worker.iter().map(Self::activity).sum();
+        if self.per_worker.is_empty() || total == 0 {
             return 1.0;
         }
-        let mean = self.totals.nodes as f64 / self.per_worker.len() as f64;
-        let max = self.per_worker.iter().map(|w| w.nodes).max().unwrap_or(0) as f64;
-        if mean > 0.0 {
-            max / mean
-        } else {
-            1.0
-        }
+        let mean = total as f64 / self.per_worker.len() as f64;
+        let max = self
+            .per_worker
+            .iter()
+            .map(Self::activity)
+            .max()
+            .unwrap_or(0) as f64;
+        max / mean
     }
 }
 
@@ -299,6 +327,23 @@ mod tests {
             Duration::from_millis(1),
         );
         assert!((m.imbalance() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_counts_unproductive_activity_too() {
+        // A worker that spent the whole run stealing-and-failing used to
+        // read as perfectly idle (imbalance 2.0 on two workers); with the
+        // all-counter fallback the pair reads balanced.
+        let thief = WorkerMetrics {
+            failed_steals: 10,
+            ..WorkerMetrics::default()
+        };
+        let m = Metrics::from_workers(vec![worker(10, 0, 1), thief], Duration::from_millis(1));
+        assert!(
+            (m.imbalance() - 1.0).abs() < 1e-9,
+            "equal activity must read balanced, got {}",
+            m.imbalance()
+        );
     }
 
     #[test]

@@ -159,6 +159,15 @@ pub struct SearchConfig {
     /// larger than the historical hard-coded 200 µs, which stays the
     /// default.
     pub steal_reply_timeout: Duration,
+    /// Switch on the flight recorder: per-worker ring buffers of timestamped
+    /// [`trace::TraceEvent`](crate::trace::TraceEvent)s (task spans, steal
+    /// traffic, incumbent updates, speculation outcomes, lifecycle polls).
+    /// Off by default; when off, every emission site reduces to a branch on
+    /// a worker-local `Option` with zero hot-path cost (the `bench_trace`
+    /// criterion A/B and the perf gate both pin this down).  Drain the
+    /// recorded stream with
+    /// [`Skeleton::take_trace`](crate::skeleton::Skeleton::take_trace).
+    pub trace: bool,
 }
 
 impl Default for SearchConfig {
@@ -170,6 +179,7 @@ impl Default for SearchConfig {
             cancel_speculation: true,
             deadline: None,
             steal_reply_timeout: Duration::from_micros(200),
+            trace: false,
         }
     }
 }
@@ -289,6 +299,7 @@ mod tests {
             Duration::from_micros(200),
             "the historical stack-stealing reply timeout stays the default"
         );
+        assert!(!cfg.trace, "the flight recorder is off by default");
     }
 
     #[test]

@@ -92,6 +92,7 @@ use crate::objective::{Decide, Enumerate, Optimise};
 use crate::params::SearchConfig;
 use crate::schedule::{Admission, Fifo, PendingRequest, SchedulePolicy};
 use crate::skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};
+use crate::trace::{TraceBuffer, TraceEvent, TraceRecord, Tracer};
 
 // ---------------------------------------------------------------------------
 // Persistent worker pool
@@ -311,6 +312,30 @@ fn pool_thread(rx: Receiver<ScopedJob>) {
     }
 }
 
+/// The background gauge sampler ([`RuntimeConfig::gauge_period`]): snapshot
+/// the pool-wide gauges every `period` and record them as `RuntimeGauge`
+/// events until told to stop.  The period is slept in bounded chunks so
+/// shutdown never waits out a long sampling interval.
+fn gauge_sampler(stop: Arc<AtomicBool>, gauges: Arc<PoolGauges>, tracer: Tracer, period: Duration) {
+    const CHUNK: Duration = Duration::from_millis(10);
+    while !stop.load(Ordering::Relaxed) {
+        let stats = gauges.snapshot();
+        tracer.control(TraceEvent::RuntimeGauge {
+            active: stats.active_searches as u32,
+            granted: stats.granted_workers as u32,
+            queued: stats.queued_searches as u32,
+            completed: stats.completed_searches,
+            peak: stats.peak_active_searches as u32,
+        });
+        let mut remaining = period;
+        while !remaining.is_zero() && !stop.load(Ordering::Relaxed) {
+            let chunk = remaining.min(CHUNK);
+            std::thread::sleep(chunk);
+            remaining = remaining.saturating_sub(chunk);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Runtime
 // ---------------------------------------------------------------------------
@@ -330,6 +355,17 @@ pub struct RuntimeConfig {
     /// the submitter until the dispatcher catches up (backpressure, not an
     /// error).
     pub queue_capacity: usize,
+    /// Record every search submitted to this runtime — plus the
+    /// dispatcher's queue/grant transitions — on one runtime-wide flight
+    /// recorder, drained with [`Runtime::drain_trace`].  Off by default and
+    /// free when off (see [`crate::trace`]).
+    pub trace: bool,
+    /// Period of the background gauge sampler: when set (and `trace` is
+    /// on), a sampler thread snapshots the pool-wide [`RuntimeStats`] every
+    /// period and records them as
+    /// [`RuntimeGauge`](crate::trace::TraceEvent::RuntimeGauge) events.
+    /// `None` (the default) disables the sampler.
+    pub gauge_period: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -340,6 +376,8 @@ impl Default for RuntimeConfig {
                 .unwrap_or(1),
             progress_capacity: 1024,
             queue_capacity: 256,
+            trace: false,
+            gauge_period: None,
         }
     }
 }
@@ -354,6 +392,19 @@ impl RuntimeConfig {
     /// Set the per-handle progress-channel capacity.
     pub fn progress_capacity(mut self, capacity: usize) -> Self {
         self.progress_capacity = capacity.max(1);
+        self
+    }
+
+    /// Switch the runtime-wide flight recorder on or off.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enable the background gauge sampler with the given period (requires
+    /// [`trace`](RuntimeConfig::trace) to record anywhere).
+    pub fn gauge_period(mut self, period: Duration) -> Self {
+        self.gauge_period = Some(period);
         self
     }
 }
@@ -481,6 +532,8 @@ struct Dispatcher {
     drivers: HashMap<u64, JoinHandle<()>>,
     gauges: Arc<PoolGauges>,
     draining: Option<ShutdownMode>,
+    /// Flight recorder for queue/grant/finish transitions (off by default).
+    tracer: Tracer,
 }
 
 impl Dispatcher {
@@ -526,6 +579,9 @@ impl Dispatcher {
                 // `queued_searches` was already incremented by the
                 // submitter, so time spent in the control channel (e.g.
                 // while a FIFO job runs inline) shows up in the gauge.
+                self.tracer.control(TraceEvent::SearchQueued {
+                    search_id: submission.search_id,
+                });
                 self.pending.push_back(QueuedSearch { submission });
             }
             Control::Finished {
@@ -533,6 +589,8 @@ impl Dispatcher {
                 workers,
                 slots,
             } => {
+                self.tracer
+                    .control(TraceEvent::SearchFinished { search_id });
                 self.reclaim(workers, slots);
                 if let Some(driver) = self.drivers.remove(&search_id) {
                     // The driver sent `Finished` as its last action; the
@@ -642,6 +700,10 @@ impl Dispatcher {
         self.gauges
             .total_queue_wait_micros
             .fetch_add(grant.queue_wait.as_micros() as u64, Ordering::Relaxed);
+        self.tracer.control(TraceEvent::SearchGranted {
+            search_id: submission.search_id,
+            workers: workers as u32,
+        });
         let job = submission.job;
         if self.policy.concurrent() {
             let finished = self.finished_tx.clone();
@@ -664,7 +726,10 @@ impl Dispatcher {
         } else {
             // Serial policy: inline on the dispatcher thread — zero handoff
             // latency, identical to the PR 4 FIFO runtime.
+            let search_id = submission.search_id;
             job(grant);
+            self.tracer
+                .control(TraceEvent::SearchFinished { search_id });
             self.reclaim(workers, slots);
         }
     }
@@ -685,6 +750,13 @@ pub struct Runtime {
     gauges: Arc<PoolGauges>,
     next_search_id: AtomicU64,
     policy_name: &'static str,
+    /// Runtime-wide flight recorder shared by the dispatcher, the gauge
+    /// sampler and every submitted search ([`RuntimeConfig::trace`]).
+    trace: Option<Arc<TraceBuffer>>,
+    /// Stop flag + thread of the background gauge sampler
+    /// ([`RuntimeConfig::gauge_period`]); joined on shutdown.
+    gauge_stop: Option<Arc<AtomicBool>>,
+    gauge_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -712,6 +784,13 @@ impl Runtime {
         let (tx, rx) = bounded::<Control>(config.queue_capacity.max(1));
         let gauges = Arc::new(PoolGauges::default());
         let policy_name = policy.name();
+        let trace = config
+            .trace
+            .then(|| Arc::new(TraceBuffer::new(TraceBuffer::DEFAULT_CAPACITY)));
+        let tracer = trace
+            .as_ref()
+            .map(|buffer| Tracer::new(Arc::clone(buffer)))
+            .unwrap_or_else(Tracer::off);
         let dispatcher_state = Dispatcher {
             rx,
             finished_tx: tx.clone(),
@@ -724,11 +803,25 @@ impl Runtime {
             drivers: HashMap::new(),
             gauges: Arc::clone(&gauges),
             draining: None,
+            tracer: tracer.clone(),
         };
         let dispatcher = std::thread::Builder::new()
             .name("yewpar-dispatch".into())
             .spawn(move || dispatcher_state.run())
             .expect("spawn runtime dispatcher");
+        let (gauge_stop, gauge_thread) = match (trace.is_some(), config.gauge_period) {
+            (true, Some(period)) => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let thread_stop = Arc::clone(&stop);
+                let thread_gauges = Arc::clone(&gauges);
+                let handle = std::thread::Builder::new()
+                    .name("yewpar-gauges".into())
+                    .spawn(move || gauge_sampler(thread_stop, thread_gauges, tracer, period))
+                    .expect("spawn gauge sampler");
+                (Some(stop), Some(handle))
+            }
+            _ => (None, None),
+        };
         Runtime {
             control: Some(tx),
             dispatcher: Some(dispatcher),
@@ -738,6 +831,9 @@ impl Runtime {
             gauges,
             next_search_id: AtomicU64::new(1),
             policy_name,
+            trace,
+            gauge_stop,
+            gauge_thread,
         }
     }
 
@@ -756,6 +852,28 @@ impl Runtime {
     /// queue-wait.
     pub fn stats(&self) -> RuntimeStats {
         self.gauges.snapshot()
+    }
+
+    /// Drain the runtime-wide flight recorder: every event recorded since
+    /// the last drain, merged across workers and sorted by timestamp.
+    /// Empty unless [`RuntimeConfig::trace`] is on.  Events from searches
+    /// running concurrently interleave on shared worker ids; the
+    /// dispatcher's `search_queued`/`search_granted`/`search_finished`
+    /// events carry the `search_id` needed to segment the timeline.
+    pub fn drain_trace(&self) -> Vec<TraceRecord> {
+        self.trace
+            .as_ref()
+            .map(|buffer| buffer.drain())
+            .unwrap_or_default()
+    }
+
+    /// Total records dropped by the flight recorder's bounded rings since
+    /// the runtime started (never reset by draining; 0 with tracing off).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace
+            .as_ref()
+            .map(|buffer| buffer.dropped())
+            .unwrap_or(0)
     }
 
     /// Open a [`Session`]: a cancellation scope grouping any number of
@@ -853,10 +971,20 @@ impl Runtime {
         let cancel = parent.child();
         let (progress_tx, progress_rx) = progress_channel(self.config.progress_capacity);
         let shared: Arc<HandleState<T>> = Arc::new(HandleState::new());
-        let skeleton = Skeleton::from_config(config.clone())
+        let probe_gauges = Arc::clone(&self.gauges);
+        let mut skeleton = Skeleton::from_config(config.clone())
             .cancel_token(cancel.clone())
             .attach_progress(progress_tx)
-            .attach_pool(Arc::clone(&self.pool));
+            .attach_pool(Arc::clone(&self.pool))
+            .attach_stats_probe(crate::lifecycle::StatsProbe(Arc::new(move || {
+                probe_gauges.snapshot()
+            })));
+        if let Some(buffer) = &self.trace {
+            // Runtime searches record into the runtime-wide buffer (one
+            // timeline shared with the dispatcher events), overriding any
+            // per-search buffer `SearchConfig::trace` would have created.
+            skeleton = skeleton.attach_trace_buffer(Arc::clone(buffer));
+        }
         if let Some(state) = &session {
             state.submitted.fetch_add(1, Ordering::Relaxed);
         }
@@ -921,6 +1049,12 @@ impl Runtime {
         drop(control);
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
+        }
+        if let Some(stop) = self.gauge_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(sampler) = self.gauge_thread.take() {
+            let _ = sampler.join();
         }
         // The pool joins its threads in its own drop.
     }

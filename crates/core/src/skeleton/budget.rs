@@ -60,7 +60,7 @@ where
         problem,
         driver,
         workers,
-        PoolSource::new(workers),
+        PoolSource::traced(workers, lifecycle.tracer.clone()),
         BudgetPolicy { budget },
         term,
         lifecycle,

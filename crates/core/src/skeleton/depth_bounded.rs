@@ -47,7 +47,7 @@ where
         problem,
         driver,
         workers,
-        PoolSource::new(workers),
+        PoolSource::traced(workers, lifecycle.tracer.clone()),
         DepthPolicy { dcutoff },
         term,
         lifecycle,

@@ -14,15 +14,21 @@ use crate::lifecycle::{ProgressEvent, ProgressSender};
 use crate::monoid::Monoid;
 use crate::node::SearchProblem;
 use crate::objective::{Decide, Enumerate, Optimise, PruneLevel};
+use crate::trace::{TraceEvent, Tracer};
 
 /// Shared helper: report a successful incumbent strengthening on the
-/// progress stream (no-op without a subscriber; the `Debug` rendering is
-/// only paid when one is attached).
+/// progress stream and the flight recorder (no-ops without a subscriber /
+/// with tracing off; the `Debug` rendering is only paid when a progress
+/// sink is attached).  Incumbent updates come from whichever worker won
+/// the strengthen race, so they are recorded on the shared control ring
+/// rather than a per-worker ring.
 fn emit_incumbent<S: std::fmt::Debug>(
     progress: &Option<(ProgressSender, Instant)>,
+    tracer: &Tracer,
     version: u64,
     score: &S,
 ) {
+    tracer.control(TraceEvent::IncumbentUpdate { version });
     if let Some((sender, started)) = progress {
         sender.emit(ProgressEvent::Incumbent {
             version,
@@ -106,6 +112,8 @@ pub(crate) struct OptimDriver<P: Optimise> {
     incumbent: Incumbent<P::Node, P::Score>,
     /// Progress sink plus the moment it was armed (event timestamps).
     progress: Option<(ProgressSender, Instant)>,
+    /// Flight recorder for incumbent-update events (off by default).
+    tracer: Tracer,
 }
 
 impl<P: Optimise> OptimDriver<P> {
@@ -113,14 +121,16 @@ impl<P: Optimise> OptimDriver<P> {
     /// always goes through [`with_progress`](OptimDriver::with_progress)).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new() -> Self {
-        Self::with_progress(None)
+        Self::with_progress(None, Tracer::off())
     }
 
-    /// A driver that reports incumbent improvements on `progress`.
-    pub(crate) fn with_progress(progress: Option<ProgressSender>) -> Self {
+    /// A driver that reports incumbent improvements on `progress` and the
+    /// flight recorder.
+    pub(crate) fn with_progress(progress: Option<ProgressSender>, tracer: Tracer) -> Self {
         OptimDriver {
             incumbent: Incumbent::new(),
             progress: progress.map(|p| (p, Instant::now())),
+            tracer,
         }
     }
 
@@ -148,7 +158,12 @@ impl<P: Optimise> Driver<P> for OptimDriver<P> {
             None => true,
         };
         if locally_better && self.incumbent.strengthen(score.clone(), node) {
-            emit_incumbent(&self.progress, self.incumbent.version(), &score);
+            emit_incumbent(
+                &self.progress,
+                &self.tracer,
+                self.incumbent.version(),
+                &score,
+            );
         }
         // Branch-and-bound pruning: if even the most optimistic completion of
         // this subtree cannot beat the incumbent, do not expand it.
@@ -174,6 +189,8 @@ pub(crate) struct DecideDriver<P: Decide> {
     target: P::Score,
     /// Progress sink plus the moment it was armed (event timestamps).
     progress: Option<(ProgressSender, Instant)>,
+    /// Flight recorder for incumbent-update events (off by default).
+    tracer: Tracer,
 }
 
 impl<P: Decide> DecideDriver<P> {
@@ -181,15 +198,21 @@ impl<P: Decide> DecideDriver<P> {
     /// always goes through [`with_progress`](DecideDriver::with_progress)).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(target: P::Score) -> Self {
-        Self::with_progress(target, None)
+        Self::with_progress(target, None, Tracer::off())
     }
 
-    /// A driver that reports incumbent improvements on `progress`.
-    pub(crate) fn with_progress(target: P::Score, progress: Option<ProgressSender>) -> Self {
+    /// A driver that reports incumbent improvements on `progress` and the
+    /// flight recorder.
+    pub(crate) fn with_progress(
+        target: P::Score,
+        progress: Option<ProgressSender>,
+        tracer: Tracer,
+    ) -> Self {
         DecideDriver {
             incumbent: Incumbent::new(),
             target,
             progress: progress.map(|p| (p, Instant::now())),
+            tracer,
         }
     }
 
@@ -217,7 +240,12 @@ impl<P: Decide> Driver<P> for DecideDriver<P> {
         let score = problem.objective(node);
         if score >= self.target {
             if self.incumbent.strengthen(score.clone(), node) {
-                emit_incumbent(&self.progress, self.incumbent.version(), &score);
+                emit_incumbent(
+                    &self.progress,
+                    &self.tracer,
+                    self.incumbent.version(),
+                    &score,
+                );
             }
             return Action::ShortCircuit;
         }
@@ -229,7 +257,12 @@ impl<P: Decide> Driver<P> for DecideDriver<P> {
             None => true,
         };
         if locally_better && self.incumbent.strengthen(score.clone(), node) {
-            emit_incumbent(&self.progress, self.incumbent.version(), &score);
+            emit_incumbent(
+                &self.progress,
+                &self.tracer,
+                self.incumbent.version(),
+                &score,
+            );
         }
         if let Some(bound) = problem.bound(node) {
             // A subtree that cannot reach the target is useless to a decision

@@ -33,6 +33,7 @@ use crate::objective::{Decide, Enumerate, Optimise};
 use crate::params::{Coordination, SearchConfig};
 use crate::runtime::WorkerPool;
 use crate::termination::{StopCause, Termination};
+use crate::trace::{TraceBuffer, TraceRecord, Tracer};
 
 use driver::{DecideDriver, Driver, EnumDriver, OptimDriver};
 
@@ -146,6 +147,13 @@ pub struct Skeleton {
     /// effective worker count and the leased pool-thread slots, granted at
     /// dispatch time rather than config time.
     grant: Option<crate::runtime::ExecutionGrant>,
+    /// The flight recorder's store, present when
+    /// [`SearchConfig::trace`] is set.  Clones of the skeleton share it, so
+    /// drain between searches ([`take_trace`](Skeleton::take_trace)) to keep
+    /// runs separate.
+    trace: Option<Arc<TraceBuffer>>,
+    /// Heartbeat-time runtime-stats snapshotter (runtime submissions only).
+    stats_probe: Option<crate::lifecycle::StatsProbe>,
 }
 
 impl Skeleton {
@@ -157,12 +165,17 @@ impl Skeleton {
 
     /// A skeleton from a full [`SearchConfig`].
     pub fn from_config(config: SearchConfig) -> Self {
+        let trace = config
+            .trace
+            .then(|| Arc::new(TraceBuffer::new(TraceBuffer::DEFAULT_CAPACITY)));
         Skeleton {
             config,
             cancel: None,
             progress: None,
             pool: None,
             grant: None,
+            trace,
+            stats_probe: None,
         }
     }
 
@@ -205,9 +218,63 @@ impl Skeleton {
         self
     }
 
+    /// Switch the flight recorder on or off (see [`SearchConfig::trace`]),
+    /// (re)allocating per-worker rings of [`TraceBuffer::DEFAULT_CAPACITY`]
+    /// records.  Use [`trace_capacity`](Skeleton::trace_capacity) to size
+    /// the rings explicitly.
+    pub fn trace(self, on: bool) -> Self {
+        if on {
+            self.trace_capacity(TraceBuffer::DEFAULT_CAPACITY)
+        } else {
+            let mut skel = self;
+            skel.config.trace = false;
+            skel.trace = None;
+            skel
+        }
+    }
+
+    /// Switch the flight recorder on with rings of `capacity` records per
+    /// worker (overflow beyond that is counted, keep-first, in
+    /// [`trace_dropped`](Skeleton::trace_dropped)).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.config.trace = true;
+        self.trace = Some(Arc::new(TraceBuffer::new(capacity)));
+        self
+    }
+
+    /// Drain the flight recorder: every event recorded since the last drain,
+    /// merged across workers and sorted by timestamp.  Empty when tracing is
+    /// off.  Call between searches — the buffer is shared by consecutive
+    /// runs of the same skeleton.
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        self.trace.as_ref().map(|b| b.drain()).unwrap_or_default()
+    }
+
+    /// Events dropped to ring overflow so far (0 when tracing is off).  A
+    /// non-zero value marks every drained trace as lossy; it is never reset,
+    /// so "no drops" can be asserted after the fact.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map(|b| b.dropped()).unwrap_or(0)
+    }
+
     /// Attach a progress sink (runtime submissions).
     pub(crate) fn attach_progress(mut self, progress: ProgressSender) -> Self {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Attach a runtime-stats snapshotter for `ProgressEvent::Stats`
+    /// heartbeats (runtime submissions).
+    pub(crate) fn attach_stats_probe(mut self, probe: crate::lifecycle::StatsProbe) -> Self {
+        self.stats_probe = Some(probe);
+        self
+    }
+
+    /// Attach an externally owned flight-recorder buffer (runtime
+    /// submissions record into the runtime-wide buffer so dispatcher and
+    /// search events share one timeline).
+    pub(crate) fn attach_trace_buffer(mut self, buffer: Arc<TraceBuffer>) -> Self {
+        self.trace = Some(buffer);
         self
     }
 
@@ -238,6 +305,11 @@ impl Skeleton {
             progress: self.progress.clone(),
             pool: self.pool.clone(),
             grant: self.grant.clone(),
+            tracer: match &self.trace {
+                Some(buffer) => Tracer::new(Arc::clone(buffer)),
+                None => Tracer::off(),
+            },
+            stats_probe: self.stats_probe.clone(),
             ..Lifecycle::inert()
         };
         lifecycle.begin(self.config.deadline);
@@ -263,7 +335,8 @@ impl Skeleton {
     /// cancelled or timed-out run the outcome carries the partial incumbent.
     pub fn maximise<P: Optimise>(&self, problem: &P) -> OptimOutcome<P::Node, P::Score> {
         let lifecycle = self.lifecycle();
-        let driver = OptimDriver::<P>::with_progress(lifecycle.progress_sender());
+        let driver =
+            OptimDriver::<P>::with_progress(lifecycle.progress_sender(), lifecycle.tracer.clone());
         let mut run = run_coordination(problem, &driver, &self.config, &lifecycle);
         run.metrics.totals.incumbent_updates = driver.incumbent_updates();
         lifecycle.finish(run.status);
@@ -278,8 +351,11 @@ impl Skeleton {
     /// objective and return it as a witness.
     pub fn decide<P: Decide>(&self, problem: &P) -> DecideOutcome<P::Node> {
         let lifecycle = self.lifecycle();
-        let driver =
-            DecideDriver::<P>::with_progress(problem.target(), lifecycle.progress_sender());
+        let driver = DecideDriver::<P>::with_progress(
+            problem.target(),
+            lifecycle.progress_sender(),
+            lifecycle.tracer.clone(),
+        );
         let mut run = run_coordination(problem, &driver, &self.config, &lifecycle);
         run.metrics.totals.incumbent_updates = driver.incumbent_updates();
         lifecycle.finish(run.status);

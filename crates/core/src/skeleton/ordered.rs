@@ -70,6 +70,7 @@ use crate::node::SearchProblem;
 use crate::params::SearchConfig;
 use crate::skeleton::driver::Driver;
 use crate::termination::Termination;
+use crate::trace::{TraceEvent, Tracer};
 use crate::workpool::{KeyArena, OrderedPool, SeqKey, Task};
 
 /// Spawn the children of every node shallower than `spawn_depth`, exactly
@@ -315,17 +316,36 @@ impl<N> OrderedSource<N> {
     /// Assemble the final per-worker metrics: committed task records merge
     /// into `nodes`/`prunes`/…, speculative records (sequentially after the
     /// committed witness) surface only as `speculative_nodes`.
-    fn finalize(&self, base: &mut [WorkerMetrics]) {
+    ///
+    /// When a witness decided the run and tracing is on, the commit/discard
+    /// split is also recorded on the flight recorder's control ring (two
+    /// aggregate events, not one per task, so the bounded control ring is
+    /// never at risk from large runs).
+    fn finalize(&self, base: &mut [WorkerMetrics], tracer: &Tracer) {
         let commit = self.commit.lock();
+        let mut committed_nodes = 0u64;
+        let mut discarded_nodes = 0u64;
         for record in &commit.records {
             let committed = match &commit.witness {
                 None => true,
                 Some(w) => record.key <= *w,
             };
             if committed {
+                committed_nodes += record.metrics.nodes;
                 base[record.worker].merge(&record.metrics);
             } else {
+                discarded_nodes += record.metrics.nodes;
                 base[record.worker].speculative_nodes += record.metrics.nodes;
+            }
+        }
+        if tracer.enabled() && commit.witness.is_some() {
+            tracer.control(TraceEvent::SpeculationCommit {
+                nodes: committed_nodes,
+            });
+            if discarded_nodes > 0 {
+                tracer.control(TraceEvent::SpeculationDiscard {
+                    nodes: discarded_nodes,
+                });
             }
         }
     }
@@ -444,7 +464,7 @@ where
     let mut all_metrics = engine::spawn_and_join(lifecycle, workers, |worker| {
         worker_loop(problem, driver, &source, &policy, term, lifecycle, worker)
     });
-    source.finalize(&mut all_metrics);
+    source.finalize(&mut all_metrics, &lifecycle.tracer);
     // Stragglers: a post-commit in-flight task may still have released
     // children after the commit cleared the pool.  Those tasks never run, so
     // drain them here — after this, `outstanding() == 0` holds on every
@@ -480,6 +500,7 @@ where
     let mut backoff = IdleBackoff::new();
     let mut lstate = LifecycleLocal::default();
     let mut spawn_buf = Vec::new();
+    let trace = lifecycle.tracer.handle(worker as u32);
 
     loop {
         // External stop conditions are polled between tasks too, so idle
@@ -493,6 +514,11 @@ where
                 backoff.reset();
                 let key = local.current.clone();
                 let mut task_metrics = WorkerMetrics::default();
+                if let Some(trace) = &trace {
+                    trace.emit(TraceEvent::TaskStart {
+                        depth: task.depth as u32,
+                    });
+                }
                 let flow = engine::run_task(
                     problem,
                     driver,
@@ -506,7 +532,24 @@ where
                     policy,
                     task,
                     &mut spawn_buf,
+                    trace.as_ref(),
                 );
+                if let Some(trace) = &trace {
+                    trace.emit(TraceEvent::TaskEnd {
+                        nodes: task_metrics.nodes,
+                        prunes: task_metrics.prunes,
+                        backtracks: task_metrics.backtracks,
+                        spawns: task_metrics.spawns,
+                        batch_pushes: task_metrics.batch_pushes,
+                        poll_checks: task_metrics.poll_checks,
+                        max_depth: task_metrics.max_depth,
+                    });
+                    if flow == Flow::Cancelled {
+                        trace.emit(TraceEvent::SpeculationCancel {
+                            nodes: task_metrics.nodes,
+                        });
+                    }
+                }
                 if flow == Flow::Cancelled {
                     local.cancelled += 1;
                 }

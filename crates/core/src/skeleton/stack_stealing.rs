@@ -28,6 +28,7 @@ use crate::node::SearchProblem;
 use crate::params::SearchConfig;
 use crate::skeleton::driver::Driver;
 use crate::termination::Termination;
+use crate::trace::{TraceEvent, TraceHandle, Tracer, UNKNOWN_VICTIM};
 use crate::workpool::Task;
 
 /// A steal request carrying the channel on which the victim should reply.
@@ -48,6 +49,12 @@ pub(crate) struct StealLocal<N> {
     advertised: usize,
     /// Reused candidate buffer for hint-guided victim selection.
     scratch: Vec<usize>,
+    /// The victim targeted by the most recent steal attempt
+    /// ([`UNKNOWN_VICTIM`] when no candidate was advertised), so the
+    /// hit/miss events recorded in `acquire` carry the real victim id.
+    last_victim: u32,
+    /// Flight-recorder handle for this worker (`None` when tracing is off).
+    trace: Option<TraceHandle>,
 }
 
 /// Hint value meaning "this worker has nothing to steal".
@@ -88,10 +95,18 @@ pub(crate) struct StealSource<N> {
     ///
     /// [`SearchConfig::steal_reply_timeout`]: crate::params::SearchConfig::steal_reply_timeout
     reply_timeout: Duration,
+    /// Flight recorder shared by every worker (off by default).
+    tracer: Tracer,
 }
 
 impl<N> StealSource<N> {
-    pub(crate) fn new(workers: usize, seed: u64, chunked: bool, reply_timeout: Duration) -> Self {
+    pub(crate) fn new(
+        workers: usize,
+        seed: u64,
+        chunked: bool,
+        reply_timeout: Duration,
+        tracer: Tracer,
+    ) -> Self {
         // Requests are bounded so thieves cannot pile up unbounded requests
         // on a busy victim.
         let mut senders = Vec::with_capacity(workers);
@@ -106,6 +121,8 @@ impl<N> StealSource<N> {
                 rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
                 advertised: NO_WORK_HINT,
                 scratch: Vec::with_capacity(workers),
+                last_victim: UNKNOWN_VICTIM,
+                trace: None,
             }));
         }
         StealSource {
@@ -116,6 +133,7 @@ impl<N> StealSource<N> {
                 .collect(),
             chunked,
             reply_timeout,
+            tracer,
         }
     }
 
@@ -143,6 +161,7 @@ impl<N> StealSource<N> {
     /// workers cheap while the search ramps up or drains.
     fn attempt_steal(&self, local: &mut StealLocal<N>) -> Option<Vec<Task<N>>> {
         let n = self.senders.len();
+        local.last_victim = UNKNOWN_VICTIM;
         local.scratch.clear();
         let mut best = NO_WORK_HINT;
         for v in 0..n {
@@ -164,6 +183,12 @@ impl<N> StealSource<N> {
             return None;
         }
         let victim = local.scratch[local.rng.gen_range(0..local.scratch.len())];
+        local.last_victim = victim as u32;
+        if let Some(trace) = &local.trace {
+            trace.emit(TraceEvent::StealRequest {
+                victim: victim as u32,
+            });
+        }
         // Never deliver a request to a victim that has not registered yet:
         // it cannot answer, and on a persistent runtime pool smaller than
         // the search's worker count the victim's worker job may be queued
@@ -215,9 +240,11 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
     type Local = StealLocal<P::Node>;
 
     fn register(&self, worker: usize) -> Self::Local {
-        self.locals.lock()[worker]
+        let mut local = self.locals.lock()[worker]
             .take()
-            .expect("worker registered once")
+            .expect("worker registered once");
+        local.trace = self.tracer.handle(worker as u32);
+        local
     }
 
     fn seed(&self, task: Task<P::Node>) {
@@ -250,11 +277,23 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         match self.attempt_steal(local) {
             Some(tasks) => {
                 metrics.steals += 1;
+                if let Some(trace) = &local.trace {
+                    trace.emit(TraceEvent::StealHit {
+                        victim: local.last_victim,
+                        tasks: tasks.len() as u32,
+                        remote: false,
+                    });
+                }
                 local.backlog.extend(tasks);
                 local.backlog.pop_front()
             }
             None => {
                 metrics.failed_steals += 1;
+                if let Some(trace) = &local.trace {
+                    trace.emit(TraceEvent::StealMiss {
+                        victim: local.last_victim,
+                    });
+                }
                 None
             }
         }
@@ -335,6 +374,7 @@ where
             config.steal_seed,
             chunked,
             config.steal_reply_timeout,
+            lifecycle.tracer.clone(),
         ),
         NoSpawn,
         term,

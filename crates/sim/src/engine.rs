@@ -15,6 +15,7 @@ use yewpar::genstack::GenStack;
 use yewpar::monoid::Monoid;
 use yewpar::objective::PruneLevel;
 use yewpar::params::Coordination;
+use yewpar::trace::{TraceEvent, TraceRecord, CONTROL_WORKER, UNKNOWN_VICTIM};
 use yewpar::workpool::{DepthPool, OrderedPool, SeqKey, Task, POP_BATCH, STEAL_BATCH};
 use yewpar::{Decide, Enumerate, Optimise, SearchProblem, SearchStatus};
 
@@ -105,6 +106,23 @@ pub struct SimConfig {
     /// is no simulated cancel token — external cancellation is an
     /// asynchronous wall-clock phenomenon with no virtual-time analogue.
     pub deadline_ticks: Option<u64>,
+    /// Record flight-recorder events (the same
+    /// [`yewpar::trace::TraceEvent`] vocabulary as the threaded
+    /// engine, stamped with *virtual* ticks instead of nanoseconds) into
+    /// [`SimOutcome::trace`].  Recording never charges virtual time: a
+    /// traced run has exactly the same makespan and counters as an untraced
+    /// one.  Off by default.
+    pub trace: bool,
+    /// Stack-Stealing only: make *remote* victim selection hint-guided
+    /// (shallowest stealable frontier across all other localities) instead
+    /// of blind-random.  This deliberately re-creates the strip-mining
+    /// pathology the blind-random default exists to prevent — every idle
+    /// locality converges on the first busy worker's shallow frontier — so
+    /// the anomaly analyzer's
+    /// [`StealStripMining`](yewpar::trace::analyze::FindingKind::StealStripMining)
+    /// rule can be exercised against a known-bad schedule.  Off by default;
+    /// ignored by every other coordination.
+    pub hint_directed_remote_steals: bool,
 }
 
 impl SimConfig {
@@ -119,6 +137,8 @@ impl SimConfig {
             seed: 0xF1_6004,
             cancel_speculation: true,
             deadline_ticks: None,
+            trace: false,
+            hint_directed_remote_steals: false,
         }
     }
 
@@ -188,6 +208,12 @@ pub struct SimOutcome<R> {
     /// under a multiplexed `FairShare` schedule it may be less than the
     /// submission requested).
     pub granted_workers: usize,
+    /// Flight-recorder events captured during the run (empty unless
+    /// [`SimConfig::trace`] was set).  Timestamps are virtual ticks on the
+    /// same clock as [`makespan`](SimOutcome::makespan), so the records
+    /// feed directly into [`yewpar::trace::analyze`] and the
+    /// [`yewpar::trace::sink`] exporters alongside threaded traces.
+    pub trace: Vec<TraceRecord>,
 }
 
 impl<R> SimOutcome<R> {
@@ -373,6 +399,12 @@ struct SimWorker<'p, P: SearchProblem> {
     backtracks_since_split: u64,
     /// Total node-processing work charged to this worker.
     work: u64,
+    /// Nodes processed by the current task (flight-recorder `TaskEnd` delta).
+    task_nodes: u64,
+    /// Prunes performed by the current task.
+    task_prunes: u64,
+    /// Backtracks performed by the current task.
+    task_backtracks: u64,
 }
 
 /// Aggregate counters of a simulation run.
@@ -395,13 +427,66 @@ struct SimStats {
     deadline_hit: bool,
 }
 
+/// Virtual-time flight recorder: the simulator's stand-in for the threaded
+/// engine's per-worker ring buffers.  Records are appended in event-loop
+/// order with the virtual timestamp of the emitting step; emission never
+/// charges a tick, so a traced run has exactly the same makespan, node
+/// counts and steal schedule as an untraced one (asserted by the
+/// `tracing_is_free_in_virtual_time` test).
+struct SimTrace {
+    on: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl SimTrace {
+    fn new(on: bool) -> Self {
+        SimTrace {
+            on,
+            records: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, ts: u64, worker: u32, event: TraceEvent) {
+        if self.on {
+            self.records.push(TraceRecord { ts, worker, event });
+        }
+    }
+}
+
+/// Build a [`TraceEvent::TaskEnd`] from the per-task deltas the simulator
+/// tracks.  Only nodes, prunes and backtracks have per-task meaning in the
+/// virtual cost model; spawn/batch/poll counters and the depth high-water
+/// mark are aggregate-only here and reported as zero.
+fn task_end_event(nodes: u64, prunes: u64, backtracks: u64) -> TraceEvent {
+    TraceEvent::TaskEnd {
+        nodes,
+        prunes,
+        backtracks,
+        spawns: 0,
+        batch_pushes: 0,
+        poll_checks: 0,
+        max_depth: 0,
+    }
+}
+
+/// The `TaskEnd` event of a pool-coordination worker's current task.
+fn end_of_task<P: SearchProblem>(worker: &SimWorker<'_, P>) -> TraceEvent {
+    task_end_event(
+        worker.task_nodes,
+        worker.task_prunes,
+        worker.task_backtracks,
+    )
+}
+
 /// Simulate an enumeration search.
 pub fn simulate_enumerate<P: Enumerate>(problem: &P, config: &SimConfig) -> SimOutcome<P::Value> {
     let mut driver = EnumSimDriver::<P> {
         acc: P::Value::empty(),
     };
-    let stats = simulate(problem, config, &mut driver);
-    outcome(stats, config, driver.acc)
+    let mut trace = SimTrace::new(config.trace);
+    let stats = simulate(problem, config, &mut driver, &mut trace);
+    outcome(stats, config, driver.acc, trace.records)
 }
 
 /// Simulate an optimisation search.
@@ -410,8 +495,14 @@ pub fn simulate_maximise<P: Optimise>(
     config: &SimConfig,
 ) -> SimOutcome<Option<(P::Node, P::Score)>> {
     let mut driver = OptimSimDriver::<P>::new(config.costs.bound_broadcast_latency);
-    let stats = simulate(problem, config, &mut driver);
-    outcome(stats, config, driver.best.map(|(s, n)| (n, s)))
+    let mut trace = SimTrace::new(config.trace);
+    let stats = simulate(problem, config, &mut driver, &mut trace);
+    outcome(
+        stats,
+        config,
+        driver.best.map(|(s, n)| (n, s)),
+        trace.records,
+    )
 }
 
 /// Simulate a decision search.
@@ -423,11 +514,17 @@ pub fn simulate_decide<P: Decide>(problem: &P, config: &SimConfig) -> SimOutcome
         active_key: None,
         witness_key: None,
     };
-    let stats = simulate(problem, config, &mut driver);
-    outcome(stats, config, driver.witness)
+    let mut trace = SimTrace::new(config.trace);
+    let stats = simulate(problem, config, &mut driver, &mut trace);
+    outcome(stats, config, driver.witness, trace.records)
 }
 
-fn outcome<R>(stats: SimStats, config: &SimConfig, result: R) -> SimOutcome<R> {
+fn outcome<R>(
+    stats: SimStats,
+    config: &SimConfig,
+    result: R,
+    trace: Vec<TraceRecord>,
+) -> SimOutcome<R> {
     SimOutcome {
         result,
         makespan: stats.makespan,
@@ -451,11 +548,12 @@ fn outcome<R>(stats: SimStats, config: &SimConfig, result: R) -> SimOutcome<R> {
         },
         queue_wait_ticks: 0,
         granted_workers: config.workers(),
+        trace,
     }
 }
 
 /// The core event loop, generic over the search-type driver.
-fn simulate<P, D>(problem: &P, config: &SimConfig, driver: &mut D) -> SimStats
+fn simulate<P, D>(problem: &P, config: &SimConfig, driver: &mut D, trace: &mut SimTrace) -> SimStats
 where
     P: SearchProblem,
     D: SimDriver<P>,
@@ -464,7 +562,7 @@ where
     // pool with in-order commit semantics cannot be approximated by the
     // per-locality depth pools without losing the replicability guarantee.
     if let Coordination::Ordered { spawn_depth } = config.coordination {
-        return simulate_ordered(problem, config, driver, spawn_depth);
+        return simulate_ordered(problem, config, driver, spawn_depth, trace);
     }
 
     let costs = &config.costs;
@@ -484,6 +582,9 @@ where
             backlog: Vec::new(),
             backtracks_since_split: 0,
             work: 0,
+            task_nodes: 0,
+            task_prunes: 0,
+            task_backtracks: 0,
         })
         .collect();
 
@@ -544,15 +645,22 @@ where
                 Some((child, depth)) => {
                     next_time += costs.node_cost;
                     workers[w].work += costs.node_cost;
+                    workers[w].task_nodes += 1;
                     stats.nodes += 1;
                     match driver.process(problem, &child, workers[w].locality, next_time) {
                         Action::Expand => workers[w].stack.push(problem, &child, depth),
-                        Action::Prune => stats.prunes += 1,
+                        Action::Prune => {
+                            stats.prunes += 1;
+                            workers[w].task_prunes += 1;
+                        }
                         Action::PruneSiblings => {
                             stats.prunes += 1;
+                            workers[w].task_prunes += 1;
                             workers[w].stack.pop();
                             workers[w].backtracks_since_split += 1;
+                            workers[w].task_backtracks += 1;
                             if workers[w].stack.is_empty() {
+                                trace.emit(next_time, w as u32, end_of_task(&workers[w]));
                                 outstanding -= 1;
                                 if outstanding == 0 {
                                     stats.makespan = next_time;
@@ -560,6 +668,7 @@ where
                             }
                         }
                         Action::ShortCircuit => {
+                            trace.emit(next_time, w as u32, end_of_task(&workers[w]));
                             stats.makespan = next_time;
                             short_circuited = true;
                         }
@@ -568,9 +677,11 @@ where
                 None => {
                     workers[w].stack.pop();
                     workers[w].backtracks_since_split += 1;
+                    workers[w].task_backtracks += 1;
                     next_time += 1; // backtracking is cheap but not free
                     if workers[w].stack.is_empty() {
                         // Task complete.
+                        trace.emit(next_time, w as u32, end_of_task(&workers[w]));
                         outstanding -= 1;
                         if outstanding == 0 {
                             stats.makespan = next_time;
@@ -596,6 +707,8 @@ where
                 &mut short_circuited,
                 task,
                 now,
+                w as u32,
+                trace,
             );
             events.push(Reverse((next_time, w)));
             continue;
@@ -637,15 +750,52 @@ where
                     // across stealing localities instead of hoarded by the
                     // first thief to land.
                     let cap = STEAL_BATCH.min(pools[victim].len().div_ceil(2)).max(1);
-                    if pools[victim].pop_batch(cap, &mut grabbed) > 0 {
+                    // Pool-coordination steal events name the victim
+                    // *locality* (the pool is the unit stolen from, as in
+                    // the threaded sharded pool's cross-shard steal).
+                    trace.emit(
+                        now,
+                        w as u32,
+                        TraceEvent::StealRequest {
+                            victim: victim as u32,
+                        },
+                    );
+                    let got = pools[victim].pop_batch(cap, &mut grabbed);
+                    if got > 0 {
                         stats.lock_acquisitions += 1;
                         stats.steals += 1;
+                        trace.emit(
+                            now,
+                            w as u32,
+                            TraceEvent::StealHit {
+                                victim: victim as u32,
+                                tasks: got as u32,
+                                remote: true,
+                            },
+                        );
                         next_time += costs.remote_steal_latency;
                         workers[w].backlog.extend(grabbed);
                     } else {
+                        trace.emit(
+                            now,
+                            w as u32,
+                            TraceEvent::StealMiss {
+                                victim: victim as u32,
+                            },
+                        );
                         next_time += costs.idle_poll;
                     }
                 } else {
+                    // Single locality: an empty pool means an idle re-poll
+                    // with nobody to steal from — still a failed acquisition
+                    // for the starvation analysis.
+                    trace.emit(
+                        now,
+                        w as u32,
+                        TraceEvent::StealMiss {
+                            victim: UNKNOWN_VICTIM,
+                        },
+                    );
                     next_time += costs.idle_poll;
                 }
             }
@@ -668,9 +818,14 @@ where
                 //   remote thieves hint-guided too, every idle locality
                 //   would strip-mine the first busy worker's shallow
                 //   frontier the instant it appears, shipping nearly the
-                //   whole root frontier into in-flight transfers at once.)
+                //   whole root frontier into in-flight transfers at once.
+                //   `SimConfig::hint_directed_remote_steals` deliberately
+                //   re-opens that valve so the anomaly analyzer can be
+                //   exercised against the pathology.)
                 let mut stolen = Vec::new();
                 let mut latency = costs.idle_poll;
+                let mut remote = false;
+                let mut chosen: Option<usize> = None;
                 let mut best_depth = usize::MAX;
                 let mut best: Vec<usize> = Vec::new();
                 for (v, victim) in workers.iter_mut().enumerate() {
@@ -691,24 +846,87 @@ where
                 }
                 if !best.is_empty() {
                     let victim = best[rng.gen_range(0..best.len())];
+                    trace.emit(
+                        now,
+                        w as u32,
+                        TraceEvent::StealRequest {
+                            victim: victim as u32,
+                        },
+                    );
                     stolen = workers[victim].stack.split_lowest(chunked);
                     latency = costs.local_steal_latency;
+                    chosen = Some(victim);
                 } else if n_localities > 1 {
-                    let remote_victims: Vec<usize> = (0..n_workers)
-                        .filter(|&v| workers[v].locality != my_locality)
-                        .collect();
-                    let victim = remote_victims[rng.gen_range(0..remote_victims.len())];
-                    let split = workers[victim].stack.split_lowest(chunked);
-                    if !split.is_empty() {
-                        stolen = split;
-                        latency = costs.remote_steal_latency;
+                    let victim = if config.hint_directed_remote_steals {
+                        // The known-bad schedule behind the analyzer's
+                        // strip-mining rule: hint-guide the *remote* pick
+                        // too, so every idle locality converges on the
+                        // worker with the shallowest stealable frontier.
+                        let mut depth = usize::MAX;
+                        let mut candidates: Vec<usize> = Vec::new();
+                        for (v, victim) in workers.iter_mut().enumerate() {
+                            if victim.locality == my_locality {
+                                continue;
+                            }
+                            if let Some(d) = victim.stack.steal_depth() {
+                                match d.cmp(&depth) {
+                                    std::cmp::Ordering::Less => {
+                                        depth = d;
+                                        candidates.clear();
+                                        candidates.push(v);
+                                    }
+                                    std::cmp::Ordering::Equal => candidates.push(v),
+                                    std::cmp::Ordering::Greater => {}
+                                }
+                            }
+                        }
+                        (!candidates.is_empty())
+                            .then(|| candidates[rng.gen_range(0..candidates.len())])
+                    } else {
+                        let remote_victims: Vec<usize> = (0..n_workers)
+                            .filter(|&v| workers[v].locality != my_locality)
+                            .collect();
+                        Some(remote_victims[rng.gen_range(0..remote_victims.len())])
+                    };
+                    if let Some(victim) = victim {
+                        trace.emit(
+                            now,
+                            w as u32,
+                            TraceEvent::StealRequest {
+                                victim: victim as u32,
+                            },
+                        );
+                        chosen = Some(victim);
+                        let split = workers[victim].stack.split_lowest(chunked);
+                        if !split.is_empty() {
+                            stolen = split;
+                            latency = costs.remote_steal_latency;
+                            remote = true;
+                        }
                     }
                 }
                 if !stolen.is_empty() {
                     outstanding += stolen.len() as u64;
                     stats.spawns += stolen.len() as u64;
                     stats.steals += 1;
+                    trace.emit(
+                        now,
+                        w as u32,
+                        TraceEvent::StealHit {
+                            victim: chosen.expect("a steal hit names its victim") as u32,
+                            tasks: stolen.len() as u32,
+                            remote,
+                        },
+                    );
                     workers[w].backlog.extend(stolen);
+                } else {
+                    trace.emit(
+                        now,
+                        w as u32,
+                        TraceEvent::StealMiss {
+                            victim: chosen.map(|v| v as u32).unwrap_or(UNKNOWN_VICTIM),
+                        },
+                    );
                 }
                 next_time += latency;
             }
@@ -869,6 +1087,7 @@ fn simulate_ordered<P, D>(
     config: &SimConfig,
     driver: &mut D,
     spawn_depth: usize,
+    trace: &mut SimTrace,
 ) -> SimStats
 where
     P: SearchProblem,
@@ -928,6 +1147,12 @@ where
                 let wk = &mut workers[w];
                 wk.stack = GenStack::new();
                 wk.key = None;
+                trace.emit(next_time, w as u32, task_end_event(wk.nodes, wk.prunes, 0));
+                trace.emit(
+                    next_time,
+                    w as u32,
+                    TraceEvent::SpeculationCancel { nodes: wk.nodes },
+                );
                 state.cancel_in_flight(key, wk.nodes, wk.prunes, &mut stats);
                 events.push(Reverse((next_time + 1, w)));
                 continue;
@@ -968,6 +1193,7 @@ where
                 let wk = &mut workers[w];
                 let (nodes, prunes) = (wk.nodes, wk.prunes);
                 wk.key = None;
+                trace.emit(next_time, w as u32, task_end_event(nodes, prunes, 0));
                 state.retire(key, nodes, prunes, found_witness, &mut stats, next_time);
             }
             events.push(Reverse((next_time, w)));
@@ -990,6 +1216,13 @@ where
                 continue;
             }
             state.issue(key.clone(), &mut stats);
+            trace.emit(
+                now,
+                w as u32,
+                TraceEvent::TaskStart {
+                    depth: task.depth as u32,
+                },
+            );
             next_time += costs.pop_cost + costs.node_cost;
             let wk = &mut workers[w];
             wk.key = Some(key.clone());
@@ -1001,10 +1234,12 @@ where
                 Action::Prune | Action::PruneSiblings => {
                     wk.prunes = 1;
                     wk.key = None;
+                    trace.emit(next_time, w as u32, task_end_event(1, 1, 0));
                     state.retire(key, 1, 1, false, &mut stats, next_time);
                 }
                 Action::ShortCircuit => {
                     wk.key = None;
+                    trace.emit(next_time, w as u32, task_end_event(1, 0, 0));
                     state.retire(key, 1, 0, true, &mut stats, next_time);
                 }
                 Action::Expand => {
@@ -1027,6 +1262,7 @@ where
                             state.pool.push(key.child(i as u32), child);
                         }
                         wk.key = None;
+                        trace.emit(next_time, w as u32, task_end_event(1, 0, 0));
                         state.retire(key, 1, 0, false, &mut stats, next_time);
                     } else {
                         wk.stack.push(problem, &task.node, task.depth);
@@ -1041,8 +1277,13 @@ where
     // Post-commit aborts: in-flight tasks at the stop all carry keys after
     // the witness (the commit waited for everything earlier); their partial
     // work is speculative by classification below.
-    for wk in &mut workers {
+    for (w, wk) in workers.iter_mut().enumerate() {
         if let Some(key) = wk.key.take() {
+            trace.emit(
+                stats.makespan,
+                w as u32,
+                task_end_event(wk.nodes, wk.prunes, 0),
+            );
             state.records.push(OrderedTaskRecord {
                 key,
                 nodes: wk.nodes,
@@ -1066,6 +1307,28 @@ where
     if stats.makespan == 0 {
         stats.makespan = stats.nodes * costs.node_cost / n_workers.max(1) as u64;
     }
+
+    // Mirror the threaded Ordered skeleton's commit-time classification
+    // events: one aggregate commit (and discard, when speculation was
+    // wasted) from the control plane, emitted only when a witness exists —
+    // enumeration and optimisation runs have no speculation to classify.
+    if state.witness.is_some() {
+        trace.emit(
+            stats.makespan,
+            CONTROL_WORKER,
+            TraceEvent::SpeculationCommit { nodes: stats.nodes },
+        );
+        if stats.speculative_nodes > 0 {
+            trace.emit(
+                stats.makespan,
+                CONTROL_WORKER,
+                TraceEvent::SpeculationDiscard {
+                    nodes: stats.speculative_nodes,
+                },
+            );
+        }
+    }
+
     stats.total_work = workers.iter().map(|w| w.work).sum();
     stats
 }
@@ -1094,17 +1357,31 @@ fn start_task<'p, P, D>(
     short_circuited: &mut bool,
     task: Task<P::Node>,
     now: u64,
+    worker_id: u32,
+    trace: &mut SimTrace,
 ) -> u64
 where
     P: SearchProblem,
     D: SimDriver<P>,
 {
+    trace.emit(
+        now,
+        worker_id,
+        TraceEvent::TaskStart {
+            depth: task.depth as u32,
+        },
+    );
     let mut elapsed = costs.node_cost;
     worker.work += costs.node_cost;
+    worker.task_nodes = 1;
+    worker.task_prunes = 0;
+    worker.task_backtracks = 0;
     stats.nodes += 1;
     match driver.process(problem, &task.node, worker.locality, now + elapsed) {
         Action::Prune | Action::PruneSiblings => {
             stats.prunes += 1;
+            worker.task_prunes = 1;
+            trace.emit(now + elapsed, worker_id, end_of_task(worker));
             *outstanding -= 1;
             if *outstanding == 0 {
                 stats.makespan = now + elapsed;
@@ -1112,6 +1389,7 @@ where
             return elapsed;
         }
         Action::ShortCircuit => {
+            trace.emit(now + elapsed, worker_id, end_of_task(worker));
             stats.makespan = now + elapsed;
             *short_circuited = true;
             return elapsed;
@@ -1141,6 +1419,7 @@ where
             }
             elapsed += costs.batched_spawn_cost(children.len());
             pools[worker.locality].push_all(children);
+            trace.emit(now + elapsed, worker_id, end_of_task(worker));
             *outstanding -= 1;
             if *outstanding == 0 {
                 stats.makespan = now + elapsed;
@@ -1214,6 +1493,53 @@ mod tests {
 
     fn sim(coord: Coordination, localities: usize, wpl: usize) -> SimConfig {
         SimConfig::new(coord, localities, wpl)
+    }
+
+    /// A left-spine tree: the worker that owns the root descends a deep
+    /// spine whose every level exposes a few bushy subtrees as stealable
+    /// siblings.  The spine child comes first in generation order, so the
+    /// owner always dives deeper while its bottom frames accumulate the
+    /// shallow frontier — the shape on which hint-directed thieves all
+    /// converge on the one spine holder (the PR 6 strip-mining scenario).
+    struct Spine {
+        spine_depth: usize,
+        bush_count: usize,
+        bush_depth: u8,
+    }
+
+    impl SearchProblem for Spine {
+        /// `(depth, None)` is a spine node; `(depth, Some(b))` a bush node
+        /// with `b` binary levels left below it.
+        type Node = (usize, Option<u8>);
+        type Gen<'a> = std::vec::IntoIter<(usize, Option<u8>)>;
+        fn root(&self) -> (usize, Option<u8>) {
+            (0, None)
+        }
+        fn generator(&self, node: &(usize, Option<u8>)) -> Self::Gen<'_> {
+            let (d, kind) = *node;
+            match kind {
+                None if d < self.spine_depth => {
+                    // Bushes first, the spine continuation last: one-child
+                    // steals ship bushes while the spine stays put, so the
+                    // same worker re-exposes a shallow frontier level after
+                    // level.
+                    let mut children: Vec<(usize, Option<u8>)> = (0..self.bush_count)
+                        .map(|_| (d + 1, Some(self.bush_depth)))
+                        .collect();
+                    children.push((d + 1, None));
+                    children.into_iter()
+                }
+                Some(b) if b > 0 => vec![(d + 1, Some(b - 1)); 2].into_iter(),
+                _ => vec![].into_iter(),
+            }
+        }
+    }
+
+    impl Enumerate for Spine {
+        type Value = Sum<u64>;
+        fn value(&self, _n: &(usize, Option<u8>)) -> Sum<u64> {
+            Sum(1)
+        }
     }
 
     #[test]
@@ -1433,6 +1759,100 @@ mod tests {
             out.spawns,
             out.nodes
         );
+    }
+
+    #[test]
+    fn tracing_is_free_in_virtual_time_and_mirrors_the_counters() {
+        let p = Fib { depth: 11 };
+        for coord in [
+            Coordination::Sequential,
+            Coordination::depth_bounded(2),
+            Coordination::stack_stealing_chunked(),
+            Coordination::budget(30),
+            Coordination::ordered(2),
+        ] {
+            let off = simulate_enumerate(&p, &sim(coord, 2, 3));
+            assert!(
+                off.trace.is_empty(),
+                "{coord}: untraced runs record nothing"
+            );
+            let mut cfg = sim(coord, 2, 3);
+            cfg.trace = true;
+            let on = simulate_enumerate(&p, &cfg);
+            // Recording must never charge virtual time or perturb the
+            // schedule: the traced run is tick-for-tick identical.
+            assert_eq!(on.makespan, off.makespan, "{coord}");
+            assert_eq!(on.nodes, off.nodes, "{coord}");
+            assert_eq!(on.steals, off.steals, "{coord}");
+            assert!(!on.trace.is_empty(), "{coord}");
+            // The trace is the event-level mirror of the aggregate
+            // counters: TaskEnd node deltas sum to `nodes`, one StealHit
+            // per counted steal, and every task that started also ended
+            // (the run completed).
+            let task_nodes: u64 = on
+                .trace
+                .iter()
+                .filter_map(|r| match r.event {
+                    TraceEvent::TaskEnd { nodes, .. } => Some(nodes),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(task_nodes, on.nodes, "{coord}");
+            let hits = on
+                .trace
+                .iter()
+                .filter(|r| matches!(r.event, TraceEvent::StealHit { .. }))
+                .count() as u64;
+            assert_eq!(hits, on.steals, "{coord}");
+            let starts = on
+                .trace
+                .iter()
+                .filter(|r| matches!(r.event, TraceEvent::TaskStart { .. }))
+                .count();
+            let ends = on
+                .trace
+                .iter()
+                .filter(|r| matches!(r.event, TraceEvent::TaskEnd { .. }))
+                .count();
+            assert_eq!(starts, ends, "{coord}");
+            // Virtual timestamps never exceed the makespan.
+            assert!(on.trace.iter().all(|r| r.ts <= on.makespan), "{coord}");
+        }
+    }
+
+    #[test]
+    fn hint_directed_remote_steals_trip_the_strip_mining_analyzer() {
+        use yewpar::trace::analyze::{analyze, AnalyzeConfig, FindingKind};
+
+        // A single wide root frontier: worker 0's bottom frame holds the
+        // depth-1 children for most of the run, so it is *always* the
+        // shallowest advertised victim — stolen bush subtrees sit at depth
+        // ≥ 2 and never out-bid it.  This is the PR 6 shape verbatim: the
+        // first busy worker's shallow frontier, strip-mined one expensive
+        // remote steal at a time by every other locality.
+        let p = Spine {
+            spine_depth: 1,
+            bush_count: 60,
+            bush_depth: 3,
+        };
+        // One-child (non-chunked) steals mean every shipped subtree costs a
+        // full remote round-trip, so thieves keep coming back for more.
+        let mut bad = sim(Coordination::stack_stealing(), 8, 1);
+        bad.trace = true;
+        bad.hint_directed_remote_steals = true;
+        let out = simulate_enumerate(&p, &bad);
+        let findings = analyze(&out.trace, &AnalyzeConfig::default());
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.kind == FindingKind::StealStripMining),
+            "hint-directed remote steals must concentrate hits on one victim; \
+             findings: {findings:?}"
+        );
+        // The pathological schedule still computes the right answer — the
+        // anomaly is a performance shape, not a correctness bug.
+        let reference = simulate_enumerate(&p, &sim(Coordination::Sequential, 1, 1));
+        assert_eq!(out.result, reference.result);
     }
 
     #[test]

@@ -67,6 +67,10 @@ fn main() {
                     next_heartbeat_print = elapsed + Duration::from_millis(25);
                 }
             }
+            Some(ProgressEvent::Stats { stats, elapsed }) => println!(
+                "  [{elapsed:>9.3?}] runtime: {} active / {} queued searches",
+                stats.active_searches, stats.queued_searches
+            ),
             Some(ProgressEvent::Finished { status }) => break status,
             None => panic!("the search neither progressed nor finished"),
         }

@@ -161,6 +161,11 @@ fn progress_stream_carries_incumbents_heartbeats_and_the_final_status() {
                 // monotone — assert on the running maximum instead.
                 max_nodes = max_nodes.max(nodes);
             }
+            Some(ProgressEvent::Stats { stats, .. }) => {
+                // Runtime-attached searches interleave gauge snapshots with
+                // the heartbeats; this single-search run holds one grant.
+                assert!(stats.granted_workers <= 4);
+            }
             Some(ProgressEvent::Finished { status }) => break status,
             None => panic!("stream ended without Finished"),
         }
