@@ -314,6 +314,59 @@ fn bench_runtime_multiplexing(c: &mut Criterion) {
     group.finish();
 }
 
+/// The elastic-regrant A/B: a 1-worker submission on a 4-worker pool is
+/// grown into the idle capacity by the replanner, then shrunk back when a
+/// pool-wide competitor arrives — the full lease-renegotiation cycle
+/// (grow, cooperative revocation, re-admission) end to end.  The serial
+/// FIFO row is the fixed-grant baseline (no renegotiation machinery at
+/// all); the two FairShare rows vary the replanning period, which bounds
+/// how quickly revocations are *issued* — the revocation-latency half of
+/// the cycle (how quickly workers *acknowledge*) is bounded by the
+/// engine's poll stride and is reported by `RuntimeStats` in the
+/// `table2 --elastic` smoke.
+fn bench_elastic_regrant(c: &mut Criterion) {
+    use yewpar::schedule::{FairShare, Fifo, SchedulePolicy};
+
+    let mut group = c.benchmark_group("components/elastic_regrant");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let pool_workers = 4;
+    let mut small = SearchConfig::new(Coordination::depth_bounded(2));
+    small.workers = 1;
+    let mut full = SearchConfig::new(Coordination::depth_bounded(2));
+    full.workers = pool_workers;
+
+    let mut bench_variant = |label: &str, make: fn() -> (Box<dyn SchedulePolicy>, Duration)| {
+        let (small, full) = (small.clone(), full.clone());
+        group.bench_function(label, |bench| {
+            let (policy, replan) = make();
+            let runtime = Runtime::with_policy(
+                RuntimeConfig::default()
+                    .workers(pool_workers)
+                    .replan_period(replan),
+                policy,
+            );
+            bench.iter(|| {
+                let background = runtime.enumerate(Irregular::new(8, 1), &small);
+                let competitor = runtime.enumerate(Irregular::new(8, 7), &full);
+                background.wait().value.0 + competitor.wait().value.0
+            })
+        });
+    };
+    bench_variant("fixed_grant_fifo", || {
+        (Box::new(Fifo), Duration::from_millis(5))
+    });
+    bench_variant("elastic_replan_1ms", || {
+        (Box::new(FairShare), Duration::from_millis(1))
+    });
+    bench_variant("elastic_replan_5ms", || {
+        (Box::new(FairShare), Duration::from_millis(5))
+    });
+    group.finish();
+}
+
 /// The flight-recorder A/B: the same 4-worker irregular enumeration with
 /// tracing disabled (the default — every emission site is a branch on a
 /// `None` handle), enabled with a ring large enough to never overflow, and
@@ -365,6 +418,7 @@ criterion_group!(
     bench_maxclique_components,
     bench_runtime_submission,
     bench_runtime_multiplexing,
+    bench_elastic_regrant,
     bench_trace
 );
 criterion_main!(benches);

@@ -27,7 +27,8 @@ use std::process::ExitCode;
 
 use serde_json::json;
 use yewpar_bench::gate::{
-    irregular_worst_speedups, trace_neutrality_violations, GateRow, TOLERANCE,
+    elastic_neutrality_violations, irregular_worst_speedups, trace_neutrality_violations, GateRow,
+    TOLERANCE,
 };
 
 /// The Table 2 cluster shape the committed baseline was recorded on.
@@ -152,6 +153,18 @@ fn main() -> ExitCode {
     }
     if violations.is_empty() {
         println!("  trace-neutrality: ok (recording moved no schedule)");
+    }
+
+    // The baselines were recorded on the fixed-grant scheduler; the elastic
+    // scheduler must reproduce them exactly whenever elasticity is off
+    // (the serial Fifo default never renegotiates a lease).
+    let violations = elastic_neutrality_violations(WORKERS_PER_LOCALITY);
+    for v in &violations {
+        println!("  elastic-neutrality: {v}");
+        failed = true;
+    }
+    if violations.is_empty() {
+        println!("  elastic-neutrality: ok (elastic-off schedules are identical)");
     }
 
     if failed {

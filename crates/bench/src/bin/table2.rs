@@ -44,6 +44,13 @@
 //!   asserting disjoint worker leases and reporting dispatcher-recorded
 //!   queue waits.  The JSON report gains a `concurrent` section (recorded
 //!   in `BENCH_4.json`).
+//! * `--elastic` — elastic-scheduling smoke: a `DeadlineShare` demo in
+//!   both clocks.  Virtual time asserts *to the tick* that an Urgent
+//!   arrival against a saturating Low-priority background is admitted
+//!   exactly one revocation-latency bound after it arrives; the threaded
+//!   runtime asserts the ordering (the urgent search completes while the
+//!   background is still running).  The JSON report gains an `elastic`
+//!   section (recorded in `BENCH_7.json`).
 //! * `--trace-dir <dir>` — flight-recorder smoke: records three traced
 //!   Irregular runs (a threaded stack-stealing search, its virtual-time
 //!   mirror, and the PR 6 strip-mining reconstruction with hint-directed
@@ -310,6 +317,11 @@ fn concurrent_flag(args: &[String]) -> Option<usize> {
 
 /// Parse `--trace-dir <path>`: where the flight-recorder smoke drops its
 /// exported traces.
+/// Parse `--elastic` (no value): run the elastic-scheduling demo.
+fn elastic_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--elastic")
+}
+
 fn trace_dir_flag(args: &[String]) -> Option<std::path::PathBuf> {
     let pos = args.iter().position(|a| a == "--trace-dir")?;
     let value = args.get(pos + 1).unwrap_or_else(|| {
@@ -610,6 +622,167 @@ fn concurrent_section(n: usize, pool_workers: usize) -> serde_json::Value {
     })
 }
 
+/// The `--elastic` smoke: elastic grants and preemptive scheduling under
+/// `DeadlineShare`, in both clocks.
+///
+/// *Virtual time*: a Low-priority background enumeration saturates the
+/// pool; an Urgent job arrives mid-run.  The policy revokes workers
+/// cooperatively, and the demo **asserts to the tick** that the urgent
+/// job's queue wait equals exactly one revocation-latency bound — not the
+/// background's makespan.
+///
+/// *Threaded*: the same shape on the real `Runtime` (wall clocks make the
+/// exact bound unassertable, so the smoke asserts the *ordering*: the
+/// urgent job completes while the background is still running).  Recorded
+/// in `BENCH_7.json`.
+fn elastic_section(pool_workers: usize) -> serde_json::Value {
+    use std::time::Duration;
+    use yewpar::schedule::{DeadlineShare, Priority};
+    use yewpar::{Runtime, RuntimeConfig, SearchConfig, SearchStatus, TraceEvent};
+    use yewpar_sim::{simulate_multiplexed_elastic, SimJob};
+
+    println!();
+    println!(
+        "Elastic scheduling smoke (DeadlineShare): urgent arrival vs a \
+         saturating background on a {pool_workers}-worker simulated pool"
+    );
+
+    // ---- Virtual-time demo: exact revocation-latency bound --------------
+    const REVOCATION_LATENCY: u64 = 500;
+    const URGENT_ARRIVES: u64 = 1_000;
+    let background_problem = Irregular::new(13, 1);
+    let urgent_problem = Irregular::new(10, 7);
+    let background = SimJob::new(
+        SimConfig::new(Coordination::depth_bounded(2), 1, pool_workers),
+        |cfg: &SimConfig| simulate_enumerate(&background_problem, cfg),
+    )
+    .priority(Priority::Low);
+    let urgent = SimJob::new(
+        SimConfig::new(Coordination::depth_bounded(2), 1, pool_workers / 2),
+        |cfg: &SimConfig| simulate_enumerate(&urgent_problem, cfg),
+    )
+    .priority(Priority::Urgent)
+    .submit_at(URGENT_ARRIVES);
+    let mut policy = DeadlineShare;
+    let schedule = simulate_multiplexed_elastic(
+        pool_workers,
+        &mut policy,
+        REVOCATION_LATENCY,
+        vec![background, urgent],
+    );
+    let urgent_wait = schedule.outcomes[1].queue_wait_ticks;
+    assert_eq!(
+        urgent_wait, REVOCATION_LATENCY,
+        "the urgent job must start exactly one revocation-latency bound \
+         after arriving, not after the background makespan \
+         ({} ticks)",
+        schedule.outcomes[0].makespan
+    );
+    let revoked = schedule
+        .trace
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::WorkerRevoked { .. }))
+        .count();
+    let grant_changes = schedule
+        .trace
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                TraceEvent::GrantGrown { .. } | TraceEvent::GrantShrunk { .. }
+            )
+        })
+        .count();
+    println!(
+        "  sim deadline-share: urgent queue wait {urgent_wait} ticks == \
+         revocation latency ({REVOCATION_LATENCY}); {revoked} workers revoked, \
+         {grant_changes} lease changes; background makespan {} ticks",
+        schedule.outcomes[0].makespan
+    );
+    let sim_rows: Vec<serde_json::Value> = schedule
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, out)| {
+            serde_json::json!({
+                "job": i,
+                "priority": if i == 0 { "low" } else { "urgent" },
+                "granted_workers": out.granted_workers,
+                "queue_wait_ticks": out.queue_wait_ticks,
+                "makespan": out.makespan,
+                "complete": out.status.is_complete(),
+            })
+        })
+        .collect();
+
+    // ---- Threaded smoke: ordering on the real runtime -------------------
+    let threaded_workers = 4usize;
+    let runtime = Runtime::with_policy(
+        RuntimeConfig::default()
+            .workers(threaded_workers)
+            .replan_period(Duration::from_millis(1)),
+        Box::new(DeadlineShare),
+    );
+    let mut bg_cfg = SearchConfig::new(Coordination::depth_bounded(3));
+    bg_cfg.workers = threaded_workers;
+    bg_cfg.priority = Priority::Low;
+    bg_cfg.deadline = Some(Duration::from_millis(400));
+    // Depth-64 irregular trees never finish: the deadline bounds the demo.
+    let bg_handle = runtime.maximise(Irregular::new(64, 1), &bg_cfg);
+    std::thread::sleep(Duration::from_millis(20));
+    let mut urgent_cfg = SearchConfig::new(Coordination::depth_bounded(2));
+    urgent_cfg.workers = threaded_workers / 2;
+    urgent_cfg.priority = Priority::High;
+    let urgent_out = runtime.enumerate(Irregular::new(9, 7), &urgent_cfg).wait();
+    assert!(
+        urgent_out.status.is_complete(),
+        "the urgent search must complete while the background runs"
+    );
+    let bg_out = bg_handle.wait();
+    assert_eq!(
+        bg_out.status,
+        SearchStatus::DeadlineExceeded,
+        "the background must still have been running when the urgent \
+         search finished — DeadlineShare did not reclaim workers"
+    );
+    let stats = runtime.stats();
+    println!(
+        "  threaded deadline-share: urgent queue wait {:?} (background ran \
+         its full {:?} budget); {} workers revoked, mean revocation latency {:?}",
+        urgent_out.metrics.queue_wait,
+        bg_cfg.deadline.unwrap(),
+        stats.workers_preempted,
+        stats
+            .revocation_latency
+            .checked_div(stats.workers_preempted.max(1) as u32)
+            .unwrap_or_default(),
+    );
+
+    let sim_report = serde_json::json!({
+        "pool_workers": pool_workers,
+        "revocation_latency_ticks": REVOCATION_LATENCY,
+        "urgent_arrives_at": URGENT_ARRIVES,
+        "urgent_queue_wait_ticks": urgent_wait,
+        "workers_revoked": revoked,
+        "grant_changes": grant_changes,
+        "rows": sim_rows,
+    });
+    let threaded_report = serde_json::json!({
+        "pool_workers": threaded_workers,
+        "urgent_queue_wait_micros": urgent_out.metrics.queue_wait.as_micros() as u64,
+        "urgent_complete": urgent_out.status.is_complete(),
+        "background_status": "deadline_exceeded",
+        "grant_changes": stats.grant_changes,
+        "workers_preempted": stats.workers_preempted,
+        "revocation_latency_micros": stats.revocation_latency.as_micros() as u64,
+    });
+    serde_json::json!({
+        "policy": "deadline-share",
+        "sim": sim_report,
+        "threaded": threaded_report,
+    })
+}
+
 /// Parse `YEWPAR_T2_ORDERED_CANCEL` (default: on).
 fn ordered_cancel_knob() -> bool {
     !std::env::var("YEWPAR_T2_ORDERED_CANCEL")
@@ -631,6 +804,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let deadline_ticks = deadline_flag(&args);
     let concurrent = concurrent_flag(&args);
+    let elastic = elastic_flag(&args);
     let trace_dir = trace_dir_flag(&args);
     println!("Table 2: alternate application parallelisations — mean speedup on {workers} simulated workers");
     println!("({localities} localities x {workers_per_locality} workers; speedup vs the simulated Sequential skeleton)");
@@ -888,6 +1062,11 @@ fn main() {
     let concurrent_report = concurrent
         .map(|n| concurrent_section(n, workers))
         .unwrap_or(serde_json::Value::Null);
+    let elastic_report = if elastic {
+        elastic_section(workers)
+    } else {
+        serde_json::Value::Null
+    };
     let trace_report = trace_dir
         .as_deref()
         .map(|dir| trace_section(dir, localities, workers_per_locality))
@@ -902,6 +1081,7 @@ fn main() {
         "rows": report_rows,
         "ordered_cancellation_ab": ab_rows,
         "concurrent": concurrent_report,
+        "elastic": elastic_report,
         "trace": trace_report,
     });
     write_report("table2.json", &report);

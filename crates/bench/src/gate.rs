@@ -10,9 +10,13 @@
 //! cost model, so the numbers are bit-for-bit reproducible on any machine:
 //! a gate failure is a real algorithmic regression, never CI noise.
 
+use yewpar::schedule::Fifo;
 use yewpar::Coordination;
 use yewpar_apps::irregular::Irregular;
-use yewpar_sim::{simulate_decide, simulate_enumerate, SimConfig};
+use yewpar_sim::{
+    simulate_decide, simulate_enumerate, simulate_multiplexed, simulate_multiplexed_elastic,
+    SimConfig, SimJob,
+};
 
 use crate::geometric_mean;
 
@@ -152,6 +156,78 @@ pub fn trace_neutrality_violations(localities: usize, workers_per_locality: usiz
     violations
 }
 
+/// Elastic-off neutrality: with the serial [`Fifo`] policy (the default,
+/// and the configuration every committed baseline was recorded under) the elastic scheduler must produce
+/// schedules identical to the fixed-grant one — same queue waits, grants,
+/// makespans and node counts, with zero lease renegotiations.  The elastic
+/// machinery may only change behaviour when a concurrent policy opts in;
+/// this is the gate that keeps every committed baseline number valid.  Returns
+/// one description per violated coordination (empty = gate passes).
+pub fn elastic_neutrality_violations(pool_workers: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, coord) in [
+        ("Depth-Bounded", Coordination::depth_bounded(2)),
+        ("Stack-Stealing", Coordination::stack_stealing_chunked()),
+        ("Budget", Coordination::budget(100)),
+        ("Ordered", Coordination::ordered(2)),
+    ] {
+        let jobs = || -> Vec<SimJob<'_, _>> {
+            [(11usize, 1u64), (12, 7), (10, 23)]
+                .into_iter()
+                .enumerate()
+                .map(|(i, (depth, seed))| {
+                    let cfg = SimConfig::new(coord, 1, pool_workers);
+                    SimJob::new(cfg, move |granted: &SimConfig| {
+                        simulate_enumerate(&Irregular::new(depth, seed), granted)
+                    })
+                    .submit_at(i as u64 * 1_000)
+                })
+                .collect()
+        };
+        let plain = simulate_multiplexed(pool_workers, &mut Fifo, jobs());
+        let elastic = simulate_multiplexed_elastic(pool_workers, &mut Fifo, 64, jobs());
+        for (i, (p, e)) in plain.iter().zip(&elastic.outcomes).enumerate() {
+            if p.queue_wait_ticks != e.queue_wait_ticks
+                || p.granted_workers != e.granted_workers
+                || p.makespan != e.makespan
+                || p.nodes != e.nodes
+            {
+                violations.push(format!(
+                    "{name} job {i}: elastic-off schedule diverged — wait {} vs {}, \
+                     grant {} vs {}, makespan {} vs {}, nodes {} vs {} \
+                     (elastic vs fixed)",
+                    e.queue_wait_ticks,
+                    p.queue_wait_ticks,
+                    e.granted_workers,
+                    p.granted_workers,
+                    e.makespan,
+                    p.makespan,
+                    e.nodes,
+                    p.nodes
+                ));
+            }
+        }
+        let renegotiations = elastic
+            .trace
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    yewpar::TraceEvent::GrantGrown { .. }
+                        | yewpar::TraceEvent::GrantShrunk { .. }
+                        | yewpar::TraceEvent::WorkerRevoked { .. }
+                )
+            })
+            .count();
+        if renegotiations > 0 {
+            violations.push(format!(
+                "{name}: a serial policy renegotiated {renegotiations} leases"
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +235,11 @@ mod tests {
     #[test]
     fn tracing_never_perturbs_the_virtual_schedule() {
         assert_eq!(trace_neutrality_violations(2, 2), Vec::<String>::new());
+    }
+
+    #[test]
+    fn elastic_scheduler_is_neutral_under_a_serial_policy() {
+        assert_eq!(elastic_neutrality_violations(4), Vec::<String>::new());
     }
 
     #[test]

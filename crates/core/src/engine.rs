@@ -152,6 +152,18 @@ pub trait WorkSource<P: SearchProblem>: Sync {
     fn drain_lock_count(&self, _local: &mut Self::Local) -> u64 {
         0
     }
+
+    /// Hand every task still held in the worker's private state back to the
+    /// *survivors* of the search — called when a worker leaves an elastic
+    /// grant mid-run (cooperative revocation).  The dual of
+    /// [`drain_local`]: the search is still running, so nothing may be
+    /// discarded or drained from the outstanding counter; tasks must go
+    /// somewhere another worker can reach them (the worker's pool shard, a
+    /// shared parking queue, …).  Sources whose locals hold no tasks keep
+    /// the default no-op.
+    ///
+    /// [`drain_local`]: WorkSource::drain_local
+    fn retire(&self, _local: &mut Self::Local) {}
 }
 
 /// When the depth-first traversal splits off work for other workers.
@@ -356,6 +368,15 @@ pub(crate) fn spawn_and_join<F>(
 where
     F: Fn(usize) -> WorkerMetrics + Sync,
 {
+    // An *elastic* grant (concurrent scheduling policy) must go through the
+    // pool's elastic runner even at one worker: the dispatcher can lease
+    // extra slots onto the live search at any moment, and only the elastic
+    // runner's armed hook can accept them.
+    if let (Some(pool), Some(grant)) = (lifecycle.pool.as_deref(), lifecycle.grant.as_ref()) {
+        if let Some(core) = &grant.core {
+            return pool.scoped_run_elastic(core, &grant.slots, workers, &worker_fn);
+        }
+    }
     if workers == 1 {
         return vec![worker_fn(0)];
     }
@@ -420,6 +441,10 @@ where
     let mut backoff = IdleBackoff::new();
     let mut lstate = LifecycleLocal::default();
     let mut spawn_buf: Vec<Task<P::Node>> = Vec::new();
+    // Set when this worker claims a pending cooperative revocation (elastic
+    // grants only): it finishes (or offloads) its current task, hands its
+    // private work to the survivors, and acknowledges instead of draining.
+    let mut retiring = false;
     // Hoisted once per worker: when tracing is off this is `None` and every
     // emission below is a branch on a worker-local register — the
     // zero-cost-when-off guarantee the `bench_trace` A/B pins down.
@@ -431,6 +456,12 @@ where
         // ever reaches it.
         lifecycle.poll(term);
         if term.finished() {
+            break;
+        }
+        // Cooperative revocation: between tasks is the cheapest safe point
+        // to leave (mid-task claims happen at `run_task`'s poll gate).
+        if retiring || lifecycle.try_claim_retire(worker) {
+            retiring = true;
             break;
         }
         let next = match source.pop(&mut local) {
@@ -465,6 +496,8 @@ where
                     task,
                     &mut spawn_buf,
                     trace.as_ref(),
+                    worker,
+                    Some(&mut retiring),
                 );
                 if let Some(t) = &trace {
                     // Per-task counter deltas: summing a drained trace's
@@ -493,6 +526,19 @@ where
         }
     }
 
+    if retiring {
+        // Cooperative revocation: the search is still running, so every
+        // privately held task goes back to the survivors — nothing is
+        // discarded and the outstanding counter is untouched.  The ack comes
+        // last, after the partial is merged, so the dispatcher observing the
+        // released slot can never race an unmerged result.
+        source.retire(&mut local);
+        metrics.lock_acquisitions += source.drain_lock_count(&mut local);
+        driver.merge(partial);
+        lifecycle.ack_retire(worker);
+        return metrics;
+    }
+
     // Tasks still in this worker's private state (a Stack-Stealing backlog
     // or a batched pop stash after a stop) never run; drain them so the
     // outstanding counter reaches zero on every exit path.
@@ -515,6 +561,14 @@ where
 /// collected into it and handed to the source as one batch, so the spawn
 /// path costs one pool operation — and, in steady state, zero allocations —
 /// per generator burst.
+///
+/// `retiring` is the worker's cooperative-revocation flag: when `Some`, the
+/// poll gate additionally checks whether an elastic grant wants this worker
+/// back, and on a claim offloads the task's entire remaining subtree to the
+/// source (so the survivors pick it up) before returning a completed flow.
+/// Callers whose source cannot migrate mid-task work (Ordered: offloaded
+/// children would be keyed under the *current* node, corrupting the
+/// replicable commit order) pass `None` and only retire between tasks.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_task<P, D, S, Y>(
     problem: &P,
@@ -530,6 +584,8 @@ pub(crate) fn run_task<P, D, S, Y>(
     task: Task<P::Node>,
     spawn_buf: &mut Vec<Task<P::Node>>,
     trace: Option<&TraceHandle>,
+    worker: usize,
+    mut retiring: Option<&mut bool>,
 ) -> Flow
 where
     P: SearchProblem,
@@ -606,6 +662,30 @@ where
             // work.
             if source.cancelled(local) {
                 return Flow::Cancelled;
+            }
+            // Cooperative revocation mid-task: claim a pending revocation
+            // (if any), then hand the task's entire remaining subtree to the
+            // survivors as spawned tasks.  Each `split_lowest` burst takes
+            // the unexplored children of one frame; looping drains the whole
+            // stack, so nothing is stranded — the nodes already processed
+            // are counted, so dropping the stack completes this task.
+            if let Some(flag) = retiring.as_deref_mut() {
+                if !*flag && lifecycle.try_claim_retire(worker) {
+                    *flag = true;
+                }
+                if *flag {
+                    loop {
+                        let mut tasks = stack.split_lowest(true);
+                        if tasks.is_empty() {
+                            break;
+                        }
+                        term.task_spawned(tasks.len() as u64);
+                        metrics.spawns += tasks.len() as u64;
+                        metrics.batch_pushes += 1;
+                        source.release(local, &mut tasks);
+                    }
+                    return Flow::Completed;
+                }
             }
         }
         // Give the source a chance to serve a thief (at most one steal
@@ -841,6 +921,18 @@ impl<P: SearchProblem> WorkSource<P> for PoolSource<P::Node> {
     fn drain_lock_count(&self, local: &mut Self::Local) -> u64 {
         std::mem::take(&mut local.locks)
     }
+
+    fn retire(&self, local: &mut Self::Local) {
+        // Push the batched pop stash back into the worker's shard: the tasks
+        // become visible to thieves again through the shard's depth hint, so
+        // the survivors reach them without any extra signalling.
+        if local.stash.is_empty() {
+            return;
+        }
+        let mut tasks: Vec<Task<P::Node>> = local.stash.drain(..).collect();
+        local.locks += 1;
+        self.pool.push_batch(local.shard, &mut tasks);
+    }
 }
 
 #[cfg(test)]
@@ -946,6 +1038,8 @@ mod tests {
             &NoSpawn,
             Task::new(p.root(), 0),
             &mut Vec::new(),
+            None,
+            0,
             None,
         );
         assert_eq!(flow, Flow::ShortCircuited);

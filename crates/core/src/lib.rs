@@ -81,6 +81,6 @@ pub use node::SearchProblem;
 pub use objective::{Decide, Enumerate, Optimise, PruneLevel};
 pub use params::{Coordination, SearchConfig};
 pub use runtime::{Runtime, RuntimeConfig, SearchHandle, Session, SessionStatus, ShutdownMode};
-pub use schedule::{FairShare, Fifo, SchedulePolicy};
+pub use schedule::{DeadlineShare, FairShare, Fifo, Priority, SchedulePolicy};
 pub use skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};
 pub use trace::{TraceBuffer, TraceEvent, TraceRecord, Tracer};

@@ -423,6 +423,50 @@ impl Lifecycle {
             .max(1)
     }
 
+    /// Upper bound on worker ids this execution can ever observe.  Fixed
+    /// grants and the blocking facade never outgrow
+    /// [`worker_count`](Lifecycle::worker_count); an *elastic* grant (one
+    /// carrying a live lease core) can be grown by the dispatcher up to the
+    /// whole pool plus the inline worker, so per-worker structures (work
+    /// sources, steal channels, result slots) must be sized to the pool
+    /// capacity, not the initial grant.
+    pub(crate) fn worker_capacity(&self, config: &crate::params::SearchConfig) -> usize {
+        match (&self.grant, &self.pool) {
+            (Some(grant), Some(pool)) if grant.core.is_some() => {
+                (pool.size() + 1).max(self.worker_count(config))
+            }
+            _ => self.worker_count(config),
+        }
+    }
+
+    /// Try to claim a pending cooperative revocation for `worker`.  Returns
+    /// `true` when the claim succeeded — the worker must then finish its
+    /// current task, hand its local work back through
+    /// `WorkSource::retire`, and call [`ack_retire`](Lifecycle::ack_retire)
+    /// before exiting.  Worker 0 (the submitting thread's inline worker)
+    /// never retires: it owns the result seam.  Always `false` for fixed
+    /// grants.
+    pub(crate) fn try_claim_retire(&self, worker: usize) -> bool {
+        if worker == 0 {
+            return false;
+        }
+        match self.grant.as_ref().and_then(|g| g.core.as_ref()) {
+            Some(core) => core.try_claim_retire(),
+            None => false,
+        }
+    }
+
+    /// Acknowledge a claimed revocation: returns the worker's leased slot to
+    /// the dispatcher and records the revocation latency.  Must only be
+    /// called after a successful [`try_claim_retire`]
+    /// (Lifecycle::try_claim_retire) and after the worker's local work has
+    /// been rehomed.
+    pub(crate) fn ack_retire(&self, worker: usize) {
+        if let Some(core) = self.grant.as_ref().and_then(|g| g.core.as_ref()) {
+            core.ack_retire(worker);
+        }
+    }
+
     /// Record the execution start and resolve the relative deadline.  Must
     /// be called once, when the search actually begins running (a queued
     /// runtime submission's budget starts when it leaves the queue).

@@ -126,6 +126,21 @@ pub struct Metrics {
     /// measured on the **dispatcher's** clock (receipt → grant), so it is
     /// comparable across submitters.  Zero for the blocking facade.
     pub queue_wait: Duration,
+    /// Times this search's lease was renegotiated after dispatch: one count
+    /// per executed [`Grow`](crate::schedule::Adjustment::Grow) or
+    /// [`Shrink`](crate::schedule::Adjustment::Shrink).  Zero under
+    /// [`Fifo`](crate::schedule::Fifo) and for the blocking facade.
+    pub grant_changes: u64,
+    /// Workers this search gave back under cooperative revocation
+    /// (acknowledged `Shrink` requests, including those issued on the way
+    /// to a [`Preempt`](crate::schedule::Adjustment::Preempt)).
+    pub workers_preempted: u64,
+    /// Total revocation latency: the sum over acknowledged revocations of
+    /// request → worker-departure time.  Divide by
+    /// [`workers_preempted`](Metrics::workers_preempted) for the mean; the
+    /// `components/elastic_regrant` bench tracks this against the
+    /// lifecycle poll stride.
+    pub revocation_latency: Duration,
 }
 
 impl Metrics {
@@ -145,6 +160,9 @@ impl Metrics {
             search_id: 0,
             granted_slots: Vec::new(),
             queue_wait: Duration::ZERO,
+            grant_changes: 0,
+            workers_preempted: 0,
+            revocation_latency: Duration::ZERO,
         }
     }
 
@@ -233,6 +251,18 @@ pub struct RuntimeStats {
     /// by [`completed_searches`](RuntimeStats::completed_searches) for the
     /// mean.
     pub total_queue_wait: Duration,
+    /// Executed lease renegotiations across all searches (one per `Grow`
+    /// or `Shrink` adjustment the dispatcher carried out).  Stays zero
+    /// under [`Fifo`](crate::schedule::Fifo).
+    pub grant_changes: u64,
+    /// Workers reclaimed through acknowledged cooperative revocations
+    /// across all searches (preempted searches return their remaining
+    /// lease through the normal finish path instead).
+    pub workers_preempted: u64,
+    /// Sum of request → acknowledgement latency over every revocation the
+    /// pool has executed; divide by
+    /// [`workers_preempted`](RuntimeStats::workers_preempted) for the mean.
+    pub revocation_latency: Duration,
 }
 
 #[cfg(test)]

@@ -168,6 +168,14 @@ pub struct SearchConfig {
     /// recorded stream with
     /// [`Skeleton::take_trace`](crate::skeleton::Skeleton::take_trace).
     pub trace: bool,
+    /// Scheduling priority of this search when submitted to a
+    /// [`Runtime`](crate::runtime::Runtime).  Priority-aware policies
+    /// ([`DeadlineShare`](crate::schedule::DeadlineShare)) admit, grow and
+    /// preempt by it; [`Fifo`](crate::schedule::Fifo) and
+    /// [`FairShare`](crate::schedule::FairShare) ignore it, and the
+    /// blocking facade always does.  Defaults to
+    /// [`Priority::Normal`](crate::schedule::Priority::Normal).
+    pub priority: crate::schedule::Priority,
 }
 
 impl Default for SearchConfig {
@@ -180,6 +188,7 @@ impl Default for SearchConfig {
             deadline: None,
             steal_reply_timeout: Duration::from_micros(200),
             trace: false,
+            priority: crate::schedule::Priority::Normal,
         }
     }
 }

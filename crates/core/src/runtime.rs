@@ -53,9 +53,26 @@
 //! count, leased slots and dispatcher-clock queue wait are stamped onto
 //! each outcome's [`Metrics`](crate::metrics::Metrics)
 //! (`granted_workers`, `granted_slots`, `queue_wait`, `search_id`), and
-//! pool-wide gauges are available through [`Runtime::stats`].  Growing a
-//! running search's allotment when the pool goes idle is a documented
-//! follow-up — grants are currently fixed for a search's lifetime.
+//! pool-wide gauges are available through [`Runtime::stats`].
+//!
+//! **Elastic leases.**  Under a concurrent policy a grant is a *lease*, not
+//! a fixed allotment: every [`RuntimeConfig::replan_period`] the dispatcher
+//! snapshots the running searches and asks the policy to
+//! [`replan`](crate::schedule::SchedulePolicy::replan).  A
+//! [`Grow`](crate::schedule::Adjustment::Grow) leases additional pool slots
+//! onto a live search (the new workers join its work source mid-run); a
+//! [`Shrink`](crate::schedule::Adjustment::Shrink) issues cooperative
+//! *revocation requests* that running workers claim at their next lifecycle
+//! poll — the claiming worker drains its local work back to the survivors,
+//! leaves the steal set and returns its slot, never stranding a task; a
+//! [`Preempt`](crate::schedule::Adjustment::Preempt) cancels the search so
+//! it resolves [`SearchStatus::Cancelled`] with its partial incumbent.
+//! Executed adjustments are counted on the outcome's
+//! [`Metrics`](crate::metrics::Metrics) (`grant_changes`,
+//! `workers_preempted`, `revocation_latency`) and on [`Runtime::stats`],
+//! and traced as `grant_grown` / `grant_shrunk` / `worker_revoked` events.
+//! Under the serial [`Fifo`] policy none of this machinery runs: grants
+//! keep the exact PR 4 fixed-for-life semantics.
 //!
 //! **Sessions and hierarchical cancellation.**  Cancel tokens form a tree:
 //! [`Runtime::session`] opens a [`Session`] scope (a child of the
@@ -84,13 +101,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, Receiver, Sender};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::lifecycle::{progress_channel, CancelToken, ProgressStream, SearchStatus};
 use crate::metrics::{RuntimeStats, WorkerMetrics};
 use crate::objective::{Decide, Enumerate, Optimise};
 use crate::params::SearchConfig;
-use crate::schedule::{Admission, Fifo, PendingRequest, SchedulePolicy};
+use crate::schedule::{
+    Adjustment, Admission, Fifo, PendingRequest, Priority, RunningSearch, SchedulePolicy,
+};
 use crate::skeleton::{DecideOutcome, EnumOutcome, OptimOutcome, Skeleton};
 use crate::trace::{TraceBuffer, TraceEvent, TraceRecord, Tracer};
 
@@ -261,6 +280,116 @@ impl WorkerPool {
         all
     }
 
+    /// Send one scoped job to a specific pool thread.  Returns `false` when
+    /// the pool is shutting down (the channel is closed).
+    fn send_to_slot(&self, slot: usize, job: ScopedJob) -> bool {
+        match self.senders.get(slot) {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        }
+    }
+
+    /// The elastic variant of [`scoped_run_on`](WorkerPool::scoped_run_on):
+    /// run `count` initial workers on the leased `slots` (worker 0 inline)
+    /// *and* accept workers joining and leaving mid-run through `core`.
+    ///
+    /// While the run is live the core's *hook* holds the lifetime-erased
+    /// worker closure; [`GrantCore::try_attach`] uses it to dispatch extra
+    /// workers onto newly leased slots, bumping the completion latch before
+    /// the job is sent so the latch can never reach zero with a worker
+    /// outstanding.  Result slots are sized to the pool's capacity and
+    /// indexed by *worker id* (ids are recycled on revocation, merging
+    /// stints).  On the way out the hook is disarmed under the core's lock,
+    /// after which no further attach can start — the re-check loop below
+    /// closes the race where a grow lands between the latch reaching zero
+    /// and the disarm.
+    pub(crate) fn scoped_run_elastic<F>(
+        &self,
+        core: &Arc<GrantCore>,
+        slots: &[usize],
+        count: usize,
+        worker_fn: &F,
+    ) -> Vec<WorkerMetrics>
+    where
+        F: Fn(usize) -> WorkerMetrics + Sync,
+    {
+        assert!(count >= 1);
+        debug_assert_eq!(
+            count.saturating_sub(1),
+            slots.len(),
+            "elastic grants are 1:1"
+        );
+        let capacity = self.size() + 1;
+        let state = Arc::new(ScopedState {
+            remaining: Mutex::new(count - 1),
+            done: Condvar::new(),
+            results: Mutex::new((0..capacity.max(count)).map(|_| None).collect()),
+            poisoned: AtomicBool::new(false),
+        });
+        // SAFETY: as in `scoped_run_on` — the latch (and the disarm
+        // protocol for attached workers) keeps `worker_fn` alive until the
+        // last dereference.
+        let erased: *const (dyn Fn(usize) -> WorkerMetrics + Sync) = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize) -> WorkerMetrics + Sync + '_),
+                *const (dyn Fn(usize) -> WorkerMetrics + Sync + 'static),
+            >(worker_fn)
+        };
+        core.arm(ElasticHook {
+            state: Arc::clone(&state),
+            f: erased,
+        });
+        for index in 1..count {
+            let job = ScopedJob {
+                f: erased,
+                index,
+                state: Arc::clone(&state),
+            };
+            if !self.send_to_slot(slots[index - 1], job) {
+                // Pool shutting down; run inline so the latch still closes.
+                run_scoped_inline(erased, index, &state);
+            }
+        }
+        let inline = catch_unwind(AssertUnwindSafe(|| worker_fn(0)));
+        let inline = match inline {
+            Ok(metrics) => Some(metrics),
+            Err(_) => {
+                state.poisoned.store(true, Ordering::Relaxed);
+                None
+            }
+        };
+        // Wait out the helpers, then disarm the hook under the core's lock;
+        // `try_attach` increments the latch under that same lock, so after
+        // a zero-latch re-check with the lock held no new worker can exist.
+        let used = loop {
+            let mut remaining = state.remaining.lock().expect("latch lock");
+            while *remaining > 0 {
+                remaining = state.done.wait(remaining).expect("latch wait");
+            }
+            drop(remaining);
+            if let Some(used) = core.try_disarm(&state) {
+                break used;
+            }
+        };
+        let mut results = state.results.lock().expect("results lock");
+        if let (Some(slot), Some(metrics)) = (results.get_mut(0), inline) {
+            match slot {
+                Some(existing) => existing.merge(&metrics),
+                None => *slot = Some(metrics),
+            }
+        }
+        let all: Vec<WorkerMetrics> = results
+            .iter_mut()
+            .take(used.max(1))
+            .map(|slot| slot.take().unwrap_or_default())
+            .collect();
+        drop(results);
+        if state.poisoned.load(Ordering::Relaxed) {
+            panic!("a search worker panicked");
+        }
+        all
+    }
+
     /// Close the job channels and join every thread.  Called by
     /// [`Runtime`]'s drop after the dispatcher has drained.
     fn shutdown(&mut self) {
@@ -294,7 +423,14 @@ fn run_scoped_inline(
         }
     };
     let mut results = state.results.lock().expect("results lock");
-    results[index] = result;
+    // Merge rather than overwrite: elastic runs recycle worker indices
+    // (retire → re-grow), so one slot can accumulate several stints.  For
+    // fixed grants every index runs exactly once and merge ≡ assign.
+    match (&mut results[index], result) {
+        (Some(existing), Some(metrics)) => existing.merge(&metrics),
+        (slot @ None, metrics) => *slot = metrics,
+        (_, None) => {}
+    }
     drop(results);
     let mut remaining = state.remaining.lock().expect("latch lock");
     *remaining -= 1;
@@ -309,6 +445,296 @@ fn run_scoped_inline(
 fn pool_thread(rx: Receiver<ScopedJob>) {
     while let Ok(job) = rx.recv() {
         run_scoped_inline(job.f, job.index, &job.state);
+    }
+}
+
+/// The live half of an elastic run: the worker closure and completion
+/// latch of the search currently executing, held by its [`GrantCore`] so
+/// [`GrantCore::try_attach`] can dispatch extra workers onto newly leased
+/// slots mid-run.  Armed by
+/// [`scoped_run_elastic`](WorkerPool::scoped_run_elastic) before the first
+/// worker starts and disarmed (under the core's lock) after the last one
+/// finishes.
+struct ElasticHook {
+    state: Arc<ScopedState>,
+    f: *const (dyn Fn(usize) -> WorkerMetrics + Sync),
+}
+
+// SAFETY: the raw closure pointer is only dereferenced by jobs dispatched
+// while the hook is armed, and `scoped_run_elastic` does not return (so the
+// referent stays alive) until the latch is zero *and* the hook is disarmed
+// under the lock — after which no further dispatch can observe it.  The
+// closure is `Sync`, so concurrent calls are fine.
+unsafe impl Send for ElasticHook {}
+
+/// Mutexed bookkeeping of one elastic lease (see [`GrantCore`]).
+struct GrantInner {
+    /// Live workers, *including* worker 0 on the driver thread and workers
+    /// that claimed a revocation but have not acknowledged it yet.
+    worker_count: usize,
+    /// Next fresh worker id; ids freed by revocation are recycled first, so
+    /// this never exceeds the pool capacity + 1.
+    next_worker_id: usize,
+    /// Worker ids freed by acknowledged revocations, available for reuse.
+    free_ids: Vec<usize>,
+    /// Pool slots currently leased to the search (excludes the driver).
+    held_slots: Vec<usize>,
+    /// `(worker_id, slot)` for every worker dispatched onto a pool slot.
+    assignments: Vec<(usize, usize)>,
+    /// Issue timestamps of unacknowledged revocation requests (FIFO); the
+    /// front one is consumed at each acknowledgement for its latency.
+    revocations: VecDeque<Instant>,
+    /// Workers that claimed a revocation and are on their way out — they no
+    /// longer count against new revocation requests but still hold their
+    /// slot until the acknowledgement.
+    retiring: usize,
+    hook: Option<ElasticHook>,
+}
+
+/// The shared, versioned state of one elastic grant — the renegotiable half
+/// of an [`ExecutionGrant`].  The dispatcher grows the lease through
+/// [`try_attach`](GrantCore::try_attach) and shrinks it through
+/// [`request_revoke`](GrantCore::request_revoke); engine workers observe
+/// revocation requests at their lifecycle polls
+/// ([`try_claim_retire`](GrantCore::try_claim_retire)) and acknowledge with
+/// [`ack_retire`](GrantCore::ack_retire), which returns the slot to the
+/// dispatcher via a [`Control::Released`] message.  `None` of this exists
+/// for serial-policy grants ([`ExecutionGrant::core`] is `None`): the Fifo
+/// fast path carries zero elastic overhead.
+pub(crate) struct GrantCore {
+    pub(crate) search_id: u64,
+    /// Bumped on every lease change (attach, revocation request, ack).
+    pub(crate) version: AtomicU64,
+    /// Unclaimed revocation requests — the cheap worker-side poll reads
+    /// this before ever touching the mutex.
+    revoke_pending: AtomicUsize,
+    /// Executed adjustments (`Grow`/`Shrink`) against this lease.
+    pub(crate) grant_changes: AtomicU64,
+    /// Acknowledged revocations (workers that left the search mid-run).
+    pub(crate) workers_preempted: AtomicU64,
+    /// Summed request → acknowledgement latency, nanoseconds.
+    pub(crate) revocation_ns: AtomicU64,
+    /// Dispatcher control channel for `Released` notifications.
+    released_tx: Sender<Control>,
+    inner: Mutex<GrantInner>,
+}
+
+impl std::fmt::Debug for GrantCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrantCore")
+            .field("search_id", &self.search_id)
+            .field("version", &self.version.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl GrantCore {
+    fn new(search_id: u64, workers: usize, slots: &[usize], released_tx: Sender<Control>) -> Self {
+        GrantCore {
+            search_id,
+            version: AtomicU64::new(0),
+            revoke_pending: AtomicUsize::new(0),
+            grant_changes: AtomicU64::new(0),
+            workers_preempted: AtomicU64::new(0),
+            revocation_ns: AtomicU64::new(0),
+            released_tx,
+            inner: Mutex::new(GrantInner {
+                worker_count: workers,
+                next_worker_id: workers,
+                free_ids: Vec::new(),
+                held_slots: slots.to_vec(),
+                assignments: (1..workers).map(|i| (i, slots[i - 1])).collect(),
+                revocations: VecDeque::new(),
+                retiring: 0,
+                hook: None,
+            }),
+        }
+    }
+
+    fn arm(&self, hook: ElasticHook) {
+        let mut inner = self.inner.lock().expect("grant lock");
+        inner.hook = Some(hook);
+    }
+
+    /// Disarm the hook if the latch is still zero under the lock; returns
+    /// the number of worker-id slots ever used.  `None` means a grow raced
+    /// in after the latch was observed zero — wait again.
+    fn try_disarm(&self, state: &Arc<ScopedState>) -> Option<usize> {
+        let mut inner = self.inner.lock().expect("grant lock");
+        let remaining = state.remaining.lock().expect("latch lock");
+        if *remaining > 0 {
+            return None;
+        }
+        inner.hook = None;
+        Some(inner.next_worker_id)
+    }
+
+    /// Lease one more pool slot to the running search: allocate a worker
+    /// id, bump the completion latch and dispatch the search's worker
+    /// closure onto `slot`.  Returns `false` — leaving the slot with the
+    /// caller — when the run is not live (hook unarmed: the search has not
+    /// started or is finishing) or the pool is shutting down.
+    fn try_attach(&self, slot: usize, pool: &WorkerPool) -> bool {
+        let mut inner = self.inner.lock().expect("grant lock");
+        let (state, f) = match &inner.hook {
+            Some(hook) => (Arc::clone(&hook.state), hook.f),
+            None => return false,
+        };
+        let worker_id = match inner.free_ids.pop() {
+            Some(id) => id,
+            None => {
+                let id = inner.next_worker_id;
+                inner.next_worker_id += 1;
+                id
+            }
+        };
+        {
+            let mut remaining = state.remaining.lock().expect("latch lock");
+            *remaining += 1;
+        }
+        let job = ScopedJob {
+            f,
+            index: worker_id,
+            state: Arc::clone(&state),
+        };
+        if !pool.send_to_slot(slot, job) {
+            let mut remaining = state.remaining.lock().expect("latch lock");
+            *remaining -= 1;
+            if *remaining == 0 {
+                state.done.notify_all();
+            }
+            drop(remaining);
+            inner.free_ids.push(worker_id);
+            return false;
+        }
+        inner.worker_count += 1;
+        inner.held_slots.push(slot);
+        inner.assignments.push((worker_id, slot));
+        self.version.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Issue up to `want` cooperative revocation requests, never shrinking
+    /// the lease below one worker (the driver's worker 0 never claims).
+    /// Returns how many were actually issued.
+    fn request_revoke(&self, want: usize) -> usize {
+        let mut inner = self.inner.lock().expect("grant lock");
+        let pending = self.revoke_pending.load(Ordering::Relaxed);
+        let committed = inner
+            .worker_count
+            .saturating_sub(1)
+            .saturating_sub(pending + inner.retiring);
+        let take = want.min(committed);
+        if take == 0 {
+            return 0;
+        }
+        let now = Instant::now();
+        for _ in 0..take {
+            inner.revocations.push_back(now);
+        }
+        self.revoke_pending.store(pending + take, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Relaxed);
+        self.grant_changes.fetch_add(1, Ordering::Relaxed);
+        take
+    }
+
+    /// Worker-side: claim one pending revocation request, if any.  The
+    /// fast path is a single relaxed load; the claim itself is taken under
+    /// the lock so two workers can never claim the same request and a
+    /// racing [`request_revoke`](GrantCore::request_revoke) always sees an
+    /// accurate committed-worker count.
+    pub(crate) fn try_claim_retire(&self) -> bool {
+        if self.revoke_pending.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("grant lock");
+        let pending = self.revoke_pending.load(Ordering::Relaxed);
+        if pending == 0 {
+            return false;
+        }
+        self.revoke_pending.store(pending - 1, Ordering::Relaxed);
+        inner.retiring += 1;
+        true
+    }
+
+    /// Worker-side: acknowledge a claimed revocation after the worker has
+    /// drained its local work back to the survivors.  Removes the worker
+    /// from the lease — the slot is struck from `held_slots` *before* the
+    /// [`Control::Released`] message is sent, so the dispatcher can hand it
+    /// out again without racing the search's own teardown — and records
+    /// the request → acknowledgement latency.
+    pub(crate) fn ack_retire(&self, worker_id: usize) {
+        let mut inner = self.inner.lock().expect("grant lock");
+        let slot = inner
+            .assignments
+            .iter()
+            .position(|(w, _)| *w == worker_id)
+            .map(|pos| inner.assignments.remove(pos).1);
+        if let Some(slot) = slot {
+            inner.held_slots.retain(|&s| s != slot);
+        }
+        inner.free_ids.push(worker_id);
+        inner.worker_count = inner.worker_count.saturating_sub(1);
+        inner.retiring = inner.retiring.saturating_sub(1);
+        let latency = inner
+            .revocations
+            .pop_front()
+            .map(|requested| requested.elapsed())
+            .unwrap_or_default();
+        drop(inner);
+        self.workers_preempted.fetch_add(1, Ordering::Relaxed);
+        self.revocation_ns
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = slot {
+            let _ = self.released_tx.send(Control::Released {
+                search_id: self.search_id,
+                slot,
+                latency,
+            });
+        }
+    }
+
+    /// Dispatcher-side teardown at search finish: clear any unclaimed
+    /// revocation requests and return the remaining lease
+    /// `(workers, slots)` for reclamation.  Every acknowledgement
+    /// happens-before the driver's `Finished` message, so the returned
+    /// numbers are settled.
+    fn teardown(&self) -> (usize, Vec<usize>) {
+        let mut inner = self.inner.lock().expect("grant lock");
+        inner.hook = None;
+        inner.revocations.clear();
+        self.revoke_pending.store(0, Ordering::Relaxed);
+        (inner.worker_count, std::mem::take(&mut inner.held_slots))
+    }
+}
+
+/// Per-session worker-quota accounting (see [`Session::with_max_workers`]):
+/// the dispatcher holds a session's submissions back — and caps what it
+/// shows the policy — so the session's total granted workers never exceed
+/// the cap, and accumulates how long submissions sat quota-throttled.
+#[derive(Debug, Default)]
+pub(crate) struct SessionQuota {
+    max_workers: usize,
+    /// Workers currently granted across the session's searches (including
+    /// unacknowledged revocations).
+    in_flight: AtomicUsize,
+    throttled_ns: AtomicU64,
+}
+
+impl SessionQuota {
+    fn remaining(&self) -> usize {
+        self.max_workers
+            .saturating_sub(self.in_flight.load(Ordering::Relaxed))
+    }
+
+    fn add_throttled(&self, held: Duration) {
+        self.throttled_ns
+            .fetch_add(held.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn throttled(&self) -> Duration {
+        Duration::from_nanos(self.throttled_ns.load(Ordering::Relaxed))
     }
 }
 
@@ -366,6 +792,13 @@ pub struct RuntimeConfig {
     /// [`RuntimeGauge`](crate::trace::TraceEvent::RuntimeGauge) events.
     /// `None` (the default) disables the sampler.
     pub gauge_period: Option<Duration>,
+    /// How often the dispatcher re-plans elastic leases while a concurrent
+    /// policy has running or pending searches: each tick it snapshots the
+    /// running set and executes the policy's
+    /// [`replan`](crate::schedule::SchedulePolicy::replan) adjustments.
+    /// Irrelevant — and costless — under a serial policy, which keeps the
+    /// dispatcher on a pure blocking receive.  Default 5 ms.
+    pub replan_period: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -378,6 +811,7 @@ impl Default for RuntimeConfig {
             queue_capacity: 256,
             trace: false,
             gauge_period: None,
+            replan_period: Duration::from_millis(5),
         }
     }
 }
@@ -405,6 +839,13 @@ impl RuntimeConfig {
     /// [`trace`](RuntimeConfig::trace) to record anywhere).
     pub fn gauge_period(mut self, period: Duration) -> Self {
         self.gauge_period = Some(period);
+        self
+    }
+
+    /// Set the elastic re-planning period (see
+    /// [`replan_period`](RuntimeConfig::replan_period)).
+    pub fn replan_period(mut self, period: Duration) -> Self {
+        self.replan_period = period.max(Duration::from_micros(1));
         self
     }
 }
@@ -444,6 +885,12 @@ pub(crate) struct ExecutionGrant {
     /// Time from submission to grant, recorded by the dispatcher at grant
     /// time (the submitter never self-reports its wait).
     pub(crate) queue_wait: Duration,
+    /// The shared, versioned lease state — `Some` exactly when the grant is
+    /// *elastic* (concurrent policy): the dispatcher renegotiates the lease
+    /// through it, and the engine routes the run through
+    /// [`WorkerPool::scoped_run_elastic`] and polls it for revocations.
+    /// `None` keeps the fixed-for-life PR 4 semantics.
+    pub(crate) core: Option<Arc<GrantCore>>,
 }
 
 /// A submitted search job: runs once the scheduler grants it workers.
@@ -454,6 +901,14 @@ type Job = Box<dyn FnOnce(ExecutionGrant) + Send + 'static>;
 struct Submission {
     search_id: u64,
     requested_workers: usize,
+    /// Scheduling priority ([`SearchConfig::priority`]), surfaced to the
+    /// policy on every plan/replan.
+    priority: Priority,
+    /// The request's wall-clock budget ([`SearchConfig::deadline`]),
+    /// surfaced to deadline-aware policies for admission ordering.
+    deadline: Option<Duration>,
+    /// The submitting session's worker quota, if capped.
+    quota: Option<Arc<SessionQuota>>,
     /// The search's (leaf) cancel token — the dispatcher pre-cancels queued
     /// submissions on [`ShutdownMode::Now`].
     cancel: CancelToken,
@@ -476,6 +931,15 @@ enum Control {
         workers: usize,
         slots: Vec<usize>,
     },
+    /// A worker acknowledged a revocation and left its search mid-run; its
+    /// slot and one worker of budget return to the free pools.  Sent by
+    /// [`GrantCore::ack_retire`] *after* the slot was struck from the
+    /// lease, so this never races the search's own `Finished` reclaim.
+    Released {
+        search_id: u64,
+        slot: usize,
+        latency: Duration,
+    },
     Shutdown(ShutdownMode),
 }
 
@@ -489,6 +953,9 @@ struct PoolGauges {
     queued_searches: AtomicUsize,
     completed_searches: AtomicU64,
     total_queue_wait_micros: AtomicU64,
+    grant_changes: AtomicU64,
+    workers_preempted: AtomicU64,
+    revocation_ns: AtomicU64,
 }
 
 impl PoolGauges {
@@ -502,6 +969,9 @@ impl PoolGauges {
             total_queue_wait: Duration::from_micros(
                 self.total_queue_wait_micros.load(Ordering::Relaxed),
             ),
+            grant_changes: self.grant_changes.load(Ordering::Relaxed),
+            workers_preempted: self.workers_preempted.load(Ordering::Relaxed),
+            revocation_latency: Duration::from_nanos(self.revocation_ns.load(Ordering::Relaxed)),
         }
     }
 }
@@ -509,6 +979,26 @@ impl PoolGauges {
 /// A submission the dispatcher has received but not yet granted workers.
 struct QueuedSearch {
     submission: Submission,
+    /// When the submission last became quota-held; taken (and accumulated
+    /// into the session's throttled time) the moment it is eligible again.
+    throttle_started: Option<Instant>,
+}
+
+/// Dispatcher-side state of one running elastic search: the lease's shared
+/// core plus the request attributes the policy sees on every replan.
+struct ActiveSearch {
+    core: Arc<GrantCore>,
+    cancel: CancelToken,
+    priority: Priority,
+    requested_workers: usize,
+    started: Instant,
+    /// The dispatcher's view of the lease size: grant + executed grows −
+    /// acknowledged revocations.
+    workers: usize,
+    /// Revocations requested but not yet acknowledged.
+    pending_revocations: usize,
+    preempted: bool,
+    quota: Option<Arc<SessionQuota>>,
 }
 
 /// The allocator loop state: owns the pending queue, the free worker budget
@@ -530,6 +1020,13 @@ struct Dispatcher {
     /// Driver threads of concurrently running searches, joined on their
     /// `Finished` message.
     drivers: HashMap<u64, JoinHandle<()>>,
+    /// Elastic leases of the currently running searches (concurrent
+    /// policies only; empty under Fifo).
+    elastic: HashMap<u64, ActiveSearch>,
+    /// The pool, for dispatching grown workers onto newly leased slots.
+    pool: Arc<WorkerPool>,
+    /// Elastic re-planning tick ([`RuntimeConfig::replan_period`]).
+    replan_period: Duration,
     gauges: Arc<PoolGauges>,
     draining: Option<ShutdownMode>,
     /// Flight recorder for queue/grant/finish transitions (off by default).
@@ -542,9 +1039,23 @@ impl Dispatcher {
             if self.draining.is_some() && self.pending.is_empty() && self.active == 0 {
                 break;
             }
-            match self.rx.recv() {
-                Ok(msg) => self.handle(msg),
-                Err(_) => {
+            // A concurrent policy with anything in flight re-plans on a
+            // timer; otherwise the dispatcher parks on a pure blocking
+            // receive (the Fifo fast path, unchanged).
+            let tick = self.policy.concurrent() && (self.active > 0 || !self.pending.is_empty());
+            let received = if tick {
+                match self.rx.recv_timeout(self.replan_period) {
+                    Ok(msg) => Ok(Some(msg)),
+                    Err(RecvTimeoutError::Timeout) => Ok(None),
+                    Err(RecvTimeoutError::Disconnected) => Err(()),
+                }
+            } else {
+                self.rx.recv().map(Some).map_err(|_| ())
+            };
+            match received {
+                Ok(Some(msg)) => self.handle(msg),
+                Ok(None) => {}
+                Err(()) => {
                     // Unreachable by construction — `finished_tx` keeps the
                     // channel open for this loop's whole lifetime (`Drop`
                     // terminates via an explicit `Shutdown` message).  Kept
@@ -564,6 +1075,9 @@ impl Dispatcher {
                 self.handle(msg);
             }
             self.dispatch();
+            if self.policy.concurrent() {
+                self.replan();
+            }
         }
         for (_, driver) in self.drivers.drain() {
             let _ = driver.join();
@@ -582,7 +1096,10 @@ impl Dispatcher {
                 self.tracer.control(TraceEvent::SearchQueued {
                     search_id: submission.search_id,
                 });
-                self.pending.push_back(QueuedSearch { submission });
+                self.pending.push_back(QueuedSearch {
+                    submission,
+                    throttle_started: None,
+                });
             }
             Control::Finished {
                 search_id,
@@ -591,12 +1108,55 @@ impl Dispatcher {
             } => {
                 self.tracer
                     .control(TraceEvent::SearchFinished { search_id });
-                self.reclaim(workers, slots);
+                if let Some(entry) = self.elastic.remove(&search_id) {
+                    // Elastic lease: the launch-time payload is stale after
+                    // grows/shrinks — reclaim what the core still holds.
+                    // Every acknowledgement happens-before this message, so
+                    // the teardown numbers are settled.
+                    let (workers, slots) = entry.core.teardown();
+                    if let Some(quota) = &entry.quota {
+                        quota.in_flight.fetch_sub(workers, Ordering::Relaxed);
+                    }
+                    self.reclaim(workers, slots);
+                } else {
+                    self.reclaim(workers, slots);
+                }
                 if let Some(driver) = self.drivers.remove(&search_id) {
                     // The driver sent `Finished` as its last action; the
                     // join returns promptly and keeps the thread count
                     // bounded by the number of *running* searches.
                     let _ = driver.join();
+                }
+            }
+            Control::Released {
+                search_id,
+                slot,
+                latency,
+            } => {
+                // Processed without consulting the active map: the slot was
+                // already struck from the lease before this message was
+                // sent, so crediting it here cannot double-count against
+                // the search's finish-time reclaim.
+                self.free_slots.push(slot);
+                self.free_workers = (self.free_workers + 1).min(self.capacity);
+                self.gauges.granted_workers.fetch_sub(1, Ordering::Relaxed);
+                self.gauges
+                    .workers_preempted
+                    .fetch_add(1, Ordering::Relaxed);
+                self.gauges
+                    .revocation_ns
+                    .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+                self.tracer.control(TraceEvent::WorkerRevoked {
+                    search_id,
+                    slot: slot as u32,
+                    latency_ns: latency.as_nanos() as u64,
+                });
+                if let Some(entry) = self.elastic.get_mut(&search_id) {
+                    entry.workers = entry.workers.saturating_sub(1);
+                    entry.pending_revocations = entry.pending_revocations.saturating_sub(1);
+                    if let Some(quota) = &entry.quota {
+                        quota.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
             }
             Control::Shutdown(mode) => {
@@ -626,6 +1186,55 @@ impl Dispatcher {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The policy's view of the queue: quota-eligible submissions only
+    /// (requests capped to their session's remaining quota), paired with a
+    /// map from request index back to the `pending` index.  Over-quota
+    /// submissions are held back — queued, not errored — and their hold
+    /// time is accumulated as session throttled time the moment they become
+    /// eligible again.
+    fn eligible_requests(&mut self, now: Instant) -> (Vec<PendingRequest>, Vec<usize>) {
+        let mut requests = Vec::with_capacity(self.pending.len());
+        let mut eligible = Vec::with_capacity(self.pending.len());
+        // Quota already spoken for by *earlier requests in this round*: two
+        // same-session submissions arriving in one control batch must not
+        // both be measured against the pre-launch `in_flight`, or one plan
+        // round could admit past the cap.  Conservative (charges the capped
+        // request even if the policy grants less); an under-admitted session
+        // becomes eligible again on the next tick.
+        let mut reserved: HashMap<*const SessionQuota, usize> = HashMap::new();
+        for (index, queued) in self.pending.iter_mut().enumerate() {
+            let cap = match &queued.submission.quota {
+                Some(quota) => {
+                    let already = reserved.get(&Arc::as_ptr(quota)).copied().unwrap_or(0);
+                    let remaining = quota.remaining().saturating_sub(already);
+                    if remaining == 0 {
+                        queued.throttle_started.get_or_insert(now);
+                        continue;
+                    }
+                    remaining
+                }
+                None => usize::MAX,
+            };
+            if let (Some(started), Some(quota)) =
+                (queued.throttle_started.take(), &queued.submission.quota)
+            {
+                quota.add_throttled(now.duration_since(started));
+            }
+            let requested = queued.submission.requested_workers.min(cap);
+            if let Some(quota) = &queued.submission.quota {
+                *reserved.entry(Arc::as_ptr(quota)).or_insert(0) += requested;
+            }
+            requests.push(PendingRequest {
+                requested_workers: requested,
+                queued_for: now.duration_since(queued.submission.submitted_at),
+                priority: queued.submission.priority,
+                deadline: queued.submission.deadline,
+            });
+            eligible.push(index);
+        }
+        (requests, eligible)
+    }
+
     /// Ask the policy for admissions and execute them, repeating until the
     /// policy admits nothing (a serial policy's inline run frees the pool,
     /// so one `dispatch` call can drain a whole FIFO queue).
@@ -635,14 +1244,10 @@ impl Dispatcher {
                 return;
             }
             let now = Instant::now();
-            let requests: Vec<PendingRequest> = self
-                .pending
-                .iter()
-                .map(|q| PendingRequest {
-                    requested_workers: q.submission.requested_workers,
-                    queued_for: now.duration_since(q.submission.submitted_at),
-                })
-                .collect();
+            let (requests, eligible) = self.eligible_requests(now);
+            if requests.is_empty() {
+                return;
+            }
             let admissions =
                 self.policy
                     .plan(&requests, self.free_workers, self.capacity, self.active);
@@ -653,13 +1258,14 @@ impl Dispatcher {
                 admissions.windows(2).all(|w| w[0].index < w[1].index),
                 "admission indices must be strictly increasing"
             );
-            // Pop admitted submissions back-to-front so indices stay valid,
+            // Pop admitted submissions back-to-front so indices stay valid
+            // (`eligible` is increasing, so the mapped indices are too),
             // then launch in queue order.
             let mut admitted: Vec<(QueuedSearch, usize)> = Vec::with_capacity(admissions.len());
             for Admission { index, workers } in admissions.into_iter().rev() {
                 let queued = self
                     .pending
-                    .remove(index)
+                    .remove(eligible[index])
                     .expect("policy admitted a pending index");
                 admitted.push((queued, workers.max(1)));
             }
@@ -676,16 +1282,48 @@ impl Dispatcher {
     /// thread under a serial policy (the PR 4 fast path), on a dedicated
     /// driver thread under a concurrent one.
     fn launch(&mut self, queued: QueuedSearch, workers: usize) {
-        let QueuedSearch { submission } = queued;
+        let QueuedSearch { submission, .. } = queued;
         // Worker 0 runs on the driver; workers 1.. need pool threads.  A
         // FIFO oversubscribed grant takes every free slot and round-robins.
         let lease_len = workers.saturating_sub(1).min(self.free_slots.len());
         let slots: Vec<usize> = self.free_slots.drain(..lease_len).collect();
+        // Concurrent policies never oversubscribe (their grants are capped
+        // to the free budget, and `free_slots ≥ free_workers − 1 + active`
+        // holds inductively), so every concurrent grant is fully leased and
+        // therefore elastic: one pool slot per helper, renegotiable.
+        let core = self.policy.concurrent().then(|| {
+            Arc::new(GrantCore::new(
+                submission.search_id,
+                workers,
+                &slots,
+                self.finished_tx.clone(),
+            ))
+        });
+        if let Some(quota) = &submission.quota {
+            quota.in_flight.fetch_add(workers, Ordering::Relaxed);
+        }
+        if let Some(core) = &core {
+            self.elastic.insert(
+                submission.search_id,
+                ActiveSearch {
+                    core: Arc::clone(core),
+                    cancel: submission.cancel.clone(),
+                    priority: submission.priority,
+                    requested_workers: submission.requested_workers,
+                    started: Instant::now(),
+                    workers,
+                    pending_revocations: 0,
+                    preempted: false,
+                    quota: submission.quota.clone(),
+                },
+            );
+        }
         let grant = ExecutionGrant {
             search_id: submission.search_id,
             workers,
             slots: slots.clone(),
             queue_wait: submission.submitted_at.elapsed(),
+            core,
         };
         self.active += 1;
         self.free_workers = self.free_workers.saturating_sub(workers);
@@ -730,8 +1368,133 @@ impl Dispatcher {
             job(grant);
             self.tracer
                 .control(TraceEvent::SearchFinished { search_id });
+            if let Some(quota) = &submission.quota {
+                quota.in_flight.fetch_sub(workers, Ordering::Relaxed);
+            }
             self.reclaim(workers, slots);
         }
+    }
+
+    /// One elastic re-planning round: snapshot the running and pending
+    /// sets, ask the policy for [`Adjustment`]s and execute them in order,
+    /// best-effort.  No-op while nothing is running or waiting.
+    fn replan(&mut self) {
+        if self.elastic.is_empty() && self.pending.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut running: Vec<RunningSearch> = self
+            .elastic
+            .iter()
+            .map(|(&search_id, entry)| RunningSearch {
+                search_id,
+                workers: entry.workers,
+                requested_workers: entry.requested_workers,
+                priority: entry.priority,
+                elastic: true,
+                running_for: now.duration_since(entry.started),
+                pending_revocations: entry.pending_revocations,
+                preempted: entry.preempted,
+            })
+            .collect();
+        // Deterministic order for the policy regardless of map iteration.
+        running.sort_by_key(|search| search.search_id);
+        let (requests, _) = self.eligible_requests(now);
+        let adjustments = self
+            .policy
+            .replan(&running, &requests, self.free_workers, self.capacity);
+        for adjustment in adjustments {
+            match adjustment {
+                Adjustment::Grow { search, workers } => self.execute_grow(search, workers),
+                Adjustment::Shrink { search, workers } => self.execute_shrink(search, workers),
+                Adjustment::Preempt { search } => self.execute_preempt(search),
+            }
+        }
+    }
+
+    /// Lease up to `want` extra workers onto a running search — bounded by
+    /// the free budget, the free slots, and the search's session quota.
+    fn execute_grow(&mut self, search: u64, want: usize) {
+        let Some(entry) = self.elastic.get_mut(&search) else {
+            return;
+        };
+        if entry.preempted {
+            return;
+        }
+        let quota_room = entry
+            .quota
+            .as_ref()
+            .map(|quota| quota.remaining())
+            .unwrap_or(usize::MAX);
+        let want = want
+            .min(self.free_workers)
+            .min(self.free_slots.len())
+            .min(quota_room);
+        let mut grown = 0;
+        for _ in 0..want {
+            let Some(slot) = self.free_slots.pop() else {
+                break;
+            };
+            if entry.core.try_attach(slot, &self.pool) {
+                grown += 1;
+            } else {
+                // The search has not armed yet or is finishing — keep the
+                // slot and stop; a later round can retry.
+                self.free_slots.push(slot);
+                break;
+            }
+        }
+        if grown > 0 {
+            entry.workers += grown;
+            self.free_workers -= grown;
+            if let Some(quota) = &entry.quota {
+                quota.in_flight.fetch_add(grown, Ordering::Relaxed);
+            }
+            entry.core.grant_changes.fetch_add(1, Ordering::Relaxed);
+            self.gauges
+                .granted_workers
+                .fetch_add(grown, Ordering::Relaxed);
+            self.gauges.grant_changes.fetch_add(1, Ordering::Relaxed);
+            self.tracer.control(TraceEvent::GrantGrown {
+                search_id: search,
+                workers: entry.workers as u32,
+            });
+        }
+    }
+
+    /// Issue cooperative revocation requests against a running search; the
+    /// workers leave (and their slots return) asynchronously, at their next
+    /// lifecycle polls.
+    fn execute_shrink(&mut self, search: u64, want: usize) {
+        let Some(entry) = self.elastic.get_mut(&search) else {
+            return;
+        };
+        if entry.preempted {
+            return;
+        }
+        let issued = entry.core.request_revoke(want);
+        if issued > 0 {
+            entry.pending_revocations += issued;
+            self.gauges.grant_changes.fetch_add(1, Ordering::Relaxed);
+            self.tracer.control(TraceEvent::GrantShrunk {
+                search_id: search,
+                workers: (entry.workers - entry.pending_revocations) as u32,
+            });
+        }
+    }
+
+    /// Cancel a running search outright: it resolves `Cancelled` with its
+    /// partial incumbent at its next poll and its whole lease returns
+    /// through the normal finish path.
+    fn execute_preempt(&mut self, search: u64) {
+        let Some(entry) = self.elastic.get_mut(&search) else {
+            return;
+        };
+        if entry.preempted {
+            return;
+        }
+        entry.preempted = true;
+        entry.cancel.cancel();
     }
 }
 
@@ -801,6 +1564,9 @@ impl Runtime {
             pending: VecDeque::new(),
             active: 0,
             drivers: HashMap::new(),
+            elastic: HashMap::new(),
+            pool: Arc::clone(&pool),
+            replan_period: config.replan_period,
             gauges: Arc::clone(&gauges),
             draining: None,
             tracer: tracer.clone(),
@@ -885,6 +1651,7 @@ impl Runtime {
             runtime: self,
             scope: self.root.child(),
             state: Arc::new(SessionState::default()),
+            quota: None,
             armed: true,
         }
     }
@@ -901,6 +1668,7 @@ impl Runtime {
     {
         self.submit_scoped(
             &self.root,
+            None,
             None,
             problem,
             config,
@@ -923,6 +1691,7 @@ impl Runtime {
         self.submit_scoped(
             &self.root,
             None,
+            None,
             problem,
             config,
             |skeleton, problem| skeleton.maximise(problem),
@@ -943,6 +1712,7 @@ impl Runtime {
         self.submit_scoped(
             &self.root,
             None,
+            None,
             problem,
             config,
             |skeleton, problem| skeleton.decide(problem),
@@ -954,10 +1724,12 @@ impl Runtime {
     /// `parent`, wrap the search into a grant-accepting job, and hand it to
     /// the dispatcher.  `status_of` lets the (type-erased) session
     /// aggregation read the outcome's terminal status.
+    #[allow(clippy::too_many_arguments)]
     fn submit_scoped<P, T>(
         &self,
         parent: &CancelToken,
         session: Option<Arc<SessionState>>,
+        quota: Option<Arc<SessionQuota>>,
         problem: P,
         config: &SearchConfig,
         run: impl FnOnce(&Skeleton, &P) -> T + Send + 'static,
@@ -1009,6 +1781,9 @@ impl Runtime {
             .send(Control::Submit(Submission {
                 search_id,
                 requested_workers: config.workers.max(1),
+                priority: config.priority,
+                deadline: config.deadline,
+                quota,
                 cancel: cancel.clone(),
                 submitted_at: Instant::now(),
                 job,
@@ -1099,6 +1874,7 @@ impl SessionState {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
+            throttled: Duration::ZERO,
         }
     }
 }
@@ -1118,6 +1894,11 @@ pub struct SessionStatus {
     pub deadline_exceeded: u64,
     /// Searches that panicked (the panic re-raises on their handle).
     pub panicked: u64,
+    /// Total time the session's submissions spent *quota-held*: queued
+    /// beyond what the scheduler alone would impose because the session was
+    /// at its [`with_max_workers`](Session::with_max_workers) cap.  Always
+    /// zero for uncapped sessions.
+    pub throttled: Duration,
 }
 
 impl SessionStatus {
@@ -1166,6 +1947,9 @@ pub struct Session<'rt> {
     runtime: &'rt Runtime,
     scope: CancelToken,
     state: Arc<SessionState>,
+    /// Worker quota shared by every submission made through this session
+    /// ([`Session::with_max_workers`]); `None` = uncapped.
+    quota: Option<Arc<SessionQuota>>,
     /// Drop cancels the scope unless the session was detached.
     armed: bool,
 }
@@ -1180,6 +1964,20 @@ impl std::fmt::Debug for Session<'_> {
 }
 
 impl Session<'_> {
+    /// Cap the session's total concurrently granted workers at `max`
+    /// (floored at 1).  Submissions that would push the session past the
+    /// cap are *queued*, never errored: the dispatcher holds them back —
+    /// and caps what it shows the policy — until enough of the session's
+    /// other searches finish or shrink, and reports the accumulated hold
+    /// time as [`SessionStatus::throttled`].
+    pub fn with_max_workers(mut self, max: usize) -> Self {
+        self.quota = Some(Arc::new(SessionQuota {
+            max_workers: max.max(1),
+            ..SessionQuota::default()
+        }));
+        self
+    }
+
     /// Submit an enumeration search under this session's scope.
     pub fn enumerate<P>(
         &self,
@@ -1193,6 +1991,7 @@ impl Session<'_> {
         self.runtime.submit_scoped(
             &self.scope,
             Some(Arc::clone(&self.state)),
+            self.quota.clone(),
             problem,
             config,
             |skeleton, problem| skeleton.enumerate(problem),
@@ -1213,6 +2012,7 @@ impl Session<'_> {
         self.runtime.submit_scoped(
             &self.scope,
             Some(Arc::clone(&self.state)),
+            self.quota.clone(),
             problem,
             config,
             |skeleton, problem| skeleton.maximise(problem),
@@ -1233,6 +2033,7 @@ impl Session<'_> {
         self.runtime.submit_scoped(
             &self.scope,
             Some(Arc::clone(&self.state)),
+            self.quota.clone(),
             problem,
             config,
             |skeleton, problem| skeleton.decide(problem),
@@ -1254,7 +2055,11 @@ impl Session<'_> {
 
     /// Snapshot of the session's aggregated search statuses.
     pub fn status(&self) -> SessionStatus {
-        self.state.snapshot()
+        let mut status = self.state.snapshot();
+        if let Some(quota) = &self.quota {
+            status.throttled = quota.throttled();
+        }
+        status
     }
 
     /// Consume the session *without* cancelling its searches: they keep
@@ -1905,6 +2710,178 @@ mod tests {
             "a detached session must not cancel"
         );
         assert_eq!(out.value.0, expected);
+    }
+
+    /// End-to-end elastic lease lifecycle under FairShare: a lone search is
+    /// grown into the idle capacity; a newcomer forces the over-grant back
+    /// through cooperative revocation; both searches resolve cleanly and the
+    /// renegotiations surface on the stats and the outcome metrics.
+    #[test]
+    fn elastic_lease_grows_into_idle_capacity_and_shrinks_for_newcomers() {
+        use crate::schedule::FairShare;
+        let runtime = Runtime::with_policy(
+            RuntimeConfig::default()
+                .workers(8)
+                .replan_period(Duration::from_millis(1)),
+            Box::new(FairShare),
+        );
+        let mut bg_cfg = config(Coordination::depth_bounded(3), 2);
+        bg_cfg.deadline = Some(Duration::from_millis(400));
+        let background = runtime.maximise(Endless, &bg_cfg);
+        // Wait for the replanner to lease idle workers onto the lone search.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while runtime.stats().grant_changes == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            runtime.stats().grant_changes > 0,
+            "idle-time growth never fired"
+        );
+        // A newcomer can only be admitted by revoking the over-grant.
+        let p = Irregular { depth: 7 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let out = runtime
+            .enumerate(
+                Irregular { depth: 7 },
+                &config(Coordination::depth_bounded(2), 2),
+            )
+            .wait();
+        assert_eq!(out.value.0, expected);
+        assert!(out.status.is_complete());
+        assert_eq!(out.metrics.outstanding_tasks, 0);
+        let bg = background.wait();
+        assert_eq!(
+            bg.status,
+            crate::lifecycle::SearchStatus::DeadlineExceeded,
+            "the background search runs to its deadline"
+        );
+        assert!(
+            bg.metrics.grant_changes >= 1,
+            "the background lease must have been renegotiated"
+        );
+        assert_eq!(bg.metrics.outstanding_tasks, 0);
+        let stats = runtime.stats();
+        assert!(
+            stats.workers_preempted >= 1,
+            "admitting the newcomer must have revoked at least one worker"
+        );
+        assert!(stats.revocation_latency > Duration::ZERO);
+        assert!(stats.grant_changes >= 2, "at least one grow and one shrink");
+    }
+
+    /// Session quota: an over-quota submission queues (never errors) until
+    /// the session's running searches return workers, and the hold time is
+    /// reported as throttled time on the session status.
+    #[test]
+    fn session_quota_queues_over_quota_submissions_and_reports_throttled_time() {
+        use crate::schedule::FairShare;
+        let runtime = Runtime::with_policy(
+            RuntimeConfig::default()
+                .workers(4)
+                .replan_period(Duration::from_millis(1)),
+            Box::new(FairShare),
+        );
+        let session = runtime.session().with_max_workers(2);
+        let mut first_cfg = config(Coordination::depth_bounded(3), 2);
+        first_cfg.deadline = Some(Duration::from_millis(60));
+        let first = session.maximise(Endless, &first_cfg);
+        // Submitted while the first search holds the whole session quota —
+        // two free pool workers exist, but the session may not use them.
+        let p = Irregular { depth: 7 };
+        let expected = crate::node::subtree_size(&p, &p.root());
+        let second = session.enumerate(
+            Irregular { depth: 7 },
+            &config(Coordination::depth_bounded(2), 2),
+        );
+        let first_out = first.wait();
+        assert_eq!(
+            first_out.status,
+            crate::lifecycle::SearchStatus::DeadlineExceeded
+        );
+        let second_out = second.wait();
+        assert!(second_out.status.is_complete());
+        assert_eq!(second_out.value.0, expected);
+        assert!(
+            second_out.metrics.queue_wait >= Duration::from_millis(20),
+            "the second search must wait out the quota, waited {:?}",
+            second_out.metrics.queue_wait
+        );
+        let status = session.status();
+        assert!(
+            status.throttled > Duration::ZERO,
+            "the hold must be reported as session throttled time"
+        );
+        assert_eq!(status.submitted, 2);
+    }
+
+    /// A scripted policy that preempts whatever has run for a while: the
+    /// victim resolves `Cancelled` with its partial incumbent and clean
+    /// outstanding-task accounting, and the runtime survives.
+    #[test]
+    fn preempted_search_resolves_cancelled_with_partial_incumbent() {
+        use crate::schedule::{
+            Adjustment, Admission, PendingRequest, RunningSearch, SchedulePolicy,
+        };
+        struct PreemptEverything;
+        impl SchedulePolicy for PreemptEverything {
+            fn name(&self) -> &'static str {
+                "preempt-everything"
+            }
+            fn concurrent(&self) -> bool {
+                true
+            }
+            fn plan(
+                &mut self,
+                pending: &[PendingRequest],
+                free_workers: usize,
+                _capacity: usize,
+                _active: usize,
+            ) -> Vec<Admission> {
+                let mut free = free_workers;
+                let mut admissions = Vec::new();
+                for (index, request) in pending.iter().enumerate() {
+                    if free == 0 {
+                        break;
+                    }
+                    let workers = request.requested_workers.clamp(1, free);
+                    free -= workers;
+                    admissions.push(Admission { index, workers });
+                }
+                admissions
+            }
+            fn replan(
+                &mut self,
+                running: &[RunningSearch],
+                _pending: &[PendingRequest],
+                _free_workers: usize,
+                _capacity: usize,
+            ) -> Vec<Adjustment> {
+                running
+                    .iter()
+                    // Let the search run long enough to establish an
+                    // incumbent before the axe falls.
+                    .filter(|s| !s.preempted && s.running_for >= Duration::from_millis(20))
+                    .map(|s| Adjustment::Preempt {
+                        search: s.search_id,
+                    })
+                    .collect()
+            }
+        }
+        let runtime = Runtime::with_policy(
+            RuntimeConfig::default()
+                .workers(4)
+                .replan_period(Duration::from_millis(2)),
+            Box::new(PreemptEverything),
+        );
+        let out = runtime
+            .maximise(Endless, &config(Coordination::depth_bounded(3), 4))
+            .wait();
+        assert_eq!(out.status, crate::lifecycle::SearchStatus::Cancelled);
+        assert!(
+            out.try_score().is_some(),
+            "a preempted optimisation keeps its partial incumbent"
+        );
+        assert_eq!(out.metrics.outstanding_tasks, 0);
     }
 
     #[test]

@@ -19,17 +19,48 @@
 //!   at the worker count it requested).  Two searches requesting half an
 //!   8-worker pool each therefore run *concurrently* on disjoint 4-worker
 //!   subsets instead of serialising.
+//! * [`DeadlineShare`] — priority- and deadline-aware elastic scheduling:
+//!   admission is priority-weighted, idle workers grow running searches, and
+//!   an urgent arrival *reclaims* workers from long-running low-priority
+//!   searches (cooperative revocation) or preempts them outright instead of
+//!   waiting for the background makespan.
 //!
-//! A policy only *plans* ([`SchedulePolicy::plan`]): it maps the pending
-//! queue and the free-worker count to admissions.  It never touches threads
-//! or slots, which keeps implementations pure and unit-testable — and lets
-//! the discrete-event simulator drive the *same* policy objects in virtual
-//! time (`yewpar_sim::simulate_multiplexed`), so fairness properties can be
-//! asserted deterministically.
+//! Since PR 8 a grant is a renegotiable *lease*, not a one-shot decision: in
+//! addition to [`plan`](SchedulePolicy::plan) (admission) policies may
+//! implement [`replan`](SchedulePolicy::replan), which maps the *running*
+//! set and the still-pending queue to a list of [`Adjustment`]s — growing a
+//! live search onto idle workers, shrinking it via cooperative revocation,
+//! or preempting it entirely.  Policies only *decide*; the runtime executes
+//! (leasing extra slots onto the live search, issuing revocation requests
+//! that workers acknowledge at their next lifecycle poll).  This keeps
+//! implementations pure and unit-testable — and lets the discrete-event
+//! simulator drive the *same* policy objects in virtual time
+//! (`yewpar_sim::simulate_multiplexed` / `simulate_multiplexed_elastic`), so
+//! fairness and revocation-latency bounds can be asserted to the tick.
 //!
 //! [`Runtime`]: crate::runtime::Runtime
 
 use std::time::Duration;
+
+/// Scheduling priority of a submission, ordered lowest to highest.  The
+/// default is [`Normal`](Priority::Normal); [`Fifo`] and [`FairShare`]
+/// ignore priorities, [`DeadlineShare`] weights admission by them and only
+/// reclaims workers for [`High`](Priority::High)/[`Urgent`](Priority::Urgent)
+/// arrivals (preemption is reserved for `Urgent`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: first to shrink, first to preempt.
+    Low,
+    /// The default for every submission that does not say otherwise.
+    #[default]
+    Normal,
+    /// Latency-sensitive: admitted ahead of `Normal` work and allowed to
+    /// reclaim workers from running lower-priority searches.
+    High,
+    /// Interactive / contractual latency: may additionally *preempt*
+    /// lower-priority searches when reclamation alone cannot make room.
+    Urgent,
+}
 
 /// A submission waiting in the runtime's queue, as seen by a policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +74,68 @@ pub struct PendingRequest {
     /// never self-reports).  Time spent in the submission channel while the
     /// dispatcher runs a FIFO job inline therefore counts as waiting.
     pub queued_for: Duration,
+    /// Scheduling priority ([`Priority::Normal`] unless the submitting
+    /// session set one).
+    pub priority: Priority,
+    /// The submission's wall-clock budget
+    /// ([`SearchConfig::deadline`](crate::params::SearchConfig::deadline)),
+    /// if any — a deadline-bearing request is treated as more latency
+    /// sensitive by [`DeadlineShare`] (soonest first within a priority).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for PendingRequest {
+    fn default() -> Self {
+        PendingRequest {
+            requested_workers: 1,
+            queued_for: Duration::ZERO,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+}
+
+/// A live search, as seen by [`SchedulePolicy::replan`].  Snapshots are
+/// taken by the dispatcher at each replanning instant and are ordered by
+/// `search_id` (i.e. admission order) for determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunningSearch {
+    /// The runtime-assigned search id ([`Adjustment`]s refer to it).
+    pub search_id: u64,
+    /// Workers currently leased to the search (the *target* count: workers
+    /// whose revocation is already pending are still included here — see
+    /// [`pending_revocations`](RunningSearch::pending_revocations)).
+    pub workers: usize,
+    /// The worker count the search originally asked for.
+    pub requested_workers: usize,
+    /// Scheduling priority the search was submitted with.
+    pub priority: Priority,
+    /// Whether the lease is renegotiable.  Non-elastic searches (anything
+    /// admitted by a serial policy, or oversubscribed grants where several
+    /// workers share a pool thread) keep their fixed grant; `Grow`/`Shrink`
+    /// adjustments targeting them are ignored by the runtime.
+    pub elastic: bool,
+    /// How long the search has been running (grant instant to the
+    /// replanning instant).
+    pub running_for: Duration,
+    /// Revocations issued but not yet acknowledged.  A policy that shrinks
+    /// by `n` sees `pending_revocations` grow by `n` until the workers
+    /// actually leave; subtract it from [`workers`](RunningSearch::workers)
+    /// when computing capacity still to be freed, or the same deficit is
+    /// re-shrunk on every replanning tick.
+    pub pending_revocations: usize,
+    /// Whether the search has already been preempted (cancelled by a
+    /// previous `Preempt` adjustment) and is unwinding.  Its workers are
+    /// capacity-in-flight: count them as incoming, do not reclaim again.
+    pub preempted: bool,
+}
+
+impl RunningSearch {
+    /// Workers the search will still hold once every pending revocation is
+    /// acknowledged (`workers - pending_revocations`).
+    pub fn settled_workers(&self) -> usize {
+        self.workers.saturating_sub(self.pending_revocations)
+    }
 }
 
 /// One admission decision: grant `workers` workers to the pending
@@ -57,14 +150,51 @@ pub struct Admission {
     pub workers: usize,
 }
 
+/// One lease renegotiation decided by [`SchedulePolicy::replan`] and
+/// executed by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjustment {
+    /// Lease `workers` additional pool workers onto the running search
+    /// `search`.  Best-effort: the runtime grows by at most the free
+    /// capacity, and not at all if the search is not elastic.
+    Grow {
+        /// Target [`RunningSearch::search_id`].
+        search: u64,
+        /// Additional workers to lease on.
+        workers: usize,
+    },
+    /// Issue `workers` cooperative revocation requests to the running
+    /// search `search`.  Revoked workers acknowledge at their next
+    /// lifecycle poll: they offload any unexplored subtrees back to the
+    /// survivors, drain their private buffers, and return their slot to the
+    /// dispatcher — no task is ever stranded.  A search is never shrunk
+    /// below one worker.
+    Shrink {
+        /// Target [`RunningSearch::search_id`].
+        search: u64,
+        /// Revocations to issue (capped by the runtime at `workers - 1`).
+        workers: usize,
+    },
+    /// Cancel the running search `search` outright.  The search unwinds
+    /// cooperatively and resolves as `Cancelled`, keeping any partial
+    /// incumbent; its workers return to the pool as it finishes.
+    Preempt {
+        /// Target [`RunningSearch::search_id`].
+        search: u64,
+    },
+}
+
 /// A scheduling policy: decides which pending submissions the runtime
-/// admits, and with how many workers each.
+/// admits (and with how many workers each), and — for elastic policies —
+/// how the leases of *running* searches are renegotiated as load changes.
 ///
 /// The runtime calls [`plan`](SchedulePolicy::plan) whenever the scheduler
 /// state changes (a submission arrives, a search finishes) and then executes
 /// the returned admissions itself: leasing disjoint pool-thread slots,
-/// dispatching the search, and reclaiming the lease when it finishes.  See
-/// the [module docs](self) for the two built-in policies.
+/// dispatching the search, and reclaiming the lease when it finishes.
+/// Under a concurrent policy it additionally calls
+/// [`replan`](SchedulePolicy::replan) on a short periodic tick.  See the
+/// [module docs](self) for the built-in policies.
 pub trait SchedulePolicy: Send + 'static {
     /// Short policy name for logs, metrics and benchmark tables.
     fn name(&self) -> &'static str;
@@ -90,13 +220,51 @@ pub trait SchedulePolicy: Send + 'static {
         capacity: usize,
         active: usize,
     ) -> Vec<Admission>;
+
+    /// Renegotiate the leases of running searches.
+    ///
+    /// Called by the runtime *after* [`plan`](SchedulePolicy::plan) on every
+    /// scheduling tick while searches are active under a concurrent policy
+    /// (serial policies are never replanned — [`Fifo`] keeps its exact
+    /// fixed-grant semantics).  `running` is a snapshot of the active
+    /// searches in admission order; `pending` is whatever the preceding
+    /// `plan` left unadmitted; `free_workers`/`capacity` as in `plan`.
+    ///
+    /// # Contract
+    ///
+    /// * The returned adjustments are **requests**, executed best-effort in
+    ///   order: a `Grow` is capped by the free capacity at execution time, a
+    ///   `Shrink` never takes a search below one worker, and adjustments
+    ///   targeting non-elastic searches (or unknown ids) are ignored.
+    /// * Revocation is **cooperative and asynchronous**: workers leave at
+    ///   their next lifecycle poll, not at the instant of the decision.  Use
+    ///   [`RunningSearch::pending_revocations`] (and
+    ///   [`RunningSearch::preempted`]) to account for capacity already in
+    ///   flight, otherwise the same deficit is re-claimed on every tick and
+    ///   the grant thrashes.
+    /// * Implementations must be deterministic functions of their arguments
+    ///   (plus internal policy state): the virtual-time simulator drives the
+    ///   same policy object through the same snapshots and asserts the
+    ///   resulting schedule to the tick.
+    /// * The default implementation returns no adjustments, so fixed-grant
+    ///   policies need not opt in.
+    fn replan(
+        &mut self,
+        running: &[RunningSearch],
+        pending: &[PendingRequest],
+        free_workers: usize,
+        capacity: usize,
+    ) -> Vec<Adjustment> {
+        let _ = (running, pending, free_workers, capacity);
+        Vec::new()
+    }
 }
 
 /// One search at a time over the whole pool — the PR 4 scheduler and the
 /// default.  The head of the queue is admitted only when the pool is fully
 /// free and is granted exactly the worker count it requested, even beyond
 /// the pool size (oversubscribed workers round-robin onto the leased
-/// threads, exactly as before).
+/// threads, exactly as before).  Grants are never renegotiated.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Fifo;
 
@@ -131,6 +299,59 @@ impl SchedulePolicy for Fifo {
     }
 }
 
+/// Distribute `free` workers round-robin across the elastic running
+/// searches (in the order given), one worker per search per round, growing
+/// them beyond their original requests if necessary: an idle worker helps
+/// some search finish sooner, which is strictly better than idling.
+/// Searches already unwinding (preempted) are skipped.
+fn grow_into_idle(order: &[&RunningSearch], mut free: usize) -> Vec<Adjustment> {
+    let mut extra = vec![0usize; order.len()];
+    while free > 0 {
+        let mut grew = false;
+        for (i, search) in order.iter().enumerate() {
+            if free == 0 {
+                break;
+            }
+            if !search.elastic || search.preempted {
+                continue;
+            }
+            extra[i] += 1;
+            free -= 1;
+            grew = true;
+        }
+        if !grew {
+            break; // No elastic search to grow: the surplus stays free.
+        }
+    }
+    order
+        .iter()
+        .zip(extra)
+        .filter(|&(_, n)| n > 0)
+        .map(|(search, workers)| Adjustment::Grow {
+            search: search.search_id,
+            workers,
+        })
+        .collect()
+}
+
+/// Reclaim what idle-time growth leased beyond each search's original
+/// request (down to `requested_workers`, never below), so arriving
+/// submissions are not starved by earlier opportunistic grows.
+fn reclaim_over_grants(running: &[RunningSearch]) -> Vec<Adjustment> {
+    running
+        .iter()
+        .filter(|search| search.elastic && !search.preempted)
+        .filter_map(|search| {
+            let target = search.requested_workers.max(1);
+            let excess = search.settled_workers().saturating_sub(target);
+            (excess > 0).then_some(Adjustment::Shrink {
+                search: search.search_id,
+                workers: excess,
+            })
+        })
+        .collect()
+}
+
 /// Proportional worker split across the pending queue, admission as soon as
 /// one worker is free.
 ///
@@ -142,10 +363,16 @@ impl SchedulePolicy for Fifo {
 /// worker idles while an admitted request is unmet.  The policy is
 /// work-conserving across the admitted set: a lone tenant that asks for the
 /// whole pool gets it; concurrency arises whenever tenants request less
-/// than the pool (or arrive while part of it is leased out).  Admitted
-/// searches keep their allotment until they finish — there is no preemption,
-/// so fairness is *admission-time* fairness (see README for when FIFO is
-/// still the right choice).
+/// than the pool (or arrive while part of it is leased out).
+///
+/// Since PR 8 the policy is also work-conserving *after* admission: when
+/// total demand is below the pool (the worker-stranding edge the
+/// redistribution pass cannot fix, because every admitted request is already
+/// satisfied in full), [`replan`](SchedulePolicy::replan) leases the
+/// leftover workers onto the running elastic searches — and reclaims those
+/// over-grants (back down to each search's request) as soon as a new
+/// submission is waiting.  There is no priority-driven reclamation or
+/// preemption; use [`DeadlineShare`] for that.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FairShare;
 
@@ -204,6 +431,241 @@ impl SchedulePolicy for FairShare {
         }
         admissions
     }
+
+    fn replan(
+        &mut self,
+        running: &[RunningSearch],
+        pending: &[PendingRequest],
+        free_workers: usize,
+        _capacity: usize,
+    ) -> Vec<Adjustment> {
+        if !pending.is_empty() {
+            // Submissions are waiting: take back what idle-time growth
+            // leased beyond the original requests so `plan` can admit them.
+            return reclaim_over_grants(running);
+        }
+        if free_workers == 0 {
+            return Vec::new();
+        }
+        // The stranding edge: every admitted request is satisfied and
+        // nothing is pending, yet workers sit idle.  Lease them onto the
+        // running searches (admission order) instead.
+        let order: Vec<&RunningSearch> = running.iter().collect();
+        grow_into_idle(&order, free_workers)
+    }
+}
+
+/// Priority- and deadline-aware elastic scheduling.
+///
+/// Admission works like [`FairShare`]'s proportional split, but the queue is
+/// served in priority order (ties: soonest deadline, then oldest first), so
+/// an urgent arrival is never starved behind bulk work.  The policy earns
+/// its name in [`replan`](SchedulePolicy::replan):
+///
+/// * **Grow** — with nothing pending, idle workers are leased onto running
+///   elastic searches, highest priority first.
+/// * **Reclaim** — a pending [`High`](Priority::High)/[`Urgent`](Priority::Urgent)
+///   request that cannot be admitted from free capacity shrinks running
+///   lower-priority searches (longest-running, lowest-priority first — the
+///   searches that have had the most service), via cooperative revocation
+///   and never below one worker.  The request is then admitted within one
+///   revocation-latency bound instead of waiting for the background
+///   makespan.
+/// * **Preempt** — when an [`Urgent`](Priority::Urgent) request *still*
+///   cannot fit, the lowest-priority running searches are cancelled
+///   outright (resolving `Cancelled` with their partial incumbents).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadlineShare;
+
+/// Priority-descending service order for the pending queue: highest
+/// priority first, then soonest deadline (requests with a deadline ahead of
+/// those without), then FIFO.
+fn priority_order(pending: &[PendingRequest]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..pending.len()).collect();
+    order.sort_by(|&a, &b| {
+        pending[b]
+            .priority
+            .cmp(&pending[a].priority)
+            .then_with(|| match (pending[a].deadline, pending[b].deadline) {
+                (Some(da), Some(db)) => da.cmp(&db),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            })
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+impl SchedulePolicy for DeadlineShare {
+    fn name(&self) -> &'static str {
+        "deadline-share"
+    }
+
+    fn concurrent(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &mut self,
+        pending: &[PendingRequest],
+        free_workers: usize,
+        _capacity: usize,
+        _active: usize,
+    ) -> Vec<Admission> {
+        let order = priority_order(pending);
+        let mut free = free_workers;
+        let mut remaining = pending.len();
+        let mut admissions = Vec::new();
+        for &index in &order {
+            if free == 0 {
+                break;
+            }
+            let share = free.div_ceil(remaining).max(1);
+            let workers = pending[index].requested_workers.clamp(1, share).min(free);
+            admissions.push(Admission { index, workers });
+            free -= workers;
+            remaining -= 1;
+        }
+        // Top admissions up to their requests in the same priority order.
+        while free > 0 {
+            let mut granted_any = false;
+            for admission in admissions.iter_mut() {
+                if free == 0 {
+                    break;
+                }
+                let requested = pending[admission.index].requested_workers.max(1);
+                if admission.workers < requested {
+                    let top_up = (requested - admission.workers).min(free);
+                    admission.workers += top_up;
+                    free -= top_up;
+                    granted_any = true;
+                }
+            }
+            if !granted_any {
+                break;
+            }
+        }
+        admissions.sort_by_key(|admission| admission.index);
+        admissions
+    }
+
+    fn replan(
+        &mut self,
+        running: &[RunningSearch],
+        pending: &[PendingRequest],
+        free_workers: usize,
+        capacity: usize,
+    ) -> Vec<Adjustment> {
+        if pending.is_empty() {
+            if free_workers == 0 {
+                return Vec::new();
+            }
+            // Grow into idle capacity, highest priority first (ties:
+            // fewest workers first, then admission order).
+            let mut order: Vec<&RunningSearch> = running.iter().collect();
+            order.sort_by(|a, b| {
+                b.priority
+                    .cmp(&a.priority)
+                    .then(a.workers.cmp(&b.workers))
+                    .then(a.search_id.cmp(&b.search_id))
+            });
+            return grow_into_idle(&order, free_workers);
+        }
+
+        // Submissions are waiting.  First take back opportunistic
+        // over-grants; that alone often frees enough for `plan`.
+        let mut adjustments = reclaim_over_grants(running);
+        let reclaimed: usize = adjustments
+            .iter()
+            .map(|adjustment| match adjustment {
+                Adjustment::Shrink { workers, .. } => *workers,
+                _ => 0,
+            })
+            .sum();
+
+        // The most urgent unadmitted request, if it warrants reclamation.
+        let order = priority_order(pending);
+        let urgent = &pending[order[0]];
+        if urgent.priority < Priority::High {
+            return adjustments;
+        }
+
+        // Capacity already on its way back: free workers, revocations in
+        // flight, whole searches unwinding, plus what we just reclaimed.
+        let incoming: usize = running
+            .iter()
+            .map(|search| {
+                if search.preempted {
+                    search.workers
+                } else {
+                    search.pending_revocations
+                }
+            })
+            .sum::<usize>()
+            + free_workers
+            + reclaimed;
+        let want = urgent.requested_workers.max(1).min(capacity);
+        let mut deficit = want.saturating_sub(incoming);
+        if deficit == 0 {
+            return adjustments;
+        }
+
+        // Shrink candidates: elastic, lower priority than the urgent
+        // request, lowest priority and longest running first (the searches
+        // that have had the most service give back first).
+        let mut candidates: Vec<&RunningSearch> = running
+            .iter()
+            .filter(|search| {
+                search.elastic && !search.preempted && search.priority < urgent.priority
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.priority
+                .cmp(&b.priority)
+                .then(b.running_for.cmp(&a.running_for))
+                .then(a.search_id.cmp(&b.search_id))
+        });
+        for search in &candidates {
+            if deficit == 0 {
+                break;
+            }
+            // Cooperative revocation never takes the last worker.
+            let takeable = search.settled_workers().saturating_sub(1).min(deficit);
+            if takeable > 0 {
+                adjustments.push(Adjustment::Shrink {
+                    search: search.search_id,
+                    workers: takeable,
+                });
+                deficit -= takeable;
+            }
+        }
+
+        // Still short and the request is Urgent: preempt whole searches,
+        // lowest priority / longest running first.
+        if deficit > 0 && urgent.priority == Priority::Urgent {
+            let mut victims: Vec<&RunningSearch> = running
+                .iter()
+                .filter(|search| !search.preempted && search.priority < Priority::Urgent)
+                .collect();
+            victims.sort_by(|a, b| {
+                a.priority
+                    .cmp(&b.priority)
+                    .then(b.running_for.cmp(&a.running_for))
+                    .then(a.search_id.cmp(&b.search_id))
+            });
+            for search in victims {
+                if deficit == 0 {
+                    break;
+                }
+                adjustments.push(Adjustment::Preempt {
+                    search: search.search_id,
+                });
+                deficit = deficit.saturating_sub(search.settled_workers());
+            }
+        }
+        adjustments
+    }
 }
 
 #[cfg(test)]
@@ -215,9 +677,22 @@ mod tests {
             .iter()
             .map(|&requested_workers| PendingRequest {
                 requested_workers,
-                queued_for: Duration::ZERO,
+                ..PendingRequest::default()
             })
             .collect()
+    }
+
+    fn running(search_id: u64, workers: usize, requested: usize) -> RunningSearch {
+        RunningSearch {
+            search_id,
+            workers,
+            requested_workers: requested,
+            priority: Priority::Normal,
+            elastic: true,
+            running_for: Duration::ZERO,
+            pending_revocations: 0,
+            preempted: false,
+        }
     }
 
     #[test]
@@ -250,6 +725,16 @@ mod tests {
                 workers: 16
             }],
             "PR 4 semantics: the search gets the worker count it asked for"
+        );
+    }
+
+    #[test]
+    fn fifo_never_replans() {
+        let mut fifo = Fifo;
+        let live = [running(1, 4, 4)];
+        assert!(
+            fifo.replan(&live, &pending(&[8]), 4, 8).is_empty(),
+            "fixed-grant policies keep the default no-op replan"
         );
     }
 
@@ -363,10 +848,197 @@ mod tests {
     }
 
     #[test]
+    fn fair_share_replan_leaves_no_worker_idle_after_small_admissions() {
+        // The stranding edge (satellite): 3 small requests on an 8-pool are
+        // admitted in full (2+2+2) with 2 workers left over; the plan pass
+        // cannot place them (every request is satisfied), so replan must.
+        let mut fair = FairShare;
+        let queue = pending(&[2, 2, 2]);
+        let admissions = fair.plan(&queue, 8, 8, 0);
+        let granted: usize = admissions.iter().map(|a| a.workers).sum();
+        assert_eq!(granted, 6, "plan caps every grant at its request");
+        let live: Vec<RunningSearch> = admissions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| running(i as u64 + 1, a.workers, queue[a.index].requested_workers))
+            .collect();
+        let adjustments = fair.replan(&live, &[], 8 - granted, 8);
+        let grown: usize = adjustments
+            .iter()
+            .map(|adj| match adj {
+                Adjustment::Grow { workers, .. } => *workers,
+                _ => panic!("grow-only replan, got {adj:?}"),
+            })
+            .sum();
+        assert_eq!(grown, 2, "zero idle workers post-plan: {adjustments:?}");
+        // Round-robin: the two leftovers go to the two oldest searches.
+        assert_eq!(
+            adjustments,
+            vec![
+                Adjustment::Grow {
+                    search: 1,
+                    workers: 1
+                },
+                Adjustment::Grow {
+                    search: 2,
+                    workers: 1
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn fair_share_replan_reclaims_over_grants_when_submissions_wait() {
+        let mut fair = FairShare;
+        // Search 1 grew from its requested 2 workers to 5 during an idle
+        // spell; a new arrival must get those over-grants back.
+        let mut live = [running(1, 5, 2)];
+        assert_eq!(
+            fair.replan(&live, &pending(&[4]), 0, 8),
+            vec![Adjustment::Shrink {
+                search: 1,
+                workers: 3
+            }]
+        );
+        // Idempotent across ticks: once the revocations are in flight the
+        // settled worker count matches the request and nothing more is taken.
+        live[0].pending_revocations = 3;
+        assert!(fair.replan(&live, &pending(&[4]), 0, 8).is_empty());
+        // And never below the original request, let alone below one.
+        assert!(fair
+            .replan(&[running(1, 2, 2)], &pending(&[4]), 0, 8)
+            .is_empty());
+    }
+
+    #[test]
+    fn deadline_share_plans_in_priority_order() {
+        let mut policy = DeadlineShare;
+        let mut queue = pending(&[8, 8]);
+        queue[1].priority = Priority::High;
+        // 5 free workers: the High request (index 1) is served first and
+        // takes the ceiling share.
+        assert_eq!(
+            policy.plan(&queue, 5, 8, 1),
+            vec![
+                Admission {
+                    index: 0,
+                    workers: 2
+                },
+                Admission {
+                    index: 1,
+                    workers: 3
+                }
+            ],
+            "indices ascending, shares assigned priority-first"
+        );
+        // Deadlines break priority ties: soonest first.
+        let mut queue = pending(&[8, 8]);
+        queue[0].deadline = Some(Duration::from_secs(10));
+        queue[1].deadline = Some(Duration::from_secs(1));
+        assert_eq!(
+            policy.plan(&queue, 5, 8, 1),
+            vec![
+                Admission {
+                    index: 0,
+                    workers: 2
+                },
+                Admission {
+                    index: 1,
+                    workers: 3
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn deadline_share_reclaims_workers_for_an_urgent_arrival() {
+        let mut policy = DeadlineShare;
+        // A saturating Normal background search holds all 8 workers; an
+        // Urgent request for 4 arrives.  Nothing is free, so the background
+        // search is shrunk by exactly the deficit.
+        let mut bg = running(1, 8, 8);
+        bg.running_for = Duration::from_secs(5);
+        let mut queue = pending(&[4]);
+        queue[0].priority = Priority::Urgent;
+        assert_eq!(
+            policy.replan(&[bg.clone()], &queue, 0, 8),
+            vec![Adjustment::Shrink {
+                search: 1,
+                workers: 4
+            }]
+        );
+        // Idempotent while the revocations are in flight.
+        bg.pending_revocations = 4;
+        assert!(policy.replan(&[bg.clone()], &queue, 0, 8).is_empty());
+        // Normal-priority arrivals never trigger reclamation.
+        assert!(policy
+            .replan(&[running(1, 8, 8)], &pending(&[4]), 0, 8)
+            .is_empty());
+    }
+
+    #[test]
+    fn deadline_share_never_shrinks_below_one_and_escalates_to_preemption() {
+        let mut policy = DeadlineShare;
+        // Two single-worker Low searches cannot give anything up
+        // cooperatively (never below one worker), so an Urgent request
+        // preempts them outright — lowest priority, longest running first.
+        let mut a = running(1, 1, 1);
+        a.priority = Priority::Low;
+        a.running_for = Duration::from_secs(9);
+        let mut b = running(2, 1, 1);
+        b.priority = Priority::Low;
+        b.running_for = Duration::from_secs(1);
+        let mut queue = pending(&[2]);
+        queue[0].priority = Priority::Urgent;
+        assert_eq!(
+            policy.replan(&[a, b], &queue, 0, 2),
+            vec![
+                Adjustment::Preempt { search: 1 },
+                Adjustment::Preempt { search: 2 }
+            ]
+        );
+        // High (non-Urgent) requests shrink but never preempt.
+        let mut c = running(1, 1, 1);
+        c.priority = Priority::Low;
+        let mut queue = pending(&[2]);
+        queue[0].priority = Priority::High;
+        assert!(policy.replan(&[c], &queue, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn deadline_share_grows_idle_capacity_priority_first() {
+        let mut policy = DeadlineShare;
+        let mut high = running(2, 2, 4);
+        high.priority = Priority::High;
+        let low = running(1, 2, 4);
+        // 3 idle workers, nothing pending: the High search gets the extra
+        // round-robin share.
+        assert_eq!(
+            policy.replan(&[low, high], &[], 3, 8),
+            vec![
+                Adjustment::Grow {
+                    search: 2,
+                    workers: 2
+                },
+                Adjustment::Grow {
+                    search: 1,
+                    workers: 1
+                }
+            ]
+        );
+    }
+
+    #[test]
     fn policy_names_and_modes() {
         assert_eq!(Fifo.name(), "fifo");
         assert!(!Fifo.concurrent());
         assert_eq!(FairShare.name(), "fair-share");
         assert!(FairShare.concurrent());
+        assert_eq!(DeadlineShare.name(), "deadline-share");
+        assert!(DeadlineShare.concurrent());
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert!(Priority::High < Priority::Urgent);
+        assert_eq!(Priority::default(), Priority::Normal);
     }
 }

@@ -43,11 +43,14 @@ where
     D: Driver<P>,
 {
     let workers = lifecycle.worker_count(config);
+    // Shard the pool for every worker id an elastic grant could mint, not
+    // just the initial count, so grown workers get their own shard.
+    let capacity = lifecycle.worker_capacity(config);
     engine::run(
         problem,
         driver,
         workers,
-        PoolSource::traced(workers, lifecycle.tracer.clone()),
+        PoolSource::traced(capacity, lifecycle.tracer.clone()),
         DepthPolicy { dcutoff },
         term,
         lifecycle,

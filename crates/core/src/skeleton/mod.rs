@@ -421,6 +421,17 @@ where
         metrics.granted_workers = grant.workers;
         metrics.granted_slots = grant.slots.clone();
         metrics.queue_wait = grant.queue_wait;
+        // Elastic grants can change the live worker set mid-run, so the
+        // per-worker vec length is scheduling-dependent; report the
+        // *granted* count (deterministic) plus the lease-change counters.
+        if let Some(core) = &grant.core {
+            use std::sync::atomic::Ordering;
+            metrics.workers = grant.workers.max(1);
+            metrics.grant_changes = core.grant_changes.load(Ordering::Relaxed);
+            metrics.workers_preempted = core.workers_preempted.load(Ordering::Relaxed);
+            metrics.revocation_latency =
+                Duration::from_nanos(core.revocation_ns.load(Ordering::Relaxed));
+        }
     }
     RunOutput { metrics, status }
 }

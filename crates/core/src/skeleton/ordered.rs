@@ -457,7 +457,11 @@ where
 {
     let start = Instant::now();
     let workers = lifecycle.worker_count(config);
-    let source = OrderedSource::new(config.cancel_speculation, workers);
+    // Under an elastic grant the dispatcher can lease extra workers onto the
+    // live search, so shared structures are sized for every worker id the
+    // grant could ever mint, not just the initial count.
+    let capacity = lifecycle.worker_capacity(config);
+    let source = OrderedSource::new(config.cancel_speculation, capacity);
     let policy = OrderedPolicy { spawn_depth };
     WorkSource::<P>::seed(&source, Task::new(problem.root(), 0));
 
@@ -500,6 +504,7 @@ where
     let mut backoff = IdleBackoff::new();
     let mut lstate = LifecycleLocal::default();
     let mut spawn_buf = Vec::new();
+    let mut retiring = false;
     let trace = lifecycle.tracer.handle(worker as u32);
 
     loop {
@@ -507,6 +512,14 @@ where
         // speculating workers observe a deadline promptly.
         lifecycle.poll(term);
         if term.finished() {
+            break;
+        }
+        // Cooperative revocation: Ordered workers leave only *between* tasks
+        // — offloading a task's subtree mid-run would mint sequence keys
+        // under the wrong parent and corrupt the replicable commit order.
+        // The local holds no tasks, so there is nothing to hand back.
+        if lifecycle.try_claim_retire(worker) {
+            retiring = true;
             break;
         }
         match source.issue(&mut local, Some(term)) {
@@ -533,6 +546,8 @@ where
                     task,
                     &mut spawn_buf,
                     trace.as_ref(),
+                    worker,
+                    None,
                 );
                 if let Some(trace) = &trace {
                     trace.emit(TraceEvent::TaskEnd {
@@ -569,6 +584,11 @@ where
     }
 
     driver.merge(partial);
+    if retiring {
+        // Ack last, after the partial is merged, so the dispatcher observing
+        // the released slot can never race an unmerged result.
+        lifecycle.ack_retire(worker);
+    }
     WorkerMetrics {
         priority_inversions: local.inversions,
         ordered_spawns: local.ordered_spawns,

@@ -83,9 +83,20 @@ struct WorkHint(AtomicUsize);
 /// stealable subtree — breaking ties at random, and failing in nanoseconds
 /// when nobody has work instead of serialising on 200 µs timeouts.
 pub(crate) struct StealSource<N> {
-    senders: Vec<Sender<StealRequest<N>>>,
+    /// Request senders, one per worker slot.  Wrapped in a mutex so a worker
+    /// *re*-registering a slot vacated by a retired worker (elastic grants
+    /// recycle worker ids) can swap in a fresh channel; the steal path locks
+    /// per attempt, never per step.
+    senders: Vec<Mutex<Sender<StealRequest<N>>>>,
     locals: Mutex<Vec<Option<StealLocal<N>>>>,
     hints: Vec<WorkHint>,
+    /// Backlogs handed back by retiring workers (cooperative revocation):
+    /// there is no shared pool to push to, so the tasks park here and idle
+    /// survivors adopt them before attempting any steal.
+    parked: Mutex<VecDeque<Task<N>>>,
+    /// Victim-selection seed, kept so re-registered slots get a fresh
+    /// deterministic generator.
+    seed: u64,
     chunked: bool,
     /// How long a waiting thief blocks on a victim's reply before
     /// re-answering its own request channel and re-checking termination
@@ -113,17 +124,8 @@ impl<N> StealSource<N> {
         let mut locals = Vec::with_capacity(workers);
         for id in 0..workers {
             let (tx, rx) = bounded::<StealRequest<N>>(workers);
-            senders.push(tx);
-            locals.push(Some(StealLocal {
-                id,
-                rx,
-                backlog: VecDeque::new(),
-                rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
-                advertised: NO_WORK_HINT,
-                scratch: Vec::with_capacity(workers),
-                last_victim: UNKNOWN_VICTIM,
-                trace: None,
-            }));
+            senders.push(Mutex::new(tx));
+            locals.push(Some(Self::fresh_local(id, rx, seed, workers)));
         }
         StealSource {
             senders,
@@ -131,9 +133,29 @@ impl<N> StealSource<N> {
             hints: (0..workers)
                 .map(|_| WorkHint(AtomicUsize::new(NO_WORK_HINT)))
                 .collect(),
+            parked: Mutex::new(VecDeque::new()),
+            seed,
             chunked,
             reply_timeout,
             tracer,
+        }
+    }
+
+    fn fresh_local(
+        id: usize,
+        rx: Receiver<StealRequest<N>>,
+        seed: u64,
+        workers: usize,
+    ) -> StealLocal<N> {
+        StealLocal {
+            id,
+            rx,
+            backlog: VecDeque::new(),
+            rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            advertised: NO_WORK_HINT,
+            scratch: Vec::with_capacity(workers),
+            last_victim: UNKNOWN_VICTIM,
+            trace: None,
         }
     }
 
@@ -200,6 +222,7 @@ impl<N> StealSource<N> {
         }
         let (reply_tx, reply_rx) = bounded(1);
         if self.senders[victim]
+            .lock()
             .try_send(StealRequest { reply: reply_tx })
             .is_err()
         {
@@ -240,9 +263,20 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
     type Local = StealLocal<P::Node>;
 
     fn register(&self, worker: usize) -> Self::Local {
-        let mut local = self.locals.lock()[worker]
-            .take()
-            .expect("worker registered once");
+        let mut local = match self.locals.lock()[worker].take() {
+            Some(local) => local,
+            None => {
+                // The slot's previous occupant retired (elastic grants
+                // recycle worker ids).  Give the new occupant a fresh
+                // channel: the old receiver died with the retiree, so any
+                // raced request on the old sender resolves on the thief's
+                // side as a disconnect (a failed steal), never a hang.
+                let workers = self.senders.len();
+                let (tx, rx) = bounded::<StealRequest<P::Node>>(workers);
+                *self.senders[worker].lock() = tx;
+                Self::fresh_local(worker, rx, self.seed, workers)
+            }
+        };
         local.trace = self.tracer.handle(worker as u32);
         local
     }
@@ -268,9 +302,19 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         metrics: &mut WorkerMetrics,
     ) -> Option<Task<P::Node>> {
         // Idle: retract the work hint, answer any pending requests with "no
-        // work", then try to steal (single worker: no one to steal from).
+        // work", then adopt any backlog parked by a retired worker before
+        // bothering a victim (single worker: no one to steal from).
         self.advertise(local, NO_WORK_HINT);
         Self::drain_requests_empty(&local.rx);
+        {
+            let mut parked = self.parked.lock();
+            if !parked.is_empty() {
+                local.backlog.extend(parked.drain(..));
+            }
+        }
+        if let Some(task) = local.backlog.pop_front() {
+            return Some(task);
+        }
         if self.senders.len() <= 1 {
             return None;
         }
@@ -349,6 +393,27 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         local.backlog.clear();
         n
     }
+
+    /// Tasks parked by retired workers and never adopted are drained when
+    /// the search stops (the engine calls this after the join and on
+    /// short-circuits), keeping the outstanding counter exact.
+    fn discard(&self) -> usize {
+        let mut parked = self.parked.lock();
+        let n = parked.len();
+        parked.clear();
+        n
+    }
+
+    /// Cooperative revocation: retract the hint (thieves stop targeting this
+    /// slot), flush pending requests, and park the backlog for the survivors
+    /// — the tasks stay registered with the termination counter throughout.
+    fn retire(&self, local: &mut Self::Local) {
+        self.advertise(local, NO_WORK_HINT);
+        Self::drain_requests_empty(&local.rx);
+        if !local.backlog.is_empty() {
+            self.parked.lock().extend(local.backlog.drain(..));
+        }
+    }
 }
 
 /// Run the Stack-Stealing coordination.
@@ -365,12 +430,15 @@ where
     D: Driver<P>,
 {
     let workers = lifecycle.worker_count(config);
+    // Channels, hints and locals exist for every worker id an elastic grant
+    // could mint, not just the initial count.
+    let capacity = lifecycle.worker_capacity(config);
     engine::run(
         problem,
         driver,
         workers,
         StealSource::new(
-            workers,
+            capacity,
             config.steal_seed,
             chunked,
             config.steal_reply_timeout,

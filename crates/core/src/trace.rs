@@ -174,6 +174,35 @@ pub enum TraceEvent {
         /// The finished search's id.
         search_id: u64,
     },
+    /// The dispatcher leased additional workers onto a running search
+    /// (an elastic `Grow` adjustment was executed).
+    GrantGrown {
+        /// The grown search's id.
+        search_id: u64,
+        /// The search's worker count *after* the grow.
+        workers: u32,
+    },
+    /// The dispatcher issued cooperative revocation requests against a
+    /// running search (an elastic `Shrink` adjustment was executed).
+    /// Workers leave asynchronously — see
+    /// [`WorkerRevoked`](TraceEvent::WorkerRevoked) for the acknowledgement.
+    GrantShrunk {
+        /// The shrunk search's id.
+        search_id: u64,
+        /// The search's *target* worker count after the revocations land.
+        workers: u32,
+    },
+    /// A revoked worker acknowledged at its lifecycle poll: it offloaded its
+    /// remaining work to the survivors and returned its slot to the pool.
+    WorkerRevoked {
+        /// The search the worker left.
+        search_id: u64,
+        /// The pool slot returned to the dispatcher.
+        slot: u32,
+        /// Nanoseconds (virtual ticks in sim traces) from the revocation
+        /// request to this acknowledgement.
+        latency_ns: u64,
+    },
     /// A background gauge sample of the runtime's pool-wide scheduler state
     /// (see [`RuntimeStats`](crate::metrics::RuntimeStats)).
     RuntimeGauge {
@@ -207,6 +236,9 @@ impl TraceEvent {
             TraceEvent::SearchQueued { .. } => "search_queued",
             TraceEvent::SearchGranted { .. } => "search_granted",
             TraceEvent::SearchFinished { .. } => "search_finished",
+            TraceEvent::GrantGrown { .. } => "grant_grown",
+            TraceEvent::GrantShrunk { .. } => "grant_shrunk",
+            TraceEvent::WorkerRevoked { .. } => "worker_revoked",
             TraceEvent::RuntimeGauge { .. } => "runtime_gauge",
         }
     }

@@ -34,6 +34,15 @@ pub struct AnalyzeConfig {
     /// speculation-classified nodes) at or above which a
     /// [`SpeculationWaste`](FindingKind::SpeculationWaste) finding fires.
     pub speculation_waste_threshold: f64,
+    /// Grant changes per second of busy time at or above which a
+    /// [`GrantThrash`](FindingKind::GrantThrash) finding fires.  "Seconds"
+    /// means 10⁹ timestamp units — real seconds on threaded traces; for
+    /// virtual-tick simulator traces pass a threshold in the tick scale.
+    pub grant_thrash_per_sec: f64,
+    /// Minimum grant changes for one search before the thrash rule applies
+    /// (a search that grew once and shrank once is elasticity working, not
+    /// thrash).
+    pub grant_thrash_min_changes: u64,
 }
 
 impl Default for AnalyzeConfig {
@@ -45,6 +54,8 @@ impl Default for AnalyzeConfig {
             strip_mine_share: 0.5,
             min_steals: 8,
             speculation_waste_threshold: 0.25,
+            grant_thrash_per_sec: 10.0,
+            grant_thrash_min_changes: 4,
         }
     }
 }
@@ -66,6 +77,10 @@ pub enum FindingKind {
     /// A large share of speculatively expanded nodes was discarded or
     /// cancelled instead of committed.
     SpeculationWaste,
+    /// One search's worker grant oscillated (grow/shrink) faster than the
+    /// configured rate — the elastic scheduler is thrashing, paying
+    /// join/leave churn instead of doing search work.
+    GrantThrash,
 }
 
 impl FindingKind {
@@ -76,6 +91,7 @@ impl FindingKind {
             FindingKind::Starvation => "starvation",
             FindingKind::StealStripMining => "steal_strip_mining",
             FindingKind::SpeculationWaste => "speculation_waste",
+            FindingKind::GrantThrash => "grant_thrash",
         }
     }
 }
@@ -372,6 +388,66 @@ fn speculation_waste(summary: &TraceSummary, config: &AnalyzeConfig) -> Option<F
     })
 }
 
+fn grant_thrash(records: &[TraceRecord], config: &AnalyzeConfig) -> Vec<Finding> {
+    // Grant changes per search: every GrantGrown or GrantShrunk counts one.
+    let mut per_search: Vec<(u64, u64)> = Vec::new();
+    for record in records {
+        let search_id = match record.event {
+            TraceEvent::GrantGrown { search_id, .. } => search_id,
+            TraceEvent::GrantShrunk { search_id, .. } => search_id,
+            _ => continue,
+        };
+        match per_search.iter_mut().find(|(s, _)| *s == search_id) {
+            Some((_, n)) => *n += 1,
+            None => per_search.push((search_id, 1)),
+        }
+    }
+    if per_search.is_empty() {
+        return Vec::new();
+    }
+    // Busy time: summed task spans across workers; grant-event-only traces
+    // (the control-plane view of a sim run) fall back to the trace span.
+    let busy: u64 = busy_intervals(records)
+        .iter()
+        .map(|(_, intervals)| {
+            intervals
+                .iter()
+                .map(|(s, e)| e.saturating_sub(*s))
+                .sum::<u64>()
+        })
+        .sum();
+    let busy = if busy > 0 {
+        busy
+    } else {
+        match (records.first(), records.last()) {
+            (Some(first), Some(last)) => last.ts.saturating_sub(first.ts),
+            _ => 0,
+        }
+    };
+    if busy == 0 {
+        return Vec::new();
+    }
+    let busy_secs = busy as f64 / 1e9;
+    let mut findings = Vec::new();
+    for (search_id, changes) in per_search {
+        if changes < config.grant_thrash_min_changes {
+            continue;
+        }
+        let rate = changes as f64 / busy_secs;
+        if rate >= config.grant_thrash_per_sec {
+            findings.push(Finding {
+                kind: FindingKind::GrantThrash,
+                value: rate,
+                summary: format!(
+                    "search {search_id} changed its grant {changes} times over {busy} \
+                     of busy time ({rate:.1}/s) — the elastic scheduler is thrashing"
+                ),
+            });
+        }
+    }
+    findings
+}
+
 /// Run every anomaly rule over a (time-sorted) trace and return the
 /// findings that fired.  An empty result means "no anomaly detected", not
 /// "healthy by proof" — rules needing context the trace lacks (e.g. a
@@ -391,6 +467,7 @@ pub fn analyze(records: &[TraceRecord], config: &AnalyzeConfig) -> Vec<Finding> 
     if let Some(finding) = speculation_waste(&summary, config) {
         findings.push(finding);
     }
+    findings.extend(grant_thrash(records, config));
     findings
 }
 
@@ -573,6 +650,109 @@ mod tests {
             .find(|f| f.kind == FindingKind::SpeculationWaste)
             .expect("40% waste must fire");
         assert!((finding.value - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grant_thrash_fires_on_an_oscillating_grant() {
+        // One search grows and shrinks six times inside 0.1s of busy time:
+        // 60 changes/s, far past the 10/s default.
+        let mut records = vec![rec(0, 0, TraceEvent::TaskStart { depth: 0 })];
+        for i in 0..3u64 {
+            records.push(rec(
+                10_000_000 + i * 20_000_000,
+                CONTROL_WORKER,
+                TraceEvent::GrantGrown {
+                    search_id: 1,
+                    workers: 4,
+                },
+            ));
+            records.push(rec(
+                20_000_000 + i * 20_000_000,
+                CONTROL_WORKER,
+                TraceEvent::GrantShrunk {
+                    search_id: 1,
+                    workers: 2,
+                },
+            ));
+        }
+        records.push(rec(100_000_000, 0, end(10)));
+        let findings = analyze(&records, &AnalyzeConfig::default());
+        let finding = findings
+            .iter()
+            .find(|f| f.kind == FindingKind::GrantThrash)
+            .expect("60 changes/s must fire");
+        assert!((finding.value - 60.0).abs() < 1e-9);
+        assert!(finding.summary.contains("search 1"));
+    }
+
+    #[test]
+    fn grant_thrash_stays_quiet_without_oscillation() {
+        // FIFO-style trace: no grant events at all.
+        let fifo = vec![
+            rec(0, 0, TraceEvent::TaskStart { depth: 0 }),
+            rec(100_000_000, 0, end(10)),
+        ];
+        assert!(analyze(&fifo, &AnalyzeConfig::default())
+            .iter()
+            .all(|f| f.kind != FindingKind::GrantThrash));
+
+        // One grow + one shrink is elasticity working: below the change floor.
+        let gentle = vec![
+            rec(0, 0, TraceEvent::TaskStart { depth: 0 }),
+            rec(
+                10_000_000,
+                CONTROL_WORKER,
+                TraceEvent::GrantGrown {
+                    search_id: 7,
+                    workers: 4,
+                },
+            ),
+            rec(
+                20_000_000,
+                CONTROL_WORKER,
+                TraceEvent::GrantShrunk {
+                    search_id: 7,
+                    workers: 1,
+                },
+            ),
+            rec(100_000_000, 0, end(10)),
+        ];
+        assert!(analyze(&gentle, &AnalyzeConfig::default())
+            .iter()
+            .all(|f| f.kind != FindingKind::GrantThrash));
+    }
+
+    #[test]
+    fn grant_thrash_falls_back_to_the_trace_span_without_task_spans() {
+        // Control-plane-only trace (the sim's view): no TaskStart/TaskEnd,
+        // so the rule rates changes over the whole span.  Four changes over
+        // 0.2s = 20/s, past the default threshold.
+        let mut records = Vec::new();
+        for i in 0..4u64 {
+            let event = if i % 2 == 0 {
+                TraceEvent::GrantGrown {
+                    search_id: 3,
+                    workers: 2 + i as u32,
+                }
+            } else {
+                TraceEvent::GrantShrunk {
+                    search_id: 3,
+                    workers: 1,
+                }
+            };
+            records.push(rec(i * 50_000_000, CONTROL_WORKER, event));
+        }
+        records.push(rec(
+            200_000_000,
+            CONTROL_WORKER,
+            TraceEvent::SearchFinished { search_id: 3 },
+        ));
+        let findings = analyze(&records, &AnalyzeConfig::default());
+        let finding = findings
+            .iter()
+            .find(|f| f.kind == FindingKind::GrantThrash)
+            .expect("20 changes/s over the span must fire");
+        assert!((finding.value - 20.0).abs() < 1e-9);
     }
 
     #[test]

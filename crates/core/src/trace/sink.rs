@@ -91,8 +91,20 @@ fn push_event_fields(line: &mut String, event: &TraceEvent) {
         TraceEvent::SearchQueued { search_id } | TraceEvent::SearchFinished { search_id } => {
             let _ = write!(line, ",\"search_id\":{search_id}");
         }
-        TraceEvent::SearchGranted { search_id, workers } => {
+        TraceEvent::SearchGranted { search_id, workers }
+        | TraceEvent::GrantGrown { search_id, workers }
+        | TraceEvent::GrantShrunk { search_id, workers } => {
             let _ = write!(line, ",\"search_id\":{search_id},\"workers\":{workers}");
+        }
+        TraceEvent::WorkerRevoked {
+            search_id,
+            slot,
+            latency_ns,
+        } => {
+            let _ = write!(
+                line,
+                ",\"search_id\":{search_id},\"slot\":{slot},\"latency_ns\":{latency_ns}"
+            );
         }
         TraceEvent::RuntimeGauge {
             active,
@@ -376,6 +388,19 @@ fn parse_line(line: &str) -> Result<TraceRecord, String> {
         "search_finished" => TraceEvent::SearchFinished {
             search_id: num(&fields, "search_id")?,
         },
+        "grant_grown" => TraceEvent::GrantGrown {
+            search_id: num(&fields, "search_id")?,
+            workers: num(&fields, "workers")?,
+        },
+        "grant_shrunk" => TraceEvent::GrantShrunk {
+            search_id: num(&fields, "search_id")?,
+            workers: num(&fields, "workers")?,
+        },
+        "worker_revoked" => TraceEvent::WorkerRevoked {
+            search_id: num(&fields, "search_id")?,
+            slot: num(&fields, "slot")?,
+            latency_ns: num(&fields, "latency_ns")?,
+        },
         "runtime_gauge" => TraceEvent::RuntimeGauge {
             active: num(&fields, "active")?,
             granted: num(&fields, "granted")?,
@@ -441,6 +466,19 @@ mod tests {
                 workers: 4,
             },
             TraceEvent::SearchFinished { search_id: 1 },
+            TraceEvent::GrantGrown {
+                search_id: 1,
+                workers: 6,
+            },
+            TraceEvent::GrantShrunk {
+                search_id: 1,
+                workers: 2,
+            },
+            TraceEvent::WorkerRevoked {
+                search_id: 1,
+                slot: 3,
+                latency_ns: 12_500,
+            },
             TraceEvent::RuntimeGauge {
                 active: 1,
                 granted: 4,

@@ -19,8 +19,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use yewpar::{
-    Coordination, FairShare, Fifo, Runtime, RuntimeConfig, SchedulePolicy, SearchConfig,
-    SearchStatus, Skeleton,
+    Coordination, DeadlineShare, FairShare, Fifo, Priority, Runtime, RuntimeConfig, SchedulePolicy,
+    SearchConfig, SearchStatus, Skeleton,
 };
 
 /// Deterministic irregular tree; node = (depth, seed).
@@ -325,6 +325,257 @@ fn parent_cancel_kills_every_child_handle() {
         assert!(status.all_finished(), "{label}");
         assert_eq!(status.aggregate(), Some(SearchStatus::Cancelled), "{label}");
     }
+}
+
+fn priority_config(
+    coordination: Coordination,
+    workers: usize,
+    priority: Priority,
+    deadline: Option<Duration>,
+) -> SearchConfig {
+    SearchConfig {
+        priority,
+        deadline,
+        ..config(coordination, workers)
+    }
+}
+
+/// An endless background search (depth-64 irregular trees never finish);
+/// the deadline is a safety net so a broken scheduler fails the test
+/// instead of hanging it.
+fn endless(seed: u64) -> Irregular {
+    Irregular { depth: 64, seed }
+}
+
+/// Elastic grow is invisible in results: a search that is grown mid-run
+/// (FairShare leases the idle remainder of the pool onto it) enumerates
+/// exactly the solo count with clean task accounting, and the runtime
+/// records the lease change.
+#[test]
+fn grown_search_produces_solo_results() {
+    // Deep enough that the search spans many 1 ms replan periods even in
+    // a release build — a depth-10 run finishes in ~200 µs, before the
+    // replanner ever fires, and the grow assertion below goes flaky.
+    let problem = Irregular { depth: 13, seed: 1 };
+    let expected = subtree_size(&problem);
+    let runtime = Runtime::with_policy(
+        RuntimeConfig::default()
+            .workers(8)
+            .replan_period(Duration::from_millis(1)),
+        Box::new(FairShare),
+    );
+    // Requested 2 of 8: the replanner grows the lease into the 6 idle
+    // workers within a few ticks of admission.
+    let out = runtime
+        .enumerate(problem.clone(), &config(Coordination::depth_bounded(3), 2))
+        .wait();
+    assert_eq!(out.status, SearchStatus::Complete);
+    assert_eq!(
+        out.value.0, expected,
+        "growing a lease must not change results"
+    );
+    assert_eq!(out.metrics.outstanding_tasks, 0);
+    assert!(
+        out.metrics.grant_changes >= 1,
+        "no lease change was recorded: {:?}",
+        out.metrics
+    );
+    assert!(runtime.stats().grant_changes >= 1);
+}
+
+/// Ordered replicability across elastic resizes: a decision search
+/// submitted with 1/2/4/8 workers on a FairShare pool is grown into idle
+/// capacity, shrunk back to its request when a competitor arrives, and
+/// re-grown when the competitor finishes — through all of which its
+/// committed node count equals the solo count.
+#[test]
+fn ordered_committed_counts_survive_shrink_and_regrow() {
+    let problem = Irregular { depth: 9, seed: 1 };
+    let solo = Skeleton::new(Coordination::ordered(2))
+        .workers(4)
+        .decide(&problem);
+    assert!(solo.status.is_complete());
+    for requested in [1usize, 2, 4, 8] {
+        let runtime = Runtime::with_policy(
+            RuntimeConfig::default()
+                .workers(8)
+                .replan_period(Duration::from_millis(1)),
+            Box::new(FairShare),
+        );
+        let ordered = runtime.decide(
+            problem.clone(),
+            &config(Coordination::ordered(2), requested),
+        );
+        // Give the replanner time to grow the lease beyond the request,
+        // then force it back down with a pool-wide competitor.
+        std::thread::sleep(Duration::from_millis(5));
+        let competitor = runtime.enumerate(
+            Irregular { depth: 8, seed: 7 },
+            &config(Coordination::depth_bounded(2), 8),
+        );
+        let out = ordered.wait();
+        assert!(out.status.is_complete(), "requested={requested}");
+        assert_eq!(
+            out.found(),
+            solo.found(),
+            "requested={requested}: resizing changed the decision"
+        );
+        assert_eq!(
+            out.metrics.nodes(),
+            solo.metrics.nodes(),
+            "requested={requested}: committed counts must be replicable \
+             through grow/shrink (grant_changes={})",
+            out.metrics.grant_changes
+        );
+        assert_eq!(out.metrics.outstanding_tasks, 0, "requested={requested}");
+        let side = competitor.wait();
+        assert!(side.status.is_complete(), "requested={requested}");
+        assert_eq!(side.metrics.outstanding_tasks, 0, "requested={requested}");
+    }
+}
+
+/// DeadlineShare serves a latency-sensitive arrival ahead of a saturating
+/// background: the High-priority job is admitted via cooperative
+/// revocation (not after the background's makespan) and finishes while the
+/// background is still running.
+#[test]
+fn urgent_arrival_overtakes_a_saturating_background() {
+    let runtime = Runtime::with_policy(
+        RuntimeConfig::default()
+            .workers(8)
+            .replan_period(Duration::from_millis(1)),
+        Box::new(DeadlineShare),
+    );
+    let background = runtime.maximise(
+        endless(1),
+        &priority_config(
+            Coordination::depth_bounded(3),
+            8,
+            Priority::Low,
+            Some(Duration::from_millis(400)),
+        ),
+    );
+    std::thread::sleep(Duration::from_millis(20));
+    let urgent = runtime.enumerate(
+        Irregular { depth: 8, seed: 7 },
+        &priority_config(Coordination::depth_bounded(2), 4, Priority::High, None),
+    );
+    let out = urgent.wait();
+    let urgent_done = Instant::now();
+    assert_eq!(out.status, SearchStatus::Complete);
+    assert_eq!(out.metrics.outstanding_tasks, 0);
+    let bg = background.wait();
+    let background_done = Instant::now();
+    assert_eq!(
+        bg.status,
+        SearchStatus::DeadlineExceeded,
+        "the background must have still been running when the urgent job \
+         finished"
+    );
+    assert!(urgent_done <= background_done);
+    assert!(
+        bg.metrics.grant_changes >= 1,
+        "the background lease was never renegotiated: {:?}",
+        bg.metrics
+    );
+    let stats = runtime.stats();
+    assert!(
+        stats.workers_preempted >= 1,
+        "no revocation was acknowledged: {stats:?}"
+    );
+    assert!(stats.revocation_latency > Duration::ZERO);
+}
+
+/// An Urgent arrival that shrinking alone cannot serve preempts the
+/// lowest-priority background outright: the background resolves
+/// `Cancelled` with its partial incumbent and clean accounting.
+#[test]
+fn urgent_arrival_preempts_an_unshrinkable_background() {
+    let runtime = Runtime::with_policy(
+        RuntimeConfig::default()
+            .workers(4)
+            .replan_period(Duration::from_millis(1)),
+        Box::new(DeadlineShare),
+    );
+    let background = runtime.maximise(
+        endless(1),
+        &priority_config(
+            Coordination::depth_bounded(3),
+            4,
+            Priority::Low,
+            Some(Duration::from_secs(10)),
+        ),
+    );
+    std::thread::sleep(Duration::from_millis(20));
+    // Wants the whole pool: shrinking leaves the background one worker,
+    // so DeadlineShare must preempt it to make room.
+    let urgent = runtime.enumerate(
+        Irregular { depth: 8, seed: 7 },
+        &priority_config(Coordination::depth_bounded(2), 4, Priority::Urgent, None),
+    );
+    let out = urgent.wait();
+    assert_eq!(out.status, SearchStatus::Complete);
+    let bg = background.wait();
+    assert_eq!(
+        bg.status,
+        SearchStatus::Cancelled,
+        "preemption resolves the victim as Cancelled, not DeadlineExceeded"
+    );
+    assert!(
+        bg.try_score().is_some(),
+        "the partial incumbent survives preemption"
+    );
+    assert_eq!(
+        bg.metrics.outstanding_tasks, 0,
+        "preempted search leaked tasks"
+    );
+}
+
+/// Session quotas queue rather than error: a 2-worker-capped session on a
+/// 4-worker pool runs its submissions back to back while an uncapped
+/// session (and half the pool) stays free, and the capped session reports
+/// the time its submissions spent quota-throttled.
+#[test]
+fn session_quota_throttles_without_blocking_the_pool() {
+    let runtime = Runtime::with_policy(
+        RuntimeConfig::default()
+            .workers(4)
+            .replan_period(Duration::from_millis(1)),
+        Box::new(FairShare),
+    );
+    let capped = runtime.session().with_max_workers(2);
+    let cfg = priority_config(
+        Coordination::depth_bounded(3),
+        2,
+        Priority::Normal,
+        Some(Duration::from_millis(100)),
+    );
+    let first = capped.maximise(endless(1), &cfg);
+    let second = capped.maximise(endless(3), &cfg);
+    // The other half of the pool is still open for business: an uncapped
+    // submission completes while the capped session is saturated.
+    let side = runtime
+        .enumerate(
+            Irregular { depth: 8, seed: 7 },
+            &config(Coordination::depth_bounded(2), 2),
+        )
+        .wait();
+    assert_eq!(side.status, SearchStatus::Complete);
+    let first = first.wait();
+    let second = second.wait();
+    assert_eq!(first.status, SearchStatus::DeadlineExceeded);
+    assert_eq!(second.status, SearchStatus::DeadlineExceeded);
+    assert!(
+        second.metrics.queue_wait >= Duration::from_millis(30),
+        "the over-quota submission must have queued behind the first: {:?}",
+        second.metrics.queue_wait
+    );
+    let status = capped.status();
+    assert_eq!(status.submitted, 2);
+    assert!(
+        status.throttled > Duration::ZERO,
+        "quota-throttled time must be reported: {status:?}"
+    );
 }
 
 /// FIFO stays FIFO: queue waits are monotonically non-decreasing in
