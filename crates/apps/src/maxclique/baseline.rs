@@ -114,6 +114,8 @@ pub fn parallel_max_clique_depth1(graph: &Graph, workers: usize) -> CliqueResult
             scope.spawn(|| {
                 let mut nodes = 0u64;
                 loop {
+                    // ordering: work-distribution ticket — only the RMW's
+                    // atomicity matters; branches[] is read-only shared data.
                     let idx = next_branch.fetch_add(1, Ordering::Relaxed) as usize;
                     if idx >= branches.len() {
                         break;
@@ -129,6 +131,7 @@ pub fn parallel_max_clique_depth1(graph: &Graph, workers: usize) -> CliqueResult
                         &mut nodes,
                     );
                 }
+                // ordering: node tally, read only after the scope joins.
                 total_nodes.fetch_add(nodes as u32, Ordering::Relaxed);
             });
         }
@@ -138,6 +141,7 @@ pub fn parallel_max_clique_depth1(graph: &Graph, workers: usize) -> CliqueResult
     CliqueResult {
         size: clique.len() as u32,
         clique,
+        // ordering: every contributing thread joined at scope exit above.
         nodes: total_nodes.load(Ordering::Relaxed) as u64,
     }
 }
@@ -152,11 +156,16 @@ fn par_expand(
 ) {
     *nodes += 1;
     let size = current.len() as u32;
+    // ordering: incumbent bound — a stale read only weakens pruning or takes
+    // the lock needlessly; the clique itself travels under the mutex and the
+    // improvement is re-validated against the locked state.
     if size > best_size.load(Ordering::Relaxed) {
         let mut guard = best_clique.lock().unwrap();
         // Re-check under the lock: another worker may have improved first.
         if size > guard.len() as u32 {
             *guard = current.clone();
+            // ordering: bound mirror updated under the lock; unlocked
+            // readers may lag, which is sound for branch-and-bound.
             best_size.store(size, Ordering::Relaxed);
         }
     }
@@ -166,6 +175,8 @@ fn par_expand(
     let (order, colours) = greedy_colour(graph, candidates);
     let mut remaining = candidates.clone();
     for k in (0..order.len()).rev() {
+        // ordering: pruning against a possibly-stale bound is sound — it
+        // can only fail to prune, never cut a live branch.
         if current.len() as u32 + colours[k] <= best_size.load(Ordering::Relaxed) {
             return;
         }

@@ -411,6 +411,56 @@ fn bench_trace(c: &mut Criterion) {
     group.finish();
 }
 
+/// The verification facade's zero-overhead claim (PR 9): in the default
+/// build `yewpar::sync` re-exports the std atomics, so a hot loop through
+/// the facade must cost exactly what the raw primitives cost.  The third
+/// arm measures the `yewpar-check` shim's *fallback* path — what a
+/// `--features model-check` build pays outside a model run (one enum-tag
+/// branch per op); it is informational, not gated.
+fn bench_check_shim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/check_shim");
+    group
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    const OPS: u64 = 1024;
+
+    // The gauge/counter idiom the runtime's hot paths actually use:
+    // relaxed fetch_add tallies, a fetch_max peak, and a relaxed load.
+    macro_rules! gauge_loop {
+        ($atomic:expr, $ord:path) => {{
+            let counter = $atomic;
+            let peak = $atomic;
+            let mut acc = 0u64;
+            for i in 0..OPS {
+                let now = counter.fetch_add(1, $ord) + 1;
+                peak.fetch_max(now, $ord);
+                if i % 64 == 0 {
+                    acc = acc.wrapping_add(counter.load($ord));
+                }
+            }
+            acc
+        }};
+    }
+
+    group.bench_function("raw_std", |bench| {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        bench.iter(|| gauge_loop!(AtomicU64::new(0), Ordering::Relaxed))
+    });
+
+    group.bench_function("facade_default", |bench| {
+        use yewpar::sync::{AtomicU64, Ordering};
+        bench.iter(|| gauge_loop!(AtomicU64::new(0), Ordering::Relaxed))
+    });
+
+    group.bench_function("shim_fallback", |bench| {
+        use std::sync::atomic::Ordering;
+        use yewpar_check::sync::AtomicU64;
+        bench.iter(|| gauge_loop!(AtomicU64::new(0), Ordering::Relaxed))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitset,
@@ -419,6 +469,7 @@ criterion_group!(
     bench_runtime_submission,
     bench_runtime_multiplexing,
     bench_elastic_regrant,
-    bench_trace
+    bench_trace,
+    bench_check_shim
 );
 criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Repo-invariant lint runner; rules and configuration live in
+//! `yewpar_check::lint` and `crates/check/lint.toml`.
+//!
+//! Usage: `cargo run -p yewpar-check --bin lint` (any cwd inside the
+//! workspace).  Exits non-zero if any violation is found, printing each as
+//! `file:line: [rule] message`.
+
+use std::path::PathBuf;
+
+/// The workspace root: walk up from the manifest dir (under `cargo run`)
+/// or the cwd until `crates/check/lint.toml` is found.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("crates/check/lint.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn main() {
+    let Some(root) = workspace_root() else {
+        eprintln!("lint: could not locate the workspace root (crates/check/lint.toml)");
+        std::process::exit(2);
+    };
+    match yewpar_check::lint::run(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lint: workspace clean");
+        }
+        Ok(violations) => {
+            for violation in &violations {
+                println!("{violation}");
+            }
+            println!("lint: {} violation(s)", violations.len());
+            std::process::exit(1);
+        }
+        Err(err) => {
+            eprintln!("lint: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Bounded model-check suite runner: explores the faithful version of
+//! every protocol model exhaustively and exits non-zero on any
+//! counterexample, printing the full interleaving.
+//!
+//! Usage: `cargo run -p yewpar-check --release --bin modelcheck`
+
+use std::time::Instant;
+
+fn main() {
+    let start = Instant::now();
+    let reports = yewpar_check::models::suite();
+    let mut failed = false;
+    for report in &reports {
+        match &report.failure {
+            Some(failure) => {
+                failed = true;
+                println!(
+                    "FAIL {} ({} schedules explored)\n{failure}",
+                    report.name, report.schedules
+                );
+            }
+            None => {
+                println!(
+                    "ok   {} ({} schedules, {})",
+                    report.name,
+                    report.schedules,
+                    if report.complete {
+                        "exhaustive"
+                    } else {
+                        "budget-capped"
+                    }
+                );
+                if !report.complete {
+                    failed = true;
+                    println!(
+                        "FAIL {}: exploration hit its budget before completing",
+                        report.name
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "modelcheck: {} models in {:.2?}",
+        reports.len(),
+        start.elapsed()
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Vector clocks for the happens-before relation tracked by the model
+//! checker's memory model.
+//!
+//! Every model thread owns one component; a clock `a` *covers* an event
+//! stamped `b` when `b <= a` component-wise.  The scheduler joins clocks at
+//! every synchronising edge (release store -> acquire load, mutex unlock ->
+//! lock, channel send -> recv, spawn and join), so "did this load have to
+//! observe that store?" reduces to a component-wise comparison.
+
+/// Maximum model threads per execution.  Protocol models are deliberately
+/// tiny (2-3 threads plus the model main), so a small fixed array keeps the
+/// clock operations allocation-free on the exploration hot path.
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VClock {
+    components: [u64; MAX_THREADS],
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn zero() -> Self {
+        VClock::default()
+    }
+
+    /// This clock's component for thread `tid`.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.components[tid]
+    }
+
+    /// Advance thread `tid`'s own component by one step.
+    pub fn tick(&mut self, tid: usize) {
+        self.components[tid] += 1;
+    }
+
+    /// Component-wise maximum: after `a.join(&b)`, `a` covers every event
+    /// either clock covered.
+    pub fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.components.iter_mut().zip(other.components.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True when every component of `self` is <= the matching component of
+    /// `other`: the event stamped `self` happens-before (or equals) the
+    /// state summarised by `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .all(|(mine, theirs)| mine <= theirs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max_and_le_is_coverage() {
+        let mut a = VClock::zero();
+        let mut b = VClock::zero();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut joined = a;
+        joined.join(&b);
+        assert!(a.le(&joined));
+        assert!(b.le(&joined));
+        assert_eq!(joined.get(0), 2);
+        assert_eq!(joined.get(1), 1);
+    }
+
+    #[test]
+    fn zero_happens_before_everything() {
+        let mut a = VClock::zero();
+        a.tick(3);
+        assert!(VClock::zero().le(&a));
+        assert!(VClock::zero().le(&VClock::zero()));
+    }
+}

@@ -1,0 +1,123 @@
+//! Model of `yewpar_core::lifecycle`'s hierarchical `CancelToken` tree:
+//! each node holds an `AtomicBool` flag and an `Arc` link to its parent;
+//! `cancel()` stores the flag `Release`, and `is_cancelled()` walks the
+//! ancestor chain with `Acquire` loads.
+//!
+//! Checked invariants:
+//! * **ancestor cancel always observed**: once a root cancel is visible
+//!   (through any happens-before edge), every descendant — including one
+//!   created concurrently with the cancel — reports cancelled;
+//! * **no orphan child**: a child created mid-cancel still hangs off the
+//!   live ancestor chain rather than a stale snapshot.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sched::{run, Config, Report, Strategy};
+use crate::sync::{AtomicBool, AtomicU64};
+use crate::thread;
+
+/// Protocol weakenings the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful protocol.
+    None,
+    /// `is_cancelled` checks only the node's own flag, skipping the
+    /// ancestor walk: a root cancel never reaches descendants.
+    NoAncestorWalk,
+    /// `child()` snapshots the parent's cancelled state at creation and
+    /// drops the parent link: a cancel that lands after creation is lost
+    /// and the child is orphaned from the tree.
+    SnapshotParentAtCreation,
+}
+
+struct Node {
+    flag: AtomicBool,
+    parent: Option<Arc<Node>>,
+}
+
+fn root(name: &str) -> Arc<Node> {
+    Arc::new(Node {
+        flag: AtomicBool::named(name, false),
+        parent: None,
+    })
+}
+
+fn child(parent: &Arc<Node>, name: &str, mutation: Mutation) -> Arc<Node> {
+    if mutation == Mutation::SnapshotParentAtCreation {
+        Arc::new(Node {
+            flag: AtomicBool::named(name, is_cancelled(parent, mutation)),
+            parent: None,
+        })
+    } else {
+        Arc::new(Node {
+            flag: AtomicBool::named(name, false),
+            parent: Some(Arc::clone(parent)),
+        })
+    }
+}
+
+fn cancel(node: &Arc<Node>) {
+    node.flag.store(true, Ordering::Release);
+}
+
+fn is_cancelled(node: &Arc<Node>, mutation: Mutation) -> bool {
+    if mutation == Mutation::NoAncestorWalk {
+        return node.flag.load(Ordering::Acquire);
+    }
+    let mut cursor = Some(node);
+    while let Some(n) = cursor {
+        if n.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        cursor = n.parent.as_ref();
+    }
+    false
+}
+
+fn scenario(mutation: Mutation) {
+    let r = root("root");
+    let mid = child(&r, "mid", mutation);
+    // An independent release edge publishing "the cancel has happened", so
+    // the prober can establish visibility without touching the flags.
+    let fence = Arc::new(AtomicU64::named("cancel_fence", 0));
+
+    let canceller = {
+        let r = Arc::clone(&r);
+        let fence = Arc::clone(&fence);
+        thread::spawn_named("canceller", move || {
+            cancel(&r);
+            fence.store(1, Ordering::Release);
+        })
+    };
+    let prober = {
+        let mid = Arc::clone(&mid);
+        let fence = Arc::clone(&fence);
+        thread::spawn_named("prober", move || {
+            // Leaf creation races the cancel: depending on the schedule it
+            // happens before, between, or after the canceller's two steps.
+            let leaf = child(&mid, "leaf", mutation);
+            if fence.load(Ordering::Acquire) == 1 {
+                assert!(
+                    is_cancelled(&leaf, mutation),
+                    "cancel: root cancel visible but descendant reports live (orphan child)"
+                );
+            }
+        })
+    };
+    canceller.join();
+    prober.join();
+    assert!(
+        is_cancelled(&mid, mutation),
+        "cancel: mid not cancelled after root cancel"
+    );
+}
+
+/// Explore the cancel-token tree protocol.
+pub fn check(mutation: Mutation, strategy: Strategy, config: &Config) -> Report {
+    let name = match mutation {
+        Mutation::None => "cancel".to_string(),
+        m => format!("cancel[{m:?}]"),
+    };
+    run(&name, strategy, config, move || scenario(mutation))
+}

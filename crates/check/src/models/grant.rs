@@ -1,0 +1,180 @@
+//! Model of `yewpar_core::runtime`'s `GrantCore` — the versioned worker
+//! lease with cooperative revocation (request → claim under lock →
+//! `ack_retire` → `Released`).
+//!
+//! Mirrored structure (see `GrantCore` in `crates/core/src/runtime.rs`):
+//! a lock-free `revoke_pending` mirror read with `Relaxed` on the worker
+//! fast path, a `Mutex`-protected authoritative `pending`/`retiring`
+//! count re-checked under the lock before claiming, a monotone `version`
+//! counter bumped `AcqRel` per grant change, and an ack published
+//! `Release` so the dispatcher observing it also observes the release
+//! payload.
+//!
+//! Checked invariants:
+//! * **never lost, never double-acked**: one requested revocation is
+//!   claimed and acked exactly once across racing workers;
+//! * **ack visibility**: a dispatcher that observes the ack flag observes
+//!   the released payload;
+//! * **version monotonicity**: no worker ever sees the version decrease.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sched::{run, Config, Report, Strategy};
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex};
+use crate::thread;
+
+/// Protocol weakenings the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful protocol.
+    None,
+    /// Workers claim a revocation trusting the `Relaxed` fast-path mirror
+    /// without re-checking the authoritative count under the lock: two
+    /// racing workers both claim the single pending revocation.
+    UnlockedClaim,
+    /// The ack flag is published `Relaxed` instead of `Release` (the
+    /// "dropped Release on ack_retire" bug from the issue): the
+    /// dispatcher can observe the ack while reading a stale payload.
+    AckFlagRelaxed,
+}
+
+struct Inner {
+    pending: u64,
+    retiring: u64,
+}
+
+struct GrantModel {
+    version: AtomicU64,
+    revoke_pending: AtomicUsize,
+    inner: Mutex<Inner>,
+    acked: AtomicU64,
+    ack_payload: AtomicU64,
+    ack_flag: AtomicBool,
+    mutation: Mutation,
+}
+
+impl GrantModel {
+    fn new(mutation: Mutation) -> Self {
+        GrantModel {
+            version: AtomicU64::named("version", 0),
+            revoke_pending: AtomicUsize::named("revoke_pending", 0),
+            inner: Mutex::named(
+                "grant_inner",
+                Inner {
+                    pending: 0,
+                    retiring: 0,
+                },
+            ),
+            acked: AtomicU64::named("acked", 0),
+            ack_payload: AtomicU64::named("ack_payload", 0),
+            ack_flag: AtomicBool::named("ack_flag", false),
+            mutation,
+        }
+    }
+
+    fn request_revoke(&self, n: u64) {
+        {
+            let mut inner = self.inner.lock();
+            inner.pending += n;
+            self.revoke_pending
+                .store(inner.pending as usize, Ordering::Release);
+        }
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Worker side: claim one pending revocation if any.
+    fn try_claim_retire(&self) -> bool {
+        if self.revoke_pending.load(Ordering::Relaxed) == 0 {
+            // Fast path: the mirror is advisory; a stale zero just means a
+            // later scheduling round claims instead.
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if self.mutation == Mutation::UnlockedClaim {
+            // Bug: trust the fast-path read; skip the authoritative
+            // re-check, so both racing workers decrement.
+            assert!(
+                inner.pending > 0,
+                "grant: revocation claimed twice (double-claim of a single request)"
+            );
+            inner.pending -= 1;
+        } else {
+            if inner.pending == 0 {
+                return false;
+            }
+            inner.pending -= 1;
+        }
+        self.revoke_pending
+            .store(inner.pending as usize, Ordering::Relaxed);
+        inner.retiring += 1;
+        true
+    }
+
+    fn ack_retire(&self) {
+        {
+            let mut inner = self.inner.lock();
+            assert!(inner.retiring > 0, "grant: ack without a claimed retire");
+            inner.retiring -= 1;
+        }
+        // The Released control message: payload first, flag last.
+        self.ack_payload.store(7, Ordering::Relaxed);
+        self.acked.fetch_add(1, Ordering::AcqRel);
+        let ord = match self.mutation {
+            Mutation::AckFlagRelaxed => Ordering::Relaxed,
+            _ => Ordering::Release,
+        };
+        self.ack_flag.store(true, ord);
+    }
+}
+
+fn scenario(mutation: Mutation) {
+    let g = Arc::new(GrantModel::new(mutation));
+    // The dispatcher requests the revocation before the racing workers
+    // start (the race under test is claim/ack, not request/claim — the
+    // spawn edge makes the pending mirror visible to both workers).
+    g.request_revoke(1);
+
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let g = Arc::clone(&g);
+            thread::spawn_named(if i == 0 { "worker0" } else { "worker1" }, move || {
+                let v1 = g.version.load(Ordering::Acquire);
+                if g.try_claim_retire() {
+                    g.ack_retire();
+                }
+                let v2 = g.version.load(Ordering::Acquire);
+                assert!(v2 >= v1, "grant: version went backwards ({v1} -> {v2})");
+            })
+        })
+        .collect();
+
+    // Dispatcher poll, racing the workers: an observed ack implies a
+    // visible payload.
+    if g.ack_flag.load(Ordering::Acquire) {
+        let payload = g.ack_payload.load(Ordering::Relaxed);
+        assert_eq!(
+            payload, 7,
+            "grant: ack observed but Released payload stale ({payload})"
+        );
+    }
+
+    for worker in workers {
+        worker.join();
+    }
+    let inner = g.inner.lock();
+    assert_eq!(inner.pending, 0, "grant: revocation lost (never claimed)");
+    assert_eq!(inner.retiring, 0, "grant: claimed retire never acked");
+    drop(inner);
+    let acks = g.acked.load(Ordering::Acquire);
+    assert_eq!(acks, 1, "grant: single revocation acked {acks} times");
+}
+
+/// Explore the grant revocation protocol.
+pub fn check(mutation: Mutation, strategy: Strategy, config: &Config) -> Report {
+    let name = match mutation {
+        Mutation::None => "grant".to_string(),
+        m => format!("grant[{m:?}]"),
+    };
+    run(&name, strategy, config, move || scenario(mutation))
+}

@@ -1,0 +1,162 @@
+//! Model of one `yewpar_core::workpool::ordered` shard: a mutex-protected
+//! buffer of `(key, arrival)` entries with a `Release`-published
+//! `occupied` fast-path flag, arrival stamps from a `Relaxed` counter, and
+//! consumers that drain best-first — smallest `(key, arrival)` — while
+//! `purge_after` concurrently retires speculative entries.
+//!
+//! Checked invariants:
+//! * **pop order**: entries sharing a key always drain in arrival order;
+//! * **no lost or duplicated element**: across racing consumers every
+//!   pushed entry is popped exactly once, and a push that
+//!   happens-before a pop attempt is always visible to it.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sched::{run, Config, Report, Strategy};
+use crate::sync::{channel, AtomicBool, AtomicU64, Mutex};
+use crate::thread;
+
+/// Protocol weakenings the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful protocol.
+    None,
+    /// `push` inserts without publishing `occupied`: consumers' fast path
+    /// never wakes up and the element is lost.
+    SkipOccupiedPublish,
+    /// The drain picks the newest entry instead of the oldest (LIFO
+    /// instead of the `(key, arrival)` order the paper's replicable
+    /// ordered skeleton depends on).
+    PopNewestFirst,
+}
+
+struct Shard {
+    arrivals: AtomicU64,
+    buffer: Mutex<Vec<(u64, u64)>>,
+    occupied: AtomicBool,
+    mutation: Mutation,
+}
+
+impl Shard {
+    fn new(mutation: Mutation) -> Self {
+        Shard {
+            arrivals: AtomicU64::named("arrivals", 0),
+            buffer: Mutex::named("shard.buffer", Vec::new()),
+            occupied: AtomicBool::named("shard.occupied", false),
+            mutation,
+        }
+    }
+
+    fn push(&self, key: u64) {
+        let arrival = self.arrivals.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut buffer = self.buffer.lock();
+            buffer.push((key, arrival));
+        }
+        if self.mutation != Mutation::SkipOccupiedPublish {
+            self.occupied.store(true, Ordering::Release);
+        }
+    }
+
+    fn pop_best(&self) -> Option<(u64, u64)> {
+        if !self.occupied.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut buffer = self.buffer.lock();
+        if buffer.is_empty() {
+            self.occupied.store(false, Ordering::Release);
+            return None;
+        }
+        let pick = if self.mutation == Mutation::PopNewestFirst {
+            (0..buffer.len())
+                .max_by_key(|&i| buffer[i])
+                .expect("non-empty")
+        } else {
+            (0..buffer.len())
+                .min_by_key(|&i| buffer[i])
+                .expect("non-empty")
+        };
+        let entry = buffer.remove(pick);
+        if buffer.is_empty() {
+            self.occupied.store(false, Ordering::Release);
+        }
+        Some(entry)
+    }
+
+    fn purge_after(&self, watermark: u64) {
+        let mut buffer = self.buffer.lock();
+        buffer.retain(|entry| entry.1 <= watermark);
+        if buffer.is_empty() {
+            self.occupied.store(false, Ordering::Release);
+        }
+    }
+}
+
+fn scenario(mutation: Mutation) {
+    let shard = Arc::new(Shard::new(mutation));
+    // First entry lands before the race (spawn edge publishes it);
+    // the second races the purger and the consumer.
+    shard.push(5);
+
+    let pusher = {
+        let shard = Arc::clone(&shard);
+        thread::spawn_named("pusher", move || {
+            shard.push(5);
+        })
+    };
+    let purger = {
+        let shard = Arc::clone(&shard);
+        // Watermark 1 retains both entries: the purge exercises lock and
+        // flag contention without changing the expected final multiset.
+        thread::spawn_named("purger", move || {
+            shard.purge_after(1);
+        })
+    };
+    let (pop_tx, pop_rx) = channel();
+    let consumer = {
+        let shard = Arc::clone(&shard);
+        thread::spawn_named("consumer", move || {
+            pop_tx.send(shard.pop_best());
+        })
+    };
+
+    pusher.join();
+    purger.join();
+    consumer.join();
+
+    // The consumer's pop happens-before both of these (join edge), so the
+    // three pops below form one global drain sequence.
+    let consumer_pop = pop_rx.recv();
+    let first = shard.pop_best();
+    let second = shard.pop_best();
+    let sequence: Vec<(u64, u64)> = consumer_pop
+        .into_iter()
+        .chain(first)
+        .chain(second)
+        .collect();
+    for pair in sequence.windows(2) {
+        assert!(
+            pair[0].1 < pair[1].1,
+            "ordered pool: same-key entries popped out of arrival order ({:?} then {:?})",
+            pair[0],
+            pair[1]
+        );
+    }
+    let mut popped = sequence;
+    popped.sort_unstable();
+    assert_eq!(
+        popped,
+        vec![(5, 0), (5, 1)],
+        "ordered pool: popped multiset mismatch (lost or duplicated element)"
+    );
+}
+
+/// Explore the shard push/drain/purge protocol.
+pub fn check(mutation: Mutation, strategy: Strategy, config: &Config) -> Report {
+    let name = match mutation {
+        Mutation::None => "ordered-pool".to_string(),
+        m => format!("ordered-pool[{m:?}]"),
+    };
+    run(&name, strategy, config, move || scenario(mutation))
+}

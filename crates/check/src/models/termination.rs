@@ -1,0 +1,163 @@
+//! Model of `yewpar_core::termination::Termination` — the outstanding-task
+//! accounting that decides when a search may exit — plus the latch-style
+//! wait/notify pattern the runtime uses to park the coordinator until the
+//! count drains.
+//!
+//! Mirrored orderings (see `crates/core/src/termination.rs`):
+//! `task_spawned` is `fetch_add(1, AcqRel)`, `task_completed` is
+//! `fetch_sub(1, AcqRel)` with `done.store(true, Release)` when the count
+//! hits zero, and observers read with `Acquire`.
+//!
+//! Checked invariants:
+//! * **no early exit**: an observer that sees `done == true` can never see
+//!   `outstanding != 0`;
+//! * **no lost wakeup**: a waiter parked on the drained-latch condvar is
+//!   always woken (a lost wakeup surfaces as a model deadlock).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sched::{run, Config, Report, Strategy};
+use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
+use crate::thread;
+
+/// Protocol weakenings the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful protocol.
+    None,
+    /// `done` published with `Relaxed` instead of `Release`: an observer
+    /// may see `done == true` while still reading a stale non-zero
+    /// `outstanding` — exit with work in flight.
+    DoneStoreRelaxed,
+    /// The completer notifies the drained-latch condvar without holding
+    /// the latch mutex: the classic check-then-park lost wakeup.
+    LatchNotifyWithoutLock,
+}
+
+struct Model {
+    outstanding: AtomicU64,
+    done: AtomicBool,
+    mutation: Mutation,
+}
+
+impl Model {
+    fn new(mutation: Mutation) -> Self {
+        Model {
+            // The root task is registered before any worker starts, as in
+            // `Runtime::execute`.
+            outstanding: AtomicU64::named("outstanding", 1),
+            done: AtomicBool::named("done", false),
+            mutation,
+        }
+    }
+
+    fn task_spawned(&self) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn task_completed(&self) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "termination: outstanding count underflow");
+        if prev == 1 {
+            let ord = match self.mutation {
+                Mutation::DoneStoreRelaxed => Ordering::Relaxed,
+                _ => Ordering::Release,
+            };
+            self.done.store(true, ord);
+        }
+    }
+}
+
+/// One worker spawns and completes tasks while a watcher polls for the
+/// done flag; seeing it set, the watcher must also see the count at zero.
+fn counter_scenario(mutation: Mutation) {
+    let t = Arc::new(Model::new(mutation));
+    let worker = {
+        let t = Arc::clone(&t);
+        thread::spawn_named("worker", move || {
+            t.task_spawned();
+            t.task_completed();
+            t.task_completed();
+        })
+    };
+    let watcher = {
+        let t = Arc::clone(&t);
+        thread::spawn_named("watcher", move || {
+            if t.done.load(Ordering::Acquire) {
+                let outstanding = t.outstanding.load(Ordering::Acquire);
+                assert_eq!(
+                    outstanding, 0,
+                    "termination: done observed with outstanding = {outstanding}"
+                );
+            }
+        })
+    };
+    worker.join();
+    watcher.join();
+    assert_eq!(t.outstanding.load(Ordering::Acquire), 0);
+    assert!(
+        t.done.load(Ordering::Acquire),
+        "all tasks done but flag unset"
+    );
+}
+
+/// The drained latch: a completer decrements the remaining count and, on
+/// zero, notifies a coordinator parked on a condvar.
+fn latch_scenario(mutation: Mutation) {
+    let remaining = Arc::new(AtomicU64::named("remaining", 1));
+    let gate = Arc::new(Mutex::named("gate", ()));
+    let drained = Arc::new(Condvar::named("drained"));
+
+    let completer = {
+        let remaining = Arc::clone(&remaining);
+        let gate = Arc::clone(&gate);
+        let drained = Arc::clone(&drained);
+        thread::spawn_named("completer", move || {
+            let prev = remaining.fetch_sub(1, Ordering::AcqRel);
+            if prev == 1 {
+                if mutation == Mutation::LatchNotifyWithoutLock {
+                    // Bug: without holding the gate, the notify can land in
+                    // the window between the waiter's predicate check and
+                    // its park — and is lost forever.
+                    drained.notify_all();
+                } else {
+                    let _gate = gate.lock();
+                    drained.notify_all();
+                }
+            }
+        })
+    };
+    let waiter = {
+        let remaining = Arc::clone(&remaining);
+        let gate = Arc::clone(&gate);
+        let drained = Arc::clone(&drained);
+        thread::spawn_named("waiter", move || {
+            let mut guard = gate.lock();
+            while remaining.load(Ordering::Acquire) > 0 {
+                guard = drained.wait(guard);
+            }
+            drop(guard);
+        })
+    };
+    completer.join();
+    waiter.join();
+}
+
+/// Explore the counter scenario (early-exit invariant).
+pub fn check(mutation: Mutation, strategy: Strategy, config: &Config) -> Report {
+    let name = match mutation {
+        Mutation::None => "termination".to_string(),
+        m => format!("termination[{m:?}]"),
+    };
+    run(&name, strategy, config, move || counter_scenario(mutation))
+}
+
+/// Explore the latch scenario (lost-wakeup invariant).
+pub fn check_latch(mutation: Mutation, strategy: Strategy, config: &Config) -> Report {
+    let name = match mutation {
+        Mutation::None => "termination-latch".to_string(),
+        m => format!("termination-latch[{m:?}]"),
+    };
+    run(&name, strategy, config, move || latch_scenario(mutation))
+}

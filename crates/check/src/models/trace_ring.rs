@@ -1,0 +1,123 @@
+//! Model of `yewpar_core::trace`'s per-worker ring (`WorkerRing`): slots
+//! are claimed with `len.fetch_add(1, Relaxed)` and written without
+//! further synchronisation, overflow bumps `dropped` instead, and drain
+//! happens only at quiescence — the join/park edge, not the `len` load, is
+//! what makes the unsynchronised slot writes visible.
+//!
+//! Checked invariants:
+//! * **no torn record**: a drained slot's two halves always match, and a
+//!   slot counted by `len` is never read uninitialised (this is exactly
+//!   the invariant the quiescence requirement exists for);
+//! * **`dropped()` monotone**: an observer never sees the drop counter go
+//!   backwards.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sched::{run, Config, Report, Strategy};
+use crate::sync::{AtomicU64, AtomicUsize};
+use crate::thread;
+
+/// Protocol weakenings the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful protocol: drain only after the producer is joined.
+    None,
+    /// Drain concurrently with the producer (the quiescence requirement
+    /// violated): stale/uninitialised slot halves become observable.
+    DrainWithoutQuiescence,
+    /// Drain resets the drop counter: `dropped()` stops being monotone.
+    DroppedResetOnDrain,
+}
+
+const CAP: usize = 1;
+
+struct Ring {
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    // One slot, two halves: models the multi-word TraceRecord whose
+    // tearing the quiescence protocol must prevent.
+    slot_a: AtomicU64,
+    slot_b: AtomicU64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            len: AtomicUsize::named("ring.len", 0),
+            dropped: AtomicU64::named("ring.dropped", 0),
+            slot_a: AtomicU64::named("slot.a", 0),
+            slot_b: AtomicU64::named("slot.b", 0),
+        }
+    }
+
+    fn push(&self, value: u64) {
+        let claim = self.len.fetch_add(1, Ordering::Relaxed);
+        if claim < CAP {
+            // Unsynchronised two-half record write, as in the real ring
+            // (plain slice writes there; split atomics here so the model
+            // can observe tearing).
+            self.slot_a.store(value, Ordering::Relaxed);
+            self.slot_b.store(value, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn drain(&self, mutation: Mutation) {
+        let filled = self.len.load(Ordering::Acquire).min(CAP);
+        if filled > 0 {
+            let a = self.slot_a.load(Ordering::Relaxed);
+            let b = self.slot_b.load(Ordering::Relaxed);
+            assert_eq!(a, b, "trace ring: torn record (halves {a} vs {b})");
+            assert_ne!(a, 0, "trace ring: counted slot drained uninitialised");
+        }
+        if mutation == Mutation::DroppedResetOnDrain {
+            self.dropped.store(0, Ordering::Relaxed);
+        }
+        self.len.store(0, Ordering::Release);
+    }
+}
+
+fn scenario(mutation: Mutation) {
+    let ring = Arc::new(Ring::new());
+
+    let producer = {
+        let ring = Arc::clone(&ring);
+        thread::spawn_named("producer", move || {
+            ring.push(7);
+            ring.push(9); // overflows CAP = 1 -> dropped
+        })
+    };
+    let monitor = {
+        let ring = Arc::clone(&ring);
+        thread::spawn_named("monitor", move || {
+            let d1 = ring.dropped.load(Ordering::Relaxed);
+            let d2 = ring.dropped.load(Ordering::Relaxed);
+            assert!(
+                d2 >= d1,
+                "trace ring: dropped() went backwards ({d1} -> {d2})"
+            );
+        })
+    };
+
+    if mutation == Mutation::DrainWithoutQuiescence {
+        // Bug: drain while the producer may still be mid-record.
+        ring.drain(mutation);
+        producer.join();
+    } else {
+        producer.join();
+        // Quiescent drain: the join edge makes the slot writes visible.
+        ring.drain(mutation);
+    }
+    monitor.join();
+}
+
+/// Explore the trace-ring drain protocol.
+pub fn check(mutation: Mutation, strategy: Strategy, config: &Config) -> Report {
+    let name = match mutation {
+        Mutation::None => "trace-ring".to_string(),
+        m => format!("trace-ring[{m:?}]"),
+    };
+    run(&name, strategy, config, move || scenario(mutation))
+}

@@ -1,0 +1,1287 @@
+//! The deterministic-interleaving scheduler: exhaustive DFS (or seeded
+//! random / exact replay) exploration of every schedule of a small
+//! multi-threaded model built from the [`crate::sync`] shim primitives.
+//!
+//! # How an exploration works
+//!
+//! A model is a closure re-run once per *schedule*.  Inside it, threads are
+//! spawned with [`crate::thread::spawn`] and communicate only through the
+//! shim primitives.  Every shim operation is a *visible operation*: the
+//! executing thread parks and hands the operation to the controller (this
+//! module), which decides — via the exploration strategy — which thread's
+//! pending operation runs next.  Between visible operations a thread runs
+//! real Rust code undisturbed, so models read naturally while the
+//! controller still observes every interleaving-relevant event.
+//!
+//! # Ordering-aware visibility
+//!
+//! The memory model is a sound approximation of the C11 model restricted to
+//! what the runtime actually uses (no `SeqCst`-fence reasoning — the
+//! workspace's protocols rely only on `Relaxed`/`Acquire`/`Release`/`AcqRel`,
+//! and `SeqCst` is treated as `AcqRel`, which explores *more* behaviours
+//! than real hardware would allow, never fewer):
+//!
+//! * every atomic keeps its full modification history;
+//! * a plain load may observe **any** store newer than both the latest one
+//!   that happens-before the load and the newest one this thread has already
+//!   observed (per-location coherence) — so a `Relaxed` load can return
+//!   stale values, which is exactly the class of bug the checker exists to
+//!   catch;
+//! * an `Acquire` load that picks a `Release`-published store joins the
+//!   releaser's vector clock into the loader's, constraining its future
+//!   loads;
+//! * read-modify-writes always operate on the newest store (atomicity) and
+//!   continue release sequences, so a `Relaxed` `fetch_add` after a
+//!   `Release` store still lets an `Acquire` reader synchronise with the
+//!   original release;
+//! * mutex unlock→lock, channel send→recv, spawn and join all create
+//!   happens-before edges.
+//!
+//! # Failures
+//!
+//! An assertion failure inside a model thread, or a deadlock (no runnable
+//! thread while some are unfinished — including a lost condvar wakeup),
+//! aborts the execution and produces a [`Failure`] carrying the **full
+//! interleaving schedule** and the choice sequence, which
+//! [`Strategy::Replay`] re-executes exactly.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Once};
+
+use crate::clock::{VClock, MAX_THREADS};
+
+// ---------------------------------------------------------------------------
+// Public configuration / results
+// ---------------------------------------------------------------------------
+
+/// How the exploration picks schedules.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Depth-first enumeration of **every** schedule (bounded by
+    /// [`Config::max_schedules`]).  [`Report::complete`] is true only when
+    /// the space was exhausted within the budget.
+    Dfs,
+    /// Seeded pseudo-random schedules: the fuzz-style smoke mode.  Fully
+    /// deterministic for a given `(seed, iterations)` pair.
+    Random { seed: u64, iterations: u64 },
+    /// Re-execute exactly one schedule from a recorded choice sequence
+    /// (see [`Failure::choices`]) — the regression-test mode.
+    Replay(Vec<usize>),
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Hard cap on explored schedules; exceeding it ends the run with
+    /// [`Report::complete`] = false rather than hanging CI.
+    pub max_schedules: u64,
+    /// Optional preemption bound: once a schedule has context-switched away
+    /// from a still-runnable thread this many times, the running thread
+    /// keeps running.  Unbounded (`None`) is a true exhaustive search;
+    /// small bounds (2-3) find almost all real protocol bugs at a fraction
+    /// of the schedule count.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 1_000_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// A counterexample: the assertion or deadlock message plus the exact
+/// interleaving that produced it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic payload of the failing assertion, or a deadlock report.
+    pub message: String,
+    /// The full schedule: one line per visible operation, in execution
+    /// order.
+    pub schedule: Vec<String>,
+    /// The non-forced choice outcomes of this schedule; feed to
+    /// [`Strategy::Replay`] to re-execute it exactly.
+    pub choices: Vec<usize>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample: {}", self.message)?;
+        writeln!(
+            f,
+            "interleaving ({} visible operations):",
+            self.schedule.len()
+        )?;
+        for (i, line) in self.schedule.iter().enumerate() {
+            writeln!(f, "  {:>3}. {line}", i + 1)?;
+        }
+        write!(f, "replay choices: {:?}", self.choices)
+    }
+}
+
+/// The outcome of one exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Model name, for human-readable output.
+    pub name: String,
+    /// Schedules executed.
+    pub schedules: u64,
+    /// True when the strategy finished its full search space (for
+    /// [`Strategy::Dfs`]: every schedule was explored within the budget).
+    pub complete: bool,
+    /// The first counterexample found, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panic (printing the counterexample interleaving) unless the
+    /// exploration both completed and found no failure.
+    pub fn assert_ok(&self) {
+        if let Some(failure) = &self.failure {
+            panic!(
+                "model `{}` failed after {} schedules\n{failure}",
+                self.name, self.schedules
+            );
+        }
+        assert!(
+            self.complete,
+            "model `{}` exploration hit its schedule budget ({} explored) without completing",
+            self.name, self.schedules
+        );
+    }
+
+    /// Panic unless a counterexample was found — the harness for the
+    /// injected-bug tests that prove the checker catches known-bad
+    /// mutations.
+    pub fn assert_caught(&self) -> &Failure {
+        match &self.failure {
+            Some(failure) => failure,
+            None => panic!(
+                "model `{}` explored {} schedules (complete: {}) without catching the injected bug",
+                self.name, self.schedules, self.complete
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-side context and protocol
+// ---------------------------------------------------------------------------
+
+/// Read-modify-write flavours the shim atomics need.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RmwKind {
+    Add(u64),
+    Sub(u64),
+    Max(u64),
+    Swap(u64),
+    And(u64),
+    Or(u64),
+    Cas {
+        expect: u64,
+        new: u64,
+        fail: Ordering,
+    },
+}
+
+/// A visible operation, handed from a model thread to the controller.
+pub(crate) enum Op {
+    NewAtom {
+        name: String,
+        init: u64,
+    },
+    Load {
+        atom: usize,
+        ord: Ordering,
+    },
+    Store {
+        atom: usize,
+        val: u64,
+        ord: Ordering,
+    },
+    Rmw {
+        atom: usize,
+        kind: RmwKind,
+        ord: Ordering,
+    },
+    NewMutex {
+        name: String,
+    },
+    MutexLock {
+        mutex: usize,
+    },
+    MutexUnlock {
+        mutex: usize,
+    },
+    NewCondvar {
+        name: String,
+    },
+    CondWait {
+        condvar: usize,
+        mutex: usize,
+    },
+    CondNotifyAll {
+        condvar: usize,
+    },
+    CondNotifyOne {
+        condvar: usize,
+    },
+    NewChannel {
+        name: String,
+        cap: Option<usize>,
+    },
+    ChanSend {
+        chan: usize,
+    },
+    ChanTrySend {
+        chan: usize,
+    },
+    ChanRecv {
+        chan: usize,
+    },
+    ChanTryRecv {
+        chan: usize,
+    },
+    Spawn {
+        name: String,
+        f: Box<dyn FnOnce() + Send>,
+    },
+    Join {
+        tid: usize,
+    },
+    Yield,
+    Log {
+        message: String,
+    },
+}
+
+impl Op {
+    /// Registrations and log lines are deterministic bookkeeping, not
+    /// scheduling points: the controller services them inline without
+    /// consuming a choice.
+    fn is_immediate(&self) -> bool {
+        matches!(
+            self,
+            Op::NewAtom { .. }
+                | Op::NewMutex { .. }
+                | Op::NewCondvar { .. }
+                | Op::NewChannel { .. }
+                | Op::Log { .. }
+        )
+    }
+}
+
+/// Controller -> thread response.
+#[derive(Debug, Clone)]
+pub(crate) enum Reply {
+    Unit,
+    Value(u64),
+    Bool(bool),
+    Id(usize),
+    Tid(usize),
+    Cas(Result<u64, u64>),
+    /// The execution is being torn down (failure elsewhere): unwind now.
+    Abort,
+}
+
+enum MsgKind {
+    Op(Op),
+    Finished {
+        panic: Option<String>,
+        aborted: bool,
+    },
+}
+
+struct Msg {
+    tid: usize,
+    kind: MsgKind,
+}
+
+/// Unwind payload for controller-initiated teardown; never reported as a
+/// model failure.
+struct AbortToken;
+
+struct ThreadCtx {
+    tid: usize,
+    to_ctl: Sender<Msg>,
+    from_ctl: Receiver<Reply>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// True while the calling thread is a model thread of a live exploration —
+/// the switch the shim primitives use to pick instrumented vs real
+/// behaviour.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Hand a visible operation to the controller and park until it replies.
+pub(crate) fn perform(op: Op) -> Reply {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        let ctx = borrow
+            .as_ref()
+            .expect("shim operation performed outside a model execution");
+        ctx.to_ctl
+            .send(Msg {
+                tid: ctx.tid,
+                kind: MsgKind::Op(op),
+            })
+            .expect("model controller disappeared mid-execution");
+        match ctx
+            .from_ctl
+            .recv()
+            .expect("model controller disappeared mid-execution")
+        {
+            Reply::Abort => std::panic::panic_any(AbortToken),
+            reply => reply,
+        }
+    })
+}
+
+/// Best-effort panic-message extraction for counterexample reports.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Model-thread panics are expected (they are the counterexamples); keep
+/// the default hook from spamming stderr with their backtrace preambles.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .is_some_and(|name| name.starts_with("yewpar-model"));
+            if !quiet {
+                default(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Choice engine (DFS stack / seeded RNG / replay)
+// ---------------------------------------------------------------------------
+
+struct ChoicePoint {
+    taken: usize,
+    total: usize,
+}
+
+struct Chooser {
+    strategy: Strategy,
+    stack: Vec<ChoicePoint>,
+    cursor: usize,
+    rng: u64,
+    replay_cursor: usize,
+    /// Outcomes of this execution's non-forced choices (for replay).
+    log: Vec<usize>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Chooser {
+    fn new(strategy: Strategy) -> Self {
+        Chooser {
+            strategy,
+            stack: Vec::new(),
+            cursor: 0,
+            rng: 0,
+            replay_cursor: 0,
+            log: Vec::new(),
+        }
+    }
+
+    fn begin_execution(&mut self, schedule_index: u64) {
+        self.cursor = 0;
+        self.replay_cursor = 0;
+        self.log.clear();
+        if let Strategy::Random { seed, .. } = self.strategy {
+            // Distinct deterministic stream per schedule.
+            let mut mix = seed ^ schedule_index.wrapping_mul(0xA24B_AED4_963E_E407);
+            splitmix64(&mut mix);
+            self.rng = mix;
+        }
+    }
+
+    /// Resolve one non-deterministic choice among `total` options.
+    fn decide(&mut self, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        let choice = match &self.strategy {
+            Strategy::Dfs => {
+                if self.cursor < self.stack.len() {
+                    let taken = self.stack[self.cursor].taken;
+                    self.cursor += 1;
+                    taken
+                } else {
+                    self.stack.push(ChoicePoint { taken: 0, total });
+                    self.cursor += 1;
+                    0
+                }
+            }
+            Strategy::Random { .. } => (splitmix64(&mut self.rng) % total as u64) as usize,
+            Strategy::Replay(choices) => {
+                let c = choices.get(self.replay_cursor).copied().unwrap_or(0);
+                self.replay_cursor += 1;
+                c.min(total - 1)
+            }
+        };
+        self.log.push(choice);
+        choice
+    }
+
+    /// Advance the DFS stack to the next unexplored schedule; false when
+    /// the whole space has been enumerated.
+    fn advance_dfs(&mut self) -> bool {
+        while let Some(last) = self.stack.last_mut() {
+            if last.taken + 1 < last.total {
+                last.taken += 1;
+                return true;
+            }
+            self.stack.pop();
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory model
+// ---------------------------------------------------------------------------
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ord_name(ord: Ordering) -> &'static str {
+    match ord {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+struct StoreRec {
+    val: u64,
+    /// The writer's clock at the store: the visibility floor for readers.
+    clock: VClock,
+    /// Set for `Release`-class stores (and propagated through release
+    /// sequences): what an `Acquire` reader joins into its own clock.
+    release: Option<VClock>,
+}
+
+struct AtomCell {
+    name: String,
+    history: Vec<StoreRec>,
+    /// Per-thread coherence floor: index of the newest store each thread
+    /// has observed (reads never go backwards on a location).
+    seen: [usize; MAX_THREADS],
+}
+
+struct MutexCell {
+    name: String,
+    held_by: Option<usize>,
+    /// Accumulated release clock of every unlock so far.
+    clock: VClock,
+}
+
+struct CvCell {
+    name: String,
+    waiters: Vec<usize>,
+}
+
+struct ChanCell {
+    name: String,
+    cap: Option<usize>,
+    /// Send clocks of in-flight messages (payloads live thread-side in the
+    /// shim; the controller only tracks occupancy and happens-before).
+    clocks: VecDeque<VClock>,
+}
+
+#[derive(Default)]
+struct Mem {
+    atoms: Vec<AtomCell>,
+    mutexes: Vec<MutexCell>,
+    condvars: Vec<CvCell>,
+    chans: Vec<ChanCell>,
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution controller state
+// ---------------------------------------------------------------------------
+
+enum Pending {
+    /// Running real code (or not yet heard from).
+    Running,
+    /// Parked at a visible operation, awaiting scheduling.
+    Op(Op),
+    /// Parked in `Condvar::wait`, mutex already released.
+    CondBlocked {
+        mutex: usize,
+    },
+    /// Woken by a notify; must re-acquire the mutex before resuming.
+    Relock {
+        mutex: usize,
+    },
+    Finished,
+}
+
+struct ThreadSlot {
+    name: String,
+    reply_tx: Sender<Reply>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    pending: Pending,
+    view: VClock,
+}
+
+struct Exec {
+    msg_tx: Sender<Msg>,
+    msg_rx: Receiver<Msg>,
+    threads: Vec<ThreadSlot>,
+    mem: Mem,
+    events: Vec<String>,
+    failure: Option<String>,
+    last_ran: Option<usize>,
+    preemptions: usize,
+}
+
+impl Exec {
+    fn new() -> Self {
+        let (msg_tx, msg_rx) = channel();
+        Exec {
+            msg_tx,
+            msg_rx,
+            threads: Vec::new(),
+            mem: Mem::default(),
+            events: Vec::new(),
+            failure: None,
+            last_ran: None,
+            preemptions: 0,
+        }
+    }
+
+    fn spawn_thread(&mut self, name: String, f: Box<dyn FnOnce() + Send>) -> usize {
+        let tid = self.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model spawned more than {MAX_THREADS} threads"
+        );
+        let (reply_tx, reply_rx) = channel();
+        let to_ctl = self.msg_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("yewpar-model-{tid}-{name}"))
+            .spawn(move || {
+                CTX.with(|c| {
+                    *c.borrow_mut() = Some(ThreadCtx {
+                        tid,
+                        to_ctl: to_ctl.clone(),
+                        from_ctl: reply_rx,
+                    });
+                });
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let (panic, aborted) = match result {
+                    Ok(()) => (None, false),
+                    Err(payload) => {
+                        if payload.downcast_ref::<AbortToken>().is_some() {
+                            (None, true)
+                        } else {
+                            (Some(panic_message(payload.as_ref())), false)
+                        }
+                    }
+                };
+                CTX.with(|c| *c.borrow_mut() = None);
+                let _ = to_ctl.send(Msg {
+                    tid,
+                    kind: MsgKind::Finished { panic, aborted },
+                });
+            })
+            .expect("spawn model OS thread");
+        self.threads.push(ThreadSlot {
+            name,
+            reply_tx,
+            handle: Some(handle),
+            pending: Pending::Running,
+            view: VClock::zero(),
+        });
+        tid
+    }
+
+    /// Block until thread `tid` parks at its next visible operation or
+    /// finishes, servicing immediate (registration/log) requests inline.
+    fn await_thread(&mut self, tid: usize, chooser: &mut Chooser) {
+        loop {
+            let msg = self
+                .msg_rx
+                .recv()
+                .expect("model thread hung up without a Finished message");
+            debug_assert_eq!(msg.tid, tid, "only the resumed thread may run");
+            match msg.kind {
+                MsgKind::Op(op) if op.is_immediate() => {
+                    let reply = self.execute_immediate(tid, op, chooser);
+                    if self.threads[tid].reply_tx.send(reply).is_err() {
+                        return;
+                    }
+                }
+                MsgKind::Op(op) => {
+                    self.threads[tid].pending = Pending::Op(op);
+                    return;
+                }
+                MsgKind::Finished { panic, aborted } => {
+                    if let Some(message) = panic {
+                        if !aborted && self.failure.is_none() {
+                            self.failure = Some(message);
+                        }
+                    }
+                    self.threads[tid].pending = Pending::Finished;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn execute_immediate(&mut self, tid: usize, op: Op, _chooser: &mut Chooser) -> Reply {
+        match op {
+            Op::NewAtom { name, init } => {
+                let id = self.mem.atoms.len();
+                let clock = self.threads[tid].view;
+                let mut seen = [0usize; MAX_THREADS];
+                seen[tid] = 0;
+                self.mem.atoms.push(AtomCell {
+                    name,
+                    history: vec![StoreRec {
+                        val: init,
+                        clock,
+                        release: None,
+                    }],
+                    seen,
+                });
+                Reply::Id(id)
+            }
+            Op::NewMutex { name } => {
+                let id = self.mem.mutexes.len();
+                self.mem.mutexes.push(MutexCell {
+                    name,
+                    held_by: None,
+                    clock: VClock::zero(),
+                });
+                Reply::Id(id)
+            }
+            Op::NewCondvar { name } => {
+                let id = self.mem.condvars.len();
+                self.mem.condvars.push(CvCell {
+                    name,
+                    waiters: Vec::new(),
+                });
+                Reply::Id(id)
+            }
+            Op::NewChannel { name, cap } => {
+                let id = self.mem.chans.len();
+                self.mem.chans.push(ChanCell {
+                    name,
+                    cap,
+                    clocks: VecDeque::new(),
+                });
+                Reply::Id(id)
+            }
+            Op::Log { message } => {
+                let name = self.threads[tid].name.clone();
+                self.events.push(format!("T{tid}({name}) // {message}"));
+                Reply::Unit
+            }
+            _ => unreachable!("non-immediate op routed to execute_immediate"),
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.pending, Pending::Finished))
+    }
+
+    fn op_enabled(&self, op: &Op) -> bool {
+        match op {
+            Op::MutexLock { mutex } => self.mem.mutexes[*mutex].held_by.is_none(),
+            Op::ChanSend { chan } => {
+                let cell = &self.mem.chans[*chan];
+                cell.cap.map_or(true, |cap| cell.clocks.len() < cap)
+            }
+            Op::ChanRecv { chan } => !self.mem.chans[*chan].clocks.is_empty(),
+            Op::Join { tid } => matches!(self.threads[*tid].pending, Pending::Finished),
+            _ => true,
+        }
+    }
+
+    /// Threads whose pending operation could execute right now.
+    fn enabled_candidates(&self, config: &Config) -> Vec<usize> {
+        let enabled: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| match &slot.pending {
+                Pending::Op(op) => self.op_enabled(op),
+                Pending::Relock { mutex } => self.mem.mutexes[*mutex].held_by.is_none(),
+                _ => false,
+            })
+            .map(|(tid, _)| tid)
+            .collect();
+        if let Some(bound) = config.preemption_bound {
+            if self.preemptions >= bound {
+                if let Some(prev) = self.last_ran {
+                    if enabled.contains(&prev) {
+                        return vec![prev];
+                    }
+                }
+            }
+        }
+        enabled
+    }
+
+    fn push_event(&mut self, tid: usize, text: String) {
+        let name = &self.threads[tid].name;
+        self.events.push(format!("T{tid}({name}) {text}"));
+    }
+
+    /// Execute thread `tid`'s pending step.  Most steps end by replying to
+    /// the thread and waiting for its next operation; a condvar wait's
+    /// first phase leaves the thread parked instead.
+    fn execute(&mut self, tid: usize, candidates: &[usize], chooser: &mut Chooser) {
+        if let Some(prev) = self.last_ran {
+            if prev != tid && candidates.contains(&prev) {
+                self.preemptions += 1;
+            }
+        }
+        self.last_ran = Some(tid);
+        self.threads[tid].view.tick(tid);
+
+        let pending = std::mem::replace(&mut self.threads[tid].pending, Pending::Running);
+        let reply = match pending {
+            Pending::Relock { mutex } => {
+                self.lock_mutex(tid, mutex);
+                self.push_event(
+                    tid,
+                    format!(
+                        "reacquired {} after wakeup",
+                        self.mem.mutexes[mutex].name.clone()
+                    ),
+                );
+                Some(Reply::Unit)
+            }
+            Pending::Op(op) => self.execute_op(tid, op, chooser),
+            Pending::Running | Pending::CondBlocked { .. } | Pending::Finished => {
+                unreachable!("scheduled a thread with no enabled operation")
+            }
+        };
+        if let Some(reply) = reply {
+            if self.threads[tid].reply_tx.send(reply).is_ok() {
+                self.await_thread(tid, chooser);
+            }
+        }
+    }
+
+    fn lock_mutex(&mut self, tid: usize, mutex: usize) {
+        let clock = self.mem.mutexes[mutex].clock;
+        self.threads[tid].view.join(&clock);
+        self.mem.mutexes[mutex].held_by = Some(tid);
+    }
+
+    fn unlock_mutex(&mut self, tid: usize, mutex: usize) {
+        let view = self.threads[tid].view;
+        let cell = &mut self.mem.mutexes[mutex];
+        cell.clock.join(&view);
+        cell.held_by = None;
+    }
+
+    /// Execute a visible operation; `None` means "no reply yet" (condvar
+    /// wait phase one).
+    fn execute_op(&mut self, tid: usize, op: Op, chooser: &mut Chooser) -> Option<Reply> {
+        match op {
+            Op::Load { atom, ord } => {
+                let (val, desc) = self.atomic_load(tid, atom, ord, chooser);
+                self.push_event(tid, desc);
+                Some(Reply::Value(val))
+            }
+            Op::Store { atom, val, ord } => {
+                let view = self.threads[tid].view;
+                let cell = &mut self.mem.atoms[atom];
+                cell.history.push(StoreRec {
+                    val,
+                    clock: view,
+                    release: releases(ord).then_some(view),
+                });
+                cell.seen[tid] = cell.history.len() - 1;
+                let desc = format!("{}.store({val}, {})", cell.name, ord_name(ord));
+                self.push_event(tid, desc);
+                Some(Reply::Unit)
+            }
+            Op::Rmw { atom, kind, ord } => {
+                let (reply, desc) = self.atomic_rmw(tid, atom, kind, ord);
+                self.push_event(tid, desc);
+                Some(reply)
+            }
+            Op::MutexLock { mutex } => {
+                self.lock_mutex(tid, mutex);
+                self.push_event(
+                    tid,
+                    format!("lock({})", self.mem.mutexes[mutex].name.clone()),
+                );
+                Some(Reply::Unit)
+            }
+            Op::MutexUnlock { mutex } => {
+                self.unlock_mutex(tid, mutex);
+                self.push_event(
+                    tid,
+                    format!("unlock({})", self.mem.mutexes[mutex].name.clone()),
+                );
+                Some(Reply::Unit)
+            }
+            Op::CondWait { condvar, mutex } => {
+                self.unlock_mutex(tid, mutex);
+                self.mem.condvars[condvar].waiters.push(tid);
+                self.push_event(
+                    tid,
+                    format!(
+                        "wait({}, releases {})",
+                        self.mem.condvars[condvar].name.clone(),
+                        self.mem.mutexes[mutex].name.clone()
+                    ),
+                );
+                self.threads[tid].pending = Pending::CondBlocked { mutex };
+                None
+            }
+            Op::CondNotifyAll { condvar } => {
+                let waiters = std::mem::take(&mut self.mem.condvars[condvar].waiters);
+                let woken = waiters.len();
+                for waiter in waiters {
+                    if let Pending::CondBlocked { mutex } = self.threads[waiter].pending {
+                        self.threads[waiter].pending = Pending::Relock { mutex };
+                    }
+                }
+                self.push_event(
+                    tid,
+                    format!(
+                        "notify_all({}) wakes {woken}",
+                        self.mem.condvars[condvar].name.clone()
+                    ),
+                );
+                Some(Reply::Unit)
+            }
+            Op::CondNotifyOne { condvar } => {
+                let n = self.mem.condvars[condvar].waiters.len();
+                let woken = if n > 0 {
+                    let pick = chooser.decide(n);
+                    let waiter = self.mem.condvars[condvar].waiters.remove(pick);
+                    if let Pending::CondBlocked { mutex } = self.threads[waiter].pending {
+                        self.threads[waiter].pending = Pending::Relock { mutex };
+                    }
+                    1
+                } else {
+                    0
+                };
+                self.push_event(
+                    tid,
+                    format!(
+                        "notify_one({}) wakes {woken}",
+                        self.mem.condvars[condvar].name.clone()
+                    ),
+                );
+                Some(Reply::Unit)
+            }
+            Op::ChanSend { chan } => {
+                let view = self.threads[tid].view;
+                let cell = &mut self.mem.chans[chan];
+                cell.clocks.push_back(view);
+                let desc = format!("send({}) depth={}", cell.name, cell.clocks.len());
+                self.push_event(tid, desc);
+                Some(Reply::Unit)
+            }
+            Op::ChanTrySend { chan } => {
+                let view = self.threads[tid].view;
+                let cell = &mut self.mem.chans[chan];
+                let full = cell.cap.is_some_and(|cap| cell.clocks.len() >= cap);
+                if !full {
+                    cell.clocks.push_back(view);
+                }
+                let desc = format!("try_send({}) -> {}", cell.name, !full);
+                self.push_event(tid, desc);
+                Some(Reply::Bool(!full))
+            }
+            Op::ChanRecv { chan } => {
+                let clock = self.mem.chans[chan]
+                    .clocks
+                    .pop_front()
+                    .expect("ChanRecv scheduled on empty channel");
+                self.threads[tid].view.join(&clock);
+                self.push_event(tid, format!("recv({})", self.mem.chans[chan].name.clone()));
+                Some(Reply::Unit)
+            }
+            Op::ChanTryRecv { chan } => {
+                let popped = self.mem.chans[chan].clocks.pop_front();
+                let got = popped.is_some();
+                if let Some(clock) = popped {
+                    self.threads[tid].view.join(&clock);
+                }
+                self.push_event(
+                    tid,
+                    format!("try_recv({}) -> {got}", self.mem.chans[chan].name.clone()),
+                );
+                Some(Reply::Bool(got))
+            }
+            Op::Spawn { name, f } => {
+                let parent_view = self.threads[tid].view;
+                let child = self.spawn_thread(name, f);
+                self.threads[child].view = parent_view;
+                self.threads[child].view.tick(child);
+                // Let the child run its preamble and park at its first
+                // visible operation before anything else is scheduled.
+                self.await_thread(child, chooser);
+                self.push_event(tid, format!("spawn -> T{child}"));
+                Some(Reply::Tid(child))
+            }
+            Op::Join { tid: target } => {
+                let child_view = self.threads[target].view;
+                self.threads[tid].view.join(&child_view);
+                self.push_event(tid, format!("join(T{target})"));
+                Some(Reply::Unit)
+            }
+            Op::Yield => {
+                self.push_event(tid, "yield".to_string());
+                Some(Reply::Unit)
+            }
+            op => unreachable!("immediate op {:?} routed to execute_op", op.is_immediate()),
+        }
+    }
+
+    fn atomic_load(
+        &mut self,
+        tid: usize,
+        atom: usize,
+        ord: Ordering,
+        chooser: &mut Chooser,
+    ) -> (u64, String) {
+        let view = self.threads[tid].view;
+        let cell = &mut self.mem.atoms[atom];
+        // The newest store that happens-before this load: anything older is
+        // forbidden (write-read coherence); anything newer is fair game for
+        // a relaxed observer.
+        let mut lo = 0;
+        for (i, store) in cell.history.iter().enumerate() {
+            if store.clock.le(&view) {
+                lo = i;
+            }
+        }
+        lo = lo.max(cell.seen[tid]);
+        let hi = cell.history.len() - 1;
+        // Choice 0 reads the newest store, so the first DFS path is the
+        // sequentially-consistent-looking one.
+        let idx = hi - chooser.decide(hi - lo + 1);
+        cell.seen[tid] = idx;
+        let val = cell.history[idx].val;
+        let stale = hi - idx;
+        let release = cell.history[idx].release;
+        let name = cell.name.clone();
+        if acquires(ord) {
+            if let Some(rc) = release {
+                self.threads[tid].view.join(&rc);
+            }
+        }
+        let staleness = if stale > 0 {
+            format!(" [stale by {stale}]")
+        } else {
+            String::new()
+        };
+        (
+            val,
+            format!("{name}.load({}) -> {val}{staleness}", ord_name(ord)),
+        )
+    }
+
+    fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        atom: usize,
+        kind: RmwKind,
+        ord: Ordering,
+    ) -> (Reply, String) {
+        // RMWs are atomic: they always read the newest store in the
+        // modification order, regardless of ordering strength.
+        let last = self.mem.atoms[atom].history.len() - 1;
+        let old = self.mem.atoms[atom].history[last].val;
+        let prev_release = self.mem.atoms[atom].history[last].release;
+        if acquires(ord) {
+            if let Some(rc) = prev_release {
+                self.threads[tid].view.join(&rc);
+            }
+        }
+        let (new, reply, opname) = match kind {
+            RmwKind::Add(n) => (
+                Some(old.wrapping_add(n)),
+                Reply::Value(old),
+                format!("fetch_add({n})"),
+            ),
+            RmwKind::Sub(n) => (
+                Some(old.wrapping_sub(n)),
+                Reply::Value(old),
+                format!("fetch_sub({n})"),
+            ),
+            RmwKind::Max(n) => (
+                Some(old.max(n)),
+                Reply::Value(old),
+                format!("fetch_max({n})"),
+            ),
+            RmwKind::Swap(n) => (Some(n), Reply::Value(old), format!("swap({n})")),
+            RmwKind::And(n) => (Some(old & n), Reply::Value(old), format!("fetch_and({n})")),
+            RmwKind::Or(n) => (Some(old | n), Reply::Value(old), format!("fetch_or({n})")),
+            RmwKind::Cas { expect, new, fail } => {
+                if old == expect {
+                    (
+                        Some(new),
+                        Reply::Cas(Ok(old)),
+                        format!("compare_exchange({expect}, {new}) ok"),
+                    )
+                } else {
+                    // A failed strong CAS is a pure load of the current
+                    // value with the failure ordering.
+                    if acquires(fail) {
+                        if let Some(rc) = prev_release {
+                            self.threads[tid].view.join(&rc);
+                        }
+                    }
+                    (
+                        None,
+                        Reply::Cas(Err(old)),
+                        format!("compare_exchange({expect}, {new}) failed"),
+                    )
+                }
+            }
+        };
+        let view = self.threads[tid].view;
+        let cell = &mut self.mem.atoms[atom];
+        let desc = match new {
+            Some(new_val) => {
+                // Release-sequence continuation: even a Relaxed RMW keeps
+                // the head release's clock visible to acquire readers.
+                let release = if releases(ord) {
+                    let mut rc = view;
+                    if let Some(prev) = prev_release {
+                        rc.join(&prev);
+                    }
+                    Some(rc)
+                } else {
+                    prev_release
+                };
+                cell.history.push(StoreRec {
+                    val: new_val,
+                    clock: view,
+                    release,
+                });
+                cell.seen[tid] = cell.history.len() - 1;
+                format!(
+                    "{}.{opname} ({}): {old} -> {new_val}",
+                    cell.name,
+                    ord_name(ord)
+                )
+            }
+            None => {
+                cell.seen[tid] = last;
+                format!("{}.{opname} ({}): stays {old}", cell.name, ord_name(ord))
+            }
+        };
+        (reply, desc)
+    }
+
+    /// Abort every unfinished thread and join all OS handles.
+    fn teardown(&mut self) {
+        loop {
+            let unfinished: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.pending, Pending::Finished))
+                .map(|(tid, _)| tid)
+                .collect();
+            if unfinished.is_empty() {
+                break;
+            }
+            for tid in &unfinished {
+                let _ = self.threads[*tid].reply_tx.send(Reply::Abort);
+            }
+            // Every unfinished thread is parked on its reply channel; the
+            // abort unwinds it to its Finished message.
+            for _ in 0..unfinished.len() {
+                if let Ok(msg) = self.msg_rx.recv() {
+                    if let MsgKind::Finished { .. } = msg.kind {
+                        self.threads[msg.tid].pending = Pending::Finished;
+                    }
+                    // Ops raced in before the abort landed: ignore; the
+                    // abort reply is already queued for that thread, so its
+                    // Finished message follows.
+                }
+            }
+        }
+        for slot in &mut self.threads {
+            if let Some(handle) = slot.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn blocked_report(&self) -> String {
+        let blocked: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.pending, Pending::Finished))
+            .map(|(tid, t)| {
+                let why = match &t.pending {
+                    Pending::Op(Op::MutexLock { mutex }) => {
+                        format!("blocked locking {}", self.mem.mutexes[*mutex].name)
+                    }
+                    Pending::Op(Op::ChanRecv { chan }) => {
+                        format!("blocked receiving on {}", self.mem.chans[*chan].name)
+                    }
+                    Pending::Op(Op::ChanSend { chan }) => {
+                        format!("blocked sending on full {}", self.mem.chans[*chan].name)
+                    }
+                    Pending::Op(Op::Join { tid }) => format!("blocked joining T{tid}"),
+                    Pending::CondBlocked { .. } => {
+                        "waiting on a condvar (lost wakeup?)".to_string()
+                    }
+                    Pending::Relock { mutex } => {
+                        format!(
+                            "re-acquiring {} after wakeup",
+                            self.mem.mutexes[*mutex].name
+                        )
+                    }
+                    _ => "blocked".to_string(),
+                };
+                format!("T{tid}({}) {why}", t.name)
+            })
+            .collect();
+        format!("deadlock: no runnable thread [{}]", blocked.join("; "))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-level exploration driver
+// ---------------------------------------------------------------------------
+
+/// Explore `body` under `strategy`, returning the aggregate [`Report`].
+///
+/// `body` is re-run once per schedule and must confine all cross-thread
+/// communication to the [`crate::sync`] shims.  Typical use:
+///
+/// ```
+/// use yewpar_check::sched::{run, Config, Strategy};
+/// use yewpar_check::sync::AtomicU64;
+/// use yewpar_check::thread;
+/// use std::sync::atomic::Ordering;
+/// use std::sync::Arc;
+///
+/// let report = run("counter", Strategy::Dfs, &Config::default(), || {
+///     let counter = Arc::new(AtomicU64::named("counter", 0));
+///     let c2 = Arc::clone(&counter);
+///     let t = thread::spawn(move || {
+///         c2.fetch_add(1, Ordering::AcqRel);
+///     });
+///     counter.fetch_add(1, Ordering::AcqRel);
+///     t.join();
+///     assert_eq!(counter.load(Ordering::Acquire), 2);
+/// });
+/// report.assert_ok();
+/// ```
+pub fn run<F>(name: &str, strategy: Strategy, config: &Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_panic_hook();
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut chooser = Chooser::new(strategy.clone());
+    let mut schedules: u64 = 0;
+    let mut complete = true;
+    let mut failure = None;
+
+    loop {
+        chooser.begin_execution(schedules);
+        let mut exec = Exec::new();
+        let body_clone = Arc::clone(&body);
+        exec.spawn_thread("main".to_string(), Box::new(move || body_clone()));
+        exec.await_thread(0, &mut chooser);
+        while exec.failure.is_none() && !exec.all_finished() {
+            let candidates = exec.enabled_candidates(config);
+            if candidates.is_empty() {
+                exec.failure = Some(exec.blocked_report());
+                break;
+            }
+            let pick = candidates[chooser.decide(candidates.len())];
+            exec.execute(pick, &candidates, &mut chooser);
+        }
+        exec.teardown();
+        schedules += 1;
+
+        if let Some(message) = exec.failure {
+            failure = Some(Failure {
+                message,
+                schedule: exec.events,
+                choices: chooser.log.clone(),
+            });
+            break;
+        }
+
+        match &strategy {
+            Strategy::Dfs => {
+                if !chooser.advance_dfs() {
+                    break;
+                }
+                if schedules >= config.max_schedules {
+                    complete = false;
+                    break;
+                }
+            }
+            Strategy::Random { iterations, .. } => {
+                if schedules >= *iterations {
+                    break;
+                }
+            }
+            Strategy::Replay(_) => break,
+        }
+    }
+
+    Report {
+        name: name.to_string(),
+        schedules,
+        complete,
+        failure,
+    }
+}

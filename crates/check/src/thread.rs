@@ -1,0 +1,82 @@
+//! Shimmed thread spawn/join.  Inside a model execution, spawn and join
+//! become controller-mediated scheduling points with proper happens-before
+//! edges; outside one they forward to `std::thread`.
+
+use crate::sched::{in_model, perform, Op, Reply};
+
+/// Handle returned by [`spawn`]; `join` blocks until the thread finishes
+/// and establishes the usual happens-before edge.
+pub struct JoinHandle {
+    model_tid: Option<usize>,
+    real: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawn a model (or real) thread.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    spawn_named("worker", f)
+}
+
+/// Spawn with a name that shows up in counterexample interleavings.
+pub fn spawn_named<F>(name: &str, f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    if in_model() {
+        match perform(Op::Spawn {
+            name: name.to_string(),
+            f: Box::new(f),
+        }) {
+            Reply::Tid(tid) => JoinHandle {
+                model_tid: Some(tid),
+                real: None,
+            },
+            other => unreachable!("Spawn reply {other:?}"),
+        }
+    } else {
+        JoinHandle {
+            model_tid: None,
+            real: Some(
+                std::thread::Builder::new()
+                    .name(name.to_string())
+                    .spawn(f)
+                    .expect("spawn shim thread"),
+            ),
+        }
+    }
+}
+
+impl JoinHandle {
+    pub fn join(self) {
+        match (self.model_tid, self.real) {
+            (Some(tid), _) => {
+                perform(Op::Join { tid });
+            }
+            (None, Some(handle)) => {
+                handle.join().expect("shim thread panicked");
+            }
+            (None, None) => unreachable!("empty JoinHandle"),
+        }
+    }
+}
+
+/// Scheduling point in a model; `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    if in_model() {
+        perform(Op::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Annotate the current schedule with a free-form note (no-op outside a
+/// model).  Notes appear inline in counterexample interleavings.
+pub fn model_log(message: impl Into<String>) {
+    if in_model() {
+        perform(Op::Log {
+            message: message.into(),
+        });
+    }
+}

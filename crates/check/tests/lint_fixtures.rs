@@ -1,0 +1,228 @@
+//! Fixture tests for the repo-invariant lint: known-bad sources must be
+//! flagged with the exact rule and `file:line`, known-good shapes (justified
+//! orderings, test regions, allowlist entries) must pass, and the config
+//! parser must reject unjustified allowlist entries.
+
+use yewpar_check::lint::{lint_file, parse_config, scan, LintConfig};
+
+/// The pairing map used by the fixtures: one variant, one counter token.
+fn cfg_with(hot: &[&str]) -> LintConfig {
+    let mut cfg = LintConfig {
+        hot_paths: hot.iter().map(|s| s.to_string()).collect(),
+        ..LintConfig::default()
+    };
+    cfg.trace_pairs.push(yewpar_check::lint::TracePair {
+        variant: "TaskEnd".to_string(),
+        counter: "metrics.nodes".to_string(),
+    });
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// relaxed-justified
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unjustified_relaxed_is_flagged_with_line() {
+    let src = "\
+fn tick(c: &std::sync::atomic::AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+";
+    let violations = lint_file("crates/demo/src/lib.rs", src, &cfg_with(&[]));
+    assert_eq!(violations.len(), 1);
+    let v = &violations[0];
+    assert_eq!(v.rule, "relaxed-justified");
+    assert_eq!((v.file.as_str(), v.line), ("crates/demo/src/lib.rs", 2));
+    // The rendered form is what CI prints: it must carry file:line.
+    assert!(v
+        .to_string()
+        .starts_with("crates/demo/src/lib.rs:2: [relaxed-justified]"));
+}
+
+#[test]
+fn ordering_comment_within_window_passes() {
+    let src = "\
+fn tick(c: &std::sync::atomic::AtomicU64) {
+    // ordering: advisory tally; readers tolerate staleness.
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::Relaxed); // ordering: same-line form also accepted
+}
+";
+    assert!(lint_file("a.rs", src, &cfg_with(&[])).is_empty());
+}
+
+#[test]
+fn ordering_comment_beyond_window_does_not_count() {
+    let mut src = String::from("// ordering: too far away to justify anything\n");
+    src.push_str(&"\n".repeat(6));
+    src.push_str("fn f(c: &A) { c.load(Ordering::Relaxed); }\n");
+    let violations = lint_file("a.rs", &src, &cfg_with(&[]));
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].line, 8);
+}
+
+#[test]
+fn relaxed_allowlist_entry_suppresses_the_exact_site() {
+    let src = "fn f(c: &A) { c.load(Ordering::Relaxed); }\n";
+    let mut cfg = cfg_with(&[]);
+    cfg.allow_relaxed.push(yewpar_check::lint::AllowEntry {
+        file: "demo/src/lib.rs".to_string(),
+        contains: "c.load(Ordering::Relaxed)".to_string(),
+        justification: "fixture".to_string(),
+    });
+    assert!(lint_file("crates/demo/src/lib.rs", src, &cfg).is_empty());
+    // A different file with the same line is still flagged: `file` pins it.
+    assert_eq!(lint_file("crates/other/src/lib.rs", src, &cfg).len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-unwrap
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unwrap_in_hot_path_is_flagged() {
+    let src = "\
+fn pick(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+";
+    let violations = lint_file(
+        "crates/core/src/engine.rs",
+        src,
+        &cfg_with(&["crates/core/src/engine.rs"]),
+    );
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, "hot-path-unwrap");
+    assert_eq!(violations[0].line, 2);
+}
+
+#[test]
+fn unwrap_outside_hot_paths_or_in_tests_passes() {
+    let src = "\
+fn pick(v: &[u8]) -> u8 {
+    *v.first().expect(\"non-empty by construction\")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+    // expect() in the hot path and unwrap() in the test region: both fine.
+    assert!(lint_file(
+        "crates/core/src/engine.rs",
+        src,
+        &cfg_with(&["crates/core/src/engine.rs"])
+    )
+    .is_empty());
+    // unwrap() outside any configured hot path: fine.
+    let cold = "fn f() { Some(1).unwrap(); }\n";
+    assert!(lint_file(
+        "crates/apps/src/main.rs",
+        cold,
+        &cfg_with(&["crates/core/src"])
+    )
+    .is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// trace-paired
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unpaired_trace_emission_is_flagged() {
+    let src = "\
+fn finish(tracer: &Tracer) {
+    tracer.emit(TraceEvent::TaskEnd { nodes: 1 });
+}
+";
+    let violations = lint_file("crates/core/src/x.rs", src, &cfg_with(&[]));
+    assert_eq!(violations.len(), 1);
+    let v = &violations[0];
+    assert_eq!(v.rule, "trace-paired");
+    assert_eq!(v.line, 2);
+    assert!(v.message.contains("TaskEnd") && v.message.contains("metrics.nodes"));
+}
+
+#[test]
+fn emission_with_counter_in_window_passes() {
+    let src = "\
+fn finish(tracer: &Tracer, metrics: &mut Metrics) {
+    metrics.nodes += 1;
+    tracer.emit(TraceEvent::TaskEnd { nodes: metrics.nodes });
+}
+";
+    assert!(lint_file("crates/core/src/x.rs", src, &cfg_with(&[])).is_empty());
+}
+
+#[test]
+fn unmapped_variants_are_not_paired() {
+    // TaskStart has no counter in the pairing map: no violation.
+    let src = "fn f(t: &Tracer) { t.emit(TraceEvent::TaskStart { id: 0 }); }\n";
+    assert!(lint_file("crates/core/src/x.rs", src, &cfg_with(&[])).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// config parsing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allow_entry_without_justification_is_rejected() {
+    let toml = "\
+[[allow_relaxed]]
+file = \"a.rs\"
+contains = \"load\"
+";
+    let err = parse_config(toml).unwrap_err();
+    assert!(err.contains("no written justification"), "got: {err}");
+
+    let blank = "\
+[[allow_unwrap]]
+file = \"a.rs\"
+contains = \"unwrap\"
+justification = \"   \"
+";
+    assert!(parse_config(blank)
+        .unwrap_err()
+        .contains("no written justification"));
+}
+
+#[test]
+fn unknown_sections_and_keys_are_rejected() {
+    assert!(parse_config("[[bogus]]\n")
+        .unwrap_err()
+        .contains("unknown section"));
+    assert!(parse_config("[[scan]]\nroot = \"x\"\n")
+        .unwrap_err()
+        .contains("unknown key"));
+    assert!(parse_config("[[scan]]\npath = unquoted\n")
+        .unwrap_err()
+        .contains("double-quoted"));
+}
+
+#[test]
+fn shipped_lint_toml_parses_and_workspace_is_clean() {
+    // The real config must stay parseable, and the workspace must stay
+    // lint-clean — this is the CI gate in test form.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let text = std::fs::read_to_string(root.join("crates/check/lint.toml")).expect("lint.toml");
+    let cfg = parse_config(&text).expect("shipped lint.toml must parse");
+    let violations = scan(&root, &cfg).expect("scan");
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

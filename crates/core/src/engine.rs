@@ -27,7 +27,7 @@
 //! applied the instant a worker finds a witness, which is the one behaviour
 //! this engine's loop cannot express.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::genstack::GenStack;
@@ -406,10 +406,14 @@ where
         for (i, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok(metrics) => all_metrics[i] = metrics,
+                // ordering: written and read by this (the launching) thread
+                // only, after join(); the atomic exists for the scope-closure
+                // borrow, not for cross-thread publication.
                 Err(_) => poisoned.store(true, Ordering::Relaxed),
             }
         }
     });
+    // ordering: same-thread read of the flag set in the join loop above.
     if poisoned.load(Ordering::Relaxed) {
         panic!("a search worker panicked");
     }

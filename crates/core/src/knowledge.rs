@@ -14,8 +14,8 @@
 //! relaxed atomic load.  Exactly like the paper's design, a stale cache never
 //! affects correctness — only pruning opportunity.
 
+use crate::sync::{AtomicU64, Ordering};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The shared incumbent of an optimisation or decision search.
 #[derive(Debug)]

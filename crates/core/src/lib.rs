@@ -69,6 +69,7 @@ pub mod params;
 pub mod runtime;
 pub mod schedule;
 pub mod skeleton;
+pub mod sync;
 pub mod termination;
 pub mod trace;
 pub mod workpool;

@@ -34,7 +34,7 @@
 //! [`Termination`]: crate::termination::Termination
 //! [`StopCause`]: crate::termination::StopCause
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -510,6 +510,8 @@ impl Lifecycle {
         local.steps = local.steps.wrapping_add(1);
         if local.steps % Self::HEARTBEAT_STRIDE == 0 {
             if let Some(progress) = &self.progress {
+                // ordering: advisory progress tally; heartbeat consumers
+                // tolerate skew and nothing is published through it.
                 let nodes = self
                     .nodes_seen
                     .fetch_add(Self::HEARTBEAT_STRIDE, Ordering::Relaxed)

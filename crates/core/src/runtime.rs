@@ -94,9 +94,9 @@
 //! [`Skeleton`]: crate::skeleton::Skeleton
 //! [`SearchConfig::deadline`]: crate::params::SearchConfig::deadline
 
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -256,6 +256,9 @@ impl WorkerPool {
         let inline = match inline {
             Ok(metrics) => Some(metrics),
             Err(_) => {
+                // ordering: the latch handshake (store, then decrement under
+                // the latch mutex) orders this before the post-wait load; the
+                // flag itself needs no ordering.
                 state.poisoned.store(true, Ordering::Relaxed);
                 None
             }
@@ -274,6 +277,8 @@ impl WorkerPool {
             .map(|slot| slot.take().unwrap_or_default())
             .collect();
         drop(results);
+        // ordering: every worker decremented the latch under its mutex after
+        // any poison store, and we waited that latch out above.
         if state.poisoned.load(Ordering::Relaxed) {
             panic!("a search worker panicked");
         }
@@ -354,6 +359,9 @@ impl WorkerPool {
         let inline = match inline {
             Ok(metrics) => Some(metrics),
             Err(_) => {
+                // ordering: the latch handshake (store, then decrement under
+                // the latch mutex) orders this before the post-wait load; the
+                // flag itself needs no ordering.
                 state.poisoned.store(true, Ordering::Relaxed);
                 None
             }
@@ -384,6 +392,8 @@ impl WorkerPool {
             .map(|slot| slot.take().unwrap_or_default())
             .collect();
         drop(results);
+        // ordering: every worker decremented the latch under its mutex after
+        // any poison store, and we waited that latch out above.
         if state.poisoned.load(Ordering::Relaxed) {
             panic!("a search worker panicked");
         }
@@ -418,6 +428,8 @@ fn run_scoped_inline(
     let result = match outcome {
         Ok(metrics) => Some(metrics),
         Err(_) => {
+            // ordering: ordered before the launcher's post-wait load by this
+            // job's latch decrement under the latch mutex.
             state.poisoned.store(true, Ordering::Relaxed);
             None
         }
@@ -523,6 +535,7 @@ impl std::fmt::Debug for GrantCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GrantCore")
             .field("search_id", &self.search_id)
+            // ordering: diagnostic display of the change tick; staleness ok.
             .field("version", &self.version.load(Ordering::Relaxed))
             .finish()
     }
@@ -610,6 +623,8 @@ impl GrantCore {
         inner.worker_count += 1;
         inner.held_slots.push(slot);
         inner.assignments.push((worker_id, slot));
+        // ordering: advisory change tick; lease state mutates under the
+        // grant lock above, which provides the real ordering.
         self.version.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -619,6 +634,8 @@ impl GrantCore {
     /// Returns how many were actually issued.
     fn request_revoke(&self, want: usize) -> usize {
         let mut inner = self.inner.lock().expect("grant lock");
+        // ordering: relaxed mirror of lock-protected state — only ever
+        // written under the grant lock held here, so this read is exact.
         let pending = self.revoke_pending.load(Ordering::Relaxed);
         let committed = inner
             .worker_count
@@ -632,6 +649,9 @@ impl GrantCore {
         for _ in 0..take {
             inner.revocations.push_back(now);
         }
+        // ordering: mirror store under the grant lock; unlocked readers
+        // (the try_claim_retire fast path) re-check under the lock, so a
+        // stale view only delays a claim (model-checked: models/grant.rs).
         self.revoke_pending.store(pending + take, Ordering::Relaxed);
         self.version.fetch_add(1, Ordering::Relaxed);
         self.grant_changes.fetch_add(1, Ordering::Relaxed);
@@ -644,10 +664,15 @@ impl GrantCore {
     /// racing [`request_revoke`](GrantCore::request_revoke) always sees an
     /// accurate committed-worker count.
     pub(crate) fn try_claim_retire(&self) -> bool {
+        // ordering: unlocked fast-path peek at the lock-protected mirror; a
+        // stale zero just skips this poll and a stale non-zero falls through
+        // to the locked re-check below (model-checked: models/grant.rs,
+        // whose UnlockedClaim mutation shows the lock re-check is load-bearing).
         if self.revoke_pending.load(Ordering::Relaxed) == 0 {
             return false;
         }
         let mut inner = self.inner.lock().expect("grant lock");
+        // ordering: exact — the mirror is only written under the grant lock.
         let pending = self.revoke_pending.load(Ordering::Relaxed);
         if pending == 0 {
             return false;
@@ -682,6 +707,8 @@ impl GrantCore {
             .map(|requested| requested.elapsed())
             .unwrap_or_default();
         drop(inner);
+        // ordering: advisory telemetry tallies (and the change tick); read
+        // by metrics snapshots that tolerate skew, publish nothing.
         self.workers_preempted.fetch_add(1, Ordering::Relaxed);
         self.revocation_ns
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
@@ -704,6 +731,7 @@ impl GrantCore {
         let mut inner = self.inner.lock().expect("grant lock");
         inner.hook = None;
         inner.revocations.clear();
+        // ordering: mirror reset under the grant lock, like every write.
         self.revoke_pending.store(0, Ordering::Relaxed);
         (inner.worker_count, std::mem::take(&mut inner.held_slots))
     }
@@ -724,16 +752,21 @@ pub(crate) struct SessionQuota {
 
 impl SessionQuota {
     fn remaining(&self) -> usize {
+        // ordering: in_flight is written and read by the dispatcher thread
+        // only; the atomic exists for shared ownership, not synchronisation.
         self.max_workers
             .saturating_sub(self.in_flight.load(Ordering::Relaxed))
     }
 
     fn add_throttled(&self, held: Duration) {
+        // ordering: advisory telemetry tally; `stats()` readers tolerate a
+        // slightly stale total.
         self.throttled_ns
             .fetch_add(held.as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn throttled(&self) -> Duration {
+        // ordering: advisory telemetry read; see add_throttled.
         Duration::from_nanos(self.throttled_ns.load(Ordering::Relaxed))
     }
 }
@@ -744,6 +777,8 @@ impl SessionQuota {
 /// shutdown never waits out a long sampling interval.
 fn gauge_sampler(stop: Arc<AtomicBool>, gauges: Arc<PoolGauges>, tracer: Tracer, period: Duration) {
     const CHUNK: Duration = Duration::from_millis(10);
+    // ordering: pure shutdown flag guarding no data; a stale read costs at
+    // most one extra sample/chunk before the next load observes the store.
     while !stop.load(Ordering::Relaxed) {
         let stats = gauges.snapshot();
         tracer.control(TraceEvent::RuntimeGauge {
@@ -754,6 +789,7 @@ fn gauge_sampler(stop: Arc<AtomicBool>, gauges: Arc<PoolGauges>, tracer: Tracer,
             peak: stats.peak_active_searches as u32,
         });
         let mut remaining = period;
+        // ordering: same shutdown flag as above; staleness only delays exit.
         while !remaining.is_zero() && !stop.load(Ordering::Relaxed) {
             let chunk = remaining.min(CHUNK);
             std::thread::sleep(chunk);
@@ -961,16 +997,22 @@ struct PoolGauges {
 impl PoolGauges {
     fn snapshot(&self) -> RuntimeStats {
         RuntimeStats {
+            // ordering: advisory gauges — each field is an independent
+            // relaxed tally and the snapshot may be skewed across fields;
+            // acceptable for telemetry, nothing is published through them.
             active_searches: self.active_searches.load(Ordering::Relaxed),
             peak_active_searches: self.peak_active_searches.load(Ordering::Relaxed),
             granted_workers: self.granted_workers.load(Ordering::Relaxed),
+            // ordering: as above — independent advisory telemetry reads.
             queued_searches: self.queued_searches.load(Ordering::Relaxed),
             completed_searches: self.completed_searches.load(Ordering::Relaxed),
+            // ordering: as above — independent advisory telemetry reads.
             total_queue_wait: Duration::from_micros(
                 self.total_queue_wait_micros.load(Ordering::Relaxed),
             ),
             grant_changes: self.grant_changes.load(Ordering::Relaxed),
             workers_preempted: self.workers_preempted.load(Ordering::Relaxed),
+            // ordering: as above — independent advisory telemetry read.
             revocation_latency: Duration::from_nanos(self.revocation_ns.load(Ordering::Relaxed)),
         }
     }
@@ -1115,6 +1157,8 @@ impl Dispatcher {
                     // the teardown numbers are settled.
                     let (workers, slots) = entry.core.teardown();
                     if let Some(quota) = &entry.quota {
+                        // ordering: dispatcher-private tally (single writer
+                        // and reader: this thread); atomic for ownership.
                         quota.in_flight.fetch_sub(workers, Ordering::Relaxed);
                     }
                     self.reclaim(workers, slots);
@@ -1139,12 +1183,15 @@ impl Dispatcher {
                 // the search's finish-time reclaim.
                 self.free_slots.push(slot);
                 self.free_workers = (self.free_workers + 1).min(self.capacity);
+                // ordering: advisory telemetry gauges; snapshot() reads them
+                // relaxed and tolerates skew.
                 self.gauges.granted_workers.fetch_sub(1, Ordering::Relaxed);
                 self.gauges
                     .workers_preempted
                     .fetch_add(1, Ordering::Relaxed);
                 self.gauges
                     .revocation_ns
+                    // ordering: advisory telemetry tally, as above.
                     .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
                 self.tracer.control(TraceEvent::WorkerRevoked {
                     search_id,
@@ -1155,6 +1202,7 @@ impl Dispatcher {
                     entry.workers = entry.workers.saturating_sub(1);
                     entry.pending_revocations = entry.pending_revocations.saturating_sub(1);
                     if let Some(quota) = &entry.quota {
+                        // ordering: dispatcher-private tally, as at teardown.
                         quota.in_flight.fetch_sub(1, Ordering::Relaxed);
                     }
                 }
@@ -1177,12 +1225,14 @@ impl Dispatcher {
         self.active -= 1;
         self.free_workers = (self.free_workers + workers).min(self.capacity);
         self.free_slots.append(&mut slots);
+        // ordering: advisory telemetry gauges; snapshots tolerate skew.
         self.gauges.active_searches.fetch_sub(1, Ordering::Relaxed);
         self.gauges
             .granted_workers
             .fetch_sub(workers, Ordering::Relaxed);
         self.gauges
             .completed_searches
+            // ordering: advisory telemetry tally, as above.
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -1300,6 +1350,7 @@ impl Dispatcher {
             ))
         });
         if let Some(quota) = &submission.quota {
+            // ordering: dispatcher-private tally; atomic for ownership only.
             quota.in_flight.fetch_add(workers, Ordering::Relaxed);
         }
         if let Some(core) = &core {
@@ -1327,16 +1378,21 @@ impl Dispatcher {
         };
         self.active += 1;
         self.free_workers = self.free_workers.saturating_sub(workers);
+        // ordering: advisory telemetry gauges; snapshots tolerate skew.  The
+        // peak update is a lock-free max over the RMW-atomic running count.
         self.gauges.queued_searches.fetch_sub(1, Ordering::Relaxed);
         self.gauges
             .granted_workers
             .fetch_add(workers, Ordering::Relaxed);
+        // ordering: advisory gauges, as above; the peak is a lock-free max
+        // over this RMW-atomic running count.
         let active_now = self.gauges.active_searches.fetch_add(1, Ordering::Relaxed) + 1;
         self.gauges
             .peak_active_searches
             .fetch_max(active_now, Ordering::Relaxed);
         self.gauges
             .total_queue_wait_micros
+            // ordering: advisory telemetry tally, as above.
             .fetch_add(grant.queue_wait.as_micros() as u64, Ordering::Relaxed);
         self.tracer.control(TraceEvent::SearchGranted {
             search_id: submission.search_id,
@@ -1369,6 +1425,7 @@ impl Dispatcher {
             self.tracer
                 .control(TraceEvent::SearchFinished { search_id });
             if let Some(quota) = &submission.quota {
+                // ordering: dispatcher-private tally; atomic for ownership.
                 quota.in_flight.fetch_sub(workers, Ordering::Relaxed);
             }
             self.reclaim(workers, slots);
@@ -1448,8 +1505,10 @@ impl Dispatcher {
             entry.workers += grown;
             self.free_workers -= grown;
             if let Some(quota) = &entry.quota {
+                // ordering: dispatcher-private tally; atomic for ownership.
                 quota.in_flight.fetch_add(grown, Ordering::Relaxed);
             }
+            // ordering: advisory telemetry tallies; snapshots tolerate skew.
             entry.core.grant_changes.fetch_add(1, Ordering::Relaxed);
             self.gauges
                 .granted_workers
@@ -1475,6 +1534,7 @@ impl Dispatcher {
         let issued = entry.core.request_revoke(want);
         if issued > 0 {
             entry.pending_revocations += issued;
+            // ordering: advisory telemetry tally; snapshots tolerate skew.
             self.gauges.grant_changes.fetch_add(1, Ordering::Relaxed);
             self.tracer.control(TraceEvent::GrantShrunk {
                 search_id: search,
@@ -1739,6 +1799,8 @@ impl Runtime {
         P: Send + Sync + 'static,
         T: Send + 'static,
     {
+        // ordering: unique-ID allocator — only the RMW's atomicity matters;
+        // the id orders nothing and is published via the control channel.
         let search_id = self.next_search_id.fetch_add(1, Ordering::Relaxed);
         let cancel = parent.child();
         let (progress_tx, progress_rx) = progress_channel(self.config.progress_capacity);
@@ -1758,12 +1820,14 @@ impl Runtime {
             skeleton = skeleton.attach_trace_buffer(Arc::clone(buffer));
         }
         if let Some(state) = &session {
+            // ordering: advisory session tally; status() tolerates skew.
             state.submitted.fetch_add(1, Ordering::Relaxed);
         }
         // Count the submission as queued from the moment it is sent — not
         // from dispatcher receipt — so a backlog sitting in the control
         // channel while a FIFO job runs inline is visible in `stats()`,
         // matching the queue-wait semantics (channel time counts).
+        // ordering: advisory telemetry gauge; snapshots tolerate skew.
         self.gauges.queued_searches.fetch_add(1, Ordering::Relaxed);
         let job_state = Arc::clone(&shared);
         let job: Job = Box::new(move |grant: ExecutionGrant| {
@@ -1826,6 +1890,8 @@ impl Runtime {
             let _ = dispatcher.join();
         }
         if let Some(stop) = self.gauge_stop.take() {
+            // ordering: shutdown flag guarding no data; the join below is
+            // the synchronisation point with the sampler thread.
             stop.store(true, Ordering::Relaxed);
         }
         if let Some(sampler) = self.gauge_thread.take() {
@@ -1864,15 +1930,19 @@ impl SessionState {
             Some(SearchStatus::DeadlineExceeded) => &self.deadline_exceeded,
             None => &self.panicked,
         };
+        // ordering: advisory session tally; status() tolerates skew.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> SessionStatus {
         SessionStatus {
+            // ordering: advisory counters — status() is documented as a
+            // snapshot, not a live view; fields may be mutually skewed.
             submitted: self.submitted.load(Ordering::Relaxed),
             complete: self.complete.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            // ordering: as above — advisory snapshot read.
             panicked: self.panicked.load(Ordering::Relaxed),
             throttled: Duration::ZERO,
         }

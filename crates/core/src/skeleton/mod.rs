@@ -425,10 +425,14 @@ where
         // per-worker vec length is scheduling-dependent; report the
         // *granted* count (deterministic) plus the lease-change counters.
         if let Some(core) = &grant.core {
-            use std::sync::atomic::Ordering;
+            use crate::sync::Ordering;
             metrics.workers = grant.workers.max(1);
+            // ordering: read after every worker joined (the scoped run has
+            // returned), so the join supplies the happens-before; the
+            // counters themselves are advisory tallies.
             metrics.grant_changes = core.grant_changes.load(Ordering::Relaxed);
             metrics.workers_preempted = core.workers_preempted.load(Ordering::Relaxed);
+            // ordering: as above — post-join advisory read.
             metrics.revocation_latency =
                 Duration::from_nanos(core.revocation_ns.load(Ordering::Relaxed));
         }

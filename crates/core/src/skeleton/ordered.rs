@@ -58,7 +58,7 @@
 //! [`run_task`]: crate::engine::run_task
 //! [`SearchConfig::cancel_speculation`]: crate::params::SearchConfig::cancel_speculation
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;

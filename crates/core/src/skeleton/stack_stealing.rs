@@ -11,8 +11,8 @@
 //! tasks in flight.  All worker-loop machinery lives in `crate::engine`;
 //! this module is only the steal-channel [`WorkSource`].
 
+use crate::sync::{AtomicUsize, Ordering};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -164,6 +164,8 @@ impl<N> StealSource<N> {
     /// the hint only changes between tasks).
     fn advertise(&self, local: &mut StealLocal<N>, depth: usize) {
         if local.advertised != depth {
+            // ordering: advisory steal hint — a stale value only sends a
+            // thief to a worse victim; actual work moves over channels.
             self.hints[local.id].0.store(depth, Ordering::Relaxed);
             local.advertised = depth;
         }
@@ -190,6 +192,8 @@ impl<N> StealSource<N> {
             if v == local.id {
                 continue;
             }
+            // ordering: advisory hint read; see advertise() — staleness
+            // only degrades victim choice, never correctness.
             let depth = self.hints[v].0.load(Ordering::Relaxed);
             match depth.cmp(&best) {
                 std::cmp::Ordering::Less => {

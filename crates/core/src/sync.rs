@@ -1,0 +1,23 @@
+//! Cfg-gated synchronisation-primitive selection.
+//!
+//! The runtime's concurrency protocols import their atomics from this
+//! module instead of `std::sync::atomic` directly.  In the default build
+//! these are plain re-exports — zero indirection, zero overhead (the
+//! `components/check_shim` benchmark pins this).  Under the `model-check`
+//! feature they resolve to the `yewpar-check` shims, whose operations are
+//! handed to the deterministic-interleaving scheduler when executed inside
+//! `yewpar_check::sched::run` and fall back to the real std primitives
+//! otherwise.
+//!
+//! Lock-based protocol state (`Mutex`/`Condvar`) stays on std throughout:
+//! those protocols are verified through the extracted models in
+//! `crates/check/src/models/`, which mirror the lock choreography against
+//! the shimmed `check::sync::{Mutex, Condvar}` instead.
+
+#[cfg(feature = "model-check")]
+pub use yewpar_check::sync::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+
+#[cfg(not(feature = "model-check"))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+
+pub use std::sync::atomic::Ordering;

@@ -25,7 +25,7 @@
 //! [`SearchConfig::deadline`]: crate::params::SearchConfig::deadline
 //! [`SearchStatus`]: crate::lifecycle::SearchStatus
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use crate::sync::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 /// Why a search's global stop flag was raised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

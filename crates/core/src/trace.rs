@@ -38,9 +38,9 @@
 pub mod analyze;
 pub mod sink;
 
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -280,12 +280,18 @@ impl WorkerRing {
 
     #[inline]
     fn push(&self, record: TraceRecord) {
+        // ordering: only the RMW's atomicity matters for the claim — record
+        // visibility to readers comes from producer quiescence (join/park)
+        // before drain (model-checked: models/trace_ring.rs, whose
+        // DrainWithoutQuiescence mutation shows torn reads otherwise).
         let claim = self.len.fetch_add(1, Ordering::Relaxed);
         if claim < self.slots.len() {
             // SAFETY: `claim` was handed out exactly once, so no other
             // writer touches this slot; readers wait for quiescence.
             unsafe { (*self.slots[claim].get()).write(record) };
         } else {
+            // ordering: advisory loss tally, monotone per the model's
+            // dropped-counter invariant; readers tolerate staleness.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -416,10 +422,14 @@ impl TraceBuffer {
         let mut dropped: u64 = rings
             .iter()
             .map(|(_, ring)| {
+                // ordering: advisory loss estimate — both counters are
+                // monotone, so a stale read only under-reports a total
+                // that the next call catches up on.
                 let extra = ring
                     .len
                     .load(Ordering::Relaxed)
                     .saturating_sub(ring.slots.len());
+                // ordering: advisory monotone read, as above.
                 ring.dropped.load(Ordering::Relaxed).max(extra as u64)
             })
             .sum();

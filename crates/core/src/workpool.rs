@@ -52,9 +52,9 @@ pub mod ordered;
 pub use arena::KeyArena;
 pub use ordered::{OrderedPool, SeqKey};
 
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// How many tasks an owner moves from its shard into its private buffer per
 /// locked pop (see [`DepthPool::pop_batch`]).  Small, so at most
@@ -126,6 +126,7 @@ impl<N> DepthPool<N> {
 
     /// Acquire the pool lock, counting the acquisition.
     fn lock(&self) -> MutexGuard<'_, PoolInner<N>> {
+        // ordering: contention diagnostic tally; orders nothing.
         self.locks.fetch_add(1, Ordering::Relaxed);
         self.inner.lock()
     }
@@ -281,6 +282,7 @@ impl<N> DepthPool<N> {
 
     /// Lock acquisitions performed on this pool so far (relaxed counter).
     pub fn lock_acquisitions(&self) -> u64 {
+        // ordering: diagnostic read; callers tolerate a stale count.
         self.locks.load(Ordering::Relaxed)
     }
 

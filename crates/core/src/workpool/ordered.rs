@@ -47,10 +47,10 @@
 //! happening slightly later, which is within the pool's documented
 //! "empty/minimum at this instant" concurrency contract.
 
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The sequence key of a task: the path of heuristic child indices from the
 /// search-tree root to the task's root node.  The root itself has the empty
@@ -199,6 +199,9 @@ impl<T> OrderedPool<T> {
     /// be unique and monotone over the pushes that race for it, and the entry
     /// it tags is published under the buffer lock.
     fn stamp(&self) -> u64 {
+        // ordering: only the RMW's atomicity matters (unique, monotone
+        // stamps); the stamped entry is published under the buffer lock
+        // (model-checked: models/ordered_pool.rs).
         self.arrivals.fetch_add(1, Ordering::Relaxed)
     }
 

@@ -1,0 +1,103 @@
+//! Tier-1 regression tests distilled from the verification layer
+//! (`crates/check`): a recorded counterexample replayed as a pinned
+//! schedule, plus seeded randomized-schedule smoke over the faithful
+//! protocol models.  Exhaustive exploration lives in the check crate's own
+//! suite (`cargo test -p yewpar-check --release`) and the CI `verify` job;
+//! these tests are deliberately cheap.
+
+use yewpar_check::models::{bounded, cancel, grant, ordered_pool, termination, trace_ring};
+use yewpar_check::{Config, Strategy};
+
+/// Regression for the termination protocol's done-flag publication order.
+///
+/// The checker found this interleaving for the known-bad weakening that
+/// publishes `done` with a `Relaxed` store (the real implementation uses
+/// `Release`, paired with the watcher's `Acquire` load):
+///
+/// ```text
+/// T1(worker)  outstanding.fetch_add(1)        1 -> 2
+/// T1(worker)  outstanding.fetch_sub(1)        2 -> 1
+/// T1(worker)  outstanding.fetch_sub(1)        1 -> 0
+/// T1(worker)  done.store(1, Relaxed)          <- no release edge
+/// T2(watcher) done.load(Acquire)  -> 1
+/// T2(watcher) outstanding.load(Acquire) -> 1  <- stale: exit with work "outstanding"
+/// ```
+///
+/// Without the release/acquire pairing, observing `done == 1` does not
+/// order the watcher after the worker's counter updates, so it can exit
+/// while the outstanding count still reads non-zero.  The choice sequence
+/// below is the checker's recorded schedule; replaying it must reproduce
+/// the violation deterministically — if the scheduler's choice encoding or
+/// the model drifts, this test fails loudly rather than silently
+/// re-exploring.
+#[test]
+fn termination_relaxed_done_publish_counterexample_replays() {
+    let recorded: Vec<usize> = vec![0, 0, 0, 0, 0, 0, 0, 1];
+    let report = termination::check(
+        termination::Mutation::DoneStoreRelaxed,
+        Strategy::Replay(recorded),
+        &Config::default(),
+    );
+    assert_eq!(
+        report.schedules, 1,
+        "a replay executes exactly one schedule"
+    );
+    let failure = report.failure.expect("recorded schedule must still fail");
+    assert!(
+        failure.message.contains("done observed with outstanding"),
+        "unexpected counterexample: {}",
+        failure.message
+    );
+    assert!(
+        failure.schedule.iter().any(|s| s.contains("stale")),
+        "the printed interleaving should show the stale read:\n{}",
+        failure.schedule.join("\n")
+    );
+}
+
+/// The faithful version of the same protocol survives the recorded
+/// adversarial schedule (the weakening, not the schedule, is the bug).
+#[test]
+fn faithful_termination_survives_the_recorded_schedule() {
+    let report = termination::check(
+        termination::Mutation::None,
+        Strategy::Replay(vec![0, 0, 0, 0, 0, 0, 0, 1]),
+        &Config::default(),
+    );
+    assert!(
+        report.failure.is_none(),
+        "faithful protocol failed the recorded schedule: {}",
+        report.failure.unwrap()
+    );
+}
+
+/// Seeded randomized-schedule smoke across every faithful protocol model:
+/// deterministic per seed, a few hundred schedules each, well under a
+/// second total.  A quick cross-check that the exhaustive CI gate and the
+/// shipped protocols have not drifted apart.
+#[test]
+fn randomized_schedule_smoke_over_faithful_models() {
+    const SEED: u64 = 0x5EED_CAFE;
+    const ITERS: u64 = 300;
+    let random = || Strategy::Random {
+        seed: SEED,
+        iterations: ITERS,
+    };
+    let cfg = Config::default();
+    let reports = [
+        termination::check(termination::Mutation::None, random(), &cfg),
+        termination::check_latch(termination::Mutation::None, random(), &cfg),
+        grant::check(grant::Mutation::None, random(), &bounded()),
+        cancel::check(cancel::Mutation::None, random(), &cfg),
+        trace_ring::check(trace_ring::Mutation::None, random(), &cfg),
+        ordered_pool::check(ordered_pool::Mutation::None, random(), &bounded()),
+    ];
+    for report in reports {
+        assert!(
+            report.failure.is_none(),
+            "model `{}` failed under randomized schedules: {}",
+            report.name,
+            report.failure.unwrap()
+        );
+    }
+}
