@@ -1,7 +1,7 @@
 //! `tracecat` — inspect, summarize and analyze flight-recorder traces.
 //!
 //! ```text
-//! tracecat [--baseline-nodes N] [--expect KIND] FILE.jsonl [FILE.jsonl …]
+//! tracecat [--baseline-nodes N] [--workers-per-locality N] [--expect KIND] [--forbid KIND] FILE.jsonl [FILE.jsonl …]
 //! ```
 //!
 //! Each file must be a canonical JSONL trace (one event per line, as written
@@ -10,10 +10,16 @@
 //!
 //! * `--baseline-nodes N` — the sequential node count the work-inflation
 //!   rule compares against (without it that rule stays silent);
+//! * `--workers-per-locality N` — the contiguous-block locality topology
+//!   of the traced run; enables the locality-imbalance rule (without it
+//!   the trace carries no topology and that rule stays silent);
 //! * `--expect KIND` — exit non-zero unless *every* file reports a finding
 //!   of the given kind (`work_inflation`, `starvation`,
-//!   `steal_strip_mining`, `speculation_waste`).  CI uses this to pin the
-//!   strip-mining reconstruction.
+//!   `steal_strip_mining`, `speculation_waste`, `locality_imbalance`).
+//!   CI uses this to pin the strip-mining reconstruction.
+//! * `--forbid KIND` — the mirror assertion: exit non-zero if *any* file
+//!   reports a finding of the given kind.  CI uses this to pin that the
+//!   routed default produces no strip-mining pattern.
 //!
 //! Parsing is strict: a malformed line fails the whole run with a non-zero
 //! exit and a `file:line: message` diagnostic, so CI catches exporter
@@ -27,15 +33,18 @@ use yewpar::trace::analyze::{analyze, summarize, AnalyzeConfig};
 use yewpar::trace::sink::read_jsonl;
 
 /// The stable finding names `--expect` accepts.
-const KINDS: [&str; 4] = [
+const KINDS: [&str; 5] = [
     "work_inflation",
     "starvation",
     "steal_strip_mining",
     "speculation_waste",
+    "locality_imbalance",
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tracecat [--baseline-nodes N] [--expect KIND] FILE.jsonl [FILE.jsonl ...]");
+    eprintln!(
+        "usage: tracecat [--baseline-nodes N] [--workers-per-locality N] [--expect KIND] [--forbid KIND] FILE.jsonl [FILE.jsonl ...]"
+    );
     eprintln!("       KIND is one of: {}", KINDS.join(", "));
     ExitCode::from(2)
 }
@@ -43,7 +52,9 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_nodes: Option<u64> = None;
+    let mut workers_per_locality: usize = 0;
     let mut expect: Option<String> = None;
+    let mut forbid: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -52,8 +63,20 @@ fn main() -> ExitCode {
                 Some(Ok(n)) => baseline_nodes = Some(n),
                 _ => return usage(),
             },
+            "--workers-per-locality" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => workers_per_locality = n,
+                _ => return usage(),
+            },
             "--expect" => match it.next() {
                 Some(kind) if KINDS.contains(&kind.as_str()) => expect = Some(kind),
+                Some(kind) => {
+                    eprintln!("unknown finding kind {kind:?}");
+                    return usage();
+                }
+                None => return usage(),
+            },
+            "--forbid" => match it.next() {
+                Some(kind) if KINDS.contains(&kind.as_str()) => forbid = Some(kind),
                 Some(kind) => {
                     eprintln!("unknown finding kind {kind:?}");
                     return usage();
@@ -70,6 +93,7 @@ fn main() -> ExitCode {
 
     let config = AnalyzeConfig {
         baseline_nodes,
+        workers_per_locality,
         ..AnalyzeConfig::default()
     };
     let mut failed = false;
@@ -101,6 +125,12 @@ fn main() -> ExitCode {
         if let Some(kind) = &expect {
             if !findings.iter().any(|f| f.kind.name() == kind) {
                 eprintln!("{file}: expected a {kind} finding, none reported");
+                failed = true;
+            }
+        }
+        if let Some(kind) = &forbid {
+            if findings.iter().any(|f| f.kind.name() == kind) {
+                eprintln!("{file}: forbidden {kind} finding reported");
                 failed = true;
             }
         }

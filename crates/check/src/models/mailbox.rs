@@ -1,0 +1,136 @@
+//! Model of `yewpar_core::workpool::Mailbox`: the per-locality work
+//! mailbox of the push half of the locality layer.  One mutex-protected
+//! buffer plus an `occupied` fast-path flag; the real protocol raises the
+//! flag under the lock *after* inserting (push) and clears it under the
+//! lock *before* the tasks leave (drain), so a concurrent push serialises
+//! behind the drain and re-raises the flag for its own tasks.
+//!
+//! Checked invariants:
+//! * **no stranded task**: once pusher and drainer quiesce, a final drain
+//!   recovers every task that was ever pushed and not yet drained — no
+//!   task sits invisible behind a stale `occupied = false`;
+//! * **no lost or duplicated task**: across racing drains every pushed
+//!   task is delivered exactly once.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sched::{run, Config, Report, Strategy};
+use crate::sync::{AtomicBool, Mutex};
+use crate::thread;
+
+/// Protocol weakenings the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The faithful protocol: flag transitions happen under the lock, push
+    /// raises after inserting, drain clears before taking.
+    None,
+    /// `push` raises `occupied` *before* taking the lock: a drain can slip
+    /// between flag and insert, clear the flag, find nothing — and the
+    /// late insert is stranded behind `occupied = false` forever.
+    FlagBeforeInsert,
+    /// `drain` clears `occupied` *after* unlocking: a push that lands
+    /// between the unlock and the clear raises the flag for its tasks,
+    /// the late clear wipes it, and the tasks are stranded.
+    ClearFlagAfterUnlock,
+}
+
+struct Mailbox {
+    inner: Mutex<Vec<u64>>,
+    occupied: AtomicBool,
+    mutation: Mutation,
+}
+
+impl Mailbox {
+    fn new(mutation: Mutation) -> Self {
+        Mailbox {
+            inner: Mutex::named("mailbox.inner", Vec::new()),
+            occupied: AtomicBool::named("mailbox.occupied", false),
+            mutation,
+        }
+    }
+
+    fn push(&self, task: u64) {
+        if self.mutation == Mutation::FlagBeforeInsert {
+            // Bug: publish occupancy before the task exists.
+            self.occupied.store(true, Ordering::Release);
+        }
+        let mut inner = self.inner.lock();
+        inner.push(task);
+        if self.mutation != Mutation::FlagBeforeInsert {
+            // ordering: Release under the lock, after the insert — a
+            // drain's Acquire fast-path read that sees `true` will find
+            // the task (as in the real Mailbox::push).
+            self.occupied.store(true, Ordering::Release);
+        }
+    }
+
+    fn drain(&self, out: &mut Vec<u64>) {
+        // ordering: Acquire pairs with the Release store in push; `false`
+        // means a locked drain would find nothing.
+        if !self.occupied.load(Ordering::Acquire) {
+            return;
+        }
+        {
+            let mut inner = self.inner.lock();
+            if self.mutation != Mutation::ClearFlagAfterUnlock {
+                // ordering: cleared under the lock; a concurrent push
+                // serialises behind us and re-raises the flag.
+                self.occupied.store(false, Ordering::Release);
+            }
+            out.append(&mut inner);
+        }
+        if self.mutation == Mutation::ClearFlagAfterUnlock {
+            // Bug: the clear races a push that already re-raised the flag.
+            self.occupied.store(false, Ordering::Release);
+        }
+    }
+}
+
+fn scenario(mutation: Mutation) {
+    let mailbox = Arc::new(Mailbox::new(mutation));
+    let delivered = Arc::new(Mutex::named("delivered", Vec::new()));
+
+    let pusher = {
+        let mailbox = Arc::clone(&mailbox);
+        thread::spawn_named("pusher", move || {
+            mailbox.push(1);
+            mailbox.push(2);
+        })
+    };
+    let drainer = {
+        let mailbox = Arc::clone(&mailbox);
+        let delivered = Arc::clone(&delivered);
+        thread::spawn_named("drainer", move || {
+            let mut got = Vec::new();
+            mailbox.drain(&mut got);
+            delivered.lock().extend(got);
+        })
+    };
+
+    pusher.join();
+    drainer.join();
+
+    // Quiescent recovery: whatever the racing drain missed must still be
+    // visible to one final drain — this is exactly the no-stranded-task
+    // guarantee `acquire` relies on before giving up and stealing.
+    let mut rest = Vec::new();
+    mailbox.drain(&mut rest);
+    let mut all = delivered.lock().clone();
+    all.extend(rest);
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        vec![1, 2],
+        "mailbox: task lost, stranded or duplicated (delivered {all:?})"
+    );
+}
+
+/// Explore the mailbox push/drain flag protocol.
+pub fn check(mutation: Mutation, strategy: Strategy, config: &Config) -> Report {
+    let name = match mutation {
+        Mutation::None => "mailbox".to_string(),
+        m => format!("mailbox[{m:?}]"),
+    };
+    run(&name, strategy, config, move || scenario(mutation))
+}

@@ -6,7 +6,9 @@
 //!   classes it claims to catch);
 //! * a recorded counterexample replays deterministically.
 
-use yewpar_check::models::{bounded, cancel, grant, ordered_pool, termination, trace_ring};
+use yewpar_check::models::{
+    bounded, cancel, grant, mailbox, ordered_pool, termination, trace_ring,
+};
 use yewpar_check::{Config, Strategy};
 
 fn cfg() -> Config {
@@ -132,6 +134,36 @@ fn trace_dropped_counter_reset_is_caught() {
     let failure = report.assert_caught();
     assert!(
         failure.message.contains("went backwards"),
+        "unexpected counterexample: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn mailbox_flag_before_insert_is_caught() {
+    let report = mailbox::check(mailbox::Mutation::FlagBeforeInsert, Strategy::Dfs, &cfg());
+    let failure = report.assert_caught();
+    assert!(
+        failure.message.contains("stranded"),
+        "unexpected counterexample: {}",
+        failure.message
+    );
+    assert!(
+        !failure.schedule.is_empty(),
+        "counterexample lacks an interleaving"
+    );
+}
+
+#[test]
+fn mailbox_clear_after_unlock_is_caught() {
+    let report = mailbox::check(
+        mailbox::Mutation::ClearFlagAfterUnlock,
+        Strategy::Dfs,
+        &cfg(),
+    );
+    let failure = report.assert_caught();
+    assert!(
+        failure.message.contains("stranded"),
         "unexpected counterexample: {}",
         failure.message
     );

@@ -50,7 +50,14 @@ where
         problem,
         driver,
         workers,
-        PoolSource::traced(capacity, lifecycle.tracer.clone()),
+        PoolSource::configured(
+            capacity,
+            config.localities,
+            config.steal_routing,
+            config.work_pushing,
+            config.steal_seed,
+            lifecycle.tracer.clone(),
+        ),
         DepthPolicy { dcutoff },
         term,
         lifecycle,

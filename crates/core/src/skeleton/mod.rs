@@ -580,10 +580,10 @@ mod tests {
             let mut steals = 0;
             // Whether thieves win a task is pure OS-scheduling
             // nondeterminism (steal_seed does not influence the pooled
-            // coordinations' shard scan); on a small machine one worker can
-            // (rarely) finish alone, so retry a few runs before declaring
-            // failure.
-            for _attempt in 0..5 {
+            // coordinations' shard scan); on a fast machine one worker
+            // routinely finishes alone, so keep retrying until some run
+            // records a steal — each run is a couple of milliseconds.
+            for _attempt in 0..50 {
                 let out = Skeleton::new(coord).workers(8).enumerate(&p);
                 assert_eq!(
                     out.value.0, seq.value.0,

@@ -390,7 +390,12 @@ impl<P: SearchProblem> WorkSource<P> for OrderedSource<P::Node> {
     /// Batched release: one generator burst becomes one insertion-shard lock
     /// acquisition, with child keys minted from the worker's recycling
     /// arena instead of fresh per-key allocations.
-    fn release(&self, local: &mut OrderedLocal, tasks: &mut Vec<Task<P::Node>>) {
+    fn release(
+        &self,
+        local: &mut OrderedLocal,
+        tasks: &mut Vec<Task<P::Node>>,
+        _metrics: &mut WorkerMetrics,
+    ) {
         if tasks.is_empty() {
             return;
         }

@@ -29,7 +29,16 @@ use crate::params::SearchConfig;
 use crate::skeleton::driver::Driver;
 use crate::termination::Termination;
 use crate::trace::{TraceEvent, TraceHandle, Tracer, UNKNOWN_VICTIM};
-use crate::workpool::Task;
+use crate::workpool::{LocalityGauges, Mailbox, Task, PUSH_BATCH};
+
+/// Cap on the back-off exponent: a locality that keeps missing is skipped
+/// for at most `2^BACKOFF_CAP` routing decisions before being retried.
+const BACKOFF_CAP: u32 = 5;
+
+/// How many expansion steps a busy worker waits between starvation scans
+/// (the work-pushing trigger).  Each scan reads two relaxed gauges per
+/// remote locality, so the stride keeps the per-node cost negligible.
+const PUSH_CHECK_STRIDE: u32 = 64;
 
 /// A steal request carrying the channel on which the victim should reply.
 struct StealRequest<N> {
@@ -40,6 +49,8 @@ struct StealRequest<N> {
 /// victim-selection generator.
 pub(crate) struct StealLocal<N> {
     id: usize,
+    /// The locality this worker belongs to (`id / workers_per_locality`).
+    locality: usize,
     rx: Receiver<StealRequest<N>>,
     backlog: VecDeque<Task<N>>,
     rng: SmallRng,
@@ -53,6 +64,24 @@ pub(crate) struct StealLocal<N> {
     /// ([`UNKNOWN_VICTIM`] when no candidate was advertised), so the
     /// hit/miss events recorded in `acquire` carry the real victim id.
     last_victim: u32,
+    /// True while this worker is counted in its locality's idle gauge.
+    idle: bool,
+    /// Per-remote-locality consecutive-miss streaks (the back-off input).
+    miss_streak: Vec<u32>,
+    /// Per-remote-locality back-off budgets: while `skip[l] > 0`, routing
+    /// decisions skip locality `l` (decrementing), so a thief that keeps
+    /// missing a locality probes it exponentially less often.
+    skip: Vec<u32>,
+    /// Set when the most recent attempt was gauge-routed to a remote
+    /// locality: `(locality, observed load)` for the `StealRouted` event.
+    routed: Option<(u32, u64)>,
+    /// Set when routing found candidates but all were in back-off:
+    /// `(locality, misses)` of the best skipped one, for `StealBackoff`.
+    pending_backoff: Option<(u32, u32)>,
+    /// Reused buffer for mailbox drains.
+    mail_buf: Vec<Task<N>>,
+    /// Expansion-step counter gating the starvation scan in `poll`.
+    push_gate: u32,
     /// Flight-recorder handle for this worker (`None` when tracing is off).
     trace: Option<TraceHandle>,
 }
@@ -106,8 +135,33 @@ pub(crate) struct StealSource<N> {
     ///
     /// [`SearchConfig::steal_reply_timeout`]: crate::params::SearchConfig::steal_reply_timeout
     reply_timeout: Duration,
+    /// Number of localities the worker slots are grouped into (contiguous
+    /// blocks of `wpl` ids).  1 = the classic single-locality topology.
+    localities: usize,
+    /// Worker slots per locality.
+    wpl: usize,
+    /// Gauge-directed remote routing (off: blind global hint scan).
+    routing: bool,
+    /// Starvation-triggered work pushing into remote mailboxes.
+    pushing: bool,
+    /// Per-locality aggregate load gauges: `queued` counts workers of the
+    /// locality currently advertising a stealable stack (the remote
+    /// routing signal — per-worker *hints* stay locality-private), `idle`
+    /// counts workers probing for work (the starvation signal).
+    gauges: LocalityGauges,
+    /// One starvation mailbox per locality, drained by that locality's
+    /// workers in `acquire` before any steal attempt.
+    mailboxes: Vec<Mailbox<N>>,
     /// Flight recorder shared by every worker (off by default).
     tracer: Tracer,
+}
+
+/// The locality-layer knobs of `SearchConfig`, grouped so construction
+/// sites read as one unit.
+pub(crate) struct LocalityKnobs {
+    pub localities: usize,
+    pub routing: bool,
+    pub pushing: bool,
 }
 
 impl<N> StealSource<N> {
@@ -116,8 +170,16 @@ impl<N> StealSource<N> {
         seed: u64,
         chunked: bool,
         reply_timeout: Duration,
+        knobs: LocalityKnobs,
         tracer: Tracer,
     ) -> Self {
+        let LocalityKnobs {
+            localities,
+            routing,
+            pushing,
+        } = knobs;
+        let localities = localities.clamp(1, workers.max(1));
+        let wpl = workers.max(1).div_ceil(localities);
         // Requests are bounded so thieves cannot pile up unbounded requests
         // on a busy victim.
         let mut senders = Vec::with_capacity(workers);
@@ -125,7 +187,9 @@ impl<N> StealSource<N> {
         for id in 0..workers {
             let (tx, rx) = bounded::<StealRequest<N>>(workers);
             senders.push(Mutex::new(tx));
-            locals.push(Some(Self::fresh_local(id, rx, seed, workers)));
+            locals.push(Some(Self::fresh_local(
+                id, rx, seed, workers, localities, wpl,
+            )));
         }
         StealSource {
             senders,
@@ -137,6 +201,12 @@ impl<N> StealSource<N> {
             seed,
             chunked,
             reply_timeout,
+            localities,
+            wpl,
+            routing,
+            pushing,
+            gauges: LocalityGauges::new(localities),
+            mailboxes: (0..localities).map(|_| Mailbox::new()).collect(),
             tracer,
         }
     }
@@ -146,28 +216,73 @@ impl<N> StealSource<N> {
         rx: Receiver<StealRequest<N>>,
         seed: u64,
         workers: usize,
+        localities: usize,
+        wpl: usize,
     ) -> StealLocal<N> {
         StealLocal {
             id,
+            locality: (id / wpl).min(localities - 1),
             rx,
             backlog: VecDeque::new(),
             rng: SmallRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
             advertised: NO_WORK_HINT,
             scratch: Vec::with_capacity(workers),
             last_victim: UNKNOWN_VICTIM,
+            idle: false,
+            miss_streak: vec![0; localities],
+            skip: vec![0; localities],
+            routed: None,
+            pending_backoff: None,
+            mail_buf: Vec::new(),
+            push_gate: 0,
             trace: None,
         }
     }
 
+    /// The contiguous worker-slot span `[start, end)` of a locality.
+    fn locality_span(&self, locality: usize) -> (usize, usize) {
+        let start = locality * self.wpl;
+        let end = (start + self.wpl).min(self.senders.len());
+        (start, end)
+    }
+
     /// Publish or retract (`NO_WORK_HINT`) this worker's steal-depth hint
     /// (idempotent; the `advertised` cache keeps stores off the steady path —
-    /// the hint only changes between tasks).
+    /// the hint only changes between tasks).  Hint transitions feed the
+    /// locality's queued gauge: a worker advertising a stealable stack
+    /// counts as one unit of remotely visible work, incremented *before*
+    /// the hint becomes visible and decremented *after* it is retracted
+    /// (the over-approximation protocol of [`LocalityGauges`]).
     fn advertise(&self, local: &mut StealLocal<N>, depth: usize) {
         if local.advertised != depth {
+            if local.advertised == NO_WORK_HINT {
+                self.gauges.tasks_queued(local.locality, 1);
+            }
             // ordering: advisory steal hint — a stale value only sends a
             // thief to a worse victim; actual work moves over channels.
             self.hints[local.id].0.store(depth, Ordering::Relaxed);
+            if depth == NO_WORK_HINT {
+                self.gauges.tasks_taken(local.locality, 1);
+            }
             local.advertised = depth;
+        }
+    }
+
+    /// Count the worker into its locality's idle gauge (idempotent per
+    /// idle episode).
+    fn mark_idle(&self, local: &mut StealLocal<N>) {
+        if !local.idle {
+            self.gauges.worker_idle(local.locality);
+            local.idle = true;
+        }
+    }
+
+    /// Take the worker back out of the idle gauge, paired with
+    /// [`mark_idle`](Self::mark_idle).
+    fn mark_busy(&self, local: &mut StealLocal<N>) {
+        if local.idle {
+            self.gauges.worker_busy(local.locality);
+            local.idle = false;
         }
     }
 
@@ -179,16 +294,18 @@ impl<N> StealSource<N> {
         }
     }
 
-    /// Pick the *shallowest* advertised victim (ties broken at random) and
-    /// ask it for work.  With no advertised victim the steal fails
-    /// immediately — no request, no timeout — which is what keeps idle
-    /// workers cheap while the search ramps up or drains.
-    fn attempt_steal(&self, local: &mut StealLocal<N>) -> Option<Vec<Task<N>>> {
-        let n = self.senders.len();
-        local.last_victim = UNKNOWN_VICTIM;
+    /// Scan the hints of worker slots `[start, end)` for the *shallowest*
+    /// advertised victim (ties broken at random), excluding the thief
+    /// itself.  `None` when nobody in the span advertises work.
+    fn pick_shallowest(
+        &self,
+        local: &mut StealLocal<N>,
+        start: usize,
+        end: usize,
+    ) -> Option<usize> {
         local.scratch.clear();
         let mut best = NO_WORK_HINT;
-        for v in 0..n {
+        for v in start..end {
             if v == local.id {
                 continue;
             }
@@ -208,7 +325,79 @@ impl<N> StealSource<N> {
         if local.scratch.is_empty() {
             return None;
         }
-        let victim = local.scratch[local.rng.gen_range(0..local.scratch.len())];
+        Some(local.scratch[local.rng.gen_range(0..local.scratch.len())])
+    }
+
+    /// Pick a victim and ask it for work.  With one locality (or routing
+    /// off) this is the classic global hint scan: shallowest advertised
+    /// victim, ties random, failing immediately when nobody advertises —
+    /// which is what keeps idle workers cheap while the search ramps up or
+    /// drains.  With routing on, the scan is two-level: hints are consulted
+    /// only *within* the thief's own locality; a remote attempt instead
+    /// reads the per-locality load gauges, targets the least-loaded
+    /// non-empty remote locality (skipping any in back-off) and asks a
+    /// blind-random victim inside it — aggregates route, hints never leave
+    /// their locality, and the blind victim pick preserves the
+    /// anti-strip-mining invariant.
+    fn attempt_steal(&self, local: &mut StealLocal<N>) -> Option<Vec<Task<N>>> {
+        local.last_victim = UNKNOWN_VICTIM;
+        local.routed = None;
+        local.pending_backoff = None;
+        if !self.routing || self.localities <= 1 {
+            let victim = self.pick_shallowest(local, 0, self.senders.len())?;
+            return self.request_from(local, victim);
+        }
+        // Level 1: own locality, hint-ranked (cheap, cache-local).
+        let (start, end) = self.locality_span(local.locality);
+        if let Some(victim) = self.pick_shallowest(local, start, end) {
+            return self.request_from(local, victim);
+        }
+        // Level 2: gauge-routed remote locality, honouring back-off.
+        let mut best: Option<(u64, usize)> = None;
+        let mut skipped: Option<(u32, u32)> = None;
+        for l in 0..self.localities {
+            if l == local.locality {
+                continue;
+            }
+            let load = self.gauges.queued(l);
+            if load == 0 {
+                continue;
+            }
+            if local.skip[l] > 0 {
+                local.skip[l] -= 1;
+                if skipped.is_none() {
+                    skipped = Some((l as u32, local.miss_streak[l]));
+                }
+                continue;
+            }
+            if best.map_or(true, |(bl, bi)| (load, l) < (bl, bi)) {
+                best = Some((load, l));
+            }
+        }
+        let Some((load, target)) = best else {
+            // Every non-empty remote locality is in back-off: this probe
+            // becomes a nap, attributed in `acquire`.
+            local.pending_backoff = skipped;
+            return None;
+        };
+        let (rstart, rend) = self.locality_span(target);
+        let victim = rstart + local.rng.gen_range(0..rend - rstart);
+        local.routed = Some((target as u32, load));
+        let stolen = self.request_from(local, victim);
+        if stolen.is_some() {
+            local.miss_streak[target] = 0;
+        } else {
+            let streak = &mut local.miss_streak[target];
+            *streak = streak.saturating_add(1);
+            // Capped exponential back-off: skip this locality for the next
+            // 2^min(streak, CAP) routing decisions.
+            local.skip[target] = 1u32 << (*streak).min(BACKOFF_CAP);
+        }
+        stolen
+    }
+
+    /// Deliver a steal request to `victim` and await its resolution.
+    fn request_from(&self, local: &mut StealLocal<N>, victim: usize) -> Option<Vec<Task<N>>> {
         local.last_victim = victim as u32;
         if let Some(trace) = &local.trace {
             trace.emit(TraceEvent::StealRequest {
@@ -278,7 +467,7 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
                 let workers = self.senders.len();
                 let (tx, rx) = bounded::<StealRequest<P::Node>>(workers);
                 *self.senders[worker].lock() = tx;
-                Self::fresh_local(worker, rx, self.seed, workers)
+                Self::fresh_local(worker, rx, self.seed, workers, self.localities, self.wpl)
             }
         };
         local.trace = self.tracer.handle(worker as u32);
@@ -296,7 +485,13 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
     }
 
     fn pop(&self, local: &mut Self::Local) -> Option<Task<P::Node>> {
-        local.backlog.pop_front()
+        match local.backlog.pop_front() {
+            Some(task) => {
+                self.mark_busy(local);
+                Some(task)
+            }
+            None => None,
+        }
     }
 
     fn acquire(
@@ -305,10 +500,13 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         _term: &Termination,
         metrics: &mut WorkerMetrics,
     ) -> Option<Task<P::Node>> {
-        // Idle: retract the work hint, answer any pending requests with "no
-        // work", then adopt any backlog parked by a retired worker before
-        // bothering a victim (single worker: no one to steal from).
+        // Idle: retract the work hint, count into the locality's idle gauge
+        // (the starvation signal pushers react to), answer any pending
+        // requests with "no work", then adopt any backlog parked by a
+        // retired worker and drain the locality mailbox before bothering a
+        // victim (single worker: no one to steal from).
         self.advertise(local, NO_WORK_HINT);
+        self.mark_idle(local);
         Self::drain_requests_empty(&local.rx);
         {
             let mut parked = self.parked.lock();
@@ -316,7 +514,18 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
                 local.backlog.extend(parked.drain(..));
             }
         }
+        if self.mailboxes[local.locality].drain(&mut local.mail_buf) > 0 {
+            // Pushed work arrived addressed to this locality: adopting it
+            // also resets the remote back-off — the cluster's load picture
+            // just changed.
+            local.backlog.extend(local.mail_buf.drain(..));
+            for l in 0..self.localities {
+                local.skip[l] = 0;
+                local.miss_streak[l] = 0;
+            }
+        }
         if let Some(task) = local.backlog.pop_front() {
+            self.mark_busy(local);
             return Some(task);
         }
         if self.senders.len() <= 1 {
@@ -329,9 +538,17 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
                     trace.emit(TraceEvent::StealHit {
                         victim: local.last_victim,
                         tasks: tasks.len() as u32,
-                        remote: false,
+                        remote: local.routed.is_some(),
                     });
                 }
+                if let Some((locality, load)) = local.routed.take() {
+                    // A gauge-directed cross-locality steal that landed.
+                    metrics.routed_steals += 1;
+                    if let Some(trace) = &local.trace {
+                        trace.emit(TraceEvent::StealRouted { locality, load });
+                    }
+                }
+                self.mark_busy(local);
                 local.backlog.extend(tasks);
                 local.backlog.pop_front()
             }
@@ -342,12 +559,25 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
                         victim: local.last_victim,
                     });
                 }
+                if let Some((locality, misses)) = local.pending_backoff.take() {
+                    // Routing saw work but every candidate was in back-off:
+                    // this idle round is a deliberate nap, not a miss.
+                    metrics.backoff_naps += 1;
+                    if let Some(trace) = &local.trace {
+                        trace.emit(TraceEvent::StealBackoff { locality, misses });
+                    }
+                }
                 None
             }
         }
     }
 
-    fn release(&self, local: &mut Self::Local, tasks: &mut Vec<Task<P::Node>>) {
+    fn release(
+        &self,
+        local: &mut Self::Local,
+        tasks: &mut Vec<Task<P::Node>>,
+        _metrics: &mut WorkerMetrics,
+    ) {
         local.backlog.extend(tasks.drain(..));
     }
 
@@ -363,6 +593,47 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
         // once per task, since the base frame is fixed for the task's
         // lifetime).
         self.advertise(local, stack.base_depth().unwrap_or(NO_WORK_HINT));
+        // Work pushing: every PUSH_CHECK_STRIDE expansion steps, a busy
+        // worker scans the gauges for a starved remote locality (idle
+        // workers, zero queued signal, empty mailbox) and proactively
+        // pushes a bounded chunk of its own lowest-depth subtrees into that
+        // locality's mailbox — the victim-initiated dual of a steal, which
+        // closes the ramp-up gap where a blind remote probe would only find
+        // the work with probability 1/workers.
+        if self.pushing && self.localities > 1 {
+            local.push_gate = local.push_gate.wrapping_add(1);
+            if local.push_gate % PUSH_CHECK_STRIDE == 0 {
+                let start = local.rng.gen_range(0..self.localities);
+                for i in 0..self.localities {
+                    let target = (start + i) % self.localities;
+                    if target == local.locality
+                        || !self.gauges.starved(target, 1)
+                        || self.mailboxes[target].is_occupied()
+                    {
+                        continue;
+                    }
+                    let mut burst = stack.split_lowest(true);
+                    if burst.is_empty() {
+                        break;
+                    }
+                    // Bound the pushed batch; overflow stays local (it is
+                    // registered either way).
+                    let overflow = burst.split_off(burst.len().min(PUSH_BATCH));
+                    term.task_spawned((burst.len() + overflow.len()) as u64);
+                    metrics.spawns += (burst.len() + overflow.len()) as u64;
+                    metrics.pushed_tasks += burst.len() as u64;
+                    if let Some(trace) = &local.trace {
+                        trace.emit(TraceEvent::WorkPushed {
+                            locality: target as u32,
+                            tasks: burst.len() as u32,
+                        });
+                    }
+                    self.mailboxes[target].push(&mut burst);
+                    local.backlog.extend(overflow);
+                    break;
+                }
+            }
+        }
         // Serve at most one steal request per expansion step (mirrors the
         // per-iteration check in Listing 3).
         let request = match local.rx.try_recv() {
@@ -393,19 +664,24 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
     /// from the outstanding counter as the worker exits.
     fn drain_local(&self, local: &mut Self::Local) -> usize {
         self.advertise(local, NO_WORK_HINT);
+        // Leave the idle gauge balanced on exit so no phantom idle worker
+        // keeps attracting pushed work.
+        self.mark_busy(local);
         let n = local.backlog.len();
         local.backlog.clear();
         n
     }
 
-    /// Tasks parked by retired workers and never adopted are drained when
-    /// the search stops (the engine calls this after the join and on
-    /// short-circuits), keeping the outstanding counter exact.
+    /// Tasks parked by retired workers and never adopted — plus mailbox
+    /// batches no worker drained — are dropped when the search stops (the
+    /// engine calls this after the join and on short-circuits), keeping the
+    /// outstanding counter exact on cancel/deadline exits too.
     fn discard(&self) -> usize {
+        let mailed: usize = self.mailboxes.iter().map(|m| m.clear()).sum();
         let mut parked = self.parked.lock();
         let n = parked.len();
         parked.clear();
-        n
+        n + mailed
     }
 
     /// Cooperative revocation: retract the hint (thieves stop targeting this
@@ -413,6 +689,7 @@ impl<P: SearchProblem> WorkSource<P> for StealSource<P::Node> {
     /// — the tasks stay registered with the termination counter throughout.
     fn retire(&self, local: &mut Self::Local) {
         self.advertise(local, NO_WORK_HINT);
+        self.mark_busy(local);
         Self::drain_requests_empty(&local.rx);
         if !local.backlog.is_empty() {
             self.parked.lock().extend(local.backlog.drain(..));
@@ -446,6 +723,11 @@ where
             config.steal_seed,
             chunked,
             config.steal_reply_timeout,
+            LocalityKnobs {
+                localities: config.localities,
+                routing: config.steal_routing,
+                pushing: config.work_pushing,
+            },
             lifecycle.tracer.clone(),
         ),
         NoSpawn,

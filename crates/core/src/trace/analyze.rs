@@ -43,6 +43,18 @@ pub struct AnalyzeConfig {
     /// (a search that grew once and shrank once is elasticity working, not
     /// thrash).
     pub grant_thrash_min_changes: u64,
+    /// Workers per locality, for the
+    /// [`LocalityImbalance`](FindingKind::LocalityImbalance) rule: worker
+    /// `w` belongs to locality `w / workers_per_locality` (the simulator's
+    /// and threaded engine's contiguous-block mapping).  The trace itself
+    /// carries no locality topology, so the rule is **disabled** at the
+    /// default of 0.
+    pub workers_per_locality: usize,
+    /// How far (in idle-fraction points) one locality's mean idle fraction
+    /// must exceed the fleet mean — while some other locality stays mostly
+    /// busy — before a
+    /// [`LocalityImbalance`](FindingKind::LocalityImbalance) finding fires.
+    pub locality_idle_excess: f64,
 }
 
 impl Default for AnalyzeConfig {
@@ -56,6 +68,8 @@ impl Default for AnalyzeConfig {
             speculation_waste_threshold: 0.25,
             grant_thrash_per_sec: 10.0,
             grant_thrash_min_changes: 4,
+            workers_per_locality: 0,
+            locality_idle_excess: 0.25,
         }
     }
 }
@@ -81,6 +95,13 @@ pub enum FindingKind {
     /// configured rate — the elastic scheduler is thrashing, paying
     /// join/leave churn instead of doing search work.
     GrantThrash,
+    /// One locality's workers sat idle far above the fleet mean while
+    /// another locality stayed saturated with work: remote work
+    /// distribution (steal routing / work pushing) failed to level the
+    /// load across localities.  Requires
+    /// [`AnalyzeConfig::workers_per_locality`] to map workers onto
+    /// localities.
+    LocalityImbalance,
 }
 
 impl FindingKind {
@@ -92,6 +113,7 @@ impl FindingKind {
             FindingKind::StealStripMining => "steal_strip_mining",
             FindingKind::SpeculationWaste => "speculation_waste",
             FindingKind::GrantThrash => "grant_thrash",
+            FindingKind::LocalityImbalance => "locality_imbalance",
         }
     }
 }
@@ -388,6 +410,81 @@ fn speculation_waste(summary: &TraceSummary, config: &AnalyzeConfig) -> Option<F
     })
 }
 
+fn locality_imbalance(records: &[TraceRecord], config: &AnalyzeConfig) -> Option<Finding> {
+    let wpl = config.workers_per_locality;
+    if wpl == 0 {
+        return None;
+    }
+    let (first, last) = match (records.first(), records.last()) {
+        (Some(first), Some(last)) if last.ts > first.ts => (first.ts, last.ts),
+        _ => return None,
+    };
+    let span = (last - first) as f64;
+    // Busy time per observed worker; a worker that only probed (steal
+    // misses, polls) and never ran a task is fully idle, so collect the
+    // worker set from *every* record, not just task spans.
+    let busy = busy_intervals(records);
+    let mut per_locality: Vec<(u32, f64, u64)> = Vec::new(); // (locality, idle sum, workers)
+    let mut workers: Vec<u32> = records
+        .iter()
+        .filter(|r| r.worker != CONTROL_WORKER)
+        .map(|r| r.worker)
+        .collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for worker in workers {
+        let busy_time: u64 = busy
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .map(|(_, intervals)| intervals.iter().map(|(s, e)| e.saturating_sub(*s)).sum())
+            .unwrap_or(0);
+        let idle_fraction = 1.0 - (busy_time as f64 / span).min(1.0);
+        let locality = worker / wpl as u32;
+        match per_locality.iter_mut().find(|(l, ..)| *l == locality) {
+            Some((_, idle, n)) => {
+                *idle += idle_fraction;
+                *n += 1;
+            }
+            None => per_locality.push((locality, idle_fraction, 1)),
+        }
+    }
+    if per_locality.len() < 2 {
+        return None;
+    }
+    let fractions: Vec<(u32, f64)> = per_locality
+        .iter()
+        .map(|(l, idle, n)| (*l, idle / *n as f64))
+        .collect();
+    let mean = fractions.iter().map(|(_, f)| f).sum::<f64>() / fractions.len() as f64;
+    let (idle_loc, max_idle) = fractions
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("two localities");
+    let (busy_loc, min_idle) = fractions
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("two localities");
+    let excess = max_idle - mean;
+    // "Another locality stayed saturated" — without gauge events in the
+    // trace, a locality that was busy most of the span is the witness that
+    // distributable work existed while the idle locality starved.
+    (excess >= config.locality_idle_excess && min_idle <= 0.5).then(|| Finding {
+        kind: FindingKind::LocalityImbalance,
+        value: excess,
+        summary: format!(
+            "locality {idle_loc} sat {:.0}% idle ({:.0} points over the fleet mean of {:.0}%) \
+             while locality {busy_loc} stayed {:.0}% busy — remote work distribution failed \
+             to level the load",
+            max_idle * 100.0,
+            excess * 100.0,
+            mean * 100.0,
+            (1.0 - min_idle) * 100.0
+        ),
+    })
+}
+
 fn grant_thrash(records: &[TraceRecord], config: &AnalyzeConfig) -> Vec<Finding> {
     // Grant changes per search: every GrantGrown or GrantShrunk counts one.
     let mut per_search: Vec<(u64, u64)> = Vec::new();
@@ -465,6 +562,9 @@ pub fn analyze(records: &[TraceRecord], config: &AnalyzeConfig) -> Vec<Finding> 
         findings.push(finding);
     }
     if let Some(finding) = speculation_waste(&summary, config) {
+        findings.push(finding);
+    }
+    if let Some(finding) = locality_imbalance(records, config) {
         findings.push(finding);
     }
     findings.extend(grant_thrash(records, config));
@@ -753,6 +853,87 @@ mod tests {
             .find(|f| f.kind == FindingKind::GrantThrash)
             .expect("20 changes/s over the span must fire");
         assert!((finding.value - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locality_imbalance_fires_when_one_locality_starves() {
+        // 2 localities × 2 workers.  Locality 0 is busy for the whole
+        // span; locality 1's workers only probe and miss.
+        let mut records = vec![
+            rec(0, 0, TraceEvent::TaskStart { depth: 0 }),
+            rec(0, 1, TraceEvent::TaskStart { depth: 0 }),
+        ];
+        for i in 0..10u64 {
+            records.push(rec(i * 100, 2, TraceEvent::StealMiss { victim: 0 }));
+            records.push(rec(i * 100 + 50, 3, TraceEvent::StealMiss { victim: 1 }));
+        }
+        records.push(rec(1000, 0, end(50)));
+        records.push(rec(1000, 1, end(50)));
+        records.sort_by_key(|r| r.ts);
+        let config = AnalyzeConfig {
+            workers_per_locality: 2,
+            ..AnalyzeConfig::default()
+        };
+        let findings = analyze(&records, &config);
+        let finding = findings
+            .iter()
+            .find(|f| f.kind == FindingKind::LocalityImbalance)
+            .expect("a fully idle locality opposite a saturated one must fire");
+        assert!(finding.summary.contains("locality 1"));
+        assert!(finding.summary.contains("locality 0"));
+        assert!(finding.value >= 0.25, "excess {}", finding.value);
+
+        // The rule is disabled without a locality mapping.
+        assert!(analyze(&records, &AnalyzeConfig::default())
+            .iter()
+            .all(|f| f.kind != FindingKind::LocalityImbalance));
+    }
+
+    #[test]
+    fn locality_imbalance_stays_quiet_on_levelled_load() {
+        // Both localities busy for the whole span.
+        let mut records = Vec::new();
+        for w in 0..4u32 {
+            records.push(rec(0, w, TraceEvent::TaskStart { depth: 0 }));
+        }
+        for w in 0..4u32 {
+            records.push(rec(1000, w, end(25)));
+        }
+        records.sort_by_key(|r| r.ts);
+        let config = AnalyzeConfig {
+            workers_per_locality: 2,
+            ..AnalyzeConfig::default()
+        };
+        assert!(analyze(&records, &config)
+            .iter()
+            .all(|f| f.kind != FindingKind::LocalityImbalance));
+    }
+
+    #[test]
+    fn locality_imbalance_needs_a_saturated_witness() {
+        // Three 1-worker localities: locality 0 fully idle (probing),
+        // localities 1 and 2 only 40% busy.  The idle excess clears the
+        // threshold but no locality stayed saturated, so there is no
+        // witness that distributable work existed — the rule must not
+        // fire (the fleet may simply have run out of work).
+        let mut records = vec![
+            rec(0, 1, TraceEvent::TaskStart { depth: 0 }),
+            rec(0, 2, TraceEvent::TaskStart { depth: 0 }),
+        ];
+        for i in 0..10u64 {
+            records.push(rec(i * 100, 0, TraceEvent::StealMiss { victim: 1 }));
+        }
+        records.push(rec(400, 1, end(10)));
+        records.push(rec(400, 2, end(10)));
+        records.push(rec(1000, 0, TraceEvent::StealMiss { victim: 2 }));
+        records.sort_by_key(|r| r.ts);
+        let config = AnalyzeConfig {
+            workers_per_locality: 1,
+            ..AnalyzeConfig::default()
+        };
+        assert!(analyze(&records, &config)
+            .iter()
+            .all(|f| f.kind != FindingKind::LocalityImbalance));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Locality-layer failure-mode and equivalence tests.
+//!
+//! The steal-routing / work-pushing layer moves tasks over a new channel
+//! (per-locality mailboxes) that bypasses both the pools and the steal
+//! request/reply protocol, so these tests pin the properties that channel
+//! must not break:
+//!
+//! * **equivalence** — with routing and pushing in every combination,
+//!   across worker counts and locality topologies, every coordination
+//!   still enumerates exactly the sequential node count (nothing lost,
+//!   nothing duplicated in a mailbox);
+//! * **replicability** — the Ordered coordination's committed count stays
+//!   a pure function of the instance whatever the knobs say;
+//! * **clean exits** — cancel and deadline exits drain in-flight mailbox
+//!   batches through the `discard` path, so the termination counter
+//!   reaches zero and the run returns (a stranded task would hang the
+//!   join) with the correct partial status.
+
+use std::time::Duration;
+
+use yewpar::monoid::Sum;
+use yewpar::{
+    CancelToken, Coordination, Enumerate, SearchConfig, SearchProblem, SearchStatus, Skeleton,
+};
+
+/// Irregular enumeration tree: width varies 1-3 by a hash of the node, so
+/// stacks drain unevenly and the routing/pushing paths actually fire.
+struct Lumpy {
+    depth: usize,
+}
+
+impl SearchProblem for Lumpy {
+    type Node = (usize, u64);
+    type Gen<'a> = std::vec::IntoIter<(usize, u64)>;
+    fn root(&self) -> (usize, u64) {
+        (0, 3)
+    }
+    fn generator(&self, node: &(usize, u64)) -> Self::Gen<'_> {
+        let (d, s) = *node;
+        if d >= self.depth {
+            return vec![].into_iter();
+        }
+        let width = (s % 3 + 1) as usize;
+        (0..width)
+            .map(|i| {
+                (
+                    d + 1,
+                    s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64),
+                )
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl Enumerate for Lumpy {
+    type Value = Sum<u64>;
+    fn value(&self, _n: &(usize, u64)) -> Sum<u64> {
+        Sum(1)
+    }
+}
+
+fn config(
+    coord: Coordination,
+    workers: usize,
+    localities: usize,
+    routing: bool,
+    pushing: bool,
+) -> SearchConfig {
+    SearchConfig {
+        coordination: coord,
+        workers,
+        localities,
+        steal_routing: routing,
+        work_pushing: pushing,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn routing_and_pushing_preserve_counts_across_worker_counts() {
+    let p = Lumpy { depth: 10 };
+    let seq = Skeleton::new(Coordination::Sequential).enumerate(&p);
+    for coord in [
+        Coordination::stack_stealing(),
+        Coordination::stack_stealing_chunked(),
+        Coordination::depth_bounded(3),
+        Coordination::budget(40),
+    ] {
+        for workers in [1usize, 2, 4, 8] {
+            // Thin localities exercise cross-locality traffic; a single
+            // fat one must keep the layer dormant.
+            for localities in [1usize, workers.min(4)] {
+                for (routing, pushing) in
+                    [(false, false), (true, false), (false, true), (true, true)]
+                {
+                    let cfg = config(coord, workers, localities, routing, pushing);
+                    let out = Skeleton::from_config(cfg).enumerate(&p);
+                    assert!(out.status.is_complete());
+                    assert_eq!(
+                        out.value, seq.value,
+                        "{coord} w={workers} l={localities} r={routing} p={pushing} diverged"
+                    );
+                    assert_eq!(out.metrics.nodes(), seq.metrics.nodes());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ordered_committed_counts_replicate_with_the_locality_layer() {
+    let p = Lumpy { depth: 9 };
+    let mut reference: Option<u64> = None;
+    for workers in [1usize, 2, 4, 8] {
+        for (routing, pushing) in [(false, false), (true, true)] {
+            let cfg = config(
+                Coordination::ordered(3),
+                workers,
+                workers.min(2),
+                routing,
+                pushing,
+            );
+            let out = Skeleton::from_config(cfg).enumerate(&p);
+            assert!(out.status.is_complete());
+            let nodes = out.metrics.nodes();
+            let c = reference.get_or_insert(nodes);
+            assert_eq!(
+                *c, nodes,
+                "ordered w={workers} r={routing} p={pushing} broke replicability"
+            );
+        }
+    }
+}
+
+/// Cancel mid-run with pushing on: the run must return (no stranded
+/// mailbox task keeps the termination counter above zero, which would hang
+/// the join) and report `Cancelled`.  Repeated, so some cancellations land
+/// while a pushed batch sits undrained in a mailbox.
+#[test]
+fn cancel_exits_cleanly_through_mailbox_pushes() {
+    let p = Lumpy { depth: 12 };
+    for attempt in 0..10u64 {
+        let token = CancelToken::new();
+        let cancel = token.child();
+        let handle = std::thread::spawn(move || {
+            // Stagger the cancellation point attempt to attempt.
+            std::thread::sleep(Duration::from_micros(200 * (attempt + 1)));
+            cancel.cancel();
+        });
+        let cfg = config(Coordination::stack_stealing_chunked(), 8, 4, true, true);
+        let out = Skeleton::from_config(cfg).cancel_token(token).enumerate(&p);
+        handle.join().expect("cancel thread panicked");
+        assert!(
+            matches!(out.status, SearchStatus::Cancelled | SearchStatus::Complete),
+            "unexpected status {:?}",
+            out.status
+        );
+    }
+}
+
+/// Deadline exits take the same discard path: the run returns promptly
+/// with `DeadlineExceeded` even when shipments are in flight.
+#[test]
+fn deadline_exits_cleanly_through_mailbox_pushes() {
+    let p = Lumpy { depth: 13 };
+    let cfg = config(Coordination::stack_stealing(), 8, 4, true, true);
+    let out = Skeleton::from_config(cfg)
+        .deadline(Duration::from_millis(2))
+        .enumerate(&p);
+    assert!(
+        matches!(
+            out.status,
+            SearchStatus::DeadlineExceeded | SearchStatus::Complete
+        ),
+        "unexpected status {:?}",
+        out.status
+    );
+}
